@@ -1,0 +1,84 @@
+//! Microbenchmarks of the protocol substrates: HPACK, HTTP/2 framing, and
+//! the online HTML scan (the paper's §4.1.2 server-side overhead: "parsing
+//! HTML objects as they are being served adds a median delay of only
+//! roughly 100 ms" on their servers — `srv_scan_overhead` measures ours).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vroom_hpack::{Decoder, Encoder, HeaderField};
+use vroom_html::scan_html;
+use vroom_http2::{Frame, FrameCodec};
+use vroom_pages::{render_html, LoadContext, PageGenerator, SiteProfile};
+
+fn hpack_benches(c: &mut Criterion) {
+    let headers: Vec<HeaderField> = vec![
+        HeaderField::new(":status", "200"),
+        HeaderField::new("content-type", "text/html; charset=utf-8"),
+        HeaderField::new("link", "<https://cdn.news.com/app.js>; rel=preload; as=script"),
+        HeaderField::new("x-semi-important", "https://tp1.net/widget.js"),
+        HeaderField::new("x-unimportant", "https://cdn.news.com/hero.jpg"),
+        HeaderField::new("cache-control", "max-age=3600"),
+    ];
+    let mut group = c.benchmark_group("hpack");
+    group.bench_function("encode_response_with_hints", |b| {
+        b.iter_batched(
+            Encoder::new,
+            |mut enc| black_box(enc.encode(&headers)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let wire = Encoder::new().encode(&headers);
+    group.bench_function("decode_response_with_hints", |b| {
+        b.iter_batched(
+            Decoder::new,
+            |mut dec| black_box(dec.decode(&wire).unwrap()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn frame_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("http2_frames");
+    let payload = bytes::Bytes::from(vec![0u8; 16_384]);
+    group.throughput(Throughput::Bytes(16_384));
+    group.bench_function("data_frame_roundtrip_16k", |b| {
+        let codec = FrameCodec::default();
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::new();
+            Frame::Data {
+                stream_id: 1,
+                data: payload.clone(),
+                end_stream: false,
+                pad_len: 0,
+            }
+            .encode(&mut buf);
+            black_box(codec.decode(&mut buf).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn scan_benches(c: &mut Criterion) {
+    // srv: the online-analysis overhead per served landing page.
+    let pages: Vec<(vroom_html::Url, String)> = (0..20u64)
+        .map(|seed| {
+            let page = PageGenerator::new(SiteProfile::news(), seed)
+                .snapshot(&LoadContext::reference());
+            (page.url.clone(), render_html(&page, 0))
+        })
+        .collect();
+    let total_bytes: usize = pages.iter().map(|(_, h)| h.len()).sum();
+    let mut group = c.benchmark_group("online_analysis");
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    group.bench_function("srv_scan_overhead_20_landing_pages", |b| {
+        b.iter(|| {
+            for (url, html) in &pages {
+                black_box(scan_html(url, html));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, hpack_benches, frame_benches, scan_benches);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Benchmarks of the page-load simulator itself: one full News-site load
+//! per system, plus corpus generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vroom::{run_load, System};
+use vroom_net::NetworkProfile;
+use vroom_pages::{LoadContext, PageGenerator, SiteProfile};
+
+fn load_benches(c: &mut Criterion) {
+    let site = PageGenerator::new(SiteProfile::news(), 42);
+    let ctx = LoadContext::reference();
+    let lte = NetworkProfile::lte();
+    let mut group = c.benchmark_group("page_load");
+    for system in [System::Http1, System::Http2, System::Vroom, System::PolarisLike] {
+        group.bench_function(format!("{system:?}"), |b| {
+            b.iter(|| black_box(run_load(&site, &ctx, &lte, system, 7)))
+        });
+    }
+    group.finish();
+}
+
+fn generation_benches(c: &mut Criterion) {
+    c.bench_function("generate_news_site_and_snapshot", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let g = PageGenerator::new(SiteProfile::news(), seed);
+            black_box(g.snapshot(&LoadContext::reference()))
+        })
+    });
+}
+
+criterion_group!(benches, load_benches, generation_benches);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Crawl-history-window ablation (DESIGN.md §5). `--sites N` caps the corpus.
+
+fn main() {
+    let cfg = vroom_bench::config_from_args();
+    print!("{}", vroom::ablation::ablation_history_window(&cfg).1);
+}

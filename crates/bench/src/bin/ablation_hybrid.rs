@@ -1,0 +1,6 @@
+//! Vroom+Polaris hybrid (future work) (DESIGN.md §5). `--sites N` caps the corpus.
+
+fn main() {
+    let cfg = vroom_bench::config_from_args();
+    print!("{}", vroom::ablation::ablation_hybrid(&cfg).3);
+}

@@ -1,0 +1,35 @@
+//! Shared plumbing for the figure binaries: a tiny CLI (`--sites N`,
+//! `--seed S`) and the experiment configuration they map to.
+
+use vroom::ExperimentConfig;
+
+/// Parse `--sites N` / `--seed S` style args into an experiment config.
+/// Defaults to the paper's full corpus sizes.
+pub fn config_from_args() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sites" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--sites takes a number");
+                cfg.max_sites = Some(n);
+            }
+            "--seed" => {
+                i += 1;
+                let s: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed takes a number");
+                cfg.corpus_seed = s;
+            }
+            other => panic!("unknown argument {other}; supported: --sites N, --seed S"),
+        }
+        i += 1;
+    }
+    cfg
+}

@@ -1,0 +1,189 @@
+//! Load configuration: everything that distinguishes one policy/baseline
+//! from another when loading the same page over the same network.
+//!
+//! The browser engine is policy-agnostic; the Vroom core crate builds
+//! [`LoadConfig`]s for each of the paper's systems (HTTP/1.1, HTTP/2
+//! baseline, push-only variants, Polaris-like reprioritization, full Vroom,
+//! and the lower bounds).
+
+use std::collections::HashMap;
+use vroom_html::Url;
+use vroom_sim::SimDuration;
+
+/// The HTTP version in use between the client and every server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpVersion {
+    /// HTTP/1.1: up to `conns_per_domain` parallel connections, one
+    /// outstanding response per connection.
+    H1 {
+        /// Browser connection pool size per domain (6 in practice).
+        conns_per_domain: usize,
+    },
+    /// HTTP/2: one multiplexed connection per domain; the server returns
+    /// complete responses in request order (the paper's modified Mahimahi,
+    /// §5.1) and may push.
+    H2,
+}
+
+impl HttpVersion {
+    /// Standard HTTP/1.1 with six connections per domain.
+    pub fn h1() -> Self {
+        HttpVersion::H1 {
+            conns_per_domain: 6,
+        }
+    }
+}
+
+/// One dependency hint attached to an HTML response (a parsed `Link
+/// preload` / `x-semi-important` / `x-unimportant` header entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hint {
+    /// URL the client should fetch.
+    pub url: Url,
+    /// Priority tier: 0 = preload, 1 = semi-important, 2 = unimportant.
+    pub tier: u8,
+    /// Size the server would serve for this URL — used when the hint is a
+    /// false positive (the URL is not part of the client's actual load):
+    /// the client still downloads these bytes and wastes them.
+    pub size_hint: u64,
+}
+
+/// Per-HTML-response server behaviour: what it pushes and hints.
+#[derive(Debug, Clone, Default)]
+pub struct ServerModel {
+    /// Hints keyed by the HTML resource's URL (root or iframe HTML).
+    /// Values are in the order the client will need to process them
+    /// (the order Vroom-compliant servers emit, §5.1).
+    pub hints: HashMap<Url, Vec<Hint>>,
+    /// Pushed objects keyed by the HTML resource's URL. Every pushed URL
+    /// must be served by the same domain as the HTML (integrity rule).
+    /// Unknown (stale) URLs are allowed and waste `size` bytes.
+    pub pushes: HashMap<Url, Vec<Hint>>,
+}
+
+/// How the client schedules requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchPolicy {
+    /// Request every known URL as soon as it is known (baselines and the
+    /// "Push All, Fetch ASAP" strawman).
+    OnDiscovery,
+    /// Vroom's staged scheduler (§4.3/§5.2): fetch hint tier 0 first (in
+    /// hint order), tier 1 once tier 0 has drained, then tier 2.
+    /// Parser-discovered resources are requested on discovery regardless.
+    VroomStaged,
+    /// Polaris-style: the client knows the page's dependency *structure* up
+    /// front and prioritizes queued requests by longest descendant chain,
+    /// but each URL still becomes requestable only on discovery.
+    PolarisChain,
+}
+
+/// A warm-cache entry for a URL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Time since the entry was stored.
+    pub age: SimDuration,
+    /// Freshness lifetime granted when stored.
+    pub max_age: SimDuration,
+}
+
+impl CacheEntry {
+    /// Whether the entry can be used without revalidation.
+    pub fn fresh(&self) -> bool {
+        self.age < self.max_age
+    }
+}
+
+/// Full configuration of one page load.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// HTTP version used with every domain.
+    pub http: HttpVersion,
+    /// Server push + hint behaviour.
+    pub server: ServerModel,
+    /// Client scheduling policy.
+    pub fetch_policy: FetchPolicy,
+    /// CPU slowdown factor relative to the reference device (1.0 = Nexus-6).
+    pub cpu_factor: f64,
+    /// Network-bound lower bound: all URLs known at t = 0, no evaluation.
+    pub upfront_all: bool,
+    /// Skip all CPU work (used with `upfront_all` for the network bound).
+    pub disable_processing: bool,
+    /// CPU-bound lower bound: every fetch completes instantly.
+    pub zero_network: bool,
+    /// Warm HTTP cache.
+    pub warm_cache: HashMap<Url, CacheEntry>,
+    /// Cost of one scheduler stage transition on the client CPU — the
+    /// JavaScript `response_handler` of §5.2 runs on the single JS thread.
+    pub stage_transition_cost: SimDuration,
+    /// HTTP/2 servers return complete responses in request order — the
+    /// paper's Mahimahi modification (§5.1) that Vroom relies on to deliver
+    /// resources in processing order. Stock HTTP/2 multiplexes instead
+    /// (`false`). HTTP/1.1 is inherently ordered per connection.
+    pub ordered_responses: bool,
+    /// Polaris-style fine-grained dependency tracking: false parser/script
+    /// ordering constraints are lifted (scripts do not stall document
+    /// parsing). Implied by [`FetchPolicy::PolarisChain`]; settable
+    /// independently to build the Vroom+Polaris hybrid the paper's §6.1
+    /// sketches as future work.
+    pub fine_grained_dependencies: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            http: HttpVersion::H2,
+            server: ServerModel::default(),
+            fetch_policy: FetchPolicy::OnDiscovery,
+            cpu_factor: 1.0,
+            upfront_all: false,
+            disable_processing: false,
+            zero_network: false,
+            warm_cache: HashMap::new(),
+            stage_transition_cost: SimDuration::from_millis(5),
+            ordered_responses: false,
+            fine_grained_dependencies: false,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// Plain HTTP/1.1 load — the paper's "loads from web" status quo.
+    pub fn http1_baseline() -> Self {
+        LoadConfig {
+            http: HttpVersion::h1(),
+            ..Default::default()
+        }
+    }
+
+    /// Plain HTTP/2 load, no push, no hints.
+    pub fn http2_baseline() -> Self {
+        LoadConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_freshness() {
+        let fresh = CacheEntry {
+            age: SimDuration::from_secs(10),
+            max_age: SimDuration::from_secs(60),
+        };
+        let stale = CacheEntry {
+            age: SimDuration::from_secs(61),
+            max_age: SimDuration::from_secs(60),
+        };
+        assert!(fresh.fresh());
+        assert!(!stale.fresh());
+    }
+
+    #[test]
+    fn default_config_is_h2_on_discovery() {
+        let c = LoadConfig::default();
+        assert_eq!(c.http, HttpVersion::H2);
+        assert_eq!(c.fetch_policy, FetchPolicy::OnDiscovery);
+        assert!(!c.zero_network && !c.upfront_all);
+    }
+}

@@ -1,0 +1,1340 @@
+//! The discrete-event mobile-browser engine.
+//!
+//! Substitutes for Chrome-on-a-Nexus-6 in the paper's testbed. The model
+//! keeps exactly the couplings the paper's analysis rests on:
+//!
+//! * a **single processing thread** — parsing and JS execution serialize
+//!   (§2: extra cores don't help);
+//! * **incremental discovery** — a resource's URL becomes known only when
+//!   its parent has been fetched and processed far enough, unless a hint or
+//!   push promise reveals it earlier;
+//! * **parser blocking** — synchronous scripts halt HTML parsing until they
+//!   are fetched and executed, and scripts wait on earlier stylesheets;
+//! * **a shared access link** — all responses contend for the one cellular
+//!   downlink (fluid fair share), and each server returns complete responses
+//!   in request order per connection (the paper's modified Mahimahi, §5.1);
+//! * **connection realism** — DNS/TCP/TLS setup per domain,
+//!   six-connections-per-domain HTTP/1.1 vs one multiplexed HTTP/2
+//!   connection, HTTP/2 server push.
+
+use crate::config::{FetchPolicy, Hint, HttpVersion, LoadConfig};
+use crate::metrics::{LoadResult, ResourceTiming};
+use std::collections::{HashMap, VecDeque};
+use vroom_html::{ExecMode, ResourceKind, Url};
+use vroom_net::link::{SharedLink, TransferId};
+use vroom_net::profiles::NetworkProfile;
+use vroom_pages::{Page, ResourceId};
+use vroom_sim::{EventQueue, SimDuration, SimTime};
+
+/// What a fetch is for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Target {
+    /// A real page resource.
+    Real(ResourceId),
+    /// A false-positive hint/push: bytes downloaded and discarded.
+    Waste { url: Url, size: u64 },
+}
+
+impl Target {
+    fn size(&self, page: &Page) -> u64 {
+        match self {
+            Target::Real(id) => page.resources[*id].size,
+            Target::Waste { size, .. } => *size,
+        }
+    }
+}
+
+/// Simulation events.
+#[derive(Debug)]
+enum Ev {
+    /// A connection to a domain finished its handshake.
+    ConnReady { domain: String, conn: usize },
+    /// A request reached the server.
+    ServerArrival { domain: String, conn: usize, target: Target },
+    /// The shared link predicts its next transfer completion here.
+    LinkTick,
+    /// Response headers reached the client (hints become visible).
+    HeadersArrive { target: Target },
+    /// A response's last byte reached the client.
+    ResponseDelivered { target: Target },
+    /// The CPU finished its current task.
+    CpuDone,
+    /// The parser reached the document position of a child resource.
+    Discover { id: ResourceId },
+    /// The Vroom scheduler's response handler opens the next fetch stage.
+    StageOpen { tier: u8 },
+    /// A connection finished its slow-start tail and can carry the next
+    /// response.
+    ConnFree { domain: String, conn: usize },
+    /// An image/font/media resource finished decoding (off the main
+    /// thread — raster/compositor work does not contend with JS).
+    DecodeDone { id: ResourceId },
+}
+
+/// CPU task classes, lower = more urgent.
+const CLASS_PARSER: u8 = 0;
+const CLASS_CSS: u8 = 1;
+const CLASS_DEFER: u8 = 3;
+const CLASS_ASYNC: u8 = 4;
+const CLASS_DECODE: u8 = 5;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Task {
+    /// Run one segment of an HTML parse.
+    HtmlSegment { html: ResourceId },
+    /// Execute a script (sync scripts resume their parser afterwards).
+    ExecJs { id: ResourceId, resumes: Option<ResourceId> },
+    /// Parse a stylesheet.
+    ParseCss { id: ResourceId },
+    /// Decode/handle a leaf resource (image, font, xhr payload).
+    Decode { id: ResourceId },
+}
+
+/// Per-HTML incremental parse state.
+#[derive(Debug)]
+struct HtmlParse {
+    /// Ordered plan: alternating parse spans and script waits.
+    plan: Vec<Segment>,
+    next: usize,
+    /// Set when the parser is stalled on a sync script's prerequisites.
+    blocked: bool,
+    done: bool,
+}
+
+#[derive(Debug)]
+enum Segment {
+    /// Parse for `duration`, revealing `discoveries` at given fractions of
+    /// the segment.
+    Parse {
+        duration: SimDuration,
+        discoveries: Vec<(ResourceId, f64)>,
+    },
+    /// Wait for a sync script (and its blocking stylesheets), then run it.
+    AwaitScript { js: ResourceId, css_deps: Vec<ResourceId> },
+}
+
+#[derive(Debug, Default, Clone)]
+struct RState {
+    discovered: Option<SimTime>,
+    requested: Option<SimTime>,
+    fetched: Option<SimTime>,
+    processed: Option<SimTime>,
+    from_cache: bool,
+    pushed: bool,
+    in_flight: bool,
+}
+
+/// TCP initial congestion window (10 MSS, RFC 6928).
+const INITIAL_CWND: f64 = 14_600.0;
+
+struct Conn {
+    ready: bool,
+    /// HTTP/1.1: the one response this connection is carrying.
+    busy: bool,
+    /// Server-side FIFO of responses awaiting/using the link.
+    response_queue: VecDeque<Target>,
+    /// Whether the head of the queue is on the link.
+    sending: bool,
+    /// Slow-start state: bytes deliverable in one round trip. Doubles as the
+    /// connection warms; fresh connections pay extra round trips on large
+    /// responses — the classic HTTP/1.1 tax that HTTP/2's single long-lived
+    /// connection amortizes away.
+    cwnd: f64,
+}
+
+impl Conn {
+    fn new() -> Conn {
+        Conn {
+            ready: false,
+            busy: false,
+            response_queue: VecDeque::new(),
+            sending: false,
+            cwnd: INITIAL_CWND,
+        }
+    }
+
+    /// Extra delivery delay for a response of `size` bytes, and warm the
+    /// window. Each doubling of the window costs one round trip.
+    fn slow_start_penalty(&mut self, size: u64, rtt: vroom_sim::SimDuration) -> vroom_sim::SimDuration {
+        let mut rounds = 0u32;
+        while self.cwnd < size as f64 && rounds < 16 {
+            self.cwnd *= 2.0;
+            rounds += 1;
+        }
+        // Window also grows from simply carrying traffic.
+        self.cwnd = (self.cwnd + size as f64 / 2.0).min(4_000_000.0);
+        rtt * rounds as u64
+    }
+}
+
+struct DomainState {
+    conns: Vec<Conn>,
+    /// Requests waiting for a connection (H1) or for handshake (H2).
+    pending: VecDeque<Target>,
+    dns_started: bool,
+}
+
+struct Cpu {
+    running: Option<(Task, SimTime)>,
+    ready: VecDeque<(u8, u64, Task)>, // (class, seq, task) kept sorted
+    seq: u64,
+}
+
+impl Cpu {
+    fn push(&mut self, class: u8, task: Task) {
+        self.seq += 1;
+        let entry = (class, self.seq, task);
+        let pos = self
+            .ready
+            .iter()
+            .position(|(c, s, _)| (*c, *s) > (entry.0, entry.1))
+            .unwrap_or(self.ready.len());
+        self.ready.insert(pos, entry);
+    }
+}
+
+/// The engine: loads one page under one configuration.
+pub struct BrowserEngine;
+
+impl BrowserEngine {
+    /// Simulate the load and return its metrics.
+    pub fn load(page: &Page, profile: &NetworkProfile, cfg: &LoadConfig) -> LoadResult {
+        Sim::new(page, profile, cfg).run()
+    }
+}
+
+struct Sim<'a> {
+    page: &'a Page,
+    cfg: &'a LoadConfig,
+    profile: &'a NetworkProfile,
+    now: SimTime,
+    queue: EventQueue<Ev>,
+    link: SharedLink,
+    link_tick_at: Option<SimTime>,
+    url_index: HashMap<Url, ResourceId>,
+    rstate: Vec<RState>,
+    domains: HashMap<String, DomainState>,
+    transfers: HashMap<TransferId, (String, usize, Option<Target>, SimDuration)>,
+    cpu: Cpu,
+    html: HashMap<ResourceId, HtmlParse>,
+    /// Hinted URLs by tier, in arrival order, not yet requested.
+    staged: [VecDeque<Target>; 3],
+    /// Tier-0 (and later tier-1) targets whose completion gates the next
+    /// stage kick.
+    stage_outstanding: Vec<Url>,
+    current_stage: u8,
+    stage_kick_queued: bool,
+    /// Accounting.
+    last_event: SimTime,
+    network_pending: usize,
+    cpu_busy: SimDuration,
+    network_wait: SimDuration,
+    useful_bytes: u64,
+    wasted_bytes: u64,
+    cache_hits: usize,
+    paints: Vec<(SimTime, f64)>,
+    finished: bool,
+    plt: SimTime,
+    discovery_all: SimTime,
+    discovery_high: SimTime,
+    fetch_all: SimTime,
+    fetch_high: SimTime,
+}
+
+impl<'a> Sim<'a> {
+    fn new(page: &'a Page, profile: &'a NetworkProfile, cfg: &'a LoadConfig) -> Self {
+        let url_index = page
+            .resources
+            .iter()
+            .map(|r| (r.url.clone(), r.id))
+            .collect();
+        Sim {
+            page,
+            cfg,
+            profile,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            link: SharedLink::new(profile.downlink_bps),
+            link_tick_at: None,
+            url_index,
+            rstate: vec![RState::default(); page.len()],
+            domains: HashMap::new(),
+            transfers: HashMap::new(),
+            cpu: Cpu {
+                running: None,
+                ready: VecDeque::new(),
+                seq: 0,
+            },
+            html: HashMap::new(),
+            staged: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            stage_outstanding: Vec::new(),
+            current_stage: 0,
+            stage_kick_queued: false,
+            last_event: SimTime::ZERO,
+            network_pending: 0,
+            cpu_busy: SimDuration::ZERO,
+            network_wait: SimDuration::ZERO,
+            useful_bytes: 0,
+            wasted_bytes: 0,
+            cache_hits: 0,
+            paints: Vec::new(),
+            finished: false,
+            plt: SimTime::ZERO,
+            discovery_all: SimTime::ZERO,
+            discovery_high: SimTime::ZERO,
+            fetch_all: SimTime::ZERO,
+            fetch_high: SimTime::ZERO,
+        }
+    }
+
+    fn run(mut self) -> LoadResult {
+        // Kick off: root (and, for the network-bound bound, everything).
+        if self.cfg.upfront_all {
+            for id in 0..self.page.len() {
+                self.discover(id);
+            }
+        } else {
+            self.discover(0);
+        }
+
+        let mut guard = 0u64;
+        while let Some((at, ev)) = self.queue.pop() {
+            guard += 1;
+            assert!(guard < 50_000_000, "runaway simulation");
+            debug_assert!(at >= self.now);
+            self.account_interval(at);
+            self.now = at;
+            self.handle(ev);
+            if self.finished {
+                break;
+            }
+        }
+        assert!(
+            self.finished,
+            "load stalled: queue drained before onload \
+             (fetched {}/{} processed {}/{})",
+            self.rstate.iter().filter(|r| r.fetched.is_some()).count(),
+            self.page.len(),
+            self.rstate.iter().filter(|r| r.processed.is_some()).count(),
+            self.page.len(),
+        );
+        self.result()
+    }
+
+    // ------------------------------------------------------------ accounting
+
+    fn account_interval(&mut self, upto: SimTime) {
+        let dt = upto.saturating_since(self.last_event);
+        if dt > SimDuration::ZERO && !self.finished {
+            if self.cpu.running.is_some() {
+                self.cpu_busy += dt;
+            } else if self.network_pending > 0 {
+                self.network_wait += dt;
+            }
+        }
+        self.last_event = upto;
+    }
+
+    fn turl(&self, t: &Target) -> Url {
+        match t {
+            Target::Real(id) => self.page.resources[*id].url.clone(),
+            Target::Waste { url, .. } => url.clone(),
+        }
+    }
+
+    // ------------------------------------------------------------- discovery
+
+    fn discover(&mut self, id: ResourceId) {
+        if self.rstate[id].discovered.is_some() {
+            return;
+        }
+        self.rstate[id].discovered = Some(self.now);
+        self.discovery_all = self.discovery_all.max(self.now);
+        if self.page.resources[id].needs_processing() {
+            self.discovery_high = self.discovery_high.max(self.now);
+        }
+        // The browser itself fetches whatever the document demands the
+        // moment the parser/script encounters it — Vroom's JS scheduler can
+        // only stage its *hint-driven prefetches* (§5.2: hinted URLs are
+        // requested via injected preload tags; document-initiated requests
+        // proceed normally and are answered from the preload cache when the
+        // prefetch already completed).
+        self.request(Target::Real(id));
+    }
+
+    /// A `Discover` event for a URL the client already learned via hints:
+    /// the document now *demands* it, overriding any staging.
+    fn parser_demands(&mut self, id: ResourceId) {
+        if self.rstate[id].requested.is_none() && self.rstate[id].fetched.is_none() {
+            self.request(Target::Real(id));
+        }
+    }
+
+    /// Handle a hint list arriving with an HTML response.
+    fn on_hints(&mut self, hints: &[Hint]) {
+        for h in hints.iter() {
+            let target = match self.url_index.get(&h.url) {
+                Some(&id) => {
+                    if self.rstate[id].discovered.is_none() {
+                        self.rstate[id].discovered = Some(self.now);
+                        self.discovery_all = self.discovery_all.max(self.now);
+                        if self.page.resources[id].needs_processing() {
+                            self.discovery_high = self.discovery_high.max(self.now);
+                        }
+                    }
+                    if self.rstate[id].requested.is_some() || self.rstate[id].fetched.is_some() {
+                        continue;
+                    }
+                    Target::Real(id)
+                }
+                None => Target::Waste {
+                    url: h.url.clone(),
+                    size: h.size_hint,
+                },
+            };
+            match self.cfg.fetch_policy {
+                FetchPolicy::OnDiscovery | FetchPolicy::PolarisChain => {
+                    self.request(target);
+                }
+                FetchPolicy::VroomStaged => {
+                    let tier = h.tier.min(2);
+                    if tier <= self.current_stage {
+                        // This tier is already open: fetch immediately.
+                        if tier == self.current_stage {
+                            self.stage_outstanding.push(self.turl(&target));
+                        }
+                        self.request(target);
+                    } else {
+                        self.staged[tier as usize].push_back(target);
+                    }
+                }
+            }
+        }
+        if self.cfg.fetch_policy == FetchPolicy::VroomStaged {
+            self.maybe_kick_stage();
+        }
+    }
+
+    fn maybe_kick_stage(&mut self) {
+        if self.stage_kick_queued || self.current_stage >= 2 {
+            return;
+        }
+        // The current stage drains when every hinted target in it finished.
+        let drained = self
+            .stage_outstanding
+            .iter()
+            .all(|url| self.url_fetched(url));
+        if !drained {
+            return;
+        }
+        let next = (self.current_stage + 1).min(2);
+        self.stage_kick_queued = true;
+        // The scheduler's response handler (§5.2) is a JS macrotask: it
+        // fires once the currently executing task yields — it cannot
+        // preempt a running script, which is exactly the delay the paper
+        // calls out — plus a small handler cost.
+        let fire_at = match &self.cpu.running {
+            Some((_, end)) => *end,
+            None => self.now,
+        } + self.cfg.stage_transition_cost;
+        self.queue.schedule(fire_at, Ev::StageOpen { tier: next });
+    }
+
+    fn url_fetched(&self, url: &Url) -> bool {
+        match self.url_index.get(url) {
+            Some(&id) => self.rstate[id].fetched.is_some(),
+            // Waste fetches: fetched when no longer in flight. We track them
+            // by absence: a waste target is outstanding only while a
+            // transfer carries it; simplest is to consider it fetched when
+            // it is no longer pending anywhere.
+            None => !self.waste_in_flight(url),
+        }
+    }
+
+    fn waste_in_flight(&self, url: &Url) -> bool {
+        let queued = self.domains.values().any(|d| {
+            d.pending
+                .iter()
+                .chain(d.conns.iter().flat_map(|c| c.response_queue.iter()))
+                .any(|t| matches!(t, Target::Waste { url: u, .. } if u == url))
+        });
+        queued
+            || self.transfers.values().any(
+                |(_, _, t, _)| matches!(t, Some(Target::Waste { url: u, .. }) if u == url),
+            )
+    }
+
+    // -------------------------------------------------------------- fetching
+
+    fn request(&mut self, target: Target) {
+        if let Target::Real(id) = target {
+            let st = &mut self.rstate[id];
+            if st.requested.is_some() || st.fetched.is_some() {
+                return;
+            }
+            // Cache?
+            let r = &self.page.resources[id];
+            if let Some(entry) = self.cfg.warm_cache.get(&r.url) {
+                if entry.fresh() {
+                    st.from_cache = true;
+                    st.requested = None;
+                    self.cache_hits += 1;
+                    self.finish_fetch(Target::Real(id));
+                    return;
+                }
+            }
+            st.requested = Some(self.now);
+            if self.cfg.zero_network {
+                self.finish_fetch(Target::Real(id));
+                return;
+            }
+        } else if self.cfg.zero_network {
+            return; // nothing to waste when the network is free
+        }
+
+        let url = self.turl(&target);
+        let domain = url.host.clone();
+        let h1_limit = match self.cfg.http {
+            HttpVersion::H1 { conns_per_domain } => Some(conns_per_domain),
+            HttpVersion::H2 => None,
+        };
+        let setup = self
+            .profile
+            .latency
+            .connection_setup(&domain, self.domains.get(&domain).map(|d| d.dns_started).unwrap_or(false));
+        let ds = self.domains.entry(domain.clone()).or_insert_with(|| DomainState {
+            conns: Vec::new(),
+            pending: VecDeque::new(),
+            dns_started: false,
+        });
+        ds.dns_started = true;
+        self.network_pending += 1;
+
+        match h1_limit {
+            None => {
+                // HTTP/2: one connection per domain.
+                if ds.conns.is_empty() {
+                    ds.conns.push(Conn::new());
+                    ds.pending.push_back(target);
+                    self.queue.schedule(
+                        self.now + setup,
+                        Ev::ConnReady {
+                            domain,
+                            conn: 0,
+                        },
+                    );
+                } else if !ds.conns[0].ready {
+                    ds.pending.push_back(target);
+                } else {
+                    let ow = self.profile.latency.one_way(&domain);
+                    self.queue.schedule(
+                        self.now + ow,
+                        Ev::ServerArrival {
+                            domain,
+                            conn: 0,
+                            target,
+                        },
+                    );
+                }
+            }
+            Some(limit) => {
+                ds.pending.push_back(target);
+                // Open another connection if all are busy/unready and we
+                // have headroom.
+                let free = ds.conns.iter().any(|c| c.ready && !c.busy);
+                if !free && ds.conns.len() < limit {
+                    ds.conns.push(Conn::new());
+                    let conn = ds.conns.len() - 1;
+                    self.queue
+                        .schedule(self.now + setup, Ev::ConnReady { domain, conn });
+                } else if free {
+                    self.h1_dispatch(&domain);
+                }
+            }
+        }
+    }
+
+    /// H1: move pending requests onto free connections, best-first.
+    fn h1_dispatch(&mut self, domain: &str) {
+        loop {
+            let Some(ds) = self.domains.get_mut(domain) else { return };
+            let Some(conn_idx) = ds.conns.iter().position(|c| c.ready && !c.busy) else {
+                return;
+            };
+            if ds.pending.is_empty() {
+                return;
+            }
+            // Polaris: longest dependency chain first.
+            let pick = if self.cfg.fetch_policy == FetchPolicy::PolarisChain {
+                let page = self.page;
+                (0..ds.pending.len())
+                    .max_by_key(|&i| match &ds.pending[i] {
+                        Target::Real(id) => page.chain_length(*id) + 1,
+                        Target::Waste { .. } => 0,
+                    })
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            let target = ds.pending.remove(pick).expect("non-empty");
+            ds.conns[conn_idx].busy = true;
+            let ow = self.profile.latency.one_way(domain);
+            self.queue.schedule(
+                self.now + ow,
+                Ev::ServerArrival {
+                    domain: domain.to_string(),
+                    conn: conn_idx,
+                    target,
+                },
+            );
+        }
+    }
+
+    fn finish_fetch(&mut self, target: Target) {
+        let Target::Real(id) = target else { return };
+        let st = &mut self.rstate[id];
+        if st.fetched.is_some() {
+            return;
+        }
+        st.fetched = Some(self.now);
+        self.fetch_all = self.fetch_all.max(self.now);
+        let r = &self.page.resources[id];
+        if r.needs_processing() {
+            self.fetch_high = self.fetch_high.max(self.now);
+        }
+        if !st.from_cache {
+            self.useful_bytes += r.size;
+        }
+
+        if self.cfg.disable_processing {
+            self.rstate[id].processed = Some(self.now);
+            if !self.cfg.upfront_all {
+                // Children become discoverable without CPU work.
+                let children: Vec<ResourceId> =
+                    self.page.children(id).map(|c| c.id).collect();
+                for c in children {
+                    self.discover(c);
+                }
+            }
+            self.check_done();
+            return;
+        }
+
+        // Queue the right CPU work.
+        match r.kind {
+            ResourceKind::Html => {
+                self.build_parse_plan(id);
+                self.maybe_start_parser(id);
+            }
+            ResourceKind::Js => match r.exec {
+                ExecMode::Sync => {
+                    // Markup scripts belong to their document's parser: they
+                    // execute exactly once, when the parser reaches their
+                    // position (except under Polaris, whose fine-grained
+                    // dependency tracking decouples them). Dynamically
+                    // loaded scripts (parent is a script) run when fetched.
+                    let parser_owned = self.cfg.fetch_policy != FetchPolicy::PolarisChain
+                        && !self.cfg.fine_grained_dependencies
+                        && r.via_markup
+                        && r.parent
+                            .map(|p| self.page.resources[p].kind == ResourceKind::Html)
+                            .unwrap_or(false);
+                    if parser_owned {
+                        if let Some(html) = self.blocking_parser_of(id) {
+                            self.try_unblock_parser(html);
+                        }
+                        // else: the parser will pick it up at its position.
+                    } else {
+                        self.cpu.push(CLASS_ASYNC, Task::ExecJs { id, resumes: None });
+                    }
+                }
+                ExecMode::Async => {
+                    self.cpu.push(CLASS_ASYNC, Task::ExecJs { id, resumes: None })
+                }
+                ExecMode::Defer => {
+                    self.cpu.push(CLASS_DEFER, Task::ExecJs { id, resumes: None })
+                }
+            },
+            ResourceKind::Css => {
+                self.cpu.push(CLASS_CSS, Task::ParseCss { id });
+            }
+            ResourceKind::Image | ResourceKind::Font | ResourceKind::Media => {
+                // Decoding and rasterization happen off the main thread in
+                // modern browsers; only the (cheap) decode latency applies.
+                let dt = r.cpu_cost.mul_f64(self.cfg.cpu_factor);
+                self.queue.schedule(self.now + dt, Ev::DecodeDone { id });
+            }
+            _ => {
+                // XHR payloads and miscellaneous fetches are handled by JS
+                // on the main thread.
+                self.cpu.push(CLASS_DECODE, Task::Decode { id });
+            }
+        }
+        self.try_run_cpu();
+        if self.cfg.fetch_policy == FetchPolicy::VroomStaged {
+            self.maybe_kick_stage();
+        }
+        self.check_done();
+    }
+
+    // ------------------------------------------------------------- HTML parse
+
+    fn build_parse_plan(&mut self, html_id: ResourceId) {
+        let r = &self.page.resources[html_id];
+        let mut children: Vec<&vroom_pages::Resource> = self.page.children(html_id).collect();
+        children.sort_by(|a, b| {
+            a.discovery_frac
+                .partial_cmp(&b.discovery_frac)
+                .unwrap()
+                .then(a.id.cmp(&b.id))
+        });
+        let total = r.cpu_cost.mul_f64(self.cfg.cpu_factor);
+        let mut plan = Vec::new();
+        let mut span_discoveries: Vec<(ResourceId, f64)> = Vec::new();
+        let mut span_start = 0.0f64;
+        let mut css_seen: Vec<ResourceId> = Vec::new();
+        // Polaris's fine-grained dependency tracking removes false
+        // parser/script ordering constraints: the client keeps discovering
+        // the rest of the document while scripts are in flight.
+        let parser_blocking_scripts = self.cfg.fetch_policy != FetchPolicy::PolarisChain
+            && !self.cfg.fine_grained_dependencies;
+        for c in &children {
+            let is_blocking_script = parser_blocking_scripts
+                && c.kind == ResourceKind::Js
+                && c.exec == ExecMode::Sync
+                && c.via_markup;
+            if is_blocking_script {
+                // Close the current parse span at the script's position.
+                let frac = c.discovery_frac.max(span_start);
+                let duration = total.mul_f64(frac - span_start);
+                let discoveries = std::mem::take(&mut span_discoveries)
+                    .into_iter()
+                    .map(|(id, f)| {
+                        (
+                            id,
+                            if frac > span_start {
+                                ((f - span_start) / (frac - span_start)).clamp(0.0, 1.0)
+                            } else {
+                                1.0
+                            },
+                        )
+                    })
+                    .collect();
+                plan.push(Segment::Parse {
+                    duration,
+                    discoveries,
+                });
+                plan.push(Segment::AwaitScript {
+                    js: c.id,
+                    css_deps: css_seen.clone(),
+                });
+                span_start = frac;
+            } else {
+                span_discoveries.push((c.id, c.discovery_frac));
+                if c.kind == ResourceKind::Css {
+                    css_seen.push(c.id);
+                }
+            }
+        }
+        let duration = total.mul_f64(1.0 - span_start);
+        let discoveries = span_discoveries
+            .into_iter()
+            .map(|(id, f)| {
+                (
+                    id,
+                    if span_start < 1.0 {
+                        ((f - span_start) / (1.0 - span_start)).clamp(0.0, 1.0)
+                    } else {
+                        1.0
+                    },
+                )
+            })
+            .collect();
+        plan.push(Segment::Parse {
+            duration,
+            discoveries,
+        });
+        self.html.insert(
+            html_id,
+            HtmlParse {
+                plan,
+                next: 0,
+                blocked: false,
+                done: false,
+            },
+        );
+    }
+
+    /// Iframe documents wait for the root document to finish parsing
+    /// (paper footnote 4).
+    fn maybe_start_parser(&mut self, html_id: ResourceId) {
+        if html_id != 0 {
+            let root_done = self.html.get(&0).map(|h| h.done).unwrap_or(false);
+            if !root_done {
+                return;
+            }
+        }
+        let class = if html_id == 0 { CLASS_PARSER } else { CLASS_DEFER };
+        self.cpu.push(class, Task::HtmlSegment { html: html_id });
+        self.try_run_cpu();
+    }
+
+    fn blocking_parser_of(&self, js: ResourceId) -> Option<ResourceId> {
+        for (&html_id, parse) in &self.html {
+            if parse.blocked {
+                if let Some(Segment::AwaitScript { js: j, .. }) = parse.plan.get(parse.next) {
+                    if *j == js {
+                        return Some(html_id);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// A stylesheet finished processing — it may unblock a waiting script.
+    fn on_css_processed(&mut self) {
+        let blocked: Vec<ResourceId> = self
+            .html
+            .iter()
+            .filter(|(_, p)| p.blocked)
+            .map(|(&id, _)| id)
+            .collect();
+        for html_id in blocked {
+            self.try_unblock_parser(html_id);
+        }
+    }
+
+    fn try_unblock_parser(&mut self, html_id: ResourceId) {
+        let Some(parse) = self.html.get(&html_id) else { return };
+        if !parse.blocked {
+            return;
+        }
+        let Some(Segment::AwaitScript { js, css_deps }) = parse.plan.get(parse.next) else {
+            return;
+        };
+        let js = *js;
+        let ready = self.rstate[js].fetched.is_some()
+            && css_deps.iter().all(|&c| self.rstate[c].processed.is_some());
+        if !ready {
+            return;
+        }
+        self.html.get_mut(&html_id).expect("exists").blocked = false;
+        self.cpu.push(
+            if html_id == 0 { CLASS_PARSER } else { CLASS_DEFER },
+            Task::ExecJs {
+                id: js,
+                resumes: Some(html_id),
+            },
+        );
+        self.try_run_cpu();
+    }
+
+    /// Advance an HTML parse after a segment or its blocking script is done.
+    fn continue_parse(&mut self, html_id: ResourceId) {
+        let Some(parse) = self.html.get_mut(&html_id) else { return };
+        parse.next += 1;
+        if parse.next >= parse.plan.len() {
+            parse.done = true;
+            self.rstate[html_id].processed = Some(self.now);
+            self.paint(html_id);
+            if html_id == 0 {
+                // Iframes and deferred work may start now.
+                let frames: Vec<ResourceId> = self
+                    .page
+                    .resources
+                    .iter()
+                    .filter(|r| {
+                        r.kind == ResourceKind::Html
+                            && r.id != 0
+                            && self.rstate[r.id].fetched.is_some()
+                            && self.html.contains_key(&r.id)
+                            && !self.html[&r.id].done
+                            && self.html[&r.id].next == 0
+                            && !self.html[&r.id].blocked
+                    })
+                    .map(|r| r.id)
+                    .collect();
+                for f in frames {
+                    self.cpu.push(CLASS_DEFER, Task::HtmlSegment { html: f });
+                }
+            }
+            self.check_done();
+            return;
+        }
+        match &parse.plan[parse.next] {
+            Segment::Parse { .. } => {
+                let class = if html_id == 0 { CLASS_PARSER } else { CLASS_DEFER };
+                self.cpu.push(class, Task::HtmlSegment { html: html_id });
+            }
+            Segment::AwaitScript { js, .. } => {
+                // The parser discovers the script tag at this position.
+                let js = *js;
+                self.html.get_mut(&html_id).expect("exists").blocked = true;
+                self.discover(js);
+                self.try_unblock_parser(html_id);
+            }
+        }
+        self.try_run_cpu();
+    }
+
+    // ------------------------------------------------------------------- CPU
+
+    fn try_run_cpu(&mut self) {
+        if self.cpu.running.is_some() {
+            return;
+        }
+        let Some((_, _, task)) = self.cpu.ready.pop_front() else {
+            return;
+        };
+        let duration = match &task {
+            Task::HtmlSegment { html } => {
+                let parse = &self.html[html];
+                match &parse.plan[parse.next] {
+                    Segment::Parse {
+                        duration,
+                        discoveries,
+                    } => {
+                        // Schedule discoveries at their positions.
+                        for (id, frac) in discoveries {
+                            let at = self.now + duration.mul_f64(*frac);
+                            self.queue.schedule(at, Ev::Discover { id: *id });
+                        }
+                        *duration
+                    }
+                    Segment::AwaitScript { .. } => {
+                        unreachable!("AwaitScript never enqueued as HtmlSegment")
+                    }
+                }
+            }
+            Task::ExecJs { id, .. } => self.page.resources[*id]
+                .cpu_cost
+                .mul_f64(self.cfg.cpu_factor),
+            Task::ParseCss { id } | Task::Decode { id } => self.page.resources[*id]
+                .cpu_cost
+                .mul_f64(self.cfg.cpu_factor),
+        };
+        let end = self.now + duration;
+        self.cpu.running = Some((task, end));
+        self.queue.schedule(end, Ev::CpuDone);
+    }
+
+    fn on_cpu_done(&mut self) {
+        let Some((task, end)) = self.cpu.running.take() else { return };
+        debug_assert_eq!(end, self.now);
+        match task {
+            Task::HtmlSegment { html } => {
+                self.continue_parse(html);
+            }
+            Task::ExecJs { id, resumes } => {
+                self.rstate[id].processed = Some(self.now);
+                // Children of scripts are discovered when execution finishes.
+                let children: Vec<ResourceId> = self.page.children(id).map(|c| c.id).collect();
+                for c in children {
+                    self.discover(c);
+                }
+                if let Some(html) = resumes {
+                    self.continue_parse(html);
+                }
+                self.check_done();
+            }
+            Task::ParseCss { id } => {
+                self.rstate[id].processed = Some(self.now);
+                let children: Vec<ResourceId> = self.page.children(id).map(|c| c.id).collect();
+                for c in children {
+                    self.discover(c);
+                }
+                self.paint(id);
+                self.on_css_processed();
+                self.check_done();
+            }
+            Task::Decode { id } => {
+                self.rstate[id].processed = Some(self.now);
+                let children: Vec<ResourceId> = self.page.children(id).map(|c| c.id).collect();
+                for c in children {
+                    self.discover(c);
+                }
+                self.paint(id);
+                self.check_done();
+            }
+        }
+        self.try_run_cpu();
+    }
+
+    fn on_stage_open(&mut self, tier: u8) {
+        if std::env::var("VROOM_DEBUG_STAGES").is_ok() {
+            eprintln!(
+                "STAGE {tier} opens at {} ({} targets)",
+                self.now,
+                self.staged[tier as usize].len()
+            );
+        }
+        self.stage_kick_queued = false;
+        self.current_stage = tier;
+        self.stage_outstanding.clear();
+        let batch: Vec<Target> = self.staged[tier as usize].drain(..).collect();
+        for t in &batch {
+            self.stage_outstanding.push(self.turl(t));
+        }
+        for t in batch {
+            self.request(t);
+        }
+        // If this tier was empty, advance again.
+        self.maybe_kick_stage();
+    }
+
+    // ------------------------------------------------------------- rendering
+
+    fn paint(&mut self, id: ResourceId) {
+        let r = &self.page.resources[id];
+        if r.above_fold && r.visual_weight > 0.0 {
+            self.paints.push((self.now, r.visual_weight));
+        } else if id == 0 {
+            self.paints.push((self.now, r.visual_weight.max(0.1)));
+        }
+    }
+
+    // -------------------------------------------------------------- done/link
+
+    fn check_done(&mut self) {
+        if self.finished {
+            return;
+        }
+        let all_done = self.rstate.iter().enumerate().all(|(id, st)| {
+            let fetched = st.fetched.is_some();
+            let processed = st.processed.is_some()
+                || self.cfg.disable_processing
+                || !self.page.resources[id].needs_processing_for_onload();
+            fetched && processed
+        });
+        if all_done {
+            self.finished = true;
+            self.plt = self.now;
+        }
+    }
+
+    fn reschedule_link_tick(&mut self) {
+        let next = self.link.next_completion(self.now);
+        match next {
+            Some(at) => {
+                if self.link_tick_at != Some(at) {
+                    self.link_tick_at = Some(at);
+                    self.queue.schedule(at, Ev::LinkTick);
+                }
+            }
+            None => self.link_tick_at = None,
+        }
+    }
+
+    fn start_next_response(&mut self, domain: &str, conn: usize) {
+        let Some(ds) = self.domains.get_mut(domain) else { return };
+        let c = &mut ds.conns[conn];
+        if c.sending {
+            return;
+        }
+        let Some(head) = c.response_queue.front() else { return };
+        let size = head.size(self.page);
+        c.sending = true;
+        let head = head.clone();
+        let rtt = self.profile.latency.rtt(domain);
+        let penalty = {
+            let c = &mut self.domains.get_mut(domain).expect("exists").conns[conn];
+            c.slow_start_penalty(size, rtt)
+        };
+        let (tid, completed) = self.link.start(self.now, size);
+        self.transfers
+            .insert(tid, (domain.to_string(), conn, None, penalty));
+        // Headers (and their hints) reach the client one propagation delay
+        // after the response starts.
+        let ow = self.profile.latency.one_way(domain);
+        self.queue
+            .schedule(self.now + ow, Ev::HeadersArrive { target: head });
+        self.on_link_completions(completed);
+        self.reschedule_link_tick();
+    }
+
+    /// Multiplexed (unordered) HTTP/2: each response is its own transfer,
+    /// all sharing the link concurrently — stock server behaviour, as
+    /// opposed to the ordered serving Vroom's modified replay server uses.
+    fn start_response_unordered(&mut self, domain: &str, conn: usize, target: Target) {
+        let size = target.size(self.page);
+        let rtt = self.profile.latency.rtt(domain);
+        let penalty = {
+            let c = &mut self.domains.get_mut(domain).expect("exists").conns[conn];
+            c.slow_start_penalty(size, rtt)
+        };
+        let (tid, completed) = self.link.start(self.now, size);
+        let ow = self.profile.latency.one_way(domain);
+        self.queue.schedule(
+            self.now + ow,
+            Ev::HeadersArrive {
+                target: target.clone(),
+            },
+        );
+        self.transfers
+            .insert(tid, (domain.to_string(), conn, Some(target), penalty));
+        self.on_link_completions(completed);
+        self.reschedule_link_tick();
+    }
+
+    fn on_link_completions(&mut self, completed: Vec<TransferId>) {
+        for tid in completed {
+            let Some((domain, conn, direct, penalty)) = self.transfers.remove(&tid) else {
+                continue;
+            };
+            let ow = self.profile.latency.one_way(&domain) + penalty;
+            if let Some(target) = direct {
+                // Unordered path: nothing queued on the connection.
+                self.queue
+                    .schedule(self.now + ow, Ev::ResponseDelivered { target });
+                continue;
+            }
+            let ds = self.domains.get_mut(&domain).expect("domain exists");
+            let c = &mut ds.conns[conn];
+            let target = c.response_queue.pop_front().expect("head existed");
+            self.queue
+                .schedule(self.now + ow, Ev::ResponseDelivered { target });
+            // The connection stays occupied through its slow-start tail:
+            // a cold connection genuinely cannot carry the next response
+            // until the extra round trips have elapsed.
+            self.queue.schedule(
+                self.now + penalty,
+                Ev::ConnFree {
+                    domain: domain.clone(),
+                    conn,
+                },
+            );
+        }
+    }
+
+    fn on_conn_free(&mut self, domain: String, conn: usize) {
+        let Some(ds) = self.domains.get_mut(&domain) else { return };
+        let c = &mut ds.conns[conn];
+        c.sending = false;
+        c.busy = false;
+        if matches!(self.cfg.http, HttpVersion::H1 { .. }) {
+            self.h1_dispatch(&domain);
+        } else {
+            self.start_next_response(&domain, conn);
+        }
+    }
+
+    // ----------------------------------------------------------------- events
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::ConnReady { domain, conn } => {
+                let Some(ds) = self.domains.get_mut(&domain) else { return };
+                ds.conns[conn].ready = true;
+                match self.cfg.http {
+                    HttpVersion::H2 => {
+                        let pending: Vec<Target> = ds.pending.drain(..).collect();
+                        let ow = self.profile.latency.one_way(&domain);
+                        for target in pending {
+                            self.queue.schedule(
+                                self.now + ow,
+                                Ev::ServerArrival {
+                                    domain: domain.clone(),
+                                    conn,
+                                    target,
+                                },
+                            );
+                        }
+                    }
+                    HttpVersion::H1 { .. } => {
+                        self.h1_dispatch(&domain);
+                    }
+                }
+            }
+            Ev::ServerArrival {
+                domain,
+                conn,
+                target,
+            } => {
+                // The server enqueues the response — and, for HTML under
+                // HTTP/2, pushes same-domain dependencies right behind it.
+                let mut to_push: Vec<Hint> = Vec::new();
+                if matches!(self.cfg.http, HttpVersion::H2) {
+                    if let Target::Real(id) = &target {
+                        let url = &self.page.resources[*id].url;
+                        if let Some(pushes) = self.cfg.server.pushes.get(url) {
+                            to_push = pushes.clone();
+                        }
+                    }
+                }
+                let ordered = self.cfg.ordered_responses
+                    || matches!(self.cfg.http, HttpVersion::H1 { .. });
+                if ordered {
+                    let ds = self.domains.get_mut(&domain).expect("domain exists");
+                    ds.conns[conn].response_queue.push_back(target);
+                } else {
+                    self.start_response_unordered(&domain, conn, target);
+                }
+                for p in to_push {
+                    debug_assert_eq!(p.url.host, domain, "push must be same-domain");
+                    let push_target = match self.url_index.get(&p.url) {
+                        Some(&id) => {
+                            let st = &mut self.rstate[id];
+                            if st.fetched.is_some() || st.in_flight || st.requested.is_some() {
+                                continue; // client already has/requested it
+                            }
+                            // Cached at client: servers skip these pushes.
+                            if self
+                                .cfg
+                                .warm_cache
+                                .get(&p.url)
+                                .map(|e| e.fresh())
+                                .unwrap_or(false)
+                            {
+                                continue;
+                            }
+                            st.in_flight = true;
+                            st.pushed = true;
+                            if st.discovered.is_none() {
+                                st.discovered = Some(self.now);
+                            }
+                            st.requested = Some(self.now);
+                            Target::Real(id)
+                        }
+                        None => Target::Waste {
+                            url: p.url.clone(),
+                            size: p.size_hint,
+                        },
+                    };
+                    self.network_pending += 1;
+                    let ordered = self.cfg.ordered_responses
+                        || matches!(self.cfg.http, HttpVersion::H1 { .. });
+                    if ordered {
+                        let ds = self.domains.get_mut(&domain).expect("domain exists");
+                        ds.conns[conn].response_queue.push_back(push_target);
+                    } else {
+                        self.start_response_unordered(&domain, conn, push_target);
+                    }
+                }
+                self.start_next_response(&domain, conn);
+            }
+            Ev::LinkTick => {
+                self.link_tick_at = None;
+                let completed = self.link.advance(self.now);
+                self.on_link_completions(completed);
+                self.reschedule_link_tick();
+            }
+            Ev::HeadersArrive { target } => {
+                if let Target::Real(id) = target {
+                    let url = self.page.resources[id].url.clone();
+                    if let Some(hints) = self.cfg.server.hints.get(&url) {
+                        let hints = hints.clone();
+                        self.on_hints(&hints);
+                    }
+                }
+            }
+            Ev::ResponseDelivered { target } => {
+                self.network_pending = self.network_pending.saturating_sub(1);
+                match target {
+                    Target::Real(id) => {
+                        self.rstate[id].in_flight = false;
+                        self.finish_fetch(Target::Real(id));
+                    }
+                    Target::Waste { size, .. } => {
+                        self.wasted_bytes += size;
+                        if self.cfg.fetch_policy == FetchPolicy::VroomStaged {
+                            self.maybe_kick_stage();
+                        }
+                    }
+                }
+            }
+            Ev::CpuDone => self.on_cpu_done(),
+            Ev::Discover { id } => {
+                if self.rstate[id].discovered.is_some() {
+                    self.parser_demands(id);
+                } else {
+                    self.discover(id);
+                }
+            }
+            Ev::StageOpen { tier } => self.on_stage_open(tier),
+            Ev::ConnFree { domain, conn } => self.on_conn_free(domain, conn),
+            Ev::DecodeDone { id } => {
+                self.rstate[id].processed = Some(self.now);
+                let children: Vec<ResourceId> =
+                    self.page.children(id).map(|c| c.id).collect();
+                for c in children {
+                    self.discover(c);
+                }
+                self.paint(id);
+                self.check_done();
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- result
+
+    fn result(self) -> LoadResult {
+        let t0 = SimTime::ZERO;
+        let plt = self.plt - t0;
+        // Visual metrics from paint events.
+        let total_weight: f64 = self
+            .page
+            .resources
+            .iter()
+            .filter(|r| (r.above_fold && r.visual_weight > 0.0) || r.id == 0)
+            .map(|r| if r.id == 0 { r.visual_weight.max(0.1) } else { r.visual_weight })
+            .sum();
+        let mut paints = self.paints.clone();
+        paints.sort_by_key(|(t, _)| *t);
+        let aft = paints
+            .last()
+            .map(|(t, _)| *t - t0)
+            .unwrap_or(plt);
+        let mut si = 0.0;
+        let mut covered = 0.0;
+        let mut prev = SimTime::ZERO;
+        for (t, w) in &paints {
+            let c = if total_weight > 0.0 { covered / total_weight } else { 1.0 };
+            si += (1.0 - c) * (*t - prev).as_millis_f64();
+            covered += w;
+            prev = *t;
+        }
+        let resources = self
+            .rstate
+            .iter()
+            .map(|st| ResourceTiming {
+                discovered: st.discovered.unwrap_or(SimTime::ZERO),
+                requested: st.requested,
+                fetched: st.fetched.unwrap_or(self.plt),
+                processed: st.processed,
+                from_cache: st.from_cache,
+                pushed: st.pushed,
+            })
+            .collect();
+        LoadResult {
+            plt,
+            aft,
+            speed_index: si,
+            discovery_all: self.discovery_all - t0,
+            discovery_high: self.discovery_high - t0,
+            fetch_all: self.fetch_all - t0,
+            fetch_high: self.fetch_high - t0,
+            cpu_busy: self.cpu_busy,
+            network_wait: self.network_wait,
+            useful_bytes: self.useful_bytes,
+            wasted_bytes: self.wasted_bytes,
+            cache_hits: self.cache_hits,
+            resources,
+        }
+    }
+}
+
+
+
+/// Extension: whether onload waits for this resource to be processed.
+trait OnloadExt {
+    fn needs_processing_for_onload(&self) -> bool;
+}
+
+impl OnloadExt for vroom_pages::Resource {
+    fn needs_processing_for_onload(&self) -> bool {
+        // Everything that is processed at all gates onload in our model:
+        // decodes are cheap, parses/execs are not.
+        true
+    }
+}

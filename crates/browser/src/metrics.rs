@@ -1,0 +1,154 @@
+//! Load-result metrics: everything the paper's evaluation reports.
+
+use vroom_sim::{SimDuration, SimTime};
+
+/// Timing of one resource within a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceTiming {
+    /// When the client first knew the URL (parser, hint, or push promise).
+    pub discovered: SimTime,
+    /// When the request was issued (or the push began); `None` if served
+    /// from cache.
+    pub requested: Option<SimTime>,
+    /// When the last byte arrived (equals `discovered` for cache hits).
+    pub fetched: SimTime,
+    /// When parsing/execution finished (`None` if the resource needs no
+    /// processing or processing was disabled).
+    pub processed: Option<SimTime>,
+    /// Whether it was served from the warm cache.
+    pub from_cache: bool,
+    /// Whether it arrived via server push.
+    pub pushed: bool,
+}
+
+/// Result of one simulated page load.
+#[derive(Debug, Clone)]
+pub struct LoadResult {
+    /// Page load time: when the onload event fires.
+    pub plt: SimDuration,
+    /// Above-the-fold time: last above-the-fold paint.
+    pub aft: SimDuration,
+    /// Speed Index in milliseconds (integral of visual incompleteness).
+    pub speed_index: f64,
+    /// When the client had discovered every resource of the load.
+    pub discovery_all: SimDuration,
+    /// When the client had discovered every high-priority
+    /// (needs-processing) resource.
+    pub discovery_high: SimDuration,
+    /// When every resource had finished downloading.
+    pub fetch_all: SimDuration,
+    /// When every high-priority resource had finished downloading.
+    pub fetch_high: SimDuration,
+    /// Total time the CPU was busy before onload.
+    pub cpu_busy: SimDuration,
+    /// Time before onload with the CPU idle while network activity was
+    /// pending (in flight or awaiting a response) — the "waiting on
+    /// network" share of the load.
+    pub network_wait: SimDuration,
+    /// Bytes fetched that belonged to the page.
+    pub useful_bytes: u64,
+    /// Bytes fetched due to inaccurate hints/pushes (wasted).
+    pub wasted_bytes: u64,
+    /// Number of resources served from cache.
+    pub cache_hits: usize,
+    /// Per-resource timings, indexed like `Page::resources`.
+    pub resources: Vec<ResourceTiming>,
+}
+
+impl LoadResult {
+    /// Fraction of the load spent CPU-idle waiting on the network
+    /// (paper Fig. 4's critical-path metric).
+    pub fn network_wait_frac(&self) -> f64 {
+        if self.plt == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.network_wait.as_secs_f64() / self.plt.as_secs_f64()
+    }
+
+    /// CPU utilization before onload.
+    pub fn cpu_utilization(&self) -> f64 {
+        if self.plt == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.cpu_busy.as_secs_f64() / self.plt.as_secs_f64()
+    }
+}
+
+/// Simple descriptive statistics over a set of per-site values.
+#[derive(Debug, Clone, Copy)]
+pub struct Quartiles {
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+}
+
+/// Compute quartiles of a sample (interpolated).
+pub fn quartiles(values: &[f64]) -> Quartiles {
+    assert!(!values.is_empty(), "quartiles of empty sample");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Quartiles {
+        p25: percentile_sorted(&v, 0.25),
+        p50: percentile_sorted(&v, 0.50),
+        p75: percentile_sorted(&v, 0.75),
+    }
+}
+
+/// Interpolated percentile of a pre-sorted sample, `q` in `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_of_known_sample() {
+        let q = quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(q.p25, 2.0);
+        assert_eq!(q.p50, 3.0);
+        assert_eq!(q.p75, 4.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(percentile_sorted(&v, 0.5), 5.0);
+        assert_eq!(percentile_sorted(&v, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&v, 1.0), 10.0);
+        assert_eq!(percentile_sorted(&[7.0], 0.9), 7.0);
+    }
+
+    #[test]
+    fn fractions_guard_zero_plt() {
+        let r = LoadResult {
+            plt: SimDuration::ZERO,
+            aft: SimDuration::ZERO,
+            speed_index: 0.0,
+            discovery_all: SimDuration::ZERO,
+            discovery_high: SimDuration::ZERO,
+            fetch_all: SimDuration::ZERO,
+            fetch_high: SimDuration::ZERO,
+            cpu_busy: SimDuration::ZERO,
+            network_wait: SimDuration::ZERO,
+            useful_bytes: 0,
+            wasted_bytes: 0,
+            cache_hits: 0,
+            resources: vec![],
+        };
+        assert_eq!(r.network_wait_frac(), 0.0);
+        assert_eq!(r.cpu_utilization(), 0.0);
+    }
+}

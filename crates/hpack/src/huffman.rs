@@ -1,0 +1,512 @@
+//! Huffman coding for HPACK string literals (RFC 7541 §5.2, Appendix B).
+//!
+//! Encoding packs each symbol's canonical code MSB-first; the final partial
+//! octet is padded with the high bits of EOS (all ones). Decoding walks the
+//! bitstream against a flattened binary trie built once at startup.
+
+use crate::Error;
+
+/// `(code, bit_length)` for each of the 256 octets plus EOS (index 256),
+/// straight from RFC 7541 Appendix B.
+pub const CODES: [(u32, u8); 257] = [
+    (0x1ff8, 13),
+    (0x7fffd8, 23),
+    (0xfffffe2, 28),
+    (0xfffffe3, 28),
+    (0xfffffe4, 28),
+    (0xfffffe5, 28),
+    (0xfffffe6, 28),
+    (0xfffffe7, 28),
+    (0xfffffe8, 28),
+    (0xffffea, 24),
+    (0x3ffffffc, 30),
+    (0xfffffe9, 28),
+    (0xfffffea, 28),
+    (0x3ffffffd, 30),
+    (0xfffffeb, 28),
+    (0xfffffec, 28),
+    (0xfffffed, 28),
+    (0xfffffee, 28),
+    (0xfffffef, 28),
+    (0xffffff0, 28),
+    (0xffffff1, 28),
+    (0xffffff2, 28),
+    (0x3ffffffe, 30),
+    (0xffffff3, 28),
+    (0xffffff4, 28),
+    (0xffffff5, 28),
+    (0xffffff6, 28),
+    (0xffffff7, 28),
+    (0xffffff8, 28),
+    (0xffffff9, 28),
+    (0xffffffa, 28),
+    (0xffffffb, 28),
+    (0x14, 6),
+    (0x3f8, 10),
+    (0x3f9, 10),
+    (0xffa, 12),
+    (0x1ff9, 13),
+    (0x15, 6),
+    (0xf8, 8),
+    (0x7fa, 11),
+    (0x3fa, 10),
+    (0x3fb, 10),
+    (0xf9, 8),
+    (0x7fb, 11),
+    (0xfa, 8),
+    (0x16, 6),
+    (0x17, 6),
+    (0x18, 6),
+    (0x0, 5),
+    (0x1, 5),
+    (0x2, 5),
+    (0x19, 6),
+    (0x1a, 6),
+    (0x1b, 6),
+    (0x1c, 6),
+    (0x1d, 6),
+    (0x1e, 6),
+    (0x1f, 6),
+    (0x5c, 7),
+    (0xfb, 8),
+    (0x7ffc, 15),
+    (0x20, 6),
+    (0xffb, 12),
+    (0x3fc, 10),
+    (0x1ffa, 13),
+    (0x21, 6),
+    (0x5d, 7),
+    (0x5e, 7),
+    (0x5f, 7),
+    (0x60, 7),
+    (0x61, 7),
+    (0x62, 7),
+    (0x63, 7),
+    (0x64, 7),
+    (0x65, 7),
+    (0x66, 7),
+    (0x67, 7),
+    (0x68, 7),
+    (0x69, 7),
+    (0x6a, 7),
+    (0x6b, 7),
+    (0x6c, 7),
+    (0x6d, 7),
+    (0x6e, 7),
+    (0x6f, 7),
+    (0x70, 7),
+    (0x71, 7),
+    (0x72, 7),
+    (0xfc, 8),
+    (0x73, 7),
+    (0xfd, 8),
+    (0x1ffb, 13),
+    (0x7fff0, 19),
+    (0x1ffc, 13),
+    (0x3ffc, 14),
+    (0x22, 6),
+    (0x7ffd, 15),
+    (0x3, 5),
+    (0x23, 6),
+    (0x4, 5),
+    (0x24, 6),
+    (0x5, 5),
+    (0x25, 6),
+    (0x26, 6),
+    (0x27, 6),
+    (0x6, 5),
+    (0x74, 7),
+    (0x75, 7),
+    (0x28, 6),
+    (0x29, 6),
+    (0x2a, 6),
+    (0x7, 5),
+    (0x2b, 6),
+    (0x76, 7),
+    (0x2c, 6),
+    (0x8, 5),
+    (0x9, 5),
+    (0x2d, 6),
+    (0x77, 7),
+    (0x78, 7),
+    (0x79, 7),
+    (0x7a, 7),
+    (0x7b, 7),
+    (0x7ffe, 15),
+    (0x7fc, 11),
+    (0x3ffd, 14),
+    (0x1ffd, 13),
+    (0xffffffc, 28),
+    (0xfffe6, 20),
+    (0x3fffd2, 22),
+    (0xfffe7, 20),
+    (0xfffe8, 20),
+    (0x3fffd3, 22),
+    (0x3fffd4, 22),
+    (0x3fffd5, 22),
+    (0x7fffd9, 23),
+    (0x3fffd6, 22),
+    (0x7fffda, 23),
+    (0x7fffdb, 23),
+    (0x7fffdc, 23),
+    (0x7fffdd, 23),
+    (0x7fffde, 23),
+    (0xffffeb, 24),
+    (0x7fffdf, 23),
+    (0xffffec, 24),
+    (0xffffed, 24),
+    (0x3fffd7, 22),
+    (0x7fffe0, 23),
+    (0xffffee, 24),
+    (0x7fffe1, 23),
+    (0x7fffe2, 23),
+    (0x7fffe3, 23),
+    (0x7fffe4, 23),
+    (0x1fffdc, 21),
+    (0x3fffd8, 22),
+    (0x7fffe5, 23),
+    (0x3fffd9, 22),
+    (0x7fffe6, 23),
+    (0x7fffe7, 23),
+    (0xffffef, 24),
+    (0x3fffda, 22),
+    (0x1fffdd, 21),
+    (0xfffe9, 20),
+    (0x3fffdb, 22),
+    (0x3fffdc, 22),
+    (0x7fffe8, 23),
+    (0x7fffe9, 23),
+    (0x1fffde, 21),
+    (0x7fffea, 23),
+    (0x3fffdd, 22),
+    (0x3fffde, 22),
+    (0xfffff0, 24),
+    (0x1fffdf, 21),
+    (0x3fffdf, 22),
+    (0x7fffeb, 23),
+    (0x7fffec, 23),
+    (0x1fffe0, 21),
+    (0x1fffe1, 21),
+    (0x3fffe0, 22),
+    (0x1fffe2, 21),
+    (0x7fffed, 23),
+    (0x3fffe1, 22),
+    (0x7fffee, 23),
+    (0x7fffef, 23),
+    (0xfffea, 20),
+    (0x3fffe2, 22),
+    (0x3fffe3, 22),
+    (0x3fffe4, 22),
+    (0x7ffff0, 23),
+    (0x3fffe5, 22),
+    (0x3fffe6, 22),
+    (0x7ffff1, 23),
+    (0x3ffffe0, 26),
+    (0x3ffffe1, 26),
+    (0xfffeb, 20),
+    (0x7fff1, 19),
+    (0x3fffe7, 22),
+    (0x7ffff2, 23),
+    (0x3fffe8, 22),
+    (0x1ffffec, 25),
+    (0x3ffffe2, 26),
+    (0x3ffffe3, 26),
+    (0x3ffffe4, 26),
+    (0x7ffffde, 27),
+    (0x7ffffdf, 27),
+    (0x3ffffe5, 26),
+    (0xfffff1, 24),
+    (0x1ffffed, 25),
+    (0x7fff2, 19),
+    (0x1fffe3, 21),
+    (0x3ffffe6, 26),
+    (0x7ffffe0, 27),
+    (0x7ffffe1, 27),
+    (0x3ffffe7, 26),
+    (0x7ffffe2, 27),
+    (0xfffff2, 24),
+    (0x1fffe4, 21),
+    (0x1fffe5, 21),
+    (0x3ffffe8, 26),
+    (0x3ffffe9, 26),
+    (0xffffffd, 28),
+    (0x7ffffe3, 27),
+    (0x7ffffe4, 27),
+    (0x7ffffe5, 27),
+    (0xfffec, 20),
+    (0xfffff3, 24),
+    (0xfffed, 20),
+    (0x1fffe6, 21),
+    (0x3fffe9, 22),
+    (0x1fffe7, 21),
+    (0x1fffe8, 21),
+    (0x7ffff3, 23),
+    (0x3fffea, 22),
+    (0x3fffeb, 22),
+    (0x1ffffee, 25),
+    (0x1ffffef, 25),
+    (0xfffff4, 24),
+    (0xfffff5, 24),
+    (0x3ffffea, 26),
+    (0x7ffff4, 23),
+    (0x3ffffeb, 26),
+    (0x7ffffe6, 27),
+    (0x3ffffec, 26),
+    (0x3ffffed, 26),
+    (0x7ffffe7, 27),
+    (0x7ffffe8, 27),
+    (0x7ffffe9, 27),
+    (0x7ffffea, 27),
+    (0x7ffffeb, 27),
+    (0xffffffe, 28),
+    (0x7ffffec, 27),
+    (0x7ffffed, 27),
+    (0x7ffffee, 27),
+    (0x7ffffef, 27),
+    (0x7fffff0, 27),
+    (0x3ffffee, 26),
+    (0x3fffffff, 30),
+];
+
+/// Length in bytes of the Huffman encoding of `data`.
+pub fn encoded_len(data: &[u8]) -> usize {
+    let bits: u64 = data.iter().map(|&b| CODES[b as usize].1 as u64).sum();
+    bits.div_ceil(8) as usize
+}
+
+/// Huffman-encode `data`, appending to `out`.
+pub fn encode(data: &[u8], out: &mut Vec<u8>) {
+    let mut acc: u64 = 0; // bits pending, left-aligned within `nbits`
+    let mut nbits: u32 = 0;
+    for &b in data {
+        let (code, len) = CODES[b as usize];
+        acc = (acc << len) | code as u64;
+        nbits += len as u32;
+        while nbits >= 8 {
+            nbits -= 8;
+            out.push((acc >> nbits) as u8);
+        }
+    }
+    if nbits > 0 {
+        // Pad with the MSBs of EOS (all ones).
+        let pad = 8 - nbits;
+        out.push(((acc << pad) as u8) | ((1 << pad) - 1));
+    }
+}
+
+/// Node of the flattened decode trie: each node has two child slots.
+/// Values >= 0x8000 encode a decoded symbol; 0 marks an absent child
+/// (node 0 is the root and can never be a child).
+#[derive(Clone, Copy)]
+struct Node {
+    children: [u16; 2],
+}
+
+struct Trie {
+    nodes: Vec<Node>,
+}
+
+impl Trie {
+    fn build() -> Trie {
+        let mut nodes = vec![Node { children: [0, 0] }];
+        for (sym, &(code, len)) in CODES.iter().enumerate() {
+            let mut at = 0usize;
+            for i in (0..len).rev() {
+                let bit = ((code >> i) & 1) as usize;
+                if i == 0 {
+                    nodes[at].children[bit] = 0x8000 | sym as u16;
+                } else {
+                    let next = nodes[at].children[bit];
+                    if next == 0 {
+                        nodes.push(Node { children: [0, 0] });
+                        let idx = (nodes.len() - 1) as u16;
+                        nodes[at].children[bit] = idx;
+                        at = idx as usize;
+                    } else {
+                        assert!(next & 0x8000 == 0, "prefix violation in Huffman table");
+                        at = next as usize;
+                    }
+                }
+            }
+        }
+        Trie { nodes }
+    }
+}
+
+fn trie() -> &'static Trie {
+    use std::sync::OnceLock;
+    static TRIE: OnceLock<Trie> = OnceLock::new();
+    TRIE.get_or_init(Trie::build)
+}
+
+/// Decode a Huffman-coded string.
+///
+/// Errors on: a decoded EOS symbol (RFC 7541 §5.2 — connection error), or
+/// padding longer than 7 bits / not matching EOS prefix.
+pub fn decode(data: &[u8], out: &mut Vec<u8>) -> Result<(), Error> {
+    let trie = trie();
+    let mut at = 0u16;
+    let mut bits_since_symbol = 0u8; // for padding validation
+    let mut padding_ones = true;
+    for &byte in data {
+        for i in (0..8).rev() {
+            let bit = ((byte >> i) & 1) as usize;
+            if bit == 0 {
+                padding_ones = false;
+            }
+            let next = trie.nodes[at as usize].children[bit];
+            if next == 0 {
+                return Err(Error::HuffmanDecode);
+            }
+            if next & 0x8000 != 0 {
+                let sym = next & 0x7fff;
+                if sym == 256 {
+                    return Err(Error::HuffmanDecode); // explicit EOS
+                }
+                out.push(sym as u8);
+                at = 0;
+                bits_since_symbol = 0;
+                padding_ones = true;
+            } else {
+                at = next;
+                bits_since_symbol += 1;
+            }
+        }
+    }
+    if bits_since_symbol > 7 || !padding_ones {
+        return Err(Error::HuffmanDecode);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(s: &str) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode(s.as_bytes(), &mut out);
+        out
+    }
+
+    fn dec(bytes: &[u8]) -> Result<String, Error> {
+        let mut out = Vec::new();
+        decode(bytes, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    /// The code must be a complete, prefix-free code: Kraft sum exactly 1.
+    #[test]
+    fn table_is_complete_prefix_code() {
+        let sum: f64 = CODES.iter().map(|&(_, len)| 2f64.powi(-(len as i32))).sum();
+        assert!((sum - 1.0).abs() < 1e-12, "Kraft sum {sum}");
+        // Prefix-freeness: building the trie asserts no code is a prefix of
+        // another; force the build here.
+        let _ = trie();
+        // All codes fit in their stated lengths.
+        for (i, &(code, len)) in CODES.iter().enumerate() {
+            assert!(len >= 5 && len <= 30, "sym {i} has length {len}");
+            assert!(u64::from(code) < (1u64 << len), "sym {i} code too wide");
+        }
+    }
+
+    /// RFC 7541 §C.4.1.
+    #[test]
+    fn rfc_c41_www_example_com() {
+        assert_eq!(
+            enc("www.example.com"),
+            [0xf1, 0xe3, 0xc2, 0xe5, 0xf2, 0x3a, 0x6b, 0xa0, 0xab, 0x90, 0xf4, 0xff]
+        );
+    }
+
+    /// RFC 7541 §C.4.2.
+    #[test]
+    fn rfc_c42_no_cache() {
+        assert_eq!(enc("no-cache"), [0xa8, 0xeb, 0x10, 0x64, 0x9c, 0xbf]);
+    }
+
+    /// RFC 7541 §C.4.3.
+    #[test]
+    fn rfc_c43_custom_key_value() {
+        assert_eq!(
+            enc("custom-key"),
+            [0x25, 0xa8, 0x49, 0xe9, 0x5b, 0xa9, 0x7d, 0x7f]
+        );
+        assert_eq!(
+            enc("custom-value"),
+            [0x25, 0xa8, 0x49, 0xe9, 0x5b, 0xb8, 0xe8, 0xb4, 0xbf]
+        );
+    }
+
+    /// RFC 7541 §C.6.1: date and response header values.
+    #[test]
+    fn rfc_c61_response_strings() {
+        assert_eq!(enc("302"), [0x64, 0x02]);
+        assert_eq!(enc("private"), [0xae, 0xc3, 0x77, 0x1a, 0x4b]);
+        assert_eq!(
+            enc("Mon, 21 Oct 2013 20:13:21 GMT"),
+            [
+                0xd0, 0x7a, 0xbe, 0x94, 0x10, 0x54, 0xd4, 0x44, 0xa8, 0x20, 0x05, 0x95, 0x04,
+                0x0b, 0x81, 0x66, 0xe0, 0x82, 0xa6, 0x2d, 0x1b, 0xff
+            ]
+        );
+        assert_eq!(
+            enc("https://www.example.com"),
+            [
+                0x9d, 0x29, 0xad, 0x17, 0x18, 0x63, 0xc7, 0x8f, 0x0b, 0x97, 0xc8, 0xe9, 0xae,
+                0x82, 0xae, 0x43, 0xd3
+            ]
+        );
+    }
+
+    #[test]
+    fn roundtrip_ascii_and_binary() {
+        for s in [
+            "",
+            "a",
+            "hello world",
+            "Link: </x/y.js>; rel=preload; as=script",
+            "x-semi-important",
+        ] {
+            assert_eq!(dec(&enc(s)).unwrap(), s, "roundtrip {s:?}");
+        }
+        // All 256 octets.
+        let all: Vec<u8> = (0..=255u8).collect();
+        let mut out = Vec::new();
+        encode(&all, &mut out);
+        let mut back = Vec::new();
+        decode(&out, &mut back).unwrap();
+        assert_eq!(back, all);
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        for s in ["", "a", "www.example.com", "0123456789~~~"] {
+            assert_eq!(encoded_len(s.as_bytes()), enc(s).len(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_padding_rejected() {
+        // 'w' = 1111000 (7 bits); pad bit of 0 is invalid (must be ones).
+        let byte = 0b1111000_0u8;
+        assert!(dec(&[byte]).is_err());
+        // A full byte of padding (0xff after complete symbol) is > 7 bits...
+        // encode "0" (00000 + 111 pad) then append 0xff: 8 extra pad bits.
+        let mut bytes = enc("0");
+        bytes.push(0xff);
+        assert!(dec(&bytes).is_err());
+    }
+
+    #[test]
+    fn eos_in_stream_rejected() {
+        // EOS = 30 bits of ones followed by 2 more one bits to fill 4 bytes.
+        assert!(dec(&[0xff, 0xff, 0xff, 0xff]).is_err());
+    }
+
+    #[test]
+    fn valid_padding_accepted() {
+        // '0' encodes as 00000 + 3 one-bits pad = 0x07.
+        assert_eq!(dec(&[0x07]).unwrap(), "0");
+    }
+}

@@ -1,0 +1,140 @@
+//! HPACK prefix-coded integers (RFC 7541 §5.1).
+//!
+//! An integer is coded in the low `prefix` bits of the first octet; if it does
+//! not fit, the prefix is filled with ones and the remainder follows as a
+//! little-endian base-128 varint.
+
+use crate::Error;
+
+/// Maximum value we will decode, to bound memory on hostile input.
+/// RFC 7541 permits arbitrarily large integers; implementations cap them.
+pub const MAX_INT: u64 = (1 << 32) - 1;
+
+/// Encode `value` into `out` with the given `prefix` width (1..=8) and the
+/// given high bits `flags` for the first octet (e.g. the `0x80` indexed bit).
+///
+/// `flags` must not overlap the prefix bits.
+pub fn encode(value: u64, prefix: u8, flags: u8, out: &mut Vec<u8>) {
+    debug_assert!((1..=8).contains(&prefix));
+    let mask: u8 = if prefix == 8 { 0xff } else { (1 << prefix) - 1 };
+    debug_assert_eq!(flags & mask, 0, "flags overlap prefix");
+    if value < mask as u64 {
+        out.push(flags | value as u8);
+        return;
+    }
+    out.push(flags | mask);
+    let mut rest = value - mask as u64;
+    while rest >= 128 {
+        out.push((rest % 128) as u8 | 0x80);
+        rest /= 128;
+    }
+    out.push(rest as u8);
+}
+
+/// Decode an integer with the given `prefix` width from `buf`.
+/// Returns `(value, bytes_consumed)`.
+pub fn decode(buf: &[u8], prefix: u8) -> Result<(u64, usize), Error> {
+    debug_assert!((1..=8).contains(&prefix));
+    let mask: u8 = if prefix == 8 { 0xff } else { (1 << prefix) - 1 };
+    let first = *buf.first().ok_or(Error::Truncated)?;
+    let mut value = (first & mask) as u64;
+    if value < mask as u64 {
+        return Ok((value, 1));
+    }
+    let mut shift = 0u32;
+    for (i, &b) in buf[1..].iter().enumerate() {
+        let chunk = (b & 0x7f) as u64;
+        value = value
+            .checked_add(chunk.checked_shl(shift).ok_or(Error::IntegerOverflow)?)
+            .ok_or(Error::IntegerOverflow)?;
+        if value > MAX_INT {
+            return Err(Error::IntegerOverflow);
+        }
+        if b & 0x80 == 0 {
+            return Ok((value, i + 2));
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(Error::IntegerOverflow);
+        }
+    }
+    Err(Error::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 7541 §C.1.1: encoding 10 with a 5-bit prefix.
+    #[test]
+    fn rfc_c11_small_value() {
+        let mut out = Vec::new();
+        encode(10, 5, 0, &mut out);
+        assert_eq!(out, vec![0b01010]);
+        assert_eq!(decode(&out, 5).unwrap(), (10, 1));
+    }
+
+    /// RFC 7541 §C.1.2: encoding 1337 with a 5-bit prefix.
+    #[test]
+    fn rfc_c12_large_value() {
+        let mut out = Vec::new();
+        encode(1337, 5, 0, &mut out);
+        assert_eq!(out, vec![0b11111, 0b10011010, 0b00001010]);
+        assert_eq!(decode(&out, 5).unwrap(), (1337, 3));
+    }
+
+    /// RFC 7541 §C.1.3: encoding 42 starting at an octet boundary.
+    #[test]
+    fn rfc_c13_full_octet() {
+        let mut out = Vec::new();
+        encode(42, 8, 0, &mut out);
+        assert_eq!(out, vec![42]);
+        assert_eq!(decode(&out, 8).unwrap(), (42, 1));
+    }
+
+    #[test]
+    fn boundary_exactly_prefix_max() {
+        // value == 2^prefix - 1 must spill into a continuation byte of 0.
+        let mut out = Vec::new();
+        encode(31, 5, 0, &mut out);
+        assert_eq!(out, vec![31, 0]);
+        assert_eq!(decode(&out, 5).unwrap(), (31, 2));
+    }
+
+    #[test]
+    fn flags_preserved() {
+        let mut out = Vec::new();
+        encode(2, 6, 0x40, &mut out);
+        assert_eq!(out, vec![0x42]);
+    }
+
+    #[test]
+    fn truncated_input_is_error() {
+        assert_eq!(decode(&[], 5).unwrap_err(), Error::Truncated);
+        // Prefix saturated but continuation missing.
+        assert_eq!(decode(&[0b11111], 5).unwrap_err(), Error::Truncated);
+        // Continuation bit set on last available byte.
+        assert_eq!(decode(&[0b11111, 0x80], 5).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        // 2^32 encoded with endless continuation bytes.
+        let mut buf = vec![0b11111];
+        buf.extend_from_slice(&[0xff; 10]);
+        buf.push(0x7f);
+        assert_eq!(decode(&buf, 5).unwrap_err(), Error::IntegerOverflow);
+    }
+
+    #[test]
+    fn roundtrip_sweep() {
+        for prefix in 1..=8u8 {
+            for v in [0u64, 1, 2, 127, 128, 255, 256, 16383, 16384, 1 << 20] {
+                let mut out = Vec::new();
+                encode(v, prefix, 0, &mut out);
+                let (got, used) = decode(&out, prefix).unwrap();
+                assert_eq!((got, used), (v, out.len()), "prefix={prefix} v={v}");
+            }
+        }
+    }
+}

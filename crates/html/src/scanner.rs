@@ -1,0 +1,535 @@
+//! Resource discovery by scanning markup — the engine behind Vroom's
+//! *online HTML analysis* (paper §4.1.2): "when a VROOM-compliant web server
+//! responds to a request with an HTML object, it … includes all URLs seen in
+//! the HTML object by parsing it on the fly."
+//!
+//! The scanner extracts sub-resource references from tags (`script`, `link`,
+//! `img`, `iframe`, media elements), from inline CSS (`url(...)`,
+//! `@import`), and — heuristically — absolute URLs inside inline scripts.
+
+use crate::tokenizer::{attr, Token, Tokenizer};
+use crate::url::Url;
+use serde::{Deserialize, Serialize};
+
+/// Content classes a page-load cares about. The split drives Vroom's
+/// priorities: `Html`, `Css`, and `Js` must be *processed* (high priority),
+/// everything else is payload (low priority).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Top-level or iframe documents.
+    Html,
+    /// Stylesheets.
+    Css,
+    /// Scripts.
+    Js,
+    /// Raster/vector images.
+    Image,
+    /// Web fonts.
+    Font,
+    /// Audio/video.
+    Media,
+    /// Fetch/XHR payloads (JSON APIs etc.).
+    Xhr,
+    /// Anything else.
+    Other,
+}
+
+impl ResourceKind {
+    /// Whether the browser must parse/execute this resource — Vroom's
+    /// high-priority class (HTML, CSS, JS).
+    pub fn needs_processing(self) -> bool {
+        matches!(self, ResourceKind::Html | ResourceKind::Css | ResourceKind::Js)
+    }
+
+    /// Guess a kind from a URL's file extension.
+    pub fn from_extension(ext: &str) -> ResourceKind {
+        match ext {
+            "html" | "htm" | "php" | "asp" | "aspx" | "jsp" => ResourceKind::Html,
+            "css" => ResourceKind::Css,
+            "js" | "mjs" => ResourceKind::Js,
+            "png" | "jpg" | "jpeg" | "gif" | "webp" | "svg" | "ico" | "avif" | "bmp" => {
+                ResourceKind::Image
+            }
+            "woff" | "woff2" | "ttf" | "otf" | "eot" => ResourceKind::Font,
+            "mp4" | "webm" | "mp3" | "ogg" | "m3u8" | "ts" | "mov" => ResourceKind::Media,
+            "json" | "xml" => ResourceKind::Xhr,
+            _ => ResourceKind::Other,
+        }
+    }
+
+    /// Guess a kind from a URL (extension, else `Other`).
+    pub fn from_url(url: &Url) -> ResourceKind {
+        url.extension()
+            .map(|e| Self::from_extension(&e))
+            .unwrap_or(ResourceKind::Other)
+    }
+}
+
+/// How a reference was found in the document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiscoveryVia {
+    /// `<script src>`.
+    ScriptSrc,
+    /// `<link rel=stylesheet>`.
+    Stylesheet,
+    /// `<link rel=preload|prefetch>`.
+    LinkPreload,
+    /// `<img src>` / `srcset` / `<picture><source>`.
+    Img,
+    /// `<iframe src>` — an embedded document.
+    Iframe,
+    /// `<video>/<audio>/<source>/<track>`.
+    Media,
+    /// `url(...)` or `@import` inside CSS.
+    CssUrl,
+    /// Absolute URL spotted inside an inline script.
+    InlineScript,
+}
+
+/// Script execution mode, which decides Vroom's priority tier
+/// (sync scripts are `Link preload`; async/defer are `x-semi-important`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Blocks the parser.
+    Sync,
+    /// `async` — executes when ready.
+    Async,
+    /// `defer` — executes after parsing.
+    Defer,
+}
+
+/// One reference discovered in a document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Discovered {
+    /// Absolute URL after resolution against the document base.
+    pub url: Url,
+    /// Content class.
+    pub kind: ResourceKind,
+    /// Where in the markup it was found.
+    pub via: DiscoveryVia,
+    /// Execution mode (scripts only; `Sync` otherwise).
+    pub exec: ExecMode,
+}
+
+/// Scan an HTML document for sub-resource references.
+///
+/// Duplicate URLs are collapsed (first mention wins), matching how a browser
+/// only fetches each URL once.
+pub fn scan_html(base: &Url, html: &str) -> Vec<Discovered> {
+    let mut out: Vec<Discovered> = Vec::new();
+    let push = |d: Discovered, out: &mut Vec<Discovered>| {
+        if !out.iter().any(|e| e.url == d.url) {
+            out.push(d);
+        }
+    };
+
+    for token in Tokenizer::new(html) {
+        match token {
+            Token::StartTag { name, attrs, .. } => match name.as_str() {
+                "script" => {
+                    if let Some(src) = attr(&attrs, "src") {
+                        if let Some(url) = base.join(src) {
+                            let exec = if attr(&attrs, "async").is_some() {
+                                ExecMode::Async
+                            } else if attr(&attrs, "defer").is_some() {
+                                ExecMode::Defer
+                            } else {
+                                ExecMode::Sync
+                            };
+                            push(
+                                Discovered {
+                                    url,
+                                    kind: ResourceKind::Js,
+                                    via: DiscoveryVia::ScriptSrc,
+                                    exec,
+                                },
+                                &mut out,
+                            );
+                        }
+                    }
+                }
+                "link" => {
+                    let rel = attr(&attrs, "rel").unwrap_or("").to_ascii_lowercase();
+                    let href = attr(&attrs, "href");
+                    let Some(href) = href else { continue };
+                    let Some(url) = base.join(href) else { continue };
+                    if rel.split_whitespace().any(|r| r == "stylesheet") {
+                        push(
+                            Discovered {
+                                url,
+                                kind: ResourceKind::Css,
+                                via: DiscoveryVia::Stylesheet,
+                                exec: ExecMode::Sync,
+                            },
+                            &mut out,
+                        );
+                    } else if rel
+                        .split_whitespace()
+                        .any(|r| r == "preload" || r == "prefetch")
+                    {
+                        let kind = match attr(&attrs, "as") {
+                            Some("script") => ResourceKind::Js,
+                            Some("style") => ResourceKind::Css,
+                            Some("image") => ResourceKind::Image,
+                            Some("font") => ResourceKind::Font,
+                            Some("document") => ResourceKind::Html,
+                            _ => ResourceKind::from_url(&url),
+                        };
+                        push(
+                            Discovered {
+                                url,
+                                kind,
+                                via: DiscoveryVia::LinkPreload,
+                                exec: ExecMode::Sync,
+                            },
+                            &mut out,
+                        );
+                    }
+                }
+                "img" => {
+                    if let Some(src) = attr(&attrs, "src") {
+                        if let Some(url) = base.join(src) {
+                            push(
+                                Discovered {
+                                    url,
+                                    kind: ResourceKind::Image,
+                                    via: DiscoveryVia::Img,
+                                    exec: ExecMode::Sync,
+                                },
+                                &mut out,
+                            );
+                        }
+                    }
+                    if let Some(srcset) = attr(&attrs, "srcset") {
+                        for candidate in srcset.split(',') {
+                            if let Some(u) = candidate.split_whitespace().next() {
+                                if let Some(url) = base.join(u) {
+                                    push(
+                                        Discovered {
+                                            url,
+                                            kind: ResourceKind::Image,
+                                            via: DiscoveryVia::Img,
+                                            exec: ExecMode::Sync,
+                                        },
+                                        &mut out,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                "iframe" => {
+                    if let Some(src) = attr(&attrs, "src") {
+                        if let Some(url) = base.join(src) {
+                            push(
+                                Discovered {
+                                    url,
+                                    kind: ResourceKind::Html,
+                                    via: DiscoveryVia::Iframe,
+                                    exec: ExecMode::Sync,
+                                },
+                                &mut out,
+                            );
+                        }
+                    }
+                }
+                "video" | "audio" | "source" | "track" | "embed" => {
+                    if let Some(src) = attr(&attrs, "src") {
+                        if let Some(url) = base.join(src) {
+                            push(
+                                Discovered {
+                                    url,
+                                    kind: ResourceKind::Media,
+                                    via: DiscoveryVia::Media,
+                                    exec: ExecMode::Sync,
+                                },
+                                &mut out,
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            },
+            Token::StyleText(css) => {
+                for d in scan_css(base, &css) {
+                    push(d, &mut out);
+                }
+            }
+            Token::ScriptText(js) => {
+                for url in extract_absolute_urls(&js) {
+                    push(
+                        Discovered {
+                            kind: ResourceKind::from_url(&url),
+                            url,
+                            via: DiscoveryVia::InlineScript,
+                            exec: ExecMode::Sync,
+                        },
+                        &mut out,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Scan a CSS document (or inline style text) for `url(...)` and `@import`
+/// references.
+pub fn scan_css(base: &Url, css: &str) -> Vec<Discovered> {
+    let mut out: Vec<Discovered> = Vec::new();
+    let bytes = css.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if css[i..].starts_with("url(") {
+            let start = i + 4;
+            if let Some(close) = css[start..].find(')') {
+                let raw = css[start..start + close].trim().trim_matches(['"', '\'']);
+                if let Some(url) = base.join(raw) {
+                    let kind = match ResourceKind::from_url(&url) {
+                        ResourceKind::Other => ResourceKind::Image, // CSS urls default to images
+                        k => k,
+                    };
+                    if !out.iter().any(|e: &Discovered| e.url == url) {
+                        out.push(Discovered {
+                            url,
+                            kind,
+                            via: DiscoveryVia::CssUrl,
+                            exec: ExecMode::Sync,
+                        });
+                    }
+                }
+                i = start + close;
+                continue;
+            }
+        } else if css[i..].starts_with("@import") {
+            let rest = &css[i + 7..];
+            let end = rest.find(';').unwrap_or(rest.len());
+            let spec = rest[..end].trim();
+            let raw = spec
+                .trim_start_matches("url(")
+                .trim_end_matches(')')
+                .trim()
+                .trim_matches(['"', '\'']);
+            if let Some(url) = base.join(raw) {
+                if !out.iter().any(|e: &Discovered| e.url == url) {
+                    out.push(Discovered {
+                        url,
+                        kind: ResourceKind::Css,
+                        via: DiscoveryVia::CssUrl,
+                        exec: ExecMode::Sync,
+                    });
+                }
+            }
+            i += 7 + end;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Heuristically pull absolute http(s) URLs out of free text (inline
+/// scripts). This mirrors what a server can cheaply do online; URLs built
+/// dynamically by string concatenation are exactly the "unpredictable"
+/// resources Vroom leaves to the client.
+pub fn extract_absolute_urls(text: &str) -> Vec<Url> {
+    let mut out = Vec::new();
+    let mut search = text;
+    while let Some(idx) = search.find("http") {
+        let candidate = &search[idx..];
+        let is_url = candidate.starts_with("http://") || candidate.starts_with("https://");
+        if is_url {
+            let end = candidate
+                .find(|c: char| {
+                    c.is_whitespace() || matches!(c, '"' | '\'' | '`' | ')' | '<' | '>' | '\\')
+                })
+                .unwrap_or(candidate.len());
+            let raw = candidate[..end].trim_end_matches([',', ';', '.']);
+            if let Some(url) = Url::parse(raw) {
+                if url.path.len() > 1 && !out.contains(&url) {
+                    out.push(url);
+                }
+            }
+            search = &search[idx + end.max(4)..];
+        } else {
+            search = &search[idx + 4..];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Url {
+        Url::https("news.com", "/index.html")
+    }
+
+    fn urls(found: &[Discovered]) -> Vec<String> {
+        found.iter().map(|d| d.url.to_string()).collect()
+    }
+
+    #[test]
+    fn finds_scripts_with_exec_modes() {
+        let html = r#"
+            <script src="/app.js"></script>
+            <script async src="https://ads.net/ad.js"></script>
+            <script defer src="late.js"></script>
+        "#;
+        let found = scan_html(&base(), html);
+        assert_eq!(found.len(), 3);
+        assert_eq!(found[0].exec, ExecMode::Sync);
+        assert_eq!(found[0].kind, ResourceKind::Js);
+        assert_eq!(found[1].exec, ExecMode::Async);
+        assert_eq!(found[1].url.host, "ads.net");
+        assert_eq!(found[2].exec, ExecMode::Defer);
+        assert_eq!(found[2].url.path, "/late.js");
+    }
+
+    #[test]
+    fn finds_stylesheets_and_preloads() {
+        let html = r#"
+            <link rel="stylesheet" href="/main.css">
+            <link rel="preload" href="/hero.webp" as="image">
+            <link rel="preload" href="//cdn.news.com/font.woff2" as="font">
+            <link rel="canonical" href="https://news.com/">
+        "#;
+        let found = scan_html(&base(), html);
+        assert_eq!(found.len(), 3, "canonical must be ignored: {found:?}");
+        assert_eq!(found[0].kind, ResourceKind::Css);
+        assert_eq!(found[1].kind, ResourceKind::Image);
+        assert_eq!(found[1].via, DiscoveryVia::LinkPreload);
+        assert_eq!(found[2].kind, ResourceKind::Font);
+    }
+
+    #[test]
+    fn finds_images_and_srcset() {
+        let html = r#"<img src="a.jpg" srcset="a-2x.jpg 2x, a-3x.jpg 3x">"#;
+        let found = scan_html(&base(), html);
+        assert_eq!(
+            urls(&found),
+            vec![
+                "https://news.com/a.jpg",
+                "https://news.com/a-2x.jpg",
+                "https://news.com/a-3x.jpg"
+            ]
+        );
+        assert!(found.iter().all(|d| d.kind == ResourceKind::Image));
+    }
+
+    #[test]
+    fn finds_iframes_as_html() {
+        let html = r#"<iframe src="https://ads.net/frame.html"></iframe>"#;
+        let found = scan_html(&base(), html);
+        assert_eq!(found[0].kind, ResourceKind::Html);
+        assert_eq!(found[0].via, DiscoveryVia::Iframe);
+    }
+
+    #[test]
+    fn finds_css_urls_in_style_blocks() {
+        let html = r#"<style>
+            @import url("/theme.css");
+            body { background: url('/bg.png'); }
+            @font-face { src: url(/f.woff2); }
+        </style>"#;
+        let found = scan_html(&base(), html);
+        let kinds: Vec<ResourceKind> = found.iter().map(|d| d.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![ResourceKind::Css, ResourceKind::Image, ResourceKind::Font]
+        );
+    }
+
+    #[test]
+    fn scan_css_standalone() {
+        let css = r#"@import "extra.css"; .x { background-image: url(img/dot.gif) }"#;
+        let found = scan_css(&Url::https("a.com", "/styles/main.css"), css);
+        assert_eq!(
+            urls(&found),
+            vec!["https://a.com/styles/extra.css", "https://a.com/styles/img/dot.gif"]
+        );
+    }
+
+    #[test]
+    fn inline_script_absolute_urls() {
+        let html = r#"<script>
+            var img = new Image();
+            img.src = "https://b.com/img.jpg";
+            fetch('https://api.news.com/v1/stories.json');
+            var partial = "https://" + host + "/dyn.js"; // unpredictable
+        </script>"#;
+        let found = scan_html(&base(), html);
+        let u = urls(&found);
+        assert!(u.contains(&"https://b.com/img.jpg".to_string()));
+        assert!(u.contains(&"https://api.news.com/v1/stories.json".to_string()));
+        assert_eq!(u.len(), 2, "concatenated URL must not be extracted: {u:?}");
+    }
+
+    #[test]
+    fn data_uris_and_javascript_hrefs_ignored() {
+        let html = r#"
+            <img src="data:image/png;base64,AAAA">
+            <script src="javascript:void(0)"></script>
+        "#;
+        assert!(scan_html(&base(), html).is_empty());
+    }
+
+    #[test]
+    fn duplicates_collapsed() {
+        let html = r#"<img src="/a.png"><img src="/a.png"><img src="a.png">"#;
+        assert_eq!(scan_html(&base(), html).len(), 1);
+    }
+
+    #[test]
+    fn kind_from_extension_table() {
+        assert_eq!(ResourceKind::from_extension("js"), ResourceKind::Js);
+        assert_eq!(ResourceKind::from_extension("css"), ResourceKind::Css);
+        assert_eq!(ResourceKind::from_extension("webp"), ResourceKind::Image);
+        assert_eq!(ResourceKind::from_extension("woff2"), ResourceKind::Font);
+        assert_eq!(ResourceKind::from_extension("mp4"), ResourceKind::Media);
+        assert_eq!(ResourceKind::from_extension("json"), ResourceKind::Xhr);
+        assert_eq!(ResourceKind::from_extension("bin"), ResourceKind::Other);
+        assert!(ResourceKind::Html.needs_processing());
+        assert!(ResourceKind::Css.needs_processing());
+        assert!(ResourceKind::Js.needs_processing());
+        assert!(!ResourceKind::Image.needs_processing());
+    }
+
+    #[test]
+    fn realistic_news_page() {
+        // A page shaped like the paper's Figure 5/10 examples.
+        let html = r#"<!DOCTYPE html>
+<html><head>
+  <link rel="stylesheet" href="https://b.com/style.css">
+  <script src="/foo.js"></script>
+  <script async src="https://c.com/ad_inject.js"></script>
+</head><body>
+  <img src="/banner.jpg">
+  <iframe src="https://c.com/ad.php"></iframe>
+  <script>var i=new Image(); i.src="https://b.com/logo_lo_res.png";</script>
+</body></html>"#;
+        let found = scan_html(&Url::https("a.com", "/index.html"), html);
+        let u = urls(&found);
+        assert_eq!(
+            u,
+            vec![
+                "https://b.com/style.css",
+                "https://a.com/foo.js",
+                "https://c.com/ad_inject.js",
+                "https://a.com/banner.jpg",
+                "https://c.com/ad.php",
+                "https://b.com/logo_lo_res.png",
+            ]
+        );
+        // The iframe is the only embedded HTML.
+        assert_eq!(
+            found
+                .iter()
+                .filter(|d| d.via == DiscoveryVia::Iframe)
+                .count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,367 @@
+//! A pragmatic HTML tokenizer: enough of WHATWG tokenization to walk tags and
+//! attributes through real-world markup — comments, doctypes, CDATA, raw-text
+//! elements (`<script>`, `<style>`), quoted/unquoted attributes — without
+//! building a DOM. The resource scanner ([`crate::scanner`]) and the Vroom
+//! server's online analysis are the consumers; both only need tags, their
+//! attributes, and the raw text of script/style elements.
+
+/// A token produced by [`Tokenizer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An opening (or self-closing) tag with its attributes.
+    StartTag {
+        /// Tag name, lower-cased.
+        name: String,
+        /// `(name, value)` pairs in document order; valueless attributes get
+        /// an empty value.
+        attrs: Vec<(String, String)>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// A closing tag.
+    EndTag {
+        /// Tag name, lower-cased.
+        name: String,
+    },
+    /// Text content between tags (not emitted for whitespace-only runs).
+    Text(String),
+    /// The raw contents of a `<script>` element.
+    ScriptText(String),
+    /// The raw contents of a `<style>` element.
+    StyleText(String),
+    /// A comment (contents without the delimiters).
+    Comment(String),
+}
+
+/// Streaming tokenizer over a complete HTML document.
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+    /// Raw-text element we are inside, if any (`script` or `style`).
+    raw_mode: Option<&'static str>,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Tokenize `input`.
+    pub fn new(input: &'a str) -> Self {
+        Tokenizer {
+            input,
+            pos: 0,
+            raw_mode: None,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn starts_with_ci(&self, prefix: &str) -> bool {
+        let rest = self.rest();
+        rest.len() >= prefix.len() && rest[..prefix.len()].eq_ignore_ascii_case(prefix)
+    }
+}
+
+impl<'a> Iterator for Tokenizer<'a> {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        loop {
+            if self.pos >= self.input.len() {
+                return None;
+            }
+
+            // Inside <script>/<style>: swallow everything up to the matching
+            // close tag and emit it as raw text.
+            if let Some(elem) = self.raw_mode {
+                let close = format!("</{elem}");
+                let rest = self.rest();
+                let end = find_ci(rest, &close).unwrap_or(rest.len());
+                let text = &rest[..end];
+                self.pos += end;
+                self.raw_mode = None;
+                if !text.trim().is_empty() {
+                    return Some(match elem {
+                        "script" => Token::ScriptText(text.to_string()),
+                        _ => Token::StyleText(text.to_string()),
+                    });
+                }
+                continue;
+            }
+
+            let rest = self.rest();
+            if let Some(stripped) = rest.strip_prefix('<') {
+                // Comment.
+                if stripped.starts_with("!--") {
+                    let body_start = self.pos + 4;
+                    let end = self.input[body_start..]
+                        .find("-->")
+                        .map(|i| body_start + i)
+                        .unwrap_or(self.input.len());
+                    let comment = self.input[body_start..end].to_string();
+                    self.pos = (end + 3).min(self.input.len());
+                    return Some(Token::Comment(comment));
+                }
+                // Doctype / CDATA / other declarations: skip to '>'.
+                if stripped.starts_with('!') || stripped.starts_with('?') {
+                    let end = rest.find('>').map(|i| self.pos + i + 1).unwrap_or(self.input.len());
+                    self.pos = end;
+                    continue;
+                }
+                // End tag.
+                if let Some(after) = stripped.strip_prefix('/') {
+                    let end = after.find('>').map(|i| self.pos + 2 + i);
+                    let Some(end) = end else {
+                        self.pos = self.input.len();
+                        return None;
+                    };
+                    let name = self.input[self.pos + 2..end]
+                        .trim()
+                        .to_ascii_lowercase();
+                    self.pos = end + 1;
+                    if name.is_empty() {
+                        continue;
+                    }
+                    return Some(Token::EndTag { name });
+                }
+                // Start tag?
+                if stripped
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_alphabetic())
+                    .unwrap_or(false)
+                {
+                    if let Some(tok) = self.read_start_tag() {
+                        return Some(tok);
+                    }
+                    continue;
+                }
+                // Stray '<': treat as text.
+                self.pos += 1;
+                continue;
+            }
+
+            // Text run until the next '<'.
+            let end = rest.find('<').map(|i| self.pos + i).unwrap_or(self.input.len());
+            let text = &self.input[self.pos..end];
+            self.pos = end;
+            if !text.trim().is_empty() {
+                return Some(Token::Text(text.to_string()));
+            }
+        }
+    }
+}
+
+impl<'a> Tokenizer<'a> {
+    fn read_start_tag(&mut self) -> Option<Token> {
+        debug_assert!(self.starts_with_ci("<"));
+        let start = self.pos + 1;
+        let bytes = self.input.as_bytes();
+        let mut i = start;
+
+        // Tag name.
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-') {
+            i += 1;
+        }
+        let name = self.input[start..i].to_ascii_lowercase();
+
+        // Attributes.
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                self.pos = bytes.len();
+                break;
+            }
+            match bytes[i] {
+                b'>' => {
+                    self.pos = i + 1;
+                    break;
+                }
+                b'/' => {
+                    self_closing = true;
+                    i += 1;
+                }
+                _ => {
+                    // Attribute name.
+                    let astart = i;
+                    while i < bytes.len()
+                        && !bytes[i].is_ascii_whitespace()
+                        && bytes[i] != b'='
+                        && bytes[i] != b'>'
+                        && bytes[i] != b'/'
+                    {
+                        i += 1;
+                    }
+                    let aname = self.input[astart..i].to_ascii_lowercase();
+                    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    let mut avalue = String::new();
+                    if i < bytes.len() && bytes[i] == b'=' {
+                        i += 1;
+                        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                            i += 1;
+                        }
+                        if i < bytes.len() && (bytes[i] == b'"' || bytes[i] == b'\'') {
+                            let quote = bytes[i];
+                            i += 1;
+                            let vstart = i;
+                            while i < bytes.len() && bytes[i] != quote {
+                                i += 1;
+                            }
+                            avalue = self.input[vstart..i].to_string();
+                            i = (i + 1).min(bytes.len());
+                        } else {
+                            let vstart = i;
+                            while i < bytes.len()
+                                && !bytes[i].is_ascii_whitespace()
+                                && bytes[i] != b'>'
+                            {
+                                i += 1;
+                            }
+                            avalue = self.input[vstart..i].to_string();
+                        }
+                    }
+                    if !aname.is_empty() {
+                        attrs.push((aname, avalue));
+                    }
+                }
+            }
+        }
+
+        if name == "script" && !self_closing {
+            self.raw_mode = Some("script");
+        } else if name == "style" && !self_closing {
+            self.raw_mode = Some("style");
+        }
+        Some(Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        })
+    }
+}
+
+/// Case-insensitive substring search.
+fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    (0..=h.len() - n.len()).find(|&i| h[i..i + n.len()].eq_ignore_ascii_case(n))
+}
+
+/// Convenience: the value of an attribute by (lower-case) name.
+pub fn attr<'t>(attrs: &'t [(String, String)], name: &str) -> Option<&'t str> {
+    attrs
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(html: &str) -> Vec<Token> {
+        Tokenizer::new(html).collect()
+    }
+
+    #[test]
+    fn simple_document() {
+        let t = toks("<html><body><p>Hello</p></body></html>");
+        assert_eq!(t.len(), 7);
+        assert!(matches!(&t[0], Token::StartTag { name, .. } if name == "html"));
+        assert!(matches!(&t[3], Token::Text(s) if s == "Hello"));
+        assert!(matches!(&t[6], Token::EndTag { name } if name == "html"));
+    }
+
+    #[test]
+    fn attributes_all_quote_styles() {
+        let t = toks(r#"<img src="a.png" alt='pic' width=100 hidden>"#);
+        let Token::StartTag { name, attrs, .. } = &t[0] else {
+            panic!("not a start tag");
+        };
+        assert_eq!(name, "img");
+        assert_eq!(attr(attrs, "src"), Some("a.png"));
+        assert_eq!(attr(attrs, "alt"), Some("pic"));
+        assert_eq!(attr(attrs, "width"), Some("100"));
+        assert_eq!(attr(attrs, "hidden"), Some(""));
+    }
+
+    #[test]
+    fn self_closing_and_case_folding() {
+        let t = toks("<BR/><IMG SRC='X.png' />");
+        assert!(matches!(&t[0], Token::StartTag { name, self_closing: true, .. } if name == "br"));
+        let Token::StartTag { name, attrs, .. } = &t[1] else {
+            panic!()
+        };
+        assert_eq!(name, "img");
+        assert_eq!(attr(attrs, "src"), Some("X.png"), "values keep case");
+    }
+
+    #[test]
+    fn script_raw_text_not_parsed_as_tags() {
+        let html = r#"<script>if (a<b) { document.write("<img src=x>"); }</script><p>after</p>"#;
+        let t = toks(html);
+        assert!(matches!(&t[0], Token::StartTag { name, .. } if name == "script"));
+        let Token::ScriptText(body) = &t[1] else {
+            panic!("expected raw script text, got {:?}", t[1]);
+        };
+        assert!(body.contains("<img src=x>"));
+        assert!(matches!(&t[2], Token::EndTag { name } if name == "script"));
+        assert!(matches!(&t[3], Token::StartTag { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn style_raw_text() {
+        let t = toks("<style>body { background: url(bg.png); }</style>");
+        assert!(matches!(&t[1], Token::StyleText(s) if s.contains("bg.png")));
+    }
+
+    #[test]
+    fn script_close_tag_case_insensitive() {
+        let t = toks("<script>x=1</SCRIPT><p>k</p>");
+        assert!(matches!(&t[1], Token::ScriptText(_)));
+        assert!(matches!(&t[3], Token::StartTag { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let t = toks("<!DOCTYPE html><!-- a <img src=x> inside --><p>t</p>");
+        assert!(matches!(&t[0], Token::Comment(c) if c.contains("img")));
+        assert!(matches!(&t[1], Token::StartTag { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn unterminated_structures_do_not_panic_or_loop() {
+        for html in [
+            "<img src=",
+            "<script>never closed",
+            "<!-- never closed",
+            "</",
+            "<",
+            "<p attr='unclosed",
+        ] {
+            let _ = toks(html); // must terminate
+        }
+    }
+
+    #[test]
+    fn stray_angle_brackets_are_text() {
+        let t = toks("a < b > c");
+        // "a " text, stray '<' skipped, "b > c" text-ish — must not panic and
+        // must preserve the surrounding text.
+        assert!(t.iter().any(|tok| matches!(tok, Token::Text(s) if s.contains('a'))));
+    }
+
+    #[test]
+    fn empty_script_emits_no_text() {
+        let t = toks("<script src=\"x.js\"></script>");
+        assert_eq!(t.len(), 2, "start + end only: {t:?}");
+    }
+}

@@ -1,0 +1,311 @@
+//! A minimal HTTP/1.1 message codec — the wire format of the paper's
+//! baseline ("Loads from Web" runs over HTTP/1.1).
+//!
+//! Implements what a replay server and client need: request heads, response
+//! heads with `Content-Length` framing, incremental parsing from a byte
+//! stream, and (on the parse side) `Transfer-Encoding: chunked` bodies.
+//! Like the HTTP/2 layer it is sans-IO: feed bytes, poll messages.
+
+use crate::headers::{Request, Response};
+use vroom_hpack::HeaderField;
+
+/// Serialize a request head (no body; GETs only need the head).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = format!(
+        "{} {} HTTP/1.1\r\nhost: {}\r\n",
+        req.method, req.path, req.authority
+    );
+    for h in &req.headers {
+        out.push_str(&format!("{}: {}\r\n", h.name, h.value));
+    }
+    out.push_str("\r\n");
+    out.into_bytes()
+}
+
+/// Serialize a response with a `Content-Length`-framed body.
+pub fn encode_response(resp: &Response, body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\ncontent-length: {}\r\n",
+        resp.status,
+        reason(resp.status),
+        body.len()
+    );
+    for h in &resp.headers {
+        out.push_str(&format!("{}: {}\r\n", h.name, h.value));
+    }
+    out.push_str("\r\n");
+    let mut bytes = out.into_bytes();
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        301 => "Moved Permanently",
+        302 => "Found",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        404 => "Not Found",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Errors from the HTTP/1.1 parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum H1Error {
+    /// Malformed request/status line or header.
+    Malformed(String),
+    /// Body framing missing or contradictory.
+    BadFraming(String),
+}
+
+impl std::fmt::Display for H1Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            H1Error::Malformed(s) => write!(f, "malformed http/1.1 message: {s}"),
+            H1Error::BadFraming(s) => write!(f, "bad http/1.1 body framing: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for H1Error {}
+
+/// Try to parse one complete request from the front of `buf`.
+/// Returns `(request, bytes_consumed)`, or `None` if more bytes are needed.
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, H1Error> {
+    let Some(head_end) = find_head_end(buf) else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| H1Error::Malformed("non-utf8 head".into()))?;
+    let mut lines = head.split("\r\n");
+    let reqline = lines.next().unwrap_or("");
+    let mut parts = reqline.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| H1Error::Malformed("missing method".into()))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| H1Error::Malformed("missing path".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| H1Error::Malformed("missing version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(H1Error::Malformed(format!("bad version {version}")));
+    }
+    let headers = parse_headers(lines)?;
+    let authority = headers
+        .iter()
+        .find(|h| h.name == "host")
+        .map(|h| h.value.clone())
+        .unwrap_or_default();
+    let req = Request {
+        method: method.to_string(),
+        scheme: "https".into(),
+        authority,
+        path: path.to_string(),
+        headers: headers.into_iter().filter(|h| h.name != "host").collect(),
+    };
+    // GET/HEAD carry no body in our usage.
+    Ok(Some((req, head_end + 4)))
+}
+
+/// Try to parse one complete response (head + body) from the front of `buf`.
+/// Returns `(response, body, bytes_consumed)` or `None` if incomplete.
+pub fn parse_response(buf: &[u8]) -> Result<Option<(Response, Vec<u8>, usize)>, H1Error> {
+    let Some(head_end) = find_head_end(buf) else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| H1Error::Malformed("non-utf8 head".into()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts
+        .next()
+        .ok_or_else(|| H1Error::Malformed("missing version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(H1Error::Malformed(format!("bad version {version}")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| H1Error::Malformed("bad status".into()))?;
+    let headers = parse_headers(lines)?;
+    let body_start = head_end + 4;
+
+    // Framing: Content-Length, chunked, or (for bodyless statuses) empty.
+    let content_length = headers
+        .iter()
+        .find(|h| h.name == "content-length")
+        .map(|h| {
+            h.value
+                .parse::<usize>()
+                .map_err(|_| H1Error::BadFraming(format!("content-length {:?}", h.value)))
+        })
+        .transpose()?;
+    let chunked = headers
+        .iter()
+        .any(|h| h.name == "transfer-encoding" && h.value.to_ascii_lowercase().contains("chunked"));
+
+    let response = Response {
+        status,
+        headers: headers
+            .into_iter()
+            .filter(|h| h.name != "content-length" && h.name != "transfer-encoding")
+            .collect(),
+    };
+
+    if chunked {
+        match parse_chunked(&buf[body_start..])? {
+            Some((body, used)) => Ok(Some((response, body, body_start + used))),
+            None => Ok(None),
+        }
+    } else {
+        let len = content_length.unwrap_or(0);
+        if buf.len() < body_start + len {
+            return Ok(None);
+        }
+        let body = buf[body_start..body_start + len].to_vec();
+        Ok(Some((response, body, body_start + len)))
+    }
+}
+
+fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Vec<HeaderField>, H1Error> {
+    let mut out = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| H1Error::Malformed(format!("header line {line:?}")))?;
+        out.push(HeaderField::new(
+            name.trim().to_ascii_lowercase(),
+            value.trim(),
+        ));
+    }
+    Ok(out)
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parse a chunked body; returns `(body, bytes_consumed)` or `None` if
+/// incomplete.
+fn parse_chunked(buf: &[u8]) -> Result<Option<(Vec<u8>, usize)>, H1Error> {
+    let mut body = Vec::new();
+    let mut pos = 0;
+    loop {
+        let Some(line_end) = buf[pos..].windows(2).position(|w| w == b"\r\n") else {
+            return Ok(None);
+        };
+        let size_str = std::str::from_utf8(&buf[pos..pos + line_end])
+            .map_err(|_| H1Error::BadFraming("non-utf8 chunk size".into()))?;
+        let size = usize::from_str_radix(size_str.trim().split(';').next().unwrap_or(""), 16)
+            .map_err(|_| H1Error::BadFraming(format!("chunk size {size_str:?}")))?;
+        pos += line_end + 2;
+        if size == 0 {
+            // Trailing CRLF after the last chunk (no trailers supported).
+            if buf.len() < pos + 2 {
+                return Ok(None);
+            }
+            return Ok(Some((body, pos + 2)));
+        }
+        if buf.len() < pos + size + 2 {
+            return Ok(None);
+        }
+        body.extend_from_slice(&buf[pos..pos + size]);
+        if &buf[pos + size..pos + size + 2] != b"\r\n" {
+            return Err(H1Error::BadFraming("chunk missing terminator".into()));
+        }
+        pos += size + 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::get("news.com", "/story/1.html")
+            .with_header("user-agent", "vroom/0.1")
+            .with_cookie("session=abc");
+        let wire = encode_request(&req);
+        let (got, used) = parse_request(&wire).unwrap().expect("complete");
+        assert_eq!(used, wire.len());
+        assert_eq!(got.method, "GET");
+        assert_eq!(got.authority, "news.com");
+        assert_eq!(got.path, "/story/1.html");
+        assert_eq!(got.headers.len(), 2);
+    }
+
+    #[test]
+    fn response_roundtrip_with_body() {
+        let resp = Response::ok().with_header("content-type", "text/html");
+        let wire = encode_response(&resp, b"<html>hi</html>");
+        let (got, body, used) = parse_response(&wire).unwrap().expect("complete");
+        assert_eq!(used, wire.len());
+        assert_eq!(got.status, 200);
+        assert_eq!(body, b"<html>hi</html>");
+        assert!(got.header_values("content-type").next().is_some());
+    }
+
+    #[test]
+    fn incremental_parsing_waits_for_full_message() {
+        let resp = Response::ok();
+        let wire = encode_response(&resp, &vec![7u8; 500]);
+        for cut in [1, 10, 17, wire.len() - 1] {
+            assert_eq!(parse_response(&wire[..cut]).unwrap(), None, "cut={cut}");
+        }
+        assert!(parse_response(&wire).unwrap().is_some());
+    }
+
+    #[test]
+    fn pipelined_messages_consume_exactly_one() {
+        let mut wire = encode_response(&Response::ok(), b"first");
+        let second = encode_response(&Response::with_status(404), b"");
+        wire.extend_from_slice(&second);
+        let (r1, b1, used) = parse_response(&wire).unwrap().unwrap();
+        assert_eq!(r1.status, 200);
+        assert_eq!(b1, b"first");
+        let (r2, b2, used2) = parse_response(&wire[used..]).unwrap().unwrap();
+        assert_eq!(r2.status, 404);
+        assert!(b2.is_empty());
+        assert_eq!(used + used2, wire.len());
+    }
+
+    #[test]
+    fn chunked_bodies_parse() {
+        let wire = b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n\
+                     5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let (resp, body, used) = parse_response(wire).unwrap().expect("complete");
+        assert_eq!(resp.status, 200);
+        assert_eq!(body, b"hello world");
+        assert_eq!(used, wire.len());
+        // Truncated chunked stream is incomplete, not an error.
+        assert_eq!(parse_response(&wire[..wire.len() - 4]).unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        assert!(parse_request(b"BROKEN\r\n\r\n").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
+        assert!(parse_response(b"SPDY/3 200 OK\r\n\r\n").is_err());
+        let bad_len = b"HTTP/1.1 200 OK\r\ncontent-length: banana\r\n\r\n";
+        assert!(parse_response(bad_len).is_err());
+    }
+
+    #[test]
+    fn host_header_becomes_authority() {
+        let wire = b"GET /x HTTP/1.1\r\nHost: A.Example.COM\r\naccept: */*\r\n\r\n";
+        let (req, _) = parse_request(wire).unwrap().unwrap();
+        assert_eq!(req.authority, "A.Example.COM");
+        assert_eq!(req.headers.len(), 1, "host folded into authority");
+    }
+}

@@ -1,0 +1,112 @@
+//! Latency and connection-setup modeling.
+//!
+//! Mirrors the paper's replay setup (§6.1): "traffic between the phone and
+//! any of the web servers is subjected to not only the delay over the
+//! cellular network but also the median RTT observed between the desktop and
+//! the corresponding web server when recording page contents."
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vroom_sim::SimDuration;
+
+/// Per-destination latency model: one cellular hop shared by all traffic,
+/// plus a per-domain wired RTT.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// RTT across the cellular access network (phone ↔ packet gateway).
+    pub cellular_rtt: SimDuration,
+    /// Recorded wired RTT per domain (gateway ↔ origin).
+    pub server_rtts: HashMap<String, SimDuration>,
+    /// Wired RTT for domains without a recording.
+    pub default_server_rtt: SimDuration,
+    /// Whether TLS is in use (adds one round trip at connection setup;
+    /// models TLS 1.3 1-RTT handshakes).
+    pub tls: bool,
+    /// Time to resolve a name not in the DNS cache.
+    pub dns_lookup: SimDuration,
+}
+
+impl LatencyModel {
+    /// A model with uniform server RTTs.
+    pub fn uniform(cellular_rtt: SimDuration, server_rtt: SimDuration) -> Self {
+        LatencyModel {
+            cellular_rtt,
+            server_rtts: HashMap::new(),
+            default_server_rtt: server_rtt,
+            tls: true,
+            dns_lookup: SimDuration::from_millis(30),
+        }
+    }
+
+    /// Record a measured RTT for a domain.
+    pub fn set_server_rtt(&mut self, domain: impl Into<String>, rtt: SimDuration) {
+        self.server_rtts.insert(domain.into(), rtt);
+    }
+
+    /// Full round-trip time to a domain: cellular + wired legs.
+    pub fn rtt(&self, domain: &str) -> SimDuration {
+        self.cellular_rtt
+            + self
+                .server_rtts
+                .get(domain)
+                .copied()
+                .unwrap_or(self.default_server_rtt)
+    }
+
+    /// One-way latency to a domain (half the RTT).
+    pub fn one_way(&self, domain: &str) -> SimDuration {
+        self.rtt(domain) / 2
+    }
+
+    /// Time to establish a new connection to `domain`: optional DNS lookup,
+    /// TCP handshake (1 RTT), TLS handshake (1 RTT when enabled).
+    pub fn connection_setup(&self, domain: &str, dns_cached: bool) -> SimDuration {
+        let rtt = self.rtt(domain);
+        let mut total = rtt; // TCP SYN/SYN-ACK
+        if self.tls {
+            total += rtt; // TLS 1.3
+        }
+        if !dns_cached {
+            total += self.dns_lookup;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_combines_cellular_and_server_legs() {
+        let mut m = LatencyModel::uniform(
+            SimDuration::from_millis(60),
+            SimDuration::from_millis(20),
+        );
+        m.set_server_rtt("slow.com", SimDuration::from_millis(200));
+        assert_eq!(m.rtt("fast.com").as_millis(), 80);
+        assert_eq!(m.rtt("slow.com").as_millis(), 260);
+        assert_eq!(m.one_way("fast.com").as_millis(), 40);
+    }
+
+    #[test]
+    fn connection_setup_costs() {
+        let m = LatencyModel::uniform(
+            SimDuration::from_millis(60),
+            SimDuration::from_millis(40),
+        );
+        // rtt = 100ms; TCP + TLS = 200ms; + DNS 30ms when cold.
+        assert_eq!(m.connection_setup("a.com", true).as_millis(), 200);
+        assert_eq!(m.connection_setup("a.com", false).as_millis(), 230);
+    }
+
+    #[test]
+    fn plain_http_skips_tls() {
+        let mut m = LatencyModel::uniform(
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(50),
+        );
+        m.tls = false;
+        assert_eq!(m.connection_setup("a.com", true).as_millis(), 100);
+    }
+}

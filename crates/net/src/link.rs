@@ -1,0 +1,319 @@
+//! A fluid-flow model of a shared access link.
+//!
+//! The client's cellular downlink is the one piece of the network the whole
+//! page load contends for, and contention on it is the mechanism behind the
+//! paper's key scheduling results (Figs 11, 18, 19): naive "push all, fetch
+//! ASAP" delays exactly the resources the CPU is waiting for. We model the
+//! link as a fluid pipe of fixed capacity shared among active transfers in
+//! proportion to their weights (equal by default) — the classic processor-
+//! sharing approximation of many TCP flows on one bottleneck.
+//!
+//! The model is exact between membership changes: callers must
+//! [`advance`](SharedLink::advance) the link to the current time before
+//! starting or finishing transfers, and re-ask for
+//! [`next_completion`](SharedLink::next_completion) whenever membership
+//! changes.
+
+use std::collections::HashMap;
+use vroom_sim::{SimDuration, SimTime};
+
+/// Identifier of an in-flight transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransferId(pub u64);
+
+#[derive(Debug)]
+struct Transfer {
+    remaining_bits: f64,
+    weight: f64,
+}
+
+/// A shared bottleneck link.
+#[derive(Debug)]
+pub struct SharedLink {
+    bits_per_sec: f64,
+    transfers: HashMap<TransferId, Transfer>,
+    last_advance: SimTime,
+    next_id: u64,
+}
+
+impl SharedLink {
+    /// A link with the given capacity in bits per second.
+    pub fn new(bits_per_sec: u64) -> Self {
+        assert!(bits_per_sec > 0, "zero-capacity link");
+        SharedLink {
+            bits_per_sec: bits_per_sec as f64,
+            transfers: HashMap::new(),
+            last_advance: SimTime::ZERO,
+            next_id: 0,
+        }
+    }
+
+    /// Capacity in bits per second.
+    pub fn capacity_bps(&self) -> u64 {
+        self.bits_per_sec as u64
+    }
+
+    /// Number of active transfers.
+    pub fn active(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// Progress all transfers to `now`, returning the ids that completed
+    /// (in completion order). `now` must not precede the previous advance.
+    pub fn advance(&mut self, now: SimTime) -> Vec<TransferId> {
+        assert!(now >= self.last_advance, "time went backwards");
+        let mut completed = Vec::new();
+        let mut t = self.last_advance;
+        // Within an interval the share is constant, so we walk from
+        // completion to completion (each completion raises the share of the
+        // survivors). Effectively-finished transfers (including ties) are
+        // swept at the top of each round, in id order, for determinism.
+        loop {
+            let mut done: Vec<TransferId> = self
+                .transfers
+                .iter()
+                .filter(|(_, tr)| tr.remaining_bits <= 1e-3)
+                .map(|(&id, _)| id)
+                .collect();
+            done.sort();
+            for id in done {
+                self.transfers.remove(&id);
+                completed.push(id);
+            }
+            if t >= now || self.transfers.is_empty() {
+                break;
+            }
+            let total_weight: f64 = self.transfers.values().map(|x| x.weight).sum();
+            // Earliest finisher at current shares.
+            let first_dt = self
+                .transfers
+                .values()
+                .map(|tr| tr.remaining_bits / (self.bits_per_sec * tr.weight / total_weight))
+                .fold(f64::INFINITY, f64::min);
+            let interval = (now - t).as_secs_f64();
+            let dt = first_dt.min(interval).max(0.0);
+            for tr in self.transfers.values_mut() {
+                let rate = self.bits_per_sec * tr.weight / total_weight;
+                tr.remaining_bits = (tr.remaining_bits - rate * dt).max(0.0);
+                if tr.remaining_bits < 1e-3 {
+                    tr.remaining_bits = 0.0;
+                }
+            }
+            if first_dt >= interval {
+                t = now;
+            } else {
+                t += SimDuration::from_secs_f64(dt);
+            }
+        }
+        self.last_advance = now;
+        completed
+    }
+
+    /// Begin a transfer of `bytes` at time `now` (the link is advanced
+    /// first). Weight 1.0.
+    pub fn start(&mut self, now: SimTime, bytes: u64) -> (TransferId, Vec<TransferId>) {
+        self.start_weighted(now, bytes, 1.0)
+    }
+
+    /// Begin a weighted transfer. Higher weight ⇒ larger share.
+    pub fn start_weighted(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        weight: f64,
+    ) -> (TransferId, Vec<TransferId>) {
+        assert!(weight > 0.0);
+        let completed = self.advance(now);
+        let id = TransferId(self.next_id);
+        self.next_id += 1;
+        self.transfers.insert(
+            id,
+            Transfer {
+                // A zero-byte transfer still takes one "tick"; give it a bit.
+                remaining_bits: ((bytes * 8).max(1)) as f64,
+                weight,
+            },
+        );
+        (id, completed)
+    }
+
+    /// Abort a transfer (e.g. stream reset). Returns whether it was active.
+    pub fn cancel(&mut self, id: TransferId) -> bool {
+        self.transfers.remove(&id).is_some()
+    }
+
+    /// When the next active transfer will complete, given current membership
+    /// (and assuming it does not change). `None` when idle.
+    pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        debug_assert!(now == self.last_advance, "advance() before querying");
+        if self.transfers.is_empty() {
+            return None;
+        }
+        let total_weight: f64 = self.transfers.values().map(|x| x.weight).sum();
+        let dt = self
+            .transfers
+            .values()
+            .map(|tr| tr.remaining_bits / (self.bits_per_sec * tr.weight / total_weight))
+            .fold(f64::INFINITY, f64::min);
+        // Round *up* to at least 1 ns so callers always make progress: a
+        // completion predicted exactly "now" would otherwise spin the event
+        // loop at one instant forever.
+        let ns = ((dt * 1e9).ceil() as u64).max(1);
+        Some(now + SimDuration::from_nanos(ns))
+    }
+
+    /// Remaining bytes of a transfer (diagnostics).
+    pub fn remaining_bytes(&self, id: TransferId) -> Option<u64> {
+        self.transfers
+            .get(&id)
+            .map(|t| (t.remaining_bits / 8.0).ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(m: u64) -> SharedLink {
+        SharedLink::new(m * 1_000_000)
+    }
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_nanos((s * 1e9) as u64)
+    }
+
+    #[test]
+    fn single_transfer_takes_size_over_bandwidth() {
+        let mut link = mbps(8); // 1 MB/s
+        let (id, _) = link.start(SimTime::ZERO, 1_000_000); // 1 MB
+        let done_at = link.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(done_at.as_millis(), 1000);
+        let completed = link.advance(done_at);
+        assert_eq!(completed, vec![id]);
+        assert_eq!(link.active(), 0);
+    }
+
+    #[test]
+    fn two_equal_transfers_share_evenly() {
+        let mut link = mbps(8);
+        let (a, _) = link.start(SimTime::ZERO, 500_000);
+        let (b, _) = link.start(SimTime::ZERO, 500_000);
+        // Each gets 0.5 MB/s => both finish at 1.0 s.
+        let done = link.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(done.as_millis(), 1000);
+        let completed = link.advance(secs(1.0));
+        assert_eq!(completed.len(), 2);
+        assert!(completed.contains(&a) && completed.contains(&b));
+    }
+
+    #[test]
+    fn late_joiner_slows_the_first() {
+        let mut link = mbps(8); // 1 MB/s
+        let (a, _) = link.start(SimTime::ZERO, 1_000_000);
+        // At t=0.5 s, a has 0.5 MB left; b joins with 0.5 MB.
+        let (b, done) = link.start(secs(0.5), 500_000);
+        assert!(done.is_empty());
+        // Now each gets 0.5 MB/s; both finish 1 s later at t=1.5.
+        let next = link.next_completion(secs(0.5)).unwrap();
+        assert_eq!(next.as_millis(), 1500);
+        let completed = link.advance(secs(1.5));
+        assert_eq!(completed.len(), 2);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn completion_frees_bandwidth_for_survivors() {
+        let mut link = mbps(8); // 1 MB/s
+        let (small, _) = link.start(SimTime::ZERO, 250_000);
+        let (big, _) = link.start(SimTime::ZERO, 1_000_000);
+        // Shared: each at 0.5 MB/s. small done at t=0.5 with big at 750 KB
+        // left; big then runs at full speed, done at t = 0.5 + 0.75 = 1.25 s.
+        let completed = link.advance(secs(2.0));
+        assert_eq!(completed, vec![small, big]);
+
+        // Re-run, checking the intermediate timing.
+        let mut link = mbps(8);
+        let (_s2, _) = link.start(SimTime::ZERO, 250_000);
+        let (b2, _) = link.start(SimTime::ZERO, 1_000_000);
+        let done1 = link.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(done1.as_millis(), 500);
+        link.advance(done1);
+        let done2 = link.next_completion(done1).unwrap();
+        assert_eq!(done2.as_millis(), 1250);
+        assert_eq!(link.remaining_bytes(b2), Some(750_000));
+    }
+
+    #[test]
+    fn weights_bias_shares() {
+        let mut link = mbps(8); // 1 MB/s
+        let (hi, _) = link.start_weighted(SimTime::ZERO, 750_000, 3.0);
+        let (lo, _) = link.start_weighted(SimTime::ZERO, 250_000, 1.0);
+        // hi gets 0.75 MB/s, lo 0.25 MB/s: both done at t=1.0 s.
+        let completed = link.advance(secs(1.0));
+        assert_eq!(completed.len(), 2);
+        let _ = (hi, lo);
+    }
+
+    #[test]
+    fn cancel_removes_contention() {
+        let mut link = mbps(8);
+        let (a, _) = link.start(SimTime::ZERO, 1_000_000);
+        let (b, _) = link.start(SimTime::ZERO, 1_000_000);
+        assert!(link.cancel(b));
+        assert!(!link.cancel(b));
+        let done = link.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(done.as_millis(), 1000, "full rate after cancel");
+        let _ = a;
+    }
+
+    #[test]
+    fn conservation_of_bytes() {
+        // Total bytes delivered over any schedule equals capacity * busy time.
+        let mut link = mbps(10);
+        let mut pending = vec![
+            (secs(0.0), 300_000u64),
+            (secs(0.1), 500_000),
+            (secs(0.1), 200_000),
+            (secs(0.7), 1_000_000),
+        ];
+        let total_bytes: u64 = pending.iter().map(|p| p.1).sum();
+        let mut all_completed = Vec::new();
+        for (t, bytes) in pending.drain(..) {
+            let (_, done) = link.start(t, bytes);
+            all_completed.extend(done);
+        }
+        // Work-conserving link, busy continuously from t=0: everything done
+        // at exactly total/capacity.
+        let finish = total_bytes as f64 * 8.0 / 10e6;
+        all_completed.extend(link.advance(secs(finish + 1e-6)));
+        assert_eq!(all_completed.len(), 4);
+        assert_eq!(link.active(), 0);
+        // And not a moment earlier.
+        let mut link2 = mbps(10);
+        link2.start(secs(0.0), 300_000);
+        link2.start(secs(0.1), 500_000);
+        link2.start(secs(0.1), 200_000);
+        link2.start(secs(0.7), 1_000_000);
+        link2.advance(secs(finish - 0.001));
+        assert_eq!(link2.active(), 1, "last transfer still in flight");
+    }
+
+    #[test]
+    fn zero_byte_transfer_completes_quickly() {
+        let mut link = mbps(1);
+        let (id, _) = link.start(SimTime::ZERO, 0);
+        let done = link.next_completion(SimTime::ZERO).unwrap();
+        assert!(done.as_nanos() < 1_000_000, "sub-millisecond");
+        assert_eq!(link.advance(done), vec![id]);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // Two identical transfers complete in id order.
+        let mut link = mbps(8);
+        let (a, _) = link.start(SimTime::ZERO, 100);
+        let (b, _) = link.start(SimTime::ZERO, 100);
+        let done = link.advance(secs(1.0));
+        assert_eq!(done, vec![a, b]);
+    }
+}

@@ -1,0 +1,154 @@
+//! An in-memory, thread-safe duplex byte pipe.
+//!
+//! The sans-IO `vroom-http2` connection needs a transport; in tests and the
+//! loopback examples that transport is this pipe — two endpoints, each with
+//! a send side feeding the other's receive side, built on crossbeam
+//! channels. Closing one end is observed as EOF by the other.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::Duration;
+
+/// One end of a duplex pipe.
+pub struct PipeEnd {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    /// Buffered bytes received but not yet consumed.
+    pending: Vec<u8>,
+}
+
+/// Create a connected pair of pipe ends.
+pub fn pair() -> (PipeEnd, PipeEnd) {
+    let (atx, arx) = unbounded();
+    let (btx, brx) = unbounded();
+    (
+        PipeEnd {
+            tx: atx,
+            rx: brx,
+            pending: Vec::new(),
+        },
+        PipeEnd {
+            tx: btx,
+            rx: arx,
+            pending: Vec::new(),
+        },
+    )
+}
+
+/// Outcome of a read attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Read {
+    /// Bytes arrived.
+    Data(Vec<u8>),
+    /// Nothing available right now.
+    Empty,
+    /// The peer hung up and all data has been drained.
+    Closed,
+}
+
+impl PipeEnd {
+    /// Send bytes to the peer. Returns `false` if the peer hung up.
+    pub fn send(&self, data: &[u8]) -> bool {
+        if data.is_empty() {
+            return true;
+        }
+        self.tx.send(data.to_vec()).is_ok()
+    }
+
+    /// Non-blocking read of whatever is available.
+    pub fn try_read(&mut self) -> Read {
+        let mut got = std::mem::take(&mut self.pending);
+        loop {
+            match self.rx.try_recv() {
+                Ok(chunk) => got.extend_from_slice(&chunk),
+                Err(TryRecvError::Empty) => {
+                    return if got.is_empty() { Read::Empty } else { Read::Data(got) }
+                }
+                Err(TryRecvError::Disconnected) => {
+                    return if got.is_empty() { Read::Closed } else { Read::Data(got) }
+                }
+            }
+        }
+    }
+
+    /// Blocking read with a timeout. `Read::Empty` on timeout.
+    pub fn read_timeout(&mut self, timeout: Duration) -> Read {
+        match self.try_read() {
+            Read::Empty => {}
+            other => return other,
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(chunk) => {
+                let mut got = chunk;
+                // Grab anything else already queued.
+                while let Ok(more) = self.rx.try_recv() {
+                    got.extend_from_slice(&more);
+                }
+                Read::Data(got)
+            }
+            Err(RecvTimeoutError::Timeout) => Read::Empty,
+            Err(RecvTimeoutError::Disconnected) => Read::Closed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bytes_cross_the_pipe_both_ways() {
+        let (mut a, mut b) = pair();
+        assert!(a.send(b"hello"));
+        assert!(b.send(b"world"));
+        assert_eq!(b.try_read(), Read::Data(b"hello".to_vec()));
+        assert_eq!(a.try_read(), Read::Data(b"world".to_vec()));
+        assert_eq!(a.try_read(), Read::Empty);
+    }
+
+    #[test]
+    fn chunks_coalesce() {
+        let (a, mut b) = pair();
+        a.send(b"ab");
+        a.send(b"cd");
+        a.send(b"ef");
+        assert_eq!(b.try_read(), Read::Data(b"abcdef".to_vec()));
+    }
+
+    #[test]
+    fn drop_signals_closed_after_drain() {
+        let (a, mut b) = pair();
+        a.send(b"last words");
+        drop(a);
+        assert_eq!(b.try_read(), Read::Data(b"last words".to_vec()));
+        assert_eq!(b.try_read(), Read::Closed);
+    }
+
+    #[test]
+    fn cross_thread_usage() {
+        let (mut a, mut b) = pair();
+        let t = thread::spawn(move || {
+            // Echo server: read one message, send it back doubled.
+            match b.read_timeout(Duration::from_secs(5)) {
+                Read::Data(d) => {
+                    let mut out = d.clone();
+                    out.extend_from_slice(&d);
+                    b.send(&out);
+                }
+                other => panic!("expected data, got {other:?}"),
+            }
+        });
+        a.send(b"xy");
+        match a.read_timeout(Duration::from_secs(5)) {
+            Read::Data(d) => assert_eq!(d, b"xyxy"),
+            other => panic!("expected data, got {other:?}"),
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn read_timeout_returns_empty() {
+        let (_a, mut b) = pair();
+        assert_eq!(b.read_timeout(Duration::from_millis(10)), Read::Empty);
+    }
+}

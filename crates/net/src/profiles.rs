@@ -1,0 +1,143 @@
+//! Network profile presets.
+//!
+//! The paper's testbed is a Nexus 6 on Verizon LTE with excellent signal;
+//! §4.3 notes that Vroom's scheduler targets exactly that regime (CPU-bound)
+//! and that 2G/3G or congested-cell regimes would need different policies —
+//! our ablation benches sweep across these profiles to show that crossover.
+
+use crate::latency::LatencyModel;
+use serde::{Deserialize, Serialize};
+use vroom_sim::SimDuration;
+
+/// A named access-network configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkProfile {
+    /// Human-readable name.
+    pub name: String,
+    /// Downlink capacity in bits per second.
+    pub downlink_bps: u64,
+    /// Uplink capacity in bits per second (requests are small; modeled as
+    /// latency only, but the number is kept for reporting).
+    pub uplink_bps: u64,
+    /// Latency model.
+    pub latency: LatencyModel,
+}
+
+impl NetworkProfile {
+    /// Verizon-LTE-like: the paper's primary regime.
+    pub fn lte() -> Self {
+        NetworkProfile {
+            name: "LTE".into(),
+            downlink_bps: 9_600_000,
+            uplink_bps: 5_000_000,
+            latency: LatencyModel::uniform(
+                SimDuration::from_millis(70),
+                SimDuration::from_millis(40),
+            ),
+        }
+    }
+
+    /// A congested cell: same latency, a fifth of the bandwidth.
+    pub fn lte_congested() -> Self {
+        NetworkProfile {
+            name: "LTE-congested".into(),
+            downlink_bps: 1_900_000,
+            uplink_bps: 1_000_000,
+            latency: LatencyModel::uniform(
+                SimDuration::from_millis(70),
+                SimDuration::from_millis(30),
+            ),
+        }
+    }
+
+    /// 3G/HSPA-like.
+    pub fn three_g() -> Self {
+        NetworkProfile {
+            name: "3G".into(),
+            downlink_bps: 1_600_000,
+            uplink_bps: 768_000,
+            latency: LatencyModel::uniform(
+                SimDuration::from_millis(150),
+                SimDuration::from_millis(30),
+            ),
+        }
+    }
+
+    /// 2G/EDGE-like.
+    pub fn two_g() -> Self {
+        NetworkProfile {
+            name: "2G".into(),
+            downlink_bps: 240_000,
+            uplink_bps: 200_000,
+            latency: LatencyModel::uniform(
+                SimDuration::from_millis(400),
+                SimDuration::from_millis(30),
+            ),
+        }
+    }
+
+    /// Home broadband over WiFi.
+    pub fn wifi() -> Self {
+        NetworkProfile {
+            name: "WiFi".into(),
+            downlink_bps: 40_000_000,
+            uplink_bps: 10_000_000,
+            latency: LatencyModel::uniform(
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(25),
+            ),
+        }
+    }
+
+    /// The paper's CPU-bound lower-bound rig: phone tethered over USB to a
+    /// desktop hosting every server — effectively infinite bandwidth, near
+    /// zero latency.
+    pub fn usb_tether() -> Self {
+        NetworkProfile {
+            name: "USB-tether".into(),
+            downlink_bps: 2_000_000_000,
+            uplink_bps: 2_000_000_000,
+            latency: LatencyModel::uniform(
+                SimDuration::from_micros(500),
+                SimDuration::ZERO,
+            ),
+        }
+    }
+
+    /// Scale the downlink (for bandwidth-sweep ablations).
+    pub fn with_downlink(mut self, bps: u64) -> Self {
+        self.downlink_bps = bps;
+        self
+    }
+
+    /// Override the cellular RTT (for latency-sweep ablations).
+    pub fn with_cellular_rtt(mut self, rtt: SimDuration) -> Self {
+        self.latency.cellular_rtt = rtt;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_sensibly() {
+        assert!(NetworkProfile::lte().downlink_bps > NetworkProfile::three_g().downlink_bps);
+        assert!(NetworkProfile::three_g().downlink_bps > NetworkProfile::two_g().downlink_bps);
+        assert!(
+            NetworkProfile::two_g().latency.cellular_rtt
+                > NetworkProfile::lte().latency.cellular_rtt
+        );
+        assert!(NetworkProfile::usb_tether().downlink_bps > NetworkProfile::wifi().downlink_bps);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let p = NetworkProfile::lte()
+            .with_downlink(1_000_000)
+            .with_cellular_rtt(SimDuration::from_millis(300));
+        assert_eq!(p.downlink_bps, 1_000_000);
+        assert_eq!(p.latency.cellular_rtt.as_millis(), 300);
+    }
+}

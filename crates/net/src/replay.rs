@@ -1,0 +1,239 @@
+//! A Mahimahi-style record/replay store (paper §5, §6.1).
+//!
+//! Mahimahi records every HTTP response during a live page load and replays
+//! them from local shells, shaping traffic with the recorded per-server RTTs.
+//! Our equivalent stores one [`RecordedResponse`] per URL, serializable to
+//! JSON so corpora can be saved, inspected, and replayed bit-identically.
+
+use crate::latency::LatencyModel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use vroom_html::{ResourceKind, Url};
+use vroom_sim::SimDuration;
+
+/// One recorded HTTP exchange.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordedResponse {
+    /// The response's content class.
+    pub kind: ResourceKind,
+    /// Body size in bytes (synthetic bodies are regenerated on demand).
+    pub size: u64,
+    /// Status code.
+    pub status: u16,
+    /// Freshness lifetime; `None` means uncacheable.
+    pub max_age: Option<SimDuration>,
+    /// Literal body, if the recording kept one (HTML usually does, so the
+    /// online analyzer can re-scan it; images usually don't).
+    pub body: Option<String>,
+}
+
+impl RecordedResponse {
+    /// A cacheable 200 of the given kind and size, no stored body.
+    pub fn synthetic(kind: ResourceKind, size: u64) -> Self {
+        RecordedResponse {
+            kind,
+            size,
+            status: 200,
+            max_age: Some(SimDuration::from_secs(3600)),
+            body: None,
+        }
+    }
+
+    /// A 200 with a literal body (size derived from it).
+    pub fn with_body(kind: ResourceKind, body: impl Into<String>) -> Self {
+        let body = body.into();
+        RecordedResponse {
+            kind,
+            size: body.len() as u64,
+            status: 200,
+            max_age: Some(SimDuration::from_secs(3600)),
+            body: Some(body),
+        }
+    }
+
+    /// Mark the response uncacheable.
+    pub fn uncacheable(mut self) -> Self {
+        self.max_age = None;
+        self
+    }
+
+    /// The body to serve: the literal one, or a deterministic synthetic body
+    /// of the recorded size (for wire demos serving non-HTML content).
+    pub fn body_bytes(&self) -> Vec<u8> {
+        match &self.body {
+            Some(b) => b.clone().into_bytes(),
+            None => {
+                let mut out = Vec::with_capacity(self.size as usize);
+                let pattern = b"vroom-replay-filler.";
+                while out.len() < self.size as usize {
+                    let take = pattern.len().min(self.size as usize - out.len());
+                    out.extend_from_slice(&pattern[..take]);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A recorded page-load corpus: URL → response, plus the latency environment
+/// observed at record time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReplayStore {
+    /// Responses by URL.
+    pub responses: HashMap<Url, RecordedResponse>,
+    /// Per-domain wired RTTs observed while recording.
+    pub server_rtts: HashMap<String, SimDuration>,
+}
+
+impl ReplayStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record (or overwrite) a response.
+    pub fn record(&mut self, url: Url, response: RecordedResponse) {
+        self.responses.insert(url, response);
+    }
+
+    /// Record the wired RTT to a domain.
+    pub fn record_rtt(&mut self, domain: impl Into<String>, rtt: SimDuration) {
+        self.server_rtts.insert(domain.into(), rtt);
+    }
+
+    /// Look up a response.
+    pub fn lookup(&self, url: &Url) -> Option<&RecordedResponse> {
+        self.responses.get(url)
+    }
+
+    /// Number of recorded URLs.
+    pub fn len(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.responses.is_empty()
+    }
+
+    /// All recorded URLs for a domain.
+    pub fn urls_for_domain<'a>(&'a self, domain: &'a str) -> impl Iterator<Item = &'a Url> {
+        self.responses.keys().filter(move |u| u.host == domain)
+    }
+
+    /// Overlay the recorded RTTs onto a latency model (the paper's replay
+    /// shaping: cellular delay + recorded per-server RTT).
+    pub fn apply_rtts(&self, latency: &mut LatencyModel) {
+        for (domain, rtt) in &self.server_rtts {
+            latency.set_server_rtt(domain.clone(), *rtt);
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("store serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load from a file.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        Self::from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ReplayStore {
+        let mut store = ReplayStore::new();
+        store.record(
+            Url::https("news.com", "/"),
+            RecordedResponse::with_body(
+                ResourceKind::Html,
+                "<html><script src=/app.js></script></html>",
+            ),
+        );
+        store.record(
+            Url::https("news.com", "/app.js"),
+            RecordedResponse::synthetic(ResourceKind::Js, 40_000),
+        );
+        store.record(
+            Url::https("cdn.net", "/hero.jpg"),
+            RecordedResponse::synthetic(ResourceKind::Image, 300_000).uncacheable(),
+        );
+        store.record_rtt("news.com", SimDuration::from_millis(25));
+        store.record_rtt("cdn.net", SimDuration::from_millis(5));
+        store
+    }
+
+    #[test]
+    fn lookup_and_domain_iteration() {
+        let store = sample();
+        assert_eq!(store.len(), 3);
+        let html = store.lookup(&Url::https("news.com", "/")).unwrap();
+        assert_eq!(html.kind, ResourceKind::Html);
+        assert!(html.body.is_some());
+        assert_eq!(store.urls_for_domain("news.com").count(), 2);
+        assert_eq!(store.urls_for_domain("cdn.net").count(), 1);
+        assert!(store.lookup(&Url::https("news.com", "/missing")).is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let store = sample();
+        let json = store.to_json();
+        let back = ReplayStore::from_json(&json).unwrap();
+        assert_eq!(back.len(), store.len());
+        assert_eq!(
+            back.lookup(&Url::https("cdn.net", "/hero.jpg")),
+            store.lookup(&Url::https("cdn.net", "/hero.jpg"))
+        );
+        assert_eq!(back.server_rtts, store.server_rtts);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let store = sample();
+        let dir = std::env::temp_dir().join("vroom-replay-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.json");
+        store.save(&path).unwrap();
+        let back = ReplayStore::load(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn synthetic_bodies_match_recorded_size() {
+        let r = RecordedResponse::synthetic(ResourceKind::Image, 12_345);
+        assert_eq!(r.body_bytes().len(), 12_345);
+        let r0 = RecordedResponse::synthetic(ResourceKind::Image, 0);
+        assert!(r0.body_bytes().is_empty());
+    }
+
+    #[test]
+    fn rtts_overlay_latency_model() {
+        let store = sample();
+        let mut latency = LatencyModel::uniform(
+            SimDuration::from_millis(60),
+            SimDuration::from_millis(99),
+        );
+        store.apply_rtts(&mut latency);
+        assert_eq!(latency.rtt("news.com").as_millis(), 85);
+        assert_eq!(latency.rtt("cdn.net").as_millis(), 65);
+        assert_eq!(latency.rtt("other.org").as_millis(), 159, "default");
+    }
+}

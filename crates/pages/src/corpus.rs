@@ -1,0 +1,125 @@
+//! The evaluation corpora: named site collections matching the paper's.
+//!
+//! * Top 50 News + Top 50 Sports landing pages (the primary corpus,
+//!   median status-quo PLT ≈ 10.5 s),
+//! * Alexa US Top 100 (Figure 1),
+//! * 100 random sites from the top 400 (§6.1),
+//! * 265 News/Sports pages of varied types for the accuracy study (§6.2).
+
+use crate::generate::{PageGenerator, SiteProfile};
+
+/// A named collection of page generators.
+pub struct Corpus {
+    /// Collection label.
+    pub name: String,
+    /// One generator per site/page.
+    pub sites: Vec<PageGenerator>,
+}
+
+impl Corpus {
+    /// Top 50 News + Top 50 Sports landing pages.
+    pub fn news_and_sports(seed: u64) -> Corpus {
+        let mut sites = Vec::new();
+        for i in 0..50u64 {
+            sites.push(PageGenerator::new(SiteProfile::news(), seed ^ (0x1000 + i)));
+        }
+        for i in 0..50u64 {
+            sites.push(PageGenerator::new(SiteProfile::sports(), seed ^ (0x2000 + i)));
+        }
+        Corpus {
+            name: "news+sports".into(),
+            sites,
+        }
+    }
+
+    /// The Alexa US Top 100.
+    pub fn top100(seed: u64) -> Corpus {
+        let sites = (0..100u64)
+            .map(|i| PageGenerator::new(SiteProfile::top100(), seed ^ (0x3000 + i)))
+            .collect();
+        Corpus {
+            name: "top100".into(),
+            sites,
+        }
+    }
+
+    /// 100 random sites from the Alexa top 400.
+    pub fn top400_sample(seed: u64) -> Corpus {
+        let sites = (0..100u64)
+            .map(|i| PageGenerator::new(SiteProfile::top400(), seed ^ (0x4000 + i)))
+            .collect();
+        Corpus {
+            name: "top400-sample".into(),
+            sites,
+        }
+    }
+
+    /// 265 pages drawn from News/Sports sites, a mix of page types
+    /// (landing pages, articles, game results) — the §6.2 accuracy corpus.
+    pub fn accuracy_pages(seed: u64) -> Corpus {
+        let mut sites = Vec::new();
+        for i in 0..265u64 {
+            let profile = if i % 2 == 0 {
+                SiteProfile::news()
+            } else {
+                SiteProfile::sports()
+            };
+            sites.push(PageGenerator::new(profile, seed ^ (0x5000 + i)));
+        }
+        Corpus {
+            name: "accuracy-265".into(),
+            sites,
+        }
+    }
+
+    /// A small corpus for fast tests.
+    pub fn small(seed: u64, n: usize) -> Corpus {
+        let sites = (0..n as u64)
+            .map(|i| PageGenerator::new(SiteProfile::news(), seed ^ (0x6000 + i)))
+            .collect();
+        Corpus {
+            name: format!("small-{n}"),
+            sites,
+        }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::LoadContext;
+
+    #[test]
+    fn corpora_have_paper_sizes() {
+        assert_eq!(Corpus::news_and_sports(1).len(), 100);
+        assert_eq!(Corpus::top100(1).len(), 100);
+        assert_eq!(Corpus::top400_sample(1).len(), 100);
+        assert_eq!(Corpus::accuracy_pages(1).len(), 265);
+    }
+
+    #[test]
+    fn sites_are_distinct_and_deterministic() {
+        let a = Corpus::news_and_sports(7);
+        let b = Corpus::news_and_sports(7);
+        let ctx = LoadContext::reference();
+        let pa = a.sites[3].snapshot(&ctx);
+        let pb = b.sites[3].snapshot(&ctx);
+        assert_eq!(pa.url, pb.url);
+        assert_eq!(pa.len(), pb.len());
+        assert_ne!(
+            a.sites[0].snapshot(&ctx).url,
+            a.sites[1].snapshot(&ctx).url,
+            "sites have distinct domains"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! `vroom-pages` — synthetic web-page corpora for the Vroom reproduction.
+//!
+//! The paper evaluates on live Alexa Top-100 / News / Sports pages recorded
+//! with Mahimahi; that data is not available here, so this crate generates
+//! statistically equivalent corpora (see DESIGN.md §1 for the substitution
+//! argument). Pages are trees of [`Resource`]s with discovery edges, CPU
+//! costs, sizes, priorities, and — critically for Vroom — the paper's
+//! Figure-8 taxonomy of URL variation: stable, hourly flux, per-load random,
+//! user-personalized, and device-personalized resources.
+//!
+//! Everything is deterministic: a `(site seed, LoadContext)` pair always
+//! yields the same [`Page`], so experiments are exactly reproducible.
+
+pub mod corpus;
+pub mod dynamics;
+pub mod generate;
+pub mod model;
+pub mod render;
+
+pub use corpus::Corpus;
+pub use dynamics::{DeviceClass, LoadContext};
+pub use generate::{PageGenerator, SiteProfile};
+pub use model::{Page, Resource, ResourceId, Stability};
+pub use render::render_html;

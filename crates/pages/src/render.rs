@@ -1,0 +1,169 @@
+//! Render a [`Page`]'s HTML documents as real markup.
+//!
+//! The wire-level demos serve actual HTML bytes through the real HTTP/2
+//! stack, and the Vroom server's online analysis runs the real scanner over
+//! them — so the markup must faithfully encode the model: children with
+//! `via_markup` appear as tags; script-constructed children appear only as
+//! dynamic string expressions no scanner can extract.
+
+use crate::model::{Page, ResourceId};
+use vroom_html::{ExecMode, ResourceKind};
+
+/// Render the markup for one HTML resource of the page (the root, or an
+/// iframe document).
+pub fn render_html(page: &Page, html_id: ResourceId) -> String {
+    let r = &page.resources[html_id];
+    assert_eq!(r.kind, ResourceKind::Html, "can only render HTML resources");
+    let mut head = String::new();
+    let mut body = String::new();
+    let mut dynamic = String::new();
+
+    for child in page.children(html_id) {
+        if child.via_markup {
+            match child.kind {
+                ResourceKind::Css => {
+                    head.push_str(&format!(
+                        "  <link rel=\"stylesheet\" href=\"{}\">\n",
+                        child.url
+                    ));
+                }
+                ResourceKind::Js => {
+                    let attr = match child.exec {
+                        ExecMode::Sync => "",
+                        ExecMode::Async => " async",
+                        ExecMode::Defer => " defer",
+                    };
+                    head.push_str(&format!(
+                        "  <script src=\"{}\"{attr}></script>\n",
+                        child.url
+                    ));
+                }
+                ResourceKind::Image => {
+                    body.push_str(&format!("  <img src=\"{}\">\n", child.url));
+                }
+                ResourceKind::Html => {
+                    body.push_str(&format!("  <iframe src=\"{}\"></iframe>\n", child.url));
+                }
+                ResourceKind::Font => {
+                    head.push_str(&format!(
+                        "  <link rel=\"preload\" href=\"{}\" as=\"font\">\n",
+                        child.url
+                    ));
+                }
+                ResourceKind::Media => {
+                    body.push_str(&format!("  <video src=\"{}\"></video>\n", child.url));
+                }
+                ResourceKind::Xhr | ResourceKind::Other => {
+                    head.push_str(&format!(
+                        "  <link rel=\"prefetch\" href=\"{}\">\n",
+                        child.url
+                    ));
+                }
+            }
+        } else {
+            // Script-constructed reference: split the URL so no static
+            // scanner can reassemble it — this is precisely the content the
+            // paper's online analysis cannot see.
+            let s = child.url.to_string();
+            // Split right before the path so neither fragment is a usable
+            // absolute URL on its own.
+            let mid = s[8..].find('/').map(|i| i + 8).unwrap_or(s.len() / 2);
+            dynamic.push_str(&format!(
+                "    fetchLater(\"{}\" + \"{}\");\n",
+                &s[..mid],
+                &s[mid..]
+            ));
+        }
+    }
+
+    let mut out = String::with_capacity(r.size as usize);
+    out.push_str("<!DOCTYPE html>\n<html>\n<head>\n");
+    out.push_str(&head);
+    out.push_str("</head>\n<body>\n");
+    out.push_str(&body);
+    if !dynamic.is_empty() {
+        out.push_str("  <script>\n");
+        out.push_str(&dynamic);
+        out.push_str("  </script>\n");
+    }
+    // Pad with comment filler toward the modeled size so transfer timings
+    // on the wire resemble the model.
+    let filler_needed = (r.size as usize).saturating_sub(out.len() + 20);
+    if filler_needed > 0 {
+        out.push_str("  <!-- ");
+        let pat = b"lorem-vroom ";
+        let mut n = 0;
+        while n < filler_needed {
+            let take = pat.len().min(filler_needed - n);
+            out.push_str(std::str::from_utf8(&pat[..take]).expect("ascii"));
+            n += take;
+        }
+        out.push_str(" -->\n");
+    }
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::LoadContext;
+    use crate::generate::{PageGenerator, SiteProfile};
+    use vroom_html::scan_html;
+
+    #[test]
+    fn rendered_markup_exposes_exactly_the_markup_children() {
+        let page =
+            PageGenerator::new(SiteProfile::news(), 77).snapshot(&LoadContext::reference());
+        let html = render_html(&page, 0);
+        let found = scan_html(&page.url, &html);
+        let found_urls: std::collections::HashSet<_> =
+            found.iter().map(|d| d.url.clone()).collect();
+        for child in page.children(0) {
+            if child.via_markup {
+                assert!(
+                    found_urls.contains(&child.url),
+                    "markup child {} must be scannable",
+                    child.url
+                );
+            } else {
+                assert!(
+                    !found_urls.contains(&child.url),
+                    "script-built child {} must be invisible to the scanner",
+                    child.url
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rendered_size_tracks_model_size() {
+        let page =
+            PageGenerator::new(SiteProfile::news(), 78).snapshot(&LoadContext::reference());
+        let html = render_html(&page, 0);
+        let modeled = page.resources[0].size as f64;
+        let actual = html.len() as f64;
+        assert!(
+            (actual / modeled - 1.0).abs() < 0.25,
+            "rendered {actual} vs modeled {modeled}"
+        );
+    }
+
+    #[test]
+    fn iframe_documents_render_their_subtree() {
+        let page =
+            PageGenerator::new(SiteProfile::news(), 79).snapshot(&LoadContext::reference());
+        let frame = page
+            .resources
+            .iter()
+            .find(|r| r.kind == ResourceKind::Html && r.id != 0)
+            .expect("news pages have iframes");
+        let html = render_html(&page, frame.id);
+        let found = scan_html(&frame.url, &html);
+        let markup_children = page
+            .children(frame.id)
+            .filter(|c| c.via_markup)
+            .count();
+        assert_eq!(found.len(), markup_children);
+    }
+}

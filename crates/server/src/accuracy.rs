@@ -1,0 +1,178 @@
+//! Accuracy scoring for server-side dependency resolution (paper §6.2,
+//! Fig 21).
+//!
+//! The ground truth is the *predictable subset*: URLs that are identical
+//! across back-to-back loads of the page, restricted to resources derived
+//! from the root HTML excluding those derived from embedded HTMLs (the
+//! scope a root-HTML response can legitimately cover).
+
+use crate::resolve::{resolve, ResolverInput, Strategy};
+use std::collections::HashSet;
+use vroom_html::Url;
+use vroom_pages::{LoadContext, Page, PageGenerator};
+
+/// Accuracy of one strategy on one page load.
+#[derive(Debug, Clone, Copy)]
+pub struct Accuracy {
+    /// Fraction of the predictable subset the server missed.
+    pub false_negative: f64,
+    /// Extraneous URLs returned, as a fraction of the predictable subset.
+    pub false_positive: f64,
+    /// |predictable| / |scope| by resource count (Fig 21a).
+    pub predictable_count_frac: f64,
+    /// Same by bytes (Fig 21a).
+    pub predictable_bytes_frac: f64,
+}
+
+/// Scope: resources derived from the root HTML minus iframe-derived ones.
+fn scope(page: &Page) -> Vec<&vroom_pages::Resource> {
+    page.resources
+        .iter()
+        .filter(|r| r.id != 0 && r.iframe_root.is_none())
+        .collect()
+}
+
+/// Evaluate one strategy against one client load (plus its back-to-back
+/// repeat, which defines predictability).
+pub fn evaluate(
+    generator: &PageGenerator,
+    ctx: &LoadContext,
+    strategy: Strategy,
+    server_seed: u64,
+) -> Accuracy {
+    let load_a = generator.snapshot(ctx);
+    let load_b = generator.snapshot(&ctx.back_to_back(ctx.nonce ^ 0xB2B));
+
+    let scope_a = scope(&load_a);
+    let urls_b: HashSet<&Url> = scope(&load_b).iter().map(|r| &r.url).collect();
+    let predictable: HashSet<&Url> = scope_a
+        .iter()
+        .filter(|r| urls_b.contains(&r.url))
+        .map(|r| &r.url)
+        .collect();
+
+    let total_bytes: u64 = scope_a.iter().map(|r| r.size).sum();
+    let predictable_bytes: u64 = scope_a
+        .iter()
+        .filter(|r| predictable.contains(&r.url))
+        .map(|r| r.size)
+        .sum();
+
+    let input = ResolverInput::new(generator, ctx.hours, ctx.device, server_seed);
+    let deps = resolve(&input, &load_a, strategy);
+    let server_set: HashSet<&Url> = deps
+        .hints
+        .get(&load_a.url)
+        .map(|hs| hs.iter().map(|h| &h.url).collect())
+        .unwrap_or_default();
+
+    let fn_count = predictable
+        .iter()
+        .filter(|u| !server_set.contains(*u))
+        .count();
+    let fp_count = server_set
+        .iter()
+        .filter(|u| !predictable.contains(*u))
+        .count();
+    let denom = predictable.len().max(1) as f64;
+
+    Accuracy {
+        false_negative: fn_count as f64 / denom,
+        false_positive: fp_count as f64 / denom,
+        predictable_count_frac: predictable.len() as f64 / scope_a.len().max(1) as f64,
+        predictable_bytes_frac: predictable_bytes as f64 / total_bytes.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vroom_pages::{DeviceClass, SiteProfile};
+
+    fn ctx(h: f64) -> LoadContext {
+        LoadContext {
+            hours: h,
+            user_id: 42,
+            device: DeviceClass::PhoneLarge,
+            nonce: 7,
+        }
+    }
+
+    fn median(mut v: Vec<f64>) -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+
+    /// The paper's §6.2 headline: Vroom's FN < 5% at the median;
+    /// offline-only misses far more; online-only misses nothing.
+    #[test]
+    fn fig21b_shape_false_negatives() {
+        let mut vroom = Vec::new();
+        let mut offline = Vec::new();
+        let mut online = Vec::new();
+        for seed in 0..25u64 {
+            let g = PageGenerator::new(SiteProfile::news(), 9000 + seed);
+            let c = ctx(1500.0 + seed as f64);
+            vroom.push(evaluate(&g, &c, Strategy::Vroom, 1).false_negative);
+            offline.push(evaluate(&g, &c, Strategy::OfflineOnly, 1).false_negative);
+            online.push(evaluate(&g, &c, Strategy::OnlineOnly, 1).false_negative);
+        }
+        let (mv, mo, mn) = (median(vroom), median(offline), median(online));
+        assert!(mv < 0.05, "Vroom median FN must be < 5%, got {mv}");
+        assert!(mo > mv * 2.0, "offline-only misses much more: {mo} vs {mv}");
+        assert!(mo > 0.10, "offline-only median FN substantial, got {mo}");
+        assert!(mn < 0.02, "online-only is near-perfect on FN, got {mn}");
+    }
+
+    /// Fig 21c: Vroom's FP matches offline-only (low); online-only inflates.
+    #[test]
+    fn fig21c_shape_false_positives() {
+        let mut vroom = Vec::new();
+        let mut offline = Vec::new();
+        let mut online = Vec::new();
+        for seed in 0..25u64 {
+            let g = PageGenerator::new(SiteProfile::news(), 9100 + seed);
+            let c = ctx(1500.0 + seed as f64);
+            vroom.push(evaluate(&g, &c, Strategy::Vroom, 1).false_positive);
+            offline.push(evaluate(&g, &c, Strategy::OfflineOnly, 1).false_positive);
+            online.push(evaluate(&g, &c, Strategy::OnlineOnly, 1).false_positive);
+        }
+        let (mv, mo, mn) = (median(vroom), median(offline), median(online));
+        assert!(mv < 0.10, "Vroom FP stays low, got {mv}");
+        assert!(
+            (mv - mo).abs() < 0.05,
+            "Vroom FP ≈ offline-only FP: {mv} vs {mo}"
+        );
+        assert!(mn > mv + 0.02, "online-only inflates FP: {mn} vs {mv}");
+    }
+
+    /// Fig 21a: the predictable subset dominates counts and bytes.
+    #[test]
+    fn fig21a_shape_predictable_share() {
+        let mut counts = Vec::new();
+        let mut bytes = Vec::new();
+        for seed in 0..25u64 {
+            let g = PageGenerator::new(SiteProfile::news(), 9200 + seed);
+            let a = evaluate(&g, &ctx(1500.0), Strategy::Vroom, 1);
+            counts.push(a.predictable_count_frac);
+            bytes.push(a.predictable_bytes_frac);
+        }
+        let (mc, mb) = (median(counts), median(bytes));
+        assert!(mc > 0.80, "predictable count share > 80%, got {mc}");
+        assert!(mb > 0.90, "predictable bytes share > 90%, got {mb}");
+    }
+
+    /// The PreviousLoad strawman returns plenty of garbage (Fig 17's cause).
+    #[test]
+    fn previous_load_has_high_fp() {
+        let g = PageGenerator::new(SiteProfile::news(), 9999);
+        let a = evaluate(&g, &ctx(1500.0), Strategy::PreviousLoad, 1);
+        let v = evaluate(&g, &ctx(1500.0), Strategy::Vroom, 1);
+        assert!(
+            a.false_positive > v.false_positive + 0.05,
+            "prev-load FP {} must exceed Vroom FP {}",
+            a.false_positive,
+            v.false_positive
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Page-type clustering (paper §7, future work): amortize offline crawling
+//! across pages of the same type. "On a news site, landing pages for
+//! different news categories are likely to share similarities as will news
+//! articles about different individual stories" — so one crawl per cluster
+//! representative suffices, with the shared stable core serving the rest.
+
+use crate::device::iou;
+use crate::resolve::ResolverInput;
+use std::collections::HashSet;
+use vroom_html::Url;
+use vroom_pages::{DeviceClass, PageGenerator};
+
+/// A clustering of pages into same-type groups.
+#[derive(Debug)]
+pub struct PageTypeClusters {
+    /// Indexes into the input page list, grouped.
+    pub groups: Vec<Vec<usize>>,
+    /// The shared stable core per group (URLs common to every member).
+    pub shared_core: Vec<HashSet<Url>>,
+}
+
+impl PageTypeClusters {
+    /// How many offline crawls per hour this clustering saves, relative to
+    /// crawling every page (the §7 scalability motivation).
+    pub fn crawl_savings(&self, total_pages: usize) -> f64 {
+        1.0 - self.groups.len() as f64 / total_pages.max(1) as f64
+    }
+
+    /// The group a page belongs to.
+    pub fn group_of(&self, page_idx: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&page_idx))
+    }
+}
+
+/// Cluster pages by stable-set similarity (greedy agglomeration against
+/// group representatives at the given IoU threshold).
+pub fn cluster_pages(
+    pages: &[&PageGenerator],
+    hours: f64,
+    device: DeviceClass,
+    server_seed: u64,
+    threshold: f64,
+) -> PageTypeClusters {
+    // Normalize URLs to templates (strip rotating version suffixes) so the
+    // comparison captures page *structure*, not this hour's content.
+    fn template(u: &Url) -> String {
+        let path = u.path.split('?').next().unwrap_or("");
+        let stripped: String = path
+            .split('/')
+            .map(|seg| seg.split("-v").next().unwrap_or(seg))
+            .collect::<Vec<_>>()
+            .join("/");
+        format!("{}{}", u.host, stripped)
+    }
+    let mut groups: Vec<(HashSet<Url>, HashSet<String>, Vec<usize>)> = Vec::new();
+    for (idx, page) in pages.iter().enumerate() {
+        let input = ResolverInput::new(page, hours, device, server_seed);
+        let loads = input.offline_loads();
+        let later: Vec<HashSet<&Url>> = loads[1..]
+            .iter()
+            .map(|p| p.resources.iter().map(|r| &r.url).collect())
+            .collect();
+        let stable: HashSet<Url> = loads[0]
+            .resources
+            .iter()
+            .filter(|r| later.iter().all(|s| s.contains(&r.url)))
+            .map(|r| r.url.clone())
+            .collect();
+        let templ: HashSet<String> = stable.iter().map(template).collect();
+        let matched = groups.iter_mut().find(|(_, rep_templ, _)| {
+            let inter = rep_templ.intersection(&templ).count() as f64;
+            let union = rep_templ.union(&templ).count() as f64;
+            union > 0.0 && inter / union >= threshold
+        });
+        match matched {
+            Some((rep_urls, _, members)) => {
+                rep_urls.retain(|u| stable.contains(u));
+                members.push(idx);
+            }
+            None => groups.push((stable, templ, vec![idx])),
+        }
+    }
+    PageTypeClusters {
+        shared_core: groups.iter().map(|(core, _, _)| core.clone()).collect(),
+        groups: groups.into_iter().map(|(_, _, m)| m).collect(),
+    }
+}
+
+/// Convenience: IoU of two generators' stable sets (exposed for tests).
+pub fn structural_similarity(
+    a: &PageGenerator,
+    b: &PageGenerator,
+    hours: f64,
+    device: DeviceClass,
+    server_seed: u64,
+) -> f64 {
+    let sa = crate::device::stable_set(a, hours, device, server_seed);
+    let sb = crate::device::stable_set(b, hours, device, server_seed);
+    iou(&sa, &sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vroom_pages::{LoadContext, SiteProfile};
+
+    /// Pages of the *same site* (same seed, same domains) cluster together;
+    /// pages of different sites do not.
+    #[test]
+    fn same_site_pages_cluster() {
+        // Two "page types" of one site: the same generator observed at two
+        // nearby times shares structure; a different site does not.
+        let a = PageGenerator::new(SiteProfile::news(), 11);
+        let b = PageGenerator::new(SiteProfile::news(), 11);
+        let c = PageGenerator::new(SiteProfile::news(), 12);
+        let clusters = cluster_pages(&[&a, &b, &c], 1500.0, DeviceClass::PhoneLarge, 5, 0.5);
+        assert_eq!(clusters.groups.len(), 2, "{:?}", clusters.groups);
+        assert_eq!(clusters.group_of(0), clusters.group_of(1));
+        assert_ne!(clusters.group_of(0), clusters.group_of(2));
+        assert!(clusters.crawl_savings(3) > 0.3);
+        // The shared core of the (a, b) group is non-empty.
+        let g = clusters.group_of(0).unwrap();
+        assert!(!clusters.shared_core[g].is_empty());
+        let _ = LoadContext::reference();
+    }
+
+    #[test]
+    fn similarity_is_reflexive_and_discriminative() {
+        let a = PageGenerator::new(SiteProfile::news(), 21);
+        let b = PageGenerator::new(SiteProfile::news(), 22);
+        let self_sim = structural_similarity(&a, &a, 1500.0, DeviceClass::PhoneLarge, 5);
+        let cross_sim = structural_similarity(&a, &b, 1500.0, DeviceClass::PhoneLarge, 5);
+        assert!((self_sim - 1.0).abs() < 1e-9);
+        assert!(cross_sim < 0.2, "different sites share nothing: {cross_sim}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Wire encoding of dependency hints (paper Table 1).
+//!
+//! Tier 0 travels as standard `Link` preload headers; tiers 1 and 2 as
+//! Vroom's `x-semi-important` / `x-unimportant` extension headers. The
+//! response also exposes the custom headers to cross-origin JS schedulers
+//! via `Access-Control-Expose-Headers` (§5.2, footnote 7).
+
+use vroom_browser::config::Hint;
+use vroom_html::{ResourceKind, Url};
+use vroom_http2::headers::hint_headers as names;
+use vroom_http2::Response;
+
+/// The `as=` destination token for a preload of this kind.
+fn as_token(kind: ResourceKind) -> &'static str {
+    match kind {
+        ResourceKind::Js => "script",
+        ResourceKind::Css => "style",
+        ResourceKind::Image => "image",
+        ResourceKind::Font => "font",
+        ResourceKind::Html => "document",
+        ResourceKind::Media => "video",
+        ResourceKind::Xhr | ResourceKind::Other => "fetch",
+    }
+}
+
+/// Attach a hint list to an HTTP response as headers.
+pub fn attach_hints(mut response: Response, hints: &[Hint]) -> Response {
+    for h in hints {
+        match h.tier {
+            0 => {
+                let kind = ResourceKind::from_url(&h.url);
+                response.headers.push(vroom_hpack::HeaderField::new(
+                    names::LINK,
+                    format!("<{}>; rel=preload; as={}", h.url, as_token(kind)),
+                ));
+            }
+            1 => {
+                response.headers.push(vroom_hpack::HeaderField::new(
+                    names::SEMI_IMPORTANT,
+                    h.url.to_string(),
+                ));
+            }
+            _ => {
+                response.headers.push(vroom_hpack::HeaderField::new(
+                    names::UNIMPORTANT,
+                    h.url.to_string(),
+                ));
+            }
+        }
+    }
+    response.headers.push(vroom_hpack::HeaderField::new(
+        names::EXPOSE,
+        "Link, x-semi-important, x-unimportant",
+    ));
+    response
+}
+
+/// Parse hint headers back out of a response, preserving header order within
+/// each tier.
+pub fn parse_hints(response: &Response) -> Vec<Hint> {
+    let mut out = Vec::new();
+    for f in &response.headers {
+        match f.name.as_str() {
+            n if n == names::LINK => {
+                if let Some(url) = parse_link_preload(&f.value) {
+                    out.push(Hint {
+                        url,
+                        tier: 0,
+                        size_hint: 0,
+                    });
+                }
+            }
+            n if n == names::SEMI_IMPORTANT => {
+                if let Some(url) = Url::parse(&f.value) {
+                    out.push(Hint {
+                        url,
+                        tier: 1,
+                        size_hint: 0,
+                    });
+                }
+            }
+            n if n == names::UNIMPORTANT => {
+                if let Some(url) = Url::parse(&f.value) {
+                    out.push(Hint {
+                        url,
+                        tier: 2,
+                        size_hint: 0,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out.sort_by_key(|h| h.tier);
+    out
+}
+
+/// Extract the URL from a `Link: <url>; rel=preload; …` value; `None` if the
+/// value is not a preload relation.
+pub fn parse_link_preload(value: &str) -> Option<Url> {
+    let value = value.trim();
+    let end = value.find('>')?;
+    let url = Url::parse(value.get(1..end)?)?;
+    let params = &value[end + 1..];
+    if params
+        .split(';')
+        .any(|p| p.trim().eq_ignore_ascii_case("rel=preload"))
+    {
+        Some(url)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hint(url: &str, tier: u8) -> Hint {
+        Hint {
+            url: Url::parse(url).unwrap(),
+            tier,
+            size_hint: 1000,
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_headers() {
+        let hints = vec![
+            hint("https://a.com/app.js", 0),
+            hint("https://b.com/style.css", 0),
+            hint("https://c.net/widget.js", 1),
+            hint("https://a.com/hero.jpg", 2),
+        ];
+        let resp = attach_hints(Response::ok(), &hints);
+        let parsed = parse_hints(&resp);
+        assert_eq!(parsed.len(), 4);
+        assert_eq!(
+            parsed.iter().map(|h| h.tier).collect::<Vec<_>>(),
+            vec![0, 0, 1, 2]
+        );
+        assert_eq!(parsed[0].url, hints[0].url);
+        assert_eq!(parsed[3].url, hints[3].url);
+    }
+
+    #[test]
+    fn link_header_format_is_standard() {
+        let resp = attach_hints(Response::ok(), &[hint("https://a.com/app.js", 0)]);
+        let link = resp.header_values("link").next().unwrap();
+        assert_eq!(link, "<https://a.com/app.js>; rel=preload; as=script");
+        let css = attach_hints(Response::ok(), &[hint("https://a.com/m.css", 0)]);
+        assert!(css
+            .header_values("link")
+            .next()
+            .unwrap()
+            .ends_with("as=style"));
+    }
+
+    #[test]
+    fn expose_header_present_for_cors_schedulers() {
+        let resp = attach_hints(Response::ok(), &[hint("https://a.com/x.js", 1)]);
+        let expose = resp
+            .header_values("access-control-expose-headers")
+            .next()
+            .unwrap();
+        assert!(expose.contains("x-semi-important"));
+        assert!(expose.contains("x-unimportant"));
+    }
+
+    #[test]
+    fn non_preload_links_ignored() {
+        assert!(parse_link_preload("<https://a.com/>; rel=canonical").is_none());
+        assert!(parse_link_preload("garbage").is_none());
+        assert!(parse_link_preload("<https://a.com/x.js>; rel=preload").is_some());
+    }
+
+    #[test]
+    fn hpack_roundtrip_of_hint_headers() {
+        // The hint headers survive real header compression.
+        let hints = vec![
+            hint("https://a.com/app.js", 0),
+            hint("https://cdn.a.com/x.woff2", 2),
+        ];
+        let resp = attach_hints(Response::ok(), &hints);
+        let mut enc = vroom_hpack::Encoder::new();
+        let mut dec = vroom_hpack::Decoder::new();
+        let wire = enc.encode(&resp.to_fields());
+        let fields = dec.decode(&wire).unwrap();
+        let back = Response::from_fields(&fields).unwrap();
+        assert_eq!(parse_hints(&back).len(), 2);
+    }
+}

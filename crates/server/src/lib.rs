@@ -1,0 +1,33 @@
+//! `vroom-server` — the server side of Vroom: dependency resolution,
+//! dependency-hint headers, push policies, device equivalence classes, and
+//! a real wire-level HTTP/2 server.
+//!
+//! * [`resolve`] — offline + online dependency resolution with the paper's
+//!   personalization rules (§4.1–§4.2), plus the strawman strategies the
+//!   evaluation compares against,
+//! * [`online`] — online analysis over *real rendered markup* via the real
+//!   scanner (the wire-path twin of the model-based resolver),
+//! * [`accuracy`] — false-negative/false-positive scoring against the
+//!   predictable subset (§6.2, Fig 21),
+//! * [`hints`] — Table 1's header encoding (`Link` preload /
+//!   `x-semi-important` / `x-unimportant`),
+//! * [`push_policy`] — which local dependencies to PUSH (§4.3),
+//! * [`device`] — device-type equivalence classes (§4.1.2, Fig 9),
+//! * [`wire`] — a working Vroom server + client speaking real HTTP/2 over
+//!   TCP, serving a Mahimahi-style replay store.
+
+pub mod accuracy;
+pub mod clusters;
+pub mod device;
+pub mod hints;
+pub mod online;
+pub mod push_policy;
+pub mod resolve;
+pub mod wire;
+
+pub use accuracy::{evaluate, Accuracy};
+pub use clusters::{cluster_pages, PageTypeClusters};
+pub use hints::{attach_hints, parse_hints};
+pub use push_policy::{select_pushes, PushPolicy};
+pub use resolve::{resolve, ResolvedDeps, ResolverInput, Strategy, CRAWLER_USER};
+pub use wire::{WireClient, WireServer, WireSite};

@@ -1,0 +1,103 @@
+//! Online HTML analysis against *real markup* (paper §4.1.2).
+//!
+//! The simulator-facing resolver reads `via_markup` flags straight from the
+//! page model; this module closes the loop for the wire path: it renders the
+//! page's actual HTML, runs the real scanner over the bytes, and converts
+//! the findings into hints — demonstrating that the markup, the scanner, and
+//! the model agree.
+
+use vroom_browser::config::Hint;
+use vroom_html::{scan_html, ExecMode, ResourceKind};
+use vroom_pages::{render_html, Page, ResourceId};
+
+/// Tier assignment from scanner output alone (the server has no model
+/// labels on the wire): processed kinds are preload unless async/defer;
+/// embedded documents and payload bytes are unimportant.
+fn tier_of(kind: ResourceKind, exec: ExecMode) -> u8 {
+    match kind {
+        ResourceKind::Js if exec != ExecMode::Sync => 1,
+        ResourceKind::Css | ResourceKind::Js => 0,
+        // An embedded document is low priority (processed after the root).
+        ResourceKind::Html => 2,
+        _ => 2,
+    }
+}
+
+/// Scan the rendered markup of `html_id` and produce hints for everything
+/// the document statically references.
+pub fn scan_served_html(page: &Page, html_id: ResourceId) -> Vec<Hint> {
+    let base = &page.resources[html_id].url;
+    let markup = render_html(page, html_id);
+    let mut hints: Vec<Hint> = scan_html(base, &markup)
+        .into_iter()
+        .map(|d| {
+            // Size from the page when the URL matches a real resource (the
+            // server knows sizes of content it stores).
+            let size = page
+                .resources
+                .iter()
+                .find(|r| r.url == d.url)
+                .map(|r| r.size)
+                .unwrap_or(10_000);
+            Hint {
+                url: d.url,
+                tier: tier_of(d.kind, d.exec),
+                size_hint: size,
+            }
+        })
+        .collect();
+    hints.sort_by_key(|h| h.tier);
+    hints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use vroom_html::Url;
+    use vroom_pages::{LoadContext, PageGenerator, SiteProfile};
+
+    #[test]
+    fn scanner_output_matches_model_markup_children() {
+        let page =
+            PageGenerator::new(SiteProfile::news(), 321).snapshot(&LoadContext::reference());
+        let hints = scan_served_html(&page, 0);
+        let hinted: HashSet<&Url> = hints.iter().map(|h| &h.url).collect();
+        for child in page.children(0) {
+            assert_eq!(
+                hinted.contains(&child.url),
+                child.via_markup,
+                "scanner and model must agree on {}",
+                child.url
+            );
+        }
+    }
+
+    #[test]
+    fn tiers_from_markup_match_model_tiers_for_main_resources() {
+        let page =
+            PageGenerator::new(SiteProfile::news(), 322).snapshot(&LoadContext::reference());
+        let hints = scan_served_html(&page, 0);
+        for h in &hints {
+            let model = page.resources.iter().find(|r| r.url == h.url).unwrap();
+            assert_eq!(
+                h.tier,
+                model.hint_tier(),
+                "tier mismatch for {} ({:?})",
+                h.url,
+                model.kind
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_resolve_from_the_store() {
+        let page =
+            PageGenerator::new(SiteProfile::news(), 323).snapshot(&LoadContext::reference());
+        let hints = scan_served_html(&page, 0);
+        for h in &hints {
+            let model = page.resources.iter().find(|r| r.url == h.url).unwrap();
+            assert_eq!(h.size_hint, model.size);
+        }
+    }
+}

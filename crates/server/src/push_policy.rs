@@ -1,0 +1,89 @@
+//! Server push policies (paper §4.3).
+//!
+//! A domain can only push content it owns, so every policy filters to the
+//! serving domain. Vroom pushes exactly the *high-priority local*
+//! dependencies; the evaluation also exercises push-everything variants
+//! (Figs 3, 18).
+
+use vroom_browser::config::Hint;
+
+/// Which locally-served dependencies a server pushes alongside an HTML
+/// response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushPolicy {
+    /// No push at all.
+    None,
+    /// Push high-priority (tier 0) resources served by this domain — the
+    /// Vroom policy.
+    HighPriorityLocal,
+    /// Push everything this domain serves ("Push All").
+    AllLocal,
+}
+
+/// Select the pushes for an HTML served by `domain`, given the hints its
+/// response carries.
+pub fn select_pushes(policy: PushPolicy, domain: &str, hints: &[Hint]) -> Vec<Hint> {
+    match policy {
+        PushPolicy::None => Vec::new(),
+        PushPolicy::HighPriorityLocal => hints
+            .iter()
+            .filter(|h| h.url.host == domain && h.tier == 0)
+            .cloned()
+            .collect(),
+        PushPolicy::AllLocal => hints
+            .iter()
+            .filter(|h| h.url.host == domain)
+            .cloned()
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vroom_html::Url;
+
+    fn hints() -> Vec<Hint> {
+        vec![
+            Hint {
+                url: Url::https("a.com", "/app.js"),
+                tier: 0,
+                size_hint: 1,
+            },
+            Hint {
+                url: Url::https("b.com", "/lib.js"),
+                tier: 0,
+                size_hint: 1,
+            },
+            Hint {
+                url: Url::https("a.com", "/widget.js"),
+                tier: 1,
+                size_hint: 1,
+            },
+            Hint {
+                url: Url::https("a.com", "/img.jpg"),
+                tier: 2,
+                size_hint: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn high_priority_local_filters_both_ways() {
+        let p = select_pushes(PushPolicy::HighPriorityLocal, "a.com", &hints());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].url.path, "/app.js");
+    }
+
+    #[test]
+    fn all_local_keeps_every_tier_but_only_own_domain() {
+        let p = select_pushes(PushPolicy::AllLocal, "a.com", &hints());
+        assert_eq!(p.len(), 3);
+        assert!(p.iter().all(|h| h.url.host == "a.com"));
+    }
+
+    #[test]
+    fn none_pushes_nothing() {
+        assert!(select_pushes(PushPolicy::None, "a.com", &hints()).is_empty());
+    }
+}

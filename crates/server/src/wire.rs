@@ -1,0 +1,445 @@
+//! A real Vroom-compliant HTTP/2 server (and a matching client) over TCP,
+//! built on the from-scratch `vroom-http2` stack.
+//!
+//! This is the reproduction's equivalent of the paper's
+//! Apache-behind-nghttpx replay rig (§5): it serves a recorded corpus
+//! ([`ReplayStore`]), attaches dependency hints as `Link` /
+//! `x-semi-important` / `x-unimportant` headers, and pushes high-priority
+//! local dependencies with PUSH_PROMISE. Used by the wire integration tests
+//! and the `wire_demo` example; the performance experiments use the
+//! discrete-event engine instead (timing on localhost is meaningless).
+
+use crate::hints::attach_hints;
+use crate::push_policy::{select_pushes, PushPolicy};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vroom_browser::config::Hint;
+use vroom_html::Url;
+use vroom_http2::{Connection, ErrorCode, Event, Request, Response, Settings};
+use vroom_net::ReplayStore;
+
+/// Everything one wire server needs to serve a site.
+#[derive(Clone)]
+pub struct WireSite {
+    /// Recorded responses by URL.
+    pub store: Arc<ReplayStore>,
+    /// Dependency hints per HTML URL.
+    pub hints: Arc<HashMap<Url, Vec<Hint>>>,
+    /// Push policy applied to HTML responses.
+    pub push: PushPolicy,
+    /// The logical domain this server answers for (requests carry it in
+    /// `:authority` even though the socket is loopback).
+    pub domain: String,
+}
+
+/// A running wire server; drop or [`stop`](WireServer::stop) to shut down.
+pub struct WireServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Bind a loopback port and serve `site` until stopped.
+    pub fn start(site: WireSite) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::spawn(move || {
+            let mut workers = Vec::new();
+            while !flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let site = site.clone();
+                        let flag = flag.clone();
+                        workers.push(std::thread::spawn(move || {
+                            let _ = serve_connection(stream, site, flag);
+                        }));
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(WireServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound loopback address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Body bytes still waiting for flow-control credit on a stream.
+struct PendingBody {
+    data: Vec<u8>,
+    offset: usize,
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    site: WireSite,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+    stream.set_nodelay(true)?;
+    let mut conn = Connection::server(Settings::default());
+    let mut pending: HashMap<u32, PendingBody> = HashMap::new();
+    let mut buf = [0u8; 16 * 1024];
+    let idle_limit = Duration::from_secs(10);
+    let mut last_activity = Instant::now();
+
+    loop {
+        if shutdown.load(Ordering::Relaxed) || last_activity.elapsed() > idle_limit {
+            conn.goaway(ErrorCode::NoError, "server shutting down");
+            let out = conn.take_output();
+            let _ = stream.write_all(&out);
+            return Ok(());
+        }
+        // Flush pending output.
+        let out = conn.take_output();
+        if !out.is_empty() {
+            stream.write_all(&out)?;
+            last_activity = Instant::now();
+        }
+        // Read what's available.
+        match stream.read(&mut buf) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(n) => {
+                last_activity = Instant::now();
+                if conn.recv(&buf[..n]).is_err() {
+                    let out = conn.take_output();
+                    let _ = stream.write_all(&out);
+                    return Ok(());
+                }
+            }
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e),
+        }
+        // Handle protocol events.
+        while let Some(ev) = conn.poll_event() {
+            match ev {
+                Event::Headers {
+                    stream_id, fields, ..
+                } => {
+                    if let Ok(req) = Request::from_fields(&fields) {
+                        handle_request(&mut conn, &site, stream_id, &req, &mut pending);
+                    } else {
+                        conn.reset_stream(stream_id, ErrorCode::ProtocolError);
+                    }
+                }
+                Event::Goaway { .. } => {
+                    let out = conn.take_output();
+                    let _ = stream.write_all(&out);
+                    return Ok(());
+                }
+                _ => {}
+            }
+        }
+        // Retry flow-blocked bodies.
+        let ids: Vec<u32> = pending.keys().copied().collect();
+        for id in ids {
+            let body = pending.get_mut(&id).expect("present");
+            match conn.send_data(id, &body.data[body.offset..], true) {
+                Ok(sent) => {
+                    body.offset += sent;
+                    if body.offset >= body.data.len() {
+                        pending.remove(&id);
+                    }
+                }
+                Err(_) => {
+                    pending.remove(&id);
+                }
+            }
+        }
+    }
+}
+
+fn handle_request(
+    conn: &mut Connection,
+    site: &WireSite,
+    stream_id: u32,
+    req: &Request,
+    pending: &mut HashMap<u32, PendingBody>,
+) {
+    let url = Url::https(req.authority.clone(), req.path.clone());
+    let Some(record) = site.store.lookup(&url) else {
+        let resp = Response::with_status(404);
+        let _ = conn.send_response(stream_id, &resp, true);
+        return;
+    };
+
+    let hints = site.hints.get(&url).cloned().unwrap_or_default();
+    // Push first (PUSH_PROMISE must precede the response data referencing
+    // the pushed resources).
+    let mut pushed_streams: Vec<(u32, Url)> = Vec::new();
+    if !hints.is_empty() {
+        for push in select_pushes(site.push, &site.domain, &hints) {
+            if site.store.lookup(&push.url).is_none() {
+                continue;
+            }
+            let preq = Request::get(push.url.host.clone(), push.url.path.clone());
+            if let Ok(pid) = conn.push_promise(stream_id, &preq) {
+                pushed_streams.push((pid, push.url.clone()));
+            }
+        }
+    }
+
+    // The main response, hint headers attached.
+    let mut resp = Response::with_status(record.status)
+        .with_header("content-type", content_type(record.kind));
+    if !hints.is_empty() {
+        resp = attach_hints(resp, &hints);
+    }
+    let body = record.body_bytes();
+    if conn.send_response(stream_id, &resp, body.is_empty()).is_ok() && !body.is_empty() {
+        let sent = conn.send_data(stream_id, &body, true).unwrap_or(0);
+        if sent < body.len() {
+            pending.insert(
+                stream_id,
+                PendingBody {
+                    data: body,
+                    offset: sent,
+                },
+            );
+        }
+    }
+
+    // Pushed response bodies follow.
+    for (pid, purl) in pushed_streams {
+        let Some(rec) = site.store.lookup(&purl) else { continue };
+        let presp = Response::ok().with_header("content-type", content_type(rec.kind));
+        let pbody = rec.body_bytes();
+        if conn.send_response(pid, &presp, pbody.is_empty()).is_ok() && !pbody.is_empty() {
+            let sent = conn.send_data(pid, &pbody, true).unwrap_or(0);
+            if sent < pbody.len() {
+                pending.insert(
+                    pid,
+                    PendingBody {
+                        data: pbody,
+                        offset: sent,
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn content_type(kind: vroom_html::ResourceKind) -> &'static str {
+    use vroom_html::ResourceKind::*;
+    match kind {
+        Html => "text/html; charset=utf-8",
+        Css => "text/css",
+        Js => "application/javascript",
+        Image => "image/jpeg",
+        Font => "font/woff2",
+        Media => "video/mp4",
+        Xhr => "application/json",
+        Other => "application/octet-stream",
+    }
+}
+
+/// One fetched exchange as seen by the wire client.
+#[derive(Debug)]
+pub struct FetchedResponse {
+    /// Decoded response headers.
+    pub response: Response,
+    /// Full body.
+    pub body: Vec<u8>,
+    /// Whether it arrived via server push.
+    pub pushed: bool,
+    /// The request URL.
+    pub url: Url,
+}
+
+struct StreamAcc {
+    response: Option<Response>,
+    body: Vec<u8>,
+    done: bool,
+    pushed: bool,
+    url: Option<Url>,
+}
+
+/// A blocking HTTP/2 client for the wire server.
+pub struct WireClient {
+    stream: TcpStream,
+    conn: Connection,
+    streams: HashMap<u32, StreamAcc>,
+}
+
+impl WireClient {
+    /// Connect to a wire server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+        stream.set_nodelay(true)?;
+        Ok(WireClient {
+            stream,
+            conn: Connection::client(Settings::vroom_client()),
+            streams: HashMap::new(),
+        })
+    }
+
+    /// Issue a GET; returns the stream id.
+    pub fn get(&mut self, url: &Url) -> std::io::Result<u32> {
+        let req = Request::get(url.host.clone(), url.path.clone());
+        let sid = self
+            .conn
+            .send_request(&req, true)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        self.streams.insert(
+            sid,
+            StreamAcc {
+                response: None,
+                body: Vec::new(),
+                done: false,
+                pushed: false,
+                url: Some(url.clone()),
+            },
+        );
+        self.flush()?;
+        Ok(sid)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let out = self.conn.take_output();
+        if !out.is_empty() {
+            self.stream.write_all(&out)?;
+        }
+        Ok(())
+    }
+
+    /// Drive IO until every open stream completes or the deadline passes.
+    /// Returns all completed exchanges (requested and pushed).
+    pub fn run(&mut self, deadline: Duration) -> std::io::Result<Vec<FetchedResponse>> {
+        let start = Instant::now();
+        let mut buf = [0u8; 16 * 1024];
+        while start.elapsed() < deadline {
+            self.flush()?;
+            match self.stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    if self.conn.recv(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+                Err(ref e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(e),
+            }
+            while let Some(ev) = self.conn.poll_event() {
+                match ev {
+                    Event::Headers {
+                        stream_id,
+                        fields,
+                        end_stream,
+                    } => {
+                        if let Ok(resp) = Response::from_fields(&fields) {
+                            let acc = self.streams.entry(stream_id).or_insert(StreamAcc {
+                                response: None,
+                                body: Vec::new(),
+                                done: false,
+                                pushed: true,
+                                url: None,
+                            });
+                            acc.response = Some(resp);
+                            if end_stream {
+                                acc.done = true;
+                            }
+                        }
+                    }
+                    Event::Data {
+                        stream_id,
+                        data,
+                        end_stream,
+                    } => {
+                        if let Some(acc) = self.streams.get_mut(&stream_id) {
+                            acc.body.extend_from_slice(&data);
+                            if end_stream {
+                                acc.done = true;
+                            }
+                        }
+                    }
+                    Event::PushPromise {
+                        promised_stream_id,
+                        fields,
+                        ..
+                    } => {
+                        let url = Request::from_fields(&fields)
+                            .ok()
+                            .map(|r| Url::https(r.authority, r.path));
+                        self.streams.insert(
+                            promised_stream_id,
+                            StreamAcc {
+                                response: None,
+                                body: Vec::new(),
+                                done: false,
+                                pushed: true,
+                                url,
+                            },
+                        );
+                    }
+                    Event::StreamReset { stream_id, .. } => {
+                        self.streams.remove(&stream_id);
+                    }
+                    _ => {}
+                }
+            }
+            if !self.streams.is_empty() && self.streams.values().all(|s| s.done) {
+                break;
+            }
+        }
+        let mut out = Vec::new();
+        let done_ids: Vec<u32> = self
+            .streams
+            .iter()
+            .filter(|(_, s)| s.done && s.response.is_some())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in done_ids {
+            let acc = self.streams.remove(&id).expect("present");
+            out.push(FetchedResponse {
+                response: acc.response.expect("checked"),
+                body: acc.body,
+                pushed: acc.pushed,
+                url: acc.url.unwrap_or_else(|| Url::https("unknown", "/")),
+            });
+        }
+        Ok(out)
+    }
+}

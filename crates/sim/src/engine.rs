@@ -1,0 +1,266 @@
+//! The simulation engine: a clock plus an event queue plus a driver loop.
+//!
+//! The engine is deliberately minimal — models implement [`Actor`] and react
+//! to typed events, scheduling follow-ups through the [`Context`] handed to
+//! them. Everything is single-threaded and deterministic.
+
+use crate::queue::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// Scheduling surface passed to an [`Actor`] while it handles an event.
+pub struct Context<E> {
+    now: SimTime,
+    staged: Vec<(SimTime, E)>,
+    cancels: Vec<EventId>,
+    stop: bool,
+}
+
+impl<E> Context<E> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire after `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.staged.push((self.now + delay, event));
+    }
+
+    /// Schedule `event` at an absolute time (must not be in the past).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        self.staged.push((at, event));
+    }
+
+    /// Cancel a previously scheduled event (see [`Engine::schedule`]'s return).
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancels.push(id);
+    }
+
+    /// Stop the simulation after the current event completes.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+/// A simulation model: receives events, mutates its own state, and schedules
+/// follow-up events through the context.
+pub trait Actor {
+    /// Event type driving this model.
+    type Event;
+
+    /// Handle one event at its scheduled time.
+    fn handle(&mut self, event: Self::Event, ctx: &mut Context<Self::Event>);
+}
+
+/// Outcome of [`Engine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained.
+    Idle,
+    /// An actor requested a stop.
+    Stopped,
+    /// The step or time limit was reached.
+    LimitReached,
+}
+
+/// Driver owning the clock and queue.
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    steps: u64,
+    max_steps: u64,
+    deadline: SimTime,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine at t = 0 with a generous runaway guard
+    /// (100 M events, no time deadline).
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            steps: 0,
+            max_steps: 100_000_000,
+            deadline: SimTime::MAX,
+        }
+    }
+
+    /// Cap the number of events processed (runaway-loop guard for tests).
+    pub fn with_max_steps(mut self, max: u64) -> Self {
+        self.max_steps = max;
+        self
+    }
+
+    /// Stop delivering events scheduled after `deadline`.
+    pub fn with_deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Schedule an event at an absolute time before or during the run.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(at >= self.now, "scheduling into the past");
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedule an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Run the actor until the queue drains, the actor stops the run, or a
+    /// limit is hit.
+    pub fn run<A: Actor<Event = E>>(&mut self, actor: &mut A) -> RunOutcome {
+        loop {
+            if self.steps >= self.max_steps {
+                return RunOutcome::LimitReached;
+            }
+            let Some((at, event)) = self.queue.pop() else {
+                return RunOutcome::Idle;
+            };
+            if at > self.deadline {
+                return RunOutcome::LimitReached;
+            }
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.steps += 1;
+
+            let mut ctx = Context {
+                now: self.now,
+                staged: Vec::new(),
+                cancels: Vec::new(),
+                stop: false,
+            };
+            actor.handle(event, &mut ctx);
+            for id in ctx.cancels.drain(..) {
+                self.queue.cancel(id);
+            }
+            for (t, e) in ctx.staged.drain(..) {
+                self.queue.schedule(t, e);
+            }
+            if ctx.stop {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ping-pong actor: each Ping schedules a Pong 10 ms later, up to N.
+    struct PingPong {
+        remaining: u32,
+        log: Vec<(SimTime, &'static str)>,
+    }
+
+    #[derive(Debug)]
+    enum Ev {
+        Ping,
+        Pong,
+    }
+
+    impl Actor for PingPong {
+        type Event = Ev;
+        fn handle(&mut self, event: Ev, ctx: &mut Context<Ev>) {
+            match event {
+                Ev::Ping => {
+                    self.log.push((ctx.now(), "ping"));
+                    ctx.schedule_in(SimDuration::from_millis(10), Ev::Pong);
+                }
+                Ev::Pong => {
+                    self.log.push((ctx.now(), "pong"));
+                    if self.remaining > 0 {
+                        self.remaining -= 1;
+                        ctx.schedule_in(SimDuration::from_millis(5), Ev::Ping);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drives_chain_of_events_with_correct_clock() {
+        let mut engine = Engine::new();
+        let mut actor = PingPong {
+            remaining: 2,
+            log: Vec::new(),
+        };
+        engine.schedule(SimTime::ZERO, Ev::Ping);
+        assert_eq!(engine.run(&mut actor), RunOutcome::Idle);
+        let times: Vec<u64> = actor.log.iter().map(|(t, _)| t.as_millis()).collect();
+        // ping@0 pong@10 ping@15 pong@25 ping@30 pong@40
+        assert_eq!(times, vec![0, 10, 15, 25, 30, 40]);
+        assert_eq!(engine.now().as_millis(), 40);
+        assert_eq!(engine.steps(), 6);
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        struct Stopper;
+        impl Actor for Stopper {
+            type Event = u32;
+            fn handle(&mut self, n: u32, ctx: &mut Context<u32>) {
+                if n == 3 {
+                    ctx.stop();
+                } else {
+                    ctx.schedule_in(SimDuration::from_millis(1), n + 1);
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::ZERO, 0);
+        assert_eq!(engine.run(&mut Stopper), RunOutcome::Stopped);
+        assert_eq!(engine.now().as_millis(), 3);
+    }
+
+    #[test]
+    fn max_steps_guards_runaway() {
+        struct Forever;
+        impl Actor for Forever {
+            type Event = ();
+            fn handle(&mut self, _: (), ctx: &mut Context<()>) {
+                ctx.schedule_in(SimDuration::from_nanos(1), ());
+            }
+        }
+        let mut engine = Engine::new().with_max_steps(1000);
+        engine.schedule(SimTime::ZERO, ());
+        assert_eq!(engine.run(&mut Forever), RunOutcome::LimitReached);
+        assert_eq!(engine.steps(), 1000);
+    }
+
+    #[test]
+    fn deadline_stops_delivery() {
+        struct Counter(u32);
+        impl Actor for Counter {
+            type Event = ();
+            fn handle(&mut self, _: (), ctx: &mut Context<()>) {
+                self.0 += 1;
+                ctx.schedule_in(SimDuration::from_millis(10), ());
+            }
+        }
+        let mut engine = Engine::new().with_deadline(SimTime::from_millis(35));
+        engine.schedule(SimTime::ZERO, ());
+        let mut c = Counter(0);
+        assert_eq!(engine.run(&mut c), RunOutcome::LimitReached);
+        assert_eq!(c.0, 4); // t=0,10,20,30 delivered; t=40 rejected
+    }
+}

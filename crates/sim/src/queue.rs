@@ -1,0 +1,205 @@
+//! The event queue: a time-ordered priority queue with stable FIFO
+//! tie-breaking for events scheduled at the same instant.
+//!
+//! Stability matters for reproducibility: two events at the same timestamp
+//! must always be delivered in the order they were scheduled, regardless of
+//! heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, within a
+        // timestamp, the first-scheduled) entry is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of events of type `E`.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<EventId>,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            live: 0,
+        }
+    }
+
+    /// Schedule `event` for delivery at `at`. Returns a handle that can
+    /// cancel it. Scheduling in the past is allowed (the caller's engine
+    /// decides whether that is an error); delivery order is still by time.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        let id = EventId(self.next_seq);
+        self.heap.push(Entry {
+            at,
+            seq: self.next_seq,
+            id,
+            event,
+        });
+        self.next_seq += 1;
+        self.live += 1;
+        id
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending. Cancellation is O(1); the entry is lazily dropped when
+    /// it reaches the head of the heap.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // An id is pending iff it was issued, not yet popped, not yet cancelled.
+        if id.0 < self.next_seq && !self.cancelled.contains(&id) && self.contains_live(id) {
+            self.cancelled.insert(id);
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn contains_live(&self, id: EventId) -> bool {
+        // Linear scan is acceptable: cancellation is rare in our workloads
+        // (used only for timer rescheduling), and heaps are small.
+        self.heap.iter().any(|e| e.id == id)
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        self.heap.pop().map(|e| {
+            self.live -= 1;
+            (e.at, e.event)
+        })
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.remove(&head.id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.next_time(), Some(t(2)));
+    }
+
+    #[test]
+    fn len_tracks_schedules_and_pops() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,917 @@
+//! One runner per table/figure in the paper (see DESIGN.md §4 for the
+//! index). Every runner returns both structured data and a rendered text
+//! table whose rows/series mirror what the paper plots.
+
+use crate::load::{lower_bound_plt, run_load, run_load_warm};
+use crate::policy::System;
+use crate::stats::{quartiles, render_cdf_table, render_quartile_table, Cdf, Quartiles};
+use vroom_net::NetworkProfile;
+use vroom_pages::{Corpus, DeviceClass, LoadContext, PageGenerator};
+use vroom_server::accuracy::evaluate;
+use vroom_server::device::{iou, stable_set};
+use vroom_server::resolve::Strategy;
+
+/// Shared experiment parameters.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Seed for corpus generation (site structures).
+    pub corpus_seed: u64,
+    /// Seed for server-side crawls.
+    pub server_seed: u64,
+    /// Cap on sites per corpus (`None` = the paper's full corpus sizes).
+    pub max_sites: Option<usize>,
+    /// The access network.
+    pub profile: NetworkProfile,
+    /// The client context of the measured load.
+    pub ctx: LoadContext,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            corpus_seed: 7,
+            server_seed: 77,
+            max_sites: None,
+            profile: NetworkProfile::lte(),
+            ctx: LoadContext::reference(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced configuration for quick runs (tests/benches).
+    pub fn quick(max_sites: usize) -> Self {
+        ExperimentConfig {
+            max_sites: Some(max_sites),
+            ..Default::default()
+        }
+    }
+
+    fn sites<'c>(&self, corpus: &'c Corpus) -> &'c [PageGenerator] {
+        match self.max_sites {
+            Some(n) => &corpus.sites[..n.min(corpus.sites.len())],
+            None => &corpus.sites,
+        }
+    }
+
+    /// Per-site load context (each site is measured at a slightly different
+    /// wall-clock minute, like a real crawl).
+    fn site_ctx(&self, i: usize) -> LoadContext {
+        LoadContext {
+            hours: self.ctx.hours + (i as f64) * 0.01,
+            nonce: self.ctx.nonce ^ (i as u64) << 8,
+            ..self.ctx
+        }
+    }
+}
+
+/// A CDF per system over a corpus.
+pub struct SystemCdfs {
+    /// `(system, distribution)` pairs, in presentation order.
+    pub series: Vec<(System, Cdf)>,
+}
+
+impl SystemCdfs {
+    /// Median PLT of one system.
+    pub fn median(&self, system: System) -> f64 {
+        self.series
+            .iter()
+            .find(|(s, _)| *s == system)
+            .map(|(_, c)| c.median())
+            .expect("system present")
+    }
+}
+
+/// PLT in seconds per site for a system.
+fn plt_cdf(cfg: &ExperimentConfig, corpus: &Corpus, system: System) -> Cdf {
+    let values = cfg
+        .sites(corpus)
+        .iter()
+        .enumerate()
+        .map(|(i, site)| {
+            run_load(site, &cfg.site_ctx(i), &cfg.profile, system, cfg.server_seed)
+                .plt
+                .as_secs_f64()
+        })
+        .collect();
+    Cdf::new(values)
+}
+
+fn lower_bound_cdf(cfg: &ExperimentConfig, corpus: &Corpus) -> Cdf {
+    let values = cfg
+        .sites(corpus)
+        .iter()
+        .enumerate()
+        .map(|(i, site)| {
+            lower_bound_plt(site, &cfg.site_ctx(i), &cfg.profile, cfg.server_seed).as_secs_f64()
+        })
+        .collect();
+    Cdf::new(values)
+}
+
+// --------------------------------------------------------------- Figure 1
+
+/// Fig 1: PLT CDFs on today's mobile web (HTTP/1.1): Top-100 overall vs
+/// News+Sports.
+pub fn fig01(cfg: &ExperimentConfig) -> (Cdf, Cdf, String) {
+    let top = Corpus::top100(cfg.corpus_seed);
+    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let top_cdf = plt_cdf(cfg, &top, System::Http1);
+    let ns_cdf = plt_cdf(cfg, &ns, System::Http1);
+    let table = render_cdf_table(
+        "Figure 1: Page load times on today's mobile web",
+        &[("Top 100 Overall", &top_cdf), ("News+Sports", &ns_cdf)],
+        "seconds",
+    );
+    (top_cdf, ns_cdf, table)
+}
+
+// --------------------------------------------------------------- Figure 2
+
+/// Fig 2: lower bounds vs status quo on News+Sports.
+pub fn fig02(cfg: &ExperimentConfig) -> (Vec<(String, Cdf)>, String) {
+    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let net = plt_cdf(cfg, &ns, System::NetworkBound);
+    let cpu = plt_cdf(cfg, &ns, System::CpuBound);
+    let bound = lower_bound_cdf(cfg, &ns);
+    let web = plt_cdf(cfg, &ns, System::Http1);
+    let table = render_cdf_table(
+        "Figure 2: Potential from full CPU/network utilization",
+        &[
+            ("Network Bottleneck", &net),
+            ("CPU Bottleneck", &cpu),
+            ("Max(CPU, Network)", &bound),
+            ("Loads from Web", &web),
+        ],
+        "seconds",
+    );
+    (
+        vec![
+            ("Network Bottleneck".into(), net),
+            ("CPU Bottleneck".into(), cpu),
+            ("Max(CPU, Network)".into(), bound),
+            ("Loads from Web".into(), web),
+        ],
+        table,
+    )
+}
+
+// --------------------------------------------------------------- Figure 3
+
+/// Fig 3: what universal HTTP/2 adoption would buy.
+pub fn fig03(cfg: &ExperimentConfig) -> (SystemCdfs, String) {
+    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let series = vec![
+        (System::Http2, plt_cdf(cfg, &ns, System::Http2)),
+        (System::PushAllStatic, plt_cdf(cfg, &ns, System::PushAllStatic)),
+        (System::Http1, plt_cdf(cfg, &ns, System::Http1)),
+    ];
+    let table = render_cdf_table(
+        "Figure 3: Estimated benefit of global HTTP/2 adoption",
+        &series
+            .iter()
+            .map(|(s, c)| (s.label(), c))
+            .collect::<Vec<_>>(),
+        "seconds",
+    );
+    (SystemCdfs { series }, table)
+}
+
+// --------------------------------------------------------------- Figure 4
+
+/// Fig 4: fraction of the load spent CPU-idle waiting on the network under
+/// HTTP/2 (plus Vroom's reduction, §6.1).
+pub fn fig04(cfg: &ExperimentConfig) -> (Cdf, Cdf, String) {
+    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let frac = |system: System| {
+        Cdf::new(
+            cfg.sites(&ns)
+                .iter()
+                .enumerate()
+                .map(|(i, site)| {
+                    run_load(site, &cfg.site_ctx(i), &cfg.profile, system, cfg.server_seed)
+                        .network_wait_frac()
+                })
+                .collect(),
+        )
+    };
+    let h2 = frac(System::Http2);
+    let vroom = frac(System::Vroom);
+    let mut table = render_cdf_table(
+        "Figure 4: Fraction of load spent waiting on network (HTTP/2)",
+        &[("HTTP/2 Baseline", &h2), ("Vroom", &vroom)],
+        "fraction",
+    );
+    table.push_str(&format!(
+        "\nVroom reduces median network wait by {:.0}% (paper: 24%)\n",
+        (1.0 - vroom.median() / h2.median()) * 100.0
+    ));
+    (h2, vroom, table)
+}
+
+// --------------------------------------------------------------- Figure 7
+
+/// Fig 7: fraction of a page's resources that persist over an hour, a day,
+/// and a week (Top-100 corpus).
+pub fn fig07(cfg: &ExperimentConfig) -> (Vec<(String, Cdf)>, String) {
+    let top = Corpus::top100(cfg.corpus_seed);
+    let windows = [("One Hour", 1.0), ("One Day", 24.0), ("One Week", 168.0)];
+    let mut out = Vec::new();
+    for (name, dh) in windows {
+        let values: Vec<f64> = cfg
+            .sites(&top)
+            .iter()
+            .enumerate()
+            .map(|(i, site)| {
+                let ctx = cfg.site_ctx(i);
+                let before = site.snapshot(&ctx).url_set();
+                let after = site
+                    .snapshot(&ctx.later(dh, ctx.nonce ^ 0x1A7E4))
+                    .url_set();
+                before.intersection(&after).count() as f64 / before.len() as f64
+            })
+            .collect();
+        out.push((name.to_string(), Cdf::new(values)));
+    }
+    let table = render_cdf_table(
+        "Figure 7: Resource persistence over time (Top 100)",
+        &out.iter().map(|(n, c)| (n.as_str(), c)).collect::<Vec<_>>(),
+        "fraction persistent",
+    );
+    (out, table)
+}
+
+// --------------------------------------------------------------- Figure 9
+
+/// Fig 9: stable-set IoU vs a Nexus-6-class phone, for another phone and a
+/// tablet.
+pub fn fig09(cfg: &ExperimentConfig) -> (Cdf, Cdf, String) {
+    let top = Corpus::top100(cfg.corpus_seed);
+    let mut phone = Vec::new();
+    let mut tablet = Vec::new();
+    for (i, site) in cfg.sites(&top).iter().enumerate() {
+        let h = cfg.site_ctx(i).hours;
+        let reference = stable_set(site, h, DeviceClass::PhoneLarge, cfg.server_seed);
+        let oneplus = stable_set(site, h, DeviceClass::PhoneSmall, cfg.server_seed);
+        let nexus10 = stable_set(site, h, DeviceClass::Tablet, cfg.server_seed);
+        phone.push(iou(&reference, &oneplus));
+        tablet.push(iou(&reference, &nexus10));
+    }
+    let phone = Cdf::new(phone);
+    let tablet = Cdf::new(tablet);
+    let table = render_cdf_table(
+        "Figure 9: Stable-set similarity vs Nexus 6",
+        &[("OnePlus 3", &phone), ("Nexus 10", &tablet)],
+        "intersection over union",
+    );
+    (phone, tablet, table)
+}
+
+// -------------------------------------------------------------- Figure 11
+
+/// Fig 11: receipt-time change (s) of the first ten processed resources on
+/// one News site, relative to the HTTP/2 baseline, for "Push All, Fetch
+/// ASAP" and Vroom. Negative = earlier than baseline.
+pub fn fig11(cfg: &ExperimentConfig) -> (Vec<(usize, f64, f64)>, String) {
+    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let site = &ns.sites[0]; // a eurosport-like popular sports/news page
+    let ctx = cfg.site_ctx(0);
+    let page = site.snapshot(&ctx);
+    let base = run_load(site, &ctx, &cfg.profile, System::Http2, cfg.server_seed);
+    let asap = run_load(site, &ctx, &cfg.profile, System::PushAllFetchAsap, cfg.server_seed);
+    let vroom = run_load(site, &ctx, &cfg.profile, System::Vroom, cfg.server_seed);
+
+    // The first ten resources needing processing, ordered by when the
+    // baseline fetched them.
+    let mut processed: Vec<usize> = page
+        .resources
+        .iter()
+        .filter(|r| r.needs_processing())
+        .map(|r| r.id)
+        .collect();
+    processed.sort_by_key(|&id| base.resources[id].fetched);
+    processed.truncate(10);
+
+    let mut rows = Vec::new();
+    let mut table = String::from(
+        "# Figure 11: Receipt-time change vs HTTP/2 baseline (first 10 processed resources)\n",
+    );
+    table.push_str(&format!(
+        "{:>4} {:>22} {:>12}\n",
+        "id", "PushAll+FetchASAP (s)", "Vroom (s)"
+    ));
+    for (i, &id) in processed.iter().enumerate() {
+        let b = base.resources[id].fetched.as_secs_f64();
+        let a = asap.resources[id].fetched.as_secs_f64() - b;
+        let v = vroom.resources[id].fetched.as_secs_f64() - b;
+        rows.push((i + 1, a, v));
+        table.push_str(&format!("{:>4} {a:>22.3} {v:>12.3}\n", i + 1));
+    }
+    let worst_asap = rows.iter().map(|r| r.1).fold(f64::MIN, f64::max);
+    let worst_vroom = rows.iter().map(|r| r.2).fold(f64::MIN, f64::max);
+    table.push_str(&format!(
+        "\nworst delay: strawman {worst_asap:+.3}s vs vroom {worst_vroom:+.3}s \
+         (paper: strawman delays early resources; Vroom does not)\n"
+    ));
+    (rows, table)
+}
+
+// -------------------------------------------------------------- Figure 13
+
+/// Per-metric CDFs for the headline comparison.
+pub struct Fig13 {
+    /// PLT seconds per system.
+    pub plt: Vec<(String, Cdf)>,
+    /// Above-the-fold seconds per system.
+    pub aft: Vec<(String, Cdf)>,
+    /// Speed Index (ms) per system.
+    pub speed_index: Vec<(String, Cdf)>,
+}
+
+/// Fig 13: PLT / AFT / Speed Index CDFs for Lower Bound, Vroom, HTTP/2,
+/// HTTP/1.1 on News+Sports.
+pub fn fig13(cfg: &ExperimentConfig) -> (Fig13, String) {
+    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let systems = [System::Vroom, System::Http2, System::Http1];
+    let mut plt: Vec<(String, Cdf)> = vec![("Lower Bound".into(), lower_bound_cdf(cfg, &ns))];
+    let mut aft: Vec<(String, Cdf)> = Vec::new();
+    let mut si: Vec<(String, Cdf)> = Vec::new();
+    for system in systems {
+        let mut plts = Vec::new();
+        let mut afts = Vec::new();
+        let mut sis = Vec::new();
+        for (i, site) in cfg.sites(&ns).iter().enumerate() {
+            let r = run_load(site, &cfg.site_ctx(i), &cfg.profile, system, cfg.server_seed);
+            plts.push(r.plt.as_secs_f64());
+            afts.push(r.aft.as_secs_f64());
+            sis.push(r.speed_index);
+        }
+        plt.push((system.label().into(), Cdf::new(plts)));
+        aft.push((system.label().into(), Cdf::new(afts)));
+        si.push((system.label().into(), Cdf::new(sis)));
+    }
+    let mut table = render_cdf_table(
+        "Figure 13(a): Page Load Time",
+        &plt.iter().map(|(n, c)| (n.as_str(), c)).collect::<Vec<_>>(),
+        "seconds",
+    );
+    table.push('\n');
+    table.push_str(&render_cdf_table(
+        "Figure 13(b): Above-the-fold Time",
+        &aft.iter().map(|(n, c)| (n.as_str(), c)).collect::<Vec<_>>(),
+        "seconds",
+    ));
+    table.push('\n');
+    table.push_str(&render_cdf_table(
+        "Figure 13(c): Speed Index",
+        &si.iter().map(|(n, c)| (n.as_str(), c)).collect::<Vec<_>>(),
+        "ms",
+    ));
+    (
+        Fig13 {
+            plt,
+            aft,
+            speed_index: si,
+        },
+        table,
+    )
+}
+
+// -------------------------------------------------------------- Figure 14
+
+/// Fig 14: Vroom vs Polaris.
+pub fn fig14(cfg: &ExperimentConfig) -> (SystemCdfs, String) {
+    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let series = vec![
+        (System::Vroom, plt_cdf(cfg, &ns, System::Vroom)),
+        (System::PolarisLike, plt_cdf(cfg, &ns, System::PolarisLike)),
+    ];
+    let table = render_cdf_table(
+        "Figure 14: Vroom vs Polaris",
+        &series
+            .iter()
+            .map(|(s, c)| (s.label(), c))
+            .collect::<Vec<_>>(),
+        "seconds",
+    );
+    (SystemCdfs { series }, table)
+}
+
+// -------------------------------------------------------------- Figure 15
+
+/// Fig 15: above-the-fold completion on one Fox-News-like page.
+pub fn fig15(cfg: &ExperimentConfig) -> (f64, f64, String) {
+    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let site = &ns.sites[1];
+    let ctx = cfg.site_ctx(1);
+    let vroom = run_load(site, &ctx, &cfg.profile, System::Vroom, cfg.server_seed);
+    let h2 = run_load(site, &ctx, &cfg.profile, System::Http2, cfg.server_seed);
+    let (v, h) = (vroom.aft.as_secs_f64(), h2.aft.as_secs_f64());
+    let table = format!(
+        "# Figure 15: Above-the-fold rendering completion, single News site\n\
+         Vroom completes above-the-fold content at {v:.2}s\n\
+         HTTP/2 baseline completes at {h:.2}s ({:+.2}s later)\n\
+         (paper: 9.26s vs 13.87s on m.foxnews.com)\n",
+        h - v
+    );
+    (v, h, table)
+}
+
+// -------------------------------------------------------------- Figure 16
+
+/// Fig 16 data: per-site fractional improvement over HTTP/2.
+pub struct Fig16 {
+    /// Discovery-time improvement, all resources.
+    pub discovery_all: Cdf,
+    /// Discovery-time improvement, high-priority only.
+    pub discovery_high: Cdf,
+    /// Fetch-completion improvement, all resources.
+    pub fetch_all: Cdf,
+    /// Fetch-completion improvement, high-priority only.
+    pub fetch_high: Cdf,
+}
+
+/// Fig 16: how much sooner Vroom discovers and finishes fetching resources.
+pub fn fig16(cfg: &ExperimentConfig) -> (Fig16, String) {
+    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let mut da = Vec::new();
+    let mut dh = Vec::new();
+    let mut fa = Vec::new();
+    let mut fh = Vec::new();
+    for (i, site) in cfg.sites(&ns).iter().enumerate() {
+        let ctx = cfg.site_ctx(i);
+        let base = run_load(site, &ctx, &cfg.profile, System::Http2, cfg.server_seed);
+        let vroom = run_load(site, &ctx, &cfg.profile, System::Vroom, cfg.server_seed);
+        let imp = |v: vroom_sim::SimDuration, b: vroom_sim::SimDuration| {
+            1.0 - v.as_secs_f64() / b.as_secs_f64().max(1e-9)
+        };
+        da.push(imp(vroom.discovery_all, base.discovery_all));
+        dh.push(imp(vroom.discovery_high, base.discovery_high));
+        fa.push(imp(vroom.fetch_all, base.fetch_all));
+        fh.push(imp(vroom.fetch_high, base.fetch_high));
+    }
+    let data = Fig16 {
+        discovery_all: Cdf::new(da),
+        discovery_high: Cdf::new(dh),
+        fetch_all: Cdf::new(fa),
+        fetch_high: Cdf::new(fh),
+    };
+    let mut table = render_cdf_table(
+        "Figure 16(a): Discovery-time improvement over HTTP/2",
+        &[
+            ("All", &data.discovery_all),
+            ("High Priority Only", &data.discovery_high),
+        ],
+        "fraction improvement",
+    );
+    table.push('\n');
+    table.push_str(&render_cdf_table(
+        "Figure 16(b): Fetch-time improvement over HTTP/2",
+        &[
+            ("All", &data.fetch_all),
+            ("High Priority Only", &data.fetch_high),
+        ],
+        "fraction improvement",
+    ));
+    (data, table)
+}
+
+// ---------------------------------------------------- Figures 17, 18, 19
+
+fn plt_quartiles(cfg: &ExperimentConfig, corpus: &Corpus, system: System) -> Quartiles {
+    let values: Vec<f64> = cfg
+        .sites(corpus)
+        .iter()
+        .enumerate()
+        .map(|(i, site)| {
+            run_load(site, &cfg.site_ctx(i), &cfg.profile, system, cfg.server_seed)
+                .plt
+                .as_secs_f64()
+        })
+        .collect();
+    quartiles(&values)
+}
+
+fn lower_bound_quartiles(cfg: &ExperimentConfig, corpus: &Corpus) -> Quartiles {
+    let values: Vec<f64> = cfg
+        .sites(corpus)
+        .iter()
+        .enumerate()
+        .map(|(i, site)| {
+            lower_bound_plt(site, &cfg.site_ctx(i), &cfg.profile, cfg.server_seed).as_secs_f64()
+        })
+        .collect();
+    quartiles(&values)
+}
+
+/// Fig 17: the cost of inaccurate dependencies (stale prior-load deps).
+pub fn fig17(cfg: &ExperimentConfig) -> (Vec<(String, Quartiles)>, String) {
+    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let rows = vec![
+        ("Lower Bound".to_string(), lower_bound_quartiles(cfg, &ns)),
+        (
+            System::Vroom.label().to_string(),
+            plt_quartiles(cfg, &ns, System::Vroom),
+        ),
+        (
+            System::VroomStaleDeps.label().to_string(),
+            plt_quartiles(cfg, &ns, System::VroomStaleDeps),
+        ),
+        (
+            System::Http2.label().to_string(),
+            plt_quartiles(cfg, &ns, System::Http2),
+        ),
+    ];
+    let table = render_quartile_table(
+        "Figure 17: Utility of accurate dependency inference",
+        &rows.iter().map(|(n, q)| (n.as_str(), *q)).collect::<Vec<_>>(),
+        "seconds",
+    );
+    (rows, table)
+}
+
+/// Fig 18: push alone is not enough.
+pub fn fig18(cfg: &ExperimentConfig) -> (Vec<(String, Quartiles)>, String) {
+    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let rows = vec![
+        ("Lower Bound".to_string(), lower_bound_quartiles(cfg, &ns)),
+        (
+            System::Vroom.label().to_string(),
+            plt_quartiles(cfg, &ns, System::Vroom),
+        ),
+        (
+            System::PushHighPriorityNoHints.label().to_string(),
+            plt_quartiles(cfg, &ns, System::PushHighPriorityNoHints),
+        ),
+        (
+            System::PushAllNoHints.label().to_string(),
+            plt_quartiles(cfg, &ns, System::PushAllNoHints),
+        ),
+    ];
+    let table = render_quartile_table(
+        "Figure 18: Combining PUSH with dependency hints",
+        &rows.iter().map(|(n, q)| (n.as_str(), *q)).collect::<Vec<_>>(),
+        "seconds",
+    );
+    (rows, table)
+}
+
+/// Fig 19: scheduling matters.
+pub fn fig19(cfg: &ExperimentConfig) -> (Vec<(String, Quartiles)>, String) {
+    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let rows = vec![
+        ("Lower Bound".to_string(), lower_bound_quartiles(cfg, &ns)),
+        (
+            System::Vroom.label().to_string(),
+            plt_quartiles(cfg, &ns, System::Vroom),
+        ),
+        (
+            System::PushAllFetchAsap.label().to_string(),
+            plt_quartiles(cfg, &ns, System::PushAllFetchAsap),
+        ),
+        (
+            "No Push, No Hints".to_string(),
+            plt_quartiles(cfg, &ns, System::Http2),
+        ),
+    ];
+    let table = render_quartile_table(
+        "Figure 19: Utility of cooperative scheduling",
+        &rows.iter().map(|(n, q)| (n.as_str(), *q)).collect::<Vec<_>>(),
+        "seconds",
+    );
+    (rows, table)
+}
+
+// -------------------------------------------------------------- Figure 20
+
+/// Fig 20: warm-cache loads at three staleness levels.
+pub fn fig20(cfg: &ExperimentConfig) -> (Vec<(String, Quartiles, Quartiles)>, String) {
+    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let scenarios = [("Back-to-back", 0.003), ("1 Day Later", 24.0), ("1 Week Later", 168.0)];
+    let mut rows = Vec::new();
+    let mut table = String::from("# Figure 20: Page load times with warm caches (seconds)\n");
+    table.push_str(&format!(
+        "{:<14} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8} {:>10}\n",
+        "scenario", "v.p25", "v.p50", "v.p75", "h2.p25", "h2.p50", "h2.p75", "Δmedian"
+    ));
+    for (name, age) in scenarios {
+        let collect = |system: System| {
+            let values: Vec<f64> = cfg
+                .sites(&ns)
+                .iter()
+                .enumerate()
+                .map(|(i, site)| {
+                    run_load_warm(
+                        site,
+                        &cfg.site_ctx(i),
+                        &cfg.profile,
+                        system,
+                        cfg.server_seed,
+                        age,
+                    )
+                    .plt
+                    .as_secs_f64()
+                })
+                .collect();
+            quartiles(&values)
+        };
+        let v = collect(System::Vroom);
+        let h = collect(System::Http2);
+        table.push_str(&format!(
+            "{name:<14} {:>8.3} {:>8.3} {:>8.3}   {:>8.3} {:>8.3} {:>8.3} {:>10.3}\n",
+            v.p25, v.p50, v.p75, h.p25, h.p50, h.p75, h.p50 - v.p50
+        ));
+        rows.push((name.to_string(), v, h));
+    }
+    (rows, table)
+}
+
+// -------------------------------------------------------------- Figure 21
+
+/// Fig 21 data.
+pub struct Fig21 {
+    /// Predictable share by count (a).
+    pub predictable_count: Cdf,
+    /// Predictable share by bytes (a).
+    pub predictable_bytes: Cdf,
+    /// False negatives per strategy (b).
+    pub false_negatives: Vec<(String, Cdf)>,
+    /// False positives per strategy (c).
+    pub false_positives: Vec<(String, Cdf)>,
+}
+
+/// Fig 21: accuracy of server-side dependency resolution on the 265-page
+/// News/Sports corpus across four user profiles.
+pub fn fig21(cfg: &ExperimentConfig) -> (Fig21, String) {
+    let corpus = Corpus::accuracy_pages(cfg.corpus_seed);
+    let strategies = [
+        ("Vroom", Strategy::Vroom),
+        ("Offline Only", Strategy::OfflineOnly),
+        ("Online Only", Strategy::OnlineOnly),
+    ];
+    // Four users with distinct cookie profiles (§6.2).
+    let users: [u64; 4] = [101, 202, 303, 404];
+    let mut pc = Vec::new();
+    let mut pb = Vec::new();
+    let mut fns: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+    let mut fps: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+    for (i, site) in cfg.sites(&corpus).iter().enumerate() {
+        let user = users[i % users.len()];
+        let ctx = LoadContext {
+            user_id: user,
+            ..cfg.site_ctx(i)
+        };
+        for (k, (_, strategy)) in strategies.iter().enumerate() {
+            let acc = evaluate(site, &ctx, *strategy, cfg.server_seed);
+            fns[k].push(acc.false_negative);
+            fps[k].push(acc.false_positive);
+            if k == 0 {
+                pc.push(acc.predictable_count_frac);
+                pb.push(acc.predictable_bytes_frac);
+            }
+        }
+    }
+    let data = Fig21 {
+        predictable_count: Cdf::new(pc),
+        predictable_bytes: Cdf::new(pb),
+        false_negatives: strategies
+            .iter()
+            .zip(fns)
+            .map(|((n, _), v)| (n.to_string(), Cdf::new(v)))
+            .collect(),
+        false_positives: strategies
+            .iter()
+            .zip(fps)
+            .map(|((n, _), v)| (n.to_string(), Cdf::new(v)))
+            .collect(),
+    };
+    let mut table = render_cdf_table(
+        "Figure 21(a): Predictable share of root-derived resources",
+        &[
+            ("Count", &data.predictable_count),
+            ("Bytes", &data.predictable_bytes),
+        ],
+        "fraction",
+    );
+    table.push('\n');
+    table.push_str(&render_cdf_table(
+        "Figure 21(b): Missed fraction of predictable set (false negatives)",
+        &data
+            .false_negatives
+            .iter()
+            .map(|(n, c)| (n.as_str(), c))
+            .collect::<Vec<_>>(),
+        "fraction of predictable set",
+    ));
+    table.push('\n');
+    table.push_str(&render_cdf_table(
+        "Figure 21(c): Extraneous fraction (false positives)",
+        &data
+            .false_positives
+            .iter()
+            .map(|(n, c)| (n.as_str(), c))
+            .collect::<Vec<_>>(),
+        "fraction of predictable set",
+    ));
+    (data, table)
+}
+
+// ------------------------------------------------------- text experiments
+
+/// §6.1: incremental deployment — first-party-only Vroom.
+pub fn incremental_deployment(cfg: &ExperimentConfig) -> (f64, f64, f64, String) {
+    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let full = plt_cdf(cfg, &ns, System::Vroom).median();
+    let fp = plt_cdf(cfg, &ns, System::VroomFirstPartyOnly).median();
+    let h2 = plt_cdf(cfg, &ns, System::Http2).median();
+    let table = format!(
+        "# Incremental deployment (News+Sports, median PLT seconds)\n\
+         Universal Vroom:        {full:.2}\n\
+         First-party-only Vroom: {fp:.2}\n\
+         HTTP/2 baseline:        {h2:.2}\n\
+         (paper: 5.1 / 5.6 / 7.3)\n"
+    );
+    (full, fp, h2, table)
+}
+
+/// §6.1: the Top-400 sample.
+pub fn top400_sample(cfg: &ExperimentConfig) -> (f64, f64, String) {
+    let corpus = Corpus::top400_sample(cfg.corpus_seed);
+    let h2 = plt_cdf(cfg, &corpus, System::Http2).median();
+    let vroom = plt_cdf(cfg, &corpus, System::Vroom).median();
+    let table = format!(
+        "# 100 random sites from the Alexa Top 400 (median PLT seconds)\n\
+         HTTP/2 baseline: {h2:.2}\n\
+         Vroom:           {vroom:.2}\n\
+         (paper: 4.8 / 4.0)\n"
+    );
+    (h2, vroom, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentConfig {
+        ExperimentConfig::quick(8)
+    }
+
+    #[test]
+    fn fig01_news_sports_slower_than_top100() {
+        let (top, ns, table) = fig01(&quick());
+        assert!(ns.median() > top.median(), "{table}");
+    }
+
+    #[test]
+    fn fig02_bounds_below_status_quo() {
+        let (series, table) = fig02(&quick());
+        let find = |name: &str| {
+            series
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| c.median())
+                .unwrap()
+        };
+        let bound = find("Max(CPU, Network)");
+        let web = find("Loads from Web");
+        assert!(bound < web * 0.8, "substantial headroom: {table}");
+        assert!(find("CPU Bottleneck") <= bound + 1e-9);
+        assert!(find("Network Bottleneck") <= bound + 1e-9);
+    }
+
+    #[test]
+    fn fig13_headline_ordering() {
+        let (data, table) = fig13(&quick());
+        let med = |name: &str| {
+            data.plt
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| c.median())
+                .unwrap()
+        };
+        let bound = med("Lower Bound");
+        let vroom = med("Vroom");
+        let h2 = med("HTTP/2 Baseline");
+        let h1 = med("HTTP/1.1");
+        assert!(bound <= vroom && vroom < h2 && h2 < h1, "{table}");
+        // The paper's headline: Vroom ~30% below HTTP/2 at the median.
+        let gain = 1.0 - vroom / h2;
+        assert!(gain > 0.15, "vroom gains {gain:.2} over HTTP/2\n{table}");
+    }
+
+    #[test]
+    fn fig14_vroom_beats_polaris_at_median() {
+        let (cdfs, table) = fig14(&quick());
+        assert!(
+            cdfs.median(System::Vroom) < cdfs.median(System::PolarisLike),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn fig17_stale_deps_hurt_tail() {
+        let (rows, table) = fig17(&quick());
+        let find = |name: &str| rows.iter().find(|(n, _)| n.contains(name)).unwrap().1;
+        let vroom = find("Vroom");
+        let stale = find("Previous Load");
+        assert!(stale.p75 > vroom.p75, "stale deps hurt the tail: {table}");
+    }
+
+    #[test]
+    fn fig19_strawman_far_from_vroom() {
+        let (rows, table) = fig19(&quick());
+        let find = |name: &str| rows.iter().find(|(n, _)| n.contains(name)).unwrap().1;
+        assert!(
+            find("Fetch ASAP").p50 > find("Vroom").p50,
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn fig04_network_wait_shrinks_under_vroom() {
+        let (h2, vroom, table) = fig04(&quick());
+        assert!(h2.median() > 0.15, "HTTP/2 waits on the network: {table}");
+        assert!(vroom.median() < h2.median(), "{table}");
+    }
+
+    #[test]
+    fn fig07_persistence_decays_with_time() {
+        let (series, table) = fig07(&quick());
+        let med = |i: usize| series[i].1.median();
+        assert!(med(0) > med(1) && med(1) > med(2), "{table}");
+        assert!((0.5..0.95).contains(&med(0)), "1h persistence: {table}");
+    }
+
+    #[test]
+    fn fig09_phones_closer_than_tablets() {
+        let (phone, tablet, table) = fig09(&quick());
+        assert!(phone.median() > tablet.median(), "{table}");
+    }
+
+    #[test]
+    fn fig11_strawman_delays_early_resources() {
+        let (rows, table) = fig11(&quick());
+        assert_eq!(rows.len(), 10);
+        let worst_asap = rows.iter().map(|r| r.1).fold(f64::MIN, f64::max);
+        let worst_vroom = rows.iter().map(|r| r.2).fold(f64::MIN, f64::max);
+        assert!(
+            worst_asap > worst_vroom + 0.2,
+            "the strawman must delay some early resource: {table}"
+        );
+    }
+
+    #[test]
+    fn fig15_single_site_aft() {
+        let (vroom, h2, table) = fig15(&quick());
+        assert!(vroom < h2, "{table}");
+    }
+
+    #[test]
+    fn fig16_improvements_positive_at_median() {
+        let (data, table) = fig16(&quick());
+        assert!(data.discovery_all.median() > 0.1, "{table}");
+        assert!(data.fetch_all.median() > 0.05, "{table}");
+    }
+
+    #[test]
+    fn fig18_push_alone_is_insufficient() {
+        let (rows, table) = fig18(&quick());
+        let find = |name: &str| rows.iter().find(|(n, _)| n.contains(name)).unwrap().1;
+        assert!(
+            find("No Hints").p50 > find("Vroom").p50 + 0.5,
+            "push-only trails Vroom by seconds: {table}"
+        );
+    }
+
+    #[test]
+    fn fig21_accuracy_shapes() {
+        let (data, table) = fig21(&quick());
+        let med = |v: &[(String, Cdf)], name: &str| {
+            v.iter().find(|(n, _)| n == name).unwrap().1.median()
+        };
+        assert!(
+            med(&data.false_negatives, "Vroom") < med(&data.false_negatives, "Offline Only"),
+            "{table}"
+        );
+        assert!(data.predictable_count.median() > 0.7, "{table}");
+    }
+
+    #[test]
+    fn incremental_and_top400_orderings() {
+        let (full, fp, h2, table) = incremental_deployment(&quick());
+        assert!(full <= fp + 0.15 && fp < h2, "{table}");
+        let (h2_400, vroom_400, t) = top400_sample(&quick());
+        assert!(vroom_400 < h2_400, "{t}");
+    }
+
+    #[test]
+    fn fig20_warm_cache_improves_both() {
+        let (rows, table) = fig20(&quick());
+        for (name, v, h2) in &rows {
+            assert!(
+                v.p50 < h2.p50,
+                "vroom beats h2 warm in scenario {name}: {table}"
+            );
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Distribution helpers for per-site metrics: CDFs, percentiles, and plain
+//! text rendering for the figure binaries.
+
+pub use vroom_browser::metrics::{percentile_sorted, quartiles, Quartiles};
+
+/// An empirical distribution over per-site values.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from raw values (NaNs rejected).
+    pub fn new(mut values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "empty distribution");
+        assert!(values.iter().all(|v| v.is_finite()), "non-finite value");
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted: values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Interpolated percentile, `q` in `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        percentile_sorted(&self.sorted, q)
+    }
+
+    /// The median.
+    pub fn median(&self) -> f64 {
+        self.percentile(0.5)
+    }
+
+    /// `(value, cumulative_fraction)` points for plotting, `n` of them.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2);
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1) as f64;
+                (self.percentile(q), q)
+            })
+            .collect()
+    }
+
+    /// Fraction of samples at or below `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let count = self.sorted.iter().filter(|&&v| v <= x).count();
+        count as f64 / self.sorted.len() as f64
+    }
+}
+
+/// Render several named CDF series as an aligned text table
+/// (one row per decile), the output format of the `fig*` binaries.
+pub fn render_cdf_table(title: &str, series: &[(&str, &Cdf)], unit: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!("{:>6}", "pct"));
+    for (name, _) in series {
+        out.push_str(&format!(" {name:>28}"));
+    }
+    out.push_str(&format!("  ({unit})\n"));
+    for decile in 0..=10 {
+        let q = decile as f64 / 10.0;
+        out.push_str(&format!("{:>5}%", decile * 10));
+        for (_, cdf) in series {
+            out.push_str(&format!(" {:>28.3}", cdf.percentile(q)));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>6}", "median"));
+    for (_, cdf) in series {
+        out.push_str(&format!(" {:>28.3}", cdf.median()));
+    }
+    out.push('\n');
+    out
+}
+
+/// Render quartile boxes (Fig 17/18/19/20 style).
+pub fn render_quartile_table(title: &str, rows: &[(&str, Quartiles)], unit: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title} ({unit})\n"));
+    out.push_str(&format!(
+        "{:<36} {:>10} {:>10} {:>10}\n",
+        "system", "p25", "median", "p75"
+    ));
+    for (name, q) in rows {
+        out.push_str(&format!(
+            "{name:<36} {:>10.3} {:>10.3} {:>10.3}\n",
+            q.p25, q.p50, q.p75
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_percentiles() {
+        let cdf = Cdf::new(vec![3.0, 1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(cdf.median(), 3.0);
+        assert_eq!(cdf.percentile(0.0), 1.0);
+        assert_eq!(cdf.percentile(1.0), 5.0);
+        assert_eq!(cdf.len(), 5);
+    }
+
+    #[test]
+    fn fraction_below() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.fraction_below(2.5), 0.5);
+        assert_eq!(cdf.fraction_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let cdf = Cdf::new((0..100).map(|i| (i * 7 % 31) as f64).collect());
+        let pts = cdf.points(11);
+        assert_eq!(pts.len(), 11);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 3.0]);
+        let table = render_cdf_table("Fig X", &[("a", &cdf), ("b", &cdf)], "s");
+        assert!(table.contains("Fig X"));
+        assert!(table.lines().count() >= 13);
+        let qt = render_quartile_table(
+            "Fig Y",
+            &[("sys", quartiles(&[1.0, 2.0, 3.0]))],
+            "s",
+        );
+        assert!(qt.contains("median"));
+        assert!(qt.contains("sys"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty distribution")]
+    fn empty_cdf_panics() {
+        let _ = Cdf::new(vec![]);
+    }
+}

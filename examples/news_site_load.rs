@@ -1,0 +1,98 @@
+//! A detailed look at one News-site page load: the resource waterfall under
+//! the HTTP/2 baseline vs full Vroom, showing how server-aided discovery
+//! decouples fetching from processing.
+//!
+//! ```sh
+//! cargo run -p vroom-examples --example news_site_load
+//! ```
+
+use vroom::{run_load, System};
+use vroom_net::NetworkProfile;
+use vroom_pages::{LoadContext, PageGenerator, SiteProfile};
+
+fn main() {
+    let site = PageGenerator::new(SiteProfile::news(), 1001);
+    let ctx = LoadContext::reference();
+    let lte = NetworkProfile::lte();
+    let page = site.snapshot(&ctx);
+
+    let base = run_load(&site, &ctx, &lte, System::Http2, 7);
+    let vroom = run_load(&site, &ctx, &lte, System::Vroom, 7);
+
+    println!("=== {} — {} resources ===\n", page.url, page.len());
+
+    // Waterfall of the resources that need processing (the critical class).
+    println!(
+        "{:>4} {:>6} {:>5} {:<44} {:>22} {:>22}",
+        "id", "kind", "tier", "url", "HTTP/2 disc→fetch (s)", "Vroom disc→fetch (s)"
+    );
+    let mut shown = 0;
+    for r in page.resources.iter().filter(|r| r.needs_processing()) {
+        let b = &base.resources[r.id];
+        let v = &vroom.resources[r.id];
+        let path = r.url.path.chars().take(30).collect::<String>();
+        println!(
+            "{:>4} {:>6} {:>5} {:<44} {:>9.2} → {:>9.2} {:>9.2} → {:>9.2}{}",
+            r.id,
+            format!("{:?}", r.kind),
+            r.hint_tier(),
+            format!("{}{}", r.url.host, path),
+            b.discovered.as_secs_f64(),
+            b.fetched.as_secs_f64(),
+            v.discovered.as_secs_f64(),
+            v.fetched.as_secs_f64(),
+            if v.pushed { "  [pushed]" } else { "" },
+        );
+        shown += 1;
+        if shown >= 25 {
+            println!("  … ({} more)", page.resources.iter().filter(|r| r.needs_processing()).count() - shown);
+            break;
+        }
+    }
+
+    println!("\n=== Summary ===");
+    let row = |name: &str, b: f64, v: f64, unit: &str| {
+        println!(
+            "{name:<34} {b:>9.2}{unit} {v:>9.2}{unit}   ({:+.0}%)",
+            (v / b - 1.0) * 100.0
+        );
+    };
+    println!("{:<34} {:>10} {:>10}", "", "HTTP/2", "Vroom");
+    row(
+        "page load time",
+        base.plt.as_secs_f64(),
+        vroom.plt.as_secs_f64(),
+        "s",
+    );
+    row(
+        "above-the-fold time",
+        base.aft.as_secs_f64(),
+        vroom.aft.as_secs_f64(),
+        "s",
+    );
+    row("speed index", base.speed_index, vroom.speed_index, "ms");
+    row(
+        "all resources discovered by",
+        base.discovery_all.as_secs_f64(),
+        vroom.discovery_all.as_secs_f64(),
+        "s",
+    );
+    row(
+        "all resources fetched by",
+        base.fetch_all.as_secs_f64(),
+        vroom.fetch_all.as_secs_f64(),
+        "s",
+    );
+    row(
+        "CPU-idle time waiting on network",
+        base.network_wait.as_secs_f64(),
+        vroom.network_wait.as_secs_f64(),
+        "s",
+    );
+    println!(
+        "\npushed resources: {} | cache hits: {} | wasted bytes: {}",
+        vroom.resources.iter().filter(|t| t.pushed).count(),
+        vroom.cache_hits,
+        vroom.wasted_bytes
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: load one News site under the status quo, HTTP/2, and Vroom,
+//! and print the paper's headline metrics.
+//!
+//! ```sh
+//! cargo run -p vroom-examples --example quickstart
+//! ```
+
+use vroom::{lower_bound_plt, run_load, System};
+use vroom_net::NetworkProfile;
+use vroom_pages::{LoadContext, PageGenerator, SiteProfile};
+
+fn main() {
+    // A synthetic popular News site (deterministic for a given seed) loaded
+    // on a Nexus-6-class phone over LTE.
+    let site = PageGenerator::new(SiteProfile::news(), 42);
+    let ctx = LoadContext::reference();
+    let lte = NetworkProfile::lte();
+
+    let page = site.snapshot(&ctx);
+    println!(
+        "site {} — {} resources, {:.1} KB, {} domains\n",
+        page.url,
+        page.len(),
+        page.total_bytes() as f64 / 1024.0,
+        page.domains().len()
+    );
+
+    println!(
+        "{:<28} {:>8} {:>8} {:>12} {:>10} {:>10}",
+        "system", "PLT (s)", "AFT (s)", "SpeedIdx", "CPU util", "net wait"
+    );
+    for system in [
+        System::Http1,
+        System::Http2,
+        System::PolarisLike,
+        System::Vroom,
+    ] {
+        let r = run_load(&site, &ctx, &lte, system, 7);
+        println!(
+            "{:<28} {:>8.2} {:>8.2} {:>12.0} {:>9.0}% {:>9.0}%",
+            system.label(),
+            r.plt.as_secs_f64(),
+            r.aft.as_secs_f64(),
+            r.speed_index,
+            r.cpu_utilization() * 100.0,
+            r.network_wait_frac() * 100.0,
+        );
+    }
+    let bound = lower_bound_plt(&site, &ctx, &lte, 7);
+    println!(
+        "{:<28} {:>8.2}   (max of CPU-bound and network-bound loads)",
+        "Lower Bound",
+        bound.as_secs_f64()
+    );
+}

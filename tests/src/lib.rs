@@ -1,0 +1,1 @@
+//! Integration test host crate; all tests live in `tests/tests/`.

@@ -1,0 +1,129 @@
+//! Property-based tests spanning crates: generated pages of arbitrary seed
+//! and context always validate, always load to completion under every
+//! policy, and the protocol substrates stay total on adversarial input.
+
+use proptest::prelude::*;
+use vroom::{run_load, System};
+use vroom_net::NetworkProfile;
+use vroom_pages::{DeviceClass, LoadContext, PageGenerator, SiteProfile};
+use vroom_sim::SimDuration;
+
+fn arb_ctx() -> impl Strategy<Value = LoadContext> {
+    (
+        100.0f64..10_000.0,
+        any::<u64>(),
+        prop_oneof![
+            Just(DeviceClass::PhoneSmall),
+            Just(DeviceClass::PhoneLarge),
+            Just(DeviceClass::Tablet),
+        ],
+        any::<u64>(),
+    )
+        .prop_map(|(hours, user_id, device, nonce)| LoadContext {
+            hours,
+            user_id,
+            device,
+            nonce,
+        })
+}
+
+fn arb_profile() -> impl Strategy<Value = SiteProfile> {
+    prop_oneof![
+        Just(SiteProfile::news()),
+        Just(SiteProfile::sports()),
+        Just(SiteProfile::top100()),
+        Just(SiteProfile::top400()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated page is structurally valid.
+    #[test]
+    fn generated_pages_always_validate(
+        seed in any::<u64>(),
+        profile in arb_profile(),
+        ctx in arb_ctx(),
+    ) {
+        let page = PageGenerator::new(profile, seed).snapshot(&ctx);
+        prop_assert!(page.validate().is_ok(), "{:?}", page.validate());
+        prop_assert!(page.len() >= 10);
+    }
+
+    /// Every page loads to completion under the key systems, and the lower
+    /// bounds never exceed the real systems.
+    #[test]
+    fn loads_always_complete_and_bounds_hold(
+        seed in 0u64..5_000,
+        ctx in arb_ctx(),
+    ) {
+        let site = PageGenerator::new(SiteProfile::top100(), seed);
+        let lte = NetworkProfile::lte();
+        let cpu = run_load(&site, &ctx, &lte, System::CpuBound, 3).plt;
+        let h2 = run_load(&site, &ctx, &lte, System::Http2, 3).plt;
+        let vroom = run_load(&site, &ctx, &lte, System::Vroom, 3).plt;
+        prop_assert!(cpu > SimDuration::ZERO);
+        prop_assert!(cpu <= h2 + SimDuration::from_millis(1), "cpu bound {cpu} vs h2 {h2}");
+        prop_assert!(cpu <= vroom + SimDuration::from_millis(1), "cpu bound {cpu} vs vroom {vroom}");
+    }
+
+    /// Back-to-back snapshots differ only in per-load-random URLs, for any
+    /// context.
+    #[test]
+    fn back_to_back_stability_invariant(
+        seed in any::<u64>(),
+        ctx in arb_ctx(),
+        nonce2 in any::<u64>(),
+    ) {
+        let site = PageGenerator::new(SiteProfile::news(), seed);
+        let a = site.snapshot(&ctx);
+        let b = site.snapshot(&ctx.back_to_back(nonce2));
+        for (x, y) in a.resources.iter().zip(&b.resources) {
+            if x.url != y.url {
+                prop_assert_eq!(x.stability, vroom_pages::Stability::PerLoadRandom);
+            }
+        }
+    }
+
+    /// The real HTML renderer and scanner agree with the model for any page.
+    #[test]
+    fn renderer_scanner_model_agreement(seed in any::<u64>(), ctx in arb_ctx()) {
+        let page = PageGenerator::new(SiteProfile::top100(), seed).snapshot(&ctx);
+        let markup = vroom_pages::render_html(&page, 0);
+        let found = vroom_html::scan_html(&page.url, &markup);
+        let found_urls: std::collections::HashSet<_> =
+            found.iter().map(|d| &d.url).collect();
+        for child in page.children(0) {
+            prop_assert_eq!(
+                found_urls.contains(&child.url),
+                child.via_markup,
+                "disagreement on {}",
+                child.url
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The HTTP/2 server connection never panics on arbitrary bytes after
+    /// a valid preface.
+    #[test]
+    fn http2_server_is_total_on_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut server = vroom_http2::Connection::server(vroom_http2::Settings::default());
+        let mut input = vroom_http2::PREFACE.to_vec();
+        input.extend_from_slice(&garbage);
+        let _ = server.recv(&input);
+        let _ = server.take_output();
+        while server.poll_event().is_some() {}
+    }
+
+    /// The HTML tokenizer terminates on arbitrary text.
+    #[test]
+    fn tokenizer_is_total(input in "[ -~<>\"'=/!-]{0,600}") {
+        let tokens: Vec<_> = vroom_html::Tokenizer::new(&input).collect();
+        prop_assert!(tokens.len() <= input.len() + 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! End-to-end wire tests: a Vroom-compliant server speaking real HTTP/2
+//! over real TCP sockets, serving real rendered HTML, with a client that
+//! consumes PUSH_PROMISEs and dependency-hint headers — the reproduction's
+//! equivalent of the paper's §5 implementation, exercised live.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use vroom_browser::config::Hint;
+use vroom_html::{ResourceKind, Url};
+use vroom_net::{RecordedResponse, ReplayStore};
+use vroom_pages::{render_html, LoadContext, Page, PageGenerator, SiteProfile};
+use vroom_server::online::scan_served_html;
+use vroom_server::wire::{WireClient, WireServer, WireSite};
+use vroom_server::{parse_hints, PushPolicy};
+
+/// Record a page into a replay store (the Mahimahi "record" phase), with
+/// real HTML bodies for the documents.
+fn record(page: &Page) -> ReplayStore {
+    let mut store = ReplayStore::new();
+    for r in &page.resources {
+        let rec = if r.kind == ResourceKind::Html {
+            RecordedResponse::with_body(ResourceKind::Html, render_html(page, r.id))
+        } else {
+            RecordedResponse::synthetic(r.kind, r.size)
+        };
+        store.record(r.url.clone(), rec);
+    }
+    store
+}
+
+/// Hints for every HTML document, from the real scanner over real markup.
+fn hints_from_markup(page: &Page) -> HashMap<Url, Vec<Hint>> {
+    let mut out = HashMap::new();
+    out.insert(page.url.clone(), scan_served_html(page, 0));
+    for r in &page.resources {
+        if r.id != 0 && r.kind == ResourceKind::Html {
+            out.insert(r.url.clone(), scan_served_html(page, r.id));
+        }
+    }
+    out
+}
+
+fn start_server(page: &Page, push: PushPolicy) -> WireServer {
+    let site = WireSite {
+        store: Arc::new(record(page)),
+        hints: Arc::new(hints_from_markup(page)),
+        push,
+        domain: page.url.host.clone(),
+    };
+    WireServer::start(site).expect("bind loopback")
+}
+
+fn small_page() -> Page {
+    // A small news site keeps the wire test fast.
+    let mut profile = SiteProfile::news();
+    profile.n_images = (6, 8);
+    profile.n_sync_js = (3, 5);
+    profile.n_async_js = (2, 3);
+    profile.n_iframes = (1, 2);
+    profile.js_children = (2, 3);
+    PageGenerator::new(profile, 9090).snapshot(&LoadContext::reference())
+}
+
+#[test]
+fn vroom_server_pushes_and_hints_over_real_tcp() {
+    let page = small_page();
+    let server = start_server(&page, PushPolicy::HighPriorityLocal);
+
+    let mut client = WireClient::connect(server.addr()).expect("connect");
+    client.get(&page.url).expect("request root");
+    let responses = client.run(Duration::from_secs(10)).expect("drive io");
+
+    // The root HTML arrived with the right body.
+    let root = responses
+        .iter()
+        .find(|r| r.url == page.url)
+        .expect("root response");
+    assert_eq!(root.response.status, 200);
+    let body = String::from_utf8(root.body.clone()).expect("utf-8 html");
+    assert!(body.contains("<!DOCTYPE html>"));
+
+    // Hint headers are present and parse back into tiers (Table 1).
+    let hints = parse_hints(&root.response);
+    assert!(!hints.is_empty(), "root response must carry hints");
+    assert!(hints.iter().any(|h| h.tier == 0), "Link preload present");
+    assert!(
+        hints.iter().any(|h| h.tier == 2),
+        "x-unimportant present"
+    );
+    // CORS exposure for the JS scheduler (§5.2 footnote 7).
+    assert!(root
+        .response
+        .header_values("access-control-expose-headers")
+        .next()
+        .is_some());
+
+    // High-priority same-domain resources were pushed.
+    let pushed: Vec<_> = responses.iter().filter(|r| r.pushed).collect();
+    assert!(!pushed.is_empty(), "server must push high-priority content");
+    for p in &pushed {
+        assert_eq!(p.url.host, page.url.host, "push is same-domain only");
+        let model = page
+            .resources
+            .iter()
+            .find(|r| r.url == p.url)
+            .expect("pushed URL is a real resource");
+        assert_eq!(model.hint_tier(), 0, "only tier-0 content is pushed");
+        assert_eq!(p.body.len() as u64, model.size, "full body pushed");
+    }
+    server.stop();
+}
+
+#[test]
+fn client_can_fetch_hinted_resources_in_tiers() {
+    let page = small_page();
+    let server = start_server(&page, PushPolicy::None);
+
+    let mut client = WireClient::connect(server.addr()).expect("connect");
+    client.get(&page.url).expect("request root");
+    let responses = client.run(Duration::from_secs(10)).expect("io");
+    let root = responses
+        .iter()
+        .find(|r| r.url == page.url)
+        .expect("root");
+    let hints = parse_hints(&root.response);
+
+    // Stage 0: fetch every preload-tier hint on the same domain set.
+    let tier0: Vec<&Hint> = hints
+        .iter()
+        .filter(|h| h.tier == 0 && h.url.host == page.url.host)
+        .collect();
+    assert!(!tier0.is_empty());
+    for h in &tier0 {
+        client.get(&h.url).expect("hinted fetch");
+    }
+    let fetched = client.run(Duration::from_secs(10)).expect("io");
+    assert_eq!(fetched.len(), tier0.len(), "every hinted fetch completed");
+    for f in &fetched {
+        assert_eq!(f.response.status, 200);
+        let model = page.resources.iter().find(|r| r.url == f.url).unwrap();
+        assert_eq!(f.body.len() as u64, model.size);
+    }
+    server.stop();
+}
+
+#[test]
+fn unknown_urls_get_404_over_the_wire() {
+    let page = small_page();
+    let server = start_server(&page, PushPolicy::None);
+    let mut client = WireClient::connect(server.addr()).expect("connect");
+    client
+        .get(&Url::https(page.url.host.clone(), "/definitely-not-there.js"))
+        .expect("request");
+    let responses = client.run(Duration::from_secs(5)).expect("io");
+    assert_eq!(responses.len(), 1);
+    assert_eq!(responses[0].response.status, 404);
+    server.stop();
+}
+
+#[test]
+fn large_bodies_cross_flow_control_boundaries() {
+    // A body much larger than the 64 KiB default connection window forces
+    // WINDOW_UPDATE roundtrips through the real stack.
+    let url = Url::https("big.example", "/huge.jpg");
+    let mut store = ReplayStore::new();
+    store.record(
+        url.clone(),
+        RecordedResponse::synthetic(ResourceKind::Image, 700_000),
+    );
+    let site = WireSite {
+        store: Arc::new(store),
+        hints: Arc::new(HashMap::new()),
+        push: PushPolicy::None,
+        domain: "big.example".into(),
+    };
+    let server = WireServer::start(site).expect("bind");
+    let mut client = WireClient::connect(server.addr()).expect("connect");
+    client.get(&url).expect("request");
+    let responses = client.run(Duration::from_secs(20)).expect("io");
+    assert_eq!(responses.len(), 1);
+    assert_eq!(responses[0].body.len(), 700_000);
+    server.stop();
+}
+
+#[test]
+fn concurrent_requests_multiplex_on_one_connection() {
+    let page = small_page();
+    let server = start_server(&page, PushPolicy::None);
+    let mut client = WireClient::connect(server.addr()).expect("connect");
+    let targets: Vec<Url> = page
+        .resources
+        .iter()
+        .filter(|r| r.url.host == page.url.host)
+        .take(8)
+        .map(|r| r.url.clone())
+        .collect();
+    for t in &targets {
+        client.get(t).expect("request");
+    }
+    let responses = client.run(Duration::from_secs(15)).expect("io");
+    assert_eq!(responses.len(), targets.len());
+    server.stop();
+}
