@@ -1,6 +1,8 @@
 //! One criterion benchmark per figure runner (at reduced corpus scale):
 //! regenerating each exhibit is itself a measured, repeatable operation.
 
+#![forbid(unsafe_code)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use vroom::experiment as exp;
 use vroom::ExperimentConfig;

@@ -3,6 +3,8 @@
 //! HTML objects as they are being served adds a median delay of only
 //! roughly 100 ms" on their servers — `srv_scan_overhead` measures ours).
 
+#![forbid(unsafe_code)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use vroom_hpack::{Decoder, Encoder, HeaderField};
 use vroom_html::scan_html;
@@ -13,7 +15,10 @@ fn hpack_benches(c: &mut Criterion) {
     let headers: Vec<HeaderField> = vec![
         HeaderField::new(":status", "200"),
         HeaderField::new("content-type", "text/html; charset=utf-8"),
-        HeaderField::new("link", "<https://cdn.news.com/app.js>; rel=preload; as=script"),
+        HeaderField::new(
+            "link",
+            "<https://cdn.news.com/app.js>; rel=preload; as=script",
+        ),
         HeaderField::new("x-semi-important", "https://tp1.net/widget.js"),
         HeaderField::new("x-unimportant", "https://cdn.news.com/hero.jpg"),
         HeaderField::new("cache-control", "max-age=3600"),
@@ -62,8 +67,8 @@ fn scan_benches(c: &mut Criterion) {
     // srv: the online-analysis overhead per served landing page.
     let pages: Vec<(vroom_html::Url, String)> = (0..20u64)
         .map(|seed| {
-            let page = PageGenerator::new(SiteProfile::news(), seed)
-                .snapshot(&LoadContext::reference());
+            let page =
+                PageGenerator::new(SiteProfile::news(), seed).snapshot(&LoadContext::reference());
             (page.url.clone(), render_html(&page, 0))
         })
         .collect();

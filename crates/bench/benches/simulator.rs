@@ -1,6 +1,8 @@
 //! Benchmarks of the page-load simulator itself: one full News-site load
 //! per system, plus corpus generation.
 
+#![forbid(unsafe_code)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use vroom::{run_load, System};
 use vroom_net::NetworkProfile;
@@ -11,7 +13,12 @@ fn load_benches(c: &mut Criterion) {
     let ctx = LoadContext::reference();
     let lte = NetworkProfile::lte();
     let mut group = c.benchmark_group("page_load");
-    for system in [System::Http1, System::Http2, System::Vroom, System::PolarisLike] {
+    for system in [
+        System::Http1,
+        System::Http2,
+        System::Vroom,
+        System::PolarisLike,
+    ] {
         group.bench_function(format!("{system:?}"), |b| {
             b.iter(|| black_box(run_load(&site, &ctx, &lte, system, 7)))
         });

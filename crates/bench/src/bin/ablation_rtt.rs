@@ -1,5 +1,7 @@
 //! RTT-sweep ablation (DESIGN.md §5). `--sites N` caps the corpus.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let cfg = vroom_bench::config_from_args();
     print!("{}", vroom::ablation::ablation_rtt(&cfg).1);

@@ -1,5 +1,7 @@
 //! Regenerates Figure 4 of the Vroom paper. `--sites N` caps the corpus.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let cfg = vroom_bench::config_from_args();
     let out = vroom::experiment::fig04(&cfg).2;

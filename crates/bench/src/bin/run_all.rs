@@ -1,6 +1,8 @@
 //! Regenerates every table and figure in one run — the source of
 //! EXPERIMENTS.md. `--sites N` caps corpus sizes for a quick pass.
 
+#![forbid(unsafe_code)]
+
 use vroom::experiment as exp;
 
 fn main() {

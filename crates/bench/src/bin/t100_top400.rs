@@ -1,5 +1,7 @@
 //! Regenerates the §6.1 Top-400 numbers of the Vroom paper. `--sites N` caps the corpus.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let cfg = vroom_bench::config_from_args();
     let out = vroom::experiment::top400_sample(&cfg).2;

@@ -1,6 +1,8 @@
 //! Shared plumbing for the figure binaries: a tiny CLI (`--sites N`,
 //! `--seed S`) and the experiment configuration they map to.
 
+#![forbid(unsafe_code)]
+
 use vroom::ExperimentConfig;
 
 /// Parse `--sites N` / `--seed S` style args into an experiment config.

@@ -6,7 +6,7 @@
 //! baseline, push-only variants, Polaris-like reprioritization, full Vroom,
 //! and the lower bounds).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vroom_html::Url;
 use vroom_sim::SimDuration;
 
@@ -54,11 +54,11 @@ pub struct ServerModel {
     /// Hints keyed by the HTML resource's URL (root or iframe HTML).
     /// Values are in the order the client will need to process them
     /// (the order Vroom-compliant servers emit, §5.1).
-    pub hints: HashMap<Url, Vec<Hint>>,
+    pub hints: BTreeMap<Url, Vec<Hint>>,
     /// Pushed objects keyed by the HTML resource's URL. Every pushed URL
     /// must be served by the same domain as the HTML (integrity rule).
     /// Unknown (stale) URLs are allowed and waste `size` bytes.
-    pub pushes: HashMap<Url, Vec<Hint>>,
+    pub pushes: BTreeMap<Url, Vec<Hint>>,
 }
 
 /// How the client schedules requests.
@@ -111,7 +111,7 @@ pub struct LoadConfig {
     /// CPU-bound lower bound: every fetch completes instantly.
     pub zero_network: bool,
     /// Warm HTTP cache.
-    pub warm_cache: HashMap<Url, CacheEntry>,
+    pub warm_cache: BTreeMap<Url, CacheEntry>,
     /// Cost of one scheduler stage transition on the client CPU — the
     /// JavaScript `response_handler` of §5.2 runs on the single JS thread.
     pub stage_transition_cost: SimDuration,
@@ -138,7 +138,7 @@ impl Default for LoadConfig {
             upfront_all: false,
             disable_processing: false,
             zero_network: false,
-            warm_cache: HashMap::new(),
+            warm_cache: BTreeMap::new(),
             stage_transition_cost: SimDuration::from_millis(5),
             ordered_responses: false,
             fine_grained_dependencies: false,

@@ -19,7 +19,7 @@
 
 use crate::config::{FetchPolicy, Hint, HttpVersion, LoadConfig};
 use crate::metrics::{LoadResult, ResourceTiming};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use vroom_html::{ExecMode, ResourceKind, Url};
 use vroom_net::link::{SharedLink, TransferId};
 use vroom_net::profiles::NetworkProfile;
@@ -50,7 +50,11 @@ enum Ev {
     /// A connection to a domain finished its handshake.
     ConnReady { domain: String, conn: usize },
     /// A request reached the server.
-    ServerArrival { domain: String, conn: usize, target: Target },
+    ServerArrival {
+        domain: String,
+        conn: usize,
+        target: Target,
+    },
     /// The shared link predicts its next transfer completion here.
     LinkTick,
     /// Response headers reached the client (hints become visible).
@@ -83,7 +87,10 @@ enum Task {
     /// Run one segment of an HTML parse.
     HtmlSegment { html: ResourceId },
     /// Execute a script (sync scripts resume their parser afterwards).
-    ExecJs { id: ResourceId, resumes: Option<ResourceId> },
+    ExecJs {
+        id: ResourceId,
+        resumes: Option<ResourceId>,
+    },
     /// Parse a stylesheet.
     ParseCss { id: ResourceId },
     /// Decode/handle a leaf resource (image, font, xhr payload).
@@ -110,7 +117,10 @@ enum Segment {
         discoveries: Vec<(ResourceId, f64)>,
     },
     /// Wait for a sync script (and its blocking stylesheets), then run it.
-    AwaitScript { js: ResourceId, css_deps: Vec<ResourceId> },
+    AwaitScript {
+        js: ResourceId,
+        css_deps: Vec<ResourceId>,
+    },
 }
 
 #[derive(Debug, Default, Clone)]
@@ -155,7 +165,11 @@ impl Conn {
 
     /// Extra delivery delay for a response of `size` bytes, and warm the
     /// window. Each doubling of the window costs one round trip.
-    fn slow_start_penalty(&mut self, size: u64, rtt: vroom_sim::SimDuration) -> vroom_sim::SimDuration {
+    fn slow_start_penalty(
+        &mut self,
+        size: u64,
+        rtt: vroom_sim::SimDuration,
+    ) -> vroom_sim::SimDuration {
         let mut rounds = 0u32;
         while self.cwnd < size as f64 && rounds < 16 {
             self.cwnd *= 2.0;
@@ -211,12 +225,12 @@ struct Sim<'a> {
     queue: EventQueue<Ev>,
     link: SharedLink,
     link_tick_at: Option<SimTime>,
-    url_index: HashMap<Url, ResourceId>,
+    url_index: BTreeMap<Url, ResourceId>,
     rstate: Vec<RState>,
-    domains: HashMap<String, DomainState>,
-    transfers: HashMap<TransferId, (String, usize, Option<Target>, SimDuration)>,
+    domains: BTreeMap<String, DomainState>,
+    transfers: BTreeMap<TransferId, (String, usize, Option<Target>, SimDuration)>,
     cpu: Cpu,
-    html: HashMap<ResourceId, HtmlParse>,
+    html: BTreeMap<ResourceId, HtmlParse>,
     /// Hinted URLs by tier, in arrival order, not yet requested.
     staged: [VecDeque<Target>; 3],
     /// Tier-0 (and later tier-1) targets whose completion gates the next
@@ -258,14 +272,14 @@ impl<'a> Sim<'a> {
             link_tick_at: None,
             url_index,
             rstate: vec![RState::default(); page.len()],
-            domains: HashMap::new(),
-            transfers: HashMap::new(),
+            domains: BTreeMap::new(),
+            transfers: BTreeMap::new(),
             cpu: Cpu {
                 running: None,
                 ready: VecDeque::new(),
                 seq: 0,
             },
-            html: HashMap::new(),
+            html: BTreeMap::new(),
             staged: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
             stage_outstanding: Vec::new(),
             current_stage: 0,
@@ -459,9 +473,10 @@ impl<'a> Sim<'a> {
                 .any(|t| matches!(t, Target::Waste { url: u, .. } if u == url))
         });
         queued
-            || self.transfers.values().any(
-                |(_, _, t, _)| matches!(t, Some(Target::Waste { url: u, .. }) if u == url),
-            )
+            || self
+                .transfers
+                .values()
+                .any(|(_, _, t, _)| matches!(t, Some(Target::Waste { url: u, .. }) if u == url))
     }
 
     // -------------------------------------------------------------- fetching
@@ -498,15 +513,21 @@ impl<'a> Sim<'a> {
             HttpVersion::H1 { conns_per_domain } => Some(conns_per_domain),
             HttpVersion::H2 => None,
         };
-        let setup = self
-            .profile
-            .latency
-            .connection_setup(&domain, self.domains.get(&domain).map(|d| d.dns_started).unwrap_or(false));
-        let ds = self.domains.entry(domain.clone()).or_insert_with(|| DomainState {
-            conns: Vec::new(),
-            pending: VecDeque::new(),
-            dns_started: false,
-        });
+        let setup = self.profile.latency.connection_setup(
+            &domain,
+            self.domains
+                .get(&domain)
+                .map(|d| d.dns_started)
+                .unwrap_or(false),
+        );
+        let ds = self
+            .domains
+            .entry(domain.clone())
+            .or_insert_with(|| DomainState {
+                conns: Vec::new(),
+                pending: VecDeque::new(),
+                dns_started: false,
+            });
         ds.dns_started = true;
         self.network_pending += 1;
 
@@ -516,13 +537,8 @@ impl<'a> Sim<'a> {
                 if ds.conns.is_empty() {
                     ds.conns.push(Conn::new());
                     ds.pending.push_back(target);
-                    self.queue.schedule(
-                        self.now + setup,
-                        Ev::ConnReady {
-                            domain,
-                            conn: 0,
-                        },
-                    );
+                    self.queue
+                        .schedule(self.now + setup, Ev::ConnReady { domain, conn: 0 });
                 } else if !ds.conns[0].ready {
                     ds.pending.push_back(target);
                 } else {
@@ -557,7 +573,9 @@ impl<'a> Sim<'a> {
     /// H1: move pending requests onto free connections, best-first.
     fn h1_dispatch(&mut self, domain: &str) {
         loop {
-            let Some(ds) = self.domains.get_mut(domain) else { return };
+            let Some(ds) = self.domains.get_mut(domain) else {
+                return;
+            };
             let Some(conn_idx) = ds.conns.iter().position(|c| c.ready && !c.busy) else {
                 return;
             };
@@ -610,8 +628,7 @@ impl<'a> Sim<'a> {
             self.rstate[id].processed = Some(self.now);
             if !self.cfg.upfront_all {
                 // Children become discoverable without CPU work.
-                let children: Vec<ResourceId> =
-                    self.page.children(id).map(|c| c.id).collect();
+                let children: Vec<ResourceId> = self.page.children(id).map(|c| c.id).collect();
                 for c in children {
                     self.discover(c);
                 }
@@ -645,15 +662,16 @@ impl<'a> Sim<'a> {
                         }
                         // else: the parser will pick it up at its position.
                     } else {
-                        self.cpu.push(CLASS_ASYNC, Task::ExecJs { id, resumes: None });
+                        self.cpu
+                            .push(CLASS_ASYNC, Task::ExecJs { id, resumes: None });
                     }
                 }
-                ExecMode::Async => {
-                    self.cpu.push(CLASS_ASYNC, Task::ExecJs { id, resumes: None })
-                }
-                ExecMode::Defer => {
-                    self.cpu.push(CLASS_DEFER, Task::ExecJs { id, resumes: None })
-                }
+                ExecMode::Async => self
+                    .cpu
+                    .push(CLASS_ASYNC, Task::ExecJs { id, resumes: None }),
+                ExecMode::Defer => self
+                    .cpu
+                    .push(CLASS_DEFER, Task::ExecJs { id, resumes: None }),
             },
             ResourceKind::Css => {
                 self.cpu.push(CLASS_CSS, Task::ParseCss { id });
@@ -774,7 +792,11 @@ impl<'a> Sim<'a> {
                 return;
             }
         }
-        let class = if html_id == 0 { CLASS_PARSER } else { CLASS_DEFER };
+        let class = if html_id == 0 {
+            CLASS_PARSER
+        } else {
+            CLASS_DEFER
+        };
         self.cpu.push(class, Task::HtmlSegment { html: html_id });
         self.try_run_cpu();
     }
@@ -806,7 +828,9 @@ impl<'a> Sim<'a> {
     }
 
     fn try_unblock_parser(&mut self, html_id: ResourceId) {
-        let Some(parse) = self.html.get(&html_id) else { return };
+        let Some(parse) = self.html.get(&html_id) else {
+            return;
+        };
         if !parse.blocked {
             return;
         }
@@ -821,7 +845,11 @@ impl<'a> Sim<'a> {
         }
         self.html.get_mut(&html_id).expect("exists").blocked = false;
         self.cpu.push(
-            if html_id == 0 { CLASS_PARSER } else { CLASS_DEFER },
+            if html_id == 0 {
+                CLASS_PARSER
+            } else {
+                CLASS_DEFER
+            },
             Task::ExecJs {
                 id: js,
                 resumes: Some(html_id),
@@ -832,7 +860,9 @@ impl<'a> Sim<'a> {
 
     /// Advance an HTML parse after a segment or its blocking script is done.
     fn continue_parse(&mut self, html_id: ResourceId) {
-        let Some(parse) = self.html.get_mut(&html_id) else { return };
+        let Some(parse) = self.html.get_mut(&html_id) else {
+            return;
+        };
         parse.next += 1;
         if parse.next >= parse.plan.len() {
             parse.done = true;
@@ -864,7 +894,11 @@ impl<'a> Sim<'a> {
         }
         match &parse.plan[parse.next] {
             Segment::Parse { .. } => {
-                let class = if html_id == 0 { CLASS_PARSER } else { CLASS_DEFER };
+                let class = if html_id == 0 {
+                    CLASS_PARSER
+                } else {
+                    CLASS_DEFER
+                };
                 self.cpu.push(class, Task::HtmlSegment { html: html_id });
             }
             Segment::AwaitScript { js, .. } => {
@@ -920,7 +954,9 @@ impl<'a> Sim<'a> {
     }
 
     fn on_cpu_done(&mut self) {
-        let Some((task, end)) = self.cpu.running.take() else { return };
+        let Some((task, end)) = self.cpu.running.take() else {
+            return;
+        };
         debug_assert_eq!(end, self.now);
         match task {
             Task::HtmlSegment { html } => {
@@ -1027,12 +1063,16 @@ impl<'a> Sim<'a> {
     }
 
     fn start_next_response(&mut self, domain: &str, conn: usize) {
-        let Some(ds) = self.domains.get_mut(domain) else { return };
+        let Some(ds) = self.domains.get_mut(domain) else {
+            return;
+        };
         let c = &mut ds.conns[conn];
         if c.sending {
             return;
         }
-        let Some(head) = c.response_queue.front() else { return };
+        let Some(head) = c.response_queue.front() else {
+            return;
+        };
         let size = head.size(self.page);
         c.sending = true;
         let head = head.clone();
@@ -1108,7 +1148,9 @@ impl<'a> Sim<'a> {
     }
 
     fn on_conn_free(&mut self, domain: String, conn: usize) {
-        let Some(ds) = self.domains.get_mut(&domain) else { return };
+        let Some(ds) = self.domains.get_mut(&domain) else {
+            return;
+        };
         let c = &mut ds.conns[conn];
         c.sending = false;
         c.busy = false;
@@ -1124,7 +1166,9 @@ impl<'a> Sim<'a> {
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::ConnReady { domain, conn } => {
-                let Some(ds) = self.domains.get_mut(&domain) else { return };
+                let Some(ds) = self.domains.get_mut(&domain) else {
+                    return;
+                };
                 ds.conns[conn].ready = true;
                 match self.cfg.http {
                     HttpVersion::H2 => {
@@ -1162,8 +1206,8 @@ impl<'a> Sim<'a> {
                         }
                     }
                 }
-                let ordered = self.cfg.ordered_responses
-                    || matches!(self.cfg.http, HttpVersion::H1 { .. });
+                let ordered =
+                    self.cfg.ordered_responses || matches!(self.cfg.http, HttpVersion::H1 { .. });
                 if ordered {
                     let ds = self.domains.get_mut(&domain).expect("domain exists");
                     ds.conns[conn].response_queue.push_back(target);
@@ -1255,8 +1299,7 @@ impl<'a> Sim<'a> {
             Ev::ConnFree { domain, conn } => self.on_conn_free(domain, conn),
             Ev::DecodeDone { id } => {
                 self.rstate[id].processed = Some(self.now);
-                let children: Vec<ResourceId> =
-                    self.page.children(id).map(|c| c.id).collect();
+                let children: Vec<ResourceId> = self.page.children(id).map(|c| c.id).collect();
                 for c in children {
                     self.discover(c);
                 }
@@ -1277,19 +1320,26 @@ impl<'a> Sim<'a> {
             .resources
             .iter()
             .filter(|r| (r.above_fold && r.visual_weight > 0.0) || r.id == 0)
-            .map(|r| if r.id == 0 { r.visual_weight.max(0.1) } else { r.visual_weight })
+            .map(|r| {
+                if r.id == 0 {
+                    r.visual_weight.max(0.1)
+                } else {
+                    r.visual_weight
+                }
+            })
             .sum();
         let mut paints = self.paints.clone();
         paints.sort_by_key(|(t, _)| *t);
-        let aft = paints
-            .last()
-            .map(|(t, _)| *t - t0)
-            .unwrap_or(plt);
+        let aft = paints.last().map(|(t, _)| *t - t0).unwrap_or(plt);
         let mut si = 0.0;
         let mut covered = 0.0;
         let mut prev = SimTime::ZERO;
         for (t, w) in &paints {
-            let c = if total_weight > 0.0 { covered / total_weight } else { 1.0 };
+            let c = if total_weight > 0.0 {
+                covered / total_weight
+            } else {
+                1.0
+            };
             si += (1.0 - c) * (*t - prev).as_millis_f64();
             covered += w;
             prev = *t;
@@ -1323,8 +1373,6 @@ impl<'a> Sim<'a> {
         }
     }
 }
-
-
 
 /// Extension: whether onload waits for this resource to be processed.
 trait OnloadExt {

@@ -4,7 +4,7 @@
 use crate::config::*;
 use crate::engine::BrowserEngine;
 use crate::metrics::LoadResult;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vroom_html::{ExecMode, ResourceKind, Url};
 use vroom_net::NetworkProfile;
 use vroom_pages::{LoadContext, Page, PageGenerator, Resource, SiteProfile, Stability};
@@ -33,7 +33,11 @@ fn fig5_page() -> Page {
         exec,
         iframe_root: None,
         above_fold: kind == ResourceKind::Image || kind == ResourceKind::Css,
-        visual_weight: if kind == ResourceKind::Image { 1.0 } else { 0.1 },
+        visual_weight: if kind == ResourceKind::Image {
+            1.0
+        } else {
+            0.1
+        },
         max_age: Some(SimDuration::from_secs(3600)),
         stability: Stability::Stable,
         via_markup,
@@ -42,11 +46,61 @@ fn fig5_page() -> Page {
     Page {
         url: root.clone(),
         resources: vec![
-            mk(0, root, ResourceKind::Html, 40_000, 200, None, 0.0, ExecMode::Sync, true),
-            mk(1, Url::https("b.com", "/style.css"), ResourceKind::Css, 20_000, 30, Some(0), 0.1, ExecMode::Sync, true),
-            mk(2, Url::https("a.com", "/foo.js"), ResourceKind::Js, 30_000, 120, Some(0), 0.3, ExecMode::Sync, true),
-            mk(3, Url::https("a.com", "/hero.jpg"), ResourceKind::Image, 200_000, 10, Some(0), 0.5, ExecMode::Sync, true),
-            mk(4, Url::https("b.com", "/img.jpg"), ResourceKind::Image, 80_000, 5, Some(2), 1.0, ExecMode::Sync, false),
+            mk(
+                0,
+                root,
+                ResourceKind::Html,
+                40_000,
+                200,
+                None,
+                0.0,
+                ExecMode::Sync,
+                true,
+            ),
+            mk(
+                1,
+                Url::https("b.com", "/style.css"),
+                ResourceKind::Css,
+                20_000,
+                30,
+                Some(0),
+                0.1,
+                ExecMode::Sync,
+                true,
+            ),
+            mk(
+                2,
+                Url::https("a.com", "/foo.js"),
+                ResourceKind::Js,
+                30_000,
+                120,
+                Some(0),
+                0.3,
+                ExecMode::Sync,
+                true,
+            ),
+            mk(
+                3,
+                Url::https("a.com", "/hero.jpg"),
+                ResourceKind::Image,
+                200_000,
+                10,
+                Some(0),
+                0.5,
+                ExecMode::Sync,
+                true,
+            ),
+            mk(
+                4,
+                Url::https("b.com", "/img.jpg"),
+                ResourceKind::Image,
+                80_000,
+                5,
+                Some(2),
+                1.0,
+                ExecMode::Sync,
+                false,
+            ),
         ],
     }
 }
@@ -81,10 +135,7 @@ fn oracle_hints(page: &Page) -> ServerModel {
 #[test]
 fn loads_complete_under_all_http_versions() {
     let page = fig5_page();
-    for cfg in [
-        LoadConfig::http1_baseline(),
-        LoadConfig::http2_baseline(),
-    ] {
+    for cfg in [LoadConfig::http1_baseline(), LoadConfig::http2_baseline()] {
         let r = load(&page, &cfg);
         assert!(r.plt > SimDuration::ZERO);
         assert!(r.resources.iter().all(|t| t.processed.is_some()));
@@ -135,9 +186,8 @@ fn network_bound_lower_bound_tracks_bytes_over_bandwidth() {
         ..LoadConfig::default()
     };
     let r = load(&page, &cfg);
-    let transfer = SimDuration::from_secs_f64(
-        page.total_bytes() as f64 * 8.0 / lte().downlink_bps as f64,
-    );
+    let transfer =
+        SimDuration::from_secs_f64(page.total_bytes() as f64 * 8.0 / lte().downlink_bps as f64);
     // PLT ≈ handshake + transfer (+RTT); must be within ~3 RTT of the floor.
     assert!(r.plt >= transfer, "plt {} < floor {transfer}", r.plt);
     assert!(
@@ -153,12 +203,7 @@ fn h2_beats_h1_on_real_pages() {
     let page = PageGenerator::new(SiteProfile::news(), 42).snapshot(&LoadContext::reference());
     let h1 = load(&page, &LoadConfig::http1_baseline());
     let h2 = load(&page, &LoadConfig::http2_baseline());
-    assert!(
-        h2.plt < h1.plt,
-        "H2 {} should beat H1 {}",
-        h2.plt,
-        h1.plt
-    );
+    assert!(h2.plt < h1.plt, "H2 {} should beat H1 {}", h2.plt, h1.plt);
 }
 
 #[test]
@@ -224,15 +269,11 @@ fn false_positive_hints_waste_bytes_and_slow_the_load() {
     let mut server = oracle_hints(&page);
     // Add junk hints: stale URLs from a "previous load".
     for i in 0..12 {
-        server
-            .hints
-            .get_mut(&page.url)
-            .unwrap()
-            .push(Hint {
-                url: Url::https("a.com", format!("/stale-{i}.jpg")),
-                tier: 0,
-                size_hint: 150_000,
-            });
+        server.hints.get_mut(&page.url).unwrap().push(Hint {
+            url: Url::https("a.com", format!("/stale-{i}.jpg")),
+            tier: 0,
+            size_hint: 150_000,
+        });
     }
     let clean = load(
         &page,
@@ -263,7 +304,7 @@ fn false_positive_hints_waste_bytes_and_slow_the_load() {
 #[test]
 fn warm_cache_speeds_up_loads() {
     let page = PageGenerator::new(SiteProfile::news(), 44).snapshot(&LoadContext::reference());
-    let mut cache = HashMap::new();
+    let mut cache = BTreeMap::new();
     for r in &page.resources {
         if let Some(max_age) = r.max_age {
             cache.insert(
@@ -283,7 +324,11 @@ fn warm_cache_speeds_up_loads() {
             ..LoadConfig::default()
         },
     );
-    assert!(warm.cache_hits > page.len() / 4, "cache hits {}", warm.cache_hits);
+    assert!(
+        warm.cache_hits > page.len() / 4,
+        "cache hits {}",
+        warm.cache_hits
+    );
     assert!(
         warm.plt < cold.plt,
         "warm {} vs cold {}",
@@ -296,7 +341,7 @@ fn warm_cache_speeds_up_loads() {
 #[test]
 fn stale_cache_entries_are_refetched() {
     let page = fig5_page();
-    let mut cache = HashMap::new();
+    let mut cache = BTreeMap::new();
     cache.insert(
         Url::https("a.com", "/foo.js"),
         CacheEntry {
@@ -361,7 +406,12 @@ fn polaris_discovers_earlier_than_h2_baseline() {
 fn visual_metrics_are_consistent() {
     let page = PageGenerator::new(SiteProfile::news(), 46).snapshot(&LoadContext::reference());
     let r = load(&page, &LoadConfig::http2_baseline());
-    assert!(r.aft <= r.plt, "AFT {} must not exceed PLT {}", r.aft, r.plt);
+    assert!(
+        r.aft <= r.plt,
+        "AFT {} must not exceed PLT {}",
+        r.aft,
+        r.plt
+    );
     assert!(r.speed_index > 0.0);
     assert!(r.speed_index <= r.aft.as_millis_f64() + 1.0);
 }
@@ -373,7 +423,11 @@ fn accounting_adds_up() {
     assert!(r.cpu_busy <= r.plt);
     assert!(r.network_wait <= r.plt);
     assert!(r.cpu_busy + r.network_wait <= r.plt + SimDuration::from_millis(1));
-    assert!(r.cpu_utilization() > 0.2, "cpu util {}", r.cpu_utilization());
+    assert!(
+        r.cpu_utilization() > 0.2,
+        "cpu util {}",
+        r.cpu_utilization()
+    );
     assert!(
         r.network_wait_frac() > 0.05,
         "network wait {}",

@@ -7,6 +7,8 @@
 //! scheduling, cache state, and lower-bound switches; `vroom` (the core
 //! crate) builds one config per system in the paper's evaluation.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod engine;
 pub mod metrics;

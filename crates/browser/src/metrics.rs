@@ -22,7 +22,10 @@ pub struct ResourceTiming {
 }
 
 /// Result of one simulated page load.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so the determinism suite can assert two identically
+/// seeded loads agree on every field, including the per-resource trace.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadResult {
     /// Page load time: when the onload event fires.
     pub plt: SimDuration,

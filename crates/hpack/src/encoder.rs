@@ -143,8 +143,8 @@ mod tests {
         assert_eq!(
             block1,
             [
-                0x82, 0x86, 0x84, 0x41, 0x0f, 0x77, 0x77, 0x77, 0x2e, 0x65, 0x78, 0x61, 0x6d,
-                0x70, 0x6c, 0x65, 0x2e, 0x63, 0x6f, 0x6d
+                0x82, 0x86, 0x84, 0x41, 0x0f, 0x77, 0x77, 0x77, 0x2e, 0x65, 0x78, 0x61, 0x6d, 0x70,
+                0x6c, 0x65, 0x2e, 0x63, 0x6f, 0x6d
             ]
         );
         assert_eq!(enc.table().size(), 57);
@@ -172,9 +172,9 @@ mod tests {
         assert_eq!(
             block3,
             [
-                0x82, 0x87, 0x85, 0xbf, 0x40, 0x0a, 0x63, 0x75, 0x73, 0x74, 0x6f, 0x6d, 0x2d,
-                0x6b, 0x65, 0x79, 0x0c, 0x63, 0x75, 0x73, 0x74, 0x6f, 0x6d, 0x2d, 0x76, 0x61,
-                0x6c, 0x75, 0x65
+                0x82, 0x87, 0x85, 0xbf, 0x40, 0x0a, 0x63, 0x75, 0x73, 0x74, 0x6f, 0x6d, 0x2d, 0x6b,
+                0x65, 0x79, 0x0c, 0x63, 0x75, 0x73, 0x74, 0x6f, 0x6d, 0x2d, 0x76, 0x61, 0x6c, 0x75,
+                0x65
             ]
         );
         assert_eq!(enc.table().size(), 164);
@@ -194,8 +194,8 @@ mod tests {
         assert_eq!(
             block1,
             [
-                0x82, 0x86, 0x84, 0x41, 0x8c, 0xf1, 0xe3, 0xc2, 0xe5, 0xf2, 0x3a, 0x6b, 0xa0,
-                0xab, 0x90, 0xf4, 0xff
+                0x82, 0x86, 0x84, 0x41, 0x8c, 0xf1, 0xe3, 0xc2, 0xe5, 0xf2, 0x3a, 0x6b, 0xa0, 0xab,
+                0x90, 0xf4, 0xff
             ]
         );
 
@@ -221,8 +221,8 @@ mod tests {
         assert_eq!(
             block3,
             [
-                0x82, 0x87, 0x85, 0xbf, 0x40, 0x88, 0x25, 0xa8, 0x49, 0xe9, 0x5b, 0xa9, 0x7d,
-                0x7f, 0x89, 0x25, 0xa8, 0x49, 0xe9, 0x5b, 0xb8, 0xe8, 0xb4, 0xbf
+                0x82, 0x87, 0x85, 0xbf, 0x40, 0x88, 0x25, 0xa8, 0x49, 0xe9, 0x5b, 0xa9, 0x7d, 0x7f,
+                0x89, 0x25, 0xa8, 0x49, 0xe9, 0x5b, 0xb8, 0xe8, 0xb4, 0xbf
             ]
         );
         assert_eq!(enc.table().size(), 164);
@@ -234,7 +234,10 @@ mod tests {
         let block = enc.encode(&[HeaderField::sensitive("password", "hunter2")]);
         // 0001 0000 prefix, no name index, two plain literals.
         assert_eq!(block[0], 0x10);
-        assert!(enc.table().is_empty(), "sensitive field must not be indexed");
+        assert!(
+            enc.table().is_empty(),
+            "sensitive field must not be indexed"
+        );
         // Known name should use a name index under the never-indexed form.
         let block2 = enc.encode(&[HeaderField::sensitive("authorization", "secret")]);
         assert_eq!(block2[0], 0x1f, "authorization is static index 23 >= 15");

@@ -446,15 +446,15 @@ mod tests {
         assert_eq!(
             enc("Mon, 21 Oct 2013 20:13:21 GMT"),
             [
-                0xd0, 0x7a, 0xbe, 0x94, 0x10, 0x54, 0xd4, 0x44, 0xa8, 0x20, 0x05, 0x95, 0x04,
-                0x0b, 0x81, 0x66, 0xe0, 0x82, 0xa6, 0x2d, 0x1b, 0xff
+                0xd0, 0x7a, 0xbe, 0x94, 0x10, 0x54, 0xd4, 0x44, 0xa8, 0x20, 0x05, 0x95, 0x04, 0x0b,
+                0x81, 0x66, 0xe0, 0x82, 0xa6, 0x2d, 0x1b, 0xff
             ]
         );
         assert_eq!(
             enc("https://www.example.com"),
             [
-                0x9d, 0x29, 0xad, 0x17, 0x18, 0x63, 0xc7, 0x8f, 0x0b, 0x97, 0xc8, 0xe9, 0xae,
-                0x82, 0xae, 0x43, 0xd3
+                0x9d, 0x29, 0xad, 0x17, 0x18, 0x63, 0xc7, 0x8f, 0x0b, 0x97, 0xc8, 0xe9, 0xae, 0x82,
+                0xae, 0x43, 0xd3
             ]
         );
     }

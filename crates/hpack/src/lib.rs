@@ -33,6 +33,8 @@
 //! assert_eq!(dec.decode(&wire).unwrap(), headers);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod decoder;
 pub mod encoder;
 pub mod huffman;

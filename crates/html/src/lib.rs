@@ -13,6 +13,8 @@
 //!   with the [`ResourceKind`] and [`ExecMode`] taxonomy that drives Vroom's
 //!   priority tiers.
 
+#![forbid(unsafe_code)]
+
 pub mod scanner;
 pub mod tokenizer;
 pub mod url;

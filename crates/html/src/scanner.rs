@@ -9,12 +9,11 @@
 
 use crate::tokenizer::{attr, Token, Tokenizer};
 use crate::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// Content classes a page-load cares about. The split drives Vroom's
 /// priorities: `Html`, `Css`, and `Js` must be *processed* (high priority),
 /// everything else is payload (low priority).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ResourceKind {
     /// Top-level or iframe documents.
     Html,
@@ -38,7 +37,10 @@ impl ResourceKind {
     /// Whether the browser must parse/execute this resource — Vroom's
     /// high-priority class (HTML, CSS, JS).
     pub fn needs_processing(self) -> bool {
-        matches!(self, ResourceKind::Html | ResourceKind::Css | ResourceKind::Js)
+        matches!(
+            self,
+            ResourceKind::Html | ResourceKind::Css | ResourceKind::Js
+        )
     }
 
     /// Guess a kind from a URL's file extension.
@@ -66,7 +68,7 @@ impl ResourceKind {
 }
 
 /// How a reference was found in the document.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DiscoveryVia {
     /// `<script src>`.
     ScriptSrc,
@@ -88,7 +90,7 @@ pub enum DiscoveryVia {
 
 /// Script execution mode, which decides Vroom's priority tier
 /// (sync scripts are `Link preload`; async/defer are `x-semi-important`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecMode {
     /// Blocks the parser.
     Sync,
@@ -99,7 +101,7 @@ pub enum ExecMode {
 }
 
 /// One reference discovered in a document.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Discovered {
     /// Absolute URL after resolution against the document base.
     pub url: Url,
@@ -448,7 +450,10 @@ mod tests {
         let found = scan_css(&Url::https("a.com", "/styles/main.css"), css);
         assert_eq!(
             urls(&found),
-            vec!["https://a.com/styles/extra.css", "https://a.com/styles/img/dot.gif"]
+            vec![
+                "https://a.com/styles/extra.css",
+                "https://a.com/styles/img/dot.gif"
+            ]
         );
     }
 

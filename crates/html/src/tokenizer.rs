@@ -103,7 +103,10 @@ impl<'a> Iterator for Tokenizer<'a> {
                 }
                 // Doctype / CDATA / other declarations: skip to '>'.
                 if stripped.starts_with('!') || stripped.starts_with('?') {
-                    let end = rest.find('>').map(|i| self.pos + i + 1).unwrap_or(self.input.len());
+                    let end = rest
+                        .find('>')
+                        .map(|i| self.pos + i + 1)
+                        .unwrap_or(self.input.len());
                     self.pos = end;
                     continue;
                 }
@@ -114,9 +117,7 @@ impl<'a> Iterator for Tokenizer<'a> {
                         self.pos = self.input.len();
                         return None;
                     };
-                    let name = self.input[self.pos + 2..end]
-                        .trim()
-                        .to_ascii_lowercase();
+                    let name = self.input[self.pos + 2..end].trim().to_ascii_lowercase();
                     self.pos = end + 1;
                     if name.is_empty() {
                         continue;
@@ -141,7 +142,10 @@ impl<'a> Iterator for Tokenizer<'a> {
             }
 
             // Text run until the next '<'.
-            let end = rest.find('<').map(|i| self.pos + i).unwrap_or(self.input.len());
+            let end = rest
+                .find('<')
+                .map(|i| self.pos + i)
+                .unwrap_or(self.input.len());
             let text = &self.input[self.pos..end];
             self.pos = end;
             if !text.trim().is_empty() {
@@ -356,7 +360,9 @@ mod tests {
         let t = toks("a < b > c");
         // "a " text, stray '<' skipped, "b > c" text-ish — must not panic and
         // must preserve the surrounding text.
-        assert!(t.iter().any(|tok| matches!(tok, Token::Text(s) if s.contains('a'))));
+        assert!(t
+            .iter()
+            .any(|tok| matches!(tok, Token::Text(s) if s.contains('a'))));
     }
 
     #[test]

@@ -169,19 +169,6 @@ impl fmt::Display for Url {
     }
 }
 
-impl serde::Serialize for Url {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.collect_str(self)
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for Url {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        Url::parse(&s).ok_or_else(|| serde::de::Error::custom(format!("invalid url {s:?}")))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,7 +229,9 @@ mod tests {
         let base = Url::https("a.com", "/");
         assert!(base.join("data:text/plain,hi").is_none());
         assert!(base.join("javascript:alert(1)").is_none());
-        assert!(base.join(&format!("mailto:bob{}example.org", "\u{40}")).is_none());
+        assert!(base
+            .join(&format!("mailto:bob{}example.org", "\u{40}"))
+            .is_none());
         // But a path containing a colon after a slash is fine.
         assert!(base.join("/weird/a:b.png").is_some());
     }
@@ -256,16 +245,24 @@ mod tests {
         assert!(a.same_site(&b));
         assert!(!a.same_site(&c));
         assert_eq!(a.registrable_domain(), "news.com");
-        assert_eq!(Url::https("localhost", "/").registrable_domain(), "localhost");
+        assert_eq!(
+            Url::https("localhost", "/").registrable_domain(),
+            "localhost"
+        );
     }
 
     #[test]
     fn extension_extraction() {
         assert_eq!(
-            Url::https("a.com", "/x/app.min.js?v=2").extension().unwrap(),
+            Url::https("a.com", "/x/app.min.js?v=2")
+                .extension()
+                .unwrap(),
             "js"
         );
-        assert_eq!(Url::https("a.com", "/style.CSS").extension().unwrap(), "css");
+        assert_eq!(
+            Url::https("a.com", "/style.CSS").extension().unwrap(),
+            "css"
+        );
         assert_eq!(Url::https("a.com", "/api/data").extension(), None);
         assert_eq!(Url::https("a.com", "/.hidden").extension(), None);
         assert_eq!(Url::https("a.com", "/x.verylongext").extension(), None);

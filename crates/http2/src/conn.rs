@@ -138,9 +138,7 @@ impl Connection {
         };
         let hpack_dec = vroom_hpack::Decoder::new()
             .with_max_table_size(local.header_table_size as usize)
-            .with_max_header_list_size(
-                local.max_header_list_size.unwrap_or(64 * 1024) as usize
-            );
+            .with_max_header_list_size(local.max_header_list_size.unwrap_or(64 * 1024) as usize);
         Connection {
             role,
             peer: Settings::default(),
@@ -274,7 +272,10 @@ impl Connection {
                 self.local_settings_acked = true;
                 self.events.push_back(Event::SettingsAcked);
             }
-            Frame::Settings { ack: false, entries } => {
+            Frame::Settings {
+                ack: false,
+                entries,
+            } => {
                 let old_initial = self.peer.initial_window_size;
                 self.peer.apply(&entries)?;
                 // Peer's INITIAL_WINDOW_SIZE change retroactively adjusts all
@@ -293,9 +294,13 @@ impl Connection {
                     entries: vec![],
                 }
                 .encode(&mut self.out);
-                self.events.push_back(Event::PeerSettings(self.peer.clone()));
+                self.events
+                    .push_back(Event::PeerSettings(self.peer.clone()));
             }
-            Frame::Ping { ack: false, payload } => {
+            Frame::Ping {
+                ack: false,
+                payload,
+            } => {
                 Frame::Ping { ack: true, payload }.encode(&mut self.out);
             }
             Frame::Ping { ack: true, payload } => {
@@ -410,12 +415,7 @@ impl Connection {
                 if end_headers {
                     let cont = self.cont.take().expect("checked above");
                     let buf = Bytes::from(cont.buf);
-                    self.finish_header_block(
-                        cont.stream_id,
-                        cont.promised,
-                        cont.end_stream,
-                        &buf,
-                    )?;
+                    self.finish_header_block(cont.stream_id, cont.promised, cont.end_stream, &buf)?;
                 }
             }
         }
@@ -533,9 +533,7 @@ impl Connection {
                 ));
             }
             if self.role == Role::Client {
-                return Err(ConnectionError::protocol(
-                    "server opened a non-push stream",
-                ));
+                return Err(ConnectionError::protocol("server opened a non-push stream"));
             }
             if let Some(max) = self.local.max_concurrent_streams {
                 let open_peer = self
@@ -750,8 +748,8 @@ impl Connection {
                 "data on unwritable stream",
             ));
         }
-        let budget = (s.send_window.sendable().min(self.conn_send.sendable()) as usize)
-            .min(data.len());
+        let budget =
+            (s.send_window.sendable().min(self.conn_send.sendable()) as usize).min(data.len());
         let max_frame = self.peer.max_frame_size as usize;
 
         if data.is_empty() {

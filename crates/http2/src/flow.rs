@@ -51,7 +51,8 @@ impl FlowWindow {
     pub fn try_consume(&mut self, n: u32) -> Result<(), ConnectionError> {
         if (n as i64) > self.available {
             return Err(ConnectionError::flow_control(format!(
-                "peer sent {n} bytes with only {} window", self.available
+                "peer sent {n} bytes with only {} window",
+                self.available
             )));
         }
         self.available -= n as i64;

@@ -213,7 +213,13 @@ impl Frame {
                     f |= flags::PRIORITY;
                 }
                 let extra = if priority.is_some() { 5 } else { 0 };
-                put_header(out, fragment.len() + extra, FrameType::Headers, f, *stream_id);
+                put_header(
+                    out,
+                    fragment.len() + extra,
+                    FrameType::Headers,
+                    f,
+                    *stream_id,
+                );
                 if let Some(p) = priority {
                     put_priority(out, p);
                 }
@@ -242,7 +248,13 @@ impl Frame {
                 end_headers,
             } => {
                 let f = if *end_headers { flags::END_HEADERS } else { 0 };
-                put_header(out, fragment.len() + 4, FrameType::PushPromise, f, *stream_id);
+                put_header(
+                    out,
+                    fragment.len() + 4,
+                    FrameType::PushPromise,
+                    f,
+                    *stream_id,
+                );
                 out.put_u32(promised_stream_id & 0x7fff_ffff);
                 out.extend_from_slice(fragment);
             }
@@ -512,14 +524,18 @@ fn strip_padding(payload: &mut Bytes, fl: u8, frame_len: usize) -> Result<u32, C
         return Ok(0);
     }
     if payload.is_empty() {
-        return Err(ConnectionError::frame_size("PADDED frame without pad length"));
+        return Err(ConnectionError::frame_size(
+            "PADDED frame without pad length",
+        ));
     }
     let pad = payload.get_u8() as usize;
     if pad >= frame_len {
         return Err(ConnectionError::protocol("padding exceeds frame payload"));
     }
     if pad > payload.len() {
-        return Err(ConnectionError::protocol("padding exceeds remaining payload"));
+        return Err(ConnectionError::protocol(
+            "padding exceeds remaining payload",
+        ));
     }
     payload.truncate(payload.len() - pad);
     Ok(pad as u32 + 1)

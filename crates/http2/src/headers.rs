@@ -168,9 +168,11 @@ impl Response {
                 )));
             }
             if status
-                .replace(f.value.parse::<u16>().map_err(|_| {
-                    ConnectionError::protocol(format!("bad :status {:?}", f.value))
-                })?)
+                .replace(
+                    f.value.parse::<u16>().map_err(|_| {
+                        ConnectionError::protocol(format!("bad :status {:?}", f.value))
+                    })?,
+                )
                 .is_some()
             {
                 return Err(ConnectionError::protocol("duplicate :status"));
@@ -233,24 +235,30 @@ mod tests {
     fn response_roundtrip_with_hints() {
         let resp = Response::ok()
             .with_header(hint_headers::LINK, "</app.js>; rel=preload; as=script")
-            .with_header(hint_headers::SEMI_IMPORTANT, "https://cdn.example.com/lazy.js")
-            .with_header(hint_headers::UNIMPORTANT, "https://img.example.com/hero.jpg")
+            .with_header(
+                hint_headers::SEMI_IMPORTANT,
+                "https://cdn.example.com/lazy.js",
+            )
+            .with_header(
+                hint_headers::UNIMPORTANT,
+                "https://img.example.com/hero.jpg",
+            )
             .with_header(
                 hint_headers::EXPOSE,
                 "Link, x-semi-important, x-unimportant",
             );
         let back = Response::from_fields(&resp.to_fields()).unwrap();
         assert_eq!(back, resp);
-        assert_eq!(
-            back.header_values(hint_headers::SEMI_IMPORTANT).count(),
-            1
-        );
+        assert_eq!(back.header_values(hint_headers::SEMI_IMPORTANT).count(), 1);
     }
 
     #[test]
     fn cookie_is_sensitive() {
         let req = Request::get("a.com", "/").with_cookie("id=1");
-        assert!(req.to_fields().iter().any(|f| f.name == "cookie" && f.sensitive));
+        assert!(req
+            .to_fields()
+            .iter()
+            .any(|f| f.name == "cookie" && f.sensitive));
     }
 
     #[test]

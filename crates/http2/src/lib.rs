@@ -52,11 +52,13 @@
 //! # let _ = sid;
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod conn;
 pub mod error;
-pub mod h1;
 pub mod flow;
 pub mod frame;
+pub mod h1;
 pub mod headers;
 pub mod settings;
 pub mod stream;
@@ -79,15 +81,23 @@ mod proptests {
 
     fn arb_frame() -> impl Strategy<Value = Frame> {
         prop_oneof![
-            (1u32..1000, proptest::collection::vec(any::<u8>(), 0..2000), any::<bool>()).prop_map(
-                |(id, data, fin)| Frame::Data {
+            (
+                1u32..1000,
+                proptest::collection::vec(any::<u8>(), 0..2000),
+                any::<bool>()
+            )
+                .prop_map(|(id, data, fin)| Frame::Data {
                     stream_id: id * 2 - 1,
                     data: bytes::Bytes::from(data),
                     end_stream: fin,
                     pad_len: 0,
-                }
-            ),
-            (1u32..1000, proptest::collection::vec(any::<u8>(), 0..500), any::<bool>(), any::<bool>())
+                }),
+            (
+                1u32..1000,
+                proptest::collection::vec(any::<u8>(), 0..500),
+                any::<bool>(),
+                any::<bool>()
+            )
                 .prop_map(|(id, frag, fin, eh)| Frame::Headers {
                     stream_id: id,
                     fragment: bytes::Bytes::from(frag),
@@ -103,7 +113,10 @@ mod proptests {
                 // ENABLE_PUSH and window/frame-size settings have value
                 // constraints enforced at a higher layer; the codec carries
                 // raw pairs.
-                Frame::Settings { ack: false, entries }
+                Frame::Settings {
+                    ack: false,
+                    entries,
+                }
             }),
             any::<[u8; 8]>().prop_map(|payload| Frame::Ping { ack: true, payload }),
             (0u32..1000, proptest::collection::vec(any::<u8>(), 0..100)).prop_map(

@@ -80,9 +80,7 @@ impl Settings {
                         0 => false,
                         1 => true,
                         _ => {
-                            return Err(ConnectionError::protocol(format!(
-                                "ENABLE_PUSH = {value}"
-                            )))
+                            return Err(ConnectionError::protocol(format!("ENABLE_PUSH = {value}")))
                         }
                     }
                 }
@@ -186,7 +184,9 @@ mod tests {
     #[test]
     fn window_size_bounds() {
         let mut s = Settings::default();
-        assert!(s.apply(&[(ids::INITIAL_WINDOW_SIZE, MAX_WINDOW_SIZE)]).is_ok());
+        assert!(s
+            .apply(&[(ids::INITIAL_WINDOW_SIZE, MAX_WINDOW_SIZE)])
+            .is_ok());
         assert!(s
             .apply(&[(ids::INITIAL_WINDOW_SIZE, MAX_WINDOW_SIZE + 1)])
             .is_err());
@@ -197,7 +197,9 @@ mod tests {
         let mut s = Settings::default();
         assert!(s.apply(&[(ids::MAX_FRAME_SIZE, 16_383)]).is_err());
         assert!(s.apply(&[(ids::MAX_FRAME_SIZE, 1 << 24)]).is_err());
-        assert!(s.apply(&[(ids::MAX_FRAME_SIZE, MAX_MAX_FRAME_SIZE)]).is_ok());
+        assert!(s
+            .apply(&[(ids::MAX_FRAME_SIZE, MAX_MAX_FRAME_SIZE)])
+            .is_ok());
     }
 
     #[test]

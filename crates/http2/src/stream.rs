@@ -103,10 +103,7 @@ impl Stream {
 
     /// Whether DATA from the peer is legal in the current state.
     pub fn recv_data_allowed(&self) -> bool {
-        matches!(
-            self.state,
-            StreamState::Open | StreamState::HalfClosedLocal
-        )
+        matches!(self.state, StreamState::Open | StreamState::HalfClosedLocal)
     }
 
     /// We sent END_STREAM.

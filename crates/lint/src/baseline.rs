@@ -1,0 +1,159 @@
+//! The ratchet baseline: known pre-existing violations, checked in as
+//! `lint-baseline.txt`. Entries are keyed on `(rule, path, trimmed source
+//! line)` rather than line numbers, so unrelated edits above a baselined
+//! site don't invalidate it. Matching respects multiplicity: two identical
+//! baselined lines absorb at most two identical violations.
+
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+
+/// Name of the checked-in baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.txt";
+
+/// One baseline entry (tab-separated on disk: `rule\tpath\tsnippet`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    pub rule: String,
+    pub path: String,
+    pub snippet: String,
+}
+
+/// Result of reconciling current violations against the baseline.
+#[derive(Debug, Default)]
+pub struct Reconciled {
+    /// Violations not covered by the baseline — these fail the build.
+    pub new_violations: Vec<Violation>,
+    /// Baseline entries with no matching violation — the debt was paid
+    /// down; `--check-baseline` demands the file be regenerated.
+    pub stale_entries: Vec<Entry>,
+}
+
+/// Parse the baseline file contents. Blank lines and `#` comments are
+/// allowed. Returns an error message for malformed lines.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(path), Some(snippet)) => entries.push(Entry {
+                rule: rule.to_string(),
+                path: path.to_string(),
+                snippet: snippet.to_string(),
+            }),
+            _ => {
+                return Err(format!(
+                    "{BASELINE_FILE}:{}: expected `rule<TAB>path<TAB>snippet`, got {line:?}",
+                    i + 1
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Serialize violations as a fresh baseline (sorted, deterministic bytes).
+pub fn render(violations: &[Violation]) -> String {
+    let mut lines: Vec<String> = violations
+        .iter()
+        .map(|v| format!("{}\t{}\t{}", v.rule, v.path, v.snippet))
+        .collect();
+    lines.sort();
+    let mut out = String::from(
+        "# vroom-lint ratchet baseline: pre-existing violations tolerated until paid down.\n\
+         # Regenerate with `cargo run -p vroom-lint -- --update-baseline` (only when debt shrinks).\n\
+         # Format: rule<TAB>path<TAB>trimmed source line.\n",
+    );
+    for line in &lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Match violations against baseline entries with multiplicity.
+pub fn reconcile(violations: Vec<Violation>, baseline: &[Entry]) -> Reconciled {
+    let mut budget: BTreeMap<Entry, usize> = BTreeMap::new();
+    for e in baseline {
+        *budget.entry(e.clone()).or_insert(0) += 1;
+    }
+    let mut out = Reconciled::default();
+    for v in violations {
+        let key = Entry {
+            rule: v.rule.to_string(),
+            path: v.path.clone(),
+            snippet: v.snippet.clone(),
+        };
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => out.new_violations.push(v),
+        }
+    }
+    for (entry, n) in budget {
+        for _ in 0..n {
+            out.stale_entries.push(entry.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, path: &str, snippet: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_comments() {
+        let text = render(&[v("unwrap", "crates/server/src/wire.rs", "x().unwrap();")]);
+        let entries = parse(&text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "unwrap");
+        assert!(parse("garbage line no tabs").is_err());
+    }
+
+    #[test]
+    fn reconcile_multiplicity() {
+        let baseline = parse(&render(&[
+            v("unwrap", "a.rs", "x().unwrap();"),
+            v("unwrap", "a.rs", "x().unwrap();"),
+        ]))
+        .unwrap();
+        // Two identical violations absorbed, a third is new.
+        let r = reconcile(
+            vec![
+                v("unwrap", "a.rs", "x().unwrap();"),
+                v("unwrap", "a.rs", "x().unwrap();"),
+                v("unwrap", "a.rs", "x().unwrap();"),
+            ],
+            &baseline,
+        );
+        assert_eq!(r.new_violations.len(), 1);
+        assert!(r.stale_entries.is_empty());
+        // Only one violation now: one stale entry remains.
+        let r = reconcile(vec![v("unwrap", "a.rs", "x().unwrap();")], &baseline);
+        assert!(r.new_violations.is_empty());
+        assert_eq!(r.stale_entries.len(), 1);
+    }
+
+    #[test]
+    fn line_number_drift_does_not_invalidate() {
+        let baseline = parse(&render(&[v("unwrap", "a.rs", "x().unwrap();")])).unwrap();
+        let mut moved = v("unwrap", "a.rs", "x().unwrap();");
+        moved.line = 99;
+        let r = reconcile(vec![moved], &baseline);
+        assert!(r.new_violations.is_empty());
+        assert!(r.stale_entries.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! `vroom-lint` — source-level static analysis for the Vroom workspace.
+//!
+//! The simulation's headline guarantee is determinism: the same seed and
+//! the same page corpus must produce byte-identical event traces and
+//! metrics. That guarantee is easy to break silently — one `Instant::now()`
+//! in a shared code path, one `HashMap` iteration feeding an event queue —
+//! so this crate enforces the invariants *statically*, over the workspace's
+//! own source text, with zero external dependencies.
+//!
+//! Rules (see [`rules::RULE_IDS`]):
+//!
+//! * `wall-clock` — `Instant::now` / `SystemTime` outside bench binaries,
+//! * `unordered-iter` — HashMap/HashSet iteration in sim-path crates,
+//! * `ambient-randomness` — `thread_rng` & friends outside the seeded PRNG,
+//! * `forbid-unsafe` — every crate root carries `#![forbid(unsafe_code)]`,
+//! * `unwrap` — `.unwrap()`/`.expect(` ratchet in protocol crates,
+//! * `float-eq` — exact float comparison in metrics code,
+//! * `waiver-syntax` — malformed or unknown-rule waiver comments.
+//!
+//! Findings fire on *code*, not comments or string literals: a lexer pass
+//! ([`lexer::lex`]) blanks comments and literals while preserving byte
+//! positions, so diagnostics carry real `file:line` coordinates.
+//!
+//! Escape hatches are explicit and audited: a line can carry
+//! `// vroom-lint: allow(<rule>) -- <reason>` (the reason is mandatory),
+//! and pre-existing debt lives in a checked-in ratchet baseline
+//! (`lint-baseline.txt`) that may only shrink.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use baseline::Reconciled;
+use rules::Violation;
+use source::SourceFile;
+use std::path::Path;
+
+/// Outcome of a full lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Violations not absorbed by the baseline.
+    pub new_violations: Vec<Violation>,
+    /// Baseline entries whose violation no longer exists.
+    pub stale_entries: Vec<baseline::Entry>,
+    /// Total raw violations before baseline reconciliation.
+    pub raw_count: usize,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Clean means no new violations (stale entries are reported separately
+    /// and only fail under `--check-baseline`).
+    pub fn is_clean(&self) -> bool {
+        self.new_violations.is_empty()
+    }
+}
+
+/// Lint in-memory sources — the pure entry point the integration tests use.
+pub fn analyze_sources(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        let lexed = lexer::lex(&file.source);
+        rules::check_file(file, &lexed, &mut out);
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}
+
+/// Lint the workspace rooted at (or above) `start`, reconciling against the
+/// checked-in baseline if present.
+pub fn analyze(start: &Path) -> Result<Report, String> {
+    let root = source::workspace_root(start)
+        .ok_or_else(|| format!("no workspace Cargo.toml above {}", start.display()))?;
+    let files = source::collect_sources(&root).map_err(|e| format!("walking workspace: {e}"))?;
+    let violations = analyze_sources(&files);
+    let raw_count = violations.len();
+    let baseline_path = root.join(baseline::BASELINE_FILE);
+    let entries = if baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+        baseline::parse(&text)?
+    } else {
+        Vec::new()
+    };
+    let Reconciled {
+        new_violations,
+        stale_entries,
+    } = baseline::reconcile(violations, &entries);
+    Ok(Report {
+        new_violations,
+        stale_entries,
+        raw_count,
+        files_scanned: files.len(),
+    })
+}
+
+/// Regenerate the baseline from the current tree and return its contents.
+pub fn update_baseline(start: &Path) -> Result<String, String> {
+    let root = source::workspace_root(start)
+        .ok_or_else(|| format!("no workspace Cargo.toml above {}", start.display()))?;
+    let files = source::collect_sources(&root).map_err(|e| format!("walking workspace: {e}"))?;
+    let violations = analyze_sources(&files);
+    let text = baseline::render(&violations);
+    std::fs::write(root.join(baseline::BASELINE_FILE), &text)
+        .map_err(|e| format!("writing baseline: {e}"))?;
+    Ok(text)
+}

@@ -1,0 +1,96 @@
+//! CLI for the workspace linter.
+//!
+//! * `vroom-lint` — lint; exit 1 if violations beyond the baseline exist.
+//! * `vroom-lint --update-baseline` — regenerate `lint-baseline.txt` from
+//!   the current tree (use only to record that debt shrank).
+//! * `vroom-lint --check-baseline` — like the default, but also exit 1 on
+//!   stale baseline entries, keeping the ratchet honest in CI.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut update = false;
+    let mut check_baseline = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--update-baseline" => update = true,
+            "--check-baseline" => check_baseline = true,
+            "--help" | "-h" => {
+                println!(
+                    "vroom-lint: determinism & protocol-invariant checks for the Vroom workspace\n\
+                     \n\
+                     USAGE: vroom-lint [--update-baseline | --check-baseline]\n\
+                     \n\
+                     Default mode lints the workspace and fails on violations not covered by\n\
+                     lint-baseline.txt. --check-baseline additionally fails when baseline\n\
+                     entries are stale (debt was paid down but the file was not regenerated).\n\
+                     --update-baseline rewrites lint-baseline.txt from the current tree."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("vroom-lint: unknown flag {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if update {
+        return match vroom_lint::update_baseline(&cwd) {
+            Ok(text) => {
+                let entries = text
+                    .lines()
+                    .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                    .count();
+                println!("vroom-lint: wrote lint-baseline.txt ({entries} entries)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("vroom-lint: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match vroom_lint::analyze(&cwd) {
+        Ok(report) => {
+            for v in &report.new_violations {
+                println!("{}:{}: {}: {}", v.path, v.line, v.rule, v.message);
+            }
+            for e in &report.stale_entries {
+                println!(
+                    "lint-baseline.txt: stale entry ({} in {}: {:?}) — debt paid down, \
+                     regenerate with --update-baseline",
+                    e.rule, e.path, e.snippet
+                );
+            }
+            let fail = !report.is_clean() || (check_baseline && !report.stale_entries.is_empty());
+            println!(
+                "vroom-lint: {} files, {} raw finding(s), {} new, {} stale baseline entr{}",
+                report.files_scanned,
+                report.raw_count,
+                report.new_violations.len(),
+                report.stale_entries.len(),
+                if report.stale_entries.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+            );
+            if fail {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("vroom-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,652 @@
+//! The six workspace rules. Each one works on lexed (comment- and
+//! literal-stripped) source, so string fixtures and docs never trigger it,
+//! and consults per-line waivers before reporting.
+
+use crate::lexer::Lexed;
+use crate::source::SourceFile;
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule id (what waivers and the baseline reference).
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Explanation with a suggested fix.
+    pub message: String,
+    /// The offending source line, trimmed (baseline matching keys on this,
+    /// so entries survive unrelated line-number drift).
+    pub snippet: String,
+}
+
+/// All rule ids, in reporting order.
+pub const RULE_IDS: [&str; 7] = [
+    "wall-clock",
+    "unordered-iter",
+    "ambient-randomness",
+    "forbid-unsafe",
+    "unwrap",
+    "float-eq",
+    "waiver-syntax",
+];
+
+/// Crates whose code runs inside the deterministic simulation path.
+const SIM_PATH_CRATES: [&str; 5] = ["sim", "browser", "server", "net", "vroom"];
+
+/// Crates whose non-test protocol code is held to the unwrap/expect ratchet.
+const PROTOCOL_CRATES: [&str; 3] = ["http2", "hpack", "server"];
+
+/// Run every rule against one file.
+pub fn check_file(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Violation>) {
+    for err in &lexed.waiver_errors {
+        out.push(Violation {
+            rule: "waiver-syntax",
+            path: file.path.clone(),
+            line: err.line,
+            message: err.message.clone(),
+            snippet: file
+                .source
+                .lines()
+                .nth(err.line - 1)
+                .unwrap_or("")
+                .trim()
+                .to_string(),
+        });
+    }
+
+    let mut report = |rule: &'static str, line: usize, message: String| {
+        if lexed.is_waived(rule, line) {
+            return;
+        }
+        out.push(Violation {
+            rule,
+            path: file.path.clone(),
+            line,
+            message,
+            snippet: file
+                .source
+                .lines()
+                .nth(line - 1)
+                .unwrap_or("")
+                .trim()
+                .to_string(),
+        });
+    };
+
+    for w in &lexed.waivers {
+        for rule in &w.rules {
+            if !RULE_IDS.contains(&rule.as_str()) {
+                report(
+                    "waiver-syntax",
+                    w.line,
+                    format!("waiver names unknown rule {rule:?}"),
+                );
+            }
+        }
+    }
+
+    let test_lines = test_region_lines(&lexed.code);
+    let crate_name = file.crate_name();
+
+    wall_clock(file, lexed, &mut report);
+    ambient_randomness(file, lexed, &mut report);
+    forbid_unsafe(file, lexed, &mut report);
+    if crate_name.is_some_and(|c| PROTOCOL_CRATES.contains(&c)) && !file.is_test_file() {
+        unwrap_ratchet(lexed, &test_lines, &mut report);
+    }
+    if file.is_metrics_code() && !file.is_test_file() {
+        float_eq(lexed, &test_lines, &mut report);
+    }
+    if crate_name.is_some_and(|c| SIM_PATH_CRATES.contains(&c)) && !file.is_test_file() {
+        unordered_iter(lexed, &test_lines, &mut report);
+    }
+}
+
+/// Rule `wall-clock`: no `Instant::now` / `SystemTime` outside the
+/// allowlist (bench binaries; everything else must inject a clock).
+fn wall_clock(
+    file: &SourceFile,
+    lexed: &Lexed,
+    report: &mut impl FnMut(&'static str, usize, String),
+) {
+    if file.path.starts_with("crates/bench/src/bin/") {
+        return;
+    }
+    for (line, text) in lines(&lexed.code) {
+        for needle in ["Instant::now", "SystemTime"] {
+            if text.contains(needle) {
+                report(
+                    "wall-clock",
+                    line,
+                    format!(
+                        "wall-clock read ({needle}) in deterministic workspace code; \
+                         run on SimTime or inject a clock (see vroom_server::wire::WireClock)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Rule `ambient-randomness`: the only randomness source is the seeded PRNG
+/// in `crates/sim/src/rng.rs`.
+fn ambient_randomness(
+    file: &SourceFile,
+    lexed: &Lexed,
+    report: &mut impl FnMut(&'static str, usize, String),
+) {
+    if file.path == "crates/sim/src/rng.rs" {
+        return;
+    }
+    for (line, text) in lines(&lexed.code) {
+        for needle in ["thread_rng", "rand::random", "fastrand::", "getrandom"] {
+            if text.contains(needle) {
+                report(
+                    "ambient-randomness",
+                    line,
+                    format!(
+                        "ambient randomness ({needle}); derive a seeded vroom_sim::Rng instead \
+                         so runs stay reproducible"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Rule `forbid-unsafe`: every crate root carries `#![forbid(unsafe_code)]`,
+/// and no `unsafe` blocks appear anywhere.
+fn forbid_unsafe(
+    file: &SourceFile,
+    lexed: &Lexed,
+    report: &mut impl FnMut(&'static str, usize, String),
+) {
+    if file.is_crate_root() && !lexed.code.contains("#![forbid(unsafe_code)]") {
+        report(
+            "forbid-unsafe",
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+    for (line, text) in lines(&lexed.code) {
+        for idx in find_word(text, "unsafe") {
+            let after = text[idx + "unsafe".len()..].trim_start();
+            if after.starts_with('{')
+                || after.starts_with("fn")
+                || after.starts_with("impl")
+                || after.starts_with("trait")
+            {
+                report(
+                    "forbid-unsafe",
+                    line,
+                    "unsafe code is banned workspace-wide".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Rule `unwrap`: ratchet on `.unwrap()` / `.expect(` in non-test protocol
+/// code. Pre-existing debt lives in the baseline; new ones fail.
+fn unwrap_ratchet(
+    lexed: &Lexed,
+    test_lines: &[bool],
+    report: &mut impl FnMut(&'static str, usize, String),
+) {
+    for (line, text) in lines(&lexed.code) {
+        if test_lines.get(line - 1).copied().unwrap_or(false) {
+            continue;
+        }
+        for needle in [".unwrap()", ".expect("] {
+            if text.contains(needle) {
+                report(
+                    "unwrap",
+                    line,
+                    format!(
+                        "{needle} in protocol code can panic a connection; \
+                         return a protocol error instead (ratcheted: pre-existing \
+                         sites are baselined, new ones are rejected)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Rule `float-eq`: exact float comparison in metrics/stats code.
+fn float_eq(
+    lexed: &Lexed,
+    test_lines: &[bool],
+    report: &mut impl FnMut(&'static str, usize, String),
+) {
+    for (line, text) in lines(&lexed.code) {
+        if test_lines.get(line - 1).copied().unwrap_or(false) {
+            continue;
+        }
+        for op in ["==", "!="] {
+            let mut from = 0;
+            while let Some(pos) = text[from..].find(op) {
+                let at = from + pos;
+                from = at + op.len();
+                // Skip `<=`, `>=`, `!=` seen as `=`-suffix, and pattern arms.
+                if op == "==" && at > 0 && matches!(&text[at - 1..at], "<" | ">" | "!" | "=") {
+                    continue;
+                }
+                let left = text[..at].trim_end();
+                let right = text[at + op.len()..].trim_start();
+                if ends_with_float(left) || starts_with_float(right) {
+                    report(
+                        "float-eq",
+                        line,
+                        format!(
+                            "exact float comparison (`{op}`) in metrics code; \
+                             compare against an epsilon or use integer SimTime"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Rule `unordered-iter`: iteration over `HashMap`/`HashSet` bindings in
+/// sim-path crates. Order depends on the hash seed, which silently perturbs
+/// event order; use `BTreeMap`/`BTreeSet` or sort explicitly.
+fn unordered_iter(
+    lexed: &Lexed,
+    test_lines: &[bool],
+    report: &mut impl FnMut(&'static str, usize, String),
+) {
+    let symbols = hash_container_symbols(&lexed.code);
+    const ITER_METHODS: [&str; 7] = [
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".drain()",
+    ];
+    let flag = |line: usize,
+                name: &str,
+                how: &str,
+                report: &mut dyn FnMut(&'static str, usize, String)| {
+        report(
+            "unordered-iter",
+            line,
+            format!(
+                "iteration over hash container `{name}` ({how}) is hash-seed dependent; \
+                 use BTreeMap/BTreeSet or collect-and-sort before iterating"
+            ),
+        );
+    };
+    for (line, text) in lines(&lexed.code) {
+        if test_lines.get(line - 1).copied().unwrap_or(false) {
+            continue;
+        }
+        for m in ITER_METHODS {
+            let mut from = 0;
+            while let Some(pos) = text[from..].find(m) {
+                let at = from + pos;
+                from = at + m.len();
+                if let Some(name) = receiver_ident(&text[..at]) {
+                    if symbols.contains(&name) {
+                        flag(line, &name, m, report);
+                    }
+                }
+            }
+        }
+        // `for .. in &map` / `for .. in &mut map` / `for .. in map`
+        if let Some(pos) = text.find(" in ") {
+            let mut expr = text[pos + 4..].trim_start();
+            expr = expr.strip_prefix('&').unwrap_or(expr);
+            expr = expr.strip_prefix("mut ").unwrap_or(expr).trim_start();
+            let ident: String = expr
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.')
+                .collect();
+            if let Some(last) = ident.rsplit('.').next() {
+                if !last.is_empty() && symbols.contains(&last.to_string()) {
+                    flag(line, last, "for-in", report);
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers bound to `HashMap`/`HashSet` in this file: type-annotated
+/// bindings (`x: HashMap<..>`, fields, params) and `x = HashMap::new()`
+/// initializers.
+fn hash_container_symbols(code: &str) -> Vec<String> {
+    let mut symbols = Vec::new();
+    for container in ["HashMap", "HashSet"] {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(container) {
+            let at = from + pos;
+            from = at + container.len();
+            // Reject identifier continuations (e.g. `MyHashMapLike`).
+            if code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                continue;
+            }
+            let after = &code[at + container.len()..];
+            if !(after.starts_with('<') || after.starts_with("::")) {
+                continue;
+            }
+            let before = code[..at].trim_end();
+            // `ident : [& [mut]] HashMap<..>` (declaration or parameter).
+            if let Some(name) = annotated_ident(before) {
+                symbols.push(name);
+            }
+            // `ident = HashMap::new()` / `= HashMap::with_capacity(..)`.
+            if let Some(stripped) = before.strip_suffix('=') {
+                let stripped = stripped.trim_end();
+                if let Some(name) = trailing_ident(stripped) {
+                    symbols.push(name);
+                }
+            }
+        }
+    }
+    symbols.sort();
+    symbols.dedup();
+    symbols
+}
+
+/// For text ending just before a `HashMap`, extract `ident` from
+/// `ident : [& [mut]]`.
+fn annotated_ident(before: &str) -> Option<String> {
+    let mut t = before.trim_end();
+    if let Some(s) = t.strip_suffix(':') {
+        return trailing_ident(s.trim_end());
+    }
+    if let Some(s) = t.strip_suffix("mut") {
+        t = s.trim_end();
+    }
+    let t = t.strip_suffix('&')?.trim_end();
+    let t = t.strip_suffix(':')?;
+    trailing_ident(t.trim_end())
+}
+
+/// The identifier at the end of `t`, if any.
+fn trailing_ident(t: &str) -> Option<String> {
+    let ident: String = t
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    (!ident.is_empty() && !ident.chars().next().unwrap().is_numeric()).then_some(ident)
+}
+
+/// The receiver identifier of a method call, from text ending at the `.`:
+/// `self.streams` → `streams`, `map` → `map`.
+fn receiver_ident(before: &str) -> Option<String> {
+    trailing_ident(before.trim_end())
+}
+
+/// Map each 0-based line to whether it falls inside a `#[cfg(test)]`-gated
+/// block (brace-matched on stripped code).
+fn test_region_lines(code: &str) -> Vec<bool> {
+    let n_lines = code.lines().count();
+    let mut in_test = vec![false; n_lines];
+    let mut search = 0;
+    while let Some(pos) = code[search..].find("#[cfg(test)]") {
+        let attr_at = search + pos;
+        // The block starts at the first `{` after the attribute.
+        let Some(open_rel) = code[attr_at..].find('{') else {
+            break;
+        };
+        let open = attr_at + open_rel;
+        let mut depth = 0usize;
+        let mut end = code.len();
+        for (i, b) in code[open..].bytes().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let start_line = code[..attr_at].bytes().filter(|&b| b == b'\n').count();
+        let end_line = code[..end].bytes().filter(|&b| b == b'\n').count();
+        for flag in in_test
+            .iter_mut()
+            .take((end_line + 1).min(n_lines))
+            .skip(start_line)
+        {
+            *flag = true;
+        }
+        search = end.max(attr_at + 1);
+    }
+    in_test
+}
+
+fn lines(code: &str) -> impl Iterator<Item = (usize, &str)> {
+    code.lines().enumerate().map(|(i, l)| (i + 1, l))
+}
+
+/// All positions where `word` occurs with non-identifier characters (or
+/// boundaries) on both sides.
+fn find_word(text: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(word) {
+        let at = from + pos;
+        from = at + word.len();
+        let before_ok = at == 0
+            || !text[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = !text[at + word.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            out.push(at);
+        }
+    }
+    out
+}
+
+fn ends_with_float(left: &str) -> bool {
+    let token: String = left
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '_' || c.is_alphabetic())
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    is_float_token(&token)
+}
+
+fn starts_with_float(right: &str) -> bool {
+    let token: String = right
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '_' || c.is_alphabetic())
+        .collect();
+    is_float_token(&token)
+}
+
+/// `1.0`, `0.5f64`, `2.`, `1e-3` — but not `3` or `x.y`.
+fn is_float_token(token: &str) -> bool {
+    let t = token.trim_end_matches("f64").trim_end_matches("f32");
+    if t.is_empty() || !t.chars().next().unwrap().is_ascii_digit() {
+        return false;
+    }
+    t.contains('.')
+        && t.chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        let file = SourceFile {
+            path: path.to_string(),
+            source: src.to_string(),
+        };
+        let lexed = lex(src);
+        let mut out = Vec::new();
+        check_file(&file, &lexed, &mut out);
+        out
+    }
+
+    fn rules_of(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn wall_clock_flags_instant_now() {
+        let v = check(
+            "crates/net/src/link.rs",
+            "#![forbid(unsafe_code)]\nfn f() { let t = Instant::now(); }\n",
+        );
+        assert_eq!(rules_of(&v), vec!["wall-clock"]);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].snippet.contains("Instant::now"));
+    }
+
+    #[test]
+    fn wall_clock_allows_bench_bins_and_waivers() {
+        let v = check(
+            "crates/bench/src/bin/run_all.rs",
+            "#![forbid(unsafe_code)]\nfn main() { let t = std::time::Instant::now(); }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+        let v = check(
+            "crates/net/src/link.rs",
+            "#![forbid(unsafe_code)]\nfn f() { let t = Instant::now(); } // vroom-lint: allow(wall-clock) -- measured path\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn wall_clock_ignores_comments_and_strings() {
+        let v = check(
+            "crates/net/src/link.rs",
+            "#![forbid(unsafe_code)]\n// Instant::now would be bad\nlet s = \"SystemTime\";\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unordered_iter_flags_hash_iteration() {
+        let src = "#![forbid(unsafe_code)]\n\
+                   use std::collections::HashMap;\n\
+                   struct S { streams: HashMap<u32, u8> }\n\
+                   impl S { fn f(&self) { for id in self.streams.keys() { drop(id); } } }\n";
+        let v = check("crates/server/src/x.rs", src);
+        assert_eq!(rules_of(&v), vec!["unordered-iter"]);
+        assert_eq!(v[0].line, 4);
+        assert!(v[0].message.contains("streams"));
+    }
+
+    #[test]
+    fn unordered_iter_flags_for_in() {
+        let src = "#![forbid(unsafe_code)]\n\
+                   fn f(m: &HashMap<u32, u8>) { for (k, v) in &m { drop((k, v)); } }\n";
+        let v = check("crates/browser/src/x.rs", src);
+        assert_eq!(rules_of(&v), vec!["unordered-iter"]);
+    }
+
+    #[test]
+    fn unordered_iter_ignores_btreemap_other_crates_and_tests() {
+        let btree = "#![forbid(unsafe_code)]\n\
+                     fn f(m: &BTreeMap<u32, u8>) { for k in m.keys() { drop(k); } }\n";
+        assert!(check("crates/browser/src/x.rs", btree).is_empty());
+        let hash = "#![forbid(unsafe_code)]\n\
+                    fn f(m: &HashMap<u32, u8>) { for k in m.keys() { drop(k); } }\n";
+        assert!(
+            check("crates/hpack/src/x.rs", hash).is_empty(),
+            "hpack is not sim-path"
+        );
+        let in_test = "#![forbid(unsafe_code)]\n\
+                       #[cfg(test)]\nmod tests {\n    fn f(m: &HashMap<u32, u8>) { for k in m.keys() { drop(k); } }\n}\n";
+        assert!(
+            check("crates/browser/src/x.rs", in_test).is_empty(),
+            "test code exempt"
+        );
+    }
+
+    #[test]
+    fn ambient_randomness_flagged_everywhere_but_rng() {
+        let src = "#![forbid(unsafe_code)]\nfn f() { let x = rand::thread_rng(); }\n";
+        let v = check("crates/pages/src/generate.rs", src);
+        assert_eq!(rules_of(&v), vec!["ambient-randomness"]);
+        assert!(check("crates/sim/src/rng.rs", src).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_checks_roots_and_blocks() {
+        let v = check("crates/html/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(rules_of(&v), vec!["forbid-unsafe"]);
+        let v = check(
+            "crates/html/src/tokenizer.rs",
+            "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n",
+        );
+        assert_eq!(rules_of(&v), vec!["forbid-unsafe"]);
+        assert!(check("crates/html/src/tokenizer.rs", "fn unsafe_name() {}\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_ratchet_scope() {
+        let src = "#![forbid(unsafe_code)]\nfn f() { x().unwrap(); }\n";
+        assert_eq!(
+            rules_of(&check("crates/http2/src/conn.rs", src)),
+            vec!["unwrap"]
+        );
+        assert!(
+            check("crates/browser/src/engine.rs", src).is_empty(),
+            "not a protocol crate"
+        );
+        let test_src =
+            "#![forbid(unsafe_code)]\n#[cfg(test)]\nmod tests {\n fn f() { x().unwrap(); }\n}\n";
+        assert!(
+            check("crates/http2/src/conn.rs", test_src).is_empty(),
+            "tests exempt"
+        );
+    }
+
+    #[test]
+    fn float_eq_in_metrics_code() {
+        let src = "#![forbid(unsafe_code)]\nfn f(x: f64) -> bool { x == 0.0 }\n";
+        assert_eq!(
+            rules_of(&check("crates/browser/src/metrics.rs", src)),
+            vec!["float-eq"]
+        );
+        assert!(
+            check("crates/browser/src/engine.rs", src).is_empty(),
+            "only metrics/stats files"
+        );
+        let int_src = "#![forbid(unsafe_code)]\nfn f(x: u64) -> bool { x == 0 }\n";
+        assert!(check("crates/browser/src/metrics.rs", int_src).is_empty());
+        let cmp_src = "#![forbid(unsafe_code)]\nfn f(x: f64) -> bool { x >= 0.0 }\n";
+        assert!(check("crates/browser/src/metrics.rs", cmp_src).is_empty());
+    }
+
+    #[test]
+    fn unknown_waiver_rule_is_reported() {
+        let v = check(
+            "crates/net/src/link.rs",
+            "#![forbid(unsafe_code)]\nfn f() {} // vroom-lint: allow(no-such-rule) -- because\n",
+        );
+        assert_eq!(rules_of(&v), vec!["waiver-syntax"]);
+    }
+}

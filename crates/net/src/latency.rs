@@ -5,18 +5,17 @@
 //! cellular network but also the median RTT observed between the desktop and
 //! the corresponding web server when recording page contents."
 
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vroom_sim::SimDuration;
 
 /// Per-destination latency model: one cellular hop shared by all traffic,
 /// plus a per-domain wired RTT.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyModel {
     /// RTT across the cellular access network (phone ↔ packet gateway).
     pub cellular_rtt: SimDuration,
     /// Recorded wired RTT per domain (gateway ↔ origin).
-    pub server_rtts: HashMap<String, SimDuration>,
+    pub server_rtts: BTreeMap<String, SimDuration>,
     /// Wired RTT for domains without a recording.
     pub default_server_rtt: SimDuration,
     /// Whether TLS is in use (adds one round trip at connection setup;
@@ -31,7 +30,7 @@ impl LatencyModel {
     pub fn uniform(cellular_rtt: SimDuration, server_rtt: SimDuration) -> Self {
         LatencyModel {
             cellular_rtt,
-            server_rtts: HashMap::new(),
+            server_rtts: BTreeMap::new(),
             default_server_rtt: server_rtt,
             tls: true,
             dns_lookup: SimDuration::from_millis(30),
@@ -79,10 +78,8 @@ mod tests {
 
     #[test]
     fn rtt_combines_cellular_and_server_legs() {
-        let mut m = LatencyModel::uniform(
-            SimDuration::from_millis(60),
-            SimDuration::from_millis(20),
-        );
+        let mut m =
+            LatencyModel::uniform(SimDuration::from_millis(60), SimDuration::from_millis(20));
         m.set_server_rtt("slow.com", SimDuration::from_millis(200));
         assert_eq!(m.rtt("fast.com").as_millis(), 80);
         assert_eq!(m.rtt("slow.com").as_millis(), 260);
@@ -91,10 +88,7 @@ mod tests {
 
     #[test]
     fn connection_setup_costs() {
-        let m = LatencyModel::uniform(
-            SimDuration::from_millis(60),
-            SimDuration::from_millis(40),
-        );
+        let m = LatencyModel::uniform(SimDuration::from_millis(60), SimDuration::from_millis(40));
         // rtt = 100ms; TCP + TLS = 200ms; + DNS 30ms when cold.
         assert_eq!(m.connection_setup("a.com", true).as_millis(), 200);
         assert_eq!(m.connection_setup("a.com", false).as_millis(), 230);
@@ -102,10 +96,8 @@ mod tests {
 
     #[test]
     fn plain_http_skips_tls() {
-        let mut m = LatencyModel::uniform(
-            SimDuration::from_millis(50),
-            SimDuration::from_millis(50),
-        );
+        let mut m =
+            LatencyModel::uniform(SimDuration::from_millis(50), SimDuration::from_millis(50));
         m.tls = false;
         assert_eq!(m.connection_setup("a.com", true).as_millis(), 100);
     }

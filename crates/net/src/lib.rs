@@ -11,6 +11,9 @@
 //! * [`pipe`] — an in-memory duplex transport for running the real
 //!   `vroom-http2` state machine without sockets.
 
+#![forbid(unsafe_code)]
+
+pub mod json;
 pub mod latency;
 pub mod link;
 pub mod pipe;

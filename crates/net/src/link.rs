@@ -14,7 +14,7 @@
 //! [`next_completion`](SharedLink::next_completion) whenever membership
 //! changes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vroom_sim::{SimDuration, SimTime};
 
 /// Identifier of an in-flight transfer.
@@ -31,7 +31,7 @@ struct Transfer {
 #[derive(Debug)]
 pub struct SharedLink {
     bits_per_sec: f64,
-    transfers: HashMap<TransferId, Transfer>,
+    transfers: BTreeMap<TransferId, Transfer>,
     last_advance: SimTime,
     next_id: u64,
 }
@@ -42,7 +42,7 @@ impl SharedLink {
         assert!(bits_per_sec > 0, "zero-capacity link");
         SharedLink {
             bits_per_sec: bits_per_sec as f64,
-            transfers: HashMap::new(),
+            transfers: BTreeMap::new(),
             last_advance: SimTime::ZERO,
             next_id: 0,
         }

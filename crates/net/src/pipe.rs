@@ -61,10 +61,18 @@ impl PipeEnd {
             match self.rx.try_recv() {
                 Ok(chunk) => got.extend_from_slice(&chunk),
                 Err(TryRecvError::Empty) => {
-                    return if got.is_empty() { Read::Empty } else { Read::Data(got) }
+                    return if got.is_empty() {
+                        Read::Empty
+                    } else {
+                        Read::Data(got)
+                    }
                 }
                 Err(TryRecvError::Disconnected) => {
-                    return if got.is_empty() { Read::Closed } else { Read::Data(got) }
+                    return if got.is_empty() {
+                        Read::Closed
+                    } else {
+                        Read::Data(got)
+                    }
                 }
             }
         }

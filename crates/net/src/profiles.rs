@@ -6,11 +6,10 @@
 //! our ablation benches sweep across these profiles to show that crossover.
 
 use crate::latency::LatencyModel;
-use serde::{Deserialize, Serialize};
 use vroom_sim::SimDuration;
 
 /// A named access-network configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkProfile {
     /// Human-readable name.
     pub name: String,
@@ -97,10 +96,7 @@ impl NetworkProfile {
             name: "USB-tether".into(),
             downlink_bps: 2_000_000_000,
             uplink_bps: 2_000_000_000,
-            latency: LatencyModel::uniform(
-                SimDuration::from_micros(500),
-                SimDuration::ZERO,
-            ),
+            latency: LatencyModel::uniform(SimDuration::from_micros(500), SimDuration::ZERO),
         }
     }
 

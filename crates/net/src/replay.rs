@@ -5,16 +5,16 @@
 //! Our equivalent stores one [`RecordedResponse`] per URL, serializable to
 //! JSON so corpora can be saved, inspected, and replayed bit-identically.
 
+use crate::json::{self, Value};
 use crate::latency::LatencyModel;
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 use vroom_html::{ResourceKind, Url};
 use vroom_sim::SimDuration;
 
 /// One recorded HTTP exchange.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecordedResponse {
     /// The response's content class.
     pub kind: ResourceKind,
@@ -79,12 +79,13 @@ impl RecordedResponse {
 
 /// A recorded page-load corpus: URL → response, plus the latency environment
 /// observed at record time.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ReplayStore {
-    /// Responses by URL.
-    pub responses: HashMap<Url, RecordedResponse>,
-    /// Per-domain wired RTTs observed while recording.
-    pub server_rtts: HashMap<String, SimDuration>,
+    /// Responses by URL, ordered so iteration and serialization are
+    /// deterministic regardless of recording order or hash seed.
+    pub responses: BTreeMap<Url, RecordedResponse>,
+    /// Per-domain wired RTTs observed while recording, likewise ordered.
+    pub server_rtts: BTreeMap<String, SimDuration>,
 }
 
 impl ReplayStore {
@@ -131,14 +132,51 @@ impl ReplayStore {
         }
     }
 
-    /// Serialize to pretty JSON.
+    /// Serialize to pretty JSON. Output is canonical: keys are sorted, so
+    /// the same corpus always produces the same bytes.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("store serializes")
+        let responses = self
+            .responses
+            .iter()
+            .map(|(url, r)| (url.to_string(), encode_response(r)))
+            .collect();
+        let rtts = self
+            .server_rtts
+            .iter()
+            .map(|(domain, rtt)| (domain.clone(), Value::Int(rtt.as_nanos())))
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("responses".to_string(), Value::Object(responses));
+        root.insert("server_rtts".to_string(), Value::Object(rtts));
+        let mut out = Value::Object(root).to_pretty();
+        out.push('\n');
+        out
     }
 
     /// Parse from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, json::Error> {
+        let root = Value::parse(s)?;
+        let mut store = ReplayStore::new();
+        let responses = root
+            .get("responses")
+            .and_then(Value::as_object)
+            .ok_or_else(|| json::Error::custom("missing \"responses\" object"))?;
+        for (url, v) in responses {
+            let url = Url::parse(url)
+                .ok_or_else(|| json::Error::custom(format!("invalid url {url:?}")))?;
+            store.record(url, decode_response(v)?);
+        }
+        let rtts = root
+            .get("server_rtts")
+            .and_then(Value::as_object)
+            .ok_or_else(|| json::Error::custom("missing \"server_rtts\" object"))?;
+        for (domain, v) in rtts {
+            let nanos = v
+                .as_u64()
+                .ok_or_else(|| json::Error::custom(format!("bad rtt for {domain:?}")))?;
+            store.record_rtt(domain.clone(), SimDuration::from_nanos(nanos));
+        }
+        Ok(store)
     }
 
     /// Save to a file.
@@ -151,6 +189,98 @@ impl ReplayStore {
         let s = std::fs::read_to_string(path)?;
         Self::from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
+}
+
+fn kind_name(kind: ResourceKind) -> &'static str {
+    match kind {
+        ResourceKind::Html => "Html",
+        ResourceKind::Css => "Css",
+        ResourceKind::Js => "Js",
+        ResourceKind::Image => "Image",
+        ResourceKind::Font => "Font",
+        ResourceKind::Media => "Media",
+        ResourceKind::Xhr => "Xhr",
+        ResourceKind::Other => "Other",
+    }
+}
+
+fn kind_from_name(name: &str) -> Option<ResourceKind> {
+    Some(match name {
+        "Html" => ResourceKind::Html,
+        "Css" => ResourceKind::Css,
+        "Js" => ResourceKind::Js,
+        "Image" => ResourceKind::Image,
+        "Font" => ResourceKind::Font,
+        "Media" => ResourceKind::Media,
+        "Xhr" => ResourceKind::Xhr,
+        "Other" => ResourceKind::Other,
+        _ => return None,
+    })
+}
+
+fn encode_response(r: &RecordedResponse) -> Value {
+    let mut obj = std::collections::BTreeMap::new();
+    obj.insert(
+        "kind".to_string(),
+        Value::Str(kind_name(r.kind).to_string()),
+    );
+    obj.insert("size".to_string(), Value::Int(r.size));
+    obj.insert("status".to_string(), Value::Int(r.status as u64));
+    obj.insert(
+        "max_age".to_string(),
+        match r.max_age {
+            Some(d) => Value::Int(d.as_nanos()),
+            None => Value::Null,
+        },
+    );
+    obj.insert(
+        "body".to_string(),
+        match &r.body {
+            Some(b) => Value::Str(b.clone()),
+            None => Value::Null,
+        },
+    );
+    Value::Object(obj)
+}
+
+fn decode_response(v: &Value) -> Result<RecordedResponse, json::Error> {
+    let field = |name: &str| {
+        v.get(name)
+            .ok_or_else(|| json::Error::custom(format!("response missing {name:?}")))
+    };
+    let kind_str = field("kind")?
+        .as_str()
+        .ok_or_else(|| json::Error::custom("\"kind\" must be a string"))?;
+    let kind = kind_from_name(kind_str)
+        .ok_or_else(|| json::Error::custom(format!("unknown kind {kind_str:?}")))?;
+    let size = field("size")?
+        .as_u64()
+        .ok_or_else(|| json::Error::custom("\"size\" must be an integer"))?;
+    let status = field("status")?
+        .as_u64()
+        .ok_or_else(|| json::Error::custom("\"status\" must be an integer"))?;
+    let max_age = match field("max_age")? {
+        Value::Null => None,
+        other => Some(SimDuration::from_nanos(other.as_u64().ok_or_else(
+            || json::Error::custom("\"max_age\" must be null or an integer"),
+        )?)),
+    };
+    let body = match field("body")? {
+        Value::Null => None,
+        other => Some(
+            other
+                .as_str()
+                .ok_or_else(|| json::Error::custom("\"body\" must be null or a string"))?
+                .to_string(),
+        ),
+    };
+    Ok(RecordedResponse {
+        kind,
+        size,
+        status: status as u16,
+        max_age,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -227,10 +357,8 @@ mod tests {
     #[test]
     fn rtts_overlay_latency_model() {
         let store = sample();
-        let mut latency = LatencyModel::uniform(
-            SimDuration::from_millis(60),
-            SimDuration::from_millis(99),
-        );
+        let mut latency =
+            LatencyModel::uniform(SimDuration::from_millis(60), SimDuration::from_millis(99));
         store.apply_rtts(&mut latency);
         assert_eq!(latency.rtt("news.com").as_millis(), 85);
         assert_eq!(latency.rtt("cdn.net").as_millis(), 65);

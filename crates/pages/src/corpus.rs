@@ -24,7 +24,10 @@ impl Corpus {
             sites.push(PageGenerator::new(SiteProfile::news(), seed ^ (0x1000 + i)));
         }
         for i in 0..50u64 {
-            sites.push(PageGenerator::new(SiteProfile::sports(), seed ^ (0x2000 + i)));
+            sites.push(PageGenerator::new(
+                SiteProfile::sports(),
+                seed ^ (0x2000 + i),
+            ));
         }
         Corpus {
             name: "news+sports".into(),

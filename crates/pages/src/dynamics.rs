@@ -6,12 +6,10 @@
 //! (intrinsically unpredictable resources), the user's cookies
 //! (personalization), and the device class (responsive variants).
 
-use serde::{Deserialize, Serialize};
-
 /// Device classes; the paper evaluates a Nexus 6 (large phone) and compares
 /// stable sets against a OnePlus 3 (another phone) and Nexus 10 (tablet) in
 /// Figure 9.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceClass {
     /// OnePlus-3-class phone.
     PhoneSmall,
@@ -61,7 +59,7 @@ impl DeviceClass {
 }
 
 /// The context of one page load.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadContext {
     /// Wall-clock time of the load, in hours since an arbitrary epoch.
     pub hours: f64,
@@ -115,8 +113,14 @@ mod tests {
 
     #[test]
     fn buckets_group_phones_together() {
-        assert_eq!(DeviceClass::PhoneSmall.bucket(), DeviceClass::PhoneLarge.bucket());
-        assert_ne!(DeviceClass::PhoneLarge.bucket(), DeviceClass::Tablet.bucket());
+        assert_eq!(
+            DeviceClass::PhoneSmall.bucket(),
+            DeviceClass::PhoneLarge.bucket()
+        );
+        assert_ne!(
+            DeviceClass::PhoneLarge.bucket(),
+            DeviceClass::Tablet.bucket()
+        );
     }
 
     #[test]

@@ -252,7 +252,12 @@ impl PageGenerator {
             }
             Stability::PerLoadRandom => {
                 let token = mix(mix(self.site_seed, id as u64), ctx.nonce);
-                path = format!("/{}/{}?cb={:012x}", n.kind_dir(), n.slug, token & 0xffff_ffff_ffff);
+                path = format!(
+                    "/{}/{}?cb={:012x}",
+                    n.kind_dir(),
+                    n.slug,
+                    token & 0xffff_ffff_ffff
+                );
             }
             Stability::UserPersonalized => {
                 // Cookie-driven *and* session-fresh: rotates hourly, so a
@@ -339,11 +344,15 @@ impl Builder {
         let site = format!("{}{}.com", self.profile.category, self.site_seed & 0xffff);
         self.domains.push(site.clone());
         self.domains.push(format!("cdn.{site}"));
-        let n_third = self
-            .rng
-            .range_usize(self.profile.third_party_domains.0, self.profile.third_party_domains.1);
+        let n_third = self.rng.range_usize(
+            self.profile.third_party_domains.0,
+            self.profile.third_party_domains.1,
+        );
         for i in 0..n_third {
-            self.domains.push(format!("tp{i}-{:x}.net", mix(self.site_seed, i as u64) & 0xffff));
+            self.domains.push(format!(
+                "tp{i}-{:x}.net",
+                mix(self.site_seed, i as u64) & 0xffff
+            ));
         }
 
         self.build_root();
@@ -428,7 +437,9 @@ impl Builder {
         }
         // Rotating content: lifetimes spread from sub-hour to weeks,
         // calibrated to the paper's Fig 7 persistence curve.
-        let lifetime = *self.rng.pick(&[0.7, 0.7, 0.7, 4.0, 4.0, 48.0, 48.0, 500.0, 500.0, 500.0]);
+        let lifetime = *self
+            .rng
+            .pick(&[0.7, 0.7, 0.7, 4.0, 4.0, 48.0, 48.0, 500.0, 500.0, 500.0]);
         (Stability::HourlyFlux, lifetime, false)
     }
 
@@ -496,9 +507,9 @@ impl Builder {
         };
         let max_age = match stability {
             Stability::Stable => Some(SimDuration::from_secs(30 * 24 * 3600)),
-            Stability::HourlyFlux => Some(SimDuration::from_secs(
-                (lifetime.max(0.5) * 1800.0) as u64,
-            )),
+            Stability::HourlyFlux => {
+                Some(SimDuration::from_secs((lifetime.max(0.5) * 1800.0) as u64))
+            }
             Stability::DevicePersonalized => Some(SimDuration::from_secs(7 * 24 * 3600)),
             _ => None,
         };
@@ -763,7 +774,12 @@ impl Builder {
                 let (kind, median, prefix, ext): (ResourceKind, u64, &str, &'static str) =
                     match j % 4 {
                         0 => (ResourceKind::Js, 20_000, "adjs", "js"),
-                        1 | 2 => (ResourceKind::Image, self.profile.image_bytes, "adimg", "gif"),
+                        1 | 2 => (
+                            ResourceKind::Image,
+                            self.profile.image_bytes,
+                            "adimg",
+                            "gif",
+                        ),
                         _ => (ResourceKind::Xhr, 4_000, "adtrack", "json"),
                     };
                 let id = self.add_node(
@@ -855,10 +871,7 @@ mod tests {
     fn back_to_back_loads_differ_only_in_perload_urls() {
         let generator = PageGenerator::new(SiteProfile::news(), 5);
         let a = generator.snapshot(&ctx());
-        let b = generator.snapshot(&LoadContext {
-            nonce: 43,
-            ..ctx()
-        });
+        let b = generator.snapshot(&LoadContext { nonce: 43, ..ctx() });
         let mut changed = 0;
         for (x, y) in a.resources.iter().zip(&b.resources) {
             if x.url != y.url {
@@ -895,8 +908,7 @@ mod tests {
             ..ctx()
         });
         // Ignore per-load randomness by comparing same-nonce snapshots.
-        let kept_hour =
-            set0.intersection(&hour.url_set()).count() as f64 / set0.len() as f64;
+        let kept_hour = set0.intersection(&hour.url_set()).count() as f64 / set0.len() as f64;
         assert!(kept_hour > kept, "persistence decays with time");
         assert!(
             (0.55..0.95).contains(&kept_hour),
@@ -927,7 +939,10 @@ mod tests {
                 .all(|(x, _)| x.stability == Stability::UserPersonalized));
             total_changed_user += changed_user.len();
         }
-        assert!(total_changed_user > 0, "some user-personalized URLs across sites");
+        assert!(
+            total_changed_user > 0,
+            "some user-personalized URLs across sites"
+        );
         let generator = PageGenerator::new(SiteProfile::news(), 9);
         let base = generator.snapshot(&ctx());
 
@@ -981,10 +996,20 @@ mod tests {
     #[test]
     fn top100_pages_are_lighter_than_news() {
         let news: u64 = (0..10)
-            .map(|s| PageGenerator::new(SiteProfile::news(), s).snapshot(&ctx()).total_cpu().as_millis())
+            .map(|s| {
+                PageGenerator::new(SiteProfile::news(), s)
+                    .snapshot(&ctx())
+                    .total_cpu()
+                    .as_millis()
+            })
             .sum();
         let top: u64 = (0..10)
-            .map(|s| PageGenerator::new(SiteProfile::top100(), s).snapshot(&ctx()).total_cpu().as_millis())
+            .map(|s| {
+                PageGenerator::new(SiteProfile::top100(), s)
+                    .snapshot(&ctx())
+                    .total_cpu()
+                    .as_millis()
+            })
             .sum();
         assert!(
             news > top * 3 / 2,

@@ -11,6 +11,8 @@
 //! Everything is deterministic: a `(site seed, LoadContext)` pair always
 //! yields the same [`Page`], so experiments are exactly reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod corpus;
 pub mod dynamics;
 pub mod generate;

@@ -3,7 +3,6 @@
 //! Polaris, Klotski) showed governs page load time, and that Vroom's
 //! server-side resolution must predict.
 
-use serde::{Deserialize, Serialize};
 use vroom_html::{ExecMode, ResourceKind, Url};
 use vroom_sim::SimDuration;
 
@@ -12,7 +11,7 @@ pub type ResourceId = usize;
 
 /// Why a resource's URL varies (or doesn't) across loads — the taxonomy of
 /// paper §4.1/§4.2 and Figure 8.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stability {
     /// Fetched identically in every load (logos, frameworks, stylesheets).
     Stable,
@@ -29,7 +28,7 @@ pub enum Stability {
 }
 
 /// One resource in a page load.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Resource {
     /// Index within the page.
     pub id: ResourceId,
@@ -98,7 +97,7 @@ impl Resource {
 }
 
 /// One load's view of a web page.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Page {
     /// The page URL (equals the root resource's URL).
     pub url: Url,
@@ -243,11 +242,41 @@ mod tests {
             url: root.clone(),
             resources: vec![
                 mk(0, root, ResourceKind::Html, None, None),
-                mk(1, Url::https("a.com", "/a.js"), ResourceKind::Js, Some(0), None),
-                mk(2, Url::https("b.com", "/b.css"), ResourceKind::Css, Some(0), None),
-                mk(3, Url::https("c.com", "/ad.html"), ResourceKind::Html, Some(0), None),
-                mk(4, Url::https("c.com", "/ad.js"), ResourceKind::Js, Some(3), Some(3)),
-                mk(5, Url::https("b.com", "/img.png"), ResourceKind::Image, Some(1), None),
+                mk(
+                    1,
+                    Url::https("a.com", "/a.js"),
+                    ResourceKind::Js,
+                    Some(0),
+                    None,
+                ),
+                mk(
+                    2,
+                    Url::https("b.com", "/b.css"),
+                    ResourceKind::Css,
+                    Some(0),
+                    None,
+                ),
+                mk(
+                    3,
+                    Url::https("c.com", "/ad.html"),
+                    ResourceKind::Html,
+                    Some(0),
+                    None,
+                ),
+                mk(
+                    4,
+                    Url::https("c.com", "/ad.js"),
+                    ResourceKind::Js,
+                    Some(3),
+                    Some(3),
+                ),
+                mk(
+                    5,
+                    Url::https("b.com", "/img.png"),
+                    ResourceKind::Image,
+                    Some(1),
+                    None,
+                ),
             ],
         }
     }

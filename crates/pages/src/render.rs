@@ -113,8 +113,7 @@ mod tests {
 
     #[test]
     fn rendered_markup_exposes_exactly_the_markup_children() {
-        let page =
-            PageGenerator::new(SiteProfile::news(), 77).snapshot(&LoadContext::reference());
+        let page = PageGenerator::new(SiteProfile::news(), 77).snapshot(&LoadContext::reference());
         let html = render_html(&page, 0);
         let found = scan_html(&page.url, &html);
         let found_urls: std::collections::HashSet<_> =
@@ -138,8 +137,7 @@ mod tests {
 
     #[test]
     fn rendered_size_tracks_model_size() {
-        let page =
-            PageGenerator::new(SiteProfile::news(), 78).snapshot(&LoadContext::reference());
+        let page = PageGenerator::new(SiteProfile::news(), 78).snapshot(&LoadContext::reference());
         let html = render_html(&page, 0);
         let modeled = page.resources[0].size as f64;
         let actual = html.len() as f64;
@@ -151,8 +149,7 @@ mod tests {
 
     #[test]
     fn iframe_documents_render_their_subtree() {
-        let page =
-            PageGenerator::new(SiteProfile::news(), 79).snapshot(&LoadContext::reference());
+        let page = PageGenerator::new(SiteProfile::news(), 79).snapshot(&LoadContext::reference());
         let frame = page
             .resources
             .iter()
@@ -160,10 +157,7 @@ mod tests {
             .expect("news pages have iframes");
         let html = render_html(&page, frame.id);
         let found = scan_html(&frame.url, &html);
-        let markup_children = page
-            .children(frame.id)
-            .filter(|c| c.via_markup)
-            .count();
+        let markup_children = page.children(frame.id).filter(|c| c.via_markup).count();
         assert_eq!(found.len(), markup_children);
     }
 }

@@ -7,7 +7,7 @@
 //! scope a root-HTML response can legitimately cover).
 
 use crate::resolve::{resolve, ResolverInput, Strategy};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use vroom_html::Url;
 use vroom_pages::{LoadContext, Page, PageGenerator};
 
@@ -44,8 +44,8 @@ pub fn evaluate(
     let load_b = generator.snapshot(&ctx.back_to_back(ctx.nonce ^ 0xB2B));
 
     let scope_a = scope(&load_a);
-    let urls_b: HashSet<&Url> = scope(&load_b).iter().map(|r| &r.url).collect();
-    let predictable: HashSet<&Url> = scope_a
+    let urls_b: BTreeSet<&Url> = scope(&load_b).iter().map(|r| &r.url).collect();
+    let predictable: BTreeSet<&Url> = scope_a
         .iter()
         .filter(|r| urls_b.contains(&r.url))
         .map(|r| &r.url)
@@ -60,7 +60,7 @@ pub fn evaluate(
 
     let input = ResolverInput::new(generator, ctx.hours, ctx.device, server_seed);
     let deps = resolve(&input, &load_a, strategy);
-    let server_set: HashSet<&Url> = deps
+    let server_set: BTreeSet<&Url> = deps
         .hints
         .get(&load_a.url)
         .map(|hs| hs.iter().map(|h| &h.url).collect())

@@ -6,7 +6,7 @@
 
 use crate::device::iou;
 use crate::resolve::ResolverInput;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use vroom_html::Url;
 use vroom_pages::{DeviceClass, PageGenerator};
 
@@ -16,7 +16,7 @@ pub struct PageTypeClusters {
     /// Indexes into the input page list, grouped.
     pub groups: Vec<Vec<usize>>,
     /// The shared stable core per group (URLs common to every member).
-    pub shared_core: Vec<HashSet<Url>>,
+    pub shared_core: Vec<BTreeSet<Url>>,
 }
 
 impl PageTypeClusters {
@@ -52,21 +52,21 @@ pub fn cluster_pages(
             .join("/");
         format!("{}{}", u.host, stripped)
     }
-    let mut groups: Vec<(HashSet<Url>, HashSet<String>, Vec<usize>)> = Vec::new();
+    let mut groups: Vec<(BTreeSet<Url>, BTreeSet<String>, Vec<usize>)> = Vec::new();
     for (idx, page) in pages.iter().enumerate() {
         let input = ResolverInput::new(page, hours, device, server_seed);
         let loads = input.offline_loads();
-        let later: Vec<HashSet<&Url>> = loads[1..]
+        let later: Vec<BTreeSet<&Url>> = loads[1..]
             .iter()
             .map(|p| p.resources.iter().map(|r| &r.url).collect())
             .collect();
-        let stable: HashSet<Url> = loads[0]
+        let stable: BTreeSet<Url> = loads[0]
             .resources
             .iter()
             .filter(|r| later.iter().all(|s| s.contains(&r.url)))
             .map(|r| r.url.clone())
             .collect();
-        let templ: HashSet<String> = stable.iter().map(template).collect();
+        let templ: BTreeSet<String> = stable.iter().map(template).collect();
         let matched = groups.iter_mut().find(|(_, rep_templ, _)| {
             let inter = rep_templ.intersection(&templ).count() as f64;
             let union = rep_templ.union(&templ).count() as f64;
@@ -131,6 +131,9 @@ mod tests {
         let self_sim = structural_similarity(&a, &a, 1500.0, DeviceClass::PhoneLarge, 5);
         let cross_sim = structural_similarity(&a, &b, 1500.0, DeviceClass::PhoneLarge, 5);
         assert!((self_sim - 1.0).abs() < 1e-9);
-        assert!(cross_sim < 0.2, "different sites share nothing: {cross_sim}");
+        assert!(
+            cross_sim < 0.2,
+            "different sites share nothing: {cross_sim}"
+        );
     }
 }

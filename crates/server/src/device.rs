@@ -6,7 +6,7 @@
 //! intersection-over-union share one class (and one crawl).
 
 use crate::resolve::ResolverInput;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use vroom_html::Url;
 use vroom_pages::{DeviceClass, PageGenerator};
 
@@ -17,10 +17,10 @@ pub fn stable_set(
     hours: f64,
     device: DeviceClass,
     server_seed: u64,
-) -> HashSet<Url> {
+) -> BTreeSet<Url> {
     let input = ResolverInput::new(generator, hours, device, server_seed);
     let loads = input.offline_loads();
-    let later: Vec<HashSet<&Url>> = loads[1..]
+    let later: Vec<BTreeSet<&Url>> = loads[1..]
         .iter()
         .map(|p| p.resources.iter().map(|r| &r.url).collect())
         .collect();
@@ -33,7 +33,7 @@ pub fn stable_set(
 }
 
 /// Intersection-over-union of two URL sets.
-pub fn iou(a: &HashSet<Url>, b: &HashSet<Url>) -> f64 {
+pub fn iou(a: &BTreeSet<Url>, b: &BTreeSet<Url>) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -51,7 +51,7 @@ pub fn equivalence_classes(
     server_seed: u64,
     threshold: f64,
 ) -> Vec<Vec<DeviceClass>> {
-    let mut classes: Vec<(HashSet<Url>, Vec<DeviceClass>)> = Vec::new();
+    let mut classes: Vec<(BTreeSet<Url>, Vec<DeviceClass>)> = Vec::new();
     for device in DeviceClass::all() {
         let set = stable_set(generator, hours, device, server_seed);
         match classes
@@ -86,7 +86,10 @@ mod tests {
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let (pp, pt) = (avg(&phone_phone), avg(&phone_tablet));
-        assert!(pp > pt, "phone-phone IoU {pp} must exceed phone-tablet {pt}");
+        assert!(
+            pp > pt,
+            "phone-phone IoU {pp} must exceed phone-tablet {pt}"
+        );
         assert!(pp > 0.85, "phones nearly identical, got {pp}");
         assert!(pt < 0.97, "tablets diverge, got {pt}");
     }
@@ -114,9 +117,9 @@ mod tests {
 
     #[test]
     fn iou_edge_cases() {
-        let empty: HashSet<Url> = HashSet::new();
+        let empty: BTreeSet<Url> = BTreeSet::new();
         assert_eq!(iou(&empty, &empty), 1.0);
-        let mut a = HashSet::new();
+        let mut a = BTreeSet::new();
         a.insert(Url::https("x.com", "/a"));
         assert_eq!(iou(&a, &empty), 0.0);
         assert_eq!(iou(&a, &a.clone()), 1.0);

@@ -16,6 +16,8 @@
 //! * [`wire`] — a working Vroom server + client speaking real HTTP/2 over
 //!   TCP, serving a Mahimahi-style replay store.
 
+#![forbid(unsafe_code)]
+
 pub mod accuracy;
 pub mod clusters;
 pub mod device;
@@ -30,4 +32,4 @@ pub use clusters::{cluster_pages, PageTypeClusters};
 pub use hints::{attach_hints, parse_hints};
 pub use push_policy::{select_pushes, PushPolicy};
 pub use resolve::{resolve, ResolvedDeps, ResolverInput, Strategy, CRAWLER_USER};
-pub use wire::{WireClient, WireServer, WireSite};
+pub use wire::{MonotonicClock, WireClient, WireClock, WireServer, WireSite};

@@ -53,16 +53,15 @@ pub fn scan_served_html(page: &Page, html_id: ResourceId) -> Vec<Hint> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
     use vroom_html::Url;
     use vroom_pages::{LoadContext, PageGenerator, SiteProfile};
 
     #[test]
     fn scanner_output_matches_model_markup_children() {
-        let page =
-            PageGenerator::new(SiteProfile::news(), 321).snapshot(&LoadContext::reference());
+        let page = PageGenerator::new(SiteProfile::news(), 321).snapshot(&LoadContext::reference());
         let hints = scan_served_html(&page, 0);
-        let hinted: HashSet<&Url> = hints.iter().map(|h| &h.url).collect();
+        let hinted: BTreeSet<&Url> = hints.iter().map(|h| &h.url).collect();
         for child in page.children(0) {
             assert_eq!(
                 hinted.contains(&child.url),
@@ -75,8 +74,7 @@ mod tests {
 
     #[test]
     fn tiers_from_markup_match_model_tiers_for_main_resources() {
-        let page =
-            PageGenerator::new(SiteProfile::news(), 322).snapshot(&LoadContext::reference());
+        let page = PageGenerator::new(SiteProfile::news(), 322).snapshot(&LoadContext::reference());
         let hints = scan_served_html(&page, 0);
         for h in &hints {
             let model = page.resources.iter().find(|r| r.url == h.url).unwrap();
@@ -92,8 +90,7 @@ mod tests {
 
     #[test]
     fn sizes_resolve_from_the_store() {
-        let page =
-            PageGenerator::new(SiteProfile::news(), 323).snapshot(&LoadContext::reference());
+        let page = PageGenerator::new(SiteProfile::news(), 323).snapshot(&LoadContext::reference());
         let hints = scan_served_html(&page, 0);
         for h in &hints {
             let model = page.resources.iter().find(|r| r.url == h.url).unwrap();

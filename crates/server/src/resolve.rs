@@ -13,7 +13,7 @@
 //! and fresh nonces) and the response bytes it is about to serve. It never
 //! peeks at the client's load or at the generator's stability labels.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use vroom_browser::config::Hint;
 use vroom_html::Url;
 use vroom_pages::{DeviceClass, LoadContext, Page, PageGenerator, ResourceId};
@@ -101,7 +101,7 @@ fn mix(a: u64, b: u64) -> u64 {
 #[derive(Debug, Clone, Default)]
 pub struct ResolvedDeps {
     /// Hints per HTML response, in processing order.
-    pub hints: HashMap<Url, Vec<Hint>>,
+    pub hints: BTreeMap<Url, Vec<Hint>>,
 }
 
 /// Resolve dependencies for the given client load.
@@ -116,18 +116,16 @@ pub fn resolve(input: &ResolverInput<'_>, client_page: &Page, strategy: Strategy
         Strategy::Vroom => {
             let offline = input.offline_loads();
             // Root HTML: offline ∪ online, excluding iframe-derived deps.
-            let mut hints = offline_intersection_scoped(&offline, |r| {
-                r.iframe_root.is_none() && r.id != 0
-            });
+            let mut hints =
+                offline_intersection_scoped(&offline, |r| r.iframe_root.is_none() && r.id != 0);
             merge_online(&mut hints, client_page, 0);
             out.hints.insert(client_page.url.clone(), finish(hints));
 
             // Each iframe HTML: its own domain resolves its subtree the same
             // way (paper Fig 10: the ad server returns the red envelope).
             for frame in embedded_htmls(client_page) {
-                let mut fh = offline_intersection_scoped(&offline, |r| {
-                    r.iframe_root == Some(frame)
-                });
+                let mut fh =
+                    offline_intersection_scoped(&offline, |r| r.iframe_root == Some(frame));
                 merge_online(&mut fh, client_page, frame);
                 out.hints
                     .insert(client_page.resources[frame].url.clone(), finish(fh));
@@ -135,14 +133,11 @@ pub fn resolve(input: &ResolverInput<'_>, client_page: &Page, strategy: Strategy
         }
         Strategy::OfflineOnly => {
             let offline = input.offline_loads();
-            let hints = offline_intersection_scoped(&offline, |r| {
-                r.iframe_root.is_none() && r.id != 0
-            });
+            let hints =
+                offline_intersection_scoped(&offline, |r| r.iframe_root.is_none() && r.id != 0);
             out.hints.insert(client_page.url.clone(), finish(hints));
             for frame in embedded_htmls(client_page) {
-                let fh = offline_intersection_scoped(&offline, |r| {
-                    r.iframe_root == Some(frame)
-                });
+                let fh = offline_intersection_scoped(&offline, |r| r.iframe_root == Some(frame));
                 out.hints
                     .insert(client_page.resources[frame].url.clone(), finish(fh));
             }
@@ -197,7 +192,7 @@ fn offline_intersection_scoped(
     loads: &[Page],
     keep: impl Fn(&vroom_pages::Resource) -> bool,
 ) -> Vec<(u8, Url, u64, ResourceId)> {
-    let later: Vec<HashSet<&Url>> = loads[1..]
+    let later: Vec<BTreeSet<&Url>> = loads[1..]
         .iter()
         .map(|p| p.resources.iter().map(|r| &r.url).collect())
         .collect();
@@ -273,13 +268,11 @@ mod tests {
         let (generator, ctx, page) = setup();
         let deps = resolve(&input(&generator, &ctx), &page, Strategy::Vroom);
         let root_hints = &deps.hints[&page.url];
-        let hinted: HashSet<&Url> = root_hints.iter().map(|h| &h.url).collect();
+        let hinted: BTreeSet<&Url> = root_hints.iter().map(|h| &h.url).collect();
         let stable_main: Vec<&vroom_pages::Resource> = page
             .resources
             .iter()
-            .filter(|r| {
-                r.id != 0 && r.iframe_root.is_none() && r.stability == Stability::Stable
-            })
+            .filter(|r| r.id != 0 && r.iframe_root.is_none() && r.stability == Stability::Stable)
             .collect();
         let missed = stable_main
             .iter()
@@ -296,7 +289,7 @@ mod tests {
         let (generator, ctx, page) = setup();
         let deps = resolve(&input(&generator, &ctx), &page, Strategy::Vroom);
         let root_hints = &deps.hints[&page.url];
-        let iframe_urls: HashSet<&Url> = page
+        let iframe_urls: BTreeSet<&Url> = page
             .resources
             .iter()
             .filter(|r| r.iframe_root.is_some())
@@ -339,8 +332,8 @@ mod tests {
         let (generator, ctx, page) = setup();
         let vroom = resolve(&input(&generator, &ctx), &page, Strategy::Vroom);
         let offline = resolve(&input(&generator, &ctx), &page, Strategy::OfflineOnly);
-        let vroom_root: HashSet<&Url> = vroom.hints[&page.url].iter().map(|h| &h.url).collect();
-        let offline_root: HashSet<&Url> =
+        let vroom_root: BTreeSet<&Url> = vroom.hints[&page.url].iter().map(|h| &h.url).collect();
+        let offline_root: BTreeSet<&Url> =
             offline.hints[&page.url].iter().map(|h| &h.url).collect();
         // Flux children in the markup that rotated recently are missed by
         // offline-only but present in Vroom's online component.
@@ -379,7 +372,7 @@ mod tests {
         let (generator, ctx, page) = setup();
         let deps = resolve(&input(&generator, &ctx), &page, Strategy::PreviousLoad);
         let hints = &deps.hints[&page.url];
-        let current: HashSet<&Url> = page.resources.iter().map(|r| &r.url).collect();
+        let current: BTreeSet<&Url> = page.resources.iter().map(|r| &r.url).collect();
         let stale = hints.iter().filter(|h| !current.contains(&h.url)).count();
         assert!(
             stale > 0,
@@ -392,9 +385,8 @@ mod tests {
         let (generator, ctx, page) = setup();
         let deps = resolve(&input(&generator, &ctx), &page, Strategy::OnlineOnly);
         let hints = &deps.hints[&page.url];
-        let current: HashSet<&Url> = page.resources.iter().map(|r| &r.url).collect();
-        let (good, bad): (Vec<_>, Vec<_>) =
-            hints.iter().partition(|h| current.contains(&h.url));
+        let current: BTreeSet<&Url> = page.resources.iter().map(|r| &r.url).collect();
+        let (good, bad): (Vec<_>, Vec<_>) = hints.iter().partition(|h| current.contains(&h.url));
         assert!(good.len() > bad.len() * 2, "mostly accurate");
         assert!(
             !bad.is_empty(),

@@ -11,7 +11,7 @@
 
 use crate::hints::attach_hints;
 use crate::push_policy::{select_pushes, PushPolicy};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -22,13 +22,36 @@ use vroom_html::Url;
 use vroom_http2::{Connection, ErrorCode, Event, Request, Response, Settings};
 use vroom_net::ReplayStore;
 
+/// Injectable wall clock for the wire path's timeout logic.
+///
+/// The real-wire server genuinely measures socket idle time, but routing
+/// every read through this trait keeps the workspace's wall-clock ban
+/// auditable: exactly one implementation touches `Instant`, and tests can
+/// substitute a fake clock to exercise timeouts without sleeping.
+pub trait WireClock: Send + Sync {
+    /// Monotonic time elapsed since an arbitrary fixed epoch.
+    fn elapsed(&self) -> Duration;
+}
+
+/// The default clock: the process monotonic clock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonotonicClock;
+
+impl WireClock for MonotonicClock {
+    fn elapsed(&self) -> Duration {
+        static START: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+        // vroom-lint: allow(wall-clock) -- sole sanctioned wall-clock read: real-wire timeouts measure actual socket idle time; simulation code never calls this
+        START.get_or_init(Instant::now).elapsed()
+    }
+}
+
 /// Everything one wire server needs to serve a site.
 #[derive(Clone)]
 pub struct WireSite {
     /// Recorded responses by URL.
     pub store: Arc<ReplayStore>,
     /// Dependency hints per HTML URL.
-    pub hints: Arc<HashMap<Url, Vec<Hint>>>,
+    pub hints: Arc<BTreeMap<Url, Vec<Hint>>>,
     /// Push policy applied to HTML responses.
     pub push: PushPolicy,
     /// The logical domain this server answers for (requests carry it in
@@ -44,8 +67,18 @@ pub struct WireServer {
 }
 
 impl WireServer {
-    /// Bind a loopback port and serve `site` until stopped.
+    /// Bind a loopback port and serve `site` until stopped, timing idleness
+    /// with the process monotonic clock.
     pub fn start(site: WireSite) -> std::io::Result<WireServer> {
+        WireServer::start_with_clock(site, Arc::new(MonotonicClock))
+    }
+
+    /// Bind a loopback port and serve `site` until stopped, timing idleness
+    /// with an injected clock.
+    pub fn start_with_clock(
+        site: WireSite,
+        clock: Arc<dyn WireClock>,
+    ) -> std::io::Result<WireServer> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -58,8 +91,9 @@ impl WireServer {
                     Ok((stream, _)) => {
                         let site = site.clone();
                         let flag = flag.clone();
+                        let clock = clock.clone();
                         workers.push(std::thread::spawn(move || {
-                            let _ = serve_connection(stream, site, flag);
+                            let _ = serve_connection(stream, site, flag, clock);
                         }));
                     }
                     Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -112,17 +146,20 @@ fn serve_connection(
     mut stream: TcpStream,
     site: WireSite,
     shutdown: Arc<AtomicBool>,
+    clock: Arc<dyn WireClock>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(20)))?;
     stream.set_nodelay(true)?;
     let mut conn = Connection::server(Settings::default());
-    let mut pending: HashMap<u32, PendingBody> = HashMap::new();
+    let mut pending: BTreeMap<u32, PendingBody> = BTreeMap::new();
     let mut buf = [0u8; 16 * 1024];
     let idle_limit = Duration::from_secs(10);
-    let mut last_activity = Instant::now();
+    let mut last_activity = clock.elapsed();
 
     loop {
-        if shutdown.load(Ordering::Relaxed) || last_activity.elapsed() > idle_limit {
+        if shutdown.load(Ordering::Relaxed)
+            || clock.elapsed().saturating_sub(last_activity) > idle_limit
+        {
             conn.goaway(ErrorCode::NoError, "server shutting down");
             let out = conn.take_output();
             let _ = stream.write_all(&out);
@@ -132,13 +169,13 @@ fn serve_connection(
         let out = conn.take_output();
         if !out.is_empty() {
             stream.write_all(&out)?;
-            last_activity = Instant::now();
+            last_activity = clock.elapsed();
         }
         // Read what's available.
         match stream.read(&mut buf) {
             Ok(0) => return Ok(()), // peer closed
             Ok(n) => {
-                last_activity = Instant::now();
+                last_activity = clock.elapsed();
                 if conn.recv(&buf[..n]).is_err() {
                     let out = conn.take_output();
                     let _ = stream.write_all(&out);
@@ -194,7 +231,7 @@ fn handle_request(
     site: &WireSite,
     stream_id: u32,
     req: &Request,
-    pending: &mut HashMap<u32, PendingBody>,
+    pending: &mut BTreeMap<u32, PendingBody>,
 ) {
     let url = Url::https(req.authority.clone(), req.path.clone());
     let Some(record) = site.store.lookup(&url) else {
@@ -220,13 +257,17 @@ fn handle_request(
     }
 
     // The main response, hint headers attached.
-    let mut resp = Response::with_status(record.status)
-        .with_header("content-type", content_type(record.kind));
+    let mut resp =
+        Response::with_status(record.status).with_header("content-type", content_type(record.kind));
     if !hints.is_empty() {
         resp = attach_hints(resp, &hints);
     }
     let body = record.body_bytes();
-    if conn.send_response(stream_id, &resp, body.is_empty()).is_ok() && !body.is_empty() {
+    if conn
+        .send_response(stream_id, &resp, body.is_empty())
+        .is_ok()
+        && !body.is_empty()
+    {
         let sent = conn.send_data(stream_id, &body, true).unwrap_or(0);
         if sent < body.len() {
             pending.insert(
@@ -241,7 +282,9 @@ fn handle_request(
 
     // Pushed response bodies follow.
     for (pid, purl) in pushed_streams {
-        let Some(rec) = site.store.lookup(&purl) else { continue };
+        let Some(rec) = site.store.lookup(&purl) else {
+            continue;
+        };
         let presp = Response::ok().with_header("content-type", content_type(rec.kind));
         let pbody = rec.body_bytes();
         if conn.send_response(pid, &presp, pbody.is_empty()).is_ok() && !pbody.is_empty() {
@@ -298,7 +341,8 @@ struct StreamAcc {
 pub struct WireClient {
     stream: TcpStream,
     conn: Connection,
-    streams: HashMap<u32, StreamAcc>,
+    streams: BTreeMap<u32, StreamAcc>,
+    clock: Arc<dyn WireClock>,
 }
 
 impl WireClient {
@@ -310,8 +354,15 @@ impl WireClient {
         Ok(WireClient {
             stream,
             conn: Connection::client(Settings::vroom_client()),
-            streams: HashMap::new(),
+            streams: BTreeMap::new(),
+            clock: Arc::new(MonotonicClock),
         })
+    }
+
+    /// Replace the deadline clock (tests can inject a fake).
+    pub fn with_clock(mut self, clock: Arc<dyn WireClock>) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// Issue a GET; returns the stream id.
@@ -346,9 +397,9 @@ impl WireClient {
     /// Drive IO until every open stream completes or the deadline passes.
     /// Returns all completed exchanges (requested and pushed).
     pub fn run(&mut self, deadline: Duration) -> std::io::Result<Vec<FetchedResponse>> {
-        let start = Instant::now();
+        let start = self.clock.elapsed();
         let mut buf = [0u8; 16 * 1024];
-        while start.elapsed() < deadline {
+        while self.clock.elapsed().saturating_sub(start) < deadline {
             self.flush()?;
             match self.stream.read(&mut buf) {
                 Ok(0) => break,

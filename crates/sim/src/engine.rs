@@ -28,7 +28,11 @@ impl<E> Context<E> {
 
     /// Schedule `event` at an absolute time (must not be in the past).
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         self.staged.push((at, event));
     }
 

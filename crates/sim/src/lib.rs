@@ -13,6 +13,8 @@
 //! * **Single thread.** Parallelism across *experiments* (not within a
 //!   simulation) is how the benchmark harness scales.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod queue;
 pub mod rng;

@@ -133,11 +133,15 @@ pub fn ablation_cpu(cfg: &ExperimentConfig) -> (Vec<(f64, f64, f64)>, String) {
 pub fn ablation_history_window(cfg: &ExperimentConfig) -> (Vec<(usize, f64, f64)>, String) {
     let corpus = Corpus::accuracy_pages(cfg.corpus_seed);
     let n = cfg.max_sites.unwrap_or(40).min(corpus.len());
-    let windows: [&[u64]; 4] = [&[1], &[1, 2, 3], &[1, 2, 3, 4, 5, 6], &[1, 4, 8, 12, 16, 20, 24]];
+    let windows: [&[u64]; 4] = [
+        &[1],
+        &[1, 2, 3],
+        &[1, 2, 3, 4, 5, 6],
+        &[1, 4, 8, 12, 16, 20, 24],
+    ];
     let mut rows = Vec::new();
-    let mut table = String::from(
-        "# Ablation: offline-resolution accuracy vs crawl-history window\n",
-    );
+    let mut table =
+        String::from("# Ablation: offline-resolution accuracy vs crawl-history window\n");
     table.push_str(&format!(
         "{:>24} {:>10} {:>10}\n",
         "window (hours ago)", "median FN", "median FP"
@@ -153,7 +157,7 @@ pub fn ablation_history_window(cfg: &ExperimentConfig) -> (Vec<(usize, f64, f64)
             };
             let load_a = site.snapshot(&ctx);
             let load_b = site.snapshot(&ctx.back_to_back(ctx.nonce ^ 0xB2B));
-            let scope = |p: &vroom_pages::Page| -> std::collections::HashSet<vroom_html::Url> {
+            let scope = |p: &vroom_pages::Page| -> std::collections::BTreeSet<vroom_html::Url> {
                 p.resources
                     .iter()
                     .filter(|r| r.id != 0 && r.iframe_root.is_none())
@@ -162,26 +166,17 @@ pub fn ablation_history_window(cfg: &ExperimentConfig) -> (Vec<(usize, f64, f64)
             };
             let sa = scope(&load_a);
             let sb = scope(&load_b);
-            let predictable: std::collections::HashSet<_> = sa.intersection(&sb).collect();
-            let mut input =
-                ResolverInput::new(site, ctx.hours, ctx.device, cfg.server_seed);
+            let predictable: std::collections::BTreeSet<_> = sa.intersection(&sb).collect();
+            let mut input = ResolverInput::new(site, ctx.hours, ctx.device, cfg.server_seed);
             input.crawl_offsets = window.to_vec();
             let deps = resolve(&input, &load_a, Strategy::Vroom);
-            let server: std::collections::HashSet<_> = deps.hints[&load_a.url]
+            let server: std::collections::BTreeSet<_> = deps.hints[&load_a.url]
                 .iter()
                 .map(|h| h.url.clone())
                 .collect();
             let denom = predictable.len().max(1) as f64;
-            fns.push(
-                predictable.iter().filter(|u| !server.contains(**u)).count() as f64 / denom,
-            );
-            fps.push(
-                server
-                    .iter()
-                    .filter(|u| !predictable.contains(u))
-                    .count() as f64
-                    / denom,
-            );
+            fns.push(predictable.iter().filter(|u| !server.contains(**u)).count() as f64 / denom);
+            fps.push(server.iter().filter(|u| !predictable.contains(u)).count() as f64 / denom);
         }
         let (mfn, mfp) = (Cdf::new(fns).median(), Cdf::new(fps).median());
         table.push_str(&format!(

@@ -7,6 +7,8 @@
 //! vroom-cli hints   [--category news] [--seed 42]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use vroom::{lower_bound_plt, run_load, System};
 use vroom_net::NetworkProfile;
 use vroom_pages::{LoadContext, PageGenerator, SiteProfile};
@@ -33,7 +35,12 @@ fn parse_args() -> Args {
     while i < argv.len() {
         match argv[i].as_str() {
             "--category" => args.category = argv.get(i + 1).cloned().expect("--category NAME"),
-            "--seed" => args.seed = argv.get(i + 1).and_then(|s| s.parse().ok()).expect("--seed N"),
+            "--seed" => {
+                args.seed = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed N")
+            }
             "--system" => args.system = argv.get(i + 1).cloned().expect("--system NAME"),
             "--network" => args.network = argv.get(i + 1).cloned().expect("--network NAME"),
             other => {
@@ -111,10 +118,16 @@ fn main() {
             println!("speed index:     {:.0}ms", r.speed_index);
             println!("cpu utilization: {:.0}%", r.cpu_utilization() * 100.0);
             println!("network wait:    {:.0}%", r.network_wait_frac() * 100.0);
-            println!("bytes fetched:   {} (+{} wasted)", r.useful_bytes, r.wasted_bytes);
+            println!(
+                "bytes fetched:   {} (+{} wasted)",
+                r.useful_bytes, r.wasted_bytes
+            );
         }
         "compare" => {
-            println!("{:<30} {:>9} {:>9} {:>11}", "system", "PLT (s)", "AFT (s)", "SpeedIdx");
+            println!(
+                "{:<30} {:>9} {:>9} {:>11}",
+                "system", "PLT (s)", "AFT (s)", "SpeedIdx"
+            );
             for system in [
                 System::Http1,
                 System::Http2,

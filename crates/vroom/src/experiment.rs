@@ -89,9 +89,15 @@ fn plt_cdf(cfg: &ExperimentConfig, corpus: &Corpus, system: System) -> Cdf {
         .iter()
         .enumerate()
         .map(|(i, site)| {
-            run_load(site, &cfg.site_ctx(i), &cfg.profile, system, cfg.server_seed)
-                .plt
-                .as_secs_f64()
+            run_load(
+                site,
+                &cfg.site_ctx(i),
+                &cfg.profile,
+                system,
+                cfg.server_seed,
+            )
+            .plt
+            .as_secs_f64()
         })
         .collect();
     Cdf::new(values)
@@ -163,7 +169,10 @@ pub fn fig03(cfg: &ExperimentConfig) -> (SystemCdfs, String) {
     let ns = Corpus::news_and_sports(cfg.corpus_seed);
     let series = vec![
         (System::Http2, plt_cdf(cfg, &ns, System::Http2)),
-        (System::PushAllStatic, plt_cdf(cfg, &ns, System::PushAllStatic)),
+        (
+            System::PushAllStatic,
+            plt_cdf(cfg, &ns, System::PushAllStatic),
+        ),
         (System::Http1, plt_cdf(cfg, &ns, System::Http1)),
     ];
     let table = render_cdf_table(
@@ -189,8 +198,14 @@ pub fn fig04(cfg: &ExperimentConfig) -> (Cdf, Cdf, String) {
                 .iter()
                 .enumerate()
                 .map(|(i, site)| {
-                    run_load(site, &cfg.site_ctx(i), &cfg.profile, system, cfg.server_seed)
-                        .network_wait_frac()
+                    run_load(
+                        site,
+                        &cfg.site_ctx(i),
+                        &cfg.profile,
+                        system,
+                        cfg.server_seed,
+                    )
+                    .network_wait_frac()
                 })
                 .collect(),
         )
@@ -225,9 +240,7 @@ pub fn fig07(cfg: &ExperimentConfig) -> (Vec<(String, Cdf)>, String) {
             .map(|(i, site)| {
                 let ctx = cfg.site_ctx(i);
                 let before = site.snapshot(&ctx).url_set();
-                let after = site
-                    .snapshot(&ctx.later(dh, ctx.nonce ^ 0x1A7E4))
-                    .url_set();
+                let after = site.snapshot(&ctx.later(dh, ctx.nonce ^ 0x1A7E4)).url_set();
                 before.intersection(&after).count() as f64 / before.len() as f64
             })
             .collect();
@@ -278,7 +291,13 @@ pub fn fig11(cfg: &ExperimentConfig) -> (Vec<(usize, f64, f64)>, String) {
     let ctx = cfg.site_ctx(0);
     let page = site.snapshot(&ctx);
     let base = run_load(site, &ctx, &cfg.profile, System::Http2, cfg.server_seed);
-    let asap = run_load(site, &ctx, &cfg.profile, System::PushAllFetchAsap, cfg.server_seed);
+    let asap = run_load(
+        site,
+        &ctx,
+        &cfg.profile,
+        System::PushAllFetchAsap,
+        cfg.server_seed,
+    );
     let vroom = run_load(site, &ctx, &cfg.profile, System::Vroom, cfg.server_seed);
 
     // The first ten resources needing processing, ordered by when the
@@ -341,7 +360,13 @@ pub fn fig13(cfg: &ExperimentConfig) -> (Fig13, String) {
         let mut afts = Vec::new();
         let mut sis = Vec::new();
         for (i, site) in cfg.sites(&ns).iter().enumerate() {
-            let r = run_load(site, &cfg.site_ctx(i), &cfg.profile, system, cfg.server_seed);
+            let r = run_load(
+                site,
+                &cfg.site_ctx(i),
+                &cfg.profile,
+                system,
+                cfg.server_seed,
+            );
             plts.push(r.plt.as_secs_f64());
             afts.push(r.aft.as_secs_f64());
             sis.push(r.speed_index);
@@ -484,9 +509,15 @@ fn plt_quartiles(cfg: &ExperimentConfig, corpus: &Corpus, system: System) -> Qua
         .iter()
         .enumerate()
         .map(|(i, site)| {
-            run_load(site, &cfg.site_ctx(i), &cfg.profile, system, cfg.server_seed)
-                .plt
-                .as_secs_f64()
+            run_load(
+                site,
+                &cfg.site_ctx(i),
+                &cfg.profile,
+                system,
+                cfg.server_seed,
+            )
+            .plt
+            .as_secs_f64()
         })
         .collect();
     quartiles(&values)
@@ -524,7 +555,10 @@ pub fn fig17(cfg: &ExperimentConfig) -> (Vec<(String, Quartiles)>, String) {
     ];
     let table = render_quartile_table(
         "Figure 17: Utility of accurate dependency inference",
-        &rows.iter().map(|(n, q)| (n.as_str(), *q)).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|(n, q)| (n.as_str(), *q))
+            .collect::<Vec<_>>(),
         "seconds",
     );
     (rows, table)
@@ -550,7 +584,10 @@ pub fn fig18(cfg: &ExperimentConfig) -> (Vec<(String, Quartiles)>, String) {
     ];
     let table = render_quartile_table(
         "Figure 18: Combining PUSH with dependency hints",
-        &rows.iter().map(|(n, q)| (n.as_str(), *q)).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|(n, q)| (n.as_str(), *q))
+            .collect::<Vec<_>>(),
         "seconds",
     );
     (rows, table)
@@ -576,7 +613,10 @@ pub fn fig19(cfg: &ExperimentConfig) -> (Vec<(String, Quartiles)>, String) {
     ];
     let table = render_quartile_table(
         "Figure 19: Utility of cooperative scheduling",
-        &rows.iter().map(|(n, q)| (n.as_str(), *q)).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|(n, q)| (n.as_str(), *q))
+            .collect::<Vec<_>>(),
         "seconds",
     );
     (rows, table)
@@ -587,7 +627,11 @@ pub fn fig19(cfg: &ExperimentConfig) -> (Vec<(String, Quartiles)>, String) {
 /// Fig 20: warm-cache loads at three staleness levels.
 pub fn fig20(cfg: &ExperimentConfig) -> (Vec<(String, Quartiles, Quartiles)>, String) {
     let ns = Corpus::news_and_sports(cfg.corpus_seed);
-    let scenarios = [("Back-to-back", 0.003), ("1 Day Later", 24.0), ("1 Week Later", 168.0)];
+    let scenarios = [
+        ("Back-to-back", 0.003),
+        ("1 Day Later", 24.0),
+        ("1 Week Later", 168.0),
+    ];
     let mut rows = Vec::new();
     let mut table = String::from("# Figure 20: Page load times with warm caches (seconds)\n");
     table.push_str(&format!(
@@ -619,7 +663,13 @@ pub fn fig20(cfg: &ExperimentConfig) -> (Vec<(String, Quartiles, Quartiles)>, St
         let h = collect(System::Http2);
         table.push_str(&format!(
             "{name:<14} {:>8.3} {:>8.3} {:>8.3}   {:>8.3} {:>8.3} {:>8.3} {:>10.3}\n",
-            v.p25, v.p50, v.p75, h.p25, h.p50, h.p75, h.p50 - v.p50
+            v.p25,
+            v.p50,
+            v.p75,
+            h.p25,
+            h.p50,
+            h.p75,
+            h.p50 - v.p50
         ));
         rows.push((name.to_string(), v, h));
     }
@@ -821,10 +871,7 @@ mod tests {
     fn fig19_strawman_far_from_vroom() {
         let (rows, table) = fig19(&quick());
         let find = |name: &str| rows.iter().find(|(n, _)| n.contains(name)).unwrap().1;
-        assert!(
-            find("Fetch ASAP").p50 > find("Vroom").p50,
-            "{table}"
-        );
+        assert!(find("Fetch ASAP").p50 > find("Vroom").p50, "{table}");
     }
 
     #[test]
@@ -886,9 +933,8 @@ mod tests {
     #[test]
     fn fig21_accuracy_shapes() {
         let (data, table) = fig21(&quick());
-        let med = |v: &[(String, Cdf)], name: &str| {
-            v.iter().find(|(n, _)| n == name).unwrap().1.median()
-        };
+        let med =
+            |v: &[(String, Cdf)], name: &str| v.iter().find(|(n, _)| n == name).unwrap().1.median();
         assert!(
             med(&data.false_negatives, "Vroom") < med(&data.false_negatives, "Offline Only"),
             "{table}"

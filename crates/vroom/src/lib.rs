@@ -30,6 +30,8 @@
 //! assert!(vroom.plt < baseline.plt);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
 pub mod experiment;
 pub mod load;

@@ -7,10 +7,8 @@
 //! the scheduler — each combination reproducing one line of the paper's
 //! figures.
 
-use std::collections::HashMap;
-use vroom_browser::config::{
-    CacheEntry, FetchPolicy, Hint, HttpVersion, LoadConfig, ServerModel,
-};
+use std::collections::BTreeMap;
+use vroom_browser::config::{CacheEntry, FetchPolicy, Hint, HttpVersion, LoadConfig, ServerModel};
 use vroom_html::Url;
 use vroom_pages::{LoadContext, Page, PageGenerator};
 use vroom_server::push_policy::{select_pushes, PushPolicy};
@@ -186,21 +184,14 @@ pub fn build_config(
 }
 
 /// A warm HTTP cache produced by loading `page` previously, `age_hours` ago.
-pub fn cache_from_prior_load(prior: &Page, age_hours: f64) -> HashMap<Url, CacheEntry> {
+pub fn cache_from_prior_load(prior: &Page, age_hours: f64) -> BTreeMap<Url, CacheEntry> {
     let age = vroom_sim::SimDuration::from_secs_f64(age_hours * 3600.0);
     prior
         .resources
         .iter()
         .filter_map(|r| {
-            r.max_age.map(|max_age| {
-                (
-                    r.url.clone(),
-                    CacheEntry {
-                        age,
-                        max_age,
-                    },
-                )
-            })
+            r.max_age
+                .map(|max_age| (r.url.clone(), CacheEntry { age, max_age }))
         })
         .collect()
 }
@@ -261,7 +252,10 @@ mod tests {
         let all = build_config(System::PushAllNoHints, &generator, &page, &ctx, 1);
         let hi = build_config(System::PushHighPriorityNoHints, &generator, &page, &ctx, 1);
         let count = |c: &LoadConfig| c.server.pushes.values().map(|v| v.len()).sum::<usize>();
-        assert!(count(&all) > count(&hi), "push-all pushes more than push-hi");
+        assert!(
+            count(&all) > count(&hi),
+            "push-all pushes more than push-hi"
+        );
     }
 
     #[test]

@@ -137,11 +137,7 @@ mod tests {
         let table = render_cdf_table("Fig X", &[("a", &cdf), ("b", &cdf)], "s");
         assert!(table.contains("Fig X"));
         assert!(table.lines().count() >= 13);
-        let qt = render_quartile_table(
-            "Fig Y",
-            &[("sys", quartiles(&[1.0, 2.0, 3.0]))],
-            "s",
-        );
+        let qt = render_quartile_table("Fig Y", &[("sys", quartiles(&[1.0, 2.0, 3.0]))], "s");
         assert!(qt.contains("median"));
         assert!(qt.contains("sys"));
     }

@@ -7,6 +7,8 @@
 //! cargo run -p vroom-examples --example accuracy_audit
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashSet;
 use vroom_html::Url;
 use vroom_pages::{LoadContext, PageGenerator, SiteProfile};
@@ -67,7 +69,10 @@ fn main() {
     let mut extraneous = 0;
     for h in &deps.hints[&page.url] {
         if !page_urls.contains(&h.url) {
-            println!("  EXTRANEOUS {:<60} (stale crawl artifact)", h.url.to_string());
+            println!(
+                "  EXTRANEOUS {:<60} (stale crawl artifact)",
+                h.url.to_string()
+            );
             extraneous += 1;
         }
     }

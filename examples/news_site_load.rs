@@ -6,6 +6,8 @@
 //! cargo run -p vroom-examples --example news_site_load
 //! ```
 
+#![forbid(unsafe_code)]
+
 use vroom::{run_load, System};
 use vroom_net::NetworkProfile;
 use vroom_pages::{LoadContext, PageGenerator, SiteProfile};
@@ -45,7 +47,14 @@ fn main() {
         );
         shown += 1;
         if shown >= 25 {
-            println!("  … ({} more)", page.resources.iter().filter(|r| r.needs_processing()).count() - shown);
+            println!(
+                "  … ({} more)",
+                page.resources
+                    .iter()
+                    .filter(|r| r.needs_processing())
+                    .count()
+                    - shown
+            );
             break;
         }
     }

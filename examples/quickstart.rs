@@ -5,6 +5,8 @@
 //! cargo run -p vroom-examples --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use vroom::{lower_bound_plt, run_load, System};
 use vroom_net::NetworkProfile;
 use vroom_pages::{LoadContext, PageGenerator, SiteProfile};

@@ -1,1 +1,3 @@
 //! Host crate for the runnable examples; see the workspace README.
+
+#![forbid(unsafe_code)]

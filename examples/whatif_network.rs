@@ -7,6 +7,8 @@
 //! cargo run -p vroom-examples --example whatif_network
 //! ```
 
+#![forbid(unsafe_code)]
+
 use vroom::{run_load, System};
 use vroom_net::NetworkProfile;
 use vroom_pages::{LoadContext, PageGenerator, SiteProfile};
@@ -29,8 +31,12 @@ fn main() {
         NetworkProfile::three_g(),
         NetworkProfile::two_g(),
     ] {
-        let h2 = run_load(&site, &ctx, &profile, System::Http2, 7).plt.as_secs_f64();
-        let vr = run_load(&site, &ctx, &profile, System::Vroom, 7).plt.as_secs_f64();
+        let h2 = run_load(&site, &ctx, &profile, System::Http2, 7)
+            .plt
+            .as_secs_f64();
+        let vr = run_load(&site, &ctx, &profile, System::Vroom, 7)
+            .plt
+            .as_secs_f64();
         println!(
             "{:<14} {:>10.1} {:>9} | {:>9.2} {:>9.2} {:>7.0}%",
             profile.name,
@@ -43,11 +49,18 @@ fn main() {
     }
 
     println!("\n=== Bandwidth sweep (LTE latency) ===");
-    println!("{:>10} | {:>9} {:>9} {:>8}", "down Mbps", "HTTP/2 s", "Vroom s", "gain");
+    println!(
+        "{:>10} | {:>9} {:>9} {:>8}",
+        "down Mbps", "HTTP/2 s", "Vroom s", "gain"
+    );
     for mbps in [1, 2, 5, 10, 20, 50] {
         let profile = NetworkProfile::lte().with_downlink(mbps * 1_000_000);
-        let h2 = run_load(&site, &ctx, &profile, System::Http2, 7).plt.as_secs_f64();
-        let vr = run_load(&site, &ctx, &profile, System::Vroom, 7).plt.as_secs_f64();
+        let h2 = run_load(&site, &ctx, &profile, System::Http2, 7)
+            .plt
+            .as_secs_f64();
+        let vr = run_load(&site, &ctx, &profile, System::Vroom, 7)
+            .plt
+            .as_secs_f64();
         println!(
             "{mbps:>10} | {h2:>9.2} {vr:>9.2} {:>7.0}%",
             (1.0 - vr / h2) * 100.0
@@ -55,12 +68,18 @@ fn main() {
     }
 
     println!("\n=== RTT sweep (LTE bandwidth) ===");
-    println!("{:>10} | {:>9} {:>9} {:>8}", "RTT ms", "HTTP/2 s", "Vroom s", "gain");
+    println!(
+        "{:>10} | {:>9} {:>9} {:>8}",
+        "RTT ms", "HTTP/2 s", "Vroom s", "gain"
+    );
     for rtt_ms in [20u64, 50, 100, 200, 400, 800] {
-        let profile =
-            NetworkProfile::lte().with_cellular_rtt(SimDuration::from_millis(rtt_ms));
-        let h2 = run_load(&site, &ctx, &profile, System::Http2, 7).plt.as_secs_f64();
-        let vr = run_load(&site, &ctx, &profile, System::Vroom, 7).plt.as_secs_f64();
+        let profile = NetworkProfile::lte().with_cellular_rtt(SimDuration::from_millis(rtt_ms));
+        let h2 = run_load(&site, &ctx, &profile, System::Http2, 7)
+            .plt
+            .as_secs_f64();
+        let vr = run_load(&site, &ctx, &profile, System::Vroom, 7)
+            .plt
+            .as_secs_f64();
         println!(
             "{rtt_ms:>10} | {h2:>9.2} {vr:>9.2} {:>7.0}%",
             (1.0 - vr / h2) * 100.0
@@ -68,7 +87,10 @@ fn main() {
     }
 
     println!("\n=== Device CPU sweep (LTE) ===");
-    println!("{:>10} | {:>9} {:>9} {:>8}", "cpu slow×", "HTTP/2 s", "Vroom s", "gain");
+    println!(
+        "{:>10} | {:>9} {:>9} {:>8}",
+        "cpu slow×", "HTTP/2 s", "Vroom s", "gain"
+    );
     for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
         // Scale via a custom context device-speed knob: reuse cpu_factor by
         // overriding through policy::build_config's default (run_load uses

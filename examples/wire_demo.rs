@@ -6,7 +6,9 @@
 //! cargo run -p vroom-examples --example wire_demo
 //! ```
 
-use std::collections::HashMap;
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vroom_html::{ResourceKind, Url};
@@ -35,7 +37,7 @@ fn main() {
 
     // 2. Server-side online analysis over the real markup (the scanner runs
     //    on the bytes that will be served).
-    let mut hints = HashMap::new();
+    let mut hints = BTreeMap::new();
     hints.insert(page.url.clone(), scan_served_html(&page, 0));
     for r in &page.resources {
         if r.id != 0 && r.kind == ResourceKind::Html {
@@ -54,7 +56,7 @@ fn main() {
     println!("vroom server listening on {}", server.addr());
 
     // 4. The client: request the root, read hints, fetch in tiers.
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // vroom-lint: allow(wall-clock) -- demo binary timing a real TCP exchange, not simulation
     let mut client = WireClient::connect(server.addr()).expect("connect");
     client.get(&page.url).expect("GET root");
     let first = client.run(Duration::from_secs(10)).expect("io");
@@ -69,7 +71,11 @@ fn main() {
         t0.elapsed()
     );
     for r in first.iter().filter(|r| r.pushed) {
-        println!("  PUSH_PROMISE delivered {} ({} bytes)", r.url, r.body.len());
+        println!(
+            "  PUSH_PROMISE delivered {} ({} bytes)",
+            r.url,
+            r.body.len()
+        );
     }
     println!(
         "  response carried {} hints ({} preload / {} semi / {} unimportant)",

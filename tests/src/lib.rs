@@ -1,1 +1,3 @@
 //! Integration test host crate; all tests live in `tests/tests/`.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,130 @@
+//! The workspace's headline invariant, asserted end to end: the same seed
+//! produces byte-identical results — full per-resource event traces, all
+//! scalar metrics, and serialized replay stores. This is what the
+//! `vroom-lint` rules (no wall clock, no hash-order iteration, no ambient
+//! randomness) exist to protect.
+
+#![forbid(unsafe_code)]
+
+use vroom::{run_load, run_load_warm, System};
+use vroom_html::ResourceKind;
+use vroom_net::{NetworkProfile, RecordedResponse, ReplayStore};
+use vroom_pages::{render_html, Corpus, LoadContext, PageGenerator, SiteProfile};
+use vroom_sim::SimDuration;
+
+/// Two identically seeded cold loads must agree on every metric and on the
+/// entire per-resource timing trace, for every system under test.
+#[test]
+fn identical_seeds_produce_identical_loads() {
+    let ctx = LoadContext::reference();
+    let profile = NetworkProfile::lte();
+    for system in [
+        System::Http1,
+        System::Http2,
+        System::Vroom,
+        System::CpuBound,
+        System::NetworkBound,
+    ] {
+        let gen_a = PageGenerator::new(SiteProfile::news(), 4242);
+        let gen_b = PageGenerator::new(SiteProfile::news(), 4242);
+        let a = run_load(&gen_a, &ctx, &profile, system, 7);
+        let b = run_load(&gen_b, &ctx, &profile, system, 7);
+        assert_eq!(a, b, "{system:?}: two identically seeded loads diverged");
+        assert_eq!(
+            a.resources, b.resources,
+            "{system:?}: per-resource event traces diverged"
+        );
+    }
+}
+
+/// Warm (repeat-visit) loads are deterministic too — the cache built from
+/// the prior load must not introduce ordering noise.
+#[test]
+fn warm_loads_are_deterministic() {
+    let ctx = LoadContext::reference();
+    let profile = NetworkProfile::lte();
+    let a = run_load_warm(
+        &PageGenerator::new(SiteProfile::news(), 99),
+        &ctx,
+        &profile,
+        System::Vroom,
+        7,
+        0.003,
+    );
+    let b = run_load_warm(
+        &PageGenerator::new(SiteProfile::news(), 99),
+        &ctx,
+        &profile,
+        System::Vroom,
+        7,
+        0.003,
+    );
+    assert_eq!(a, b, "warm loads diverged");
+}
+
+/// Different seeds must actually produce different pages — guards against a
+/// determinism test that would pass because everything is constant.
+#[test]
+fn different_seeds_differ() {
+    let ctx = LoadContext::reference();
+    let profile = NetworkProfile::lte();
+    let a = run_load(
+        &PageGenerator::new(SiteProfile::news(), 1),
+        &ctx,
+        &profile,
+        System::Vroom,
+        7,
+    );
+    let b = run_load(
+        &PageGenerator::new(SiteProfile::news(), 2),
+        &ctx,
+        &profile,
+        System::Vroom,
+        7,
+    );
+    assert_ne!(a, b, "seeds 1 and 2 produced identical loads");
+}
+
+/// Serialized replay stores are byte-identical across runs: recorded maps
+/// are ordered and the JSON encoder is canonical.
+#[test]
+fn replay_store_serialization_is_canonical() {
+    let record = || {
+        let page =
+            PageGenerator::new(SiteProfile::news(), 31337).snapshot(&LoadContext::reference());
+        let mut store = ReplayStore::new();
+        for r in &page.resources {
+            let rec = if r.kind == ResourceKind::Html {
+                RecordedResponse::with_body(ResourceKind::Html, render_html(&page, r.id))
+            } else {
+                RecordedResponse::synthetic(r.kind, r.size)
+            };
+            store.record(r.url.clone(), rec);
+        }
+        for (i, domain) in page.domains().iter().enumerate() {
+            store.record_rtt(domain.clone(), SimDuration::from_millis(5 + i as u64));
+        }
+        store.to_json()
+    };
+    let a = record();
+    let b = record();
+    assert_eq!(a, b, "replay JSON must be byte-identical across runs");
+    let reparsed = ReplayStore::from_json(&a).expect("roundtrip");
+    assert_eq!(reparsed.to_json(), a, "parse → serialize is a fixed point");
+}
+
+/// A whole small corpus is reproducible: per-site PLTs agree run-to-run.
+#[test]
+fn corpus_level_metrics_are_reproducible() {
+    let plts = || {
+        let corpus = Corpus::small(2024, 8);
+        let ctx = LoadContext::reference();
+        let profile = NetworkProfile::lte();
+        corpus
+            .sites
+            .iter()
+            .map(|site| run_load(site, &ctx, &profile, System::Vroom, 5).plt)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(plts(), plts(), "corpus PLT vector diverged between runs");
+}

@@ -2,6 +2,8 @@
 //! construction → browser engine, checking the paper's orderings and the
 //! model's invariants across many sites.
 
+#![forbid(unsafe_code)]
+
 use vroom::{lower_bound_plt, run_load, run_load_warm, System};
 use vroom_net::NetworkProfile;
 use vroom_pages::{Corpus, LoadContext};
@@ -151,12 +153,20 @@ fn degraded_networks_shift_the_bottleneck() {
     let mut lte_gains = Vec::new();
     let mut two_g_gains = Vec::new();
     for site in &corpus.sites {
-        let lte_h2 = run_load(site, &ctx, &lte(), System::Http2, 5).plt.as_secs_f64();
-        let lte_vr = run_load(site, &ctx, &lte(), System::Vroom, 5).plt.as_secs_f64();
+        let lte_h2 = run_load(site, &ctx, &lte(), System::Http2, 5)
+            .plt
+            .as_secs_f64();
+        let lte_vr = run_load(site, &ctx, &lte(), System::Vroom, 5)
+            .plt
+            .as_secs_f64();
         lte_gains.push(1.0 - lte_vr / lte_h2);
         let slow = NetworkProfile::two_g();
-        let g_h2 = run_load(site, &ctx, &slow, System::Http2, 5).plt.as_secs_f64();
-        let g_vr = run_load(site, &ctx, &slow, System::Vroom, 5).plt.as_secs_f64();
+        let g_h2 = run_load(site, &ctx, &slow, System::Http2, 5)
+            .plt
+            .as_secs_f64();
+        let g_vr = run_load(site, &ctx, &slow, System::Vroom, 5)
+            .plt
+            .as_secs_f64();
         two_g_gains.push(1.0 - g_vr / g_h2);
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;

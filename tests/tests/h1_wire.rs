@@ -2,6 +2,8 @@
 //! working end to end (request head, Content-Length framing, connection
 //! reuse).
 
+#![forbid(unsafe_code)]
+
 use std::io::{Read, Write};
 use std::net::TcpListener;
 use vroom_http2::h1;

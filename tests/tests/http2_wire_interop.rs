@@ -2,6 +2,8 @@
 //! the in-memory pipe transport across real threads — exercising the same
 //! state machine the wire server uses, under concurrency.
 
+#![forbid(unsafe_code)]
+
 use std::thread;
 use std::time::Duration;
 use vroom_http2::{Connection, Event, Request, Response, Settings};
@@ -14,6 +16,7 @@ fn pump_until<F: FnMut(&mut Connection) -> bool>(
     mut done: F,
     deadline: Duration,
 ) {
+    // vroom-lint: allow(wall-clock) -- watchdog for a real in-memory pipe pump; test asserts on bytes, not time
     let start = std::time::Instant::now();
     while start.elapsed() < deadline {
         let out = conn.take_output();
@@ -56,8 +59,7 @@ fn threaded_client_server_over_pipe() {
                     } = ev
                     {
                         let req = Request::from_fields(&fields).expect("request");
-                        let resp = Response::ok()
-                            .with_header("x-served-path", &req.path);
+                        let resp = Response::ok().with_header("x-served-path", &req.path);
                         conn.send_response(stream_id, &resp, false).unwrap();
                         conn.send_data(stream_id, req.path.as_bytes(), true)
                             .unwrap();
@@ -96,6 +98,9 @@ fn threaded_client_server_over_pipe() {
         Duration::from_secs(10),
     );
     bodies.sort();
-    assert_eq!(bodies, vec!["/item/0", "/item/1", "/item/2", "/item/3", "/item/4"]);
+    assert_eq!(
+        bodies,
+        vec!["/item/0", "/item/1", "/item/2", "/item/3", "/item/4"]
+    );
     assert_eq!(server.join().unwrap(), 5);
 }

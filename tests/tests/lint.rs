@@ -1,0 +1,172 @@
+//! Tier-1 enforcement of the workspace's determinism and protocol
+//! invariants: the same `vroom-lint` library the CLI runs is invoked here,
+//! so `cargo test` fails the moment a violation lands — no separate CI
+//! wiring required.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use vroom_lint::source::SourceFile;
+use vroom_lint::{analyze, analyze_sources, baseline};
+
+fn file(path: &str, source: &str) -> SourceFile {
+    SourceFile {
+        path: path.to_string(),
+        source: source.to_string(),
+    }
+}
+
+fn rules_of(v: &[vroom_lint::rules::Violation]) -> Vec<&'static str> {
+    v.iter().map(|x| x.rule).collect()
+}
+
+/// The workspace itself must lint clean: no violations beyond the checked-in
+/// ratchet baseline, and no stale baseline entries (debt that was paid down
+/// must be recorded by regenerating `lint-baseline.txt`).
+#[test]
+fn workspace_is_clean_and_baseline_is_fresh() {
+    let report = analyze(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("lint run");
+    assert!(report.files_scanned > 50, "walker found the workspace");
+    assert!(
+        report.new_violations.is_empty(),
+        "new lint violations:\n{}",
+        report
+            .new_violations
+            .iter()
+            .map(|v| format!("  {}:{}: {}: {}", v.path, v.line, v.rule, v.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.stale_entries.is_empty(),
+        "stale baseline entries (regenerate with `cargo run -p vroom-lint -- --update-baseline`):\n{:#?}",
+        report.stale_entries
+    );
+}
+
+/// Introducing a wall-clock read into sim-path code yields a file:line
+/// diagnostic; a justified waiver on the same line suppresses it.
+#[test]
+fn introduced_wall_clock_violation_is_caught() {
+    let bad = file(
+        "crates/net/src/link.rs",
+        "#![forbid(unsafe_code)]\nfn now() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    );
+    let v = analyze_sources(&[bad]);
+    assert_eq!(rules_of(&v), vec!["wall-clock"]);
+    assert_eq!(v[0].path, "crates/net/src/link.rs");
+    assert_eq!(v[0].line, 3);
+
+    let waived = file(
+        "crates/net/src/link.rs",
+        "#![forbid(unsafe_code)]\nfn now() -> std::time::Instant {\n    std::time::Instant::now() // vroom-lint: allow(wall-clock) -- test fixture\n}\n",
+    );
+    assert!(analyze_sources(&[waived]).is_empty());
+}
+
+/// Hash-container iteration in a sim-path crate is flagged with the binding
+/// name; the same code in a non-sim crate is not.
+#[test]
+fn introduced_unordered_iteration_is_caught() {
+    let src = "#![forbid(unsafe_code)]\n\
+               use std::collections::HashMap;\n\
+               pub fn sum(m: &HashMap<u32, u64>) -> u64 {\n\
+               \u{20}   m.values().sum()\n\
+               }\n";
+    let v = analyze_sources(&[file("crates/browser/src/cache.rs", src)]);
+    assert_eq!(rules_of(&v), vec!["unordered-iter"]);
+    assert_eq!(v[0].line, 4);
+    assert!(
+        v[0].message.contains('m'),
+        "names the binding: {}",
+        v[0].message
+    );
+    assert!(analyze_sources(&[file("crates/hpack/src/cache.rs", src)]).is_empty());
+}
+
+/// New `.unwrap()` in protocol code fails even though the baseline tolerates
+/// the pre-existing sites: baseline matching is exact on (rule, path, line
+/// content).
+#[test]
+fn unwrap_ratchet_rejects_new_sites_but_honors_baseline() {
+    let src = "#![forbid(unsafe_code)]\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let violations = analyze_sources(&[file("crates/http2/src/novel.rs", src)]);
+    assert_eq!(rules_of(&violations), vec!["unwrap"]);
+
+    // Baseline the site → reconcile absorbs it; a second copy stays new.
+    let entries = baseline::parse(&baseline::render(&violations)).expect("well-formed");
+    let twice = analyze_sources(&[file(
+        "crates/http2/src/novel.rs",
+        "#![forbid(unsafe_code)]\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    )]);
+    assert_eq!(twice.len(), 2);
+    let r = baseline::reconcile(twice, &entries);
+    assert_eq!(r.new_violations.len(), 1, "one absorbed, one new");
+    assert!(r.stale_entries.is_empty());
+}
+
+/// When the debt disappears, the baseline entry turns stale — the
+/// `--check-baseline` mode (and the tier-1 test above) forces regeneration.
+#[test]
+fn paid_down_debt_surfaces_as_stale() {
+    let entries =
+        baseline::parse("unwrap\tcrates/http2/src/gone.rs\tx.unwrap();\n").expect("parse");
+    let r = baseline::reconcile(Vec::new(), &entries);
+    assert!(r.new_violations.is_empty());
+    assert_eq!(r.stale_entries.len(), 1);
+    assert_eq!(r.stale_entries[0].path, "crates/http2/src/gone.rs");
+}
+
+/// The lexer front-end keeps rule patterns from firing inside comments,
+/// strings (including raw strings), and doc text.
+#[test]
+fn comments_and_strings_do_not_trigger_rules() {
+    let src = r##"#![forbid(unsafe_code)]
+// Instant::now() would break determinism, so we do not call it.
+/* thread_rng() inside /* nested */ comments is also fine */
+const DOC: &str = "Instant::now and thread_rng in a string";
+const RAW: &str = r#"SystemTime::now() // still a string"#;
+"##;
+    assert!(analyze_sources(&[file("crates/sim/src/doc.rs", src)]).is_empty());
+}
+
+/// Waivers demand a reason; a bare `allow(...)` is itself a violation, as is
+/// naming a rule that does not exist.
+#[test]
+fn waiver_without_reason_or_with_unknown_rule_is_rejected() {
+    let missing_reason = file(
+        "crates/net/src/link.rs",
+        "#![forbid(unsafe_code)]\nlet t = Instant::now(); // vroom-lint: allow(wall-clock)\n",
+    );
+    let v = analyze_sources(&[missing_reason]);
+    assert!(
+        v.iter().any(|x| x.rule == "waiver-syntax"),
+        "bare allow() must be flagged: {v:?}"
+    );
+    assert!(
+        v.iter().any(|x| x.rule == "wall-clock"),
+        "malformed waiver grants nothing: {v:?}"
+    );
+
+    let unknown = file(
+        "crates/net/src/link.rs",
+        "#![forbid(unsafe_code)]\nfn f() {} // vroom-lint: allow(not-a-rule) -- oops\n",
+    );
+    assert_eq!(
+        rules_of(&analyze_sources(&[unknown])),
+        vec!["waiver-syntax"]
+    );
+}
+
+/// A crate root without `#![forbid(unsafe_code)]` is flagged, and so is an
+/// `unsafe` block anywhere.
+#[test]
+fn unsafe_is_banned_workspace_wide() {
+    let v = analyze_sources(&[file("crates/html/src/lib.rs", "pub fn f() {}\n")]);
+    assert_eq!(rules_of(&v), vec!["forbid-unsafe"]);
+    let v = analyze_sources(&[file(
+        "crates/net/src/fast.rs",
+        "#![forbid(unsafe_code)]\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+    )]);
+    assert_eq!(rules_of(&v), vec!["forbid-unsafe"]);
+}

@@ -2,6 +2,8 @@
 //! and context always validate, always load to completion under every
 //! policy, and the protocol substrates stay total on adversarial input.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 use vroom::{run_load, System};
 use vroom_net::NetworkProfile;

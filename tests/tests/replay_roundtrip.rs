@@ -2,6 +2,8 @@
 //! replays deterministically — the property Mahimahi provides the paper's
 //! testbed.
 
+#![forbid(unsafe_code)]
+
 use vroom_html::ResourceKind;
 use vroom_net::{LatencyModel, RecordedResponse, ReplayStore};
 use vroom_pages::{render_html, LoadContext, PageGenerator, SiteProfile};
@@ -68,10 +70,8 @@ fn recorded_html_rescans_identically_after_roundtrip() {
 #[test]
 fn recorded_rtts_shape_the_latency_model() {
     let (store, page) = record_site(6003);
-    let mut latency = LatencyModel::uniform(
-        SimDuration::from_millis(70),
-        SimDuration::from_millis(40),
-    );
+    let mut latency =
+        LatencyModel::uniform(SimDuration::from_millis(70), SimDuration::from_millis(40));
     store.apply_rtts(&mut latency);
     for (i, domain) in page.domains().iter().enumerate() {
         assert_eq!(

@@ -3,7 +3,9 @@
 //! consumes PUSH_PROMISEs and dependency-hint headers — the reproduction's
 //! equivalent of the paper's §5 implementation, exercised live.
 
-use std::collections::HashMap;
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 use vroom_browser::config::Hint;
@@ -30,8 +32,8 @@ fn record(page: &Page) -> ReplayStore {
 }
 
 /// Hints for every HTML document, from the real scanner over real markup.
-fn hints_from_markup(page: &Page) -> HashMap<Url, Vec<Hint>> {
-    let mut out = HashMap::new();
+fn hints_from_markup(page: &Page) -> BTreeMap<Url, Vec<Hint>> {
+    let mut out = BTreeMap::new();
     out.insert(page.url.clone(), scan_served_html(page, 0));
     for r in &page.resources {
         if r.id != 0 && r.kind == ResourceKind::Html {
@@ -84,10 +86,7 @@ fn vroom_server_pushes_and_hints_over_real_tcp() {
     let hints = parse_hints(&root.response);
     assert!(!hints.is_empty(), "root response must carry hints");
     assert!(hints.iter().any(|h| h.tier == 0), "Link preload present");
-    assert!(
-        hints.iter().any(|h| h.tier == 2),
-        "x-unimportant present"
-    );
+    assert!(hints.iter().any(|h| h.tier == 2), "x-unimportant present");
     // CORS exposure for the JS scheduler (§5.2 footnote 7).
     assert!(root
         .response
@@ -119,10 +118,7 @@ fn client_can_fetch_hinted_resources_in_tiers() {
     let mut client = WireClient::connect(server.addr()).expect("connect");
     client.get(&page.url).expect("request root");
     let responses = client.run(Duration::from_secs(10)).expect("io");
-    let root = responses
-        .iter()
-        .find(|r| r.url == page.url)
-        .expect("root");
+    let root = responses.iter().find(|r| r.url == page.url).expect("root");
     let hints = parse_hints(&root.response);
 
     // Stage 0: fetch every preload-tier hint on the same domain set.
@@ -150,7 +146,10 @@ fn unknown_urls_get_404_over_the_wire() {
     let server = start_server(&page, PushPolicy::None);
     let mut client = WireClient::connect(server.addr()).expect("connect");
     client
-        .get(&Url::https(page.url.host.clone(), "/definitely-not-there.js"))
+        .get(&Url::https(
+            page.url.host.clone(),
+            "/definitely-not-there.js",
+        ))
         .expect("request");
     let responses = client.run(Duration::from_secs(5)).expect("io");
     assert_eq!(responses.len(), 1);
@@ -170,7 +169,7 @@ fn large_bodies_cross_flow_control_boundaries() {
     );
     let site = WireSite {
         store: Arc::new(store),
-        hints: Arc::new(HashMap::new()),
+        hints: Arc::new(BTreeMap::new()),
         push: PushPolicy::None,
         domain: "big.example".into(),
     };

@@ -1,0 +1,32 @@
+//! Offline stand-in for `crossbeam`: only the `channel` module, backed by
+//! `std::sync::mpsc`, whose error types and method shapes match the subset
+//! this workspace uses (`unbounded`, `send`, `try_recv`, `recv_timeout`).
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn channel_basics() {
+        let (tx, rx) = channel::unbounded();
+        assert!(tx.send(1).is_ok());
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        assert!(tx.send(2).is_ok());
+        assert_eq!(rx.recv_timeout(Duration::from_millis(50)), Ok(2));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+}

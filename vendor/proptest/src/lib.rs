@@ -1,0 +1,622 @@
+//! Offline stand-in for `proptest`: deterministic property-based testing.
+//!
+//! Implements the subset of proptest's API this workspace uses — the
+//! [`strategy::Strategy`] trait, `any`, integer/float ranges, `Just`,
+//! tuples, `collection::vec`, a character-class subset of `string_regex`,
+//! and the `proptest!`/`prop_oneof!`/`prop_assert!` macros. Unlike real
+//! proptest there is no shrinking and no persistence: each test derives a
+//! fixed RNG seed from its own name, so every run (local or CI) executes
+//! the identical case sequence and failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+
+    /// Deterministic generator (xorshift64*), seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a stable string (FNV-1a hash of the test name).
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `[lo, hi)` (`lo < hi`).
+        pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            assert!(lo < hi, "empty range");
+            let span = hi - lo;
+            lo + self.next_u64() % span
+        }
+
+        /// Uniform value in `[lo, hi]`.
+        pub fn range_inclusive_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            assert!(lo <= hi, "empty range");
+            if lo == 0 && hi == u64::MAX {
+                return self.next_u64();
+            }
+            lo + self.next_u64() % (hi - lo + 1)
+        }
+
+        /// Uniform float in `[lo, hi)`.
+        pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+            let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            lo + (hi - lo) * unit
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Object safe: `Box<dyn Strategy<Value = V>>` is itself a strategy,
+    /// which is what `prop_oneof!` builds on.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from a non-empty set of alternatives.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.range_u64(0, self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    /// Marker for types with a canonical `any::<T>()` strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),+) => {
+            $(impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            })+
+        };
+    }
+    arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+            let mut out = [0u8; N];
+            for b in &mut out {
+                *b = rng.next_u64() as u8;
+            }
+            out
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    /// Canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),+) => {
+            $(
+                impl Strategy for std::ops::Range<$t> {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.range_u64(self.start as u64, self.end as u64) as $t
+                    }
+                }
+
+                impl Strategy for std::ops::RangeInclusive<$t> {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.range_inclusive_u64(*self.start() as u64, *self.end() as u64) as $t
+                    }
+                }
+            )+
+        };
+    }
+    range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.range_f64(self.start, self.end)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))+) => {
+            $(
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+
+                    #[allow(non_snake_case)]
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        let ($($name,)+) = self;
+                        ($($name.generate(rng),)+)
+                    }
+                }
+            )+
+        };
+    }
+    tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// A string literal is a regex strategy (proptest parity).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let pat = crate::string::RegexStrategy::parse(self)
+                .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"));
+            pat.generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Vectors of `elem`, length uniform in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.range_u64(self.size.start as u64, self.size.end as u64) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Error from [`string_regex`] on unsupported patterns.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Strings matching a regex subset: literal chars, `[...]` classes
+    /// (with ranges and a trailing/leading literal `-`), and `{m,n}` /
+    /// `{n}` quantifiers.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        RegexStrategy::parse(pattern)
+    }
+
+    /// One pattern atom with its repetition bounds.
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Compiled pattern: a sequence of repeated character classes.
+    pub struct RegexStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl RegexStrategy {
+        pub(crate) fn parse(pattern: &str) -> Result<RegexStrategy, Error> {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut atoms = Vec::new();
+            let mut i = 0;
+            while i < chars.len() {
+                let class = match chars[i] {
+                    '[' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == ']')
+                            .ok_or_else(|| Error("unterminated class".into()))?
+                            + i;
+                        let set = parse_class(&chars[i + 1..close])?;
+                        i = close + 1;
+                        set
+                    }
+                    '\\' => {
+                        i += 1;
+                        let c = *chars
+                            .get(i)
+                            .ok_or_else(|| Error("dangling escape".into()))?;
+                        i += 1;
+                        vec![c]
+                    }
+                    c if "(){}|*+?^$.".contains(c) => {
+                        return Err(Error(format!("unsupported regex construct {c:?}")));
+                    }
+                    c => {
+                        i += 1;
+                        vec![c]
+                    }
+                };
+                let (min, max) = if i < chars.len() && chars[i] == '{' {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or_else(|| Error("unterminated quantifier".into()))?
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => {
+                            let lo = lo.trim().parse().map_err(|_| Error("bad bound".into()))?;
+                            let hi = hi.trim().parse().map_err(|_| Error("bad bound".into()))?;
+                            (lo, hi)
+                        }
+                        None => {
+                            let n = body.trim().parse().map_err(|_| Error("bad bound".into()))?;
+                            (n, n)
+                        }
+                    }
+                } else {
+                    (1, 1)
+                };
+                if class.is_empty() {
+                    return Err(Error("empty character class".into()));
+                }
+                atoms.push(Atom {
+                    chars: class,
+                    min,
+                    max,
+                });
+            }
+            Ok(RegexStrategy { atoms })
+        }
+    }
+
+    fn parse_class(body: &[char]) -> Result<Vec<char>, Error> {
+        let mut set = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            let c = if body[i] == '\\' {
+                i += 1;
+                *body.get(i).ok_or_else(|| Error("dangling escape".into()))?
+            } else {
+                body[i]
+            };
+            // `a-z` range iff `-` sits between two members; a leading or
+            // trailing `-` is a literal.
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let hi = body[i + 2];
+                if (c as u32) > (hi as u32) {
+                    return Err(Error(format!("inverted range {c}-{hi}")));
+                }
+                for v in (c as u32)..=(hi as u32) {
+                    set.push(char::from_u32(v).ok_or_else(|| Error("bad range".into()))?);
+                }
+                i += 3;
+            } else {
+                set.push(c);
+                i += 1;
+            }
+        }
+        set.sort_unstable();
+        set.dedup();
+        Ok(set)
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = rng.range_inclusive_u64(atom.min as u64, atom.max as u64) as usize;
+                for _ in 0..n {
+                    let idx = rng.range_u64(0, atom.chars.len() as u64) as usize;
+                    out.push(atom.chars[idx]);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define deterministic property tests.
+///
+/// Supports the proptest forms this workspace uses: an optional
+/// `#![proptest_config(...)]` header and `fn name(arg in strategy, ...)`
+/// items carrying outer attributes (`#[test]`, doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Uniform choice among strategy arms (all yielding the same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert within a property (plain `assert!`; no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (10u32..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (1u8..=8).generate(&mut rng);
+            assert!((1..=8).contains(&w));
+            let f = (100.0f64..10_000.0).generate(&mut rng);
+            assert!((100.0..10_000.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_regex_subset() {
+        let mut rng = TestRng::from_name("regex");
+        let strat = crate::string::string_regex("[a-z][a-z0-9-]{0,30}").unwrap();
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 31);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+        let printable = crate::string::string_regex("[ -~]{0,120}").unwrap();
+        for _ in 0..100 {
+            let s = printable.generate(&mut rng);
+            assert!(s.len() <= 120);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let strat = prop_oneof![Just(1u32), Just(2u32), (5u32..7)];
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!([1, 2, 5, 6].contains(&v));
+        }
+        let mapped = (1u32..4, any::<bool>()).prop_map(|(n, b)| if b { n * 10 } else { n });
+        for _ in 0..100 {
+            let v = mapped.generate(&mut rng);
+            assert!([1, 2, 3, 10, 20, 30].contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires arguments, config, and assertions together.
+        #[test]
+        fn macro_smoke(a in 0u64..100, b in any::<bool>()) {
+            prop_assert!(a < 100);
+            if b {
+                prop_assert_eq!(a, a);
+            }
+        }
+    }
+}
