@@ -1,4 +1,7 @@
-//! Regenerates Figure 17 of the Vroom paper. `--sites N` caps the corpus.
+//! Regenerates Figure 17 of the Vroom paper, extended with a row whose
+//! staleness is injected through the fault layer's hint-corruption knob
+//! (`FaultPlan::hint_corruption_only`) rather than a separate resolver
+//! strategy. `--sites N` caps the corpus.
 
 #![forbid(unsafe_code)]
 

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 use vroom_html::Url;
+use vroom_net::fault::{FaultPlan, RetryBudget};
 use vroom_sim::SimDuration;
 
 /// The HTTP version in use between the client and every server.
@@ -126,6 +127,14 @@ pub struct LoadConfig {
     /// independently to build the Vroom+Polaris hybrid the paper's §6.1
     /// sketches as future work.
     pub fine_grained_dependencies: bool,
+    /// Injected fault schedule. Inactive plans keep the engine on its
+    /// fault-free fast path: no timers, no extra events, byte-identical
+    /// behaviour to an engine without fault support.
+    pub fault: FaultPlan,
+    /// Per-request timeout / capped-backoff / retry budget. Only armed
+    /// while `fault` is active — the simulated network cannot fail
+    /// spontaneously, so fault-free loads never time out by construction.
+    pub retry: RetryBudget,
 }
 
 impl Default for LoadConfig {
@@ -142,6 +151,8 @@ impl Default for LoadConfig {
             stage_transition_cost: SimDuration::from_millis(5),
             ordered_responses: false,
             fine_grained_dependencies: false,
+            fault: FaultPlan::none(),
+            retry: RetryBudget::standard(),
         }
     }
 }

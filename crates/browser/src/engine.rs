@@ -45,14 +45,24 @@ impl Target {
 }
 
 /// Simulation events.
+///
+/// Connection events carry the connection's `epoch` (incremented each time
+/// an injected drop resets the socket) so events addressed to a dead
+/// incarnation are discarded instead of corrupting its replacement. On
+/// fault-free loads every epoch is zero and the guards are no-ops.
 #[derive(Debug)]
 enum Ev {
     /// A connection to a domain finished its handshake.
-    ConnReady { domain: String, conn: usize },
+    ConnReady {
+        domain: String,
+        conn: usize,
+        epoch: u32,
+    },
     /// A request reached the server.
     ServerArrival {
         domain: String,
         conn: usize,
+        epoch: u32,
         target: Target,
     },
     /// The shared link predicts its next transfer completion here.
@@ -61,6 +71,21 @@ enum Ev {
     HeadersArrive { target: Target },
     /// A response's last byte reached the client.
     ResponseDelivered { target: Target },
+    /// A response died mid-body: the server sent a well-formed RST_STREAM
+    /// after a truncated payload, and the client just noticed.
+    ResponseFailed { target: Target },
+    /// An injected fault kills a connection (GOAWAY semantics): every
+    /// stream it carried is lost; the client reconnects and retries.
+    ConnDropped {
+        domain: String,
+        conn: usize,
+        epoch: u32,
+    },
+    /// Per-request timeout: attempt `attempt` at fetching `id` has run out
+    /// of patience; the client resets the stream and backs off.
+    FetchTimeout { id: ResourceId, attempt: u32 },
+    /// A backed-off retry fires.
+    Retry { id: ResourceId },
     /// The CPU finished its current task.
     CpuDone,
     /// The parser reached the document position of a child resource.
@@ -69,7 +94,11 @@ enum Ev {
     StageOpen { tier: u8 },
     /// A connection finished its slow-start tail and can carry the next
     /// response.
-    ConnFree { domain: String, conn: usize },
+    ConnFree {
+        domain: String,
+        conn: usize,
+        epoch: u32,
+    },
     /// An image/font/media resource finished decoding (off the main
     /// thread — raster/compositor work does not contend with JS).
     DecodeDone { id: ResourceId },
@@ -132,6 +161,18 @@ struct RState {
     from_cache: bool,
     pushed: bool,
     in_flight: bool,
+    /// Fetch attempts started (1 on the first request; only grows under an
+    /// active fault plan).
+    attempts: u32,
+    /// A previous attempt failed and a backed-off retry is (or was)
+    /// pending. Retrying resources never gate stage transitions — the
+    /// degradation rule that keeps the critical path off a flaky push.
+    retrying: bool,
+    /// When the first attempt was issued — `requested` is cleared between
+    /// attempts, but the trace reports the original request time.
+    first_requested: Option<SimTime>,
+    /// Retry budget exhausted; onload degrades around this resource.
+    failed: bool,
 }
 
 /// TCP initial congestion window (10 MSS, RFC 6928).
@@ -150,6 +191,8 @@ struct Conn {
     /// responses — the classic HTTP/1.1 tax that HTTP/2's single long-lived
     /// connection amortizes away.
     cwnd: f64,
+    /// Incarnation counter; bumped when an injected drop resets the socket.
+    epoch: u32,
 }
 
 impl Conn {
@@ -160,6 +203,7 @@ impl Conn {
             response_queue: VecDeque::new(),
             sending: false,
             cwnd: INITIAL_CWND,
+            epoch: 0,
         }
     }
 
@@ -207,6 +251,21 @@ impl Cpu {
     }
 }
 
+/// One response currently occupying the shared link.
+#[derive(Debug)]
+struct Flight {
+    domain: String,
+    conn: usize,
+    /// Unordered (multiplexed) path: the target delivered on completion.
+    /// `None` on the ordered path, where the connection queue's head is
+    /// the target.
+    direct: Option<Target>,
+    /// Slow-start tail added to the delivery.
+    penalty: SimDuration,
+    /// Injected fault: the body stops early and the stream is reset.
+    truncated: bool,
+}
+
 /// The engine: loads one page under one configuration.
 pub struct BrowserEngine;
 
@@ -228,7 +287,7 @@ struct Sim<'a> {
     url_index: BTreeMap<Url, ResourceId>,
     rstate: Vec<RState>,
     domains: BTreeMap<String, DomainState>,
-    transfers: BTreeMap<TransferId, (String, usize, Option<Target>, SimDuration)>,
+    transfers: BTreeMap<TransferId, Flight>,
     cpu: Cpu,
     html: BTreeMap<ResourceId, HtmlParse>,
     /// Hinted URLs by tier, in arrival order, not yet requested.
@@ -238,6 +297,9 @@ struct Sim<'a> {
     stage_outstanding: Vec<Url>,
     current_stage: u8,
     stage_kick_queued: bool,
+    /// Whether the configured fault plan can inject anything; caches
+    /// `cfg.fault.is_active()` so the fault-free fast path stays cheap.
+    fault_active: bool,
     /// Accounting.
     last_event: SimTime,
     network_pending: usize,
@@ -246,6 +308,10 @@ struct Sim<'a> {
     useful_bytes: u64,
     wasted_bytes: u64,
     cache_hits: usize,
+    rst_streams: usize,
+    goaways: usize,
+    retries: usize,
+    timeouts: usize,
     paints: Vec<(SimTime, f64)>,
     finished: bool,
     plt: SimTime,
@@ -262,13 +328,18 @@ impl<'a> Sim<'a> {
             .iter()
             .map(|r| (r.url.clone(), r.id))
             .collect();
+        let fault_active = cfg.fault.is_active();
+        let mut link = SharedLink::new(profile.downlink_bps);
+        if fault_active {
+            link.set_capacity_schedule(cfg.fault.capacity_windows());
+        }
         Sim {
             page,
             cfg,
             profile,
             now: SimTime::ZERO,
             queue: EventQueue::new(),
-            link: SharedLink::new(profile.downlink_bps),
+            link,
             link_tick_at: None,
             url_index,
             rstate: vec![RState::default(); page.len()],
@@ -284,6 +355,7 @@ impl<'a> Sim<'a> {
             stage_outstanding: Vec::new(),
             current_stage: 0,
             stage_kick_queued: false,
+            fault_active,
             last_event: SimTime::ZERO,
             network_pending: 0,
             cpu_busy: SimDuration::ZERO,
@@ -291,6 +363,10 @@ impl<'a> Sim<'a> {
             useful_bytes: 0,
             wasted_bytes: 0,
             cache_hits: 0,
+            rst_streams: 0,
+            goaways: 0,
+            retries: 0,
+            timeouts: 0,
             paints: Vec::new(),
             finished: false,
             plt: SimTime::ZERO,
@@ -326,11 +402,33 @@ impl<'a> Sim<'a> {
         assert!(
             self.finished,
             "load stalled: queue drained before onload \
-             (fetched {}/{} processed {}/{})",
+             (fetched {}/{} processed {}/{}); stuck: {:?}",
             self.rstate.iter().filter(|r| r.fetched.is_some()).count(),
             self.page.len(),
             self.rstate.iter().filter(|r| r.processed.is_some()).count(),
             self.page.len(),
+            self.rstate
+                .iter()
+                .enumerate()
+                .filter(|(id, st)| {
+                    let settled = st.discovered.is_none()
+                        || st.failed
+                        || (st.fetched.is_some()
+                            && (st.processed.is_some() || self.cfg.disable_processing));
+                    !settled && *id < usize::MAX
+                })
+                .map(|(id, st)| {
+                    format!(
+                        "#{id} {:?} req={:?} fetched={} inflight={} retrying={} attempts={}",
+                        self.page.resources[id].kind,
+                        st.requested,
+                        st.fetched.is_some(),
+                        st.in_flight,
+                        st.retrying,
+                        st.attempts,
+                    )
+                })
+                .collect::<Vec<_>>(),
         );
         self.result()
     }
@@ -456,7 +554,13 @@ impl<'a> Sim<'a> {
 
     fn url_fetched(&self, url: &Url) -> bool {
         match self.url_index.get(url) {
-            Some(&id) => self.rstate[id].fetched.is_some(),
+            // A target counts as drained once fetched — or once it is
+            // failed or merely *retrying*: a stage transition (the critical
+            // path of every later tier) never waits on a flaky fetch.
+            Some(&id) => {
+                let st = &self.rstate[id];
+                st.fetched.is_some() || st.failed || st.retrying
+            }
             // Waste fetches: fetched when no longer in flight. We track them
             // by absence: a waste target is outstanding only while a
             // transfer carries it; simplest is to consider it fetched when
@@ -476,7 +580,7 @@ impl<'a> Sim<'a> {
             || self
                 .transfers
                 .values()
-                .any(|(_, _, t, _)| matches!(t, Some(Target::Waste { url: u, .. }) if u == url))
+                .any(|f| matches!(&f.direct, Some(Target::Waste { url: u, .. }) if u == url))
     }
 
     // -------------------------------------------------------------- fetching
@@ -484,7 +588,7 @@ impl<'a> Sim<'a> {
     fn request(&mut self, target: Target) {
         if let Target::Real(id) = target {
             let st = &mut self.rstate[id];
-            if st.requested.is_some() || st.fetched.is_some() {
+            if st.requested.is_some() || st.fetched.is_some() || st.failed {
                 return;
             }
             // Cache?
@@ -502,6 +606,13 @@ impl<'a> Sim<'a> {
             if self.cfg.zero_network {
                 self.finish_fetch(Target::Real(id));
                 return;
+            }
+            if self.fault_active {
+                st.attempts += 1;
+                let attempt = st.attempts;
+                let deadline = self.now + self.cfg.retry.timeout;
+                self.queue
+                    .schedule(deadline, Ev::FetchTimeout { id, attempt });
             }
         } else if self.cfg.zero_network {
             return; // nothing to waste when the network is free
@@ -537,17 +648,25 @@ impl<'a> Sim<'a> {
                 if ds.conns.is_empty() {
                     ds.conns.push(Conn::new());
                     ds.pending.push_back(target);
-                    self.queue
-                        .schedule(self.now + setup, Ev::ConnReady { domain, conn: 0 });
+                    self.queue.schedule(
+                        self.now + setup,
+                        Ev::ConnReady {
+                            domain,
+                            conn: 0,
+                            epoch: 0,
+                        },
+                    );
                 } else if !ds.conns[0].ready {
                     ds.pending.push_back(target);
                 } else {
+                    let epoch = ds.conns[0].epoch;
                     let ow = self.profile.latency.one_way(&domain);
                     self.queue.schedule(
                         self.now + ow,
                         Ev::ServerArrival {
                             domain,
                             conn: 0,
+                            epoch,
                             target,
                         },
                     );
@@ -561,8 +680,14 @@ impl<'a> Sim<'a> {
                 if !free && ds.conns.len() < limit {
                     ds.conns.push(Conn::new());
                     let conn = ds.conns.len() - 1;
-                    self.queue
-                        .schedule(self.now + setup, Ev::ConnReady { domain, conn });
+                    self.queue.schedule(
+                        self.now + setup,
+                        Ev::ConnReady {
+                            domain,
+                            conn,
+                            epoch: 0,
+                        },
+                    );
                 } else if free {
                     self.h1_dispatch(&domain);
                 }
@@ -596,12 +721,14 @@ impl<'a> Sim<'a> {
             };
             let target = ds.pending.remove(pick).expect("non-empty");
             ds.conns[conn_idx].busy = true;
+            let epoch = ds.conns[conn_idx].epoch;
             let ow = self.profile.latency.one_way(domain);
             self.queue.schedule(
                 self.now + ow,
                 Ev::ServerArrival {
                     domain: domain.to_string(),
                     conn: conn_idx,
+                    epoch,
                     target,
                 },
             );
@@ -838,8 +965,18 @@ impl<'a> Sim<'a> {
             return;
         };
         let js = *js;
+        let css_deps = css_deps.clone();
+        if self.rstate[js].failed {
+            // Degradation: a script whose every fetch attempt failed cannot
+            // block its parser forever — skip execution, resume parsing.
+            self.html.get_mut(&html_id).expect("exists").blocked = false;
+            self.continue_parse(html_id);
+            return;
+        }
         let ready = self.rstate[js].fetched.is_some()
-            && css_deps.iter().all(|&c| self.rstate[c].processed.is_some());
+            && css_deps
+                .iter()
+                .all(|&c| self.rstate[c].processed.is_some() || self.rstate[c].failed);
         if !ready {
             return;
         }
@@ -1032,11 +1169,35 @@ impl<'a> Sim<'a> {
 
     // -------------------------------------------------------------- done/link
 
+    /// Whether some ancestor document/script of `id` exhausted its retry
+    /// budget. Such a resource may still have been pushed and fetched, but
+    /// the machinery that would process it (its document's parser, its
+    /// parent's evaluation) will never run.
+    fn ancestor_failed(&self, id: ResourceId) -> bool {
+        let mut cur = self.page.resources[id].parent;
+        while let Some(p) = cur {
+            if self.rstate[p].failed {
+                return true;
+            }
+            cur = self.page.resources[p].parent;
+        }
+        false
+    }
+
     fn check_done(&mut self) {
         if self.finished {
             return;
         }
         let all_done = self.rstate.iter().enumerate().all(|(id, st)| {
+            // A resource the load never surfaced (e.g. the child of a
+            // failed script) cannot gate onload; neither can a resource
+            // whose retry budget is spent — real browsers fire onload
+            // around failed subresources. A resource below a failed
+            // document is orphaned even if a push delivered its bytes:
+            // nothing will ever execute it.
+            if st.discovered.is_none() || st.failed || self.ancestor_failed(id) {
+                return true;
+            }
             let fetched = st.fetched.is_some();
             let processed = st.processed.is_some()
                 || self.cfg.disable_processing
@@ -1062,6 +1223,26 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// Injected truncation: how many bytes of `target` actually cross the
+    /// link on this attempt, and whether the stream dies after them.
+    fn faulted_size(&self, target: &Target) -> (u64, bool) {
+        let full = target.size(self.page);
+        if !self.fault_active {
+            return (full, false);
+        }
+        let (url, attempt) = match target {
+            Target::Real(id) => (
+                self.page.resources[*id].url.to_string(),
+                self.rstate[*id].attempts.max(1),
+            ),
+            Target::Waste { url, .. } => (url.to_string(), 1),
+        };
+        match self.cfg.fault.truncation(&url, attempt) {
+            Some(frac) => (((full as f64 * frac) as u64).max(1), true),
+            None => (full, false),
+        }
+    }
+
     fn start_next_response(&mut self, domain: &str, conn: usize) {
         let Some(ds) = self.domains.get_mut(domain) else {
             return;
@@ -1073,17 +1254,25 @@ impl<'a> Sim<'a> {
         let Some(head) = c.response_queue.front() else {
             return;
         };
-        let size = head.size(self.page);
-        c.sending = true;
         let head = head.clone();
+        let (size, truncated) = self.faulted_size(&head);
         let rtt = self.profile.latency.rtt(domain);
         let penalty = {
             let c = &mut self.domains.get_mut(domain).expect("exists").conns[conn];
+            c.sending = true;
             c.slow_start_penalty(size, rtt)
         };
         let (tid, completed) = self.link.start(self.now, size);
-        self.transfers
-            .insert(tid, (domain.to_string(), conn, None, penalty));
+        self.transfers.insert(
+            tid,
+            Flight {
+                domain: domain.to_string(),
+                conn,
+                direct: None,
+                penalty,
+                truncated,
+            },
+        );
         // Headers (and their hints) reach the client one propagation delay
         // after the response starts.
         let ow = self.profile.latency.one_way(domain);
@@ -1097,7 +1286,7 @@ impl<'a> Sim<'a> {
     /// all sharing the link concurrently — stock server behaviour, as
     /// opposed to the ordered serving Vroom's modified replay server uses.
     fn start_response_unordered(&mut self, domain: &str, conn: usize, target: Target) {
-        let size = target.size(self.page);
+        let (size, truncated) = self.faulted_size(&target);
         let rtt = self.profile.latency.rtt(domain);
         let penalty = {
             let c = &mut self.domains.get_mut(domain).expect("exists").conns[conn];
@@ -1111,29 +1300,52 @@ impl<'a> Sim<'a> {
                 target: target.clone(),
             },
         );
-        self.transfers
-            .insert(tid, (domain.to_string(), conn, Some(target), penalty));
+        self.transfers.insert(
+            tid,
+            Flight {
+                domain: domain.to_string(),
+                conn,
+                direct: Some(target),
+                penalty,
+                truncated,
+            },
+        );
         self.on_link_completions(completed);
         self.reschedule_link_tick();
     }
 
     fn on_link_completions(&mut self, completed: Vec<TransferId>) {
         for tid in completed {
-            let Some((domain, conn, direct, penalty)) = self.transfers.remove(&tid) else {
+            let Some(flight) = self.transfers.remove(&tid) else {
                 continue;
             };
+            let Flight {
+                domain,
+                conn,
+                direct,
+                penalty,
+                truncated,
+            } = flight;
             let ow = self.profile.latency.one_way(&domain) + penalty;
+            let deliver = |target: Target| {
+                if truncated {
+                    // The body stopped early; the server's RST_STREAM
+                    // reaches the client one propagation delay later.
+                    Ev::ResponseFailed { target }
+                } else {
+                    Ev::ResponseDelivered { target }
+                }
+            };
             if let Some(target) = direct {
                 // Unordered path: nothing queued on the connection.
-                self.queue
-                    .schedule(self.now + ow, Ev::ResponseDelivered { target });
+                self.queue.schedule(self.now + ow, deliver(target));
                 continue;
             }
             let ds = self.domains.get_mut(&domain).expect("domain exists");
             let c = &mut ds.conns[conn];
+            let epoch = c.epoch;
             let target = c.response_queue.pop_front().expect("head existed");
-            self.queue
-                .schedule(self.now + ow, Ev::ResponseDelivered { target });
+            self.queue.schedule(self.now + ow, deliver(target));
             // The connection stays occupied through its slow-start tail:
             // a cold connection genuinely cannot carry the next response
             // until the extra round trips have elapsed.
@@ -1142,16 +1354,20 @@ impl<'a> Sim<'a> {
                 Ev::ConnFree {
                     domain: domain.clone(),
                     conn,
+                    epoch,
                 },
             );
         }
     }
 
-    fn on_conn_free(&mut self, domain: String, conn: usize) {
+    fn on_conn_free(&mut self, domain: String, conn: usize, epoch: u32) {
         let Some(ds) = self.domains.get_mut(&domain) else {
             return;
         };
         let c = &mut ds.conns[conn];
+        if c.epoch != epoch {
+            return; // addressed to a dead incarnation
+        }
         c.sending = false;
         c.busy = false;
         if matches!(self.cfg.http, HttpVersion::H1 { .. }) {
@@ -1161,15 +1377,253 @@ impl<'a> Sim<'a> {
         }
     }
 
+    // ------------------------------------------------------ fault recovery
+
+    /// Credit link progress up to `now` (delivering anything that made it)
+    /// before surgery on in-flight transfers. Idempotent at one instant.
+    fn sync_link(&mut self) {
+        let completed = self.link.advance(self.now);
+        self.on_link_completions(completed);
+    }
+
+    /// A fetch attempt for `id` died (RST_STREAM, GOAWAY, or timeout).
+    /// Back off and retry while the budget allows; degrade otherwise.
+    fn retry_or_fail(&mut self, id: ResourceId) {
+        let st = &mut self.rstate[id];
+        if st.fetched.is_some() || st.failed {
+            return;
+        }
+        st.first_requested = st.first_requested.or(st.requested);
+        st.requested = None;
+        st.in_flight = false;
+        if self.cfg.retry.allows(st.attempts) {
+            st.retrying = true;
+            let backoff = self.cfg.retry.backoff(st.attempts);
+            self.retries += 1;
+            self.queue.schedule(self.now + backoff, Ev::Retry { id });
+        } else {
+            self.mark_failed(id);
+        }
+        if self.cfg.fetch_policy == FetchPolicy::VroomStaged {
+            self.maybe_kick_stage();
+        }
+    }
+
+    /// Retry budget exhausted: settle the resource as failed and unblock
+    /// anything that was waiting on it so the load still terminates.
+    fn mark_failed(&mut self, id: ResourceId) {
+        let st = &mut self.rstate[id];
+        if st.failed || st.fetched.is_some() {
+            return;
+        }
+        st.failed = true;
+        if let Some(html) = self.blocking_parser_of(id) {
+            self.try_unblock_parser(html);
+        }
+        if self.page.resources[id].kind == ResourceKind::Css {
+            // Scripts gated on this stylesheet must not wait forever.
+            self.on_css_processed();
+        }
+        self.check_done();
+    }
+
+    /// A target riding a killed connection (queued response, in-flight
+    /// stream, or request that arrived after the GOAWAY) is lost.
+    fn fail_inflight_target(&mut self, target: Target) {
+        self.network_pending = self.network_pending.saturating_sub(1);
+        match target {
+            Target::Real(id) => {
+                self.rstate[id].in_flight = false;
+                self.retry_or_fail(id);
+            }
+            Target::Waste { size, .. } => {
+                // Degradation: a wasted (false-positive) fetch is simply
+                // abandoned — never retried.
+                self.wasted_bytes += size;
+                if self.cfg.fetch_policy == FetchPolicy::VroomStaged {
+                    self.maybe_kick_stage();
+                }
+            }
+        }
+    }
+
+    /// Injected connection drop: GOAWAY semantics. Every stream the
+    /// connection carried is lost; the socket re-handshakes with a bumped
+    /// epoch (replacement connections are never re-dropped, so every load
+    /// terminates).
+    fn on_conn_dropped(&mut self, domain: String, conn: usize, epoch: u32) {
+        {
+            let Some(ds) = self.domains.get_mut(&domain) else {
+                return;
+            };
+            let c = &mut ds.conns[conn];
+            if c.epoch != epoch || !c.ready {
+                return;
+            }
+        }
+        self.goaways += 1;
+        self.sync_link();
+        // Cancel whatever this connection still has on the link.
+        let tids: Vec<TransferId> = self
+            .transfers
+            .iter()
+            .filter(|(_, f)| f.domain == domain && f.conn == conn)
+            .map(|(&tid, _)| tid)
+            .collect();
+        let mut lost: Vec<Target> = Vec::new();
+        for tid in tids {
+            let flight = self.transfers.remove(&tid).expect("collected above");
+            self.link.cancel(tid);
+            if let Some(target) = flight.direct {
+                lost.push(target);
+            }
+            // direct == None: the ordered head — drained with the queue below.
+        }
+        let ds = self.domains.get_mut(&domain).expect("checked above");
+        let c = &mut ds.conns[conn];
+        lost.extend(c.response_queue.drain(..));
+        c.epoch += 1;
+        c.ready = false;
+        c.busy = false;
+        c.sending = false;
+        c.cwnd = INITIAL_CWND;
+        let new_epoch = c.epoch;
+        for target in lost {
+            self.fail_inflight_target(target);
+        }
+        // Reconnect: DNS is warm, only transport setup is paid again.
+        let setup = self.profile.latency.connection_setup(&domain, true);
+        self.queue.schedule(
+            self.now + setup,
+            Ev::ConnReady {
+                domain,
+                conn,
+                epoch: new_epoch,
+            },
+        );
+        self.reschedule_link_tick();
+    }
+
+    /// Per-request timeout. If the attempt's artifact is somewhere we can
+    /// abort (a queue or the link), reset it and back off. If it is mid-
+    /// propagation (request or response in flight between structures),
+    /// re-check shortly — it must land in a structure or deliver.
+    fn on_fetch_timeout(&mut self, id: ResourceId, attempt: u32) {
+        let st = &self.rstate[id];
+        if st.fetched.is_some() || st.failed || st.attempts != attempt || st.requested.is_none() {
+            return;
+        }
+        self.sync_link();
+        if self.rstate[id].fetched.is_some() {
+            return; // delivery beat the timeout at this very instant
+        }
+        if self.abort_real_target(id) {
+            self.timeouts += 1;
+            self.rst_streams += 1;
+            self.network_pending = self.network_pending.saturating_sub(1);
+            self.retry_or_fail(id);
+        } else {
+            self.queue.schedule(
+                self.now + SimDuration::from_millis(100),
+                Ev::FetchTimeout { id, attempt },
+            );
+        }
+    }
+
+    /// Find and remove the in-flight artifact of `id`'s current attempt.
+    /// Returns whether anything was removed (the caller settles accounting).
+    fn abort_real_target(&mut self, id: ResourceId) -> bool {
+        let is_me = |t: &Target| matches!(t, Target::Real(i) if *i == id);
+        // 1. Waiting for a connection (H1 pool / H2 handshake).
+        for ds in self.domains.values_mut() {
+            if let Some(pos) = ds.pending.iter().position(is_me) {
+                ds.pending.remove(pos);
+                return true;
+            }
+        }
+        // 2. Queued or sending on a connection (ordered path).
+        let mut found: Option<(String, usize, usize, bool)> = None;
+        'outer: for (domain, ds) in self.domains.iter() {
+            for (ci, c) in ds.conns.iter().enumerate() {
+                if let Some(pos) = c.response_queue.iter().position(is_me) {
+                    found = Some((domain.clone(), ci, pos, pos == 0 && c.sending));
+                    break 'outer;
+                }
+            }
+        }
+        if let Some((domain, ci, pos, on_link)) = found {
+            if on_link {
+                // The head is mid-transfer: cancel its stream on the link.
+                let tid = self
+                    .transfers
+                    .iter()
+                    .find(|(_, f)| f.domain == domain && f.conn == ci && f.direct.is_none())
+                    .map(|(&tid, _)| tid);
+                if let Some(tid) = tid {
+                    self.transfers.remove(&tid);
+                    self.link.cancel(tid);
+                }
+                let ds = self.domains.get_mut(&domain).expect("exists");
+                let c = &mut ds.conns[ci];
+                c.response_queue.pop_front();
+                c.sending = false;
+                let epoch = c.epoch;
+                // The connection is free for the next response immediately:
+                // the client's RST releases the stream.
+                self.on_conn_free(domain, ci, epoch);
+                self.reschedule_link_tick();
+            } else {
+                let ds = self.domains.get_mut(&domain).expect("exists");
+                ds.conns[ci].response_queue.remove(pos);
+            }
+            return true;
+        }
+        // 3. A multiplexed transfer of its own.
+        let tid = self
+            .transfers
+            .iter()
+            .find(|(_, f)| f.direct.as_ref().is_some_and(is_me))
+            .map(|(&tid, _)| tid);
+        if let Some(tid) = tid {
+            self.transfers.remove(&tid);
+            self.link.cancel(tid);
+            self.reschedule_link_tick();
+            return true;
+        }
+        false
+    }
+
     // ----------------------------------------------------------------- events
 
     fn handle(&mut self, ev: Ev) {
         match ev {
-            Ev::ConnReady { domain, conn } => {
+            Ev::ConnReady {
+                domain,
+                conn,
+                epoch,
+            } => {
                 let Some(ds) = self.domains.get_mut(&domain) else {
                     return;
                 };
+                if ds.conns[conn].epoch != epoch {
+                    return; // superseded incarnation
+                }
                 ds.conns[conn].ready = true;
+                // Fate the connection at handshake time: only first
+                // incarnations may drop, so reconnects always survive.
+                if self.fault_active && epoch == 0 {
+                    if let Some(delay) = self.cfg.fault.conn_drop(&domain, conn) {
+                        self.queue.schedule(
+                            self.now + delay,
+                            Ev::ConnDropped {
+                                domain: domain.clone(),
+                                conn,
+                                epoch,
+                            },
+                        );
+                    }
+                }
+                let ds = self.domains.get_mut(&domain).expect("checked above");
                 match self.cfg.http {
                     HttpVersion::H2 => {
                         let pending: Vec<Target> = ds.pending.drain(..).collect();
@@ -1180,6 +1634,7 @@ impl<'a> Sim<'a> {
                                 Ev::ServerArrival {
                                     domain: domain.clone(),
                                     conn,
+                                    epoch,
                                     target,
                                 },
                             );
@@ -1193,8 +1648,20 @@ impl<'a> Sim<'a> {
             Ev::ServerArrival {
                 domain,
                 conn,
+                epoch,
                 target,
             } => {
+                // The request rode a connection that has since been torn
+                // down: it died with the socket.
+                let alive = self
+                    .domains
+                    .get(&domain)
+                    .map(|ds| ds.conns[conn].epoch == epoch && ds.conns[conn].ready)
+                    .unwrap_or(false);
+                if !alive {
+                    self.fail_inflight_target(target);
+                    return;
+                }
                 // The server enqueues the response — and, for HTML under
                 // HTTP/2, pushes same-domain dependencies right behind it.
                 let mut to_push: Vec<Hint> = Vec::new();
@@ -1245,6 +1712,17 @@ impl<'a> Sim<'a> {
                             size: p.size_hint,
                         },
                     };
+                    if self.fault_active {
+                        if let Target::Real(id) = &push_target {
+                            let id = *id;
+                            self.rstate[id].attempts += 1;
+                            let attempt = self.rstate[id].attempts;
+                            self.queue.schedule(
+                                self.now + self.cfg.retry.timeout,
+                                Ev::FetchTimeout { id, attempt },
+                            );
+                        }
+                    }
                     self.network_pending += 1;
                     let ordered = self.cfg.ordered_responses
                         || matches!(self.cfg.http, HttpVersion::H1 { .. });
@@ -1296,7 +1774,31 @@ impl<'a> Sim<'a> {
                 }
             }
             Ev::StageOpen { tier } => self.on_stage_open(tier),
-            Ev::ConnFree { domain, conn } => self.on_conn_free(domain, conn),
+            Ev::ConnFree {
+                domain,
+                conn,
+                epoch,
+            } => self.on_conn_free(domain, conn, epoch),
+            Ev::ResponseFailed { target } => {
+                // The stream died mid-body: RST_STREAM semantics. The
+                // partial bytes were delivered by the link but are useless.
+                self.rst_streams += 1;
+                self.fail_inflight_target(target);
+            }
+            Ev::ConnDropped {
+                domain,
+                conn,
+                epoch,
+            } => self.on_conn_dropped(domain, conn, epoch),
+            Ev::FetchTimeout { id, attempt } => self.on_fetch_timeout(id, attempt),
+            Ev::Retry { id } => {
+                let st = &mut self.rstate[id];
+                if st.fetched.is_some() || st.failed || st.requested.is_some() {
+                    return;
+                }
+                st.retrying = false;
+                self.request(Target::Real(id));
+            }
             Ev::DecodeDone { id } => {
                 self.rstate[id].processed = Some(self.now);
                 let children: Vec<ResourceId> = self.page.children(id).map(|c| c.id).collect();
@@ -1344,18 +1846,20 @@ impl<'a> Sim<'a> {
             covered += w;
             prev = *t;
         }
-        let resources = self
+        let resources: Vec<ResourceTiming> = self
             .rstate
             .iter()
             .map(|st| ResourceTiming {
                 discovered: st.discovered.unwrap_or(SimTime::ZERO),
-                requested: st.requested,
+                requested: st.first_requested.or(st.requested),
                 fetched: st.fetched.unwrap_or(self.plt),
                 processed: st.processed,
                 from_cache: st.from_cache,
                 pushed: st.pushed,
+                failed: st.failed,
             })
             .collect();
+        let failed_resources = resources.iter().filter(|r| r.failed).count();
         LoadResult {
             plt,
             aft,
@@ -1369,6 +1873,11 @@ impl<'a> Sim<'a> {
             useful_bytes: self.useful_bytes,
             wasted_bytes: self.wasted_bytes,
             cache_hits: self.cache_hits,
+            rst_streams: self.rst_streams,
+            goaways: self.goaways,
+            retries: self.retries,
+            timeouts: self.timeouts,
+            failed_resources,
             resources,
         }
     }

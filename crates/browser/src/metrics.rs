@@ -19,6 +19,8 @@ pub struct ResourceTiming {
     pub from_cache: bool,
     /// Whether it arrived via server push.
     pub pushed: bool,
+    /// Whether every attempt failed and the load degraded around it.
+    pub failed: bool,
 }
 
 /// Result of one simulated page load.
@@ -54,6 +56,18 @@ pub struct LoadResult {
     pub wasted_bytes: u64,
     /// Number of resources served from cache.
     pub cache_hits: usize,
+    /// RST_STREAM-equivalent events observed (truncated bodies, aborted
+    /// attempts). Zero on fault-free loads.
+    pub rst_streams: usize,
+    /// GOAWAY-equivalent events observed (dropped connections).
+    pub goaways: usize,
+    /// Fetch attempts beyond the first, across all resources.
+    pub retries: usize,
+    /// Attempts abandoned by the per-request timeout.
+    pub timeouts: usize,
+    /// Resources whose retry budget was exhausted; onload degraded
+    /// around them instead of stalling.
+    pub failed_resources: usize,
     /// Per-resource timings, indexed like `Page::resources`.
     pub resources: Vec<ResourceTiming>,
 }
@@ -149,6 +163,11 @@ mod tests {
             useful_bytes: 0,
             wasted_bytes: 0,
             cache_hits: 0,
+            rst_streams: 0,
+            goaways: 0,
+            retries: 0,
+            timeouts: 0,
+            failed_resources: 0,
             resources: vec![],
         };
         assert_eq!(r.network_wait_frac(), 0.0);

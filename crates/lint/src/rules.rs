@@ -1,4 +1,4 @@
-//! The six workspace rules. Each one works on lexed (comment- and
+//! The seven workspace rules. Each one works on lexed (comment- and
 //! literal-stripped) source, so string fixtures and docs never trigger it,
 //! and consults per-line waivers before reporting.
 
@@ -22,13 +22,14 @@ pub struct Violation {
 }
 
 /// All rule ids, in reporting order.
-pub const RULE_IDS: [&str; 7] = [
+pub const RULE_IDS: [&str; 8] = [
     "wall-clock",
     "unordered-iter",
     "ambient-randomness",
     "forbid-unsafe",
     "unwrap",
     "float-eq",
+    "retry-budget",
     "waiver-syntax",
 ];
 
@@ -95,6 +96,11 @@ pub fn check_file(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Violation>) {
     forbid_unsafe(file, lexed, &mut report);
     if crate_name.is_some_and(|c| PROTOCOL_CRATES.contains(&c)) && !file.is_test_file() {
         unwrap_ratchet(lexed, &test_lines, &mut report);
+    }
+    if crate_name.is_some_and(|c| PROTOCOL_CRATES.contains(&c) || SIM_PATH_CRATES.contains(&c))
+        && !file.is_test_file()
+    {
+        retry_budget(lexed, &test_lines, &mut report);
     }
     if file.is_metrics_code() && !file.is_test_file() {
         float_eq(lexed, &test_lines, &mut report);
@@ -213,6 +219,86 @@ fn unwrap_ratchet(
             }
         }
     }
+}
+
+/// Rule `retry-budget`: a `loop`/`while` body that issues requests or data
+/// frames must reference a retry budget or backoff. A bare retry loop spins
+/// forever on a faulted peer; `vroom_net::RetryBudget` bounds attempts and
+/// spaces them out.
+fn retry_budget(
+    lexed: &Lexed,
+    test_lines: &[bool],
+    report: &mut impl FnMut(&'static str, usize, String),
+) {
+    const FETCH_NEEDLES: [&str; 2] = ["send_request(", "send_data("];
+    const BUDGET_NEEDLES: [&str; 3] = ["RetryBudget", "backoff", ".allows("];
+    for (start_line, body) in loop_bodies(&lexed.code) {
+        if test_lines.get(start_line - 1).copied().unwrap_or(false) {
+            continue;
+        }
+        // Innermost-only: if a nested loop inside this body holds the fetch
+        // call, the inner block is the one that must carry the budget.
+        let past_open = body.find('{').map(|i| i + 1).unwrap_or(0);
+        if loop_bodies(&body[past_open..])
+            .iter()
+            .any(|(_, inner)| FETCH_NEEDLES.iter().any(|n| inner.contains(n)))
+        {
+            continue;
+        }
+        let fetches = FETCH_NEEDLES.iter().find(|n| body.contains(*n));
+        let budgeted = BUDGET_NEEDLES.iter().any(|n| body.contains(n));
+        if let (Some(needle), false) = (fetches, budgeted) {
+            report(
+                "retry-budget",
+                start_line,
+                format!(
+                    "bare retry loop: `{}` inside a loop with no RetryBudget/backoff in \
+                     sight can spin forever against a faulted peer; thread a \
+                     vroom_net::RetryBudget through it (ratcheted: pre-existing sites \
+                     are baselined, new ones are rejected)",
+                    needle.trim_end_matches('(')
+                ),
+            );
+        }
+    }
+}
+
+/// Every `loop { .. }` / `while cond { .. }` in `code`, as
+/// `(1-based line of the keyword, text from the keyword through the
+/// brace-matched close)`. Including the `while` condition lets a loop
+/// gated on `budget.allows(n)` count as budgeted.
+fn loop_bodies(code: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    for kw in ["loop", "while"] {
+        for at in find_word(code, kw) {
+            // The body opens at the first `{` after the keyword (and, for
+            // `while`, after its condition — Rust conditions cannot contain
+            // a bare `{`, so the first one is the body).
+            let Some(open_rel) = code[at..].find('{') else {
+                continue;
+            };
+            let open = at + open_rel;
+            let mut depth = 0usize;
+            let mut end = code.len();
+            for (i, b) in code[open..].bytes().enumerate() {
+                match b {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = open + i + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let line = code[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+            out.push((line, &code[at..end]));
+        }
+    }
+    out.sort_by_key(|(l, _)| *l);
+    out
 }
 
 /// Rule `float-eq`: exact float comparison in metrics/stats code.
@@ -639,6 +725,58 @@ mod tests {
         assert!(check("crates/browser/src/metrics.rs", int_src).is_empty());
         let cmp_src = "#![forbid(unsafe_code)]\nfn f(x: f64) -> bool { x >= 0.0 }\n";
         assert!(check("crates/browser/src/metrics.rs", cmp_src).is_empty());
+    }
+
+    #[test]
+    fn retry_budget_flags_bare_send_loops() {
+        let bare = "#![forbid(unsafe_code)]\n\
+                    fn f(c: &mut Conn) {\n\
+                    \u{20}   loop { c.send_request(&req, true); }\n\
+                    }\n";
+        let v = check("crates/server/src/wire.rs", bare);
+        assert_eq!(rules_of(&v), vec!["retry-budget"]);
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("send_request"));
+        assert!(
+            check("crates/html/src/x.rs", bare).is_empty(),
+            "only protocol/sim crates"
+        );
+    }
+
+    #[test]
+    fn retry_budget_accepts_budgeted_loops_and_tests() {
+        let budgeted = "#![forbid(unsafe_code)]\n\
+                        fn f(c: &mut Conn, b: &RetryBudget) {\n\
+                        \u{20}   while b.allows(n) { c.send_request(&req, true); n += 1; }\n\
+                        }\n";
+        assert!(check("crates/server/src/wire.rs", budgeted).is_empty());
+        let in_test = "#![forbid(unsafe_code)]\n\
+                       #[cfg(test)]\nmod tests {\n\
+                       \u{20}   fn f(c: &mut Conn) { loop { c.send_data(1, b, true); } }\n\
+                       }\n";
+        assert!(check("crates/server/src/wire.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn retry_budget_blames_the_innermost_loop() {
+        // The outer dispatch loop is fine; only the inner bare send loop
+        // must carry the budget — and here it does.
+        let nested = "#![forbid(unsafe_code)]\n\
+                      fn f(c: &mut Conn) {\n\
+                      \u{20}   loop {\n\
+                      \u{20}       while n < 3 { c.send_data(1, b, false); wait(backoff(n)); }\n\
+                      \u{20}   }\n\
+                      }\n";
+        assert!(check("crates/net/src/x.rs", nested).is_empty());
+        let nested_bare = "#![forbid(unsafe_code)]\n\
+                           fn f(c: &mut Conn) {\n\
+                           \u{20}   loop {\n\
+                           \u{20}       while n < 3 { c.send_data(1, b, false); }\n\
+                           \u{20}   }\n\
+                           }\n";
+        let v = check("crates/net/src/x.rs", nested_bare);
+        assert_eq!(rules_of(&v), vec!["retry-budget"]);
+        assert_eq!(v[0].line, 4, "inner loop is the violation site");
     }
 
     #[test]

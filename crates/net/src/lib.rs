@@ -13,6 +13,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod json;
 pub mod latency;
 pub mod link;
@@ -20,8 +21,9 @@ pub mod pipe;
 pub mod profiles;
 pub mod replay;
 
+pub use fault::{FaultPlan, Outage, RetryBudget};
 pub use latency::LatencyModel;
-pub use link::{SharedLink, TransferId};
+pub use link::{CapacityWindow, SharedLink, TransferId};
 pub use profiles::NetworkProfile;
 pub use replay::{RecordedResponse, ReplayStore};
 

@@ -21,6 +21,20 @@ use vroom_sim::{SimDuration, SimTime};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TransferId(pub u64);
 
+/// A half-open window `[start, end)` during which the link runs at
+/// `factor` of nominal capacity. `factor == 0` is a total outage (a
+/// packet-loss burst in the fault model); fractions model bandwidth
+/// collapses. Outside all windows the link runs at full capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityWindow {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Capacity fraction in `[0, 1]`.
+    pub factor: f64,
+}
+
 #[derive(Debug)]
 struct Transfer {
     remaining_bits: f64,
@@ -34,6 +48,8 @@ pub struct SharedLink {
     transfers: BTreeMap<TransferId, Transfer>,
     last_advance: SimTime,
     next_id: u64,
+    /// Sorted, disjoint capacity-degradation windows (fault injection).
+    schedule: Vec<CapacityWindow>,
 }
 
 impl SharedLink {
@@ -45,7 +61,35 @@ impl SharedLink {
             transfers: BTreeMap::new(),
             last_advance: SimTime::ZERO,
             next_id: 0,
+            schedule: Vec::new(),
         }
+    }
+
+    /// Install a capacity-degradation schedule (fault injection). Windows
+    /// must be sorted by start and non-overlapping.
+    pub fn set_capacity_schedule(&mut self, windows: Vec<CapacityWindow>) {
+        for w in &windows {
+            assert!(w.end > w.start, "empty capacity window");
+            assert!((0.0..=1.0).contains(&w.factor), "factor out of range");
+        }
+        for pair in windows.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "overlapping windows");
+        }
+        self.schedule = windows;
+    }
+
+    /// Capacity factor in effect at `t`, and the time at which it next
+    /// changes (`SimTime::MAX` when it never does).
+    fn factor_at(&self, t: SimTime) -> (f64, SimTime) {
+        for w in &self.schedule {
+            if t < w.start {
+                return (1.0, w.start);
+            }
+            if t < w.end {
+                return (w.factor, w.end);
+            }
+        }
+        (1.0, SimTime::MAX)
     }
 
     /// Capacity in bits per second.
@@ -83,24 +127,35 @@ impl SharedLink {
             if t >= now || self.transfers.is_empty() {
                 break;
             }
+            // Capacity is piecewise-constant: progress one segment at a
+            // time, a segment ending at the earlier of `now` and the next
+            // capacity change.
+            let (factor, until) = self.factor_at(t);
+            let seg_end = now.min(until);
+            if factor <= 0.0 {
+                // Total outage: time passes, nothing moves.
+                t = seg_end;
+                continue;
+            }
+            let capacity = self.bits_per_sec * factor;
             let total_weight: f64 = self.transfers.values().map(|x| x.weight).sum();
             // Earliest finisher at current shares.
             let first_dt = self
                 .transfers
                 .values()
-                .map(|tr| tr.remaining_bits / (self.bits_per_sec * tr.weight / total_weight))
+                .map(|tr| tr.remaining_bits / (capacity * tr.weight / total_weight))
                 .fold(f64::INFINITY, f64::min);
-            let interval = (now - t).as_secs_f64();
+            let interval = (seg_end - t).as_secs_f64();
             let dt = first_dt.min(interval).max(0.0);
             for tr in self.transfers.values_mut() {
-                let rate = self.bits_per_sec * tr.weight / total_weight;
+                let rate = capacity * tr.weight / total_weight;
                 tr.remaining_bits = (tr.remaining_bits - rate * dt).max(0.0);
                 if tr.remaining_bits < 1e-3 {
                     tr.remaining_bits = 0.0;
                 }
             }
             if first_dt >= interval {
-                t = now;
+                t = seg_end;
             } else {
                 t += SimDuration::from_secs_f64(dt);
             }
@@ -149,12 +204,33 @@ impl SharedLink {
         if self.transfers.is_empty() {
             return None;
         }
+        // All shares scale by the same capacity factor, so the identity of
+        // the first finisher is schedule-independent; only its finish time
+        // shifts. `need` is its remaining time at full capacity — walk the
+        // schedule until that much effective (factor-weighted) time has
+        // accumulated.
         let total_weight: f64 = self.transfers.values().map(|x| x.weight).sum();
-        let dt = self
+        let mut need = self
             .transfers
             .values()
             .map(|tr| tr.remaining_bits / (self.bits_per_sec * tr.weight / total_weight))
             .fold(f64::INFINITY, f64::min);
+        let mut t = now;
+        let mut elapsed = 0.0f64;
+        let dt = loop {
+            let (factor, until) = self.factor_at(t);
+            if until == SimTime::MAX {
+                // Full capacity from here on (factor is 1 outside windows).
+                break elapsed + need;
+            }
+            let seg = (until - t).as_secs_f64();
+            if factor > 0.0 && need <= seg * factor {
+                break elapsed + need / factor;
+            }
+            need -= seg * factor;
+            elapsed += seg;
+            t = until;
+        };
         // Round *up* to at least 1 ns so callers always make progress: a
         // completion predicted exactly "now" would otherwise spin the event
         // loop at one instant forever.
@@ -304,6 +380,41 @@ mod tests {
         let (id, _) = link.start(SimTime::ZERO, 0);
         let done = link.next_completion(SimTime::ZERO).unwrap();
         assert!(done.as_nanos() < 1_000_000, "sub-millisecond");
+        assert_eq!(link.advance(done), vec![id]);
+    }
+
+    #[test]
+    fn outage_pauses_progress_and_prediction_accounts_for_it() {
+        // 1 MB at 1 MB/s with a full outage over [0.2 s, 0.7 s): the
+        // transfer needs 1.0 s of effective time, so it lands at 1.5 s.
+        let mut link = mbps(8);
+        link.set_capacity_schedule(vec![CapacityWindow {
+            start: secs(0.2),
+            end: secs(0.7),
+            factor: 0.0,
+        }]);
+        let (id, _) = link.start(SimTime::ZERO, 1_000_000);
+        let done = link.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(done.as_millis(), 1500);
+        // Mid-outage, exactly 0.2 s of bytes have moved.
+        link.advance(secs(0.5));
+        assert_eq!(link.remaining_bytes(id), Some(800_000));
+        assert_eq!(link.advance(done), vec![id]);
+    }
+
+    #[test]
+    fn bandwidth_collapse_slows_but_does_not_stop() {
+        // 1 MB at 1 MB/s; capacity halves over [0 s, 1 s): 0.5 MB moves in
+        // the window, the rest at full rate → done at 1.5 s.
+        let mut link = mbps(8);
+        link.set_capacity_schedule(vec![CapacityWindow {
+            start: SimTime::ZERO,
+            end: secs(1.0),
+            factor: 0.5,
+        }]);
+        let (id, _) = link.start(SimTime::ZERO, 1_000_000);
+        let done = link.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(done.as_millis(), 1500);
         assert_eq!(link.advance(done), vec![id]);
     }
 

@@ -32,4 +32,4 @@ pub use clusters::{cluster_pages, PageTypeClusters};
 pub use hints::{attach_hints, parse_hints};
 pub use push_policy::{select_pushes, PushPolicy};
 pub use resolve::{resolve, ResolvedDeps, ResolverInput, Strategy, CRAWLER_USER};
-pub use wire::{MonotonicClock, WireClient, WireClock, WireServer, WireSite};
+pub use wire::{MonotonicClock, WireClient, WireClock, WireFaults, WireServer, WireSite};

@@ -11,16 +11,16 @@
 
 use crate::hints::attach_hints;
 use crate::push_policy::{select_pushes, PushPolicy};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use vroom_browser::config::Hint;
 use vroom_html::Url;
 use vroom_http2::{Connection, ErrorCode, Event, Request, Response, Settings};
-use vroom_net::ReplayStore;
+use vroom_net::{ReplayStore, RetryBudget};
 
 /// Injectable wall clock for the wire path's timeout logic.
 ///
@@ -45,6 +45,35 @@ impl WireClock for MonotonicClock {
     }
 }
 
+/// Wire-level fault injection: URLs whose *first* serve is truncated
+/// mid-body and aborted with RST_STREAM(INTERNAL_ERROR). The spent-fault
+/// set is shared across connection threads, so a retry — on the same
+/// connection or a fresh one — sees a healthy serve.
+#[derive(Clone, Default)]
+pub struct WireFaults {
+    truncate_once: Arc<Mutex<BTreeSet<Url>>>,
+}
+
+impl WireFaults {
+    /// Truncate the first serve of each given URL.
+    pub fn truncate_once(urls: impl IntoIterator<Item = Url>) -> WireFaults {
+        WireFaults {
+            truncate_once: Arc::new(Mutex::new(urls.into_iter().collect())),
+        }
+    }
+
+    /// Consume the fault for `url`; true exactly once per configured URL.
+    fn take(&self, url: &Url) -> bool {
+        // A poisoned lock means another serve thread panicked; the set of
+        // pending faults is still coherent (it holds no invariants beyond
+        // membership), so keep serving rather than poisoning this thread.
+        self.truncate_once
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(url)
+    }
+}
+
 /// Everything one wire server needs to serve a site.
 #[derive(Clone)]
 pub struct WireSite {
@@ -57,6 +86,8 @@ pub struct WireSite {
     /// The logical domain this server answers for (requests carry it in
     /// `:authority` even though the socket is loopback).
     pub domain: String,
+    /// Injected wire faults (default: none).
+    pub faults: WireFaults,
 }
 
 /// A running wire server; drop or [`stop`](WireServer::stop) to shut down.
@@ -263,6 +294,16 @@ fn handle_request(
         resp = attach_hints(resp, &hints);
     }
     let body = record.body_bytes();
+    if !body.is_empty() && site.faults.take(&url) {
+        // Injected truncation: serve a prefix of the body, leave the
+        // stream open, then abort it — the client sees partial DATA
+        // followed by a well-formed RST_STREAM.
+        if conn.send_response(stream_id, &resp, false).is_ok() {
+            let _ = conn.send_data(stream_id, &body[..body.len() / 2], false);
+        }
+        conn.reset_stream(stream_id, ErrorCode::InternalError);
+        return;
+    }
     if conn
         .send_response(stream_id, &resp, body.is_empty())
         .is_ok()
@@ -343,6 +384,13 @@ pub struct WireClient {
     conn: Connection,
     streams: BTreeMap<u32, StreamAcc>,
     clock: Arc<dyn WireClock>,
+    /// Per-request retry policy applied when a stream is reset.
+    retry: RetryBudget,
+    /// GET attempts per URL, counted against the budget.
+    attempts: BTreeMap<Url, u32>,
+    /// Backed-off re-fetches waiting for their fire time.
+    retry_queue: Vec<(Duration, Url)>,
+    resets_seen: usize,
 }
 
 impl WireClient {
@@ -356,6 +404,10 @@ impl WireClient {
             conn: Connection::client(Settings::vroom_client()),
             streams: BTreeMap::new(),
             clock: Arc::new(MonotonicClock),
+            retry: RetryBudget::standard(),
+            attempts: BTreeMap::new(),
+            retry_queue: Vec::new(),
+            resets_seen: 0,
         })
     }
 
@@ -365,6 +417,17 @@ impl WireClient {
         self
     }
 
+    /// Replace the retry budget.
+    pub fn with_retry(mut self, retry: RetryBudget) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// RST_STREAM frames received so far.
+    pub fn resets_seen(&self) -> usize {
+        self.resets_seen
+    }
+
     /// Issue a GET; returns the stream id.
     pub fn get(&mut self, url: &Url) -> std::io::Result<u32> {
         let req = Request::get(url.host.clone(), url.path.clone());
@@ -372,6 +435,7 @@ impl WireClient {
             .conn
             .send_request(&req, true)
             .map_err(|e| std::io::Error::other(e.to_string()))?;
+        *self.attempts.entry(url.clone()).or_insert(0) += 1;
         self.streams.insert(
             sid,
             StreamAcc {
@@ -400,6 +464,18 @@ impl WireClient {
         let start = self.clock.elapsed();
         let mut buf = [0u8; 16 * 1024];
         while self.clock.elapsed().saturating_sub(start) < deadline {
+            // Issue any backed-off retries that have come due. The budget
+            // was already charged when the retry was queued.
+            let now = self.clock.elapsed();
+            let due: Vec<Url> = {
+                let (fire, wait): (Vec<_>, Vec<_>) =
+                    self.retry_queue.drain(..).partition(|(at, _)| *at <= now);
+                self.retry_queue = wait;
+                fire.into_iter().map(|(_, url)| url).collect()
+            };
+            for url in due {
+                let _ = self.get(&url)?;
+            }
             self.flush()?;
             match self.stream.read(&mut buf) {
                 Ok(0) => break,
@@ -466,12 +542,29 @@ impl WireClient {
                         );
                     }
                     Event::StreamReset { stream_id, .. } => {
-                        self.streams.remove(&stream_id);
+                        self.resets_seen += 1;
+                        // Recovery: re-fetch the dead stream's URL with
+                        // capped exponential backoff while the budget
+                        // allows. A reset push degrades to a plain client
+                        // fetch the same way.
+                        if let Some(acc) = self.streams.remove(&stream_id) {
+                            if let Some(url) = acc.url {
+                                let attempts = self.attempts.get(&url).copied().unwrap_or(1);
+                                if self.retry.allows(attempts) {
+                                    let at = self.clock.elapsed()
+                                        + self.retry.backoff_std(attempts.max(1));
+                                    self.retry_queue.push((at, url));
+                                }
+                            }
+                        }
                     }
                     _ => {}
                 }
             }
-            if !self.streams.is_empty() && self.streams.values().all(|s| s.done) {
+            if self.retry_queue.is_empty()
+                && !self.streams.is_empty()
+                && self.streams.values().all(|s| s.done)
+            {
                 break;
             }
         }

@@ -2,10 +2,10 @@
 //! index). Every runner returns both structured data and a rendered text
 //! table whose rows/series mirror what the paper plots.
 
-use crate::load::{lower_bound_plt, run_load, run_load_warm};
+use crate::load::{lower_bound_plt, run_load, run_load_faulted, run_load_warm};
 use crate::policy::System;
 use crate::stats::{quartiles, render_cdf_table, render_quartile_table, Cdf, Quartiles};
-use vroom_net::NetworkProfile;
+use vroom_net::{FaultPlan, NetworkProfile};
 use vroom_pages::{Corpus, DeviceClass, LoadContext, PageGenerator};
 use vroom_server::accuracy::evaluate;
 use vroom_server::device::{iou, stable_set};
@@ -535,7 +535,44 @@ fn lower_bound_quartiles(cfg: &ExperimentConfig, corpus: &Corpus) -> Quartiles {
     quartiles(&values)
 }
 
-/// Fig 17: the cost of inaccurate dependencies (stale prior-load deps).
+/// Fraction of hints the Fig 17 corruption row degrades — chosen below
+/// the policy's discard threshold so the client still follows the
+/// (partially wrong) metadata, exactly like trusting an aged crawl.
+pub const FIG17_CORRUPTION: f64 = 0.30;
+
+/// PLT quartiles for `system` with per-site hint corruption injected
+/// through the fault layer — staleness driven by the corruption knob
+/// rather than by mutating resolver output ad hoc.
+fn corrupted_hint_quartiles(
+    cfg: &ExperimentConfig,
+    corpus: &Corpus,
+    system: System,
+    fraction: f64,
+) -> Quartiles {
+    let values: Vec<f64> = cfg
+        .sites(corpus)
+        .iter()
+        .enumerate()
+        .map(|(i, site)| {
+            let plan = FaultPlan::hint_corruption_only(cfg.server_seed ^ (i as u64), fraction);
+            run_load_faulted(
+                site,
+                &cfg.site_ctx(i),
+                &cfg.profile,
+                system,
+                cfg.server_seed,
+                &plan,
+            )
+            .plt
+            .as_secs_f64()
+        })
+        .collect();
+    quartiles(&values)
+}
+
+/// Fig 17: the cost of inaccurate dependencies. Two staleness models side
+/// by side: hints from a whole prior crawl (the paper's setup) and hints
+/// corrupted in place by the fault layer's knob (same trust, aged data).
 pub fn fig17(cfg: &ExperimentConfig) -> (Vec<(String, Quartiles)>, String) {
     let ns = Corpus::news_and_sports(cfg.corpus_seed);
     let rows = vec![
@@ -547,6 +584,10 @@ pub fn fig17(cfg: &ExperimentConfig) -> (Vec<(String, Quartiles)>, String) {
         (
             System::VroomStaleDeps.label().to_string(),
             plt_quartiles(cfg, &ns, System::VroomStaleDeps),
+        ),
+        (
+            format!("Vroom ({:.0}% Corrupted Hints)", FIG17_CORRUPTION * 100.0),
+            corrupted_hint_quartiles(cfg, &ns, System::Vroom, FIG17_CORRUPTION),
         ),
         (
             System::Http2.label().to_string(),
@@ -864,7 +905,17 @@ mod tests {
         let find = |name: &str| rows.iter().find(|(n, _)| n.contains(name)).unwrap().1;
         let vroom = find("Vroom");
         let stale = find("Previous Load");
+        let corrupted = find("Corrupted Hints");
         assert!(stale.p75 > vroom.p75, "stale deps hurt the tail: {table}");
+        assert!(
+            corrupted.p75 >= vroom.p75,
+            "corrupted hints cannot beat accurate ones: {table}"
+        );
+        let h2 = find("HTTP/2");
+        assert!(
+            corrupted.p50 < h2.p50,
+            "partial corruption still beats no hints at all: {table}"
+        );
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Top-level page-load entry points: pick a system, load a page, get the
 //! paper's metrics.
 
-use crate::policy::{build_config, cache_from_prior_load, System};
+use crate::policy::{apply_fault_plan, build_config, cache_from_prior_load, System};
 use vroom_browser::{BrowserEngine, LoadResult};
-use vroom_net::NetworkProfile;
+use vroom_net::{FaultPlan, NetworkProfile};
 use vroom_pages::{LoadContext, PageGenerator};
 
 /// Load a site's page under `system` on `profile`.
@@ -39,6 +39,26 @@ pub fn run_load_warm(
     let mut cfg = build_config(system, generator, &page, ctx, server_seed);
     cfg.cpu_factor = ctx.device.cpu_factor();
     cfg.warm_cache = cache_from_prior_load(&prior, age_hours);
+    BrowserEngine::load(&page, profile, &cfg)
+}
+
+/// Load under `system` with an injected fault plan threaded through every
+/// layer: link capacity schedule, connection drops, body truncations
+/// (network), retry/backoff (client scheduler), and hint corruption with
+/// the discard threshold (policy). Passing an inactive plan is exactly
+/// [`run_load`].
+pub fn run_load_faulted(
+    generator: &PageGenerator,
+    ctx: &LoadContext,
+    profile: &NetworkProfile,
+    system: System,
+    server_seed: u64,
+    plan: &FaultPlan,
+) -> LoadResult {
+    let page = generator.snapshot(ctx);
+    let mut cfg = build_config(system, generator, &page, ctx, server_seed);
+    cfg.cpu_factor = ctx.device.cpu_factor();
+    apply_fault_plan(&mut cfg, plan);
     BrowserEngine::load(&page, profile, &cfg)
 }
 

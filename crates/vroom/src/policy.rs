@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 use vroom_browser::config::{CacheEntry, FetchPolicy, Hint, HttpVersion, LoadConfig, ServerModel};
 use vroom_html::Url;
+use vroom_net::FaultPlan;
 use vroom_pages::{LoadContext, Page, PageGenerator};
 use vroom_server::push_policy::{select_pushes, PushPolicy};
 use vroom_server::resolve::{resolve, ResolverInput, Strategy};
@@ -199,6 +200,59 @@ pub fn cache_from_prior_load(prior: &Page, age_hours: f64) -> BTreeMap<Url, Cach
 /// Hints present in a config, flattened (diagnostics/tests).
 pub fn all_hints(cfg: &LoadConfig) -> Vec<&Hint> {
     cfg.server.hints.values().flatten().collect()
+}
+
+/// Hint-corruption rate at or above which the client stops trusting the
+/// server's dependency metadata entirely: the whole hint set and push set
+/// are discarded and the load degrades to a plain (discovery-driven) HTTP/2
+/// load rather than chasing a majority-bogus manifest.
+pub const HINT_DISCARD_THRESHOLD: f64 = 0.5;
+
+/// Thread an injected [`FaultPlan`] through a built config — the
+/// degradation rules of the fault model:
+///
+/// * corruption below [`HINT_DISCARD_THRESHOLD`]: each corrupted hint (and
+///   push) is replaced by a stale same-host URL, so the client wastes that
+///   download exactly like Fig 17's deps-from-previous-load entries;
+/// * corruption at/above the threshold: hints and pushes are discarded
+///   wholesale (trust nothing, fall back to parser-driven discovery);
+/// * the network-level knobs (outages, drops, truncations) ride along in
+///   `cfg.fault` for the browser engine.
+pub fn apply_fault_plan(cfg: &mut LoadConfig, plan: &FaultPlan) {
+    if !plan.is_active() {
+        return;
+    }
+    if plan.hint_corruption >= HINT_DISCARD_THRESHOLD {
+        cfg.server.hints.clear();
+        cfg.server.pushes.clear();
+    } else if plan.hint_corruption > 0.0 {
+        for (html_url, hints) in cfg.server.hints.iter_mut() {
+            let html = html_url.to_string();
+            for (i, h) in hints.iter_mut().enumerate() {
+                if plan.corrupt_hint(&html, i) {
+                    h.url = stale_url(&h.url.host, i);
+                }
+            }
+        }
+        for (html_url, pushes) in cfg.server.pushes.iter_mut() {
+            let html = html_url.to_string();
+            for (i, p) in pushes.iter_mut().enumerate() {
+                // Decouple the push rolls from the hint rolls: the lists
+                // overlap but corruption should hit them independently.
+                if plan.corrupt_hint(&html, i + 0x1_0000) {
+                    // Pushes must stay same-domain as their HTML
+                    // (integrity rule), which `p.url.host` preserves.
+                    p.url = stale_url(&p.url.host, i);
+                }
+            }
+        }
+    }
+    cfg.fault = plan.clone();
+}
+
+/// A URL the current page does not contain: fetching it wastes the bytes.
+fn stale_url(host: &str, index: usize) -> Url {
+    Url::parse(&format!("https://{host}/stale/corrupt-{index}.bin")).expect("valid stale url")
 }
 
 #[cfg(test)]

@@ -51,6 +51,7 @@ fn main() {
         hints: Arc::new(hints),
         push: PushPolicy::HighPriorityLocal,
         domain: page.url.host.clone(),
+        faults: Default::default(),
     })
     .expect("bind");
     println!("vroom server listening on {}", server.addr());

@@ -1,0 +1,155 @@
+//! Deterministic chaos suite: seeded fault plans swept across every
+//! system, proving the fault-injection layer's two contracts:
+//!
+//! 1. **Termination** — every load completes under every plan. Retry
+//!    budgets are finite, replacement connections never re-drop, and
+//!    onload degrades around resources whose budget is exhausted, so no
+//!    combination of outages, drops, truncations, and corrupted hints can
+//!    hang a load.
+//! 2. **Graceful degradation** — Vroom's advantage survives faults: under
+//!    identical plans, faulted Vroom's median PLT stays at or below the
+//!    faulted HTTP/2 baseline's.
+
+#![forbid(unsafe_code)]
+
+use vroom::{run_load, run_load_faulted, System};
+use vroom_net::{FaultPlan, NetworkProfile};
+use vroom_pages::{Corpus, LoadContext};
+use vroom_sim::SimDuration;
+
+const SYSTEMS: [System; 5] = [
+    System::Http1,
+    System::Http2,
+    System::PushAllStatic,
+    System::PolarisLike,
+    System::Vroom,
+];
+
+/// Every load must finish well inside this bound; a hang would otherwise
+/// spin the event loop forever, not merely run slow.
+const TERMINATION_BOUND: SimDuration = SimDuration::from_secs(15 * 60);
+
+fn plans(severity: f64, n: u64) -> Vec<FaultPlan> {
+    (0..n)
+        .map(|i| FaultPlan::from_seed(0xC4A05 ^ (i * 7919), severity))
+        .collect()
+}
+
+#[test]
+fn every_system_terminates_under_every_fault_plan() {
+    let corpus = Corpus::small(2026, 4);
+    let ctx = LoadContext::reference();
+    let lte = NetworkProfile::lte();
+    let mut faulted_loads = 0usize;
+    for severity in [0.3, 0.7, 1.0] {
+        for plan in plans(severity, 4) {
+            assert!(plan.is_active(), "from_seed must produce an active plan");
+            for site in &corpus.sites {
+                for system in SYSTEMS {
+                    let r = run_load_faulted(site, &ctx, &lte, system, 11, &plan);
+                    assert!(
+                        r.plt < TERMINATION_BOUND,
+                        "{} did not terminate promptly under plan seed {}: plt {}",
+                        system.label(),
+                        plan.seed,
+                        r.plt,
+                    );
+                    faulted_loads += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(faulted_loads, 3 * 4 * 4 * SYSTEMS.len());
+}
+
+#[test]
+fn faults_surface_as_protocol_events() {
+    let corpus = Corpus::small(7, 4);
+    let ctx = LoadContext::reference();
+    let lte = NetworkProfile::lte();
+    let (mut rsts, mut goaways, mut retries, mut failed) = (0, 0, 0, 0);
+    for plan in plans(1.0, 4) {
+        for site in &corpus.sites {
+            let r = run_load_faulted(site, &ctx, &lte, System::Http2, 11, &plan);
+            rsts += r.rst_streams;
+            goaways += r.goaways;
+            retries += r.retries;
+            failed += r.failed_resources;
+        }
+    }
+    // At full severity across 16 loads the sweep must exercise every fault
+    // path: truncated bodies (RST_STREAM), dropped connections (GOAWAY),
+    // and the retry machinery recovering from both.
+    assert!(rsts > 0, "no RST_STREAM-equivalent events injected");
+    assert!(goaways > 0, "no GOAWAY-equivalent events injected");
+    assert!(retries > 0, "no retries performed");
+    // Degradation is allowed but must be the exception, not the rule.
+    assert!(
+        retries >= failed,
+        "more exhausted budgets ({failed}) than retries ({retries})"
+    );
+}
+
+#[test]
+fn faulted_vroom_median_at_most_faulted_http2() {
+    let corpus = Corpus::small(2024, 6);
+    let ctx = LoadContext::reference();
+    let lte = NetworkProfile::lte();
+    let mut ratios: Vec<f64> = Vec::new();
+    for severity in [0.4, 0.8] {
+        for plan in plans(severity, 3) {
+            for site in &corpus.sites {
+                let vroom = run_load_faulted(site, &ctx, &lte, System::Vroom, 11, &plan);
+                let h2 = run_load_faulted(site, &ctx, &lte, System::Http2, 11, &plan);
+                ratios.push(vroom.plt.as_secs_f64() / h2.plt.as_secs_f64());
+            }
+        }
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = ratios[ratios.len() / 2];
+    assert!(
+        median <= 1.0,
+        "faulted Vroom should still beat faulted HTTP/2 at the median, got {median:.3}"
+    );
+}
+
+#[test]
+fn inactive_plan_is_byte_identical_to_fault_free_load() {
+    let corpus = Corpus::small(99, 2);
+    let ctx = LoadContext::reference();
+    let lte = NetworkProfile::lte();
+    for site in &corpus.sites {
+        for system in SYSTEMS {
+            let plain = run_load(site, &ctx, &lte, system, 5);
+            let faulted = run_load_faulted(site, &ctx, &lte, system, 5, &FaultPlan::none());
+            assert_eq!(plain, faulted, "inactive plan perturbed {}", system.label());
+            assert_eq!(plain.rst_streams, 0);
+            assert_eq!(plain.goaways, 0);
+            assert_eq!(plain.retries, 0);
+            assert_eq!(plain.timeouts, 0);
+            assert_eq!(plain.failed_resources, 0);
+        }
+    }
+}
+
+#[test]
+fn degraded_loads_report_failures_instead_of_hanging() {
+    // A brutal plan: long total outage plus aggressive truncation. Loads
+    // must still finish, with failures surfaced in the result rather than
+    // silently dropped or infinitely retried.
+    let plan = FaultPlan::from_seed(0xDEAD, 1.0);
+    let corpus = Corpus::small(5, 3);
+    let ctx = LoadContext::reference();
+    let lte = NetworkProfile::lte();
+    for site in &corpus.sites {
+        let r = run_load_faulted(site, &ctx, &lte, System::Vroom, 11, &plan);
+        assert!(r.plt < TERMINATION_BOUND);
+        for t in &r.resources {
+            if t.failed {
+                // A failed resource never reports a fetch completion
+                // later than onload (it has none).
+                assert!(t.requested.is_some(), "failed implies attempted");
+            }
+        }
+    }
+}

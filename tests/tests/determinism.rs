@@ -6,9 +6,9 @@
 
 #![forbid(unsafe_code)]
 
-use vroom::{run_load, run_load_warm, System};
+use vroom::{run_load, run_load_faulted, run_load_warm, System};
 use vroom_html::ResourceKind;
-use vroom_net::{NetworkProfile, RecordedResponse, ReplayStore};
+use vroom_net::{FaultPlan, NetworkProfile, RecordedResponse, ReplayStore};
 use vroom_pages::{render_html, Corpus, LoadContext, PageGenerator, SiteProfile};
 use vroom_sim::SimDuration;
 
@@ -111,6 +111,46 @@ fn replay_store_serialization_is_canonical() {
     assert_eq!(a, b, "replay JSON must be byte-identical across runs");
     let reparsed = ReplayStore::from_json(&a).expect("roundtrip");
     assert_eq!(reparsed.to_json(), a, "parse → serialize is a fixed point");
+}
+
+/// Fault injection preserves the headline invariant: the same (seed, plan)
+/// pair produces byte-identical faulted loads — including the fault
+/// counters and the per-resource trace with retries and failures in it.
+#[test]
+fn faulted_loads_are_deterministic() {
+    let ctx = LoadContext::reference();
+    let profile = NetworkProfile::lte();
+    for system in [System::Http1, System::Http2, System::Vroom] {
+        for severity in [0.4, 1.0] {
+            let plan = FaultPlan::from_seed(0xFA_u64 ^ system as u64, severity);
+            let one = || {
+                let site = PageGenerator::new(SiteProfile::news(), 777);
+                run_load_faulted(&site, &ctx, &profile, system, 7, &plan)
+            };
+            let a = one();
+            let b = one();
+            assert_eq!(a, b, "{system:?} sev {severity}: faulted loads diverged");
+            assert_eq!(
+                a.resources, b.resources,
+                "{system:?} sev {severity}: faulted traces diverged"
+            );
+        }
+    }
+}
+
+/// Fault plans themselves are reproducible artifacts: derivation from a
+/// seed is stable and the canonical JSON encoding is a byte-identical
+/// fixed point (plans can be stored next to replay JSON and re-run later).
+#[test]
+fn fault_plans_are_canonical() {
+    let a = FaultPlan::from_seed(0xC0FFEE, 0.8);
+    let b = FaultPlan::from_seed(0xC0FFEE, 0.8);
+    assert_eq!(a, b, "same seed must derive the same plan");
+    let ja = a.to_json();
+    assert_eq!(ja, b.to_json(), "plan JSON must be byte-identical");
+    let reparsed = FaultPlan::from_json(&ja).expect("roundtrip");
+    assert_eq!(reparsed, a, "parse must invert encode exactly");
+    assert_eq!(reparsed.to_json(), ja, "parse → encode is a fixed point");
 }
 
 /// A whole small corpus is reproducible: per-site PLTs agree run-to-run.

@@ -6,8 +6,9 @@
 
 use std::thread;
 use std::time::Duration;
-use vroom_http2::{Connection, Event, Request, Response, Settings};
+use vroom_http2::{Connection, ErrorCode, Event, Request, Response, Settings};
 use vroom_net::pipe::{self, Read};
+use vroom_net::RetryBudget;
 
 /// Drive a connection over a pipe end until `done` says stop.
 fn pump_until<F: FnMut(&mut Connection) -> bool>(
@@ -103,4 +104,96 @@ fn threaded_client_server_over_pipe() {
         vec!["/item/0", "/item/1", "/item/2", "/item/3", "/item/4"]
     );
     assert_eq!(server.join().unwrap(), 5);
+}
+
+/// Injected mid-stream truncation surfaces as a well-formed RST_STREAM on
+/// the wire — partial DATA without END_STREAM, then the reset frame — and
+/// the client recovers by re-requesting within its retry budget.
+#[test]
+fn truncated_stream_resets_and_client_retries() {
+    let (mut client_end, mut server_end) = pipe::pair();
+    const BODY: &[u8] = b"the complete resource body, all thirty-nine";
+
+    let server = thread::spawn(move || {
+        let mut conn = Connection::server(Settings::default());
+        let mut serves = 0usize;
+        pump_until(
+            &mut conn,
+            &mut server_end,
+            |conn| {
+                while let Some(ev) = conn.poll_event() {
+                    if let Event::Headers { stream_id, .. } = ev {
+                        serves += 1;
+                        if serves == 1 {
+                            // First attempt: a prefix of the body, stream
+                            // left open, then an abort.
+                            let resp = Response::ok();
+                            conn.send_response(stream_id, &resp, false).unwrap();
+                            conn.send_data(stream_id, &BODY[..BODY.len() / 2], false)
+                                .unwrap();
+                            conn.reset_stream(stream_id, ErrorCode::InternalError);
+                        } else {
+                            let resp = Response::ok();
+                            conn.send_response(stream_id, &resp, false).unwrap();
+                            conn.send_data(stream_id, BODY, true).unwrap();
+                        }
+                    }
+                }
+                serves >= 2
+            },
+            Duration::from_secs(10),
+        );
+        serves
+    });
+
+    let budget = RetryBudget::standard();
+    let mut conn = Connection::client(Settings::vroom_client());
+    let req = Request::get("pipe.example", "/flaky.js");
+    conn.send_request(&req, true).unwrap();
+
+    let mut attempts = 1u32;
+    let mut resets = 0usize;
+    let mut partial_before_reset = 0usize;
+    let mut complete_body: Option<Vec<u8>> = None;
+    let mut acc: Vec<u8> = Vec::new();
+    pump_until(
+        &mut conn,
+        &mut client_end,
+        |conn| {
+            while let Some(ev) = conn.poll_event() {
+                match ev {
+                    Event::Data {
+                        data, end_stream, ..
+                    } => {
+                        acc.extend_from_slice(&data);
+                        if end_stream {
+                            complete_body = Some(acc.clone());
+                        }
+                    }
+                    Event::StreamReset { code, .. } => {
+                        resets += 1;
+                        partial_before_reset = acc.len();
+                        acc.clear();
+                        assert_eq!(code, ErrorCode::InternalError);
+                        // Recover: re-GET the same URL, budget permitting.
+                        assert!(budget.allows(attempts), "budget exhausted");
+                        conn.send_request(&req, true).unwrap();
+                        attempts += 1;
+                    }
+                    _ => {}
+                }
+            }
+            complete_body.is_some()
+        },
+        Duration::from_secs(10),
+    );
+
+    assert_eq!(resets, 1, "exactly one injected reset");
+    assert_eq!(
+        partial_before_reset,
+        BODY.len() / 2,
+        "truncation delivered exactly the configured prefix"
+    );
+    assert_eq!(complete_body.as_deref(), Some(BODY), "retry got full body");
+    assert_eq!(server.join().unwrap(), 2);
 }

@@ -117,6 +117,38 @@ fn paid_down_debt_surfaces_as_stale() {
     assert_eq!(r.stale_entries[0].path, "crates/http2/src/gone.rs");
 }
 
+/// A loop that issues requests with no retry budget anywhere in scope is a
+/// new violation (the fault layer guarantees flaky peers; unbounded retry
+/// loops spin forever against them); gating the loop on a budget clears it.
+#[test]
+fn bare_retry_loop_without_budget_is_caught() {
+    let bare = file(
+        "crates/server/src/push.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn pump(c: &mut Connection) {\n\
+         \u{20}   loop {\n\
+         \u{20}       c.send_request(&req, true).ok();\n\
+         \u{20}   }\n\
+         }\n",
+    );
+    let v = analyze_sources(&[bare]);
+    assert_eq!(rules_of(&v), vec!["retry-budget"]);
+    assert_eq!(v[0].line, 3);
+
+    let budgeted = file(
+        "crates/server/src/push.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn pump(c: &mut Connection, budget: &RetryBudget) {\n\
+         \u{20}   let mut n = 0;\n\
+         \u{20}   while budget.allows(n) {\n\
+         \u{20}       c.send_request(&req, true).ok();\n\
+         \u{20}       n += 1;\n\
+         \u{20}   }\n\
+         }\n",
+    );
+    assert!(analyze_sources(&[budgeted]).is_empty());
+}
+
 /// The lexer front-end keeps rule patterns from firing inside comments,
 /// strings (including raw strings), and doc text.
 #[test]

@@ -5,8 +5,8 @@
 #![forbid(unsafe_code)]
 
 use proptest::prelude::*;
-use vroom::{run_load, System};
-use vroom_net::NetworkProfile;
+use vroom::{run_load, run_load_faulted, System};
+use vroom_net::{FaultPlan, NetworkProfile};
 use vroom_pages::{DeviceClass, LoadContext, PageGenerator, SiteProfile};
 use vroom_sim::SimDuration;
 
@@ -35,6 +35,22 @@ fn arb_profile() -> impl Strategy<Value = SiteProfile> {
         Just(SiteProfile::sports()),
         Just(SiteProfile::top100()),
         Just(SiteProfile::top400()),
+    ]
+}
+
+/// An arbitrary seeded fault plan, spanning the whole severity range —
+/// from barely active to everything-fails-at-once.
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (any::<u64>(), 0.05f64..1.0).prop_map(|(seed, severity)| FaultPlan::from_seed(seed, severity))
+}
+
+fn arb_system() -> impl Strategy<Value = System> {
+    prop_oneof![
+        Just(System::Http1),
+        Just(System::Http2),
+        Just(System::PushAllStatic),
+        Just(System::PolarisLike),
+        Just(System::Vroom),
     ]
 }
 
@@ -86,6 +102,50 @@ proptest! {
                 prop_assert_eq!(x.stability, vroom_pages::Stability::PerLoadRandom);
             }
         }
+    }
+
+    /// Chaos totality: any seeded fault plan, page, and policy still loads
+    /// to completion — no panic, no hang — and the per-resource event
+    /// trace stays monotone (discovered ≤ requested ≤ fetched ≤ processed
+    /// wherever those events exist).
+    #[test]
+    fn faulted_loads_complete_with_monotone_traces(
+        page_seed in any::<u64>(),
+        plan in arb_fault_plan(),
+        system in arb_system(),
+    ) {
+        let site = PageGenerator::new(SiteProfile::news(), page_seed);
+        let ctx = LoadContext::reference();
+        let lte = NetworkProfile::lte();
+        let r = run_load_faulted(&site, &ctx, &lte, system, 3, &plan);
+        prop_assert!(r.plt > SimDuration::ZERO);
+        prop_assert!(
+            r.plt < SimDuration::from_secs(15 * 60),
+            "{system:?} under plan seed {} took {}", plan.seed, r.plt
+        );
+        for (i, t) in r.resources.iter().enumerate() {
+            if let Some(req) = t.requested {
+                prop_assert!(t.discovered <= req, "resource {i}: requested before discovery");
+                prop_assert!(req <= t.fetched, "resource {i}: fetched before request");
+            }
+            if let Some(proc_) = t.processed {
+                prop_assert!(t.fetched <= proc_, "resource {i}: processed before fetch");
+            }
+            if t.failed {
+                prop_assert!(t.requested.is_some(), "resource {i}: failed but never attempted");
+                prop_assert!(t.processed.is_none(), "resource {i}: failed yet processed");
+            }
+        }
+    }
+
+    /// Fault plans survive a JSON roundtrip exactly, for any seed and
+    /// severity (probabilities are quantized so no precision is lost).
+    #[test]
+    fn fault_plan_json_roundtrips(plan in arb_fault_plan()) {
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).expect("well-formed plan JSON");
+        prop_assert_eq!(&back, &plan);
+        prop_assert_eq!(back.to_json(), json);
     }
 
     /// The real HTML renderer and scanner agree with the model for any page.

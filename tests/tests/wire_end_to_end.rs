@@ -10,10 +10,10 @@ use std::sync::Arc;
 use std::time::Duration;
 use vroom_browser::config::Hint;
 use vroom_html::{ResourceKind, Url};
-use vroom_net::{RecordedResponse, ReplayStore};
+use vroom_net::{RecordedResponse, ReplayStore, RetryBudget};
 use vroom_pages::{render_html, LoadContext, Page, PageGenerator, SiteProfile};
 use vroom_server::online::scan_served_html;
-use vroom_server::wire::{WireClient, WireServer, WireSite};
+use vroom_server::wire::{WireClient, WireFaults, WireServer, WireSite};
 use vroom_server::{parse_hints, PushPolicy};
 
 /// Record a page into a replay store (the Mahimahi "record" phase), with
@@ -49,6 +49,7 @@ fn start_server(page: &Page, push: PushPolicy) -> WireServer {
         hints: Arc::new(hints_from_markup(page)),
         push,
         domain: page.url.host.clone(),
+        faults: Default::default(),
     };
     WireServer::start(site).expect("bind loopback")
 }
@@ -172,6 +173,7 @@ fn large_bodies_cross_flow_control_boundaries() {
         hints: Arc::new(BTreeMap::new()),
         push: PushPolicy::None,
         domain: "big.example".into(),
+        faults: Default::default(),
     };
     let server = WireServer::start(site).expect("bind");
     let mut client = WireClient::connect(server.addr()).expect("connect");
@@ -179,6 +181,51 @@ fn large_bodies_cross_flow_control_boundaries() {
     let responses = client.run(Duration::from_secs(20)).expect("io");
     assert_eq!(responses.len(), 1);
     assert_eq!(responses[0].body.len(), 700_000);
+    server.stop();
+}
+
+#[test]
+fn injected_truncation_recovers_via_client_retry_over_tcp() {
+    // The server truncates the first serve of one URL mid-body and resets
+    // the stream; the WireClient's retry budget re-fetches it and the
+    // final set of responses is complete and correct.
+    let url = Url::https("flaky.example", "/app.js");
+    let other = Url::https("flaky.example", "/solid.css");
+    let mut store = ReplayStore::new();
+    store.record(
+        url.clone(),
+        RecordedResponse::synthetic(ResourceKind::Js, 40_000),
+    );
+    store.record(
+        other.clone(),
+        RecordedResponse::synthetic(ResourceKind::Css, 9_000),
+    );
+    let site = WireSite {
+        store: Arc::new(store),
+        hints: Arc::new(BTreeMap::new()),
+        push: PushPolicy::None,
+        domain: "flaky.example".into(),
+        faults: WireFaults::truncate_once([url.clone()]),
+    };
+    let server = WireServer::start(site).expect("bind");
+    let mut client = WireClient::connect(server.addr())
+        .expect("connect")
+        .with_retry(RetryBudget {
+            backoff_base: vroom_sim::SimDuration::from_millis(10),
+            ..RetryBudget::standard()
+        });
+    client.get(&url).expect("request");
+    client.get(&other).expect("request");
+    let responses = client.run(Duration::from_secs(15)).expect("io");
+    assert_eq!(client.resets_seen(), 1, "one injected RST_STREAM");
+    assert_eq!(responses.len(), 2, "both URLs complete after the retry");
+    for r in &responses {
+        if r.url == url {
+            assert_eq!(r.body.len(), 40_000, "retried body is complete");
+        } else {
+            assert_eq!(r.body.len(), 9_000);
+        }
+    }
     server.stop();
 }
 
