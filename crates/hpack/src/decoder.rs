@@ -61,12 +61,11 @@ impl Decoder {
         let mut out = Vec::new();
         let mut list_size = 0usize;
         let mut seen_field = false;
-        while !buf.is_empty() {
-            let first = buf[0];
+        while let Some(&first) = buf.first() {
             let field = if first & 0b1000_0000 != 0 {
                 // Indexed header field.
                 let (idx, used) = integer::decode(buf, 7)?;
-                buf = &buf[used..];
+                buf = buf.get(used..).ok_or(Error::Truncated)?;
                 let (name, value) =
                     table::resolve(&self.table, idx as usize).ok_or(Error::InvalidIndex(idx))?;
                 seen_field = true;
@@ -83,7 +82,7 @@ impl Decoder {
                     return Err(Error::SizeUpdateNotAtStart);
                 }
                 let (size, used) = integer::decode(buf, 5)?;
-                buf = &buf[used..];
+                buf = buf.get(used..).ok_or(Error::Truncated)?;
                 if !self.table.set_max_size(size as usize) {
                     return Err(Error::SizeUpdateTooLarge(size));
                 }
@@ -110,7 +109,7 @@ impl Decoder {
     /// then name string if index was 0, then value string.
     fn read_literal(&mut self, buf: &mut &[u8], prefix: u8) -> Result<(String, String), Error> {
         let (name_idx, used) = integer::decode(buf, prefix)?;
-        *buf = &buf[used..];
+        *buf = buf.get(used..).ok_or(Error::Truncated)?;
         let name = if name_idx == 0 {
             self.read_string(buf)?
         } else {
@@ -127,7 +126,7 @@ impl Decoder {
         let first = *buf.first().ok_or(Error::Truncated)?;
         let huffman_coded = first & 0b1000_0000 != 0;
         let (len, used) = integer::decode(buf, 7)?;
-        *buf = &buf[used..];
+        *buf = buf.get(used..).ok_or(Error::Truncated)?;
         let len = len as usize;
         if buf.len() < len {
             return Err(Error::Truncated);

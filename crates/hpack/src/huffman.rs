@@ -270,6 +270,7 @@ pub const CODES: [(u32, u8); 257] = [
 
 /// Length in bytes of the Huffman encoding of `data`.
 pub fn encoded_len(data: &[u8]) -> usize {
+    // vroom-lint: allow(panic-reachable) -- CODES has 257 entries and the index is a u8 (max 255); the bound holds by construction
     let bits: u64 = data.iter().map(|&b| CODES[b as usize].1 as u64).sum();
     bits.div_ceil(8) as usize
 }
@@ -279,6 +280,7 @@ pub fn encode(data: &[u8], out: &mut Vec<u8>) {
     let mut acc: u64 = 0; // bits pending, left-aligned within `nbits`
     let mut nbits: u32 = 0;
     for &b in data {
+        // vroom-lint: allow(panic-reachable) -- CODES has 257 entries and the index is a u8 (max 255); the bound holds by construction
         let (code, len) = CODES[b as usize];
         acc = (acc << len) | code as u64;
         nbits += len as u32;
@@ -354,7 +356,12 @@ pub fn decode(data: &[u8], out: &mut Vec<u8>) -> Result<(), Error> {
             if bit == 0 {
                 padding_ones = false;
             }
-            let next = trie.nodes[at as usize].children[bit];
+            let next = trie
+                .nodes
+                .get(at as usize)
+                .and_then(|n| n.children.get(bit))
+                .copied()
+                .unwrap_or(0);
             if next == 0 {
                 return Err(Error::HuffmanDecode);
             }

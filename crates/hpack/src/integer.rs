@@ -42,7 +42,7 @@ pub fn decode(buf: &[u8], prefix: u8) -> Result<(u64, usize), Error> {
         return Ok((value, 1));
     }
     let mut shift = 0u32;
-    for (i, &b) in buf[1..].iter().enumerate() {
+    for (i, &b) in buf.iter().enumerate().skip(1) {
         let chunk = (b & 0x7f) as u64;
         value = value
             .checked_add(chunk.checked_shl(shift).ok_or(Error::IntegerOverflow)?)
@@ -51,7 +51,7 @@ pub fn decode(buf: &[u8], prefix: u8) -> Result<(u64, usize), Error> {
             return Err(Error::IntegerOverflow);
         }
         if b & 0x80 == 0 {
-            return Ok((value, i + 2));
+            return Ok((value, i + 1));
         }
         shift += 7;
         if shift > 63 {

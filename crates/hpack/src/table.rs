@@ -178,11 +178,13 @@ impl DynamicTable {
 
     fn evict(&mut self) {
         while self.size > self.max_size {
-            let e = self
-                .entries
-                .pop_back()
-                .expect("size accounting out of sync");
-            self.size -= e.size();
+            let Some(e) = self.entries.pop_back() else {
+                // Size accounting drifted from the entry list (should be
+                // impossible); resynchronize instead of spinning.
+                self.size = 0;
+                return;
+            };
+            self.size = self.size.saturating_sub(e.size());
         }
     }
 
@@ -215,8 +217,7 @@ impl DynamicTable {
 pub fn resolve(table: &DynamicTable, index: usize) -> Option<(&str, &str)> {
     if index == 0 {
         None
-    } else if index <= STATIC_TABLE.len() {
-        let (n, v) = STATIC_TABLE[index - 1];
+    } else if let Some(&(n, v)) = STATIC_TABLE.get(index - 1) {
         Some((n, v))
     } else {
         table

@@ -52,13 +52,19 @@ impl<'a> Tokenizer<'a> {
     }
 
     fn rest(&self) -> &'a str {
-        &self.input[self.pos..]
+        self.input.get(self.pos..).unwrap_or("")
     }
 
     fn starts_with_ci(&self, prefix: &str) -> bool {
-        let rest = self.rest();
-        rest.len() >= prefix.len() && rest[..prefix.len()].eq_ignore_ascii_case(prefix)
+        self.rest()
+            .get(..prefix.len())
+            .is_some_and(|head| head.eq_ignore_ascii_case(prefix))
     }
+}
+
+/// Panic-free slice: an out-of-range (or non-boundary) range yields "".
+fn slice(s: &str, r: std::ops::Range<usize>) -> &str {
+    s.get(r).unwrap_or("")
 }
 
 impl<'a> Iterator for Tokenizer<'a> {
@@ -76,7 +82,7 @@ impl<'a> Iterator for Tokenizer<'a> {
                 let close = format!("</{elem}");
                 let rest = self.rest();
                 let end = find_ci(rest, &close).unwrap_or(rest.len());
-                let text = &rest[..end];
+                let text = slice(rest, 0..end);
                 self.pos += end;
                 self.raw_mode = None;
                 if !text.trim().is_empty() {
@@ -93,11 +99,11 @@ impl<'a> Iterator for Tokenizer<'a> {
                 // Comment.
                 if stripped.starts_with("!--") {
                     let body_start = self.pos + 4;
-                    let end = self.input[body_start..]
+                    let end = slice(self.input, body_start..self.input.len())
                         .find("-->")
                         .map(|i| body_start + i)
                         .unwrap_or(self.input.len());
-                    let comment = self.input[body_start..end].to_string();
+                    let comment = slice(self.input, body_start..end).to_string();
                     self.pos = (end + 3).min(self.input.len());
                     return Some(Token::Comment(comment));
                 }
@@ -117,7 +123,9 @@ impl<'a> Iterator for Tokenizer<'a> {
                         self.pos = self.input.len();
                         return None;
                     };
-                    let name = self.input[self.pos + 2..end].trim().to_ascii_lowercase();
+                    let name = slice(self.input, self.pos + 2..end)
+                        .trim()
+                        .to_ascii_lowercase();
                     self.pos = end + 1;
                     if name.is_empty() {
                         continue;
@@ -146,7 +154,7 @@ impl<'a> Iterator for Tokenizer<'a> {
                 .find('<')
                 .map(|i| self.pos + i)
                 .unwrap_or(self.input.len());
-            let text = &self.input[self.pos..end];
+            let text = slice(self.input, self.pos..end);
             self.pos = end;
             if !text.trim().is_empty() {
                 return Some(Token::Text(text.to_string()));
@@ -160,26 +168,29 @@ impl<'a> Tokenizer<'a> {
         debug_assert!(self.starts_with_ci("<"));
         let start = self.pos + 1;
         let bytes = self.input.as_bytes();
+        // Past-the-end reads yield NUL, which is in no tag/attribute
+        // character class, so every scan below stops at the buffer edge.
+        let at = |i: usize| bytes.get(i).copied().unwrap_or(0);
         let mut i = start;
 
         // Tag name.
-        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-') {
+        while at(i).is_ascii_alphanumeric() || at(i) == b'-' {
             i += 1;
         }
-        let name = self.input[start..i].to_ascii_lowercase();
+        let name = slice(self.input, start..i).to_ascii_lowercase();
 
         // Attributes.
         let mut attrs = Vec::new();
         let mut self_closing = false;
         loop {
-            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            while at(i).is_ascii_whitespace() {
                 i += 1;
             }
             if i >= bytes.len() {
                 self.pos = bytes.len();
                 break;
             }
-            match bytes[i] {
+            match at(i) {
                 b'>' => {
                     self.pos = i + 1;
                     break;
@@ -192,41 +203,38 @@ impl<'a> Tokenizer<'a> {
                     // Attribute name.
                     let astart = i;
                     while i < bytes.len()
-                        && !bytes[i].is_ascii_whitespace()
-                        && bytes[i] != b'='
-                        && bytes[i] != b'>'
-                        && bytes[i] != b'/'
+                        && !at(i).is_ascii_whitespace()
+                        && at(i) != b'='
+                        && at(i) != b'>'
+                        && at(i) != b'/'
                     {
                         i += 1;
                     }
-                    let aname = self.input[astart..i].to_ascii_lowercase();
-                    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    let aname = slice(self.input, astart..i).to_ascii_lowercase();
+                    while at(i).is_ascii_whitespace() {
                         i += 1;
                     }
                     let mut avalue = String::new();
-                    if i < bytes.len() && bytes[i] == b'=' {
+                    if at(i) == b'=' {
                         i += 1;
-                        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                        while at(i).is_ascii_whitespace() {
                             i += 1;
                         }
-                        if i < bytes.len() && (bytes[i] == b'"' || bytes[i] == b'\'') {
-                            let quote = bytes[i];
+                        if at(i) == b'"' || at(i) == b'\'' {
+                            let quote = at(i);
                             i += 1;
                             let vstart = i;
-                            while i < bytes.len() && bytes[i] != quote {
+                            while i < bytes.len() && at(i) != quote {
                                 i += 1;
                             }
-                            avalue = self.input[vstart..i].to_string();
+                            avalue = slice(self.input, vstart..i).to_string();
                             i = (i + 1).min(bytes.len());
                         } else {
                             let vstart = i;
-                            while i < bytes.len()
-                                && !bytes[i].is_ascii_whitespace()
-                                && bytes[i] != b'>'
-                            {
+                            while i < bytes.len() && !at(i).is_ascii_whitespace() && at(i) != b'>' {
                                 i += 1;
                             }
-                            avalue = self.input[vstart..i].to_string();
+                            avalue = slice(self.input, vstart..i).to_string();
                         }
                     }
                     if !aname.is_empty() {
@@ -256,7 +264,10 @@ fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
     }
     let h = haystack.as_bytes();
     let n = needle.as_bytes();
-    (0..=h.len() - n.len()).find(|&i| h[i..i + n.len()].eq_ignore_ascii_case(n))
+    (0..=h.len() - n.len()).find(|&i| {
+        h.get(i..i + n.len())
+            .is_some_and(|w| w.eq_ignore_ascii_case(n))
+    })
 }
 
 /// Convenience: the value of an attribute by (lower-case) name.

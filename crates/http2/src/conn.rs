@@ -239,7 +239,9 @@ impl Connection {
         if self.preface_remaining > 0 {
             let take = self.preface_remaining.min(self.recv_buf.len());
             let offset = PREFACE.len() - self.preface_remaining;
-            if self.recv_buf[..take] != PREFACE[offset..offset + take] {
+            let got = self.recv_buf.get(..take).unwrap_or_default();
+            let want = PREFACE.get(offset..offset + take).unwrap_or_default();
+            if got != want {
                 return Err(ConnectionError::protocol("bad connection preface"));
             }
             let _ = self.recv_buf.split_to(take);
@@ -258,6 +260,7 @@ impl Connection {
         // While a header block is open, only CONTINUATION on the same stream
         // is legal (RFC 7540 §6.2).
         if let Some(cont) = &self.cont {
+            // vroom-lint: allow(protocol-exhaustive) -- rejection guard: every frame except same-stream CONTINUATION is a protocol error here, and future frame types must hit the error arm too
             match &frame {
                 Frame::Continuation { stream_id, .. } if *stream_id == cont.stream_id => {}
                 _ => {
@@ -413,9 +416,15 @@ impl Connection {
                 debug_assert_eq!(cont.stream_id, stream_id);
                 cont.buf.extend_from_slice(&fragment);
                 if end_headers {
-                    let cont = self.cont.take().expect("checked above");
-                    let buf = Bytes::from(cont.buf);
-                    self.finish_header_block(cont.stream_id, cont.promised, cont.end_stream, &buf)?;
+                    if let Some(cont) = self.cont.take() {
+                        let buf = Bytes::from(cont.buf);
+                        self.finish_header_block(
+                            cont.stream_id,
+                            cont.promised,
+                            cont.end_stream,
+                            &buf,
+                        )?;
+                    }
                 }
             }
         }
@@ -479,7 +488,11 @@ impl Connection {
         if n == 0 {
             return;
         }
-        self.conn_recv.expand(n).expect("replenish within bounds");
+        if self.conn_recv.expand(n).is_err() {
+            // Window already at the RFC maximum; skip the update rather
+            // than tearing the connection down over bookkeeping.
+            return;
+        }
         Frame::WindowUpdate {
             stream_id: 0,
             increment: n,
@@ -558,7 +571,12 @@ impl Connection {
                 ),
             );
         }
-        let s = self.streams.get_mut(&stream_id).expect("just ensured");
+        let Some(s) = self.streams.get_mut(&stream_id) else {
+            return Err(ConnectionError::new(
+                ErrorCode::InternalError,
+                format!("stream {stream_id} vanished during header processing"),
+            ));
+        };
         s.on_recv_headers(end_stream)?;
         self.events.push_back(Event::Headers {
             stream_id,
@@ -708,7 +726,9 @@ impl Connection {
             return;
         }
         let mut chunks = block.chunks(max);
-        let first = chunks.next().expect("nonempty block");
+        let Some(first) = chunks.next() else {
+            return; // empty block was already handled above
+        };
         Frame::Headers {
             stream_id,
             fragment: Bytes::copy_from_slice(first),
@@ -773,7 +793,7 @@ impl Connection {
             let fin = end_stream && last_byte;
             Frame::Data {
                 stream_id,
-                data: Bytes::copy_from_slice(&data[sent..sent + n]),
+                data: Bytes::copy_from_slice(data.get(sent..sent + n).unwrap_or_default()),
                 end_stream: fin,
                 pad_len: 0,
             }

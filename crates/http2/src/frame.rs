@@ -334,10 +334,10 @@ impl FrameCodec {
     /// and discarded") — represented as `Ok(None)` with bytes consumed, so
     /// callers should loop.
     pub fn decode(&self, buf: &mut BytesMut) -> Result<Option<Frame>, ConnectionError> {
-        if buf.len() < 9 {
-            return Ok(None);
-        }
-        let len = ((buf[0] as usize) << 16) | ((buf[1] as usize) << 8) | buf[2] as usize;
+        let Some(&[l0, l1, l2, ty, fl, s0, s1, s2, s3]) = buf.get(..9) else {
+            return Ok(None); // incomplete 9-byte header
+        };
+        let len = ((l0 as usize) << 16) | ((l1 as usize) << 8) | l2 as usize;
         if len as u32 > self.max_frame_size {
             return Err(ConnectionError::frame_size(format!(
                 "frame of {len} bytes exceeds max {}",
@@ -347,9 +347,7 @@ impl FrameCodec {
         if buf.len() < 9 + len {
             return Ok(None);
         }
-        let ty = buf[3];
-        let fl = buf[4];
-        let stream_id = u32::from_be_bytes([buf[5], buf[6], buf[7], buf[8]]) & 0x7fff_ffff;
+        let stream_id = u32::from_be_bytes([s0, s1, s2, s3]) & 0x7fff_ffff;
         buf.advance(9);
         let mut payload = buf.split_to(len).freeze();
 

@@ -69,7 +69,11 @@ impl Stream {
             // A reserved-local stream transitions to half-closed(remote)
             // when we send the pushed response headers.
             StreamState::ReservedLocal => StreamState::HalfClosedRemote,
-            s => s,
+            StreamState::ReservedRemote
+            | StreamState::Open
+            | StreamState::HalfClosedLocal
+            | StreamState::HalfClosedRemote
+            | StreamState::Closed => self.state,
         };
         if end_stream {
             self.on_send_end_stream();
@@ -111,7 +115,10 @@ impl Stream {
         self.state = match self.state {
             StreamState::Open => StreamState::HalfClosedLocal,
             StreamState::HalfClosedRemote | StreamState::ReservedLocal => StreamState::Closed,
-            s => s,
+            StreamState::Idle
+            | StreamState::ReservedRemote
+            | StreamState::HalfClosedLocal
+            | StreamState::Closed => self.state,
         };
     }
 
@@ -120,10 +127,14 @@ impl Stream {
         self.state = match self.state {
             StreamState::Open => StreamState::HalfClosedRemote,
             StreamState::HalfClosedLocal => StreamState::Closed,
-            s => {
+            StreamState::Idle
+            | StreamState::ReservedLocal
+            | StreamState::ReservedRemote
+            | StreamState::HalfClosedRemote
+            | StreamState::Closed => {
                 return Err(ConnectionError::new(
                     ErrorCode::StreamClosed,
-                    format!("END_STREAM in state {s:?} on stream {}", self.id),
+                    format!("END_STREAM in state {:?} on stream {}", self.state, self.id),
                 ))
             }
         };

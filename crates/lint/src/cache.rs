@@ -1,0 +1,446 @@
+//! On-disk incremental cache for per-file summaries.
+//!
+//! Keyed by an FNV-1a content hash of each file's source: a hit replays
+//! the stored [`FileSummary`] (structure, effects, *and* per-file rule
+//! violations) without re-lexing or re-parsing; the workspace-global
+//! phases (call graph, reachability, baseline reconciliation) always run
+//! from summaries, so a cached run is behaviorally identical to a cold
+//! one — proven byte-for-byte by the determinism test in
+//! `tests/analyzer.rs`.
+//!
+//! The cache is advisory: unreadable, stale, or version-skewed files are
+//! ignored (full re-parse), and writes go through a temp file + rename so
+//! a concurrent reader never sees a torn document. Any write failure is
+//! swallowed — a cache must never fail an analysis that would otherwise
+//! succeed.
+
+use crate::parse::{
+    CallKind, CallSite, EffectKind, EffectSite, EnumDef, FileSummary, FnItem, MatchSite,
+};
+use crate::rules::{self, Violation};
+use std::collections::BTreeMap;
+use std::path::Path;
+use vroom_net::json::Value;
+
+/// Bump when the summary encoding changes; mismatched caches are discarded.
+const CACHE_VERSION: u64 = 1;
+
+/// FNV-1a 64-bit, rendered as fixed-width hex.
+pub fn content_hash(source: &str) -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in source.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    format!("{h:016x}")
+}
+
+/// A loaded cache: path → (content hash, summary).
+#[derive(Default)]
+pub struct Cache {
+    entries: BTreeMap<String, (String, FileSummary)>,
+}
+
+impl Cache {
+    /// Load from `path`; any failure yields an empty cache.
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Cache::default();
+        };
+        let Ok(doc) = Value::parse(&text) else {
+            return Cache::default();
+        };
+        if doc.get("version").and_then(Value::as_u64) != Some(CACHE_VERSION) {
+            return Cache::default();
+        }
+        let Some(files) = doc.get("files").and_then(Value::as_object) else {
+            return Cache::default();
+        };
+        let mut entries = BTreeMap::new();
+        for (file_path, entry) in files {
+            let Some(hash) = entry.get("hash").and_then(Value::as_str) else {
+                continue;
+            };
+            let Some(summary) = entry
+                .get("summary")
+                .and_then(|v| decode_summary(file_path, v))
+            else {
+                continue;
+            };
+            entries.insert(file_path.clone(), (hash.to_string(), summary));
+        }
+        Cache { entries }
+    }
+
+    /// The cached summary for `path`, if its content hash still matches.
+    pub fn lookup(&self, path: &str, hash: &str) -> Option<FileSummary> {
+        self.entries
+            .get(path)
+            .filter(|(h, _)| h == hash)
+            .map(|(_, s)| s.clone())
+    }
+
+    /// Record a freshly parsed summary.
+    pub fn record(&mut self, hash: String, summary: FileSummary) {
+        self.entries.insert(summary.path.clone(), (hash, summary));
+    }
+
+    /// Drop entries for files no longer in the source set.
+    pub fn retain_paths(&mut self, live: &[&str]) {
+        self.entries.retain(|p, _| live.contains(&p.as_str()));
+    }
+
+    /// Persist atomically (temp file + rename). Failures are ignored.
+    pub fn store(&self, path: &Path) {
+        let mut files = BTreeMap::new();
+        for (file_path, (hash, summary)) in &self.entries {
+            let mut entry = BTreeMap::new();
+            entry.insert("hash".to_string(), Value::Str(hash.clone()));
+            entry.insert("summary".to_string(), encode_summary(summary));
+            files.insert(file_path.clone(), Value::Object(entry));
+        }
+        let mut doc = BTreeMap::new();
+        doc.insert("version".to_string(), Value::Int(CACHE_VERSION));
+        doc.insert("files".to_string(), Value::Object(files));
+        let text = Value::Object(doc).to_pretty();
+        let tmp = path.with_extension("tmp");
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if std::fs::write(&tmp, text).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    let mut m = BTreeMap::new();
+    for (k, v) in fields {
+        m.insert(k.to_string(), v);
+    }
+    Value::Object(m)
+}
+
+fn encode_summary(s: &FileSummary) -> Value {
+    obj(vec![
+        ("is_test", Value::Bool(s.is_test)),
+        ("fns", Value::Array(s.fns.iter().map(encode_fn).collect())),
+        (
+            "enums",
+            Value::Array(
+                s.enums
+                    .iter()
+                    .map(|e| {
+                        obj(vec![
+                            ("name", Value::Str(e.name.clone())),
+                            (
+                                "variants",
+                                Value::Array(e.variants.iter().cloned().map(Value::Str).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "matches",
+            Value::Array(s.matches.iter().map(encode_match).collect()),
+        ),
+        (
+            "aliases",
+            Value::Array(
+                s.aliases
+                    .iter()
+                    .map(|(alias, real)| {
+                        Value::Array(vec![Value::Str(alias.clone()), Value::Str(real.clone())])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "local",
+            Value::Array(s.local.iter().map(encode_violation).collect()),
+        ),
+    ])
+}
+
+fn encode_fn(f: &FnItem) -> Value {
+    obj(vec![
+        ("name", Value::Str(f.name.clone())),
+        (
+            "self_type",
+            f.self_type.clone().map(Value::Str).unwrap_or(Value::Null),
+        ),
+        ("has_self", Value::Bool(f.has_self)),
+        ("arity", Value::Int(f.arity as u64)),
+        ("line", Value::Int(f.line as u64)),
+        ("is_test", Value::Bool(f.is_test)),
+        (
+            "calls",
+            Value::Array(
+                f.calls
+                    .iter()
+                    .map(|c| {
+                        obj(vec![
+                            ("name", Value::Str(c.name.clone())),
+                            (
+                                "qualifier",
+                                c.qualifier.clone().map(Value::Str).unwrap_or(Value::Null),
+                            ),
+                            ("kind", Value::Str(c.kind.tag().to_string())),
+                            ("args", Value::Int(c.args as u64)),
+                            ("line", Value::Int(c.line as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "effects",
+            Value::Array(
+                f.effects
+                    .iter()
+                    .map(|e| {
+                        obj(vec![
+                            ("kind", Value::Str(e.kind.name().to_string())),
+                            ("line", Value::Int(e.line as u64)),
+                            ("detail", Value::Str(e.detail.clone())),
+                            ("snippet", Value::Str(e.snippet.clone())),
+                            ("waived", Value::Bool(e.waived)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn encode_match(m: &MatchSite) -> Value {
+    obj(vec![
+        ("enum", Value::Str(m.enum_name.clone())),
+        (
+            "covered",
+            Value::Array(m.covered.iter().cloned().map(Value::Str).collect()),
+        ),
+        ("catch_all", Value::Bool(m.catch_all)),
+        ("line", Value::Int(m.line as u64)),
+        ("snippet", Value::Str(m.snippet.clone())),
+        ("waived", Value::Bool(m.waived)),
+    ])
+}
+
+fn encode_violation(v: &Violation) -> Value {
+    obj(vec![
+        ("rule", Value::Str(v.rule.to_string())),
+        ("line", Value::Int(v.line as u64)),
+        ("message", Value::Str(v.message.clone())),
+        ("snippet", Value::Str(v.snippet.clone())),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Decoding (any malformed node rejects the whole file entry)
+// ---------------------------------------------------------------------------
+
+fn get_str(v: &Value, key: &str) -> Option<String> {
+    v.get(key)?.as_str().map(str::to_string)
+}
+
+fn get_usize(v: &Value, key: &str) -> Option<usize> {
+    v.get(key)?.as_u64().map(|n| n as usize)
+}
+
+fn get_bool(v: &Value, key: &str) -> Option<bool> {
+    match v.get(key)? {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn get_array<'a>(v: &'a Value, key: &str) -> Option<&'a Vec<Value>> {
+    match v.get(key)? {
+        Value::Array(a) => Some(a),
+        _ => None,
+    }
+}
+
+fn decode_summary(path: &str, v: &Value) -> Option<FileSummary> {
+    let mut fns = Vec::new();
+    for f in get_array(v, "fns")? {
+        fns.push(decode_fn(f)?);
+    }
+    let mut enums = Vec::new();
+    for e in get_array(v, "enums")? {
+        let mut variants = Vec::new();
+        for var in get_array(e, "variants")? {
+            variants.push(var.as_str()?.to_string());
+        }
+        enums.push(EnumDef {
+            name: get_str(e, "name")?,
+            variants,
+        });
+    }
+    let mut matches = Vec::new();
+    for m in get_array(v, "matches")? {
+        let mut covered = Vec::new();
+        for c in get_array(m, "covered")? {
+            covered.push(c.as_str()?.to_string());
+        }
+        matches.push(MatchSite {
+            enum_name: get_str(m, "enum")?,
+            covered,
+            catch_all: get_bool(m, "catch_all")?,
+            line: get_usize(m, "line")?,
+            snippet: get_str(m, "snippet")?,
+            waived: get_bool(m, "waived")?,
+        });
+    }
+    let mut aliases = Vec::new();
+    for pair in get_array(v, "aliases")? {
+        let Value::Array(parts) = pair else {
+            return None;
+        };
+        let [alias, real] = parts.as_slice() else {
+            return None;
+        };
+        aliases.push((alias.as_str()?.to_string(), real.as_str()?.to_string()));
+    }
+    let mut local = Vec::new();
+    for violation in get_array(v, "local")? {
+        let rule_name = get_str(violation, "rule")?;
+        let rule = rules::RULE_IDS
+            .iter()
+            .find(|id| **id == rule_name)
+            .copied()?;
+        local.push(Violation {
+            rule,
+            path: path.to_string(),
+            line: get_usize(violation, "line")?,
+            message: get_str(violation, "message")?,
+            snippet: get_str(violation, "snippet")?,
+        });
+    }
+    Some(FileSummary {
+        path: path.to_string(),
+        is_test: get_bool(v, "is_test")?,
+        fns,
+        enums,
+        matches,
+        aliases,
+        local,
+    })
+}
+
+fn decode_fn(v: &Value) -> Option<FnItem> {
+    let mut calls = Vec::new();
+    for c in get_array(v, "calls")? {
+        calls.push(CallSite {
+            name: get_str(c, "name")?,
+            qualifier: match c.get("qualifier")? {
+                Value::Null => None,
+                Value::Str(s) => Some(s.clone()),
+                _ => return None,
+            },
+            kind: CallKind::from_tag(&get_str(c, "kind")?)?,
+            args: get_usize(c, "args")?,
+            line: get_usize(c, "line")?,
+        });
+    }
+    let mut effects = Vec::new();
+    for e in get_array(v, "effects")? {
+        effects.push(EffectSite {
+            kind: EffectKind::from_name(&get_str(e, "kind")?)?,
+            line: get_usize(e, "line")?,
+            detail: get_str(e, "detail")?,
+            snippet: get_str(e, "snippet")?,
+            waived: get_bool(e, "waived")?,
+        });
+    }
+    Some(FnItem {
+        name: get_str(v, "name")?,
+        self_type: match v.get("self_type")? {
+            Value::Null => None,
+            Value::Str(s) => Some(s.clone()),
+            _ => return None,
+        },
+        has_self: get_bool(v, "has_self")?,
+        arity: get_usize(v, "arity")?,
+        line: get_usize(v, "line")?,
+        is_test: get_bool(v, "is_test")?,
+        calls,
+        effects,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::summarize_source;
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        assert_eq!(content_hash("abc"), content_hash("abc"));
+        assert_ne!(content_hash("abc"), content_hash("abd"));
+        assert_eq!(content_hash("").len(), 16);
+    }
+
+    #[test]
+    fn summary_roundtrips_through_encoding() {
+        let src = "enum E { A, B }\n\
+                   struct S;\n\
+                   impl S {\n\
+                       fn go(&self, x: u32) -> u32 { helper(x); self.go(x); x }\n\
+                   }\n\
+                   fn helper(x: u32) -> u32 { let b = &[1u8][..]; b[0] as u32 + x }\n\
+                   fn pick(e: E) -> u8 { match e { E::A => 0, E::B => 1 } }\n";
+        let original = summarize_source("crates/net/src/x.rs", src);
+        let encoded = encode_summary(&original);
+        // Through text, like a real disk roundtrip.
+        let reparsed = Value::parse(&encoded.to_pretty()).unwrap();
+        let decoded = decode_summary("crates/net/src/x.rs", &reparsed).unwrap();
+        assert_eq!(decoded.fns.len(), original.fns.len());
+        for (a, b) in decoded.fns.iter().zip(&original.fns) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.self_type, b.self_type);
+            assert_eq!(a.arity, b.arity);
+            assert_eq!(a.calls.len(), b.calls.len());
+            assert_eq!(a.effects.len(), b.effects.len());
+        }
+        assert_eq!(decoded.enums.len(), 1);
+        assert_eq!(decoded.matches.len(), 1);
+    }
+
+    #[test]
+    fn cache_roundtrip_on_disk_and_stale_hash_misses() {
+        let dir = std::env::temp_dir().join("vroom-lint-cache-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("cache.json");
+        let _ = std::fs::remove_file(&path);
+
+        let summary = summarize_source("crates/net/src/x.rs", "fn f() {}\n");
+        let hash = content_hash("fn f() {}\n");
+        let mut cache = Cache::default();
+        cache.record(hash.clone(), summary);
+        cache.store(&path);
+
+        let loaded = Cache::load(&path);
+        assert!(loaded.lookup("crates/net/src/x.rs", &hash).is_some());
+        assert!(
+            loaded
+                .lookup("crates/net/src/x.rs", "0000000000000000")
+                .is_none(),
+            "stale hash must miss"
+        );
+        assert!(loaded.lookup("crates/net/src/other.rs", &hash).is_none());
+
+        // Corrupt cache is ignored, not fatal.
+        std::fs::write(&path, "{ not json").unwrap();
+        let corrupt = Cache::load(&path);
+        assert!(corrupt.lookup("crates/net/src/x.rs", &hash).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -84,6 +84,17 @@ pub fn lex(source: &str) -> Lexed {
         }};
     }
 
+    // Shebang line (`#!/usr/bin/env ...`): not Rust tokens at all — blank it
+    // before the scan so an apostrophe or quote in the interpreter path
+    // cannot open a bogus literal. `#![...]` inner attributes are real code
+    // and are left alone.
+    if bytes.starts_with(b"#!") && bytes.get(2) != Some(&b'[') {
+        while i < bytes.len() && bytes[i] != b'\n' {
+            blank!(bytes[i]);
+            i += 1;
+        }
+    }
+
     while i < bytes.len() {
         let b = bytes[i];
         // Line comment.
@@ -400,6 +411,61 @@ mod tests {
             "a quote char literal must not eat code"
         );
         assert!(!out.contains("\\n"));
+    }
+
+    #[test]
+    fn shebang_line_is_blanked() {
+        // The interpreter path is not Rust: an apostrophe or quote in it
+        // must not open a char/string literal that swallows the real code.
+        let src = "#!/usr/bin/env -S cargo 'x\nfn main() { Instant::now(); }\n";
+        let out = code_of(src);
+        assert!(!out.contains("/usr/bin/env"));
+        assert!(out.contains("Instant::now()"), "code after shebang is live");
+        assert_eq!(out.lines().count(), 2, "line structure preserved");
+    }
+
+    #[test]
+    fn inner_attribute_is_not_a_shebang() {
+        let src = "#![forbid(unsafe_code)]\nfn f() {}\n";
+        let out = code_of(src);
+        assert!(
+            out.contains("#![forbid(unsafe_code)]"),
+            "`#![...]` is real code, not a shebang"
+        );
+    }
+
+    #[test]
+    fn shebang_only_counts_at_file_start() {
+        let src = "fn f() {}\n// #!/usr/bin/env not a shebang\nlet g = 1;\n";
+        let out = code_of(src);
+        assert!(out.contains("fn f() {}"));
+        assert!(out.contains("let g = 1;"));
+    }
+
+    #[test]
+    fn raw_byte_string_with_hashes() {
+        let out = code_of("let b = br##\"thread_rng \"# deep\"##; h()");
+        assert!(!out.contains("thread_rng"));
+        assert!(!out.contains("deep"));
+        assert!(out.contains("h()"));
+    }
+
+    #[test]
+    fn unbalanced_nested_comment_does_not_panic() {
+        // An unterminated inner comment runs to EOF; the lexer must not
+        // index past the buffer.
+        let out = code_of("a /* outer /* inner\nno close");
+        assert!(out.starts_with('a'));
+        assert!(!out.contains("inner"));
+        assert!(!out.contains("no close"));
+    }
+
+    #[test]
+    fn lifetime_in_turbofish_is_not_a_char() {
+        let out = code_of("fn f() { g::<'static, u8>(1); let c = 'q'; live() }");
+        assert!(out.contains("g::<'static, u8>(1)"), "lifetime kept as code");
+        assert!(out.contains("live()"), "char literal closed correctly");
+        assert!(!out.contains('q'), "char contents blanked");
     }
 
     #[test]

@@ -1,25 +1,28 @@
-//! `vroom-lint` — source-level static analysis for the Vroom workspace.
+//! `vroom-lint` — call-graph semantic analysis for the Vroom workspace.
 //!
 //! The simulation's headline guarantee is determinism: the same seed and
 //! the same page corpus must produce byte-identical event traces and
 //! metrics. That guarantee is easy to break silently — one `Instant::now()`
-//! in a shared code path, one `HashMap` iteration feeding an event queue —
-//! so this crate enforces the invariants *statically*, over the workspace's
-//! own source text, with zero external dependencies.
+//! in a helper three calls below the engine, one `HashMap` iteration
+//! feeding an event queue — so this crate enforces the invariants
+//! *statically*, over the workspace's own source text, with no external
+//! dependencies beyond the workspace JSON codec.
 //!
-//! Rules (see [`rules::RULE_IDS`]):
+//! The pipeline:
 //!
-//! * `wall-clock` — `Instant::now` / `SystemTime` outside bench binaries,
-//! * `unordered-iter` — HashMap/HashSet iteration in sim-path crates,
-//! * `ambient-randomness` — `thread_rng` & friends outside the seeded PRNG,
-//! * `forbid-unsafe` — every crate root carries `#![forbid(unsafe_code)]`,
-//! * `unwrap` — `.unwrap()`/`.expect(` ratchet in protocol crates,
-//! * `float-eq` — exact float comparison in metrics code,
-//! * `waiver-syntax` — malformed or unknown-rule waiver comments.
-//!
-//! Findings fire on *code*, not comments or string literals: a lexer pass
-//! ([`lexer::lex`]) blanks comments and literals while preserving byte
-//! positions, so diagnostics carry real `file:line` coordinates.
+//! 1. [`lexer`] blanks comments and literals while preserving byte
+//!    positions, and collects per-line waivers;
+//! 2. [`parse`] builds one [`parse::FileSummary`] per file — fns with
+//!    their call and effect sites, enums, and protocol matches — plus the
+//!    per-file rule findings ([`rules`]);
+//! 3. [`cache`] optionally replays summaries for unchanged files (keyed by
+//!    content hash; behaviorally invisible);
+//! 4. [`callgraph`] links the summaries into a conservative workspace call
+//!    graph (over-approximating on every ambiguity);
+//! 5. [`reach`] walks it for the three interprocedural rule families —
+//!    `sim-purity`, `panic-reachable`, `protocol-exhaustive`;
+//! 6. [`baseline`] reconciles findings against the checked-in ratchet, and
+//!    [`sarif`] renders the report as canonical SARIF JSON.
 //!
 //! Escape hatches are explicit and audited: a line can carry
 //! `// vroom-lint: allow(<rule>) -- <reason>` (the reason is mandatory),
@@ -29,14 +32,20 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod cache;
+pub mod callgraph;
 pub mod lexer;
+pub mod parse;
+pub mod reach;
 pub mod rules;
+pub mod sarif;
 pub mod source;
 
 use baseline::Reconciled;
+use parse::FileSummary;
 use rules::Violation;
 use source::SourceFile;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Outcome of a full lint run.
 #[derive(Debug)]
@@ -59,24 +68,68 @@ impl Report {
     }
 }
 
-/// Lint in-memory sources — the pure entry point the integration tests use.
+/// Analysis options. `Default` is a cold, cache-free run — what the
+/// library tests and `analyze` use; the CLI opts into the cache.
+#[derive(Debug, Default)]
+pub struct Options {
+    /// Read/write an incremental summary cache at this path.
+    pub cache: Option<PathBuf>,
+}
+
+/// Lint in-memory sources — the pure entry point tests and fixtures use.
+/// Runs the complete pipeline (per-file rules + call-graph rules) and
+/// returns all violations sorted by (path, line, rule).
 pub fn analyze_sources(files: &[SourceFile]) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for file in files {
-        let lexed = lexer::lex(&file.source);
-        rules::check_file(file, &lexed, &mut out);
-    }
+    let summaries: Vec<FileSummary> = files.iter().map(parse::summarize).collect();
+    violations_of(&summaries)
+}
+
+fn violations_of(summaries: &[FileSummary]) -> Vec<Violation> {
+    let mut out: Vec<Violation> = summaries.iter().flat_map(|s| s.local.clone()).collect();
+    out.extend(reach::semantic_violations(summaries));
     out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     out
 }
 
+/// Summarize every workspace file, consulting (and refreshing) the cache
+/// when one is configured.
+fn summarize_workspace(files: &[SourceFile], opts: &Options) -> Vec<FileSummary> {
+    let Some(cache_path) = &opts.cache else {
+        return files.iter().map(parse::summarize).collect();
+    };
+    let mut cache = cache::Cache::load(cache_path);
+    let mut summaries = Vec::with_capacity(files.len());
+    for file in files {
+        let hash = cache::content_hash(&file.source);
+        let summary = match cache.lookup(&file.path, &hash) {
+            Some(hit) => hit,
+            None => {
+                let fresh = parse::summarize(file);
+                cache.record(hash, fresh.clone());
+                fresh
+            }
+        };
+        summaries.push(summary);
+    }
+    let live: Vec<&str> = files.iter().map(|f| f.path.as_str()).collect();
+    cache.retain_paths(&live);
+    cache.store(cache_path);
+    summaries
+}
+
 /// Lint the workspace rooted at (or above) `start`, reconciling against the
-/// checked-in baseline if present.
+/// checked-in baseline if present. Cache-free; see [`analyze_with`].
 pub fn analyze(start: &Path) -> Result<Report, String> {
+    analyze_with(start, &Options::default())
+}
+
+/// Lint the workspace with explicit [`Options`].
+pub fn analyze_with(start: &Path, opts: &Options) -> Result<Report, String> {
     let root = source::workspace_root(start)
         .ok_or_else(|| format!("no workspace Cargo.toml above {}", start.display()))?;
     let files = source::collect_sources(&root).map_err(|e| format!("walking workspace: {e}"))?;
-    let violations = analyze_sources(&files);
+    let summaries = summarize_workspace(&files, opts);
+    let violations = violations_of(&summaries);
     let raw_count = violations.len();
     let baseline_path = root.join(baseline::BASELINE_FILE);
     let entries = if baseline_path.is_file() {

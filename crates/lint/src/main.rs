@@ -1,6 +1,10 @@
 //! CLI for the workspace linter.
 //!
 //! * `vroom-lint` — lint; exit 1 if violations beyond the baseline exist.
+//! * `vroom-lint --format json` — emit a SARIF 2.1.0 report on stdout
+//!   (stable, sorted, byte-identical across cold and cached runs).
+//! * `vroom-lint --no-cache` — skip the incremental summary cache
+//!   (`target/vroom-lint-cache.json`); the default run uses it.
 //! * `vroom-lint --update-baseline` — regenerate `lint-baseline.txt` from
 //!   the current tree (use only to record that debt shrank).
 //! * `vroom-lint --check-baseline` — like the default, but also exit 1 on
@@ -15,19 +19,40 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut update = false;
     let mut check_baseline = false;
-    for arg in &args {
+    let mut no_cache = false;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--update-baseline" => update = true,
             "--check-baseline" => check_baseline = true,
+            "--no-cache" => no_cache = true,
+            "--format" => match iter.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!(
+                        "vroom-lint: --format expects `json` or `text`, got {:?}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--format=json" => json = true,
+            "--format=text" => json = false,
             "--help" | "-h" => {
                 println!(
-                    "vroom-lint: determinism & protocol-invariant checks for the Vroom workspace\n\
+                    "vroom-lint: call-graph determinism & protocol-invariant checks\n\
                      \n\
-                     USAGE: vroom-lint [--update-baseline | --check-baseline]\n\
+                     USAGE: vroom-lint [--format json|text] [--no-cache]\n\
+                     \u{20}                 [--update-baseline | --check-baseline]\n\
                      \n\
                      Default mode lints the workspace and fails on violations not covered by\n\
-                     lint-baseline.txt. --check-baseline additionally fails when baseline\n\
-                     entries are stale (debt was paid down but the file was not regenerated).\n\
+                     lint-baseline.txt. --format json writes a SARIF 2.1.0 report to stdout.\n\
+                     --no-cache forces a cold run (the default keeps an incremental summary\n\
+                     cache in target/vroom-lint-cache.json; cached runs are byte-identical).\n\
+                     --check-baseline additionally fails when baseline entries are stale\n\
+                     (debt was paid down but the file was not regenerated).\n\
                      --update-baseline rewrites lint-baseline.txt from the current tree."
                 );
                 return ExitCode::SUCCESS;
@@ -57,31 +82,44 @@ fn main() -> ExitCode {
         };
     }
 
-    match vroom_lint::analyze(&cwd) {
+    let opts = vroom_lint::Options {
+        cache: if no_cache {
+            None
+        } else {
+            vroom_lint::source::workspace_root(&cwd)
+                .map(|root| root.join("target").join("vroom-lint-cache.json"))
+        },
+    };
+
+    match vroom_lint::analyze_with(&cwd, &opts) {
         Ok(report) => {
-            for v in &report.new_violations {
-                println!("{}:{}: {}: {}", v.path, v.line, v.rule, v.message);
-            }
-            for e in &report.stale_entries {
+            if json {
+                print!("{}", vroom_lint::sarif::render(&report));
+            } else {
+                for v in &report.new_violations {
+                    println!("{}:{}: {}: {}", v.path, v.line, v.rule, v.message);
+                }
+                for e in &report.stale_entries {
+                    println!(
+                        "lint-baseline.txt: stale entry ({} in {}: {:?}) — debt paid down, \
+                         regenerate with --update-baseline",
+                        e.rule, e.path, e.snippet
+                    );
+                }
                 println!(
-                    "lint-baseline.txt: stale entry ({} in {}: {:?}) — debt paid down, \
-                     regenerate with --update-baseline",
-                    e.rule, e.path, e.snippet
+                    "vroom-lint: {} files, {} raw finding(s), {} new, {} stale baseline entr{}",
+                    report.files_scanned,
+                    report.raw_count,
+                    report.new_violations.len(),
+                    report.stale_entries.len(),
+                    if report.stale_entries.len() == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    },
                 );
             }
             let fail = !report.is_clean() || (check_baseline && !report.stale_entries.is_empty());
-            println!(
-                "vroom-lint: {} files, {} raw finding(s), {} new, {} stale baseline entr{}",
-                report.files_scanned,
-                report.raw_count,
-                report.new_violations.len(),
-                report.stale_entries.len(),
-                if report.stale_entries.len() == 1 {
-                    "y"
-                } else {
-                    "ies"
-                },
-            );
             if fail {
                 ExitCode::FAILURE
             } else {

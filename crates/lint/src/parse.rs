@@ -1,0 +1,1249 @@
+//! Lightweight Rust item/expression parser on top of [`crate::lexer`].
+//!
+//! Produces one [`FileSummary`] per source file: the functions it defines
+//! (with their call sites and effect sites), the enums it declares, and the
+//! `match` expressions that scrutinize enum variants. Summaries are the unit
+//! of incremental caching ([`crate::cache`]) and the input to the workspace
+//! call graph ([`crate::callgraph`]) and the reachability rules
+//! ([`crate::reach`]).
+//!
+//! The parser is deliberately conservative: it never needs to be *right*
+//! about Rust's grammar, only to over-approximate. Missing an impl header
+//! widens method resolution (more candidate callees); attributing a nested
+//! fn's body to both the nested fn and its parent adds edges, never removes
+//! them. The one direction it must not err in is dropping calls or effects,
+//! and the scanners below are all simple substring/byte scans over lexed
+//! code (comments and literals blanked) for exactly that reason.
+
+use crate::lexer;
+use crate::rules::{self, Violation};
+use crate::source::SourceFile;
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `helper(..)` — bare path, resolved by name (same crate preferred).
+    Free,
+    /// `recv.method(..)` — resolved by name + arity over all methods.
+    Method,
+    /// `Type::assoc(..)` / `module::helper(..)` — resolved through the
+    /// qualifying path segment.
+    Qualified,
+}
+
+impl CallKind {
+    pub fn tag(self) -> &'static str {
+        match self {
+            CallKind::Free => "free",
+            CallKind::Method => "method",
+            CallKind::Qualified => "qualified",
+        }
+    }
+
+    pub fn from_tag(tag: &str) -> Option<CallKind> {
+        match tag {
+            "free" => Some(CallKind::Free),
+            "method" => Some(CallKind::Method),
+            "qualified" => Some(CallKind::Qualified),
+            _ => None,
+        }
+    }
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (last path segment).
+    pub name: String,
+    /// Qualifying segment for [`CallKind::Qualified`] (`Type` in
+    /// `Type::assoc`, `module` in `module::helper`, or `Self`).
+    pub qualifier: Option<String>,
+    pub kind: CallKind,
+    /// Number of argument expressions (excluding any receiver).
+    pub args: usize,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// Effect families tracked for the reachability rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectKind {
+    WallClock,
+    Randomness,
+    Fs,
+    Net,
+    UnorderedIter,
+    Panic,
+}
+
+impl EffectKind {
+    /// The rule id a waiver/baseline entry references for this effect.
+    pub fn rule(self) -> &'static str {
+        match self {
+            EffectKind::Panic => "panic-reachable",
+            _ => "sim-purity",
+        }
+    }
+
+    /// Human name used in diagnostics and the cache encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            EffectKind::WallClock => "wall-clock read",
+            EffectKind::Randomness => "ambient randomness",
+            EffectKind::Fs => "filesystem access",
+            EffectKind::Net => "network access",
+            EffectKind::UnorderedIter => "unordered iteration",
+            EffectKind::Panic => "panic site",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<EffectKind> {
+        match name {
+            "wall-clock read" => Some(EffectKind::WallClock),
+            "ambient randomness" => Some(EffectKind::Randomness),
+            "filesystem access" => Some(EffectKind::Fs),
+            "network access" => Some(EffectKind::Net),
+            "unordered iteration" => Some(EffectKind::UnorderedIter),
+            "panic site" => Some(EffectKind::Panic),
+            _ => None,
+        }
+    }
+}
+
+/// One effect occurrence inside a function body.
+#[derive(Debug, Clone)]
+pub struct EffectSite {
+    pub kind: EffectKind,
+    /// 1-based line of the effect.
+    pub line: usize,
+    /// What triggered it (`Instant::now`, `.unwrap()`, `buf[`, ...).
+    pub detail: String,
+    /// Original (unlexed) source line, trimmed — becomes the diagnostic
+    /// snippet, which the baseline keys on.
+    pub snippet: String,
+    /// A per-call-site waiver covers this line for the effect's rule.
+    pub waived: bool,
+}
+
+/// One function (free fn, inherent/trait method, or nested fn).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// `Some(TypeName)` for fns inside an `impl Type` / `impl Trait for
+    /// Type` / `trait Name` block.
+    pub self_type: Option<String>,
+    /// Takes a `self` receiver (method-call resolution candidate).
+    pub has_self: bool,
+    /// Parameter count, excluding `self`.
+    pub arity: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Inside a `#[cfg(test)]` region or a test file — excluded from the
+    /// call graph entirely.
+    pub is_test: bool,
+    pub calls: Vec<CallSite>,
+    pub effects: Vec<EffectSite>,
+}
+
+/// One enum declaration (workspace-wide variant table for
+/// protocol-exhaustiveness).
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    pub name: String,
+    pub variants: Vec<String>,
+}
+
+/// One `match` whose patterns reference enum variants (`E::V`).
+#[derive(Debug, Clone)]
+pub struct MatchSite {
+    /// The enum the match scrutinizes (majority of variant refs).
+    pub enum_name: String,
+    /// Variant names covered by explicit patterns, sorted + deduped.
+    pub covered: Vec<String>,
+    /// Has a `_` or bare-binding catch-all arm.
+    pub catch_all: bool,
+    /// 1-based line of the `match` keyword.
+    pub line: usize,
+    pub snippet: String,
+    /// Waived via `allow(protocol-exhaustive)` on the match line.
+    pub waived: bool,
+}
+
+/// Everything the workspace analysis needs to know about one file.
+#[derive(Debug, Clone)]
+pub struct FileSummary {
+    pub path: String,
+    pub is_test: bool,
+    pub fns: Vec<FnItem>,
+    pub enums: Vec<EnumDef>,
+    pub matches: Vec<MatchSite>,
+    /// `use path::Real as Alias;` renames, as (alias, real) pairs — lets
+    /// the call graph resolve `Alias::assoc(..)` through the real type.
+    pub aliases: Vec<(String, String)>,
+    /// Per-file rule violations ([`rules::check_file`]), cached alongside
+    /// the structural summary so a cache hit skips the whole file.
+    pub local: Vec<Violation>,
+}
+
+/// Parse one file into its summary. This is the only entry point; it runs
+/// the lexer, the per-file rules, and the item/expression scans.
+pub fn summarize(file: &SourceFile) -> FileSummary {
+    let lexed = lexer::lex(&file.source);
+    let mut local = Vec::new();
+    rules::check_file(file, &lexed, &mut local);
+
+    let code = lexed.code.as_str();
+    let lines = LineMap::new(code);
+    let test_lines = rules::test_region_lines(code);
+    let is_test_file = file.is_test_file();
+    let in_test = |line: usize| is_test_file || test_lines.get(line - 1).copied().unwrap_or(false);
+    let snippet_of = |line: usize| -> String {
+        file.source
+            .lines()
+            .nth(line - 1)
+            .unwrap_or("")
+            .trim()
+            .to_string()
+    };
+
+    let impls = impl_ranges(code);
+    let mut fns = fn_items(code, &lines, &impls, &in_test);
+
+    // Effects: scan the whole file once per family, then attribute each
+    // site to its innermost enclosing fn. Sites outside any fn body
+    // (consts, statics) cannot execute at runtime on the simulated path
+    // and are dropped.
+    for site in effect_sites(code, &lines) {
+        let waived = lexed.is_waived(site.kind.rule(), site.line);
+        if let Some(idx) = innermost_fn(&fns, site.pos) {
+            fns[idx].item.effects.push(EffectSite {
+                kind: site.kind,
+                line: site.line,
+                detail: site.detail,
+                snippet: snippet_of(site.line),
+                waived,
+            });
+        }
+    }
+
+    // Calls: scan each fn body. Nested fn bodies are contained in their
+    // parent's range, so the parent over-approximates by absorbing the
+    // nested calls too; diagnostics dedup by (rule, path, line) downstream.
+    for i in 0..fns.len() {
+        let (start, end) = fns[i].body;
+        fns[i].item.calls = call_sites(code, start, end, &lines);
+    }
+
+    let enums = enum_defs(code);
+    let matches = match_sites(code, &lines, &in_test)
+        .into_iter()
+        .map(|m| MatchSite {
+            snippet: snippet_of(m.line),
+            waived: lexed.is_waived("protocol-exhaustive", m.line),
+            enum_name: m.enum_name,
+            covered: m.covered,
+            catch_all: m.catch_all,
+            line: m.line,
+        })
+        .collect();
+
+    FileSummary {
+        path: file.path.clone(),
+        is_test: is_test_file,
+        fns: fns.into_iter().map(|f| f.item).collect(),
+        enums,
+        matches,
+        aliases: use_aliases(code),
+        local,
+    }
+}
+
+/// `(alias, real)` pairs from `use` declarations, including grouped lists
+/// (`use x::{A as B, C as D};`).
+fn use_aliases(code: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for at in rules::find_word(code, "use") {
+        let stmt_end = code[at..].find(';').map(|i| at + i).unwrap_or(code.len());
+        let stmt = &code[at..stmt_end];
+        for as_at in rules::find_word(stmt, "as") {
+            let Some(real) = rules_trailing_word(stmt[..as_at].trim_end()) else {
+                continue;
+            };
+            let Some(alias) = first_ident(&stmt[as_at + 2..]) else {
+                continue;
+            };
+            if alias == "_" {
+                continue; // `use Trait as _;` — nothing to resolve through
+            }
+            out.push((alias, real));
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Summarize an in-memory source without touching disk (tests, fixtures).
+pub fn summarize_source(path: &str, source: &str) -> FileSummary {
+    summarize(&SourceFile {
+        path: path.to_string(),
+        source: source.to_string(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Byte → line mapping
+// ---------------------------------------------------------------------------
+
+struct LineMap {
+    /// Byte offset of the start of each line.
+    starts: Vec<usize>,
+}
+
+impl LineMap {
+    fn new(code: &str) -> LineMap {
+        let mut starts = vec![0];
+        for (i, b) in code.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineMap { starts }
+    }
+
+    /// 1-based line containing byte offset `pos`.
+    fn line(&self, pos: usize) -> usize {
+        self.starts.partition_point(|&s| s <= pos)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Items: impl blocks, fns, enums
+// ---------------------------------------------------------------------------
+
+struct ImplRange {
+    start: usize,
+    end: usize,
+    self_type: String,
+}
+
+/// Brace-matched span starting at the `{` at `open`. Returns the offset one
+/// past the closing `}` (or `code.len()` if unbalanced).
+fn brace_span(code: &str, open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, b) in code[open..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return open + i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    code.len()
+}
+
+/// `impl` and `trait` block ranges with the type (or trait) name that
+/// methods inside resolve under. `-> impl Trait` positions are filtered by
+/// looking at the previous non-whitespace byte: item-level `impl`/`trait`
+/// can only follow `}`, `;`, `]` (attribute), `{` (mod body), or the start
+/// of the file.
+fn impl_ranges(code: &str) -> Vec<ImplRange> {
+    let mut out = Vec::new();
+    for kw in ["impl", "trait"] {
+        for at in rules::find_word(code, kw) {
+            let prev = code[..at].trim_end().bytes().next_back();
+            if !matches!(
+                prev,
+                None | Some(b'}') | Some(b';') | Some(b']') | Some(b'{')
+            ) {
+                continue;
+            }
+            let Some(open_rel) = code[at..].find('{') else {
+                continue;
+            };
+            // `trait` objects (`dyn trait`) can't appear item-level; for
+            // `impl`, the header between the keyword and `{` names the type.
+            let open = at + open_rel;
+            let header = &code[at + kw.len()..open];
+            // A `;` in the header means this wasn't a block after all
+            // (e.g. `trait alias = ...;` — not used here, but cheap to guard).
+            if header.contains(';') {
+                continue;
+            }
+            let name = if kw == "impl" {
+                impl_self_type(header)
+            } else {
+                first_ident(header)
+            };
+            let Some(name) = name else { continue };
+            out.push(ImplRange {
+                start: open,
+                end: brace_span(code, open),
+                self_type: name,
+            });
+        }
+    }
+    out
+}
+
+/// The self type of an `impl` header: last path segment of the type after
+/// `for` (trait impls) or after the generics (inherent impls), with
+/// generic arguments and reference sigils stripped.
+fn impl_self_type(header: &str) -> Option<String> {
+    let ty = match split_at_word(header, "for") {
+        Some((_, after)) => after,
+        None => strip_leading_generics(header),
+    };
+    let ty = ty.trim().trim_start_matches('&').trim_start_matches("mut ");
+    // Walk path segments up to generics: `hpack::Decoder<'a>` → `Decoder`.
+    let base: &str = ty.split('<').next().unwrap_or(ty).trim();
+    base.rsplit("::").next().and_then(first_ident)
+}
+
+/// Split `text` at the first word-boundary occurrence of `word`.
+fn split_at_word<'a>(text: &'a str, word: &str) -> Option<(&'a str, &'a str)> {
+    let at = *rules::find_word(text, word).first()?;
+    Some((&text[..at], &text[at + word.len()..]))
+}
+
+/// Drop a leading `<...>` generics list (angle-bracket matched, `->`-aware).
+fn strip_leading_generics(header: &str) -> &str {
+    let t = header.trim_start();
+    if !t.starts_with('<') {
+        return t;
+    }
+    let bytes = t.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' => depth += 1,
+            b'>' if i > 0 && bytes[i - 1] == b'-' => {} // `->` in Fn bounds
+            b'>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &t[i + 1..];
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    t
+}
+
+fn first_ident(text: &str) -> Option<String> {
+    let t = text.trim_start();
+    let ident: String = t
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!ident.is_empty() && !ident.chars().next().unwrap().is_numeric()).then_some(ident)
+}
+
+struct ParsedFn {
+    item: FnItem,
+    /// Body byte range (open brace .. one past close), or `pos..pos` for
+    /// bodyless trait-method declarations.
+    body: (usize, usize),
+}
+
+/// All `fn` items in the file, with signatures parsed and bodies located.
+fn fn_items(
+    code: &str,
+    lines: &LineMap,
+    impls: &[ImplRange],
+    in_test: &dyn Fn(usize) -> bool,
+) -> Vec<ParsedFn> {
+    let mut out = Vec::new();
+    for at in rules::find_word(code, "fn") {
+        let after = code[at + 2..].trim_start();
+        // `fn(` is a fn-pointer type, not an item.
+        let Some(name) = first_ident(after) else {
+            continue;
+        };
+        if name.is_empty() {
+            continue;
+        }
+        let name_at = at + 2 + (code[at + 2..].len() - after.len());
+        let mut cursor = name_at + name.len();
+        // Optional generics.
+        let rest = code[cursor..].trim_start();
+        if rest.starts_with('<') {
+            let skipped = strip_leading_generics(rest);
+            cursor += code[cursor..].len() - skipped.len();
+        }
+        // Parameter list.
+        let rest = code[cursor..].trim_start();
+        if !rest.starts_with('(') {
+            continue;
+        }
+        let popen = cursor + (code[cursor..].len() - rest.len());
+        let Some(pclose) = matching_paren(code, popen) else {
+            continue;
+        };
+        let (has_self, arity) = parse_params(&code[popen + 1..pclose]);
+        // Body: first `{` or `;` at paren/bracket depth 0 after the params
+        // (skips return types and where clauses — neither can hold a bare
+        // brace).
+        let mut depth = 0i32;
+        let mut body = None;
+        for (i, b) in code[pclose + 1..].bytes().enumerate() {
+            match b {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    let open = pclose + 1 + i;
+                    body = Some((open, brace_span(code, open)));
+                    break;
+                }
+                b';' if depth == 0 => {
+                    body = Some((pclose + 1 + i, pclose + 1 + i));
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(body) = body else { continue };
+        let line = lines.line(at);
+        let self_type = impls
+            .iter()
+            .filter(|r| r.start <= at && at < r.end)
+            .min_by_key(|r| r.end - r.start)
+            .map(|r| r.self_type.clone());
+        out.push(ParsedFn {
+            item: FnItem {
+                name,
+                self_type,
+                has_self,
+                arity,
+                line,
+                is_test: in_test(line),
+                calls: Vec::new(),
+                effects: Vec::new(),
+            },
+            body,
+        });
+    }
+    out
+}
+
+/// Matching `)` for the `(` at `open`, tracking nested parens/brackets.
+fn matching_paren(code: &str, open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, b) in code[open..].bytes().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `(has_self, arity-excluding-self)` from a parameter list's inner text.
+fn parse_params(params: &str) -> (bool, usize) {
+    let pieces = split_top_level(params, b',');
+    let mut has_self = false;
+    let mut arity = 0;
+    for (i, piece) in pieces.iter().enumerate() {
+        let p = piece.trim();
+        if p.is_empty() {
+            continue;
+        }
+        if i == 0 && is_self_param(p) {
+            has_self = true;
+        } else {
+            arity += 1;
+        }
+    }
+    (has_self, arity)
+}
+
+/// `self`, `&self`, `&mut self`, `&'a self`, `mut self`, `self: Box<Self>`.
+fn is_self_param(p: &str) -> bool {
+    let mut t = p.trim_start_matches('&').trim_start();
+    if t.starts_with('\'') {
+        t = t
+            .trim_start_matches(|c: char| c == '\'' || c.is_alphanumeric() || c == '_')
+            .trim_start();
+    }
+    let t = t.strip_prefix("mut ").unwrap_or(t).trim_start();
+    t == "self" || t.starts_with("self:") || t.starts_with("self ")
+}
+
+/// Split on `sep` at zero paren/bracket/brace/angle depth.
+fn split_top_level(text: &str, sep: u8) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b'<' => angle += 1,
+            b'>' if i > 0 && bytes[i - 1] == b'-' => {}
+            b'>' => angle = (angle - 1).max(0),
+            b if b == sep && depth == 0 && angle == 0 => {
+                out.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out.push(&text[start..]);
+    out
+}
+
+/// Innermost fn whose body contains byte `pos`.
+fn innermost_fn(fns: &[ParsedFn], pos: usize) -> Option<usize> {
+    fns.iter()
+        .enumerate()
+        .filter(|(_, f)| f.body.0 < pos && pos < f.body.1)
+        .min_by_key(|(_, f)| f.body.1 - f.body.0)
+        .map(|(i, _)| i)
+}
+
+/// All enum declarations with their variant names.
+fn enum_defs(code: &str) -> Vec<EnumDef> {
+    let mut out = Vec::new();
+    for at in rules::find_word(code, "enum") {
+        let Some(name) = first_ident(&code[at + 4..]) else {
+            continue;
+        };
+        let Some(open_rel) = code[at..].find('{') else {
+            continue;
+        };
+        let open = at + open_rel;
+        let end = brace_span(code, open);
+        let body = &code[open + 1..end.saturating_sub(1).max(open + 1)];
+        let mut variants = Vec::new();
+        for piece in split_top_level(body, b',') {
+            // Strip attributes (`#[...]`) — literals are already blanked.
+            let mut p = piece.trim();
+            while p.starts_with("#[") {
+                match p.find(']') {
+                    Some(i) => p = p[i + 1..].trim_start(),
+                    None => break,
+                }
+            }
+            if let Some(v) = first_ident(p) {
+                if v.chars().next().is_some_and(|c| c.is_uppercase()) {
+                    variants.push(v);
+                }
+            }
+        }
+        if !variants.is_empty() {
+            out.push(EnumDef { name, variants });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Effects
+// ---------------------------------------------------------------------------
+
+struct RawEffect {
+    kind: EffectKind,
+    pos: usize,
+    line: usize,
+    detail: String,
+}
+
+/// Substring needles per effect family. These are scanned over lexed code,
+/// so strings and comments can mention them freely. All needles are matched
+/// with an identifier boundary on the left (`MyInstant::now` is not a hit);
+/// `fs::` also covers `std::fs::` paths.
+const WALL_CLOCK_NEEDLES: [&str; 2] = ["Instant::now", "SystemTime"];
+const RANDOM_NEEDLES: [&str; 4] = ["thread_rng", "rand::random", "fastrand::", "getrandom"];
+const FS_NEEDLES: [&str; 3] = ["fs::", "File::", "OpenOptions"];
+const NET_NEEDLES: [&str; 3] = ["TcpStream", "TcpListener", "UdpSocket"];
+const PANIC_NEEDLES: [&str; 6] = [
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+    ".unwrap()",
+    ".expect(",
+];
+
+/// Keywords that can directly precede a `[` that is *not* an index
+/// expression (`&mut [u8]`, `x as [u8; 2]`, ...).
+const NON_INDEX_WORDS: [&str; 8] = ["mut", "ref", "as", "dyn", "in", "return", "const", "static"];
+
+fn effect_sites(code: &str, lines: &LineMap) -> Vec<RawEffect> {
+    let mut out = Vec::new();
+    let push_needles = |needles: &[&str], kind: EffectKind, out: &mut Vec<RawEffect>| {
+        for needle in needles {
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(needle) {
+                let at = from + pos;
+                from = at + needle.len();
+                // Identifier boundary on the left unless the needle itself
+                // starts mid-token (`.unwrap()`).
+                if needle.starts_with(|c: char| c.is_alphanumeric()) {
+                    let prev = code[..at].chars().next_back();
+                    if prev.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                        continue;
+                    }
+                }
+                out.push(RawEffect {
+                    kind,
+                    pos: at,
+                    line: lines.line(at),
+                    detail: needle
+                        .trim_end_matches('(')
+                        .trim_end_matches("::")
+                        .to_string(),
+                });
+            }
+        }
+    };
+    push_needles(&WALL_CLOCK_NEEDLES, EffectKind::WallClock, &mut out);
+    push_needles(&RANDOM_NEEDLES, EffectKind::Randomness, &mut out);
+    push_needles(&FS_NEEDLES, EffectKind::Fs, &mut out);
+    push_needles(&NET_NEEDLES, EffectKind::Net, &mut out);
+    push_needles(&PANIC_NEEDLES, EffectKind::Panic, &mut out);
+
+    // Indexing: `expr[` where expr ends in an identifier, `)` or `]`.
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let before = code[..i].trim_end();
+        let Some(prev) = before.bytes().next_back() else {
+            continue;
+        };
+        let is_expr_end =
+            prev == b')' || prev == b']' || (prev as char).is_alphanumeric() || prev == b'_';
+        if !is_expr_end {
+            continue;
+        }
+        if let Some(word) = rules_trailing_word(before) {
+            if NON_INDEX_WORDS.contains(&word.as_str()) {
+                continue;
+            }
+        }
+        out.push(RawEffect {
+            kind: EffectKind::Panic,
+            pos: i,
+            line: lines.line(i),
+            detail: index_detail(before, code, i),
+        });
+    }
+
+    // Hash-container iteration (shared scanner with the legacy per-file
+    // rule logic).
+    for (line, name, how) in rules::unordered_iter_sites(code) {
+        out.push(RawEffect {
+            kind: EffectKind::UnorderedIter,
+            pos: lines.starts[line - 1],
+            line,
+            detail: format!("`{name}` {how}"),
+        });
+    }
+
+    out.sort_by(|a, b| (a.pos, a.kind.name()).cmp(&(b.pos, b.kind.name())));
+    out.dedup_by(|a, b| a.pos == b.pos && a.kind == b.kind);
+    out
+}
+
+fn rules_trailing_word(before: &str) -> Option<String> {
+    let w: String = before
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    (!w.is_empty()).then_some(w)
+}
+
+/// `buf[..n]` → `` `buf[..]` `` — short display of an index expression.
+fn index_detail(before: &str, code: &str, open: usize) -> String {
+    let base = rules_trailing_word(before).unwrap_or_else(|| "expr".to_string());
+    let inner: String = code[open + 1..]
+        .chars()
+        .take_while(|&c| c != ']' && c != '\n')
+        .take(12)
+        .collect();
+    format!("`{base}[{}]` indexing", inner.trim())
+}
+
+// ---------------------------------------------------------------------------
+// Calls
+// ---------------------------------------------------------------------------
+
+/// Rust keywords that look like `ident(` call heads but aren't.
+const CALL_KEYWORDS: [&str; 22] = [
+    "if", "while", "for", "match", "loop", "return", "in", "as", "move", "let", "else", "fn",
+    "ref", "mut", "use", "pub", "impl", "where", "break", "continue", "await", "box",
+];
+
+/// All call sites in `code[start..end]`.
+fn call_sites(code: &str, start: usize, end: usize, lines: &LineMap) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let body = &code[start..end];
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if !(b as char).is_alphabetic() && b != b'_' {
+            i += 1;
+            continue;
+        }
+        // Read the identifier.
+        let id_start = i;
+        while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        let name = &body[id_start..i];
+        // Optional turbofish: `collect::<Vec<_>>(`.
+        let mut j = i;
+        if body[j..].starts_with("::<") {
+            let rest = strip_leading_generics(&body[j + 2..]);
+            j = j + 2 + (body[j + 2..].len() - rest.len());
+        }
+        // Must be immediately followed by `(` (whitespace allowed).
+        let after = body[j..].trim_start();
+        if !after.starts_with('(') {
+            continue;
+        }
+        // Macros (`name!(...)`) are not calls; panic-family macros are
+        // already captured as effects.
+        if after.starts_with("!(") || body[j..].starts_with('!') {
+            continue;
+        }
+        if CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        let popen = j + (body[j..].len() - after.len());
+        let Some(pclose) = matching_paren(body, popen) else {
+            continue;
+        };
+        let args = count_args(&body[popen + 1..pclose]);
+        let abs = start + id_start;
+        let before = code[..abs].trim_end();
+        let (kind, qualifier) = if before.ends_with('.') {
+            (CallKind::Method, None)
+        } else if before.ends_with("::") {
+            let qual = rules_trailing_word(before[..before.len() - 2].trim_end());
+            match qual {
+                Some(q) => (CallKind::Qualified, Some(q)),
+                None => (CallKind::Free, None),
+            }
+        } else {
+            (CallKind::Free, None)
+        };
+        out.push(CallSite {
+            name: name.to_string(),
+            qualifier,
+            kind,
+            args,
+            line: lines.line(abs),
+        });
+    }
+    out
+}
+
+/// Argument count of a call's inner text. Closure parameter lists without
+/// parens (`|a, b| ...`) can inflate this; resolution falls back to
+/// name-only matching when no candidate matches the arity, so an inflated
+/// count widens the edge set rather than dropping it.
+fn count_args(inner: &str) -> usize {
+    let pieces = split_top_level(inner, b',');
+    if pieces.len() == 1 && pieces[0].trim().is_empty() {
+        0
+    } else {
+        pieces.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matches
+// ---------------------------------------------------------------------------
+
+struct RawMatch {
+    enum_name: String,
+    covered: Vec<String>,
+    catch_all: bool,
+    line: usize,
+}
+
+fn match_sites(code: &str, lines: &LineMap, in_test: &dyn Fn(usize) -> bool) -> Vec<RawMatch> {
+    let mut out = Vec::new();
+    for at in rules::find_word(code, "match") {
+        let line = lines.line(at);
+        if in_test(line) {
+            continue;
+        }
+        // Body opens at the first `{` at zero paren/bracket depth after the
+        // scrutinee (struct literals are not allowed in match scrutinees).
+        let mut depth = 0i32;
+        let mut open = None;
+        for (i, b) in code[at + 5..].bytes().enumerate() {
+            match b {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    open = Some(at + 5 + i);
+                    break;
+                }
+                b';' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        let end = brace_span(code, open);
+        let body = &code[open + 1..end.saturating_sub(1).max(open + 1)];
+        let arms = match_arms(body);
+        if arms.is_empty() {
+            continue;
+        }
+        let mut catch_all = false;
+        let mut refs: Vec<(String, String)> = Vec::new(); // (enum, variant)
+        for pat in &arms {
+            let pat = strip_guard(pat);
+            if is_catch_all(pat) {
+                catch_all = true;
+            }
+            collect_variant_refs(pat, &mut refs);
+        }
+        if refs.is_empty() {
+            continue;
+        }
+        // The scrutinized enum is the one with the most variant refs
+        // (nested patterns can mention others); ties break toward the
+        // first ref.
+        let mut counts: Vec<(String, usize, usize)> = Vec::new();
+        for (i, (e, _)) in refs.iter().enumerate() {
+            match counts.iter_mut().find(|(name, _, _)| name == e) {
+                Some((_, n, _)) => *n += 1,
+                None => counts.push((e.clone(), 1, i)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)));
+        let enum_name = counts[0].0.clone();
+        let mut covered: Vec<String> = refs
+            .into_iter()
+            .filter(|(e, _)| *e == enum_name)
+            .map(|(_, v)| v)
+            .collect();
+        covered.sort();
+        covered.dedup();
+        out.push(RawMatch {
+            enum_name,
+            covered,
+            catch_all,
+            line,
+        });
+    }
+    out
+}
+
+/// Pattern texts (the part before each `=>`) of a match body.
+fn match_arms(body: &str) -> Vec<&str> {
+    let bytes = body.as_bytes();
+    let mut arms = Vec::new();
+    let mut depth = 0i32;
+    let mut arm_start = 0usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b'=' if depth == 0 && bytes.get(i + 1) == Some(&b'>') => {
+                arms.push(body[arm_start..i].trim());
+                // Skip the arm value: a brace block or an expression up to
+                // the next top-level comma.
+                i += 2;
+                let after = body[i..].trim_start();
+                let off = i + (body[i..].len() - after.len());
+                if after.starts_with('{') {
+                    i = brace_span(body, off);
+                } else {
+                    let mut d = 0i32;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'(' | b'[' | b'{' => d += 1,
+                            b')' | b']' | b'}' => {
+                                if d == 0 {
+                                    break;
+                                }
+                                d -= 1;
+                            }
+                            b',' if d == 0 => break,
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+                // Skip a trailing comma.
+                while i < bytes.len() && (bytes[i] == b',' || (bytes[i] as char).is_whitespace()) {
+                    i += 1;
+                }
+                arm_start = i;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    arms
+}
+
+/// Drop a ` if guard` clause from a pattern.
+fn strip_guard(pat: &str) -> &str {
+    match split_at_word(pat, "if") {
+        Some((before, _)) => before.trim(),
+        None => pat,
+    }
+}
+
+/// `_`, a bare lowercase binding, or `name @ _`.
+fn is_catch_all(pat: &str) -> bool {
+    let pat = pat.trim();
+    if pat == "_" {
+        return true;
+    }
+    if let Some((_, sub)) = pat.split_once('@') {
+        return is_catch_all(sub);
+    }
+    !pat.is_empty()
+        && pat.chars().all(|c| c.is_alphanumeric() || c == '_')
+        && pat
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_lowercase() || c == '_')
+}
+
+/// Collect `Enum::Variant` references in a pattern.
+fn collect_variant_refs(pat: &str, out: &mut Vec<(String, String)>) {
+    let mut from = 0;
+    while let Some(pos) = pat[from..].find("::") {
+        let at = from + pos;
+        from = at + 2;
+        let Some(enum_name) = rules_trailing_word(pat[..at].trim_end()) else {
+            continue;
+        };
+        let Some(variant) = first_ident(&pat[at + 2..]) else {
+            continue;
+        };
+        let enum_upper = enum_name.chars().next().is_some_and(|c| c.is_uppercase());
+        let var_upper = variant.chars().next().is_some_and(|c| c.is_uppercase());
+        if enum_upper && var_upper {
+            out.push((enum_name, variant));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summ(src: &str) -> FileSummary {
+        summarize_source("crates/net/src/x.rs", src)
+    }
+
+    #[test]
+    fn parses_free_fn_signature() {
+        let s = summ("fn helper(a: u32, b: &str) -> bool { a > 0 && !b.is_empty() }\n");
+        assert_eq!(s.fns.len(), 1);
+        let f = &s.fns[0];
+        assert_eq!(f.name, "helper");
+        assert_eq!(f.arity, 2);
+        assert!(!f.has_self);
+        assert!(f.self_type.is_none());
+        assert_eq!(f.line, 1);
+    }
+
+    #[test]
+    fn parses_methods_with_self_type() {
+        let src = "struct Conn;\n\
+                   impl Conn {\n\
+                       fn open(&mut self, id: u32) -> bool { self.check(id) }\n\
+                       fn check(&self, id: u32) -> bool { id > 0 }\n\
+                   }\n";
+        let s = summ(src);
+        assert_eq!(s.fns.len(), 2);
+        assert!(s.fns.iter().all(|f| f.self_type.as_deref() == Some("Conn")));
+        assert!(s.fns.iter().all(|f| f.has_self));
+        assert_eq!(s.fns[0].arity, 1);
+        let call = &s.fns[0].calls[0];
+        assert_eq!(call.name, "check");
+        assert_eq!(call.kind, CallKind::Method);
+        assert_eq!(call.args, 1);
+    }
+
+    #[test]
+    fn trait_impl_resolves_to_implementing_type() {
+        let src = "impl WireClock for MonotonicClock {\n\
+                       fn elapsed(&self) -> u64 { 0 }\n\
+                   }\n";
+        let s = summ(src);
+        assert_eq!(s.fns[0].self_type.as_deref(), Some("MonotonicClock"));
+    }
+
+    #[test]
+    fn use_aliases_capture_renames_including_groups() {
+        let src = "use std::collections::HashMap as Map;\n\
+                   use crate::wire::{WireServer as Server, WireClient};\n\
+                   use std::io::Read as _;\n\
+                   fn f() { let x = 1u32 as u64; }\n";
+        let s = summ(src);
+        assert_eq!(
+            s.aliases,
+            vec![
+                ("Map".to_string(), "HashMap".to_string()),
+                ("Server".to_string(), "WireServer".to_string()),
+            ],
+            "grouped renames captured; `as _` and cast expressions ignored"
+        );
+    }
+
+    #[test]
+    fn return_position_impl_trait_is_not_an_impl_block() {
+        let src = "fn iter_urls<'a>(v: &'a [u32]) -> impl Iterator<Item = &'a u32> + 'a {\n\
+                       v.iter()\n\
+                   }\n";
+        let s = summ(src);
+        assert_eq!(s.fns.len(), 1);
+        assert_eq!(s.fns[0].self_type, None, "no bogus `impl Iterator` block");
+    }
+
+    #[test]
+    fn qualified_and_free_calls() {
+        let src = "fn f() { helper(); Url::parse(1, 2); module::thing(3); Self::go(); }\n";
+        let s = summ(src);
+        let calls = &s.fns[0].calls;
+        assert_eq!(calls.len(), 4);
+        assert_eq!((calls[0].kind, calls[0].args), (CallKind::Free, 0));
+        assert_eq!(calls[1].qualifier.as_deref(), Some("Url"));
+        assert_eq!(calls[1].args, 2);
+        assert_eq!(calls[2].qualifier.as_deref(), Some("module"));
+        assert_eq!(calls[3].qualifier.as_deref(), Some("Self"));
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let src = "fn f(x: u32) -> u32 { if x > 0 { assert!(x < 9); } while x > 1 { } x }\n";
+        let s = summ(src);
+        assert!(s.fns[0].calls.is_empty(), "{:?}", s.fns[0].calls);
+    }
+
+    #[test]
+    fn effects_attributed_to_enclosing_fn() {
+        let src = "fn quiet() { let x = 1; }\n\
+                   fn noisy() { let t = Instant::now(); }\n";
+        let s = summ(src);
+        assert!(s.fns[0].effects.is_empty());
+        assert_eq!(s.fns[1].effects.len(), 1);
+        assert_eq!(s.fns[1].effects[0].kind, EffectKind::WallClock);
+        assert_eq!(s.fns[1].effects[0].line, 2);
+    }
+
+    #[test]
+    fn panic_effects_cover_indexing_but_not_types() {
+        let src = "fn f(buf: &[u8], n: usize) -> u8 {\n\
+                       let head = &buf[..n];\n\
+                       let _arr: [u8; 4] = [0; 4];\n\
+                       let _s: &mut [u8] = &mut [];\n\
+                       head[0]\n\
+                   }\n";
+        let s = summ(src);
+        let panics: Vec<_> = s.fns[0]
+            .effects
+            .iter()
+            .filter(|e| e.kind == EffectKind::Panic)
+            .collect();
+        assert_eq!(panics.len(), 2, "{panics:?}");
+        assert_eq!(panics[0].line, 2);
+        assert_eq!(panics[1].line, 5);
+    }
+
+    #[test]
+    fn waived_effects_are_marked() {
+        let src =
+            "fn f() { let t = Instant::now(); } // vroom-lint: allow(sim-purity) -- test shim\n";
+        let s = summ(src);
+        assert!(s.fns[0].effects[0].waived);
+    }
+
+    #[test]
+    fn enum_defs_and_match_coverage() {
+        let src = "enum FrameType { Data, Headers, Ping }\n\
+                   fn f(t: FrameType) -> u8 {\n\
+                       match t {\n\
+                           FrameType::Data => 0,\n\
+                           FrameType::Headers | FrameType::Ping => 1,\n\
+                       }\n\
+                   }\n";
+        let s = summ(src);
+        assert_eq!(s.enums.len(), 1);
+        assert_eq!(s.enums[0].variants, vec!["Data", "Headers", "Ping"]);
+        assert_eq!(s.matches.len(), 1);
+        let m = &s.matches[0];
+        assert_eq!(m.enum_name, "FrameType");
+        assert_eq!(m.covered, vec!["Data", "Headers", "Ping"]);
+        assert!(!m.catch_all);
+    }
+
+    #[test]
+    fn catch_all_detected_and_bindings_count() {
+        let src = "fn f(t: FrameType) -> u8 {\n\
+                       match t { FrameType::Data => 0, _ => 1 }\n\
+                   }\n\
+                   fn g(t: FrameType) -> u8 {\n\
+                       match t { FrameType::Data => 0, other => 1 }\n\
+                   }\n\
+                   fn h(t: FrameType) -> u8 {\n\
+                       match t { FrameType::Data => 0, s @ (FrameType::Ping | FrameType::Headers) => 1 }\n\
+                   }\n";
+        let s = summ(src);
+        assert_eq!(s.matches.len(), 3);
+        assert!(s.matches[0].catch_all, "wildcard");
+        assert!(s.matches[1].catch_all, "bare binding");
+        assert!(!s.matches[2].catch_all, "binding @ explicit variants");
+    }
+
+    #[test]
+    fn nested_fn_effects_seen_by_both() {
+        let src = "fn outer() {\n\
+                       fn inner() { let t = Instant::now(); }\n\
+                       inner();\n\
+                   }\n";
+        let s = summ(src);
+        let inner = s.fns.iter().find(|f| f.name == "inner").unwrap();
+        assert_eq!(inner.effects.len(), 1, "innermost fn owns the effect");
+        let outer = s.fns.iter().find(|f| f.name == "outer").unwrap();
+        assert!(outer.calls.iter().any(|c| c.name == "inner"));
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let src = "fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn helper() { let t = Instant::now(); }\n\
+                   }\n";
+        let s = summ(src);
+        assert!(!s.fns.iter().find(|f| f.name == "prod").unwrap().is_test);
+        assert!(s.fns.iter().find(|f| f.name == "helper").unwrap().is_test);
+    }
+}

@@ -1,0 +1,344 @@
+//! The three call-graph rule families: `sim-purity`, `panic-reachable`,
+//! and `protocol-exhaustive`.
+//!
+//! All three are over-approximations in the safe direction: the call graph
+//! adds edges when resolution is ambiguous, effect scanning is syntactic,
+//! and match coverage is judged by explicit variant references — so none of
+//! the families can miss a violation that its lexical definitions cover.
+//! The cost is occasional false positives, paid down with per-call-site
+//! waivers or the ratchet baseline.
+
+use crate::callgraph::Graph;
+use crate::parse::{EffectKind, FileSummary};
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+
+/// Simulation entrypoint crates: every non-test fn defined under these
+/// paths is a sim-purity root. `src/bin/` is excluded — CLI frontends may
+/// parse arguments from the environment.
+const SIM_ROOT_PREFIXES: [&str; 2] = ["crates/sim/src/", "crates/vroom/src/"];
+
+/// The wire server accept loop lives here; every non-test fn in the file is
+/// a panic-reachability root.
+const WIRE_ROOT_FILE: &str = "crates/server/src/wire.rs";
+
+/// Enums whose matches in `crates/http2` must be exhaustive without
+/// catch-alls. `ErrorCode` is the reproduction's name for the paper's
+/// connection-error codes (`ConnError`).
+const PROTOCOL_ENUMS: [&str; 5] = ["FrameType", "Frame", "StreamState", "ErrorCode", "Event"];
+const PROTOCOL_PREFIX: &str = "crates/http2/";
+
+/// Effect families the sim-purity rule bans.
+const PURITY_KINDS: [EffectKind; 5] = [
+    EffectKind::WallClock,
+    EffectKind::Randomness,
+    EffectKind::Fs,
+    EffectKind::Net,
+    EffectKind::UnorderedIter,
+];
+
+/// Run all interprocedural rules over the workspace summaries.
+pub fn semantic_violations(summaries: &[FileSummary]) -> Vec<Violation> {
+    let graph = Graph::build(summaries);
+    let mut out = Vec::new();
+    sim_purity(&graph, &mut out);
+    panic_reachable(&graph, &mut out);
+    protocol_exhaustive(summaries, &mut out);
+    // Nested fns are scanned by both themselves and their parent, and a
+    // node can be reached from several roots; keep one diagnostic per
+    // (rule, site).
+    out.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    out.dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
+    out
+}
+
+fn sim_purity(graph: &Graph, out: &mut Vec<Violation>) {
+    let roots = graph.select(|path, _| {
+        SIM_ROOT_PREFIXES.iter().any(|p| path.starts_with(p)) && !path.contains("/bin/")
+    });
+    let pred = graph.reachable(&roots);
+    for id in 0..graph.nodes.len() {
+        if pred[id].is_none() {
+            continue;
+        }
+        let n = graph.nodes[id];
+        let file = &graph.summaries[n.file];
+        let f = &file.fns[n.item];
+        for e in &f.effects {
+            if !PURITY_KINDS.contains(&e.kind) || e.waived {
+                continue;
+            }
+            let chain = graph.chain(&pred, id);
+            let root = graph.display(chain[0]);
+            let via = via_text(graph, &chain);
+            out.push(Violation {
+                rule: "sim-purity",
+                path: file.path.clone(),
+                line: e.line,
+                message: format!(
+                    "{} ({}) is reachable from simulation entrypoint `{root}`{via}; \
+                     the deterministic path must take time from the engine, randomness \
+                     from the seeded Rng, and iterate ordered containers",
+                    e.detail,
+                    e.kind.name(),
+                ),
+                snippet: e.snippet.clone(),
+            });
+        }
+    }
+}
+
+fn panic_reachable(graph: &Graph, out: &mut Vec<Violation>) {
+    let roots = graph.select(|path, _| path == WIRE_ROOT_FILE);
+    let pred = graph.reachable(&roots);
+    for id in 0..graph.nodes.len() {
+        if pred[id].is_none() {
+            continue;
+        }
+        let n = graph.nodes[id];
+        let file = &graph.summaries[n.file];
+        let f = &file.fns[n.item];
+        for e in &f.effects {
+            if e.kind != EffectKind::Panic || e.waived {
+                continue;
+            }
+            let chain = graph.chain(&pred, id);
+            let root = graph.display(chain[0]);
+            let via = via_text(graph, &chain);
+            out.push(Violation {
+                rule: "panic-reachable",
+                path: file.path.clone(),
+                line: e.line,
+                message: format!(
+                    "{} can panic and is reachable from the wire server accept path \
+                     (`{root}`{via}); return a typed error instead (ratcheted: \
+                     pre-existing sites are baselined, new ones are rejected)",
+                    e.detail,
+                ),
+                snippet: e.snippet.clone(),
+            });
+        }
+    }
+}
+
+/// `, via \`a\` -> \`b\`` — the BFS shortest call chain, elided when the
+/// effect sits in the root itself.
+fn via_text(graph: &Graph, chain: &[usize]) -> String {
+    if chain.len() <= 1 {
+        return String::new();
+    }
+    let hops: Vec<String> = chain[1..]
+        .iter()
+        .map(|&id| format!("`{}`", graph.display(id)))
+        .collect();
+    format!(" via {}", hops.join(" -> "))
+}
+
+fn protocol_exhaustive(summaries: &[FileSummary], out: &mut Vec<Violation>) {
+    // Workspace variant table; on duplicate enum names, the definition
+    // inside crates/http2 wins (that is the protocol being matched).
+    let mut variants: BTreeMap<&str, (&str, &Vec<String>)> = BTreeMap::new();
+    for file in summaries {
+        for e in &file.enums {
+            let entry = variants.entry(e.name.as_str());
+            match entry {
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    if file.path.starts_with(PROTOCOL_PREFIX)
+                        && !o.get().0.starts_with(PROTOCOL_PREFIX)
+                    {
+                        o.insert((file.path.as_str(), &e.variants));
+                    }
+                }
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert((file.path.as_str(), &e.variants));
+                }
+            }
+        }
+    }
+
+    for file in summaries {
+        if !file.path.starts_with(PROTOCOL_PREFIX) || file.is_test {
+            continue;
+        }
+        for m in &file.matches {
+            if m.waived || !PROTOCOL_ENUMS.contains(&m.enum_name.as_str()) {
+                continue;
+            }
+            let Some((_, all)) = variants.get(m.enum_name.as_str()) else {
+                continue;
+            };
+            if m.catch_all {
+                out.push(Violation {
+                    rule: "protocol-exhaustive",
+                    path: file.path.clone(),
+                    line: m.line,
+                    message: format!(
+                        "match on protocol enum `{}` hides variants behind a catch-all \
+                         arm; enumerate every variant explicitly so new frame types \
+                         fail to compile instead of being silently swallowed",
+                        m.enum_name,
+                    ),
+                    snippet: m.snippet.clone(),
+                });
+                continue;
+            }
+            let missing: Vec<&str> = all
+                .iter()
+                .map(String::as_str)
+                .filter(|v| !m.covered.iter().any(|c| c == v))
+                .collect();
+            if !missing.is_empty() {
+                out.push(Violation {
+                    rule: "protocol-exhaustive",
+                    path: file.path.clone(),
+                    line: m.line,
+                    message: format!(
+                        "match on protocol enum `{}` does not name variants: {}",
+                        m.enum_name,
+                        missing.join(", "),
+                    ),
+                    snippet: m.snippet.clone(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::summarize_source;
+
+    fn analyze(files: &[(&str, &str)]) -> Vec<Violation> {
+        let summaries: Vec<FileSummary> =
+            files.iter().map(|(p, s)| summarize_source(p, s)).collect();
+        semantic_violations(&summaries)
+    }
+
+    #[test]
+    fn wall_clock_in_helper_called_from_sim_entrypoint_is_flagged() {
+        // The acceptance-criterion case: the effect is in another crate,
+        // two hops away, and only the call graph can see it.
+        let v = analyze(&[
+            (
+                "crates/sim/src/entry.rs",
+                "pub fn drive() { helper_tick(); }\n",
+            ),
+            (
+                "crates/net/src/helper.rs",
+                "pub fn helper_tick() { deep_tick(); }\n\
+                 fn deep_tick() { let t = Instant::now(); }\n",
+            ),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "sim-purity");
+        assert_eq!(v[0].path, "crates/net/src/helper.rs");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("sim::drive"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn unreachable_effects_are_clean() {
+        let v = analyze(&[
+            ("crates/sim/src/entry.rs", "pub fn drive() {}\n"),
+            (
+                "crates/net/src/helper.rs",
+                "pub fn unused() { let t = Instant::now(); }\n",
+            ),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn waiver_covers_the_call_site() {
+        let v = analyze(&[
+            ("crates/sim/src/entry.rs", "pub fn drive() { tick(); }\n"),
+            (
+                "crates/net/src/helper.rs",
+                "pub fn tick() { let t = Instant::now(); } // vroom-lint: allow(sim-purity) -- injected shim\n",
+            ),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn panic_reachable_from_wire_accept_loop() {
+        let v = analyze(&[
+            (
+                "crates/server/src/wire.rs",
+                "pub fn serve() { decode_frame(); }\n",
+            ),
+            (
+                "crates/http2/src/frame.rs",
+                "pub fn decode_frame() { let x: Option<u8> = None; x.unwrap(); }\n",
+            ),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "panic-reachable");
+        assert!(v[0].message.contains("server::serve"));
+    }
+
+    #[test]
+    fn panic_outside_wire_reach_is_clean() {
+        let v = analyze(&[(
+            "crates/pages/src/model.rs",
+            "pub fn depth(v: &[u32]) -> u32 { v[0] }\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn protocol_match_catch_all_flagged() {
+        let v = analyze(&[(
+            "crates/http2/src/frame.rs",
+            "pub enum FrameType { Data, Headers, Ping }\n\
+             pub fn name(t: FrameType) -> u8 {\n\
+                 match t { FrameType::Data => 0, _ => 1 }\n\
+             }\n",
+        )]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "protocol-exhaustive");
+        assert!(v[0].message.contains("catch-all"));
+    }
+
+    #[test]
+    fn protocol_match_missing_variant_flagged() {
+        let v = analyze(&[(
+            "crates/http2/src/frame.rs",
+            "pub enum StreamState { Idle, Open, Closed }\n\
+             pub fn f(s: StreamState) -> u8 {\n\
+                 match s { StreamState::Idle => 0, StreamState::Open => 1 }\n\
+             }\n",
+        )]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("Closed"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn exhaustive_protocol_match_and_waivers_pass() {
+        let v = analyze(&[(
+            "crates/http2/src/frame.rs",
+            "pub enum FrameType { Data, Headers }\n\
+             pub fn a(t: FrameType) -> u8 {\n\
+                 match t { FrameType::Data => 0, FrameType::Headers => 1 }\n\
+             }\n\
+             pub fn b(t: FrameType) -> u8 {\n\
+                 // vroom-lint: allow(protocol-exhaustive) -- collapse is the point here\n\
+                 match t { FrameType::Data => 0, _ => 1 }\n\
+             }\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn non_protocol_crates_matches_ignored() {
+        let v = analyze(&[(
+            "crates/browser/src/engine.rs",
+            "pub enum Event { A, B }\n\
+             pub fn f(e: Event) -> u8 { match e { Event::A => 0, _ => 1 } }\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,6 +1,10 @@
-//! The seven workspace rules. Each one works on lexed (comment- and
+//! Per-file workspace rules. Each one works on lexed (comment- and
 //! literal-stripped) source, so string fixtures and docs never trigger it,
 //! and consults per-line waivers before reporting.
+//!
+//! The three call-graph rule families (`sim-purity`, `panic-reachable`,
+//! `protocol-exhaustive`) live in [`crate::reach`]; this module only hosts
+//! the rules that are decidable from one file in isolation.
 
 use crate::lexer::Lexed;
 use crate::source::SourceFile;
@@ -21,10 +25,12 @@ pub struct Violation {
     pub snippet: String,
 }
 
-/// All rule ids, in reporting order.
-pub const RULE_IDS: [&str; 8] = [
-    "wall-clock",
-    "unordered-iter",
+/// All rule ids, in reporting order. The first three are interprocedural
+/// (driven by the call graph in [`crate::reach`]); the rest are per-file.
+pub const RULE_IDS: [&str; 9] = [
+    "sim-purity",
+    "panic-reachable",
+    "protocol-exhaustive",
     "ambient-randomness",
     "forbid-unsafe",
     "unwrap",
@@ -32,6 +38,31 @@ pub const RULE_IDS: [&str; 8] = [
     "retry-budget",
     "waiver-syntax",
 ];
+
+/// One-line rule descriptions, keyed by id (used by the SARIF driver block).
+pub fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "sim-purity" => {
+            "code reachable from a simulation entrypoint must not touch wall-clock, \
+             ambient randomness, the filesystem, the network, or unordered iteration"
+        }
+        "panic-reachable" => {
+            "panic/unwrap/expect/indexing sites reachable from the wire server \
+             accept loop must return typed errors (ratcheted)"
+        }
+        "protocol-exhaustive" => {
+            "matches on protocol enums in crates/http2 must enumerate every \
+             variant explicitly; no catch-all arms"
+        }
+        "ambient-randomness" => "randomness must come from the seeded vroom_sim::Rng",
+        "forbid-unsafe" => "unsafe code is banned workspace-wide",
+        "unwrap" => "unwrap/expect ratchet in protocol crates",
+        "float-eq" => "exact float comparison in metrics code",
+        "retry-budget" => "request/data-frame loops must carry a RetryBudget or backoff",
+        "waiver-syntax" => "malformed or unknown-rule waiver comments",
+        _ => "unknown rule",
+    }
+}
 
 /// Crates whose code runs inside the deterministic simulation path.
 const SIM_PATH_CRATES: [&str; 5] = ["sim", "browser", "server", "net", "vroom"];
@@ -91,7 +122,6 @@ pub fn check_file(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Violation>) {
     let test_lines = test_region_lines(&lexed.code);
     let crate_name = file.crate_name();
 
-    wall_clock(file, lexed, &mut report);
     ambient_randomness(file, lexed, &mut report);
     forbid_unsafe(file, lexed, &mut report);
     if crate_name.is_some_and(|c| PROTOCOL_CRATES.contains(&c)) && !file.is_test_file() {
@@ -104,35 +134,6 @@ pub fn check_file(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Violation>) {
     }
     if file.is_metrics_code() && !file.is_test_file() {
         float_eq(lexed, &test_lines, &mut report);
-    }
-    if crate_name.is_some_and(|c| SIM_PATH_CRATES.contains(&c)) && !file.is_test_file() {
-        unordered_iter(lexed, &test_lines, &mut report);
-    }
-}
-
-/// Rule `wall-clock`: no `Instant::now` / `SystemTime` outside the
-/// allowlist (bench binaries; everything else must inject a clock).
-fn wall_clock(
-    file: &SourceFile,
-    lexed: &Lexed,
-    report: &mut impl FnMut(&'static str, usize, String),
-) {
-    if file.path.starts_with("crates/bench/src/bin/") {
-        return;
-    }
-    for (line, text) in lines(&lexed.code) {
-        for needle in ["Instant::now", "SystemTime"] {
-            if text.contains(needle) {
-                report(
-                    "wall-clock",
-                    line,
-                    format!(
-                        "wall-clock read ({needle}) in deterministic workspace code; \
-                         run on SimTime or inject a clock (see vroom_server::wire::WireClock)"
-                    ),
-                );
-            }
-        }
     }
 }
 
@@ -337,15 +338,13 @@ fn float_eq(
     }
 }
 
-/// Rule `unordered-iter`: iteration over `HashMap`/`HashSet` bindings in
-/// sim-path crates. Order depends on the hash seed, which silently perturbs
-/// event order; use `BTreeMap`/`BTreeSet` or sort explicitly.
-fn unordered_iter(
-    lexed: &Lexed,
-    test_lines: &[bool],
-    report: &mut impl FnMut(&'static str, usize, String),
-) {
-    let symbols = hash_container_symbols(&lexed.code);
+/// Hash-container iteration sites in `code`, as `(1-based line, binding
+/// name, how)`. Shared with the effect scanner in [`crate::parse`]: under
+/// the call-graph model these are *effects* attributed to their enclosing
+/// function and reported only when reachable from a simulation entrypoint
+/// (rule `sim-purity`).
+pub(crate) fn unordered_iter_sites(code: &str) -> Vec<(usize, String, String)> {
+    let symbols = hash_container_symbols(code);
     const ITER_METHODS: [&str; 7] = [
         ".iter()",
         ".iter_mut()",
@@ -355,23 +354,8 @@ fn unordered_iter(
         ".into_iter()",
         ".drain()",
     ];
-    let flag = |line: usize,
-                name: &str,
-                how: &str,
-                report: &mut dyn FnMut(&'static str, usize, String)| {
-        report(
-            "unordered-iter",
-            line,
-            format!(
-                "iteration over hash container `{name}` ({how}) is hash-seed dependent; \
-                 use BTreeMap/BTreeSet or collect-and-sort before iterating"
-            ),
-        );
-    };
-    for (line, text) in lines(&lexed.code) {
-        if test_lines.get(line - 1).copied().unwrap_or(false) {
-            continue;
-        }
+    let mut out = Vec::new();
+    for (line, text) in lines(code) {
         for m in ITER_METHODS {
             let mut from = 0;
             while let Some(pos) = text[from..].find(m) {
@@ -379,7 +363,7 @@ fn unordered_iter(
                 from = at + m.len();
                 if let Some(name) = receiver_ident(&text[..at]) {
                     if symbols.contains(&name) {
-                        flag(line, &name, m, report);
+                        out.push((line, name, m.to_string()));
                     }
                 }
             }
@@ -395,11 +379,12 @@ fn unordered_iter(
                 .collect();
             if let Some(last) = ident.rsplit('.').next() {
                 if !last.is_empty() && symbols.contains(&last.to_string()) {
-                    flag(line, last, "for-in", report);
+                    out.push((line, last.to_string(), "for-in".to_string()));
                 }
             }
         }
     }
+    out
 }
 
 /// Identifiers bound to `HashMap`/`HashSet` in this file: type-annotated
@@ -479,7 +464,7 @@ fn receiver_ident(before: &str) -> Option<String> {
 
 /// Map each 0-based line to whether it falls inside a `#[cfg(test)]`-gated
 /// block (brace-matched on stripped code).
-fn test_region_lines(code: &str) -> Vec<bool> {
+pub(crate) fn test_region_lines(code: &str) -> Vec<bool> {
     let n_lines = code.lines().count();
     let mut in_test = vec![false; n_lines];
     let mut search = 0;
@@ -519,13 +504,13 @@ fn test_region_lines(code: &str) -> Vec<bool> {
     in_test
 }
 
-fn lines(code: &str) -> impl Iterator<Item = (usize, &str)> {
+pub(crate) fn lines(code: &str) -> impl Iterator<Item = (usize, &str)> {
     code.lines().enumerate().map(|(i, l)| (i + 1, l))
 }
 
 /// All positions where `word` occurs with non-identifier characters (or
 /// boundaries) on both sides.
-fn find_word(text: &str, word: &str) -> Vec<usize> {
+pub(crate) fn find_word(text: &str, word: &str) -> Vec<usize> {
     let mut out = Vec::new();
     let mut from = 0;
     while let Some(pos) = text[from..].find(word) {
@@ -599,76 +584,18 @@ mod tests {
     }
 
     #[test]
-    fn wall_clock_flags_instant_now() {
-        let v = check(
-            "crates/net/src/link.rs",
-            "#![forbid(unsafe_code)]\nfn f() { let t = Instant::now(); }\n",
-        );
-        assert_eq!(rules_of(&v), vec!["wall-clock"]);
-        assert_eq!(v[0].line, 2);
-        assert!(v[0].snippet.contains("Instant::now"));
-    }
-
-    #[test]
-    fn wall_clock_allows_bench_bins_and_waivers() {
-        let v = check(
-            "crates/bench/src/bin/run_all.rs",
-            "#![forbid(unsafe_code)]\nfn main() { let t = std::time::Instant::now(); }\n",
-        );
-        assert!(v.is_empty(), "{v:?}");
-        let v = check(
-            "crates/net/src/link.rs",
-            "#![forbid(unsafe_code)]\nfn f() { let t = Instant::now(); } // vroom-lint: allow(wall-clock) -- measured path\n",
-        );
-        assert!(v.is_empty(), "{v:?}");
-    }
-
-    #[test]
-    fn wall_clock_ignores_comments_and_strings() {
-        let v = check(
-            "crates/net/src/link.rs",
-            "#![forbid(unsafe_code)]\n// Instant::now would be bad\nlet s = \"SystemTime\";\n",
-        );
-        assert!(v.is_empty(), "{v:?}");
-    }
-
-    #[test]
-    fn unordered_iter_flags_hash_iteration() {
-        let src = "#![forbid(unsafe_code)]\n\
-                   use std::collections::HashMap;\n\
+    fn unordered_iter_sites_found() {
+        let src = "use std::collections::HashMap;\n\
                    struct S { streams: HashMap<u32, u8> }\n\
                    impl S { fn f(&self) { for id in self.streams.keys() { drop(id); } } }\n";
-        let v = check("crates/server/src/x.rs", src);
-        assert_eq!(rules_of(&v), vec!["unordered-iter"]);
-        assert_eq!(v[0].line, 4);
-        assert!(v[0].message.contains("streams"));
-    }
-
-    #[test]
-    fn unordered_iter_flags_for_in() {
-        let src = "#![forbid(unsafe_code)]\n\
-                   fn f(m: &HashMap<u32, u8>) { for (k, v) in &m { drop((k, v)); } }\n";
-        let v = check("crates/browser/src/x.rs", src);
-        assert_eq!(rules_of(&v), vec!["unordered-iter"]);
-    }
-
-    #[test]
-    fn unordered_iter_ignores_btreemap_other_crates_and_tests() {
-        let btree = "#![forbid(unsafe_code)]\n\
-                     fn f(m: &BTreeMap<u32, u8>) { for k in m.keys() { drop(k); } }\n";
-        assert!(check("crates/browser/src/x.rs", btree).is_empty());
-        let hash = "#![forbid(unsafe_code)]\n\
-                    fn f(m: &HashMap<u32, u8>) { for k in m.keys() { drop(k); } }\n";
-        assert!(
-            check("crates/hpack/src/x.rs", hash).is_empty(),
-            "hpack is not sim-path"
-        );
-        let in_test = "#![forbid(unsafe_code)]\n\
-                       #[cfg(test)]\nmod tests {\n    fn f(m: &HashMap<u32, u8>) { for k in m.keys() { drop(k); } }\n}\n";
-        assert!(
-            check("crates/browser/src/x.rs", in_test).is_empty(),
-            "test code exempt"
-        );
+        let sites = unordered_iter_sites(src);
+        assert_eq!(sites.len(), 1, "{sites:?}");
+        assert_eq!(sites[0].0, 3);
+        assert_eq!(sites[0].1, "streams");
+        let for_in = "fn f(m: &HashMap<u32, u8>) { for (k, v) in &m { drop((k, v)); } }\n";
+        assert_eq!(unordered_iter_sites(for_in).len(), 1);
+        let btree = "fn f(m: &BTreeMap<u32, u8>) { for k in m.keys() { drop(k); } }\n";
+        assert!(unordered_iter_sites(btree).is_empty(), "btree is ordered");
     }
 
     #[test]

@@ -76,7 +76,9 @@ pub fn workspace_root(start: &Path) -> Option<PathBuf> {
 }
 
 /// Collect every first-party `.rs` file under the workspace root, sorted by
-/// path. `vendor/` (third-party stand-ins) and `target/` are never scanned.
+/// path. `vendor/` (third-party stand-ins), `target/`, and `fixtures/`
+/// directories (lint-input test data, deliberately full of violations) are
+/// never scanned.
 pub fn collect_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
     let mut files = Vec::new();
     for top in ["crates", "tests", "examples"] {
@@ -97,7 +99,7 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<(
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name == "vendor" || name.starts_with('.') {
+            if name == "target" || name == "vendor" || name == "fixtures" || name.starts_with('.') {
                 continue;
             }
             walk(root, &path, out)?;

@@ -1,0 +1,122 @@
+//! Integration tests for the analyzer: fixture golden files and the
+//! cold-vs-cached determinism guarantee.
+//!
+//! Each directory under `tests/fixtures/` is one case: a set of `.rs` lint
+//! inputs (never compiled — the workspace walker skips `fixtures/` dirs)
+//! plus an `expected.txt` listing the findings as `rule path:line` lines.
+//! The first line of every fixture file is a `// path: <virtual-path>`
+//! directive assigning its position in the pretend workspace, which is what
+//! the rules key their scoping on; the directive line stays in the source so
+//! diagnostic line numbers match the on-disk file.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use vroom_lint::source::SourceFile;
+use vroom_lint::{analyze_with, sarif, Options};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Load one case directory: (fixture sources, expected finding lines).
+fn load_case(dir: &Path) -> (Vec<SourceFile>, Vec<String>) {
+    let mut files = Vec::new();
+    let mut expected = Vec::new();
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text =
+            fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        if name == "expected.txt" {
+            expected = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string)
+                .collect();
+        } else if name.ends_with(".rs") {
+            let first = text.lines().next().unwrap_or("");
+            let vpath = first
+                .strip_prefix("// path: ")
+                .unwrap_or_else(|| panic!("{} is missing its `// path:` directive", path.display()))
+                .trim()
+                .to_string();
+            files.push(SourceFile {
+                path: vpath,
+                source: text,
+            });
+        }
+    }
+    assert!(!files.is_empty(), "no fixtures in {}", dir.display());
+    (files, expected)
+}
+
+#[test]
+fn fixture_golden() {
+    let mut cases: Vec<_> = fs::read_dir(fixtures_dir())
+        .expect("tests/fixtures exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.is_dir())
+        .collect();
+    cases.sort();
+    assert!(!cases.is_empty(), "no fixture cases found");
+    for case in cases {
+        let (files, expected) = load_case(&case);
+        let got: Vec<String> = vroom_lint::analyze_sources(&files)
+            .iter()
+            .map(|v| format!("{} {}:{}", v.rule, v.path, v.line))
+            .collect();
+        assert_eq!(
+            got,
+            expected,
+            "case {} diverged from expected.txt",
+            case.file_name().unwrap().to_string_lossy()
+        );
+    }
+}
+
+/// The incremental cache must be behaviorally invisible: a cold run, the run
+/// that populates the cache, a fully warm replay, and a run over a corrupted
+/// cache file must all render byte-identical SARIF.
+#[test]
+fn cached_run_is_byte_identical_to_cold() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf();
+    let tmp = std::env::temp_dir().join(format!("vroom-lint-itest-{}", std::process::id()));
+    fs::create_dir_all(&tmp).expect("temp dir");
+    let cache_path = tmp.join("cache.json");
+    let cached = Options {
+        cache: Some(cache_path.clone()),
+    };
+
+    let render = |opts: &Options| {
+        let report = analyze_with(&root, opts).expect("workspace lint run");
+        sarif::render(&report)
+    };
+
+    let cold = render(&Options::default());
+    let populate = render(&cached);
+    assert!(cache_path.is_file(), "populate run wrote the cache");
+    let warm = render(&cached);
+    assert_eq!(cold, populate, "cache-populating run diverged from cold");
+    assert_eq!(cold, warm, "warm replay diverged from cold");
+
+    fs::write(&cache_path, "{ garbage").expect("corrupt the cache");
+    let recovered = render(&cached);
+    assert_eq!(
+        cold, recovered,
+        "corrupted cache must be ignored, not trusted"
+    );
+
+    fs::remove_dir_all(&tmp).ok();
+}

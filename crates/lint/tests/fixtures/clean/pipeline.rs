@@ -1,0 +1,7 @@
+// path: crates/browser/src/pipeline.rs
+//! Fixture: well-behaved code produces no findings.
+use std::collections::BTreeMap;
+
+pub fn ordered_sum(m: &BTreeMap<u32, u64>) -> u64 {
+    m.values().sum()
+}

@@ -1,0 +1,14 @@
+// path: crates/http2/src/frame.rs
+pub fn decode_frame() -> u8 {
+    let value: Option<u8> = None;
+    value.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+    }
+}

@@ -1,0 +1,9 @@
+// path: crates/server/src/wire.rs
+//! Fixture: every non-test fn in this file is a panic-reachability root.
+pub fn accept_loop() {
+    serve_one();
+}
+
+fn serve_one() {
+    decode_frame();
+}

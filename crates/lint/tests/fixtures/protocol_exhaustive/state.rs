@@ -1,0 +1,36 @@
+// path: crates/http2/src/state.rs
+pub enum StreamState {
+    Idle,
+    Open,
+    Closed,
+}
+
+pub fn collapse(s: StreamState) -> u8 {
+    match s {
+        StreamState::Idle => 0,
+        _ => 1,
+    }
+}
+
+pub fn partial(s: StreamState) -> u8 {
+    match s {
+        StreamState::Idle => 0,
+        StreamState::Open => 1,
+    }
+}
+
+pub fn full(s: StreamState) -> u8 {
+    match s {
+        StreamState::Idle => 0,
+        StreamState::Open => 1,
+        StreamState::Closed => 2,
+    }
+}
+
+pub fn sanctioned(s: StreamState) -> u8 {
+    // vroom-lint: allow(protocol-exhaustive) -- fixture: the collapse is deliberate here
+    match s {
+        StreamState::Idle => 0,
+        _ => 1,
+    }
+}

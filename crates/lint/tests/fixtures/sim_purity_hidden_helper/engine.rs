@@ -1,0 +1,11 @@
+// path: crates/sim/src/engine.rs
+//! Fixture: the acceptance criterion. `Instant::now()` has been "tidied"
+//! into a helper one crate away; the call-graph analysis must still flag
+//! the effect at its site, with the chain back to the sim entrypoint.
+pub struct Engine;
+
+impl Engine {
+    pub fn run(&mut self) -> u128 {
+        stamp_ms()
+    }
+}

@@ -1,0 +1,5 @@
+// path: crates/sim/src/rng.rs
+pub fn jitter() -> u64 {
+    // vroom-lint: allow(sim-purity) -- fixture: sanctioned ambient randomness with an explicit reason
+    fastrand::u64(..)
+}

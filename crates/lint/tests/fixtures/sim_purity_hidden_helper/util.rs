@@ -1,0 +1,4 @@
+// path: crates/net/src/util.rs
+pub fn stamp_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}

@@ -69,7 +69,10 @@ impl RecordedResponse {
                 let pattern = b"vroom-replay-filler.";
                 while out.len() < self.size as usize {
                     let take = pattern.len().min(self.size as usize - out.len());
-                    out.extend_from_slice(&pattern[..take]);
+                    let Some(chunk) = pattern.get(..take) else {
+                        break;
+                    };
+                    out.extend_from_slice(chunk);
                 }
                 out
             }

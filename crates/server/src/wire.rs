@@ -40,7 +40,7 @@ pub struct MonotonicClock;
 impl WireClock for MonotonicClock {
     fn elapsed(&self) -> Duration {
         static START: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
-        // vroom-lint: allow(wall-clock) -- sole sanctioned wall-clock read: real-wire timeouts measure actual socket idle time; simulation code never calls this
+        // vroom-lint: allow(sim-purity) -- sole sanctioned wall-clock read: real-wire timeouts measure actual socket idle time; simulation code never calls this
         START.get_or_init(Instant::now).elapsed()
     }
 }
@@ -207,7 +207,7 @@ fn serve_connection(
             Ok(0) => return Ok(()), // peer closed
             Ok(n) => {
                 last_activity = clock.elapsed();
-                if conn.recv(&buf[..n]).is_err() {
+                if conn.recv(buf.get(..n).unwrap_or_default()).is_err() {
                     let out = conn.take_output();
                     let _ = stream.write_all(&out);
                     return Ok(());
@@ -241,8 +241,11 @@ fn serve_connection(
         // Retry flow-blocked bodies.
         let ids: Vec<u32> = pending.keys().copied().collect();
         for id in ids {
-            let body = pending.get_mut(&id).expect("present");
-            match conn.send_data(id, &body.data[body.offset..], true) {
+            let Some(body) = pending.get_mut(&id) else {
+                continue;
+            };
+            let rest = body.data.get(body.offset..).unwrap_or_default();
+            match conn.send_data(id, rest, true) {
                 Ok(sent) => {
                     body.offset += sent;
                     if body.offset >= body.data.len() {
@@ -299,7 +302,8 @@ fn handle_request(
         // stream open, then abort it — the client sees partial DATA
         // followed by a well-formed RST_STREAM.
         if conn.send_response(stream_id, &resp, false).is_ok() {
-            let _ = conn.send_data(stream_id, &body[..body.len() / 2], false);
+            let half = body.get(..body.len() / 2).unwrap_or_default();
+            let _ = conn.send_data(stream_id, half, false);
         }
         conn.reset_stream(stream_id, ErrorCode::InternalError);
         return;
@@ -480,7 +484,7 @@ impl WireClient {
             match self.stream.read(&mut buf) {
                 Ok(0) => break,
                 Ok(n) => {
-                    if self.conn.recv(&buf[..n]).is_err() {
+                    if self.conn.recv(buf.get(..n).unwrap_or_default()).is_err() {
                         break;
                     }
                 }
@@ -576,9 +580,14 @@ impl WireClient {
             .map(|(&id, _)| id)
             .collect();
         for id in done_ids {
-            let acc = self.streams.remove(&id).expect("present");
+            let Some(acc) = self.streams.remove(&id) else {
+                continue;
+            };
+            let Some(response) = acc.response else {
+                continue;
+            };
             out.push(FetchedResponse {
-                response: acc.response.expect("checked"),
+                response,
                 body: acc.body,
                 pushed: acc.pushed,
                 url: acc.url.unwrap_or_else(|| Url::https("unknown", "/")),

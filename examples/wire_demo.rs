@@ -57,7 +57,7 @@ fn main() {
     println!("vroom server listening on {}", server.addr());
 
     // 4. The client: request the root, read hints, fetch in tiers.
-    let t0 = Instant::now(); // vroom-lint: allow(wall-clock) -- demo binary timing a real TCP exchange, not simulation
+    let t0 = Instant::now(); // demo binary timing a real TCP exchange, not simulation
     let mut client = WireClient::connect(server.addr()).expect("connect");
     client.get(&page.url).expect("GET root");
     let first = client.run(Duration::from_secs(10)).expect("io");

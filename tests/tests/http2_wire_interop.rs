@@ -17,7 +17,8 @@ fn pump_until<F: FnMut(&mut Connection) -> bool>(
     mut done: F,
     deadline: Duration,
 ) {
-    // vroom-lint: allow(wall-clock) -- watchdog for a real in-memory pipe pump; test asserts on bytes, not time
+    // Watchdog for a real in-memory pipe pump; the test asserts on bytes,
+    // not time, so this wall-clock read is outside the sim-purity roots.
     let start = std::time::Instant::now();
     while start.elapsed() < deadline {
         let out = conn.take_output();

@@ -44,28 +44,45 @@ fn workspace_is_clean_and_baseline_is_fresh() {
     );
 }
 
-/// Introducing a wall-clock read into sim-path code yields a file:line
-/// diagnostic; a justified waiver on the same line suppresses it.
+/// A wall-clock read reachable from a simulation entrypoint is flagged at
+/// the effect site with the call chain in the message; the same code with a
+/// justified waiver, or with no path from a sim root, is clean.
 #[test]
 fn introduced_wall_clock_violation_is_caught() {
+    let entry = || {
+        file(
+            "crates/sim/src/driver.rs",
+            "#![forbid(unsafe_code)]\npub fn drive() { tick(); }\n",
+        )
+    };
     let bad = file(
         "crates/net/src/link.rs",
-        "#![forbid(unsafe_code)]\nfn now() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+        "#![forbid(unsafe_code)]\npub fn tick() {\n    let _ = std::time::Instant::now();\n}\n",
     );
-    let v = analyze_sources(&[bad]);
-    assert_eq!(rules_of(&v), vec!["wall-clock"]);
+    let v = analyze_sources(&[entry(), bad.clone()]);
+    assert_eq!(rules_of(&v), vec!["sim-purity"]);
     assert_eq!(v[0].path, "crates/net/src/link.rs");
     assert_eq!(v[0].line, 3);
+    assert!(
+        v[0].message.contains("sim::drive"),
+        "names the root: {}",
+        v[0].message
+    );
+    assert!(
+        analyze_sources(&[bad]).is_empty(),
+        "no sim entrypoint reaches it, so it is not a violation"
+    );
 
     let waived = file(
         "crates/net/src/link.rs",
-        "#![forbid(unsafe_code)]\nfn now() -> std::time::Instant {\n    std::time::Instant::now() // vroom-lint: allow(wall-clock) -- test fixture\n}\n",
+        "#![forbid(unsafe_code)]\npub fn tick() {\n    let _ = std::time::Instant::now(); // vroom-lint: allow(sim-purity) -- test fixture\n}\n",
     );
-    assert!(analyze_sources(&[waived]).is_empty());
+    assert!(analyze_sources(&[entry(), waived]).is_empty());
 }
 
-/// Hash-container iteration in a sim-path crate is flagged with the binding
-/// name; the same code in a non-sim crate is not.
+/// Hash-container iteration is an effect like any other: flagged where a sim
+/// entrypoint reaches it (every non-test fn in `crates/sim` is a root),
+/// clean where none does.
 #[test]
 fn introduced_unordered_iteration_is_caught() {
     let src = "#![forbid(unsafe_code)]\n\
@@ -73,15 +90,32 @@ fn introduced_unordered_iteration_is_caught() {
                pub fn sum(m: &HashMap<u32, u64>) -> u64 {\n\
                \u{20}   m.values().sum()\n\
                }\n";
-    let v = analyze_sources(&[file("crates/browser/src/cache.rs", src)]);
-    assert_eq!(rules_of(&v), vec!["unordered-iter"]);
+    let v = analyze_sources(&[file("crates/sim/src/cache.rs", src)]);
+    assert_eq!(rules_of(&v), vec!["sim-purity"]);
     assert_eq!(v[0].line, 4);
     assert!(
-        v[0].message.contains('m'),
-        "names the binding: {}",
+        v[0].message.contains("unordered iteration"),
+        "names the effect family: {}",
         v[0].message
     );
     assert!(analyze_sources(&[file("crates/hpack/src/cache.rs", src)]).is_empty());
+}
+
+/// Matches on protocol enums inside `crates/http2` may not hide variants
+/// behind a catch-all arm.
+#[test]
+fn introduced_protocol_catch_all_is_caught() {
+    let src = "#![forbid(unsafe_code)]\n\
+               pub enum FrameType { Data, Headers, Ping }\n\
+               pub fn kind(t: FrameType) -> u8 {\n\
+               \u{20}   match t {\n\
+               \u{20}       FrameType::Data => 0,\n\
+               \u{20}       _ => 1,\n\
+               \u{20}   }\n\
+               }\n";
+    let v = analyze_sources(&[file("crates/http2/src/kinds.rs", src)]);
+    assert_eq!(rules_of(&v), vec!["protocol-exhaustive"]);
+    assert_eq!(v[0].line, 4);
 }
 
 /// New `.unwrap()` in protocol code fails even though the baseline tolerates
@@ -167,8 +201,8 @@ const RAW: &str = r#"SystemTime::now() // still a string"#;
 #[test]
 fn waiver_without_reason_or_with_unknown_rule_is_rejected() {
     let missing_reason = file(
-        "crates/net/src/link.rs",
-        "#![forbid(unsafe_code)]\nlet t = Instant::now(); // vroom-lint: allow(wall-clock)\n",
+        "crates/sim/src/clock.rs",
+        "#![forbid(unsafe_code)]\npub fn now() {\n    let _ = std::time::Instant::now(); // vroom-lint: allow(sim-purity)\n}\n",
     );
     let v = analyze_sources(&[missing_reason]);
     assert!(
@@ -176,7 +210,7 @@ fn waiver_without_reason_or_with_unknown_rule_is_rejected() {
         "bare allow() must be flagged: {v:?}"
     );
     assert!(
-        v.iter().any(|x| x.rule == "wall-clock"),
+        v.iter().any(|x| x.rule == "sim-purity"),
         "malformed waiver grants nothing: {v:?}"
     );
 
