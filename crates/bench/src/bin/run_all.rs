@@ -1,36 +1,14 @@
 //! Regenerates every table and figure in one run — the source of
-//! EXPERIMENTS.md. `--sites N` caps corpus sizes for a quick pass.
+//! EXPERIMENTS.md. `--sites N` caps corpus sizes for a quick pass;
+//! `--workers N` (or `VROOM_WORKERS`) sets the parallelism of the
+//! deterministic executor. Stdout is byte-identical for every worker
+//! count; timing goes to stderr only.
 
 #![forbid(unsafe_code)]
-
-use vroom::experiment as exp;
 
 fn main() {
     let cfg = vroom_bench::config_from_args();
     let t0 = std::time::Instant::now();
-    let sections: Vec<(&str, String)> = vec![
-        ("fig01", exp::fig01(&cfg).2),
-        ("fig02", exp::fig02(&cfg).1),
-        ("fig03", exp::fig03(&cfg).1),
-        ("fig04", exp::fig04(&cfg).2),
-        ("fig07", exp::fig07(&cfg).1),
-        ("fig09", exp::fig09(&cfg).2),
-        ("fig11", exp::fig11(&cfg).1),
-        ("fig13", exp::fig13(&cfg).1),
-        ("fig14", exp::fig14(&cfg).1),
-        ("fig15", exp::fig15(&cfg).2),
-        ("fig16", exp::fig16(&cfg).1),
-        ("fig17", exp::fig17(&cfg).1),
-        ("fig18", exp::fig18(&cfg).1),
-        ("fig19", exp::fig19(&cfg).1),
-        ("fig20", exp::fig20(&cfg).1),
-        ("fig21", exp::fig21(&cfg).1),
-        ("incr", exp::incremental_deployment(&cfg).3),
-        ("t100", exp::top400_sample(&cfg).2),
-    ];
-    for (id, table) in sections {
-        println!("==== {id} ====");
-        println!("{table}");
-    }
+    print!("{}", vroom::experiment::run_all_report(&cfg));
     eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
 }

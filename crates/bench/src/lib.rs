@@ -1,37 +1,138 @@
 //! Shared plumbing for the figure binaries: a tiny CLI (`--sites N`,
-//! `--seed S`) and the experiment configuration they map to.
+//! `--seed S`, `--workers N`) and the experiment configuration they map
+//! to. Malformed arguments print a usage line and exit non-zero instead
+//! of panicking.
 
 #![forbid(unsafe_code)]
 
 use vroom::ExperimentConfig;
 
-/// Parse `--sites N` / `--seed S` style args into an experiment config.
-/// Defaults to the paper's full corpus sizes.
+/// Usage text shared by every figure binary.
+pub const USAGE: &str = "usage: <figure-binary> [OPTIONS]
+  --sites N     cap corpus sizes at N sites (N >= 1; default: the paper's
+                full corpus sizes)
+  --seed S      corpus seed (default: 7)
+  --workers N   worker threads for the deterministic executor (N >= 1;
+                1 = sequential, no pool; default: $VROOM_WORKERS if set,
+                else the machine's available parallelism). Output is
+                byte-identical for every worker count.";
+
+/// Parse `--sites N` / `--seed S` / `--workers N` style args into an
+/// experiment config. On bad input, prints the error plus [`USAGE`] to
+/// stderr and exits with a non-zero status.
 pub fn config_from_args() -> ExperimentConfig {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let env_workers = std::env::var("VROOM_WORKERS").ok();
+    match parse_args(&args, env_workers.as_deref()) {
+        Ok(cfg) => cfg,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The pure core of [`config_from_args`]: `args` excludes the binary name;
+/// `env_workers` is the value of `VROOM_WORKERS`, if set. Precedence for
+/// the worker count: `--workers` flag, then env var, then available
+/// parallelism.
+pub fn parse_args(args: &[String], env_workers: Option<&str>) -> Result<ExperimentConfig, String> {
     let mut cfg = ExperimentConfig::default();
-    let args: Vec<String> = std::env::args().collect();
-    let mut i = 1;
+    let mut workers_flag: Option<usize> = None;
+    let mut i = 0;
     while i < args.len() {
-        match args[i].as_str() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> Result<&str, String> {
+            args.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag {
             "--sites" => {
-                i += 1;
-                let n: usize = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--sites takes a number");
+                let n: usize = parse_number(flag, value(i)?)?;
+                if n == 0 {
+                    return Err("--sites 0 would measure an empty corpus; pass N >= 1".into());
+                }
                 cfg.max_sites = Some(n);
+                i += 2;
             }
             "--seed" => {
-                i += 1;
-                let s: u64 = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed takes a number");
-                cfg.corpus_seed = s;
+                cfg.corpus_seed = parse_number(flag, value(i)?)?;
+                i += 2;
             }
-            other => panic!("unknown argument {other}; supported: --sites N, --seed S"),
+            "--workers" => {
+                let n: usize = parse_number(flag, value(i)?)?;
+                if n == 0 {
+                    return Err("--workers must be >= 1 (1 = sequential)".into());
+                }
+                workers_flag = Some(n);
+                i += 2;
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?}; supported: --sites N, --seed S, --workers N"
+                ))
+            }
         }
-        i += 1;
     }
-    cfg
+    cfg.workers = match (workers_flag, env_workers) {
+        (Some(n), _) => n,
+        (None, Some(env)) => {
+            let n: usize = parse_number("VROOM_WORKERS", env)?;
+            if n == 0 {
+                return Err("VROOM_WORKERS must be >= 1 (1 = sequential)".into());
+            }
+            n
+        }
+        (None, None) => vroom_exec::available_workers(),
+    };
+    Ok(cfg)
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag} takes a number, got {raw:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_use_available_parallelism() {
+        let cfg = parse_args(&[], None).unwrap();
+        assert_eq!(cfg.max_sites, None);
+        assert_eq!(cfg.corpus_seed, 7);
+        assert_eq!(cfg.workers, vroom_exec::available_workers());
+    }
+
+    #[test]
+    fn flags_parse_and_flag_beats_env() {
+        let cfg = parse_args(
+            &args(&["--sites", "4", "--seed", "11", "--workers", "8"]),
+            Some("3"),
+        )
+        .unwrap();
+        assert_eq!(cfg.max_sites, Some(4));
+        assert_eq!(cfg.corpus_seed, 11);
+        assert_eq!(cfg.workers, 8);
+        let cfg = parse_args(&[], Some("3")).unwrap();
+        assert_eq!(cfg.workers, 3);
+    }
+
+    #[test]
+    fn zero_and_malformed_inputs_are_rejected() {
+        assert!(parse_args(&args(&["--sites", "0"]), None).is_err());
+        assert!(parse_args(&args(&["--workers", "0"]), None).is_err());
+        assert!(parse_args(&args(&["--sites", "many"]), None).is_err());
+        assert!(parse_args(&args(&["--sites"]), None).is_err());
+        assert!(parse_args(&args(&["--frobnicate", "1"]), None).is_err());
+        assert!(parse_args(&[], Some("0")).is_err());
+        assert!(parse_args(&[], Some("lots")).is_err());
+    }
 }

@@ -102,11 +102,26 @@ pub struct Quartiles {
     pub p75: f64,
 }
 
-/// Compute quartiles of a sample (interpolated).
+impl Quartiles {
+    /// Whether the sample had any data. Quartiles of an empty sample are
+    /// all-NaN; render helpers skip such rows instead of printing NaNs.
+    pub fn is_defined(&self) -> bool {
+        self.p25.is_finite() && self.p50.is_finite() && self.p75.is_finite()
+    }
+}
+
+/// Compute quartiles of a sample (interpolated). An empty sample yields
+/// all-NaN quartiles (`is_defined()` = false) rather than aborting, so
+/// figure runners survive corpus slices that filter down to nothing.
+/// Non-finite samples are a caller bug: debug builds assert, release
+/// builds order them deterministically via `total_cmp`.
 pub fn quartiles(values: &[f64]) -> Quartiles {
-    assert!(!values.is_empty(), "quartiles of empty sample");
+    debug_assert!(
+        values.iter().all(|v| v.is_finite()),
+        "non-finite sample in quartiles"
+    );
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     Quartiles {
         p25: percentile_sorted(&v, 0.25),
         p50: percentile_sorted(&v, 0.50),
@@ -115,16 +130,19 @@ pub fn quartiles(values: &[f64]) -> Quartiles {
 }
 
 /// Interpolated percentile of a pre-sorted sample, `q` in `[0, 1]`.
+/// Returns NaN for an empty sample.
 pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty());
-    if sorted.len() == 1 {
-        return sorted[0];
+    match sorted {
+        [] => f64::NAN,
+        [only] => *only,
+        _ => {
+            let pos = q * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
     }
-    let pos = q * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    let frac = pos - lo as f64;
-    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
 #[cfg(test)]
@@ -146,6 +164,24 @@ mod tests {
         assert_eq!(percentile_sorted(&v, 0.0), 0.0);
         assert_eq!(percentile_sorted(&v, 1.0), 10.0);
         assert_eq!(percentile_sorted(&[7.0], 0.9), 7.0);
+    }
+
+    #[test]
+    fn empty_sample_yields_undefined_quartiles_not_a_panic() {
+        assert!(percentile_sorted(&[], 0.5).is_nan());
+        let q = quartiles(&[]);
+        assert!(!q.is_defined());
+        assert!(q.p25.is_nan() && q.p50.is_nan() && q.p75.is_nan());
+        assert!(quartiles(&[1.0, 2.0]).is_defined());
+    }
+
+    #[test]
+    fn quartiles_sort_is_total() {
+        // total_cmp orders -0.0 < +0.0 and never panics; a reversed input
+        // sorts the same as a pre-sorted one.
+        let a = quartiles(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        let b = quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!((a.p25, a.p50, a.p75), (b.p25, b.p50, b.p75));
     }
 
     #[test]

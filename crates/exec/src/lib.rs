@@ -1,0 +1,140 @@
+//! Deterministic parallel execution for the experiment harness.
+//!
+//! The simulation made every per-site load a pure function of
+//! `(site, ctx, seeds)` (DESIGN.md §2a); this crate turns that purity into
+//! wall-clock speed without giving up byte-identical output. The one
+//! primitive, [`par_map_indexed`], fans a slice out over a bounded pool of
+//! `std` threads and collects each result into the slot of its *input*
+//! index, so the returned `Vec` — and therefore everything rendered from
+//! it — is identical for any worker count and any completion order.
+//!
+//! Output invariance argument, in three steps:
+//!  1. the mapped closure is pure (enforced by `vroom-lint`'s `sim-purity`
+//!     rule, which keeps analyzing closure bodies passed through here);
+//!  2. results are placed by input index, not arrival order, so scheduling
+//!     cannot permute them;
+//!  3. `workers <= 1` bypasses threads entirely and the result is defined
+//!     to equal that sequential reference.
+//! Hence `par_map_indexed(items, w, f) == par_map_indexed(items, 1, f)`
+//! for every `w` — the property the proptest in `tests/tests/parallel.rs`
+//! and the `run_all` golden byte-identity test both pin down.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The worker count to use when the user asked for "as fast as the
+/// hardware allows": the machine's available parallelism, `1` when that
+/// cannot be determined.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on `workers` threads, returning results in input
+/// order. `f` receives `(index, &item)` exactly once per item.
+///
+/// `workers <= 1` (or fewer than two items) runs inline on the calling
+/// thread with no pool at all — the sequential reference the parallel
+/// path must, and does, reproduce byte-for-byte.
+pub fn par_map_indexed<I, T, F>(items: &[I], workers: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let workers = workers.min(items.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    // vroom-lint: allow(sim-purity) -- the workspace's single sanctioned thread pool: workers race only for *indices*; results land in input-index slots, so output is schedule-invariant
+    std::thread::scope(|scope| {
+        {
+            // Scope the original sender to this block: each worker owns a
+            // clone, and the last sender hanging up is what ends the
+            // collection loop below.
+            let tx = tx;
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (next, f) = (&next, &f);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if tx.send((i, f(i, &items[i]))).is_err() {
+                        break; // receiver gone: a sibling panicked mid-collect
+                    }
+                });
+            }
+        }
+        let mut slots: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+        for (i, value) in rx {
+            slots[i] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index produced exactly once"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map_for_every_worker_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let reference: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| i as u64 * 1000 + x * 3)
+            .collect();
+        for workers in [0, 1, 2, 3, 8, 64] {
+            let got = par_map_indexed(&items, workers, |i, x| i as u64 * 1000 + x * 3);
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u8> = Vec::new();
+        assert!(par_map_indexed(&none, 8, |_, x| *x).is_empty());
+        assert_eq!(par_map_indexed(&[41], 8, |_, x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn order_restored_under_adversarial_completion_order() {
+        // Early indices do the most work, so later items finish first on a
+        // real pool; the output must still be in input order.
+        let items: Vec<usize> = (0..16).collect();
+        let got = par_map_indexed(&items, 4, |i, _| {
+            let mut acc = 0u64;
+            for k in 0..(16 - i) * 100_000 {
+                acc = acc.wrapping_add(k as u64);
+            }
+            (i, acc % 7)
+        });
+        let idx: Vec<usize> = got.iter().map(|(i, _)| *i).collect();
+        assert_eq!(idx, items);
+    }
+
+    #[test]
+    fn workers_beyond_item_count_are_harmless() {
+        let items = [1, 2, 3];
+        assert_eq!(par_map_indexed(&items, 1000, |_, x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn available_workers_is_at_least_one() {
+        assert!(available_workers() >= 1);
+    }
+}

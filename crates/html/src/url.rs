@@ -98,25 +98,15 @@ impl Url {
         if path.is_empty() {
             return None;
         }
-        let resolved = if let Some(abs) = path.strip_prefix('/') {
-            format!("/{abs}")
+        // Both branches run through the same segment normalizer: a crawled
+        // `/b.css` and a page referencing it as `/a/../b.css` must resolve
+        // to the same replay-store key.
+        let resolved = if path.starts_with('/') {
+            normalize_path(path)
         } else {
             // Relative to base directory.
             let dir_end = self.path.rfind('/').unwrap_or(0);
-            let mut segs: Vec<&str> = self.path[..dir_end]
-                .split('/')
-                .filter(|s| !s.is_empty())
-                .collect();
-            for seg in path.split('/') {
-                match seg {
-                    "" | "." => {}
-                    ".." => {
-                        segs.pop();
-                    }
-                    s => segs.push(s),
-                }
-            }
-            format!("/{}", segs.join("/"))
+            normalize_path(&format!("{}/{}", &self.path[..dir_end], path))
         };
         Some(Url::new(&self.scheme, &self.host, resolved))
     }
@@ -161,6 +151,36 @@ impl Url {
         }
         Some(ext.to_ascii_lowercase())
     }
+}
+
+/// Collapse `.` and `..` segments of an absolute path (RFC 3986 §5.2.4
+/// in spirit), leaving any query string untouched. Over-popped `..`
+/// clamps at the root instead of escaping it, and a directory reference
+/// (trailing `/`, `/.`, or `/..`) keeps its trailing slash.
+fn normalize_path(path: &str) -> String {
+    let (p, query) = match path.find('?') {
+        Some(i) => path.split_at(i),
+        None => (path, ""),
+    };
+    let trailing_dir = p.ends_with('/') || p.ends_with("/.") || p.ends_with("/..");
+    let mut segs: Vec<&str> = Vec::new();
+    for seg in p.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                segs.pop();
+            }
+            s => segs.push(s),
+        }
+    }
+    let mut out = String::with_capacity(path.len() + 1);
+    out.push('/');
+    out.push_str(&segs.join("/"));
+    if trailing_dir && !segs.is_empty() {
+        out.push('/');
+    }
+    out.push_str(query);
+    out
 }
 
 impl fmt::Display for Url {
@@ -222,6 +242,40 @@ mod tests {
         assert_eq!(base.join("../x.png").unwrap().path, "/dir/x.png");
         assert_eq!(base.join("../../../x.png").unwrap().path, "/x.png");
         assert_eq!(base.join("./a/b.js").unwrap().path, "/dir/sub/a/b.js");
+    }
+
+    #[test]
+    fn join_normalizes_absolute_refs() {
+        // Regression: a crawled `/b.css` referenced as `/a/../b.css` must
+        // resolve to the replay-store key `/b.css`, not keep literal `..`.
+        let base = Url::https("a.com", "/dir/page.html");
+        assert_eq!(base.join("/a/../b.css").unwrap().path, "/b.css");
+        assert_eq!(base.join("/a/./b/../c.css").unwrap().path, "/a/c.css");
+        assert_eq!(base.join("/a//b.css").unwrap().path, "/a/b.css");
+        // Query strings survive untouched.
+        assert_eq!(
+            base.join("/a/../b.css?v=1&u=..").unwrap().path,
+            "/b.css?v=1&u=.."
+        );
+    }
+
+    #[test]
+    fn join_clamps_over_popped_dotdot() {
+        let base = Url::https("a.com", "/dir/page.html");
+        assert_eq!(base.join("/../../x.png").unwrap().path, "/x.png");
+        assert_eq!(base.join("../../../../x.png").unwrap().path, "/x.png");
+        assert_eq!(base.join("/..").unwrap().path, "/");
+    }
+
+    #[test]
+    fn join_preserves_trailing_slash() {
+        let base = Url::https("a.com", "/dir/sub/page.html");
+        assert_eq!(base.join("/a/b/").unwrap().path, "/a/b/");
+        assert_eq!(base.join("gallery/").unwrap().path, "/dir/sub/gallery/");
+        assert_eq!(base.join("/a/b/..").unwrap().path, "/a/");
+        assert_eq!(base.join("/a/b/.").unwrap().path, "/a/b/");
+        // Collapsing to the root never doubles the slash.
+        assert_eq!(base.join("/a/..").unwrap().path, "/");
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub enum EffectKind {
     Fs,
     Net,
     UnorderedIter,
+    ThreadSpawn,
     Panic,
 }
 
@@ -93,6 +94,7 @@ impl EffectKind {
             EffectKind::Fs => "filesystem access",
             EffectKind::Net => "network access",
             EffectKind::UnorderedIter => "unordered iteration",
+            EffectKind::ThreadSpawn => "thread spawn",
             EffectKind::Panic => "panic site",
         }
     }
@@ -104,6 +106,7 @@ impl EffectKind {
             "filesystem access" => Some(EffectKind::Fs),
             "network access" => Some(EffectKind::Net),
             "unordered iteration" => Some(EffectKind::UnorderedIter),
+            "thread spawn" => Some(EffectKind::ThreadSpawn),
             "panic site" => Some(EffectKind::Panic),
             _ => None,
         }
@@ -672,6 +675,7 @@ const WALL_CLOCK_NEEDLES: [&str; 2] = ["Instant::now", "SystemTime"];
 const RANDOM_NEEDLES: [&str; 4] = ["thread_rng", "rand::random", "fastrand::", "getrandom"];
 const FS_NEEDLES: [&str; 3] = ["fs::", "File::", "OpenOptions"];
 const NET_NEEDLES: [&str; 3] = ["TcpStream", "TcpListener", "UdpSocket"];
+const THREAD_NEEDLES: [&str; 2] = ["thread::spawn", "thread::scope"];
 const PANIC_NEEDLES: [&str; 6] = [
     "panic!",
     "unreachable!",
@@ -717,6 +721,7 @@ fn effect_sites(code: &str, lines: &LineMap) -> Vec<RawEffect> {
     push_needles(&RANDOM_NEEDLES, EffectKind::Randomness, &mut out);
     push_needles(&FS_NEEDLES, EffectKind::Fs, &mut out);
     push_needles(&NET_NEEDLES, EffectKind::Net, &mut out);
+    push_needles(&THREAD_NEEDLES, EffectKind::ThreadSpawn, &mut out);
     push_needles(&PANIC_NEEDLES, EffectKind::Panic, &mut out);
 
     // Indexing: `expr[` where expr ends in an identifier, `)` or `]`.

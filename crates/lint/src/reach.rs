@@ -28,13 +28,18 @@ const WIRE_ROOT_FILE: &str = "crates/server/src/wire.rs";
 const PROTOCOL_ENUMS: [&str; 5] = ["FrameType", "Frame", "StreamState", "ErrorCode", "Event"];
 const PROTOCOL_PREFIX: &str = "crates/http2/";
 
-/// Effect families the sim-purity rule bans.
-const PURITY_KINDS: [EffectKind; 5] = [
+/// Effect families the sim-purity rule bans. Thread spawning counts: a
+/// stray thread makes completion order observable. The one sanctioned
+/// site is `vroom_exec::par_map_indexed`, whose pool is waived in place
+/// because it collects results by input index (closures passed through it
+/// are still analyzed like any other code).
+const PURITY_KINDS: [EffectKind; 6] = [
     EffectKind::WallClock,
     EffectKind::Randomness,
     EffectKind::Fs,
     EffectKind::Net,
     EffectKind::UnorderedIter,
+    EffectKind::ThreadSpawn,
 ];
 
 /// Run all interprocedural rules over the workspace summaries.
@@ -80,7 +85,8 @@ fn sim_purity(graph: &Graph, out: &mut Vec<Violation>) {
                 message: format!(
                     "{} ({}) is reachable from simulation entrypoint `{root}`{via}; \
                      the deterministic path must take time from the engine, randomness \
-                     from the seeded Rng, and iterate ordered containers",
+                     from the seeded Rng, iterate ordered containers, and parallelize \
+                     only through `vroom_exec::par_map_indexed`",
                     e.detail,
                     e.kind.name(),
                 ),
@@ -261,6 +267,48 @@ mod tests {
             ),
         ]);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn thread_spawn_reachable_from_sim_entrypoint_is_flagged() {
+        let v = analyze(&[
+            (
+                "crates/vroom/src/experiment.rs",
+                "pub fn fig99() { fan_out(); }\n",
+            ),
+            (
+                "crates/net/src/helper.rs",
+                "pub fn fan_out() { std::thread::spawn(|| {}); }\n",
+            ),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "sim-purity");
+        assert!(v[0].message.contains("thread spawn"), "{}", v[0].message);
+        assert!(v[0].message.contains("par_map_indexed"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn waived_executor_pool_is_clean_but_its_closures_are_not() {
+        // The par_map_indexed shape: the pool's own spawn is waived, yet an
+        // impure closure argument is still attributed to its enclosing fn
+        // and flagged through the call graph.
+        let v = analyze(&[
+            (
+                "crates/vroom/src/experiment.rs",
+                "pub fn fig99() { par_map_indexed(&[1], 8, |_i, _s| Instant::now()); }\n",
+            ),
+            (
+                "crates/exec/src/lib.rs",
+                "pub fn par_map_indexed() {\n\
+                 \u{20}   // vroom-lint: allow(sim-purity) -- index-ordered pool\n\
+                 \u{20}   std::thread::scope(|s| { s.spawn(|| {}); });\n\
+                 }\n",
+            ),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "sim-purity");
+        assert_eq!(v[0].path, "crates/vroom/src/experiment.rs");
+        assert!(v[0].message.contains("wall-clock"), "{}", v[0].message);
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! One runner per table/figure in the paper (see DESIGN.md §4 for the
 //! index). Every runner returns both structured data and a rendered text
 //! table whose rows/series mirror what the paper plots.
+//!
+//! Every per-site loop goes through [`ExperimentConfig::for_each_site`],
+//! a deterministic parallel map (`vroom_exec::par_map_indexed`): per-site
+//! loads are pure functions of `(site, ctx, seeds)` and results are
+//! collected by input index, so tables are byte-identical for any worker
+//! count (DESIGN.md §2d).
 
 use crate::load::{lower_bound_plt, run_load, run_load_faulted, run_load_warm};
 use crate::policy::System;
@@ -24,6 +30,10 @@ pub struct ExperimentConfig {
     pub profile: NetworkProfile,
     /// The client context of the measured load.
     pub ctx: LoadContext,
+    /// Worker threads for the per-site map (`1` = run inline with no
+    /// pool). Output is identical for every value; only wall-clock time
+    /// changes.
+    pub workers: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -34,6 +44,7 @@ impl Default for ExperimentConfig {
             max_sites: None,
             profile: NetworkProfile::lte(),
             ctx: LoadContext::reference(),
+            workers: 1,
         }
     }
 }
@@ -63,6 +74,17 @@ impl ExperimentConfig {
             ..self.ctx
         }
     }
+
+    /// The shared site map every figure runner goes through: evaluate `f`
+    /// on each configured site of `corpus`, across `self.workers` threads,
+    /// returning results in site order regardless of completion order.
+    fn for_each_site<T: Send>(
+        &self,
+        corpus: &Corpus,
+        f: impl Fn(usize, &PageGenerator) -> T + Sync,
+    ) -> Vec<T> {
+        vroom_exec::par_map_indexed(self.sites(corpus), self.workers, f)
+    }
 }
 
 /// A CDF per system over a corpus.
@@ -84,35 +106,23 @@ impl SystemCdfs {
 
 /// PLT in seconds per site for a system.
 fn plt_cdf(cfg: &ExperimentConfig, corpus: &Corpus, system: System) -> Cdf {
-    let values = cfg
-        .sites(corpus)
-        .iter()
-        .enumerate()
-        .map(|(i, site)| {
-            run_load(
-                site,
-                &cfg.site_ctx(i),
-                &cfg.profile,
-                system,
-                cfg.server_seed,
-            )
-            .plt
-            .as_secs_f64()
-        })
-        .collect();
-    Cdf::new(values)
+    Cdf::new(cfg.for_each_site(corpus, |i, site| {
+        run_load(
+            site,
+            &cfg.site_ctx(i),
+            &cfg.profile,
+            system,
+            cfg.server_seed,
+        )
+        .plt
+        .as_secs_f64()
+    }))
 }
 
 fn lower_bound_cdf(cfg: &ExperimentConfig, corpus: &Corpus) -> Cdf {
-    let values = cfg
-        .sites(corpus)
-        .iter()
-        .enumerate()
-        .map(|(i, site)| {
-            lower_bound_plt(site, &cfg.site_ctx(i), &cfg.profile, cfg.server_seed).as_secs_f64()
-        })
-        .collect();
-    Cdf::new(values)
+    Cdf::new(cfg.for_each_site(corpus, |i, site| {
+        lower_bound_plt(site, &cfg.site_ctx(i), &cfg.profile, cfg.server_seed).as_secs_f64()
+    }))
 }
 
 // --------------------------------------------------------------- Figure 1
@@ -193,22 +203,16 @@ pub fn fig03(cfg: &ExperimentConfig) -> (SystemCdfs, String) {
 pub fn fig04(cfg: &ExperimentConfig) -> (Cdf, Cdf, String) {
     let ns = Corpus::news_and_sports(cfg.corpus_seed);
     let frac = |system: System| {
-        Cdf::new(
-            cfg.sites(&ns)
-                .iter()
-                .enumerate()
-                .map(|(i, site)| {
-                    run_load(
-                        site,
-                        &cfg.site_ctx(i),
-                        &cfg.profile,
-                        system,
-                        cfg.server_seed,
-                    )
-                    .network_wait_frac()
-                })
-                .collect(),
-        )
+        Cdf::new(cfg.for_each_site(&ns, |i, site| {
+            run_load(
+                site,
+                &cfg.site_ctx(i),
+                &cfg.profile,
+                system,
+                cfg.server_seed,
+            )
+            .network_wait_frac()
+        }))
     };
     let h2 = frac(System::Http2);
     let vroom = frac(System::Vroom);
@@ -233,17 +237,12 @@ pub fn fig07(cfg: &ExperimentConfig) -> (Vec<(String, Cdf)>, String) {
     let windows = [("One Hour", 1.0), ("One Day", 24.0), ("One Week", 168.0)];
     let mut out = Vec::new();
     for (name, dh) in windows {
-        let values: Vec<f64> = cfg
-            .sites(&top)
-            .iter()
-            .enumerate()
-            .map(|(i, site)| {
-                let ctx = cfg.site_ctx(i);
-                let before = site.snapshot(&ctx).url_set();
-                let after = site.snapshot(&ctx.later(dh, ctx.nonce ^ 0x1A7E4)).url_set();
-                before.intersection(&after).count() as f64 / before.len() as f64
-            })
-            .collect();
+        let values = cfg.for_each_site(&top, |i, site| {
+            let ctx = cfg.site_ctx(i);
+            let before = site.snapshot(&ctx).url_set();
+            let after = site.snapshot(&ctx.later(dh, ctx.nonce ^ 0x1A7E4)).url_set();
+            before.intersection(&after).count() as f64 / before.len() as f64
+        });
         out.push((name.to_string(), Cdf::new(values)));
     }
     let table = render_cdf_table(
@@ -260,16 +259,16 @@ pub fn fig07(cfg: &ExperimentConfig) -> (Vec<(String, Cdf)>, String) {
 /// tablet.
 pub fn fig09(cfg: &ExperimentConfig) -> (Cdf, Cdf, String) {
     let top = Corpus::top100(cfg.corpus_seed);
-    let mut phone = Vec::new();
-    let mut tablet = Vec::new();
-    for (i, site) in cfg.sites(&top).iter().enumerate() {
-        let h = cfg.site_ctx(i).hours;
-        let reference = stable_set(site, h, DeviceClass::PhoneLarge, cfg.server_seed);
-        let oneplus = stable_set(site, h, DeviceClass::PhoneSmall, cfg.server_seed);
-        let nexus10 = stable_set(site, h, DeviceClass::Tablet, cfg.server_seed);
-        phone.push(iou(&reference, &oneplus));
-        tablet.push(iou(&reference, &nexus10));
-    }
+    let (phone, tablet): (Vec<f64>, Vec<f64>) = cfg
+        .for_each_site(&top, |i, site| {
+            let h = cfg.site_ctx(i).hours;
+            let reference = stable_set(site, h, DeviceClass::PhoneLarge, cfg.server_seed);
+            let oneplus = stable_set(site, h, DeviceClass::PhoneSmall, cfg.server_seed);
+            let nexus10 = stable_set(site, h, DeviceClass::Tablet, cfg.server_seed);
+            (iou(&reference, &oneplus), iou(&reference, &nexus10))
+        })
+        .into_iter()
+        .unzip();
     let phone = Cdf::new(phone);
     let tablet = Cdf::new(tablet);
     let table = render_cdf_table(
@@ -290,15 +289,17 @@ pub fn fig11(cfg: &ExperimentConfig) -> (Vec<(usize, f64, f64)>, String) {
     let site = &ns.sites[0]; // a eurosport-like popular sports/news page
     let ctx = cfg.site_ctx(0);
     let page = site.snapshot(&ctx);
-    let base = run_load(site, &ctx, &cfg.profile, System::Http2, cfg.server_seed);
-    let asap = run_load(
-        site,
-        &ctx,
-        &cfg.profile,
-        System::PushAllFetchAsap,
-        cfg.server_seed,
+    // One site, three systems: fan the independent loads over the pool.
+    let systems = [System::Http2, System::PushAllFetchAsap, System::Vroom];
+    let mut loads = vroom_exec::par_map_indexed(&systems, cfg.workers, |_, system| {
+        run_load(site, &ctx, &cfg.profile, *system, cfg.server_seed)
+    })
+    .into_iter();
+    let (base, asap, vroom) = (
+        loads.next().expect("three loads"),
+        loads.next().expect("three loads"),
+        loads.next().expect("three loads"),
     );
-    let vroom = run_load(site, &ctx, &cfg.profile, System::Vroom, cfg.server_seed);
 
     // The first ten resources needing processing, ordered by when the
     // baseline fetched them.
@@ -359,7 +360,7 @@ pub fn fig13(cfg: &ExperimentConfig) -> (Fig13, String) {
         let mut plts = Vec::new();
         let mut afts = Vec::new();
         let mut sis = Vec::new();
-        for (i, site) in cfg.sites(&ns).iter().enumerate() {
+        let per_site = cfg.for_each_site(&ns, |i, site| {
             let r = run_load(
                 site,
                 &cfg.site_ctx(i),
@@ -367,9 +368,12 @@ pub fn fig13(cfg: &ExperimentConfig) -> (Fig13, String) {
                 system,
                 cfg.server_seed,
             );
-            plts.push(r.plt.as_secs_f64());
-            afts.push(r.aft.as_secs_f64());
-            sis.push(r.speed_index);
+            (r.plt.as_secs_f64(), r.aft.as_secs_f64(), r.speed_index)
+        });
+        for (p, a, s) in per_site {
+            plts.push(p);
+            afts.push(a);
+            sis.push(s);
         }
         plt.push((system.label().into(), Cdf::new(plts)));
         aft.push((system.label().into(), Cdf::new(afts)));
@@ -463,17 +467,25 @@ pub fn fig16(cfg: &ExperimentConfig) -> (Fig16, String) {
     let mut dh = Vec::new();
     let mut fa = Vec::new();
     let mut fh = Vec::new();
-    for (i, site) in cfg.sites(&ns).iter().enumerate() {
+    let per_site = cfg.for_each_site(&ns, |i, site| {
         let ctx = cfg.site_ctx(i);
         let base = run_load(site, &ctx, &cfg.profile, System::Http2, cfg.server_seed);
         let vroom = run_load(site, &ctx, &cfg.profile, System::Vroom, cfg.server_seed);
         let imp = |v: vroom_sim::SimDuration, b: vroom_sim::SimDuration| {
             1.0 - v.as_secs_f64() / b.as_secs_f64().max(1e-9)
         };
-        da.push(imp(vroom.discovery_all, base.discovery_all));
-        dh.push(imp(vroom.discovery_high, base.discovery_high));
-        fa.push(imp(vroom.fetch_all, base.fetch_all));
-        fh.push(imp(vroom.fetch_high, base.fetch_high));
+        (
+            imp(vroom.discovery_all, base.discovery_all),
+            imp(vroom.discovery_high, base.discovery_high),
+            imp(vroom.fetch_all, base.fetch_all),
+            imp(vroom.fetch_high, base.fetch_high),
+        )
+    });
+    for (d_all, d_high, f_all, f_high) in per_site {
+        da.push(d_all);
+        dh.push(d_high);
+        fa.push(f_all);
+        fh.push(f_high);
     }
     let data = Fig16 {
         discovery_all: Cdf::new(da),
@@ -504,34 +516,24 @@ pub fn fig16(cfg: &ExperimentConfig) -> (Fig16, String) {
 // ---------------------------------------------------- Figures 17, 18, 19
 
 fn plt_quartiles(cfg: &ExperimentConfig, corpus: &Corpus, system: System) -> Quartiles {
-    let values: Vec<f64> = cfg
-        .sites(corpus)
-        .iter()
-        .enumerate()
-        .map(|(i, site)| {
-            run_load(
-                site,
-                &cfg.site_ctx(i),
-                &cfg.profile,
-                system,
-                cfg.server_seed,
-            )
-            .plt
-            .as_secs_f64()
-        })
-        .collect();
+    let values = cfg.for_each_site(corpus, |i, site| {
+        run_load(
+            site,
+            &cfg.site_ctx(i),
+            &cfg.profile,
+            system,
+            cfg.server_seed,
+        )
+        .plt
+        .as_secs_f64()
+    });
     quartiles(&values)
 }
 
 fn lower_bound_quartiles(cfg: &ExperimentConfig, corpus: &Corpus) -> Quartiles {
-    let values: Vec<f64> = cfg
-        .sites(corpus)
-        .iter()
-        .enumerate()
-        .map(|(i, site)| {
-            lower_bound_plt(site, &cfg.site_ctx(i), &cfg.profile, cfg.server_seed).as_secs_f64()
-        })
-        .collect();
+    let values = cfg.for_each_site(corpus, |i, site| {
+        lower_bound_plt(site, &cfg.site_ctx(i), &cfg.profile, cfg.server_seed).as_secs_f64()
+    });
     quartiles(&values)
 }
 
@@ -549,24 +551,19 @@ fn corrupted_hint_quartiles(
     system: System,
     fraction: f64,
 ) -> Quartiles {
-    let values: Vec<f64> = cfg
-        .sites(corpus)
-        .iter()
-        .enumerate()
-        .map(|(i, site)| {
-            let plan = FaultPlan::hint_corruption_only(cfg.server_seed ^ (i as u64), fraction);
-            run_load_faulted(
-                site,
-                &cfg.site_ctx(i),
-                &cfg.profile,
-                system,
-                cfg.server_seed,
-                &plan,
-            )
-            .plt
-            .as_secs_f64()
-        })
-        .collect();
+    let values = cfg.for_each_site(corpus, |i, site| {
+        let plan = FaultPlan::hint_corruption_only(cfg.server_seed ^ (i as u64), fraction);
+        run_load_faulted(
+            site,
+            &cfg.site_ctx(i),
+            &cfg.profile,
+            system,
+            cfg.server_seed,
+            &plan,
+        )
+        .plt
+        .as_secs_f64()
+    });
     quartiles(&values)
 }
 
@@ -681,23 +678,18 @@ pub fn fig20(cfg: &ExperimentConfig) -> (Vec<(String, Quartiles, Quartiles)>, St
     ));
     for (name, age) in scenarios {
         let collect = |system: System| {
-            let values: Vec<f64> = cfg
-                .sites(&ns)
-                .iter()
-                .enumerate()
-                .map(|(i, site)| {
-                    run_load_warm(
-                        site,
-                        &cfg.site_ctx(i),
-                        &cfg.profile,
-                        system,
-                        cfg.server_seed,
-                        age,
-                    )
-                    .plt
-                    .as_secs_f64()
-                })
-                .collect();
+            let values = cfg.for_each_site(&ns, |i, site| {
+                run_load_warm(
+                    site,
+                    &cfg.site_ctx(i),
+                    &cfg.profile,
+                    system,
+                    cfg.server_seed,
+                    age,
+                )
+                .plt
+                .as_secs_f64()
+            });
             quartiles(&values)
         };
         let v = collect(System::Vroom);
@@ -746,14 +738,19 @@ pub fn fig21(cfg: &ExperimentConfig) -> (Fig21, String) {
     let mut pb = Vec::new();
     let mut fns: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
     let mut fps: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
-    for (i, site) in cfg.sites(&corpus).iter().enumerate() {
+    let per_site = cfg.for_each_site(&corpus, |i, site| {
         let user = users[i % users.len()];
         let ctx = LoadContext {
             user_id: user,
             ..cfg.site_ctx(i)
         };
-        for (k, (_, strategy)) in strategies.iter().enumerate() {
-            let acc = evaluate(site, &ctx, *strategy, cfg.server_seed);
+        strategies
+            .iter()
+            .map(|(_, strategy)| evaluate(site, &ctx, *strategy, cfg.server_seed))
+            .collect::<Vec<_>>()
+    });
+    for accs in per_site {
+        for (k, acc) in accs.into_iter().enumerate() {
             fns[k].push(acc.false_negative);
             fps[k].push(acc.false_positive);
             if k == 0 {
@@ -837,6 +834,55 @@ pub fn top400_sample(cfg: &ExperimentConfig) -> (f64, f64, String) {
          (paper: 4.8 / 4.0)\n"
     );
     (h2, vroom, table)
+}
+
+// ------------------------------------------------------------ full report
+
+/// Section ids of the full report, in presentation order (the exact
+/// stdout order of the seed `run_all` binary).
+pub const RUN_ALL_SECTIONS: [&str; 18] = [
+    "fig01", "fig02", "fig03", "fig04", "fig07", "fig09", "fig11", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "incr", "t100",
+];
+
+/// One section's rendered table.
+fn run_section(cfg: &ExperimentConfig, id: &str) -> String {
+    match id {
+        "fig01" => fig01(cfg).2,
+        "fig02" => fig02(cfg).1,
+        "fig03" => fig03(cfg).1,
+        "fig04" => fig04(cfg).2,
+        "fig07" => fig07(cfg).1,
+        "fig09" => fig09(cfg).2,
+        "fig11" => fig11(cfg).1,
+        "fig13" => fig13(cfg).1,
+        "fig14" => fig14(cfg).1,
+        "fig15" => fig15(cfg).2,
+        "fig16" => fig16(cfg).1,
+        "fig17" => fig17(cfg).1,
+        "fig18" => fig18(cfg).1,
+        "fig19" => fig19(cfg).1,
+        "fig20" => fig20(cfg).1,
+        "fig21" => fig21(cfg).1,
+        "incr" => incremental_deployment(cfg).3,
+        "t100" => top400_sample(cfg).2,
+        other => format!("unknown section {other}\n"),
+    }
+}
+
+/// Every table and figure in one string — the contents of
+/// `results/run_all.txt`. Independent sections are evaluated concurrently
+/// through the same pool as the per-site maps (each section additionally
+/// parallelizes across its own sites), and concatenated in presentation
+/// order, so the report is byte-identical for every worker count.
+pub fn run_all_report(cfg: &ExperimentConfig) -> String {
+    let tables =
+        vroom_exec::par_map_indexed(&RUN_ALL_SECTIONS, cfg.workers, |_, id| run_section(cfg, id));
+    let mut out = String::new();
+    for (id, table) in RUN_ALL_SECTIONS.iter().zip(tables) {
+        out.push_str(&format!("==== {id} ====\n{table}\n"));
+    }
+    out
 }
 
 #[cfg(test)]

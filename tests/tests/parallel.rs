@@ -1,0 +1,68 @@
+//! Golden proof of the deterministic parallel harness: the entire
+//! `run_all` report is byte-identical for every worker count, and the
+//! executor primitive itself equals a sequential `map` for arbitrary item
+//! counts and worker counts.
+
+#![forbid(unsafe_code)]
+
+use proptest::prelude::*;
+use vroom::experiment::{run_all_report, ExperimentConfig};
+use vroom_exec::par_map_indexed;
+
+fn cfg(workers: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(5);
+    cfg.workers = workers;
+    cfg
+}
+
+/// The tentpole acceptance test: the full report — every figure and table
+/// the paper's evaluation regenerates — is byte-identical whether the
+/// harness runs sequentially or on a pool, at any width.
+#[test]
+fn run_all_report_is_byte_identical_across_worker_counts() {
+    let sequential = run_all_report(&cfg(1));
+    assert!(
+        sequential.contains("==== fig01 ====") && sequential.contains("==== t100 ===="),
+        "report covers every section"
+    );
+    for workers in [2, 8] {
+        let parallel = run_all_report(&cfg(workers));
+        assert_eq!(
+            sequential, parallel,
+            "run_all output diverged at workers={workers}"
+        );
+    }
+}
+
+/// The pool must not skip, duplicate, or reorder sites: a keyed map over a
+/// wide pool equals the sequential reference exactly.
+#[test]
+fn par_map_preserves_index_association() {
+    let items: Vec<u64> = (0..100).map(|i| i * 31 % 17).collect();
+    let reference: Vec<(usize, u64)> = items.iter().enumerate().map(|(i, &x)| (i, x * x)).collect();
+    for workers in [2, 3, 7, 16] {
+        let got = par_map_indexed(&items, workers, |i, &x| (i, x * x));
+        assert_eq!(got, reference, "workers={workers}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `par_map_indexed(items, w, f)` equals the plain `Vec` map for
+    /// arbitrary item counts and worker counts, including degenerate ones
+    /// (0 items, 0/1 workers, more workers than items).
+    #[test]
+    fn par_map_equals_sequential_map(
+        items in proptest::collection::vec(any::<u32>(), 0..200),
+        workers in 0usize..32,
+    ) {
+        let reference: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i as u64) << 32 | u64::from(x))
+            .collect();
+        let got = par_map_indexed(&items, workers, |i, &x| (i as u64) << 32 | u64::from(x));
+        prop_assert_eq!(got, reference);
+    }
+}
