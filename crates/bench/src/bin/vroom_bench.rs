@@ -1,0 +1,489 @@
+//! `vroom-bench` — the perf-trajectory harness. Unlike the figure binaries
+//! (which regenerate the paper's tables), this binary measures *this repo's
+//! own* hot paths so optimisation work leaves a committed record:
+//!
+//! ```sh
+//! vroom-bench micro [--iters N] [--check-against BENCH_micro.json]
+//! ```
+//!
+//! `micro` runs the microbenchmarks (URL join + intern, replay-store lookup,
+//! HPACK encode/decode, event-queue churn, a full single-site load) plus two
+//! end-to-end `run_all` measurements, and writes `BENCH_micro.json` and
+//! `BENCH_e2e.json` into the current directory through the canonical JSON
+//! codec (sorted keys, byte-deterministic layout — only the measured numbers
+//! change between runs). Each entry records the median, interquartile range,
+//! and iteration counts; `BENCH_e2e.json` additionally pins the
+//! pre-optimization medians measured before the interning overhaul so the
+//! trajectory stays visible in-repo.
+//!
+//! `--check-against FILE` re-reads a committed `BENCH_micro.json` and exits
+//! non-zero if the fresh `full_single_site_load` median regressed more than
+//! 25% against it (the CI bench-smoke gate).
+//!
+//! This is wall-clock scaffolding and never runs inside the simulator;
+//! the simulation itself stays deterministic.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use criterion::{black_box, sample, Measurement};
+use vroom::experiment::run_all_report;
+use vroom::{run_load, ExperimentConfig, System};
+use vroom_browser::metrics::quartiles;
+use vroom_hpack::{Decoder, Encoder, HeaderField};
+use vroom_html::Url;
+use vroom_intern::UrlTable;
+use vroom_net::json::Value;
+use vroom_net::{NetworkProfile, RecordedResponse, ReplayStore};
+use vroom_pages::{LoadContext, PageGenerator, SiteProfile};
+use vroom_sim::{EventQueue, SimTime};
+
+/// Medians measured on this repo immediately *before* the interning /
+/// shared-body / O(log n)-cancel overhaul, with the same configurations as
+/// the entries they annotate. Committed so `BENCH_e2e.json` always shows
+/// where the trajectory started.
+const PRE_OPT_FULL_W1_MS: u64 = 16_177;
+const PRE_OPT_SITES4_W1_MS: u64 = 798;
+
+const USAGE: &str = "usage: vroom-bench micro [OPTIONS]
+  --iters N              samples per microbenchmark (default 10; e2e runs
+                         take min(N, 5) samples since each is a full run_all)
+  --check-against FILE   after measuring, compare the fresh
+                         full_single_site_load median against the committed
+                         BENCH_micro.json at FILE and exit 1 if it regressed
+                         by more than 25%";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => {}
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    if command != "micro" {
+        return Err(format!("unknown subcommand {command:?}"));
+    }
+    let mut iters: u64 = 10;
+    let mut check_against: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                iters = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--iters takes a number >= 1")?;
+                i += 2;
+            }
+            "--check-against" => {
+                check_against = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .ok_or("--check-against takes a file path")?,
+                );
+                i += 2;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+
+    let micro = run_micro(iters);
+    write_json("BENCH_micro.json", micro_json(&micro))?;
+    println!("wrote BENCH_micro.json");
+
+    let e2e = run_e2e(iters.min(5));
+    write_json("BENCH_e2e.json", e2e_json(&e2e))?;
+    println!("wrote BENCH_e2e.json");
+
+    if let Some(path) = check_against {
+        check_regression(&path, &micro)?;
+    }
+    Ok(())
+}
+
+/// One finished benchmark: its raw measurement reduced to summary stats.
+struct BenchStats {
+    name: &'static str,
+    median_us: f64,
+    iqr_us: f64,
+    iters_per_sample: u64,
+    samples: usize,
+}
+
+fn stats(name: &'static str, m: &Measurement) -> BenchStats {
+    let us: Vec<f64> = m.per_iter_secs.iter().map(|s| s * 1e6).collect();
+    let q = quartiles(&us);
+    BenchStats {
+        name,
+        median_us: q.p50,
+        iqr_us: q.p75 - q.p25,
+        iters_per_sample: m.iters_per_sample,
+        samples: m.samples(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks
+// ---------------------------------------------------------------------------
+
+fn run_micro(samples: u64) -> Vec<BenchStats> {
+    let mut out = Vec::new();
+
+    // URL join + intern: resolve relative references against a base and
+    // intern the results — the parse half of every hint and markup scan.
+    let base = Url::https("news.example.com", "/section/front/index.html");
+    let refs: Vec<String> = (0..32)
+        .map(|i| match i % 4 {
+            0 => format!("../assets/app-{i}.js"),
+            1 => format!("/img/hero-{i}.jpg"),
+            2 => format!("https://cdn{}.example.net/lib.css", i % 3),
+            _ => format!("widget-{i}.html?v={i}"),
+        })
+        .collect();
+    let m = sample(samples, 200, || {
+        let mut table = UrlTable::new();
+        for r in &refs {
+            let u = base.join(r).expect("joinable reference");
+            black_box(table.intern(u));
+        }
+        table.len()
+    });
+    out.push(stats("url_join_intern", &m));
+    report(out.last().expect("just pushed"));
+
+    // Replay-store lookup: the per-request hot path of the wire server,
+    // by URL (BTreeMap probe over string keys) and by interned id
+    // (Vec index) — the spread these two show is the point of interning.
+    let page = PageGenerator::new(SiteProfile::news(), 42).snapshot(&LoadContext::reference());
+    let mut store = ReplayStore::new();
+    for r in &page.resources {
+        store.record(r.url.clone(), RecordedResponse::synthetic(r.kind, r.size));
+    }
+    let urls: Vec<Url> = page.resources.iter().map(|r| r.url.clone()).collect();
+    let ids: Vec<_> = urls
+        .iter()
+        .map(|u| store.id_of(u).expect("recorded url"))
+        .collect();
+    let m = sample(samples, 500, || {
+        let mut hits = 0usize;
+        for u in &urls {
+            hits += usize::from(store.lookup(u).is_some());
+        }
+        hits
+    });
+    out.push(stats("replay_lookup_url", &m));
+    report(out.last().expect("just pushed"));
+    let m = sample(samples, 500, || {
+        let mut hits = 0usize;
+        for &id in &ids {
+            hits += usize::from(store.lookup_id(id).is_some());
+        }
+        hits
+    });
+    out.push(stats("replay_lookup_id", &m));
+    report(out.last().expect("just pushed"));
+
+    // HPACK encode/decode of a response carrying dependency hints — the
+    // per-response wire overhead of the Vroom protocol.
+    let headers: Vec<HeaderField> = vec![
+        HeaderField::new(":status", "200"),
+        HeaderField::new("content-type", "text/html; charset=utf-8"),
+        HeaderField::new(
+            "link",
+            "<https://cdn.news.com/app.js>; rel=preload; as=script",
+        ),
+        HeaderField::new("x-semi-important", "https://tp1.net/widget.js"),
+        HeaderField::new("x-unimportant", "https://cdn.news.com/hero.jpg"),
+        HeaderField::new("cache-control", "max-age=3600"),
+    ];
+    let m = sample(samples, 1_000, || {
+        black_box(Encoder::new().encode(&headers))
+    });
+    out.push(stats("hpack_encode", &m));
+    report(out.last().expect("just pushed"));
+    let wire = Encoder::new().encode(&headers);
+    let m = sample(samples, 1_000, || {
+        black_box(Decoder::new().decode(&wire).expect("valid block"))
+    });
+    out.push(stats("hpack_decode", &m));
+    report(out.last().expect("just pushed"));
+
+    // Event-queue churn: the simulator's core data structure under the
+    // schedule / cancel / pop mix a loaded page produces. Half the events
+    // are cancelled, exercising the id-liveness path rather than a drain.
+    let m = sample(samples, 50, || {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let ids: Vec<_> = (0..1024u64)
+            .map(|i| q.schedule(SimTime::from_micros(i * 7 % 911), i as u32))
+            .collect();
+        for id in ids.iter().step_by(2) {
+            q.cancel(*id);
+        }
+        let mut popped = 0usize;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        popped
+    });
+    out.push(stats("event_queue_churn", &m));
+    report(out.last().expect("just pushed"));
+
+    // Full single-site load: one complete deterministic browser run under
+    // the Vroom system — the unit the experiment suite repeats thousands
+    // of times, so this is the number that moves when hot paths improve.
+    let site = PageGenerator::new(SiteProfile::news(), 42);
+    let ctx = LoadContext::reference();
+    let net = NetworkProfile::lte();
+    let m = sample(samples, 3, || {
+        black_box(run_load(&site, &ctx, &net, System::Vroom, 7).plt)
+    });
+    out.push(stats("full_single_site_load", &m));
+    report(out.last().expect("just pushed"));
+
+    out
+}
+
+fn report(b: &BenchStats) {
+    println!(
+        "bench {:<28} median {:>12.3} us/iter  iqr {:>10.3} us  ({} samples x {} iters)",
+        b.name, b.median_us, b.iqr_us, b.samples, b.iters_per_sample
+    );
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end run_all measurements
+// ---------------------------------------------------------------------------
+
+struct E2eStats {
+    name: &'static str,
+    median_ms: f64,
+    iqr_ms: f64,
+    samples: usize,
+    pre_optimization_median_ms: u64,
+}
+
+fn run_e2e(samples: u64) -> Vec<E2eStats> {
+    let mut out = Vec::new();
+    let configs: [(&'static str, ExperimentConfig, u64); 2] = [
+        (
+            "run_all_sites4_workers1",
+            ExperimentConfig::quick(4),
+            PRE_OPT_SITES4_W1_MS,
+        ),
+        (
+            "run_all_full_workers1",
+            ExperimentConfig::default(),
+            PRE_OPT_FULL_W1_MS,
+        ),
+    ];
+    for (name, cfg, pre) in configs {
+        let mut ms = Vec::with_capacity(samples as usize);
+        for _ in 0..samples.max(1) {
+            let start = Instant::now();
+            black_box(run_all_report(&cfg).len());
+            ms.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        let q = quartiles(&ms);
+        let e = E2eStats {
+            name,
+            median_ms: q.p50,
+            iqr_ms: q.p75 - q.p25,
+            samples: ms.len(),
+            pre_optimization_median_ms: pre,
+        };
+        println!(
+            "e2e   {:<28} median {:>12.1} ms     iqr {:>10.1} ms  ({} samples; pre-opt {} ms)",
+            e.name, e.median_ms, e.iqr_ms, e.samples, e.pre_optimization_median_ms
+        );
+        out.push(e);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission (canonical codec) + regression check
+// ---------------------------------------------------------------------------
+
+/// Round to 3 decimals so the committed files stay tidy; the codec prints
+/// floats with Rust's shortest-roundtrip formatting.
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+fn micro_json(benches: &[BenchStats]) -> Value {
+    let mut by_name = BTreeMap::new();
+    for b in benches {
+        let mut m = BTreeMap::new();
+        m.insert("median_us".into(), Value::Float(round3(b.median_us)));
+        m.insert("iqr_us".into(), Value::Float(round3(b.iqr_us)));
+        m.insert("iters_per_sample".into(), Value::Int(b.iters_per_sample));
+        m.insert("samples".into(), Value::Int(b.samples as u64));
+        by_name.insert(b.name.to_string(), Value::Object(m));
+    }
+    let mut root = BTreeMap::new();
+    root.insert("schema".into(), Value::Str("vroom-bench-micro/1".into()));
+    root.insert(
+        "unit".into(),
+        Value::Str("microseconds per iteration".into()),
+    );
+    root.insert("benches".into(), Value::Object(by_name));
+    Value::Object(root)
+}
+
+fn e2e_json(runs: &[E2eStats]) -> Value {
+    let mut by_name = BTreeMap::new();
+    for r in runs {
+        let mut m = BTreeMap::new();
+        m.insert("median_ms".into(), Value::Float(round3(r.median_ms)));
+        m.insert("iqr_ms".into(), Value::Float(round3(r.iqr_ms)));
+        m.insert("samples".into(), Value::Int(r.samples as u64));
+        m.insert(
+            "pre_optimization_median_ms".into(),
+            Value::Int(r.pre_optimization_median_ms),
+        );
+        by_name.insert(r.name.to_string(), Value::Object(m));
+    }
+    let mut root = BTreeMap::new();
+    root.insert("schema".into(), Value::Str("vroom-bench-e2e/1".into()));
+    root.insert(
+        "unit".into(),
+        Value::Str("milliseconds per run_all report".into()),
+    );
+    root.insert("runs".into(), Value::Object(by_name));
+    Value::Object(root)
+}
+
+fn write_json(path: &str, v: Value) -> Result<(), String> {
+    let mut out = String::with_capacity(4096);
+    v.write_pretty_into(&mut out);
+    out.push('\n');
+    // Round-trip through the codec before writing: a file that does not
+    // re-parse byte-identically never lands on disk.
+    let reparsed = Value::parse(&out).map_err(|e| format!("{path}: emitted invalid JSON: {e}"))?;
+    let mut second = String::with_capacity(out.len());
+    reparsed.write_pretty_into(&mut second);
+    second.push('\n');
+    if out != second {
+        return Err(format!("{path}: canonical form is not a fixed point"));
+    }
+    std::fs::write(path, out).map_err(|e| format!("write {path}: {e}"))
+}
+
+/// The CI bench-smoke gate: fail if the fresh `full_single_site_load`
+/// median exceeds the committed baseline's by more than 25%.
+fn check_regression(baseline_path: &str, fresh: &[BenchStats]) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
+    let root = Value::parse(&text).map_err(|e| format!("parse {baseline_path}: {e}"))?;
+    let baseline = lookup_median(&root, "full_single_site_load")
+        .ok_or_else(|| format!("{baseline_path}: no benches.full_single_site_load.median_us"))?;
+    let current = fresh
+        .iter()
+        .find(|b| b.name == "full_single_site_load")
+        .map(|b| b.median_us)
+        .ok_or("fresh run is missing full_single_site_load")?;
+    let limit = baseline * 1.25;
+    if current > limit {
+        return Err(format!(
+            "full_single_site_load regressed: {current:.1} us vs baseline {baseline:.1} us \
+             (limit {limit:.1} us, +25%)"
+        ));
+    }
+    println!(
+        "regression check ok: full_single_site_load {current:.1} us vs baseline {baseline:.1} us \
+         (limit {limit:.1} us)"
+    );
+    Ok(())
+}
+
+fn lookup_median(root: &Value, bench: &str) -> Option<f64> {
+    let Value::Object(root) = root else {
+        return None;
+    };
+    let Value::Object(benches) = root.get("benches")? else {
+        return None;
+    };
+    let Value::Object(entry) = benches.get(bench)? else {
+        return None;
+    };
+    match entry.get("median_us")? {
+        Value::Float(f) => Some(*f),
+        Value::Int(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shapes_parse_and_are_canonical_fixed_points() {
+        let micro = micro_json(&[BenchStats {
+            name: "full_single_site_load",
+            median_us: 1234.5678,
+            iqr_us: 12.3456,
+            iters_per_sample: 3,
+            samples: 10,
+        }]);
+        let e2e = e2e_json(&[E2eStats {
+            name: "run_all_full_workers1",
+            median_ms: 15100.25,
+            iqr_ms: 80.5,
+            samples: 3,
+            pre_optimization_median_ms: PRE_OPT_FULL_W1_MS,
+        }]);
+        for v in [micro, e2e] {
+            let mut s = String::new();
+            v.write_pretty_into(&mut s);
+            let back = Value::parse(&s).expect("canonical output parses");
+            let mut s2 = String::new();
+            back.write_pretty_into(&mut s2);
+            assert_eq!(s, s2, "canonical form is a fixed point");
+        }
+    }
+
+    #[test]
+    fn regression_gate_reads_baseline_and_trips_at_25_percent() {
+        let baseline = micro_json(&[BenchStats {
+            name: "full_single_site_load",
+            median_us: 1000.0,
+            iqr_us: 1.0,
+            iters_per_sample: 3,
+            samples: 10,
+        }]);
+        let mut text = String::new();
+        baseline.write_pretty_into(&mut text);
+        let parsed = Value::parse(&text).expect("baseline parses");
+        assert_eq!(
+            lookup_median(&parsed, "full_single_site_load"),
+            Some(1000.0)
+        );
+        assert_eq!(lookup_median(&parsed, "missing"), None);
+    }
+
+    #[test]
+    fn cli_rejects_bad_arguments() {
+        let args = |l: &[&str]| l.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(run(&args(&[])).is_err());
+        assert!(run(&args(&["frobnicate"])).is_err());
+        // Flag validation happens before any measuring, so these return
+        // quickly despite going through `run`.
+        assert!(run(&args(&["micro", "--iters", "0"])).is_err());
+        assert!(run(&args(&["micro", "--iters", "many"])).is_err());
+        assert!(run(&args(&["micro", "--check-against"])).is_err());
+        assert!(run(&args(&["micro", "--bogus"])).is_err());
+    }
+}

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 use vroom_html::Url;
+use vroom_intern::{UrlId, UrlTable};
 use vroom_net::fault::{FaultPlan, RetryBudget};
 use vroom_sim::SimDuration;
 
@@ -37,10 +38,15 @@ impl HttpVersion {
 
 /// One dependency hint attached to an HTML response (a parsed `Link
 /// preload` / `x-semi-important` / `x-unimportant` header entry).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Hints carry interned [`UrlId`]s: hint evaluation and push selection are
+/// hot paths, and ids make a hint three machine words (`Copy`) instead of
+/// three owned strings. The string form is materialized only at the
+/// wire/JSON boundary via the [`LoadConfig::urls`] table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Hint {
-    /// URL the client should fetch.
-    pub url: Url,
+    /// Interned URL the client should fetch.
+    pub url: UrlId,
     /// Priority tier: 0 = preload, 1 = semi-important, 2 = unimportant.
     pub tier: u8,
     /// Size the server would serve for this URL — used when the hint is a
@@ -52,14 +58,14 @@ pub struct Hint {
 /// Per-HTML-response server behaviour: what it pushes and hints.
 #[derive(Debug, Clone, Default)]
 pub struct ServerModel {
-    /// Hints keyed by the HTML resource's URL (root or iframe HTML).
-    /// Values are in the order the client will need to process them
+    /// Hints keyed by the HTML resource's interned URL (root or iframe
+    /// HTML). Values are in the order the client will need to process them
     /// (the order Vroom-compliant servers emit, §5.1).
-    pub hints: BTreeMap<Url, Vec<Hint>>,
-    /// Pushed objects keyed by the HTML resource's URL. Every pushed URL
-    /// must be served by the same domain as the HTML (integrity rule).
-    /// Unknown (stale) URLs are allowed and waste `size` bytes.
-    pub pushes: BTreeMap<Url, Vec<Hint>>,
+    pub hints: BTreeMap<UrlId, Vec<Hint>>,
+    /// Pushed objects keyed by the HTML resource's interned URL. Every
+    /// pushed URL must be served by the same domain as the HTML (integrity
+    /// rule). Unknown (stale) URLs are allowed and waste `size` bytes.
+    pub pushes: BTreeMap<UrlId, Vec<Hint>>,
 }
 
 /// How the client schedules requests.
@@ -99,6 +105,9 @@ impl CacheEntry {
 pub struct LoadConfig {
     /// HTTP version used with every domain.
     pub http: HttpVersion,
+    /// Intern table resolving every [`UrlId`] in [`LoadConfig::server`].
+    /// Baselines with no hints or pushes leave it empty.
+    pub urls: UrlTable,
     /// Server push + hint behaviour.
     pub server: ServerModel,
     /// Client scheduling policy.
@@ -141,6 +150,7 @@ impl Default for LoadConfig {
     fn default() -> Self {
         LoadConfig {
             http: HttpVersion::H2,
+            urls: UrlTable::new(),
             server: ServerModel::default(),
             fetch_policy: FetchPolicy::OnDiscovery,
             cpu_factor: 1.0,

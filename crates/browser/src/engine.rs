@@ -21,18 +21,20 @@ use crate::config::{FetchPolicy, Hint, HttpVersion, LoadConfig};
 use crate::metrics::{LoadResult, ResourceTiming};
 use std::collections::{BTreeMap, VecDeque};
 use vroom_html::{ExecMode, ResourceKind, Url};
+use vroom_intern::UrlId;
 use vroom_net::link::{SharedLink, TransferId};
 use vroom_net::profiles::NetworkProfile;
 use vroom_pages::{Page, ResourceId};
 use vroom_sim::{EventQueue, SimDuration, SimTime};
 
-/// What a fetch is for.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// What a fetch is for. Three machine words and `Copy`: waste targets carry
+/// an interned [`UrlId`] (resolved against `cfg.urls`), not an owned URL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Target {
     /// A real page resource.
     Real(ResourceId),
     /// A false-positive hint/push: bytes downloaded and discarded.
-    Waste { url: Url, size: u64 },
+    Waste { url: UrlId, size: u64 },
 }
 
 impl Target {
@@ -284,7 +286,15 @@ struct Sim<'a> {
     queue: EventQueue<Ev>,
     link: SharedLink,
     link_tick_at: Option<SimTime>,
-    url_index: BTreeMap<Url, ResourceId>,
+    /// Interned id of each resource's URL in `cfg.urls` (`None` when the
+    /// config never interned it — baselines with no hints or pushes).
+    res_uid: Vec<Option<UrlId>>,
+    /// Reverse map: interned id → resource. For duplicate resource URLs the
+    /// later resource wins, matching the old `BTreeMap<Url, ResourceId>`
+    /// collect semantics.
+    uid_to_res: Vec<Option<ResourceId>>,
+    /// Warm-cache entry per resource, resolved once at construction.
+    warm: Vec<Option<crate::config::CacheEntry>>,
     rstate: Vec<RState>,
     domains: BTreeMap<String, DomainState>,
     transfers: BTreeMap<TransferId, Flight>,
@@ -294,7 +304,7 @@ struct Sim<'a> {
     staged: [VecDeque<Target>; 3],
     /// Tier-0 (and later tier-1) targets whose completion gates the next
     /// stage kick.
-    stage_outstanding: Vec<Url>,
+    stage_outstanding: Vec<Target>,
     current_stage: u8,
     stage_kick_queued: bool,
     /// Whether the configured fault plan can inject anything; caches
@@ -323,10 +333,21 @@ struct Sim<'a> {
 
 impl<'a> Sim<'a> {
     fn new(page: &'a Page, profile: &'a NetworkProfile, cfg: &'a LoadConfig) -> Self {
-        let url_index = page
+        let res_uid: Vec<Option<UrlId>> = page
             .resources
             .iter()
-            .map(|r| (r.url.clone(), r.id))
+            .map(|r| cfg.urls.lookup(&r.url))
+            .collect();
+        let mut uid_to_res = vec![None; cfg.urls.len()];
+        for r in &page.resources {
+            if let Some(uid) = res_uid[r.id] {
+                uid_to_res[uid.index()] = Some(r.id);
+            }
+        }
+        let warm = page
+            .resources
+            .iter()
+            .map(|r| cfg.warm_cache.get(&r.url).copied())
             .collect();
         let fault_active = cfg.fault.is_active();
         let mut link = SharedLink::new(profile.downlink_bps);
@@ -341,7 +362,9 @@ impl<'a> Sim<'a> {
             queue: EventQueue::new(),
             link,
             link_tick_at: None,
-            url_index,
+            res_uid,
+            uid_to_res,
+            warm,
             rstate: vec![RState::default(); page.len()],
             domains: BTreeMap::new(),
             transfers: BTreeMap::new(),
@@ -447,10 +470,10 @@ impl<'a> Sim<'a> {
         self.last_event = upto;
     }
 
-    fn turl(&self, t: &Target) -> Url {
+    fn target_url(&self, t: &Target) -> &Url {
         match t {
-            Target::Real(id) => self.page.resources[*id].url.clone(),
-            Target::Waste { url, .. } => url.clone(),
+            Target::Real(id) => &self.page.resources[*id].url,
+            Target::Waste { url, .. } => self.cfg.urls.get(*url),
         }
     }
 
@@ -485,8 +508,8 @@ impl<'a> Sim<'a> {
     /// Handle a hint list arriving with an HTML response.
     fn on_hints(&mut self, hints: &[Hint]) {
         for h in hints.iter() {
-            let target = match self.url_index.get(&h.url) {
-                Some(&id) => {
+            let target = match self.uid_to_res.get(h.url.index()).copied().flatten() {
+                Some(id) => {
                     if self.rstate[id].discovered.is_none() {
                         self.rstate[id].discovered = Some(self.now);
                         self.discovery_all = self.discovery_all.max(self.now);
@@ -500,7 +523,7 @@ impl<'a> Sim<'a> {
                     Target::Real(id)
                 }
                 None => Target::Waste {
-                    url: h.url.clone(),
+                    url: h.url,
                     size: h.size_hint,
                 },
             };
@@ -513,7 +536,7 @@ impl<'a> Sim<'a> {
                     if tier <= self.current_stage {
                         // This tier is already open: fetch immediately.
                         if tier == self.current_stage {
-                            self.stage_outstanding.push(self.turl(&target));
+                            self.stage_outstanding.push(target);
                         }
                         self.request(target);
                     } else {
@@ -535,7 +558,7 @@ impl<'a> Sim<'a> {
         let drained = self
             .stage_outstanding
             .iter()
-            .all(|url| self.url_fetched(url));
+            .all(|t| self.target_fetched(t));
         if !drained {
             return;
         }
@@ -552,35 +575,35 @@ impl<'a> Sim<'a> {
         self.queue.schedule(fire_at, Ev::StageOpen { tier: next });
     }
 
-    fn url_fetched(&self, url: &Url) -> bool {
-        match self.url_index.get(url) {
+    fn target_fetched(&self, t: &Target) -> bool {
+        match t {
             // A target counts as drained once fetched — or once it is
             // failed or merely *retrying*: a stage transition (the critical
             // path of every later tier) never waits on a flaky fetch.
-            Some(&id) => {
-                let st = &self.rstate[id];
+            Target::Real(id) => {
+                let st = &self.rstate[*id];
                 st.fetched.is_some() || st.failed || st.retrying
             }
             // Waste fetches: fetched when no longer in flight. We track them
             // by absence: a waste target is outstanding only while a
             // transfer carries it; simplest is to consider it fetched when
             // it is no longer pending anywhere.
-            None => !self.waste_in_flight(url),
+            Target::Waste { url, .. } => !self.waste_in_flight(*url),
         }
     }
 
-    fn waste_in_flight(&self, url: &Url) -> bool {
+    fn waste_in_flight(&self, url: UrlId) -> bool {
         let queued = self.domains.values().any(|d| {
             d.pending
                 .iter()
                 .chain(d.conns.iter().flat_map(|c| c.response_queue.iter()))
-                .any(|t| matches!(t, Target::Waste { url: u, .. } if u == url))
+                .any(|t| matches!(t, Target::Waste { url: u, .. } if *u == url))
         });
         queued
             || self
                 .transfers
                 .values()
-                .any(|f| matches!(&f.direct, Some(Target::Waste { url: u, .. }) if u == url))
+                .any(|f| matches!(&f.direct, Some(Target::Waste { url: u, .. }) if *u == url))
     }
 
     // -------------------------------------------------------------- fetching
@@ -592,8 +615,7 @@ impl<'a> Sim<'a> {
                 return;
             }
             // Cache?
-            let r = &self.page.resources[id];
-            if let Some(entry) = self.cfg.warm_cache.get(&r.url) {
+            if let Some(entry) = &self.warm[id] {
                 if entry.fresh() {
                     st.from_cache = true;
                     st.requested = None;
@@ -618,8 +640,7 @@ impl<'a> Sim<'a> {
             return; // nothing to waste when the network is free
         }
 
-        let url = self.turl(&target);
-        let domain = url.host.clone();
+        let domain = self.target_url(&target).host.clone();
         let h1_limit = match self.cfg.http {
             HttpVersion::H1 { conns_per_domain } => Some(conns_per_domain),
             HttpVersion::H2 => None,
@@ -1146,9 +1167,7 @@ impl<'a> Sim<'a> {
         self.current_stage = tier;
         self.stage_outstanding.clear();
         let batch: Vec<Target> = self.staged[tier as usize].drain(..).collect();
-        for t in &batch {
-            self.stage_outstanding.push(self.turl(t));
-        }
+        self.stage_outstanding.extend(batch.iter().copied());
         for t in batch {
             self.request(t);
         }
@@ -1235,7 +1254,7 @@ impl<'a> Sim<'a> {
                 self.page.resources[*id].url.to_string(),
                 self.rstate[*id].attempts.max(1),
             ),
-            Target::Waste { url, .. } => (url.to_string(), 1),
+            Target::Waste { url, .. } => (self.cfg.urls.get(*url).to_string(), 1),
         };
         match self.cfg.fault.truncation(&url, attempt) {
             Some(frac) => (((full as f64 * frac) as u64).max(1), true),
@@ -1667,9 +1686,10 @@ impl<'a> Sim<'a> {
                 let mut to_push: Vec<Hint> = Vec::new();
                 if matches!(self.cfg.http, HttpVersion::H2) {
                     if let Target::Real(id) = &target {
-                        let url = &self.page.resources[*id].url;
-                        if let Some(pushes) = self.cfg.server.pushes.get(url) {
-                            to_push = pushes.clone();
+                        if let Some(uid) = self.res_uid[*id] {
+                            if let Some(pushes) = self.cfg.server.pushes.get(&uid) {
+                                to_push = pushes.clone();
+                            }
                         }
                     }
                 }
@@ -1682,23 +1702,24 @@ impl<'a> Sim<'a> {
                     self.start_response_unordered(&domain, conn, target);
                 }
                 for p in to_push {
-                    debug_assert_eq!(p.url.host, domain, "push must be same-domain");
-                    let push_target = match self.url_index.get(&p.url) {
-                        Some(&id) => {
-                            let st = &mut self.rstate[id];
-                            if st.fetched.is_some() || st.in_flight || st.requested.is_some() {
+                    debug_assert_eq!(
+                        self.cfg.urls.get(p.url).host,
+                        domain,
+                        "push must be same-domain"
+                    );
+                    let push_target = match self.uid_to_res.get(p.url.index()).copied().flatten() {
+                        Some(id) => {
+                            if self.rstate[id].fetched.is_some()
+                                || self.rstate[id].in_flight
+                                || self.rstate[id].requested.is_some()
+                            {
                                 continue; // client already has/requested it
                             }
                             // Cached at client: servers skip these pushes.
-                            if self
-                                .cfg
-                                .warm_cache
-                                .get(&p.url)
-                                .map(|e| e.fresh())
-                                .unwrap_or(false)
-                            {
+                            if self.warm[id].map(|e| e.fresh()).unwrap_or(false) {
                                 continue;
                             }
+                            let st = &mut self.rstate[id];
                             st.in_flight = true;
                             st.pushed = true;
                             if st.discovered.is_none() {
@@ -1708,7 +1729,7 @@ impl<'a> Sim<'a> {
                             Target::Real(id)
                         }
                         None => Target::Waste {
-                            url: p.url.clone(),
+                            url: p.url,
                             size: p.size_hint,
                         },
                     };
@@ -1743,10 +1764,13 @@ impl<'a> Sim<'a> {
             }
             Ev::HeadersArrive { target } => {
                 if let Target::Real(id) = target {
-                    let url = self.page.resources[id].url.clone();
-                    if let Some(hints) = self.cfg.server.hints.get(&url) {
-                        let hints = hints.clone();
-                        self.on_hints(&hints);
+                    // `cfg` outlives `self`, so hint lists are borrowed
+                    // straight from the config — no per-arrival clone.
+                    let cfg = self.cfg;
+                    if let Some(uid) = self.res_uid[id] {
+                        if let Some(hints) = cfg.server.hints.get(&uid) {
+                            self.on_hints(hints);
+                        }
                     }
                 }
             }

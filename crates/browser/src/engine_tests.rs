@@ -6,6 +6,7 @@ use crate::engine::BrowserEngine;
 use crate::metrics::LoadResult;
 use std::collections::BTreeMap;
 use vroom_html::{ExecMode, ResourceKind, Url};
+use vroom_intern::UrlTable;
 use vroom_net::NetworkProfile;
 use vroom_pages::{LoadContext, Page, PageGenerator, Resource, SiteProfile, Stability};
 use vroom_sim::SimDuration;
@@ -114,22 +115,24 @@ fn load(page: &Page, cfg: &LoadConfig) -> LoadResult {
 }
 
 /// Vroom-style hints derived from ground truth (the core crate derives them
-/// from the server resolver; tests use the oracle).
-fn oracle_hints(page: &Page) -> ServerModel {
+/// from the server resolver; tests use the oracle). Returns the intern table
+/// the model's ids resolve against alongside the model itself.
+fn oracle_hints(page: &Page) -> (UrlTable, ServerModel) {
+    let mut urls = UrlTable::new();
     let mut hints: Vec<Hint> = page
         .resources
         .iter()
         .skip(1)
         .map(|r| Hint {
-            url: r.url.clone(),
+            url: urls.intern(r.url.clone()),
             tier: r.hint_tier(),
             size_hint: r.size,
         })
         .collect();
     hints.sort_by_key(|h| h.tier);
     let mut m = ServerModel::default();
-    m.hints.insert(page.url.clone(), hints);
-    m
+    m.hints.insert(urls.intern(page.url.clone()), hints);
+    (urls, m)
 }
 
 #[test]
@@ -210,8 +213,10 @@ fn h2_beats_h1_on_real_pages() {
 fn hints_accelerate_discovery_and_load() {
     let page = PageGenerator::new(SiteProfile::news(), 43).snapshot(&LoadContext::reference());
     let base = load(&page, &LoadConfig::http2_baseline());
+    let (urls, server) = oracle_hints(&page);
     let cfg = LoadConfig {
-        server: oracle_hints(&page),
+        urls,
+        server,
         fetch_policy: FetchPolicy::VroomStaged,
         ..LoadConfig::default()
     };
@@ -234,17 +239,19 @@ fn hints_accelerate_discovery_and_load() {
 #[test]
 fn push_delivers_without_request() {
     let page = fig5_page();
+    let mut urls = UrlTable::new();
     let mut server = ServerModel::default();
     // a.com pushes foo.js (same-domain) with the root HTML.
     server.pushes.insert(
-        page.url.clone(),
+        urls.intern(page.url.clone()),
         vec![Hint {
-            url: Url::https("a.com", "/foo.js"),
+            url: urls.intern(Url::https("a.com", "/foo.js")),
             tier: 0,
             size_hint: 30_000,
         }],
     );
     let cfg = LoadConfig {
+        urls,
         server,
         // Vroom serves responses in order, so the push rides right behind
         // the HTML instead of contending with it.
@@ -266,19 +273,23 @@ fn push_delivers_without_request() {
 #[test]
 fn false_positive_hints_waste_bytes_and_slow_the_load() {
     let page = fig5_page();
-    let mut server = oracle_hints(&page);
+    let (mut urls, mut server) = oracle_hints(&page);
     // Add junk hints: stale URLs from a "previous load".
+    let html_id = urls.lookup(&page.url).unwrap();
     for i in 0..12 {
-        server.hints.get_mut(&page.url).unwrap().push(Hint {
-            url: Url::https("a.com", format!("/stale-{i}.jpg")),
+        let stale = urls.intern(Url::https("a.com", format!("/stale-{i}.jpg")));
+        server.hints.get_mut(&html_id).unwrap().push(Hint {
+            url: stale,
             tier: 0,
             size_hint: 150_000,
         });
     }
+    let (clean_urls, clean_server) = oracle_hints(&page);
     let clean = load(
         &page,
         &LoadConfig {
-            server: oracle_hints(&page),
+            urls: clean_urls,
+            server: clean_server,
             fetch_policy: FetchPolicy::VroomStaged,
             ..LoadConfig::default()
         },
@@ -286,6 +297,7 @@ fn false_positive_hints_waste_bytes_and_slow_the_load() {
     let dirty = load(
         &page,
         &LoadConfig {
+            urls,
             server,
             fetch_policy: FetchPolicy::VroomStaged,
             ..LoadConfig::default()

@@ -1,5 +1,7 @@
 //! Load-result metrics: everything the paper's evaluation reports.
 
+use std::collections::BTreeMap;
+use vroom_net::json::Value;
 use vroom_sim::{SimDuration, SimTime};
 
 /// Timing of one resource within a load.
@@ -88,6 +90,65 @@ impl LoadResult {
             return 0.0;
         }
         self.cpu_busy.as_secs_f64() / self.plt.as_secs_f64()
+    }
+
+    /// The result as a canonical-codec JSON tree: key-sorted objects,
+    /// durations in integer milliseconds, per-resource trace included.
+    /// Rendering the same result always yields the same bytes.
+    pub fn to_json_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        let ms = |d: SimDuration| Value::Int(d.as_millis());
+        m.insert("plt_ms".into(), ms(self.plt));
+        m.insert("aft_ms".into(), ms(self.aft));
+        m.insert("speed_index_ms".into(), Value::Float(self.speed_index));
+        m.insert("discovery_all_ms".into(), ms(self.discovery_all));
+        m.insert("discovery_high_ms".into(), ms(self.discovery_high));
+        m.insert("fetch_all_ms".into(), ms(self.fetch_all));
+        m.insert("fetch_high_ms".into(), ms(self.fetch_high));
+        m.insert("cpu_busy_ms".into(), ms(self.cpu_busy));
+        m.insert("network_wait_ms".into(), ms(self.network_wait));
+        m.insert("useful_bytes".into(), Value::Int(self.useful_bytes));
+        m.insert("wasted_bytes".into(), Value::Int(self.wasted_bytes));
+        m.insert("cache_hits".into(), Value::Int(self.cache_hits as u64));
+        m.insert("rst_streams".into(), Value::Int(self.rst_streams as u64));
+        m.insert("goaways".into(), Value::Int(self.goaways as u64));
+        m.insert("retries".into(), Value::Int(self.retries as u64));
+        m.insert("timeouts".into(), Value::Int(self.timeouts as u64));
+        m.insert(
+            "failed_resources".into(),
+            Value::Int(self.failed_resources as u64),
+        );
+        let resources = self
+            .resources
+            .iter()
+            .map(|t| {
+                let mut r = BTreeMap::new();
+                let time = |t: SimTime| Value::Int(t.as_millis());
+                let opt = |t: Option<SimTime>| t.map(time).unwrap_or(Value::Null);
+                r.insert("discovered_ms".into(), time(t.discovered));
+                r.insert("requested_ms".into(), opt(t.requested));
+                r.insert("fetched_ms".into(), time(t.fetched));
+                r.insert("processed_ms".into(), opt(t.processed));
+                r.insert("from_cache".into(), Value::Bool(t.from_cache));
+                r.insert("pushed".into(), Value::Bool(t.pushed));
+                r.insert("failed".into(), Value::Bool(t.failed));
+                Value::Object(r)
+            })
+            .collect();
+        m.insert("resources".into(), Value::Array(resources));
+        Value::Object(m)
+    }
+
+    /// Serialize through the canonical JSON codec into a preallocated
+    /// buffer: one allocation for the output string, byte-identical across
+    /// runs for equal results.
+    pub fn to_json(&self) -> String {
+        let v = self.to_json_value();
+        // ~160 bytes per resource row plus the scalar header comfortably
+        // bounds the rendered size, so the buffer never regrows.
+        let mut out = String::with_capacity(512 + 192 * self.resources.len());
+        v.write_pretty_into(&mut out);
+        out
     }
 }
 
@@ -208,5 +269,77 @@ mod tests {
         };
         assert_eq!(r.network_wait_frac(), 0.0);
         assert_eq!(r.cpu_utilization(), 0.0);
+    }
+
+    fn sample_result() -> LoadResult {
+        LoadResult {
+            plt: SimDuration::from_millis(1234),
+            aft: SimDuration::from_millis(900),
+            speed_index: 870.5,
+            discovery_all: SimDuration::from_millis(400),
+            discovery_high: SimDuration::from_millis(300),
+            fetch_all: SimDuration::from_millis(1100),
+            fetch_high: SimDuration::from_millis(800),
+            cpu_busy: SimDuration::from_millis(600),
+            network_wait: SimDuration::from_millis(500),
+            useful_bytes: 1_000_000,
+            wasted_bytes: 50_000,
+            cache_hits: 2,
+            rst_streams: 1,
+            goaways: 0,
+            retries: 1,
+            timeouts: 0,
+            failed_resources: 0,
+            resources: vec![
+                ResourceTiming {
+                    discovered: SimTime::ZERO,
+                    requested: Some(SimTime::from_millis(1)),
+                    fetched: SimTime::from_millis(200),
+                    processed: Some(SimTime::from_millis(250)),
+                    from_cache: false,
+                    pushed: false,
+                    failed: false,
+                },
+                ResourceTiming {
+                    discovered: SimTime::from_millis(210),
+                    requested: None,
+                    fetched: SimTime::from_millis(210),
+                    processed: None,
+                    from_cache: true,
+                    pushed: false,
+                    failed: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn to_json_is_byte_stable_and_roundtrips_through_the_codec() {
+        let r = sample_result();
+        let a = r.to_json();
+        let b = r.clone().to_json();
+        assert_eq!(a, b, "equal results serialize to identical bytes");
+        assert_eq!(
+            a,
+            r.to_json_value().to_pretty(),
+            "buffered path == to_pretty"
+        );
+
+        let v = Value::parse(&a).expect("canonical codec parses its own output");
+        assert_eq!(v.get("plt_ms").and_then(Value::as_u64), Some(1234));
+        assert_eq!(
+            v.get("useful_bytes").and_then(Value::as_u64),
+            Some(1_000_000)
+        );
+        let resources = match v.get("resources") {
+            Some(Value::Array(items)) => items,
+            other => panic!("resources must be an array, got {other:?}"),
+        };
+        assert_eq!(resources.len(), 2);
+        assert_eq!(
+            resources[1].get("requested_ms"),
+            Some(&Value::Null),
+            "cache hits have no request time"
+        );
     }
 }

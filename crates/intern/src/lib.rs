@@ -1,0 +1,347 @@
+//! URL interning and shared immutable buffers.
+//!
+//! The replay store, the browser engine, and the server-side resolver all
+//! key their hot-path structures by URL. A [`Url`] is three owned `String`s,
+//! so every map lookup walks string comparisons and every hand-off clones
+//! three heap allocations. This crate replaces those with:
+//!
+//! * [`UrlTable`] — an append-only intern table mapping `Url ↔ UrlId`.
+//!   Ids are dense `u32`s handed out in insertion order, so two runs that
+//!   intern the same URLs in the same order assign identical ids: the table
+//!   is as deterministic as the code that fills it. Resolution (`id → Url`)
+//!   is a `Vec` index; interning and reverse lookup are one `BTreeMap`
+//!   probe. The table also caches each URL's origin string (`scheme://host`),
+//!   which `Url::origin()` otherwise re-allocates on every call.
+//! * [`SharedBytes`] / [`SharedStr`] — `Arc`-backed immutable buffers in the
+//!   style of the `bytes` crate: cloning is a reference-count bump, never a
+//!   byte copy.
+//!
+//! No external dependencies; the only workspace dependency is `vroom-html`
+//! for the `Url` type itself.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+pub use vroom_html::Url;
+
+/// Handle to an interned URL. Dense, `Copy`, and ordered by insertion:
+/// `UrlId`s compare the way their intern order does, *not* the way the URLs
+/// themselves sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UrlId(u32);
+
+impl UrlId {
+    /// The id as a dense index (for `Vec`-backed side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild an id from a dense index. The caller is responsible for the
+    /// index having come from the same table.
+    pub fn from_index(index: usize) -> Self {
+        // vroom-lint: allow(panic-reachable) -- ids are minted from Vec lengths; overflow needs 2^32 interned URLs
+        UrlId(u32::try_from(index).expect("more than u32::MAX interned urls"))
+    }
+}
+
+impl fmt::Display for UrlId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// Append-only intern table mapping `Url ↔ UrlId`.
+///
+/// Ids are handed out in insertion order and never change, so any two
+/// identically-ordered fills produce identical ids — the property the
+/// simulator's determinism suite pins down.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UrlTable {
+    urls: Vec<Url>,
+    /// Cached `scheme://host` per id, built once at intern time.
+    origins: Vec<SharedStr>,
+    index: BTreeMap<Url, UrlId>,
+}
+
+impl UrlTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a URL, returning its id. Re-interning an already-known URL
+    /// returns the existing id (the table never holds duplicates).
+    pub fn intern(&mut self, url: Url) -> UrlId {
+        if let Some(&id) = self.index.get(&url) {
+            return id;
+        }
+        let id = UrlId::from_index(self.urls.len());
+        self.origins.push(SharedStr::from(url.origin()));
+        self.index.insert(url.clone(), id);
+        self.urls.push(url);
+        id
+    }
+
+    /// The id of an already-interned URL, if any. Read-only: never mutates
+    /// the table, so shared (`Arc`) tables can serve lookups concurrently.
+    pub fn lookup(&self, url: &Url) -> Option<UrlId> {
+        self.index.get(url).copied()
+    }
+
+    /// Resolve an id to its URL. Panics on an id from a different table;
+    /// use [`UrlTable::url`] where a foreign id is possible.
+    pub fn get(&self, id: UrlId) -> &Url {
+        // vroom-lint: allow(panic-reachable) -- documented contract: panics only on a foreign id; wire paths use the total `url` API
+        &self.urls[id.index()]
+    }
+
+    /// Total resolution of an id to its URL (`None` for foreign ids).
+    pub fn url(&self, id: UrlId) -> Option<&Url> {
+        self.urls.get(id.index())
+    }
+
+    /// The cached origin string (`scheme://host`) of an interned URL —
+    /// equal to `self.get(id).origin()` without the per-call allocation.
+    pub fn origin(&self, id: UrlId) -> &str {
+        &self.origins[id.index()]
+    }
+
+    /// Number of interned URLs.
+    pub fn len(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.urls.is_empty()
+    }
+
+    /// Iterate `(id, url)` in insertion (id) order.
+    pub fn iter(&self) -> impl Iterator<Item = (UrlId, &Url)> {
+        self.urls
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (UrlId::from_index(i), u))
+    }
+
+    /// Iterate `(url, id)` in URL sort order — for canonical serialization,
+    /// which must not depend on intern order.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (&Url, UrlId)> {
+        self.index.iter().map(|(u, &id)| (u, id))
+    }
+}
+
+/// Immutable shared byte buffer: cloning bumps a reference count.
+#[derive(Clone, Default)]
+pub struct SharedBytes(Arc<[u8]>);
+
+impl SharedBytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Deref for SharedBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for SharedBytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for SharedBytes {
+    fn from(v: Vec<u8>) -> Self {
+        SharedBytes(v.into())
+    }
+}
+
+impl From<&[u8]> for SharedBytes {
+    fn from(v: &[u8]) -> Self {
+        SharedBytes(v.into())
+    }
+}
+
+impl From<String> for SharedBytes {
+    fn from(s: String) -> Self {
+        SharedBytes(s.into_bytes().into())
+    }
+}
+
+impl From<&SharedStr> for SharedBytes {
+    /// Zero-copy: reuses the string's allocation, bumping its refcount.
+    fn from(s: &SharedStr) -> Self {
+        SharedBytes(Arc::from(s.0.clone()))
+    }
+}
+
+impl PartialEq for SharedBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for SharedBytes {}
+
+impl fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedBytes({} bytes)", self.len())
+    }
+}
+
+/// Immutable shared string: cloning bumps a reference count.
+#[derive(Clone)]
+pub struct SharedStr(Arc<str>);
+
+impl SharedStr {
+    /// The string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for SharedStr {
+    fn default() -> Self {
+        SharedStr(Arc::from(""))
+    }
+}
+
+impl Deref for SharedStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for SharedStr {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<String> for SharedStr {
+    fn from(s: String) -> Self {
+        SharedStr(s.into())
+    }
+}
+
+impl From<&str> for SharedStr {
+    fn from(s: &str) -> Self {
+        SharedStr(s.into())
+    }
+}
+
+impl PartialEq for SharedStr {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for SharedStr {}
+
+impl PartialOrd for SharedStr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SharedStr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for SharedStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
+impl fmt::Display for SharedStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut t = UrlTable::new();
+        let a = t.intern(Url::https("a.com", "/x"));
+        let b = t.intern(Url::https("b.com", "/y"));
+        let a2 = t.intern(Url::https("a.com", "/x"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a), &Url::https("a.com", "/x"));
+        assert_eq!(t.lookup(&Url::https("b.com", "/y")), Some(b));
+        assert_eq!(t.lookup(&Url::https("c.com", "/")), None);
+        assert_eq!(t.url(UrlId::from_index(99)), None);
+    }
+
+    #[test]
+    fn ids_are_insertion_ordered_not_url_ordered() {
+        let mut t = UrlTable::new();
+        let z = t.intern(Url::https("z.com", "/"));
+        let a = t.intern(Url::https("a.com", "/"));
+        assert!(z < a, "ids follow insertion order");
+        let sorted: Vec<&Url> = t.iter_sorted().map(|(u, _)| u).collect();
+        assert_eq!(sorted[0].host, "a.com", "sorted iteration is by URL");
+    }
+
+    #[test]
+    fn origin_is_cached_and_matches_url_origin() {
+        let mut t = UrlTable::new();
+        let id = t.intern(Url::https("News.Example.com", "/a/b?q=1"));
+        assert_eq!(t.origin(id), t.get(id).origin());
+        assert_eq!(t.origin(id), "https://news.example.com");
+        // Same origin pointer across calls: no per-call allocation.
+        let p1 = t.origin(id).as_ptr();
+        let p2 = t.origin(id).as_ptr();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn shared_bytes_clone_shares_storage() {
+        let b = SharedBytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(&*b, &[1, 2, 3]);
+        assert_eq!(b, c);
+        assert_eq!(b.as_slice().as_ptr(), c.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn shared_str_clone_shares_storage() {
+        let s = SharedStr::from("hello".to_string());
+        let t = s.clone();
+        assert_eq!(s.as_str(), "hello");
+        assert_eq!(s.as_str().as_ptr(), t.as_str().as_ptr());
+        assert_eq!(s, t);
+    }
+}

@@ -60,8 +60,14 @@ impl Value {
     /// Render as pretty-printed JSON (2-space indent, sorted keys).
     pub fn to_pretty(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, 0);
+        self.write_pretty_into(&mut out);
         out
+    }
+
+    /// Render into a caller-supplied buffer — same bytes as [`Value::to_pretty`],
+    /// but the caller controls allocation (preallocate / reuse across calls).
+    pub fn write_pretty_into(&self, out: &mut String) {
+        self.write(out, 0);
     }
 
     fn write(&self, out: &mut String, indent: usize) {

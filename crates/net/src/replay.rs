@@ -4,6 +4,14 @@
 //! them from local shells, shaping traffic with the recorded per-server RTTs.
 //! Our equivalent stores one [`RecordedResponse`] per URL, serializable to
 //! JSON so corpora can be saved, inspected, and replayed bit-identically.
+//!
+//! URLs are interned: the store owns a [`UrlTable`] and keeps responses in a
+//! dense `Vec` indexed by [`UrlId`], so the hot replay `lookup` is one
+//! intern-table probe (or, via [`ReplayStore::lookup_id`], a bare index)
+//! instead of a `BTreeMap<Url, _>` walk over three-string keys. Bodies are
+//! [`SharedStr`]s — cloning a recorded body is a refcount bump, never a byte
+//! copy. Serialization still iterates in URL sort order, so corpus JSON is
+//! byte-identical to the pre-interning format.
 
 use crate::json::{self, Value};
 use crate::latency::LatencyModel;
@@ -11,6 +19,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 use vroom_html::{ResourceKind, Url};
+use vroom_intern::{SharedBytes, SharedStr, UrlId, UrlTable};
 use vroom_sim::SimDuration;
 
 /// One recorded HTTP exchange.
@@ -25,8 +34,9 @@ pub struct RecordedResponse {
     /// Freshness lifetime; `None` means uncacheable.
     pub max_age: Option<SimDuration>,
     /// Literal body, if the recording kept one (HTML usually does, so the
-    /// online analyzer can re-scan it; images usually don't).
-    pub body: Option<String>,
+    /// online analyzer can re-scan it; images usually don't). Shared:
+    /// cloning the response shares the body storage.
+    pub body: Option<SharedStr>,
 }
 
 impl RecordedResponse {
@@ -49,7 +59,7 @@ impl RecordedResponse {
             size: body.len() as u64,
             status: 200,
             max_age: Some(SimDuration::from_secs(3600)),
-            body: Some(body),
+            body: Some(SharedStr::from(body)),
         }
     }
 
@@ -59,11 +69,12 @@ impl RecordedResponse {
         self
     }
 
-    /// The body to serve: the literal one, or a deterministic synthetic body
-    /// of the recorded size (for wire demos serving non-HTML content).
-    pub fn body_bytes(&self) -> Vec<u8> {
+    /// The body to serve: the literal one (zero-copy — the returned buffer
+    /// shares the recorded allocation), or a deterministic synthetic body of
+    /// the recorded size (for wire demos serving non-HTML content).
+    pub fn body_bytes(&self) -> SharedBytes {
         match &self.body {
-            Some(b) => b.clone().into_bytes(),
+            Some(b) => SharedBytes::from(b),
             None => {
                 let mut out = Vec::with_capacity(self.size as usize);
                 let pattern = b"vroom-replay-filler.";
@@ -74,7 +85,7 @@ impl RecordedResponse {
                     };
                     out.extend_from_slice(chunk);
                 }
-                out
+                SharedBytes::from(out)
             }
         }
     }
@@ -84,10 +95,14 @@ impl RecordedResponse {
 /// observed at record time.
 #[derive(Debug, Clone, Default)]
 pub struct ReplayStore {
-    /// Responses by URL, ordered so iteration and serialization are
-    /// deterministic regardless of recording order or hash seed.
-    pub responses: BTreeMap<Url, RecordedResponse>,
-    /// Per-domain wired RTTs observed while recording, likewise ordered.
+    /// Intern table over every recorded URL (and any URL a caller interns
+    /// alongside, e.g. hint targets the wire server resolves against the
+    /// same table).
+    urls: UrlTable,
+    /// Responses indexed by `UrlId`. `None` for ids interned without a
+    /// recording.
+    responses: Vec<Option<RecordedResponse>>,
+    /// Per-domain wired RTTs observed while recording, ordered.
     pub server_rtts: BTreeMap<String, SimDuration>,
 }
 
@@ -99,7 +114,11 @@ impl ReplayStore {
 
     /// Record (or overwrite) a response.
     pub fn record(&mut self, url: Url, response: RecordedResponse) {
-        self.responses.insert(url, response);
+        let id = self.urls.intern(url);
+        if self.responses.len() <= id.index() {
+            self.responses.resize(id.index() + 1, None);
+        }
+        self.responses[id.index()] = Some(response);
     }
 
     /// Record the wired RTT to a domain.
@@ -107,24 +126,50 @@ impl ReplayStore {
         self.server_rtts.insert(domain.into(), rtt);
     }
 
-    /// Look up a response.
+    /// Look up a response by URL: one intern-table probe, then an index.
     pub fn lookup(&self, url: &Url) -> Option<&RecordedResponse> {
-        self.responses.get(url)
+        self.lookup_id(self.urls.lookup(url)?)
+    }
+
+    /// Look up a response by interned id: a bare `Vec` index.
+    pub fn lookup_id(&self, id: UrlId) -> Option<&RecordedResponse> {
+        self.responses.get(id.index())?.as_ref()
+    }
+
+    /// The id of a recorded URL, if any.
+    pub fn id_of(&self, url: &Url) -> Option<UrlId> {
+        let id = self.urls.lookup(url)?;
+        self.lookup_id(id).map(|_| id)
+    }
+
+    /// The store's intern table (shared with callers that resolve ids
+    /// against recorded URLs, e.g. the wire server's hint sets).
+    pub fn urls(&self) -> &UrlTable {
+        &self.urls
+    }
+
+    /// Mutable access to the intern table, for callers that need to intern
+    /// additional URLs (hint targets) before sharing the store.
+    pub fn urls_mut(&mut self) -> &mut UrlTable {
+        &mut self.urls
     }
 
     /// Number of recorded URLs.
     pub fn len(&self) -> usize {
-        self.responses.len()
+        self.responses.iter().filter(|r| r.is_some()).count()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.responses.is_empty()
+        self.len() == 0
     }
 
-    /// All recorded URLs for a domain.
+    /// All recorded URLs for a domain, in URL sort order.
     pub fn urls_for_domain<'a>(&'a self, domain: &'a str) -> impl Iterator<Item = &'a Url> {
-        self.responses.keys().filter(move |u| u.host == domain)
+        self.urls
+            .iter_sorted()
+            .filter(move |(u, id)| u.host == domain && self.lookup_id(*id).is_some())
+            .map(|(u, _)| u)
     }
 
     /// Overlay the recorded RTTs onto a latency model (the paper's replay
@@ -135,13 +180,17 @@ impl ReplayStore {
         }
     }
 
-    /// Serialize to pretty JSON. Output is canonical: keys are sorted, so
-    /// the same corpus always produces the same bytes.
+    /// Serialize to pretty JSON. Output is canonical: keys are sorted (by
+    /// URL, not intern order), so the same corpus always produces the same
+    /// bytes regardless of recording order.
     pub fn to_json(&self) -> String {
         let responses = self
-            .responses
-            .iter()
-            .map(|(url, r)| (url.to_string(), encode_response(r)))
+            .urls
+            .iter_sorted()
+            .filter_map(|(url, id)| {
+                self.lookup_id(id)
+                    .map(|r| (url.to_string(), encode_response(r)))
+            })
             .collect();
         let rtts = self
             .server_rtts
@@ -239,7 +288,7 @@ fn encode_response(r: &RecordedResponse) -> Value {
     obj.insert(
         "body".to_string(),
         match &r.body {
-            Some(b) => Value::Str(b.clone()),
+            Some(b) => Value::Str(b.as_str().to_string()),
             None => Value::Null,
         },
     );
@@ -270,12 +319,9 @@ fn decode_response(v: &Value) -> Result<RecordedResponse, json::Error> {
     };
     let body = match field("body")? {
         Value::Null => None,
-        other => Some(
-            other
-                .as_str()
-                .ok_or_else(|| json::Error::custom("\"body\" must be null or a string"))?
-                .to_string(),
-        ),
+        other => Some(SharedStr::from(other.as_str().ok_or_else(|| {
+            json::Error::custom("\"body\" must be null or a string")
+        })?)),
     };
     Ok(RecordedResponse {
         kind,
@@ -325,6 +371,26 @@ mod tests {
     }
 
     #[test]
+    fn lookup_by_id_matches_lookup_by_url() {
+        let store = sample();
+        let url = Url::https("news.com", "/app.js");
+        let id = store.id_of(&url).unwrap();
+        assert_eq!(store.lookup_id(id), store.lookup(&url));
+        assert_eq!(store.urls().get(id), &url);
+        assert!(store.id_of(&Url::https("news.com", "/missing")).is_none());
+    }
+
+    #[test]
+    fn interned_ids_without_recordings_are_invisible() {
+        let mut store = sample();
+        let extra = store.urls_mut().intern(Url::https("news.com", "/hinted"));
+        assert!(store.lookup_id(extra).is_none());
+        assert_eq!(store.len(), 3, "unrecorded ids don't count");
+        assert_eq!(store.urls_for_domain("news.com").count(), 2);
+        assert!(!store.to_json().contains("/hinted"));
+    }
+
+    #[test]
     fn json_roundtrip() {
         let store = sample();
         let json = store.to_json();
@@ -355,6 +421,23 @@ mod tests {
         assert_eq!(r.body_bytes().len(), 12_345);
         let r0 = RecordedResponse::synthetic(ResourceKind::Image, 0);
         assert!(r0.body_bytes().is_empty());
+    }
+
+    #[test]
+    fn literal_bodies_are_shared_not_copied() {
+        let r = RecordedResponse::with_body(ResourceKind::Html, "<html></html>");
+        let a = r.body_bytes();
+        let b = r.body_bytes();
+        assert_eq!(
+            a.as_slice().as_ptr(),
+            b.as_slice().as_ptr(),
+            "same allocation"
+        );
+        assert_eq!(
+            a.as_slice().as_ptr(),
+            r.body.as_ref().unwrap().as_str().as_ptr(),
+            "shares the recorded body's storage"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::resolve::{resolve, ResolverInput, Strategy};
 use std::collections::BTreeSet;
 use vroom_html::Url;
+use vroom_intern::UrlTable;
 use vroom_pages::{LoadContext, Page, PageGenerator};
 
 /// Accuracy of one strategy on one page load.
@@ -59,11 +60,12 @@ pub fn evaluate(
         .sum();
 
     let input = ResolverInput::new(generator, ctx.hours, ctx.device, server_seed);
-    let deps = resolve(&input, &load_a, strategy);
-    let server_set: BTreeSet<&Url> = deps
-        .hints
-        .get(&load_a.url)
-        .map(|hs| hs.iter().map(|h| &h.url).collect())
+    let mut urls = UrlTable::new();
+    let deps = resolve(&input, &load_a, strategy, &mut urls);
+    let server_set: BTreeSet<&Url> = urls
+        .lookup(&load_a.url)
+        .and_then(|id| deps.hints.get(&id))
+        .map(|hs| hs.iter().map(|h| urls.get(h.url)).collect())
         .unwrap_or_default();
 
     let fn_count = predictable

@@ -9,6 +9,7 @@ use vroom_browser::config::Hint;
 use vroom_html::{ResourceKind, Url};
 use vroom_http2::headers::hint_headers as names;
 use vroom_http2::Response;
+use vroom_intern::UrlTable;
 
 /// The `as=` destination token for a preload of this kind.
 fn as_token(kind: ResourceKind) -> &'static str {
@@ -23,27 +24,29 @@ fn as_token(kind: ResourceKind) -> &'static str {
     }
 }
 
-/// Attach a hint list to an HTTP response as headers.
-pub fn attach_hints(mut response: Response, hints: &[Hint]) -> Response {
+/// Attach a hint list to an HTTP response as headers. This is the wire
+/// boundary: interned ids are materialized to URL strings here.
+pub fn attach_hints(mut response: Response, hints: &[Hint], urls: &UrlTable) -> Response {
     for h in hints {
+        let url = urls.get(h.url);
         match h.tier {
             0 => {
-                let kind = ResourceKind::from_url(&h.url);
+                let kind = ResourceKind::from_url(url);
                 response.headers.push(vroom_hpack::HeaderField::new(
                     names::LINK,
-                    format!("<{}>; rel=preload; as={}", h.url, as_token(kind)),
+                    format!("<{url}>; rel=preload; as={}", as_token(kind)),
                 ));
             }
             1 => {
                 response.headers.push(vroom_hpack::HeaderField::new(
                     names::SEMI_IMPORTANT,
-                    h.url.to_string(),
+                    url.to_string(),
                 ));
             }
             _ => {
                 response.headers.push(vroom_hpack::HeaderField::new(
                     names::UNIMPORTANT,
-                    h.url.to_string(),
+                    url.to_string(),
                 ));
             }
         }
@@ -56,15 +59,15 @@ pub fn attach_hints(mut response: Response, hints: &[Hint]) -> Response {
 }
 
 /// Parse hint headers back out of a response, preserving header order within
-/// each tier.
-pub fn parse_hints(response: &Response) -> Vec<Hint> {
+/// each tier. Parsed URLs are interned into `urls`.
+pub fn parse_hints(response: &Response, urls: &mut UrlTable) -> Vec<Hint> {
     let mut out = Vec::new();
     for f in &response.headers {
         match f.name.as_str() {
             n if n == names::LINK => {
                 if let Some(url) = parse_link_preload(&f.value) {
                     out.push(Hint {
-                        url,
+                        url: urls.intern(url),
                         tier: 0,
                         size_hint: 0,
                     });
@@ -73,7 +76,7 @@ pub fn parse_hints(response: &Response) -> Vec<Hint> {
             n if n == names::SEMI_IMPORTANT => {
                 if let Some(url) = Url::parse(&f.value) {
                     out.push(Hint {
-                        url,
+                        url: urls.intern(url),
                         tier: 1,
                         size_hint: 0,
                     });
@@ -82,7 +85,7 @@ pub fn parse_hints(response: &Response) -> Vec<Hint> {
             n if n == names::UNIMPORTANT => {
                 if let Some(url) = Url::parse(&f.value) {
                     out.push(Hint {
-                        url,
+                        url: urls.intern(url),
                         tier: 2,
                         size_hint: 0,
                     });
@@ -116,9 +119,9 @@ pub fn parse_link_preload(value: &str) -> Option<Url> {
 mod tests {
     use super::*;
 
-    fn hint(url: &str, tier: u8) -> Hint {
+    fn hint(urls: &mut UrlTable, url: &str, tier: u8) -> Hint {
         Hint {
-            url: Url::parse(url).unwrap(),
+            url: urls.intern(Url::parse(url).unwrap()),
             tier,
             size_hint: 1000,
         }
@@ -126,29 +129,33 @@ mod tests {
 
     #[test]
     fn roundtrip_through_headers() {
+        let mut urls = UrlTable::new();
         let hints = vec![
-            hint("https://a.com/app.js", 0),
-            hint("https://b.com/style.css", 0),
-            hint("https://c.net/widget.js", 1),
-            hint("https://a.com/hero.jpg", 2),
+            hint(&mut urls, "https://a.com/app.js", 0),
+            hint(&mut urls, "https://b.com/style.css", 0),
+            hint(&mut urls, "https://c.net/widget.js", 1),
+            hint(&mut urls, "https://a.com/hero.jpg", 2),
         ];
-        let resp = attach_hints(Response::ok(), &hints);
-        let parsed = parse_hints(&resp);
+        let resp = attach_hints(Response::ok(), &hints, &urls);
+        let parsed = parse_hints(&resp, &mut urls);
         assert_eq!(parsed.len(), 4);
         assert_eq!(
             parsed.iter().map(|h| h.tier).collect::<Vec<_>>(),
             vec![0, 0, 1, 2]
         );
-        assert_eq!(parsed[0].url, hints[0].url);
+        assert_eq!(parsed[0].url, hints[0].url, "re-interning is idempotent");
         assert_eq!(parsed[3].url, hints[3].url);
     }
 
     #[test]
     fn link_header_format_is_standard() {
-        let resp = attach_hints(Response::ok(), &[hint("https://a.com/app.js", 0)]);
+        let mut urls = UrlTable::new();
+        let js = hint(&mut urls, "https://a.com/app.js", 0);
+        let resp = attach_hints(Response::ok(), &[js], &urls);
         let link = resp.header_values("link").next().unwrap();
         assert_eq!(link, "<https://a.com/app.js>; rel=preload; as=script");
-        let css = attach_hints(Response::ok(), &[hint("https://a.com/m.css", 0)]);
+        let css = hint(&mut urls, "https://a.com/m.css", 0);
+        let css = attach_hints(Response::ok(), &[css], &urls);
         assert!(css
             .header_values("link")
             .next()
@@ -158,7 +165,9 @@ mod tests {
 
     #[test]
     fn expose_header_present_for_cors_schedulers() {
-        let resp = attach_hints(Response::ok(), &[hint("https://a.com/x.js", 1)]);
+        let mut urls = UrlTable::new();
+        let h = hint(&mut urls, "https://a.com/x.js", 1);
+        let resp = attach_hints(Response::ok(), &[h], &urls);
         let expose = resp
             .header_values("access-control-expose-headers")
             .next()
@@ -177,16 +186,17 @@ mod tests {
     #[test]
     fn hpack_roundtrip_of_hint_headers() {
         // The hint headers survive real header compression.
+        let mut urls = UrlTable::new();
         let hints = vec![
-            hint("https://a.com/app.js", 0),
-            hint("https://cdn.a.com/x.woff2", 2),
+            hint(&mut urls, "https://a.com/app.js", 0),
+            hint(&mut urls, "https://cdn.a.com/x.woff2", 2),
         ];
-        let resp = attach_hints(Response::ok(), &hints);
+        let resp = attach_hints(Response::ok(), &hints, &urls);
         let mut enc = vroom_hpack::Encoder::new();
         let mut dec = vroom_hpack::Decoder::new();
         let wire = enc.encode(&resp.to_fields());
         let fields = dec.decode(&wire).unwrap();
         let back = Response::from_fields(&fields).unwrap();
-        assert_eq!(parse_hints(&back).len(), 2);
+        assert_eq!(parse_hints(&back, &mut urls).len(), 2);
     }
 }

@@ -8,6 +8,7 @@
 
 use vroom_browser::config::Hint;
 use vroom_html::{scan_html, ExecMode, ResourceKind};
+use vroom_intern::UrlTable;
 use vroom_pages::{render_html, Page, ResourceId};
 
 /// Tier assignment from scanner output alone (the server has no model
@@ -24,8 +25,9 @@ fn tier_of(kind: ResourceKind, exec: ExecMode) -> u8 {
 }
 
 /// Scan the rendered markup of `html_id` and produce hints for everything
-/// the document statically references.
-pub fn scan_served_html(page: &Page, html_id: ResourceId) -> Vec<Hint> {
+/// the document statically references. Scanned URLs are interned into
+/// `urls`.
+pub fn scan_served_html(page: &Page, html_id: ResourceId, urls: &mut UrlTable) -> Vec<Hint> {
     let base = &page.resources[html_id].url;
     let markup = render_html(page, html_id);
     let mut hints: Vec<Hint> = scan_html(base, &markup)
@@ -40,7 +42,7 @@ pub fn scan_served_html(page: &Page, html_id: ResourceId) -> Vec<Hint> {
                 .map(|r| r.size)
                 .unwrap_or(10_000);
             Hint {
-                url: d.url,
+                url: urls.intern(d.url),
                 tier: tier_of(d.kind, d.exec),
                 size_hint: size,
             }
@@ -60,8 +62,9 @@ mod tests {
     #[test]
     fn scanner_output_matches_model_markup_children() {
         let page = PageGenerator::new(SiteProfile::news(), 321).snapshot(&LoadContext::reference());
-        let hints = scan_served_html(&page, 0);
-        let hinted: BTreeSet<&Url> = hints.iter().map(|h| &h.url).collect();
+        let mut urls = UrlTable::new();
+        let hints = scan_served_html(&page, 0, &mut urls);
+        let hinted: BTreeSet<&Url> = hints.iter().map(|h| urls.get(h.url)).collect();
         for child in page.children(0) {
             assert_eq!(
                 hinted.contains(&child.url),
@@ -75,14 +78,15 @@ mod tests {
     #[test]
     fn tiers_from_markup_match_model_tiers_for_main_resources() {
         let page = PageGenerator::new(SiteProfile::news(), 322).snapshot(&LoadContext::reference());
-        let hints = scan_served_html(&page, 0);
+        let mut urls = UrlTable::new();
+        let hints = scan_served_html(&page, 0, &mut urls);
         for h in &hints {
-            let model = page.resources.iter().find(|r| r.url == h.url).unwrap();
+            let url = urls.get(h.url);
+            let model = page.resources.iter().find(|r| &r.url == url).unwrap();
             assert_eq!(
                 h.tier,
                 model.hint_tier(),
-                "tier mismatch for {} ({:?})",
-                h.url,
+                "tier mismatch for {url} ({:?})",
                 model.kind
             );
         }
@@ -91,9 +95,11 @@ mod tests {
     #[test]
     fn sizes_resolve_from_the_store() {
         let page = PageGenerator::new(SiteProfile::news(), 323).snapshot(&LoadContext::reference());
-        let hints = scan_served_html(&page, 0);
+        let mut urls = UrlTable::new();
+        let hints = scan_served_html(&page, 0, &mut urls);
         for h in &hints {
-            let model = page.resources.iter().find(|r| r.url == h.url).unwrap();
+            let url = urls.get(h.url);
+            let model = page.resources.iter().find(|r| &r.url == url).unwrap();
             assert_eq!(h.size_hint, model.size);
         }
     }

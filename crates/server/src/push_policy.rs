@@ -6,6 +6,7 @@
 //! (Figs 3, 18).
 
 use vroom_browser::config::Hint;
+use vroom_intern::UrlTable;
 
 /// Which locally-served dependencies a server pushes alongside an HTML
 /// response.
@@ -21,19 +22,24 @@ pub enum PushPolicy {
 }
 
 /// Select the pushes for an HTML served by `domain`, given the hints its
-/// response carries.
-pub fn select_pushes(policy: PushPolicy, domain: &str, hints: &[Hint]) -> Vec<Hint> {
+/// response carries (ids resolved against `urls`).
+pub fn select_pushes(
+    policy: PushPolicy,
+    domain: &str,
+    hints: &[Hint],
+    urls: &UrlTable,
+) -> Vec<Hint> {
     match policy {
         PushPolicy::None => Vec::new(),
         PushPolicy::HighPriorityLocal => hints
             .iter()
-            .filter(|h| h.url.host == domain && h.tier == 0)
-            .cloned()
+            .filter(|h| urls.get(h.url).host == domain && h.tier == 0)
+            .copied()
             .collect(),
         PushPolicy::AllLocal => hints
             .iter()
-            .filter(|h| h.url.host == domain)
-            .cloned()
+            .filter(|h| urls.get(h.url).host == domain)
+            .copied()
             .collect(),
     }
 }
@@ -43,25 +49,25 @@ mod tests {
     use super::*;
     use vroom_html::Url;
 
-    fn hints() -> Vec<Hint> {
+    fn hints(urls: &mut UrlTable) -> Vec<Hint> {
         vec![
             Hint {
-                url: Url::https("a.com", "/app.js"),
+                url: urls.intern(Url::https("a.com", "/app.js")),
                 tier: 0,
                 size_hint: 1,
             },
             Hint {
-                url: Url::https("b.com", "/lib.js"),
+                url: urls.intern(Url::https("b.com", "/lib.js")),
                 tier: 0,
                 size_hint: 1,
             },
             Hint {
-                url: Url::https("a.com", "/widget.js"),
+                url: urls.intern(Url::https("a.com", "/widget.js")),
                 tier: 1,
                 size_hint: 1,
             },
             Hint {
-                url: Url::https("a.com", "/img.jpg"),
+                url: urls.intern(Url::https("a.com", "/img.jpg")),
                 tier: 2,
                 size_hint: 1,
             },
@@ -70,20 +76,26 @@ mod tests {
 
     #[test]
     fn high_priority_local_filters_both_ways() {
-        let p = select_pushes(PushPolicy::HighPriorityLocal, "a.com", &hints());
+        let mut urls = UrlTable::new();
+        let hs = hints(&mut urls);
+        let p = select_pushes(PushPolicy::HighPriorityLocal, "a.com", &hs, &urls);
         assert_eq!(p.len(), 1);
-        assert_eq!(p[0].url.path, "/app.js");
+        assert_eq!(urls.get(p[0].url).path, "/app.js");
     }
 
     #[test]
     fn all_local_keeps_every_tier_but_only_own_domain() {
-        let p = select_pushes(PushPolicy::AllLocal, "a.com", &hints());
+        let mut urls = UrlTable::new();
+        let hs = hints(&mut urls);
+        let p = select_pushes(PushPolicy::AllLocal, "a.com", &hs, &urls);
         assert_eq!(p.len(), 3);
-        assert!(p.iter().all(|h| h.url.host == "a.com"));
+        assert!(p.iter().all(|h| urls.get(h.url).host == "a.com"));
     }
 
     #[test]
     fn none_pushes_nothing() {
-        assert!(select_pushes(PushPolicy::None, "a.com", &hints()).is_empty());
+        let mut urls = UrlTable::new();
+        let hs = hints(&mut urls);
+        assert!(select_pushes(PushPolicy::None, "a.com", &hs, &urls).is_empty());
     }
 }

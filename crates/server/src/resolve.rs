@@ -16,6 +16,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use vroom_browser::config::Hint;
 use vroom_html::Url;
+use vroom_intern::{UrlId, UrlTable};
 use vroom_pages::{DeviceClass, LoadContext, Page, PageGenerator, ResourceId};
 
 /// The server's crawler identity (its own cookie jar).
@@ -96,12 +97,13 @@ fn mix(a: u64, b: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// The dependency lists a deployment returns, keyed by the HTML URL whose
-/// response carries them.
+/// The dependency lists a deployment returns, keyed by the interned URL of
+/// the HTML whose response carries them. Ids resolve against the `UrlTable`
+/// passed to [`resolve`].
 #[derive(Debug, Clone, Default)]
 pub struct ResolvedDeps {
     /// Hints per HTML response, in processing order.
-    pub hints: BTreeMap<Url, Vec<Hint>>,
+    pub hints: BTreeMap<UrlId, Vec<Hint>>,
 }
 
 /// Resolve dependencies for the given client load.
@@ -110,7 +112,17 @@ pub struct ResolvedDeps {
 /// serve: the online component reads only markup-visible children of each
 /// HTML — exactly what [`vroom_html::scan_html`] extracts from the rendered
 /// document (see `vroom_pages::render`).
-pub fn resolve(input: &ResolverInput<'_>, client_page: &Page, strategy: Strategy) -> ResolvedDeps {
+///
+/// Every URL in the result — HTML keys and hint targets — is interned into
+/// `urls`; resolution works on strings internally (the offline intersection
+/// is set algebra over crawled URLs) and converts to ids only once, when the
+/// final ordered hint lists are emitted.
+pub fn resolve(
+    input: &ResolverInput<'_>,
+    client_page: &Page,
+    strategy: Strategy,
+    urls: &mut UrlTable,
+) -> ResolvedDeps {
     let mut out = ResolvedDeps::default();
     match strategy {
         Strategy::Vroom => {
@@ -119,7 +131,8 @@ pub fn resolve(input: &ResolverInput<'_>, client_page: &Page, strategy: Strategy
             let mut hints =
                 offline_intersection_scoped(&offline, |r| r.iframe_root.is_none() && r.id != 0);
             merge_online(&mut hints, client_page, 0);
-            out.hints.insert(client_page.url.clone(), finish(hints));
+            out.hints
+                .insert(urls.intern(client_page.url.clone()), finish(hints, urls));
 
             // Each iframe HTML: its own domain resolves its subtree the same
             // way (paper Fig 10: the ad server returns the red envelope).
@@ -127,19 +140,24 @@ pub fn resolve(input: &ResolverInput<'_>, client_page: &Page, strategy: Strategy
                 let mut fh =
                     offline_intersection_scoped(&offline, |r| r.iframe_root == Some(frame));
                 merge_online(&mut fh, client_page, frame);
-                out.hints
-                    .insert(client_page.resources[frame].url.clone(), finish(fh));
+                out.hints.insert(
+                    urls.intern(client_page.resources[frame].url.clone()),
+                    finish(fh, urls),
+                );
             }
         }
         Strategy::OfflineOnly => {
             let offline = input.offline_loads();
             let hints =
                 offline_intersection_scoped(&offline, |r| r.iframe_root.is_none() && r.id != 0);
-            out.hints.insert(client_page.url.clone(), finish(hints));
+            out.hints
+                .insert(urls.intern(client_page.url.clone()), finish(hints, urls));
             for frame in embedded_htmls(client_page) {
                 let fh = offline_intersection_scoped(&offline, |r| r.iframe_root == Some(frame));
-                out.hints
-                    .insert(client_page.resources[frame].url.clone(), finish(fh));
+                out.hints.insert(
+                    urls.intern(client_page.resources[frame].url.clone()),
+                    finish(fh, urls),
+                );
             }
         }
         Strategy::OnlineOnly => {
@@ -157,7 +175,8 @@ pub fn resolve(input: &ResolverInput<'_>, client_page: &Page, strategy: Strategy
                 .filter(|r| r.iframe_root.is_none() && r.id != 0)
                 .map(|r| (r.hint_tier(), r.url.clone(), r.size, r.id))
                 .collect();
-            out.hints.insert(client_page.url.clone(), finish(hints));
+            out.hints
+                .insert(urls.intern(client_page.url.clone()), finish(hints, urls));
             for frame in embedded_htmls(client_page) {
                 let fh: Vec<(u8, Url, u64, ResourceId)> = fresh
                     .resources
@@ -165,8 +184,10 @@ pub fn resolve(input: &ResolverInput<'_>, client_page: &Page, strategy: Strategy
                     .filter(|r| r.iframe_root == Some(frame))
                     .map(|r| (r.hint_tier(), r.url.clone(), r.size, r.id))
                     .collect();
-                out.hints
-                    .insert(client_page.resources[frame].url.clone(), finish(fh));
+                out.hints.insert(
+                    urls.intern(client_page.resources[frame].url.clone()),
+                    finish(fh, urls),
+                );
             }
         }
         Strategy::PreviousLoad => {
@@ -179,7 +200,8 @@ pub fn resolve(input: &ResolverInput<'_>, client_page: &Page, strategy: Strategy
                 .filter(|r| r.id != 0)
                 .map(|r| (r.hint_tier(), r.url.clone(), r.size, r.id))
                 .collect();
-            out.hints.insert(client_page.url.clone(), finish(hints));
+            out.hints
+                .insert(urls.intern(client_page.url.clone()), finish(hints, urls));
         }
     }
     out
@@ -219,14 +241,16 @@ fn merge_online(
 }
 
 /// Order by (tier, document position) — the order the client must process
-/// them (§5.1) — and convert to wire hints.
-fn finish(mut hints: Vec<(u8, Url, u64, ResourceId)>) -> Vec<Hint> {
+/// them (§5.1) — and convert to wire hints. Sorting and dedup happen on the
+/// real URLs *before* interning, so the emitted order (and therefore the
+/// client's staged fetch order) is byte-for-byte what it was pre-interning.
+fn finish(mut hints: Vec<(u8, Url, u64, ResourceId)>, urls: &mut UrlTable) -> Vec<Hint> {
     hints.sort_by(|a, b| a.0.cmp(&b.0).then(a.3.cmp(&b.3)).then(a.1.cmp(&b.1)));
     hints.dedup_by(|a, b| a.1 == b.1);
     hints
         .into_iter()
         .map(|(tier, url, size, _)| Hint {
-            url,
+            url: urls.intern(url),
             tier,
             size_hint: size,
         })
@@ -263,12 +287,27 @@ mod tests {
         ResolverInput::new(generator, ctx.hours, ctx.device, 555)
     }
 
+    fn run(
+        generator: &PageGenerator,
+        ctx: &LoadContext,
+        page: &Page,
+        strategy: Strategy,
+    ) -> (UrlTable, ResolvedDeps) {
+        let mut urls = UrlTable::new();
+        let deps = resolve(&input(generator, ctx), page, strategy, &mut urls);
+        (urls, deps)
+    }
+
+    fn hints_for<'a>(urls: &UrlTable, deps: &'a ResolvedDeps, url: &Url) -> &'a [Hint] {
+        &deps.hints[&urls.lookup(url).expect("html url interned")]
+    }
+
     #[test]
     fn vroom_hints_cover_most_stable_resources() {
         let (generator, ctx, page) = setup();
-        let deps = resolve(&input(&generator, &ctx), &page, Strategy::Vroom);
-        let root_hints = &deps.hints[&page.url];
-        let hinted: BTreeSet<&Url> = root_hints.iter().map(|h| &h.url).collect();
+        let (urls, deps) = run(&generator, &ctx, &page, Strategy::Vroom);
+        let root_hints = hints_for(&urls, &deps, &page.url);
+        let hinted: BTreeSet<&Url> = root_hints.iter().map(|h| urls.get(h.url)).collect();
         let stable_main: Vec<&vroom_pages::Resource> = page
             .resources
             .iter()
@@ -287,8 +326,8 @@ mod tests {
     #[test]
     fn vroom_excludes_iframe_descendants_from_root_hints() {
         let (generator, ctx, page) = setup();
-        let deps = resolve(&input(&generator, &ctx), &page, Strategy::Vroom);
-        let root_hints = &deps.hints[&page.url];
+        let (urls, deps) = run(&generator, &ctx, &page, Strategy::Vroom);
+        let root_hints = hints_for(&urls, &deps, &page.url);
         let iframe_urls: BTreeSet<&Url> = page
             .resources
             .iter()
@@ -296,15 +335,17 @@ mod tests {
             .map(|r| &r.url)
             .collect();
         assert!(
-            root_hints.iter().all(|h| !iframe_urls.contains(&h.url)),
+            root_hints
+                .iter()
+                .all(|h| !iframe_urls.contains(urls.get(h.url))),
             "iframe-derived deps belong to the iframe's own server"
         );
         // But the iframes' own responses do carry hints for their subtrees.
         let frames = embedded_htmls(&page);
         assert!(!frames.is_empty());
         let covered = frames.iter().any(|&f| {
-            deps.hints
-                .get(&page.resources[f].url)
+            urls.lookup(&page.resources[f].url)
+                .and_then(|id| deps.hints.get(&id))
                 .map(|hs| !hs.is_empty())
                 .unwrap_or(false)
         });
@@ -314,12 +355,12 @@ mod tests {
     #[test]
     fn vroom_never_hints_perload_urls_it_cannot_know() {
         let (generator, ctx, page) = setup();
-        let deps = resolve(&input(&generator, &ctx), &page, Strategy::Vroom);
+        let (urls, deps) = run(&generator, &ctx, &page, Strategy::Vroom);
         let all_hinted: Vec<&Hint> = deps.hints.values().flatten().collect();
         for r in &page.resources {
             if r.stability == Stability::PerLoadRandom {
                 assert!(
-                    all_hinted.iter().all(|h| h.url != r.url),
+                    all_hinted.iter().all(|h| urls.get(h.url) != &r.url),
                     "per-load URL {} cannot be predicted",
                     r.url
                 );
@@ -330,11 +371,16 @@ mod tests {
     #[test]
     fn online_component_catches_fresh_markup_content() {
         let (generator, ctx, page) = setup();
-        let vroom = resolve(&input(&generator, &ctx), &page, Strategy::Vroom);
-        let offline = resolve(&input(&generator, &ctx), &page, Strategy::OfflineOnly);
-        let vroom_root: BTreeSet<&Url> = vroom.hints[&page.url].iter().map(|h| &h.url).collect();
-        let offline_root: BTreeSet<&Url> =
-            offline.hints[&page.url].iter().map(|h| &h.url).collect();
+        let (vurls, vroom) = run(&generator, &ctx, &page, Strategy::Vroom);
+        let (ourls, offline) = run(&generator, &ctx, &page, Strategy::OfflineOnly);
+        let vroom_root: BTreeSet<&Url> = hints_for(&vurls, &vroom, &page.url)
+            .iter()
+            .map(|h| vurls.get(h.url))
+            .collect();
+        let offline_root: BTreeSet<&Url> = hints_for(&ourls, &offline, &page.url)
+            .iter()
+            .map(|h| ourls.get(h.url))
+            .collect();
         // Flux children in the markup that rotated recently are missed by
         // offline-only but present in Vroom's online component.
         let caught_online: Vec<&vroom_pages::Resource> = page
@@ -357,8 +403,8 @@ mod tests {
     #[test]
     fn hints_are_ordered_by_tier_then_position() {
         let (generator, ctx, page) = setup();
-        let deps = resolve(&input(&generator, &ctx), &page, Strategy::Vroom);
-        let hints = &deps.hints[&page.url];
+        let (urls, deps) = run(&generator, &ctx, &page, Strategy::Vroom);
+        let hints = hints_for(&urls, &deps, &page.url);
         let tiers: Vec<u8> = hints.iter().map(|h| h.tier).collect();
         let mut sorted = tiers.clone();
         sorted.sort_unstable();
@@ -370,10 +416,13 @@ mod tests {
     #[test]
     fn previous_load_includes_stale_and_random_urls() {
         let (generator, ctx, page) = setup();
-        let deps = resolve(&input(&generator, &ctx), &page, Strategy::PreviousLoad);
-        let hints = &deps.hints[&page.url];
+        let (urls, deps) = run(&generator, &ctx, &page, Strategy::PreviousLoad);
+        let hints = hints_for(&urls, &deps, &page.url);
         let current: BTreeSet<&Url> = page.resources.iter().map(|r| &r.url).collect();
-        let stale = hints.iter().filter(|h| !current.contains(&h.url)).count();
+        let stale = hints
+            .iter()
+            .filter(|h| !current.contains(urls.get(h.url)))
+            .count();
         assert!(
             stale > 0,
             "a raw previous load must contain URLs the client will never fetch"
@@ -383,10 +432,12 @@ mod tests {
     #[test]
     fn online_only_tracks_current_load_closely_but_not_exactly() {
         let (generator, ctx, page) = setup();
-        let deps = resolve(&input(&generator, &ctx), &page, Strategy::OnlineOnly);
-        let hints = &deps.hints[&page.url];
+        let (urls, deps) = run(&generator, &ctx, &page, Strategy::OnlineOnly);
+        let hints = hints_for(&urls, &deps, &page.url);
         let current: BTreeSet<&Url> = page.resources.iter().map(|r| &r.url).collect();
-        let (good, bad): (Vec<_>, Vec<_>) = hints.iter().partition(|h| current.contains(&h.url));
+        let (good, bad): (Vec<&Hint>, Vec<&Hint>) = hints
+            .iter()
+            .partition(|h| current.contains(urls.get(h.url)));
         assert!(good.len() > bad.len() * 2, "mostly accurate");
         assert!(
             !bad.is_empty(),
@@ -397,8 +448,9 @@ mod tests {
     #[test]
     fn resolution_is_deterministic() {
         let (generator, ctx, page) = setup();
-        let a = resolve(&input(&generator, &ctx), &page, Strategy::Vroom);
-        let b = resolve(&input(&generator, &ctx), &page, Strategy::Vroom);
-        assert_eq!(a.hints[&page.url], b.hints[&page.url]);
+        let (ua, a) = run(&generator, &ctx, &page, Strategy::Vroom);
+        let (ub, b) = run(&generator, &ctx, &page, Strategy::Vroom);
+        assert_eq!(ua, ub, "identical runs intern identically");
+        assert_eq!(hints_for(&ua, &a, &page.url), hints_for(&ub, &b, &page.url));
     }
 }

@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use vroom_browser::config::Hint;
 use vroom_html::Url;
 use vroom_http2::{Connection, ErrorCode, Event, Request, Response, Settings};
+use vroom_intern::{SharedBytes, UrlId};
 use vroom_net::{ReplayStore, RetryBudget};
 
 /// Injectable wall clock for the wire path's timeout logic.
@@ -77,10 +78,11 @@ impl WireFaults {
 /// Everything one wire server needs to serve a site.
 #[derive(Clone)]
 pub struct WireSite {
-    /// Recorded responses by URL.
+    /// Recorded responses by URL. Its intern table is the namespace every
+    /// [`UrlId`] in `hints` resolves against.
     pub store: Arc<ReplayStore>,
-    /// Dependency hints per HTML URL.
-    pub hints: Arc<BTreeMap<Url, Vec<Hint>>>,
+    /// Dependency hints per HTML URL, keyed by the store's interned ids.
+    pub hints: Arc<BTreeMap<UrlId, Vec<Hint>>>,
     /// Push policy applied to HTML responses.
     pub push: PushPolicy,
     /// The logical domain this server answers for (requests carry it in
@@ -167,9 +169,10 @@ impl Drop for WireServer {
     }
 }
 
-/// Body bytes still waiting for flow-control credit on a stream.
+/// Body bytes still waiting for flow-control credit on a stream. Holds a
+/// refcounted view of the recorded body — no copy per blocked stream.
 struct PendingBody {
-    data: Vec<u8>,
+    data: SharedBytes,
     offset: usize,
 }
 
@@ -268,24 +271,32 @@ fn handle_request(
     pending: &mut BTreeMap<u32, PendingBody>,
 ) {
     let url = Url::https(req.authority.clone(), req.path.clone());
-    let Some(record) = site.store.lookup(&url) else {
+    let Some((uid, record)) = site
+        .store
+        .id_of(&url)
+        .and_then(|id| Some((id, site.store.lookup_id(id)?)))
+    else {
         let resp = Response::with_status(404);
         let _ = conn.send_response(stream_id, &resp, true);
         return;
     };
+    let urls = site.store.urls();
 
-    let hints = site.hints.get(&url).cloned().unwrap_or_default();
+    let hints = site.hints.get(&uid).cloned().unwrap_or_default();
     // Push first (PUSH_PROMISE must precede the response data referencing
     // the pushed resources).
-    let mut pushed_streams: Vec<(u32, Url)> = Vec::new();
+    let mut pushed_streams: Vec<(u32, UrlId)> = Vec::new();
     if !hints.is_empty() {
-        for push in select_pushes(site.push, &site.domain, &hints) {
-            if site.store.lookup(&push.url).is_none() {
+        for push in select_pushes(site.push, &site.domain, &hints, urls) {
+            if site.store.lookup_id(push.url).is_none() {
                 continue;
             }
-            let preq = Request::get(push.url.host.clone(), push.url.path.clone());
+            let Some(purl) = urls.url(push.url) else {
+                continue;
+            };
+            let preq = Request::get(purl.host.clone(), purl.path.clone());
             if let Ok(pid) = conn.push_promise(stream_id, &preq) {
-                pushed_streams.push((pid, push.url.clone()));
+                pushed_streams.push((pid, push.url));
             }
         }
     }
@@ -294,7 +305,7 @@ fn handle_request(
     let mut resp =
         Response::with_status(record.status).with_header("content-type", content_type(record.kind));
     if !hints.is_empty() {
-        resp = attach_hints(resp, &hints);
+        resp = attach_hints(resp, &hints, urls);
     }
     let body = record.body_bytes();
     if !body.is_empty() && site.faults.take(&url) {
@@ -326,8 +337,8 @@ fn handle_request(
     }
 
     // Pushed response bodies follow.
-    for (pid, purl) in pushed_streams {
-        let Some(rec) = site.store.lookup(&purl) else {
+    for (pid, puid) in pushed_streams {
+        let Some(rec) = site.store.lookup_id(puid) else {
             continue;
         };
         let presp = Response::ok().with_header("content-type", content_type(rec.kind));

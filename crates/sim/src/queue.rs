@@ -4,10 +4,14 @@
 //! Stability matters for reproducibility: two events at the same timestamp
 //! must always be delivered in the order they were scheduled, regardless of
 //! heap internals.
+//!
+//! Cancellation is lazy: `cancel` only removes the id from the pending
+//! liveness set (O(log n)); the heap entry is dropped when it surfaces.
+//! Nothing ever scans the heap.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Handle to a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -43,11 +47,15 @@ impl<E> Ord for Entry<E> {
 }
 
 /// A time-ordered queue of events of type `E`.
+///
+/// The `pending` set is the single source of truth for liveness: an id is
+/// in it iff its event was scheduled and neither popped nor cancelled. The
+/// heap may additionally hold stale entries for cancelled ids, which are
+/// discarded when they reach the head.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    cancelled: std::collections::BTreeSet<EventId>,
-    live: usize,
+    pending: BTreeSet<EventId>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -62,8 +70,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: std::collections::BTreeSet::new(),
-            live: 0,
+            pending: BTreeSet::new(),
         }
     }
 
@@ -79,28 +86,15 @@ impl<E> EventQueue<E> {
             event,
         });
         self.next_seq += 1;
-        self.live += 1;
+        self.pending.insert(id);
         id
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event was
-    /// still pending. Cancellation is O(1); the entry is lazily dropped when
-    /// it reaches the head of the heap.
+    /// still pending. O(log n): one liveness-set removal, no heap scan; the
+    /// heap entry is lazily dropped when it reaches the head.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // An id is pending iff it was issued, not yet popped, not yet cancelled.
-        if id.0 < self.next_seq && !self.cancelled.contains(&id) && self.contains_live(id) {
-            self.cancelled.insert(id);
-            self.live -= 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn contains_live(&self, id: EventId) -> bool {
-        // Linear scan is acceptable: cancellation is rare in our workloads
-        // (used only for timer rescheduling), and heaps are small.
-        self.heap.iter().any(|e| e.id == id)
+        self.pending.remove(&id)
     }
 
     /// Timestamp of the next pending event, if any.
@@ -113,29 +107,28 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.skip_cancelled();
         self.heap.pop().map(|e| {
-            self.live -= 1;
+            self.pending.remove(&e.id);
             (e.at, e.event)
         })
     }
 
     fn skip_cancelled(&mut self) {
         while let Some(head) = self.heap.peek() {
-            if self.cancelled.remove(&head.id) {
-                self.heap.pop();
-            } else {
+            if self.pending.contains(&head.id) {
                 break;
             }
+            self.heap.pop();
         }
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live
+        self.pending.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.pending.is_empty()
     }
 }
 
@@ -201,5 +194,44 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancelling_a_popped_id_is_a_no_op() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert!(!q.cancel(a), "already delivered");
+        assert_eq!(q.len(), 1);
+    }
+
+    /// Regression for the old O(n) `contains_live` heap scan: cancel 10k of
+    /// 20k timers and assert the survivors pop in exactly the order and at
+    /// exactly the times an uncancelled schedule would deliver them.
+    #[test]
+    fn mass_cancellation_preserves_pop_order() {
+        let n = 20_000u64;
+        let mut q = EventQueue::new();
+        let mut ids = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            // Deliberately colliding timestamps to exercise FIFO ties.
+            ids.push(q.schedule(t(i / 4), i));
+        }
+        // Cancel every odd-indexed timer (10k cancellations).
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 1 {
+                assert!(q.cancel(*id));
+            }
+        }
+        assert_eq!(q.len(), (n / 2) as usize);
+        let mut popped = Vec::new();
+        while let Some((at, ev)) = q.pop() {
+            assert_eq!(at, t(ev / 4), "delivery time unchanged by cancellation");
+            popped.push(ev);
+        }
+        let expected: Vec<u64> = (0..n).filter(|i| i % 2 == 0).collect();
+        assert_eq!(popped, expected, "pop order unchanged by cancellation");
+        assert!(q.is_empty());
     }
 }

@@ -169,10 +169,12 @@ pub fn ablation_history_window(cfg: &ExperimentConfig) -> (Vec<(usize, f64, f64)
             let predictable: std::collections::BTreeSet<_> = sa.intersection(&sb).collect();
             let mut input = ResolverInput::new(site, ctx.hours, ctx.device, cfg.server_seed);
             input.crawl_offsets = window.to_vec();
-            let deps = resolve(&input, &load_a, Strategy::Vroom);
-            let server: std::collections::BTreeSet<_> = deps.hints[&load_a.url]
+            let mut urls = vroom_intern::UrlTable::new();
+            let deps = resolve(&input, &load_a, Strategy::Vroom, &mut urls);
+            let html_id = urls.lookup(&load_a.url).expect("root html url interned");
+            let server: std::collections::BTreeSet<_> = deps.hints[&html_id]
                 .iter()
-                .map(|h| h.url.clone())
+                .map(|h| urls.get(h.url).clone())
                 .collect();
             let denom = predictable.len().max(1) as f64;
             fns.push(predictable.iter().filter(|u| !server.contains(**u)).count() as f64 / denom);

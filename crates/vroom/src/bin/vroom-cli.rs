@@ -174,11 +174,12 @@ fn main() {
         "hints" => {
             let page = site.snapshot(&ctx);
             let input = ResolverInput::new(&site, ctx.hours, ctx.device, 7);
-            let deps = resolve(&input, &page, Strategy::Vroom);
-            for (html, hints) in &deps.hints {
-                println!("{html} returns {} hints:", hints.len());
+            let mut urls = vroom_intern::UrlTable::new();
+            let deps = resolve(&input, &page, Strategy::Vroom, &mut urls);
+            for (&html, hints) in &deps.hints {
+                println!("{} returns {} hints:", urls.get(html), hints.len());
                 for h in hints {
-                    println!("  tier{} {:>8}B {}", h.tier, h.size_hint, h.url);
+                    println!("  tier{} {:>8}B {}", h.tier, h.size_hint, urls.get(h.url));
                 }
             }
         }

@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 use vroom_browser::config::{CacheEntry, FetchPolicy, Hint, HttpVersion, LoadConfig, ServerModel};
 use vroom_html::Url;
+use vroom_intern::UrlTable;
 use vroom_net::FaultPlan;
 use vroom_pages::{LoadContext, Page, PageGenerator};
 use vroom_server::push_policy::{select_pushes, PushPolicy};
@@ -125,13 +126,15 @@ pub fn build_config(
         Strategy::Vroom
     };
     let input = ResolverInput::new(generator, ctx.hours, ctx.device, server_seed);
-    let resolved = resolve(&input, page, strategy);
+    let mut urls = UrlTable::new();
+    let resolved = resolve(&input, page, strategy, &mut urls);
 
     let first_party = Url::parse(&format!("https://{}/", generator.first_party()))
         .expect("valid first-party url");
 
     let mut server = ServerModel::default();
-    for (html_url, hints) in &resolved.hints {
+    for (&html_id, hints) in &resolved.hints {
+        let html_url = urls.get(html_id);
         let vroom_compliant = match system {
             System::VroomFirstPartyOnly => html_url.same_site(&first_party),
             _ => true,
@@ -150,18 +153,19 @@ pub fn build_config(
             }
             _ => PushPolicy::None,
         };
-        let pushes = select_pushes(push_policy, &html_url.host, hints);
+        let pushes = select_pushes(push_policy, &html_url.host, hints, &urls);
         if !pushes.is_empty() {
-            server.pushes.insert(html_url.clone(), pushes);
+            server.pushes.insert(html_id, pushes);
         }
         let hints_enabled = !matches!(
             system,
             System::PushAllStatic | System::PushHighPriorityNoHints | System::PushAllNoHints
         );
         if hints_enabled {
-            server.hints.insert(html_url.clone(), hints.clone());
+            server.hints.insert(html_id, hints.clone());
         }
     }
+    cfg.urls = urls;
     cfg.server = server;
     cfg.fetch_policy = match system {
         System::Vroom
@@ -226,23 +230,29 @@ pub fn apply_fault_plan(cfg: &mut LoadConfig, plan: &FaultPlan) {
         cfg.server.hints.clear();
         cfg.server.pushes.clear();
     } else if plan.hint_corruption > 0.0 {
-        for (html_url, hints) in cfg.server.hints.iter_mut() {
-            let html = html_url.to_string();
+        // Split borrows: the hint/push maps and the intern table are
+        // disjoint fields, and corrupted entries must intern their stale
+        // replacement URLs into the same table the config resolves against.
+        let urls = &mut cfg.urls;
+        for (&html_id, hints) in cfg.server.hints.iter_mut() {
+            let html = urls.get(html_id).to_string();
             for (i, h) in hints.iter_mut().enumerate() {
                 if plan.corrupt_hint(&html, i) {
-                    h.url = stale_url(&h.url.host, i);
+                    let host = urls.get(h.url).host.clone();
+                    h.url = urls.intern(stale_url(&host, i));
                 }
             }
         }
-        for (html_url, pushes) in cfg.server.pushes.iter_mut() {
-            let html = html_url.to_string();
+        for (&html_id, pushes) in cfg.server.pushes.iter_mut() {
+            let html = urls.get(html_id).to_string();
             for (i, p) in pushes.iter_mut().enumerate() {
                 // Decouple the push rolls from the hint rolls: the lists
                 // overlap but corruption should hit them independently.
                 if plan.corrupt_hint(&html, i + 0x1_0000) {
                     // Pushes must stay same-domain as their HTML
-                    // (integrity rule), which `p.url.host` preserves.
-                    p.url = stale_url(&p.url.host, i);
+                    // (integrity rule), which the hint URL's host preserves.
+                    let host = urls.get(p.url).host.clone();
+                    p.url = urls.intern(stale_url(&host, i));
                 }
             }
         }
@@ -284,10 +294,11 @@ mod tests {
         assert!(!cfg.server.hints.is_empty());
         assert!(cfg.ordered_responses);
         assert_eq!(cfg.fetch_policy, FetchPolicy::VroomStaged);
-        for (html_url, pushes) in &cfg.server.pushes {
+        for (&html_id, pushes) in &cfg.server.pushes {
             for p in pushes {
                 assert_eq!(
-                    p.url.host, html_url.host,
+                    cfg.urls.get(p.url).host,
+                    cfg.urls.get(html_id).host,
                     "a server can only push what it hosts"
                 );
                 assert_eq!(p.tier, 0, "Vroom pushes only high-priority content");
@@ -319,7 +330,8 @@ mod tests {
         let partial = build_config(System::VroomFirstPartyOnly, &generator, &page, &ctx, 1);
         assert!(partial.server.hints.len() <= full.server.hints.len());
         let fp = generator.first_party().to_string();
-        for url in partial.server.hints.keys() {
+        for &id in partial.server.hints.keys() {
+            let url = partial.urls.get(id);
             assert!(
                 url.host == fp || url.host.ends_with(&format!(".{fp}")) || {
                     let f = Url::https(fp.clone(), "/");
@@ -337,7 +349,7 @@ mod tests {
         let current = page.url_set();
         let stale = all_hints(&cfg)
             .iter()
-            .filter(|h| !current.contains(&h.url))
+            .filter(|h| !current.contains(cfg.urls.get(h.url)))
             .count();
         assert!(stale > 0, "a previous load must contain stale URLs");
     }

@@ -44,8 +44,13 @@ fn main() {
 
     // Detail for Vroom: which URLs were missed / extraneous and why.
     let input = ResolverInput::new(&site, ctx.hours, ctx.device, 77);
-    let deps = resolve(&input, &page, Strategy::Vroom);
-    let server_set: HashSet<&Url> = deps.hints[&page.url].iter().map(|h| &h.url).collect();
+    let mut urls = vroom_intern::UrlTable::new();
+    let deps = resolve(&input, &page, Strategy::Vroom, &mut urls);
+    let root_id = urls.lookup(&page.url).expect("root html interned");
+    let server_set: HashSet<&Url> = deps.hints[&root_id]
+        .iter()
+        .map(|h| urls.get(h.url))
+        .collect();
     let b2b_urls: HashSet<&Url> = b2b.resources.iter().map(|r| &r.url).collect();
 
     println!("\n--- Vroom detail (root HTML scope) ---");
@@ -67,11 +72,12 @@ fn main() {
     }
     let page_urls: HashSet<&Url> = page.resources.iter().map(|r| &r.url).collect();
     let mut extraneous = 0;
-    for h in &deps.hints[&page.url] {
-        if !page_urls.contains(&h.url) {
+    for h in &deps.hints[&root_id] {
+        let hurl = urls.get(h.url);
+        if !page_urls.contains(hurl) {
             println!(
                 "  EXTRANEOUS {:<60} (stale crawl artifact)",
-                h.url.to_string()
+                hurl.to_string()
             );
             extraneous += 1;
         }
@@ -81,7 +87,7 @@ fn main() {
     }
     println!(
         "\nhints on root response: {} | unpredictable (left to the client): {}",
-        deps.hints[&page.url].len(),
+        deps.hints[&root_id].len(),
         page.resources
             .iter()
             .filter(|r| r.id != 0 && r.iframe_root.is_none())

@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vroom_html::{ResourceKind, Url};
+use vroom_intern::UrlTable;
 use vroom_net::{RecordedResponse, ReplayStore};
 use vroom_pages::{render_html, LoadContext, PageGenerator, SiteProfile};
 use vroom_server::online::scan_served_html;
@@ -36,12 +37,15 @@ fn main() {
     }
 
     // 2. Server-side online analysis over the real markup (the scanner runs
-    //    on the bytes that will be served).
+    //    on the bytes that will be served). Hints are keyed by the store's
+    //    interned ids — `record` already interned every page URL.
     let mut hints = BTreeMap::new();
-    hints.insert(page.url.clone(), scan_served_html(&page, 0));
+    let root_hints = scan_served_html(&page, 0, store.urls_mut());
+    hints.insert(store.urls_mut().intern(page.url.clone()), root_hints);
     for r in &page.resources {
         if r.id != 0 && r.kind == ResourceKind::Html {
-            hints.insert(r.url.clone(), scan_served_html(&page, r.id));
+            let hs = scan_served_html(&page, r.id, store.urls_mut());
+            hints.insert(store.urls_mut().intern(r.url.clone()), hs);
         }
     }
 
@@ -63,7 +67,8 @@ fn main() {
     let first = client.run(Duration::from_secs(10)).expect("io");
 
     let root = first.iter().find(|r| r.url == page.url).expect("root");
-    let hints = parse_hints(&root.response);
+    let mut client_urls = UrlTable::new();
+    let hints = parse_hints(&root.response, &mut client_urls);
     println!(
         "\nGET {} → {} ({} bytes) at {:?}",
         page.url,
@@ -92,13 +97,13 @@ fn main() {
     for tier in 0..=2u8 {
         let batch: Vec<&vroom_browser::config::Hint> = hints
             .iter()
-            .filter(|h| h.tier == tier && !already.contains(&h.url))
+            .filter(|h| h.tier == tier && !already.contains(client_urls.get(h.url)))
             .collect();
         if batch.is_empty() {
             continue;
         }
         for h in &batch {
-            client.get(&h.url).expect("hinted fetch");
+            client.get(client_urls.get(h.url)).expect("hinted fetch");
         }
         let got = client.run(Duration::from_secs(10)).expect("io");
         println!(

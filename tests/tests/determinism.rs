@@ -168,3 +168,18 @@ fn corpus_level_metrics_are_reproducible() {
     };
     assert_eq!(plts(), plts(), "corpus PLT vector diverged between runs");
 }
+
+/// Tier-1 pin of the interning overhaul: the sites-3 `run_all` report is
+/// byte-identical to the golden captured before `UrlId` threading. The
+/// interning layer changes cost, never observable behaviour.
+#[test]
+fn run_all_sites3_report_matches_committed_golden() {
+    let mut cfg = vroom::experiment::ExperimentConfig::quick(3);
+    cfg.workers = 1;
+    let report = vroom::experiment::run_all_report(&cfg);
+    let golden = include_str!("../../results/run_all_sites3.txt");
+    assert!(
+        report == golden,
+        "run_all --sites 3 diverged from results/run_all_sites3.txt"
+    );
+}

@@ -189,3 +189,65 @@ proptest! {
         prop_assert!(tokens.len() <= input.len() + 1);
     }
 }
+
+fn arb_url() -> impl Strategy<Value = vroom_html::Url> {
+    (
+        prop_oneof![Just("http"), Just("https")],
+        proptest::collection::vec("[a-z]{1,8}", 2..4),
+        proptest::collection::vec("[a-z0-9._-]{1,10}", 0..4),
+        prop_oneof![Just(None), "[a-z]=[0-9]{1,4}".prop_map(Some)],
+    )
+        .prop_map(|(scheme, host_labels, segments, query)| {
+            let host = host_labels.join(".");
+            let mut path = String::new();
+            for s in &segments {
+                path.push('/');
+                path.push_str(s);
+            }
+            if let Some(q) = query {
+                if path.is_empty() {
+                    path.push('/');
+                }
+                path.push('?');
+                path.push_str(&q);
+            }
+            vroom_html::Url::new(scheme, host, path)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `UrlTable` intern → resolve is the identity on arbitrary URLs, the
+    /// reverse index agrees, and the cached origin equals the allocating
+    /// `Url::origin()`.
+    #[test]
+    fn url_table_intern_resolve_round_trips(urls in proptest::collection::vec(arb_url(), 1..40)) {
+        let mut table = vroom_intern::UrlTable::new();
+        let ids: Vec<_> = urls.iter().map(|u| table.intern(u.clone())).collect();
+        let unique: std::collections::BTreeSet<_> = urls.iter().collect();
+        prop_assert_eq!(table.len(), unique.len(), "one id per distinct URL");
+        for (u, &id) in urls.iter().zip(&ids) {
+            prop_assert_eq!(table.get(id), u);
+            prop_assert_eq!(table.url(id), Some(u));
+            prop_assert_eq!(table.lookup(u), Some(id));
+            prop_assert_eq!(table.origin(id), u.origin());
+        }
+    }
+
+    /// Ids are a pure function of insertion order: two tables filled with
+    /// the same sequence agree on every id (and compare equal), which is
+    /// why interning cannot perturb any deterministic trace.
+    #[test]
+    fn url_table_ids_are_insertion_deterministic(urls in proptest::collection::vec(arb_url(), 0..40)) {
+        let fill = || {
+            let mut t = vroom_intern::UrlTable::new();
+            let ids: Vec<_> = urls.iter().map(|u| t.intern(u.clone())).collect();
+            (t, ids)
+        };
+        let (ta, ids_a) = fill();
+        let (tb, ids_b) = fill();
+        prop_assert_eq!(ids_a, ids_b, "same insertion order must mint the same ids");
+        prop_assert_eq!(ta, tb);
+    }
+}

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use vroom_browser::config::Hint;
 use vroom_html::{ResourceKind, Url};
+use vroom_intern::{UrlId, UrlTable};
 use vroom_net::{RecordedResponse, ReplayStore, RetryBudget};
 use vroom_pages::{render_html, LoadContext, Page, PageGenerator, SiteProfile};
 use vroom_server::online::scan_served_html;
@@ -32,21 +33,26 @@ fn record(page: &Page) -> ReplayStore {
 }
 
 /// Hints for every HTML document, from the real scanner over real markup.
-fn hints_from_markup(page: &Page) -> BTreeMap<Url, Vec<Hint>> {
+/// Keys and hint URLs are interned into the store's own table.
+fn hints_from_markup(page: &Page, store: &mut ReplayStore) -> BTreeMap<UrlId, Vec<Hint>> {
     let mut out = BTreeMap::new();
-    out.insert(page.url.clone(), scan_served_html(page, 0));
+    let root = scan_served_html(page, 0, store.urls_mut());
+    out.insert(store.urls_mut().intern(page.url.clone()), root);
     for r in &page.resources {
         if r.id != 0 && r.kind == ResourceKind::Html {
-            out.insert(r.url.clone(), scan_served_html(page, r.id));
+            let hs = scan_served_html(page, r.id, store.urls_mut());
+            out.insert(store.urls_mut().intern(r.url.clone()), hs);
         }
     }
     out
 }
 
 fn start_server(page: &Page, push: PushPolicy) -> WireServer {
+    let mut store = record(page);
+    let hints = hints_from_markup(page, &mut store);
     let site = WireSite {
-        store: Arc::new(record(page)),
-        hints: Arc::new(hints_from_markup(page)),
+        store: Arc::new(store),
+        hints: Arc::new(hints),
         push,
         domain: page.url.host.clone(),
         faults: Default::default(),
@@ -84,7 +90,8 @@ fn vroom_server_pushes_and_hints_over_real_tcp() {
     assert!(body.contains("<!DOCTYPE html>"));
 
     // Hint headers are present and parse back into tiers (Table 1).
-    let hints = parse_hints(&root.response);
+    let mut urls = UrlTable::new();
+    let hints = parse_hints(&root.response, &mut urls);
     assert!(!hints.is_empty(), "root response must carry hints");
     assert!(hints.iter().any(|h| h.tier == 0), "Link preload present");
     assert!(hints.iter().any(|h| h.tier == 2), "x-unimportant present");
@@ -120,16 +127,17 @@ fn client_can_fetch_hinted_resources_in_tiers() {
     client.get(&page.url).expect("request root");
     let responses = client.run(Duration::from_secs(10)).expect("io");
     let root = responses.iter().find(|r| r.url == page.url).expect("root");
-    let hints = parse_hints(&root.response);
+    let mut urls = UrlTable::new();
+    let hints = parse_hints(&root.response, &mut urls);
 
     // Stage 0: fetch every preload-tier hint on the same domain set.
     let tier0: Vec<&Hint> = hints
         .iter()
-        .filter(|h| h.tier == 0 && h.url.host == page.url.host)
+        .filter(|h| h.tier == 0 && urls.get(h.url).host == page.url.host)
         .collect();
     assert!(!tier0.is_empty());
     for h in &tier0 {
-        client.get(&h.url).expect("hinted fetch");
+        client.get(urls.get(h.url)).expect("hinted fetch");
     }
     let fetched = client.run(Duration::from_secs(10)).expect("io");
     assert_eq!(fetched.len(), tier0.len(), "every hinted fetch completed");

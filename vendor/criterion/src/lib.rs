@@ -167,6 +167,49 @@ fn run_one<F: FnMut(&mut Bencher)>(
     );
 }
 
+/// One benchmark's raw per-sample wall-clock measurements, for callers that
+/// compute their own statistics (median, interquartile range) instead of the
+/// single mean that [`Criterion::bench_function`] prints.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Iterations timed inside each sample.
+    pub iters_per_sample: u64,
+    /// Seconds per iteration, one entry per sample.
+    pub per_iter_secs: Vec<f64>,
+}
+
+impl Measurement {
+    /// Number of samples taken.
+    pub fn samples(&self) -> usize {
+        self.per_iter_secs.len()
+    }
+}
+
+/// Time `routine` as `samples` independent samples of `iters_per_sample`
+/// iterations each, returning every sample's per-iteration time. Unlike
+/// [`Bencher::iter`], nothing is printed and no aggregation happens here:
+/// the caller owns the statistics.
+pub fn sample<O, R: FnMut() -> O>(
+    samples: u64,
+    iters_per_sample: u64,
+    mut routine: R,
+) -> Measurement {
+    let samples = samples.max(1);
+    let iters = iters_per_sample.max(1);
+    let mut per_iter_secs = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        per_iter_secs.push(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    Measurement {
+        iters_per_sample: iters,
+        per_iter_secs,
+    }
+}
+
 /// Collect benchmark functions under one runner name.
 #[macro_export]
 macro_rules! criterion_group {
