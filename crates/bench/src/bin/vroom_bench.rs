@@ -7,7 +7,8 @@
 //! ```
 //!
 //! `micro` runs the microbenchmarks (URL join + intern, replay-store lookup,
-//! HPACK encode/decode, event-queue churn, a full single-site load) plus two
+//! HPACK encode/decode, HTTP/2 frame assembly, event-queue churn, a full
+//! single-site load) plus two
 //! end-to-end `run_all` measurements, and writes `BENCH_micro.json` and
 //! `BENCH_e2e.json` into the current directory through the canonical JSON
 //! codec (sorted keys, byte-deterministic layout — only the measured numbers
@@ -18,7 +19,11 @@
 //!
 //! `--check-against FILE` re-reads a committed `BENCH_micro.json` and exits
 //! non-zero if the fresh `full_single_site_load` median regressed more than
-//! 25% against it (the CI bench-smoke gate).
+//! 25% against it (the CI bench-smoke gate). `check-e2e FILE` gates the
+//! committed sites-4 `run_all` median against the ratcheted ceiling without
+//! re-measuring anything. Both exit 2 (after printing usage) when the file
+//! they need is missing or unreadable, so CI can tell a broken invocation
+//! from a real regression.
 //!
 //! This is wall-clock scaffolding and never runs inside the simulator;
 //! the simulation itself stays deterministic.
@@ -28,6 +33,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+use bytes::BytesMut;
 use criterion::{black_box, sample, Measurement};
 use vroom::experiment::run_all_report;
 use vroom::{run_load, ExperimentConfig, System};
@@ -47,32 +53,78 @@ use vroom_sim::{EventQueue, SimTime};
 const PRE_OPT_FULL_W1_MS: u64 = 16_177;
 const PRE_OPT_SITES4_W1_MS: u64 = 798;
 
-const USAGE: &str = "usage: vroom-bench micro [OPTIONS]
+const USAGE: &str = "usage: vroom-bench <micro [OPTIONS] | check-e2e FILE>
+  micro                  run the microbenchmarks and write BENCH_micro.json
+                         and BENCH_e2e.json into the current directory
   --iters N              samples per microbenchmark (default 10; e2e runs
                          take min(N, 5) samples since each is a full run_all)
   --check-against FILE   after measuring, compare the fresh
                          full_single_site_load median against the committed
                          BENCH_micro.json at FILE and exit 1 if it regressed
-                         by more than 25%";
+                         by more than 25% (exit 2 if FILE is missing or
+                         unreadable)
+  check-e2e FILE         read a committed BENCH_e2e.json at FILE and exit 1
+                         if runs.run_all_sites4_workers1.median_ms exceeds
+                         the ratcheted gate (exit 2 if FILE is missing or
+                         unreadable)";
+
+/// A CLI failure: the message to print and the exit code to die with.
+/// Code 1 is a measured or argument failure; code 2 is an unusable
+/// invocation (missing/unreadable baseline file), reported with usage.
+struct CliError {
+    message: String,
+    exit_code: i32,
+}
+
+impl CliError {
+    fn unusable(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            exit_code: 2,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError {
+            message,
+            exit_code: 1,
+        }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError::from(message.to_string())
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => {}
-        Err(message) => {
-            eprintln!("error: {message}");
+        Err(e) => {
+            eprintln!("error: {}", e.message);
             eprintln!("{USAGE}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code);
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
         return Err("missing subcommand".into());
     };
+    if command == "check-e2e" {
+        let path = args.get(1).ok_or("check-e2e takes a file path")?;
+        if args.len() > 2 {
+            return Err(format!("unexpected argument {:?}", args[2]).into());
+        }
+        return check_e2e_gate(path);
+    }
     if command != "micro" {
-        return Err(format!("unknown subcommand {command:?}"));
+        return Err(format!("unknown subcommand {command:?}").into());
     }
     let mut iters: u64 = 10;
     let mut check_against: Option<String> = None;
@@ -95,7 +147,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 );
                 i += 2;
             }
-            other => return Err(format!("unknown argument {other:?}")),
+            other => return Err(format!("unknown argument {other:?}").into()),
         }
     }
 
@@ -111,6 +163,43 @@ fn run(args: &[String]) -> Result<(), String> {
         check_regression(&path, &micro)?;
     }
     Ok(())
+}
+
+/// The CI e2e ratchet: fail if the committed sites-4 median exceeds the
+/// pre-optimization gate. A missing or unreadable file is an unusable
+/// invocation (exit 2), distinct from a genuine regression (exit 1).
+fn check_e2e_gate(path: &str) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::unusable(format!("read {path}: {e}")))?;
+    let root = Value::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let median = lookup_run_median(&root, "run_all_sites4_workers1")
+        .ok_or_else(|| format!("{path}: no runs.run_all_sites4_workers1.median_ms"))?;
+    let gate = PRE_OPT_SITES4_W1_MS as f64;
+    if median > gate {
+        return Err(format!(
+            "run_all_sites4_workers1 median {median:.1} ms exceeds the {gate:.0} ms gate"
+        )
+        .into());
+    }
+    println!("e2e gate ok: run_all_sites4_workers1 median {median:.1} ms <= {gate:.0} ms");
+    Ok(())
+}
+
+fn lookup_run_median(root: &Value, run: &str) -> Option<f64> {
+    let Value::Object(root) = root else {
+        return None;
+    };
+    let Value::Object(runs) = root.get("runs")? else {
+        return None;
+    };
+    let Value::Object(entry) = runs.get(run)? else {
+        return None;
+    };
+    match entry.get("median_ms")? {
+        Value::Float(f) => Some(*f),
+        Value::Int(n) => Some(*n as f64),
+        _ => None,
+    }
 }
 
 /// One finished benchmark: its raw measurement reduced to summary stats.
@@ -218,6 +307,23 @@ fn run_micro(samples: u64) -> Vec<BenchStats> {
         black_box(Decoder::new().decode(&wire).expect("valid block"))
     });
     out.push(stats("hpack_decode", &m));
+    report(out.last().expect("just pushed"));
+
+    // HTTP/2 frame assembly through the raw emitters: one HEADERS plus
+    // sixteen 1 KiB DATA frames written into a reused output buffer — the
+    // per-response framing work of the zero-copy wire path.
+    let fragment = Encoder::new().encode(&headers);
+    let payload = [0xa5u8; 1024];
+    let mut buf = BytesMut::with_capacity(32 * 1024);
+    let m = sample(samples, 1_000, || {
+        buf.clear();
+        vroom_http2::frame::encode_headers_raw(&mut buf, 1, &fragment, false, true);
+        for i in 0..16 {
+            vroom_http2::frame::encode_data_raw(&mut buf, 1, &payload, i == 15);
+        }
+        black_box(buf.len())
+    });
+    out.push(stats("h2_frame_assemble", &m));
     report(out.last().expect("just pushed"));
 
     // Event-queue churn: the simulator's core data structure under the
@@ -383,9 +489,9 @@ fn write_json(path: &str, v: Value) -> Result<(), String> {
 
 /// The CI bench-smoke gate: fail if the fresh `full_single_site_load`
 /// median exceeds the committed baseline's by more than 25%.
-fn check_regression(baseline_path: &str, fresh: &[BenchStats]) -> Result<(), String> {
-    let text =
-        std::fs::read_to_string(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
+fn check_regression(baseline_path: &str, fresh: &[BenchStats]) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| CliError::unusable(format!("read {baseline_path}: {e}")))?;
     let root = Value::parse(&text).map_err(|e| format!("parse {baseline_path}: {e}"))?;
     let baseline = lookup_median(&root, "full_single_site_load")
         .ok_or_else(|| format!("{baseline_path}: no benches.full_single_site_load.median_us"))?;
@@ -399,7 +505,8 @@ fn check_regression(baseline_path: &str, fresh: &[BenchStats]) -> Result<(), Str
         return Err(format!(
             "full_single_site_load regressed: {current:.1} us vs baseline {baseline:.1} us \
              (limit {limit:.1} us, +25%)"
-        ));
+        )
+        .into());
     }
     println!(
         "regression check ok: full_single_site_load {current:.1} us vs baseline {baseline:.1} us \
@@ -485,5 +592,48 @@ mod tests {
         assert!(run(&args(&["micro", "--iters", "many"])).is_err());
         assert!(run(&args(&["micro", "--check-against"])).is_err());
         assert!(run(&args(&["micro", "--bogus"])).is_err());
+        assert!(run(&args(&["check-e2e"])).is_err());
+        assert!(run(&args(&["check-e2e", "a.json", "extra"])).is_err());
+    }
+
+    #[test]
+    fn missing_baseline_files_exit_2_not_1() {
+        let missing = "/nonexistent/BENCH_micro.json";
+        let err = check_regression(missing, &[]).unwrap_err();
+        assert_eq!(err.exit_code, 2, "unreadable --check-against baseline");
+        let err = check_e2e_gate("/nonexistent/BENCH_e2e.json").unwrap_err();
+        assert_eq!(err.exit_code, 2, "unreadable check-e2e baseline");
+        // Argument errors stay exit 1 — only unusable files are exit 2.
+        let args: Vec<String> = vec!["frobnicate".to_string()];
+        assert_eq!(run(&args).unwrap_err().exit_code, 1);
+    }
+
+    #[test]
+    fn e2e_gate_trips_on_committed_median_above_ceiling() {
+        let write = |median_ms: f64| {
+            let v = e2e_json(&[E2eStats {
+                name: "run_all_sites4_workers1",
+                median_ms,
+                iqr_ms: 2.0,
+                samples: 3,
+                pre_optimization_median_ms: PRE_OPT_SITES4_W1_MS,
+            }]);
+            let mut text = String::new();
+            v.write_pretty_into(&mut text);
+            let path = std::env::temp_dir().join(format!(
+                "vroom-bench-gate-{}-{median_ms}.json",
+                std::process::id()
+            ));
+            std::fs::write(&path, text).expect("write temp baseline");
+            path
+        };
+        let ok = write(PRE_OPT_SITES4_W1_MS as f64 - 100.0);
+        assert!(check_e2e_gate(ok.to_str().unwrap()).is_ok());
+        let bad = write(PRE_OPT_SITES4_W1_MS as f64 + 100.0);
+        let err = check_e2e_gate(bad.to_str().unwrap()).unwrap_err();
+        assert_eq!(err.exit_code, 1, "a real regression is exit 1, not 2");
+        for p in [ok, bad] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 }

@@ -20,8 +20,8 @@
 use crate::config::{FetchPolicy, Hint, HttpVersion, LoadConfig};
 use crate::metrics::{LoadResult, ResourceTiming};
 use std::collections::{BTreeMap, VecDeque};
-use vroom_html::{ExecMode, ResourceKind, Url};
-use vroom_intern::UrlId;
+use vroom_html::{ExecMode, ResourceKind};
+use vroom_intern::{SharedStr, UrlId};
 use vroom_net::link::{SharedLink, TransferId};
 use vroom_net::profiles::NetworkProfile;
 use vroom_pages::{Page, ResourceId};
@@ -56,13 +56,13 @@ impl Target {
 enum Ev {
     /// A connection to a domain finished its handshake.
     ConnReady {
-        domain: String,
+        domain: SharedStr,
         conn: usize,
         epoch: u32,
     },
     /// A request reached the server.
     ServerArrival {
-        domain: String,
+        domain: SharedStr,
         conn: usize,
         epoch: u32,
         target: Target,
@@ -79,7 +79,7 @@ enum Ev {
     /// An injected fault kills a connection (GOAWAY semantics): every
     /// stream it carried is lost; the client reconnects and retries.
     ConnDropped {
-        domain: String,
+        domain: SharedStr,
         conn: usize,
         epoch: u32,
     },
@@ -97,7 +97,7 @@ enum Ev {
     /// A connection finished its slow-start tail and can carry the next
     /// response.
     ConnFree {
-        domain: String,
+        domain: SharedStr,
         conn: usize,
         epoch: u32,
     },
@@ -256,7 +256,7 @@ impl Cpu {
 /// One response currently occupying the shared link.
 #[derive(Debug)]
 struct Flight {
-    domain: String,
+    domain: SharedStr,
     conn: usize,
     /// Unordered (multiplexed) path: the target delivered on completion.
     /// `None` on the ordered path, where the connection queue's head is
@@ -295,8 +295,11 @@ struct Sim<'a> {
     uid_to_res: Vec<Option<ResourceId>>,
     /// Warm-cache entry per resource, resolved once at construction.
     warm: Vec<Option<crate::config::CacheEntry>>,
+    /// Each resource's host, deduplicated at construction so domain keys
+    /// and connection events are refcount bumps, never string copies.
+    res_domains: Vec<SharedStr>,
     rstate: Vec<RState>,
-    domains: BTreeMap<String, DomainState>,
+    domains: BTreeMap<SharedStr, DomainState>,
     transfers: BTreeMap<TransferId, Flight>,
     cpu: Cpu,
     html: BTreeMap<ResourceId, HtmlParse>,
@@ -349,6 +352,17 @@ impl<'a> Sim<'a> {
             .iter()
             .map(|r| cfg.warm_cache.get(&r.url).copied())
             .collect();
+        let mut host_index: BTreeMap<&str, SharedStr> = BTreeMap::new();
+        let res_domains: Vec<SharedStr> = page
+            .resources
+            .iter()
+            .map(|r| {
+                host_index
+                    .entry(r.url.host.as_str())
+                    .or_insert_with(|| SharedStr::from(r.url.host.as_str()))
+                    .share()
+            })
+            .collect();
         let fault_active = cfg.fault.is_active();
         let mut link = SharedLink::new(profile.downlink_bps);
         if fault_active {
@@ -365,6 +379,7 @@ impl<'a> Sim<'a> {
             res_uid,
             uid_to_res,
             warm,
+            res_domains,
             rstate: vec![RState::default(); page.len()],
             domains: BTreeMap::new(),
             transfers: BTreeMap::new(),
@@ -441,6 +456,7 @@ impl<'a> Sim<'a> {
                     !settled && *id < usize::MAX
                 })
                 .map(|(id, st)| {
+                    // vroom-lint: allow(hot-path-alloc) -- stall diagnostic: renders only when the load deadlocks and the assert fires
                     format!(
                         "#{id} {:?} req={:?} fetched={} inflight={} retrying={} attempts={}",
                         self.page.resources[id].kind,
@@ -470,10 +486,12 @@ impl<'a> Sim<'a> {
         self.last_event = upto;
     }
 
-    fn target_url(&self, t: &Target) -> &Url {
+    /// The target's domain from the per-resource / per-URL host caches:
+    /// a refcount bump, never a string copy.
+    fn domain_of(&self, t: &Target) -> SharedStr {
         match t {
-            Target::Real(id) => &self.page.resources[*id].url,
-            Target::Waste { url, .. } => self.cfg.urls.get(*url),
+            Target::Real(id) => self.res_domains[*id].share(),
+            Target::Waste { url, .. } => self.cfg.urls.host(*url).share(),
         }
     }
 
@@ -640,7 +658,7 @@ impl<'a> Sim<'a> {
             return; // nothing to waste when the network is free
         }
 
-        let domain = self.target_url(&target).host.clone();
+        let domain = self.domain_of(&target);
         let h1_limit = match self.cfg.http {
             HttpVersion::H1 { conns_per_domain } => Some(conns_per_domain),
             HttpVersion::H2 => None,
@@ -654,7 +672,7 @@ impl<'a> Sim<'a> {
         );
         let ds = self
             .domains
-            .entry(domain.clone())
+            .entry(domain.share())
             .or_insert_with(|| DomainState {
                 conns: Vec::new(),
                 pending: VecDeque::new(),
@@ -717,7 +735,7 @@ impl<'a> Sim<'a> {
     }
 
     /// H1: move pending requests onto free connections, best-first.
-    fn h1_dispatch(&mut self, domain: &str) {
+    fn h1_dispatch(&mut self, domain: &SharedStr) {
         loop {
             let Some(ds) = self.domains.get_mut(domain) else {
                 return;
@@ -747,7 +765,7 @@ impl<'a> Sim<'a> {
             self.queue.schedule(
                 self.now + ow,
                 Ev::ServerArrival {
-                    domain: domain.to_string(),
+                    domain: domain.share(),
                     conn: conn_idx,
                     epoch,
                     target,
@@ -892,6 +910,7 @@ impl<'a> Sim<'a> {
                 });
                 plan.push(Segment::AwaitScript {
                     js: c.id,
+                    // vroom-lint: allow(hot-path-alloc) -- plan construction runs once per HTML parse; css_deps is a handful of ids
                     css_deps: css_seen.clone(),
                 });
                 span_start = frac;
@@ -986,6 +1005,7 @@ impl<'a> Sim<'a> {
             return;
         };
         let js = *js;
+        // vroom-lint: allow(hot-path-alloc) -- ends the parse-plan borrow; a handful of ids per blocked script
         let css_deps = css_deps.clone();
         if self.rstate[js].failed {
             // Degradation: a script whose every fetch attempt failed cannot
@@ -1250,11 +1270,18 @@ impl<'a> Sim<'a> {
             return (full, false);
         }
         let (url, attempt) = match target {
-            Target::Real(id) => (
-                self.page.resources[*id].url.to_string(),
-                self.rstate[*id].attempts.max(1),
-            ),
-            Target::Waste { url, .. } => (self.cfg.urls.get(*url).to_string(), 1),
+            Target::Real(id) => {
+                let attempt = self.rstate[*id].attempts.max(1);
+                match self.res_uid[*id] {
+                    Some(uid) => (self.cfg.urls.full_url(uid).share(), attempt),
+                    None => (
+                        // vroom-lint: allow(hot-path-alloc) -- fault-injection fallback for resources the config never interned
+                        SharedStr::from(self.page.resources[*id].url.to_string()),
+                        attempt,
+                    ),
+                }
+            }
+            Target::Waste { url, .. } => (self.cfg.urls.full_url(*url).share(), 1),
         };
         match self.cfg.fault.truncation(&url, attempt) {
             Some(frac) => (((full as f64 * frac) as u64).max(1), true),
@@ -1262,7 +1289,7 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn start_next_response(&mut self, domain: &str, conn: usize) {
+    fn start_next_response(&mut self, domain: &SharedStr, conn: usize) {
         let Some(ds) = self.domains.get_mut(domain) else {
             return;
         };
@@ -1273,7 +1300,7 @@ impl<'a> Sim<'a> {
         let Some(head) = c.response_queue.front() else {
             return;
         };
-        let head = head.clone();
+        let head = *head;
         let (size, truncated) = self.faulted_size(&head);
         let rtt = self.profile.latency.rtt(domain);
         let penalty = {
@@ -1285,7 +1312,7 @@ impl<'a> Sim<'a> {
         self.transfers.insert(
             tid,
             Flight {
-                domain: domain.to_string(),
+                domain: domain.share(),
                 conn,
                 direct: None,
                 penalty,
@@ -1304,7 +1331,7 @@ impl<'a> Sim<'a> {
     /// Multiplexed (unordered) HTTP/2: each response is its own transfer,
     /// all sharing the link concurrently — stock server behaviour, as
     /// opposed to the ordered serving Vroom's modified replay server uses.
-    fn start_response_unordered(&mut self, domain: &str, conn: usize, target: Target) {
+    fn start_response_unordered(&mut self, domain: &SharedStr, conn: usize, target: Target) {
         let (size, truncated) = self.faulted_size(&target);
         let rtt = self.profile.latency.rtt(domain);
         let penalty = {
@@ -1313,16 +1340,12 @@ impl<'a> Sim<'a> {
         };
         let (tid, completed) = self.link.start(self.now, size);
         let ow = self.profile.latency.one_way(domain);
-        self.queue.schedule(
-            self.now + ow,
-            Ev::HeadersArrive {
-                target: target.clone(),
-            },
-        );
+        self.queue
+            .schedule(self.now + ow, Ev::HeadersArrive { target });
         self.transfers.insert(
             tid,
             Flight {
-                domain: domain.to_string(),
+                domain: domain.share(),
                 conn,
                 direct: Some(target),
                 penalty,
@@ -1371,7 +1394,7 @@ impl<'a> Sim<'a> {
             self.queue.schedule(
                 self.now + penalty,
                 Ev::ConnFree {
-                    domain: domain.clone(),
+                    domain: domain.share(),
                     conn,
                     epoch,
                 },
@@ -1379,7 +1402,7 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn on_conn_free(&mut self, domain: String, conn: usize, epoch: u32) {
+    fn on_conn_free(&mut self, domain: SharedStr, conn: usize, epoch: u32) {
         let Some(ds) = self.domains.get_mut(&domain) else {
             return;
         };
@@ -1470,7 +1493,7 @@ impl<'a> Sim<'a> {
     /// connection carried is lost; the socket re-handshakes with a bumped
     /// epoch (replacement connections are never re-dropped, so every load
     /// terminates).
-    fn on_conn_dropped(&mut self, domain: String, conn: usize, epoch: u32) {
+    fn on_conn_dropped(&mut self, domain: SharedStr, conn: usize, epoch: u32) {
         {
             let Some(ds) = self.domains.get_mut(&domain) else {
                 return;
@@ -1561,11 +1584,11 @@ impl<'a> Sim<'a> {
             }
         }
         // 2. Queued or sending on a connection (ordered path).
-        let mut found: Option<(String, usize, usize, bool)> = None;
+        let mut found: Option<(SharedStr, usize, usize, bool)> = None;
         'outer: for (domain, ds) in self.domains.iter() {
             for (ci, c) in ds.conns.iter().enumerate() {
                 if let Some(pos) = c.response_queue.iter().position(is_me) {
-                    found = Some((domain.clone(), ci, pos, pos == 0 && c.sending));
+                    found = Some((domain.share(), ci, pos, pos == 0 && c.sending));
                     break 'outer;
                 }
             }
@@ -1635,7 +1658,7 @@ impl<'a> Sim<'a> {
                         self.queue.schedule(
                             self.now + delay,
                             Ev::ConnDropped {
-                                domain: domain.clone(),
+                                domain: domain.share(),
                                 conn,
                                 epoch,
                             },
@@ -1651,7 +1674,7 @@ impl<'a> Sim<'a> {
                             self.queue.schedule(
                                 self.now + ow,
                                 Ev::ServerArrival {
-                                    domain: domain.clone(),
+                                    domain: domain.share(),
                                     conn,
                                     epoch,
                                     target,
@@ -1688,6 +1711,7 @@ impl<'a> Sim<'a> {
                     if let Target::Real(id) = &target {
                         if let Some(uid) = self.res_uid[*id] {
                             if let Some(pushes) = self.cfg.server.pushes.get(&uid) {
+                                // vroom-lint: allow(hot-path-alloc) -- one small Vec of Copy hints per pushed HTML document
                                 to_push = pushes.clone();
                             }
                         }
@@ -1854,6 +1878,7 @@ impl<'a> Sim<'a> {
                 }
             })
             .sum();
+        // vroom-lint: allow(hot-path-alloc) -- end-of-load metric computation, runs once per page load
         let mut paints = self.paints.clone();
         paints.sort_by_key(|(t, _)| *t);
         let aft = paints.last().map(|(t, _)| *t - t0).unwrap_or(plt);

@@ -6,6 +6,7 @@ use crate::huffman;
 use crate::integer;
 use crate::table::{self, DynamicTable};
 use crate::{Error, HeaderField};
+use vroom_intern::SharedStr;
 
 /// Default cap on the decoded header list (name + value + 32 per field),
 /// mirroring `SETTINGS_MAX_HEADER_LIST_SIZE` semantics.
@@ -16,6 +17,10 @@ pub const DEFAULT_MAX_HEADER_LIST_SIZE: usize = 64 * 1024;
 pub struct Decoder {
     table: DynamicTable,
     max_header_list_size: usize,
+    /// Reused string-decode workspace: Huffman expansion and plain copies
+    /// land here, so each literal string costs exactly one allocation (the
+    /// final [`SharedStr`]) once the buffer has warmed up.
+    scratch: Vec<u8>,
 }
 
 impl Default for Decoder {
@@ -30,6 +35,7 @@ impl Decoder {
         Decoder {
             table: DynamicTable::default(),
             max_header_list_size: DEFAULT_MAX_HEADER_LIST_SIZE,
+            scratch: Vec::new(),
         }
     }
 
@@ -63,19 +69,21 @@ impl Decoder {
         let mut seen_field = false;
         while let Some(&first) = buf.first() {
             let field = if first & 0b1000_0000 != 0 {
-                // Indexed header field.
+                // Indexed header field: refcounted handles to the table's
+                // bytes, no copy.
                 let (idx, used) = integer::decode(buf, 7)?;
                 buf = buf.get(used..).ok_or(Error::Truncated)?;
-                let (name, value) =
-                    table::resolve(&self.table, idx as usize).ok_or(Error::InvalidIndex(idx))?;
+                let (name, value) = table::resolve_shared(&self.table, idx as usize)
+                    .ok_or(Error::InvalidIndex(idx))?;
                 seen_field = true;
                 HeaderField::new(name, value)
             } else if first & 0b0100_0000 != 0 {
-                // Literal with incremental indexing.
+                // Literal with incremental indexing; the table insert shares
+                // the freshly decoded strings.
                 let (name, value) = self.read_literal(&mut buf, 6)?;
-                self.table.insert(name.clone(), value.clone());
+                self.table.insert(name.share(), value.share());
                 seen_field = true;
-                HeaderField::new(&name, &value)
+                HeaderField::new(name, value)
             } else if first & 0b0010_0000 != 0 {
                 // Dynamic table size update — only before the first field.
                 if seen_field {
@@ -92,7 +100,7 @@ impl Decoder {
                 let sensitive = first & 0b0001_0000 != 0;
                 let (name, value) = self.read_literal(&mut buf, 4)?;
                 seen_field = true;
-                let mut f = HeaderField::new(&name, &value);
+                let mut f = HeaderField::new(name, value);
                 f.sensitive = sensitive;
                 f
             };
@@ -106,23 +114,29 @@ impl Decoder {
     }
 
     /// Read a literal field body: optional name index (at `prefix` bits),
-    /// then name string if index was 0, then value string.
-    fn read_literal(&mut self, buf: &mut &[u8], prefix: u8) -> Result<(String, String), Error> {
+    /// then name string if index was 0, then value string. An indexed name
+    /// is a refcounted handle to the table's bytes.
+    fn read_literal(
+        &mut self,
+        buf: &mut &[u8],
+        prefix: u8,
+    ) -> Result<(SharedStr, SharedStr), Error> {
         let (name_idx, used) = integer::decode(buf, prefix)?;
         *buf = buf.get(used..).ok_or(Error::Truncated)?;
         let name = if name_idx == 0 {
             self.read_string(buf)?
         } else {
-            table::resolve(&self.table, name_idx as usize)
+            table::resolve_shared(&self.table, name_idx as usize)
                 .ok_or(Error::InvalidIndex(name_idx))?
                 .0
-                .to_owned()
         };
         let value = self.read_string(buf)?;
         Ok((name, value))
     }
 
-    fn read_string(&self, buf: &mut &[u8]) -> Result<String, Error> {
+    /// Decode one string literal via the reused scratch buffer: the only
+    /// allocation is the returned [`SharedStr`].
+    fn read_string(&mut self, buf: &mut &[u8]) -> Result<SharedStr, Error> {
         let first = *buf.first().ok_or(Error::Truncated)?;
         let huffman_coded = first & 0b1000_0000 != 0;
         let (len, used) = integer::decode(buf, 7)?;
@@ -133,14 +147,14 @@ impl Decoder {
         }
         let (body, rest) = buf.split_at(len);
         *buf = rest;
-        let bytes = if huffman_coded {
-            let mut decoded = Vec::with_capacity(len * 2);
-            huffman::decode(body, &mut decoded)?;
-            decoded
+        self.scratch.clear();
+        if huffman_coded {
+            huffman::decode(body, &mut self.scratch)?;
         } else {
-            body.to_vec()
-        };
-        String::from_utf8(bytes).map_err(|_| Error::InvalidString)
+            self.scratch.extend_from_slice(body);
+        }
+        let s = std::str::from_utf8(&self.scratch).map_err(|_| Error::InvalidString)?;
+        Ok(SharedStr::from(s))
     }
 }
 

@@ -102,7 +102,8 @@ impl Encoder {
             self.encode_string(&h.name, out);
         }
         self.encode_string(&h.value, out);
-        self.table.insert(h.name.clone(), h.value.clone());
+        // Refcount bumps: the table entry shares the field's bytes.
+        self.table.insert(h.name.share(), h.value.share());
     }
 
     fn encode_string(&self, s: &str, out: &mut Vec<u8>) {

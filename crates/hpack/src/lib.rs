@@ -45,21 +45,26 @@ pub use decoder::Decoder;
 pub use encoder::Encoder;
 
 use core::fmt;
+use vroom_intern::SharedStr;
 
 /// One HTTP header field as seen by HPACK.
+///
+/// Name and value are refcounted [`SharedStr`]s: handing a field from the
+/// decoder to the connection to the application — or from a table hit back
+/// to the caller — bumps a count instead of copying header bytes.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct HeaderField {
     /// Field name (lower-case by HTTP/2 convention; not enforced here).
-    pub name: String,
+    pub name: SharedStr,
     /// Field value.
-    pub value: String,
+    pub value: SharedStr,
     /// Whether the field must never be indexed (RFC 7541 §7.1.3).
     pub sensitive: bool,
 }
 
 impl HeaderField {
     /// A regular (indexable) field.
-    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<SharedStr>, value: impl Into<SharedStr>) -> Self {
         HeaderField {
             name: name.into(),
             value: value.into(),
@@ -68,7 +73,7 @@ impl HeaderField {
     }
 
     /// A field that must be encoded never-indexed (e.g. credentials).
-    pub fn sensitive(name: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn sensitive(name: impl Into<SharedStr>, value: impl Into<SharedStr>) -> Self {
         HeaderField {
             name: name.into(),
             value: value.into(),
@@ -126,8 +131,8 @@ mod proptests {
         let name = proptest::string::string_regex("[a-z][a-z0-9-]{0,30}").unwrap();
         let value = proptest::string::string_regex("[ -~]{0,120}").unwrap();
         (name, value, any::<bool>()).prop_map(|(n, v, s)| HeaderField {
-            name: n,
-            value: v,
+            name: n.into(),
+            value: v.into(),
             sensitive: s,
         })
     }

@@ -2,6 +2,8 @@
 //! bounded FIFO dynamic table with size-based eviction.
 
 use std::collections::VecDeque;
+use std::sync::OnceLock;
+use vroom_intern::SharedStr;
 
 /// The static table, RFC 7541 Appendix A. Index 1 is `STATIC_TABLE[0]`.
 pub const STATIC_TABLE: [(&str, &str); 61] = [
@@ -74,11 +76,12 @@ pub const ENTRY_OVERHEAD: usize = 32;
 /// Default `SETTINGS_HEADER_TABLE_SIZE` (RFC 7540 §6.5.2).
 pub const DEFAULT_MAX_SIZE: usize = 4096;
 
-/// One dynamic-table entry.
+/// One dynamic-table entry. Fields are refcounted so inserting a decoded or
+/// encoded header shares its bytes with the caller instead of copying them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Entry {
-    pub name: String,
-    pub value: String,
+    pub name: SharedStr,
+    pub value: SharedStr,
 }
 
 impl Entry {
@@ -163,7 +166,7 @@ impl DynamicTable {
 
     /// Insert at the head, evicting from the tail as needed (RFC 7541 §4.4).
     /// An entry larger than the whole table empties the table.
-    pub fn insert(&mut self, name: String, value: String) {
+    pub fn insert(&mut self, name: SharedStr, value: SharedStr) {
         let entry = Entry { name, value };
         let esize = entry.size();
         if esize > self.max_size {
@@ -226,6 +229,32 @@ pub fn resolve(table: &DynamicTable, index: usize) -> Option<(&str, &str)> {
     }
 }
 
+/// The static table as `SharedStr`s, built once per process so indexed
+/// fields resolve to refcount bumps rather than fresh allocations.
+fn static_shared() -> &'static [(SharedStr, SharedStr)] {
+    static SHARED: OnceLock<Vec<(SharedStr, SharedStr)>> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        STATIC_TABLE
+            .iter()
+            .map(|&(n, v)| (SharedStr::from(n), SharedStr::from(v)))
+            .collect()
+    })
+}
+
+/// Like [`resolve`], but returns owned handles sharing the table's storage:
+/// no header bytes are copied on either the static or the dynamic path.
+pub fn resolve_shared(table: &DynamicTable, index: usize) -> Option<(SharedStr, SharedStr)> {
+    if index == 0 {
+        return None;
+    }
+    if let Some((n, v)) = static_shared().get(index - 1) {
+        return Some((n.share(), v.share()));
+    }
+    table
+        .get(index - STATIC_TABLE.len())
+        .map(|e| (e.name.share(), e.value.share()))
+}
+
 /// Search static then dynamic table for an exact match; returns the combined
 /// index.
 pub fn find(table: &DynamicTable, name: &str, value: &str) -> Option<usize> {
@@ -286,7 +315,7 @@ mod tests {
     fn oversized_entry_clears_table() {
         let mut t = DynamicTable::new(40);
         t.insert("a".into(), "1".into());
-        t.insert("x".repeat(64), "y".into());
+        t.insert("x".repeat(64).into(), "y".into());
         assert!(t.is_empty());
         assert_eq!(t.size(), 0);
     }
@@ -295,7 +324,7 @@ mod tests {
     fn set_max_size_evicts_and_respects_limit() {
         let mut t = DynamicTable::new(4096);
         for i in 0..10 {
-            t.insert(format!("h{i}"), "v".into());
+            t.insert(format!("h{i}").into(), "v".into());
         }
         assert!(t.set_max_size(35 * 2)); // fits two small entries
         assert!(t.len() <= 2);
@@ -319,6 +348,23 @@ mod tests {
         assert_eq!(resolve(&t, 62), Some(("x-vroom", "1")));
         assert_eq!(resolve(&t, 0), None);
         assert_eq!(resolve(&t, 63), None);
+    }
+
+    #[test]
+    fn resolve_shared_shares_table_storage() {
+        let mut t = DynamicTable::new(4096);
+        t.insert("x-vroom".into(), "1".into());
+        let (n, v) = resolve_shared(&t, 62).unwrap();
+        assert_eq!(n, "x-vroom");
+        assert_eq!(v, "1");
+        assert_eq!(
+            n.as_str().as_ptr(),
+            t.get(1).unwrap().name.as_str().as_ptr(),
+            "dynamic hit shares the entry's bytes"
+        );
+        assert_eq!(resolve_shared(&t, 2).unwrap().0, ":method");
+        assert_eq!(resolve_shared(&t, 0), None);
+        assert_eq!(resolve_shared(&t, 63), None);
     }
 
     #[test]

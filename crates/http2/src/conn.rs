@@ -9,7 +9,7 @@
 //! types only).
 
 use crate::error::{ConnectionError, ErrorCode};
-use crate::frame::{Frame, FrameCodec, PrioritySpec};
+use crate::frame::{self, Frame, FrameCodec, PrioritySpec};
 use crate::headers::{Request, Response};
 use crate::settings::Settings;
 use crate::stream::{Stream, StreamState};
@@ -83,13 +83,14 @@ pub enum Event {
 }
 
 /// In-progress header block (HEADERS/PUSH_PROMISE awaiting CONTINUATION).
+/// The accumulated fragment bytes live in [`Connection::cont_buf`], which is
+/// reused across header blocks.
 #[derive(Debug)]
 struct ContState {
     stream_id: u32,
     /// `Some(promised_id)` when accumulating a PUSH_PROMISE block.
     promised: Option<u32>,
     end_stream: bool,
-    buf: Vec<u8>,
 }
 
 /// A sans-IO HTTP/2 connection.
@@ -110,6 +111,12 @@ pub struct Connection {
     events: VecDeque<Event>,
     preface_remaining: usize,
     cont: Option<ContState>,
+    /// Reused accumulator for header blocks split across CONTINUATION
+    /// frames — no per-block allocation once warmed up.
+    cont_buf: Vec<u8>,
+    /// Reused HPACK encode scratch: header blocks are encoded here, then
+    /// framed directly into `out` from slices of this buffer.
+    enc_buf: Vec<u8>,
     local_settings_acked: bool,
     goaway_sent: bool,
     goaway_received: bool,
@@ -155,6 +162,8 @@ impl Connection {
             events: VecDeque::new(),
             preface_remaining: 0,
             cont: None,
+            cont_buf: Vec::new(),
+            enc_buf: Vec::new(),
             local_settings_acked: false,
             goaway_sent: false,
             goaway_received: false,
@@ -297,8 +306,7 @@ impl Connection {
                     entries: vec![],
                 }
                 .encode(&mut self.out);
-                self.events
-                    .push_back(Event::PeerSettings(self.peer.clone()));
+                self.events.push_back(Event::PeerSettings(self.peer));
             }
             Frame::Ping {
                 ack: false,
@@ -369,11 +377,12 @@ impl Connection {
                 if end_headers {
                     self.finish_header_block(stream_id, None, end_stream, &fragment)?;
                 } else {
+                    self.cont_buf.clear();
+                    self.cont_buf.extend_from_slice(&fragment);
                     self.cont = Some(ContState {
                         stream_id,
                         promised: None,
                         end_stream,
-                        buf: fragment.to_vec(),
                     });
                 }
             }
@@ -397,11 +406,12 @@ impl Connection {
                         &fragment,
                     )?;
                 } else {
+                    self.cont_buf.clear();
+                    self.cont_buf.extend_from_slice(&fragment);
                     self.cont = Some(ContState {
                         stream_id,
                         promised: Some(promised_stream_id),
                         end_stream: false,
-                        buf: fragment.to_vec(),
                     });
                 }
             }
@@ -410,20 +420,25 @@ impl Connection {
                 fragment,
                 end_headers,
             } => {
-                let Some(cont) = &mut self.cont else {
+                let Some(cont) = &self.cont else {
                     return Err(ConnectionError::protocol("CONTINUATION without HEADERS"));
                 };
                 debug_assert_eq!(cont.stream_id, stream_id);
-                cont.buf.extend_from_slice(&fragment);
+                self.cont_buf.extend_from_slice(&fragment);
                 if end_headers {
                     if let Some(cont) = self.cont.take() {
-                        let buf = Bytes::from(cont.buf);
-                        self.finish_header_block(
+                        // Move the accumulator out for the duration of the
+                        // call (finish_header_block needs `&mut self`), then
+                        // put it back so its capacity is reused.
+                        let buf = std::mem::take(&mut self.cont_buf);
+                        let res = self.finish_header_block(
                             cont.stream_id,
                             cont.promised,
                             cont.end_stream,
                             &buf,
-                        )?;
+                        );
+                        self.cont_buf = buf;
+                        res?;
                     }
                 }
             }
@@ -535,6 +550,7 @@ impl Connection {
         let is_new = !self.streams.contains_key(&stream_id);
         if is_new {
             if self.is_local_stream(stream_id) {
+                // vroom-lint: allow(hot-path-alloc) -- cold protocol-error path: renders the message for a rejected peer
                 return Err(ConnectionError::protocol(format!(
                     "peer opened stream {stream_id} with our parity"
                 )));
@@ -574,6 +590,7 @@ impl Connection {
         let Some(s) = self.streams.get_mut(&stream_id) else {
             return Err(ConnectionError::new(
                 ErrorCode::InternalError,
+                // vroom-lint: allow(hot-path-alloc) -- cold internal-error path: the stream map was just checked
                 format!("stream {stream_id} vanished during header processing"),
             ));
         };
@@ -607,6 +624,7 @@ impl Connection {
         Frame::Goaway {
             last_stream_id: self.highest_peer_stream,
             code,
+            // vroom-lint: allow(hot-path-alloc) -- cold shutdown path: at most one GOAWAY per connection lifetime
             debug: Bytes::copy_from_slice(reason.as_bytes()),
         }
         .encode(&mut self.out);
@@ -699,52 +717,30 @@ impl Connection {
             ),
         );
         let fields = request.to_fields();
-        let fragment = Bytes::from(self.hpack_enc.encode(&fields));
+        self.enc_buf.clear();
+        self.hpack_enc.encode_into(&fields, &mut self.enc_buf);
         // PUSH_PROMISE fragments are small; we do not split them.
-        Frame::PushPromise {
-            stream_id,
-            promised_stream_id: promised,
-            fragment,
-            end_headers: true,
-        }
-        .encode(&mut self.out);
+        frame::encode_push_promise_raw(&mut self.out, stream_id, promised, &self.enc_buf);
         Ok(promised)
     }
 
     fn send_header_block(&mut self, stream_id: u32, fields: &[HeaderField], end_stream: bool) {
-        let block = self.hpack_enc.encode(fields);
+        // Encode into the reused scratch, then frame directly from its
+        // slices — the only copy is into the output buffer itself.
+        self.enc_buf.clear();
+        self.hpack_enc.encode_into(fields, &mut self.enc_buf);
         let max = self.peer.max_frame_size as usize;
-        if block.len() <= max {
-            Frame::Headers {
-                stream_id,
-                fragment: Bytes::from(block),
-                end_stream,
-                end_headers: true,
-                priority: None,
-            }
-            .encode(&mut self.out);
+        if self.enc_buf.len() <= max {
+            frame::encode_headers_raw(&mut self.out, stream_id, &self.enc_buf, end_stream, true);
             return;
         }
-        let mut chunks = block.chunks(max);
-        let Some(first) = chunks.next() else {
-            return; // empty block was already handled above
-        };
-        Frame::Headers {
-            stream_id,
-            fragment: Bytes::copy_from_slice(first),
-            end_stream,
-            end_headers: false,
-            priority: None,
-        }
-        .encode(&mut self.out);
-        let rest: Vec<&[u8]> = chunks.collect();
-        for (i, chunk) in rest.iter().enumerate() {
-            Frame::Continuation {
-                stream_id,
-                fragment: Bytes::copy_from_slice(chunk),
-                end_headers: i == rest.len() - 1,
+        let last = self.enc_buf.len().div_ceil(max) - 1;
+        for (i, chunk) in self.enc_buf.chunks(max).enumerate() {
+            if i == 0 {
+                frame::encode_headers_raw(&mut self.out, stream_id, chunk, end_stream, false);
+            } else {
+                frame::encode_continuation_raw(&mut self.out, stream_id, chunk, i == last);
             }
-            .encode(&mut self.out);
         }
     }
 
@@ -774,13 +770,7 @@ impl Connection {
 
         if data.is_empty() {
             if end_stream {
-                Frame::Data {
-                    stream_id,
-                    data: Bytes::new(),
-                    end_stream: true,
-                    pad_len: 0,
-                }
-                .encode(&mut self.out);
+                frame::encode_data_raw(&mut self.out, stream_id, &[], true);
                 s.on_send_end_stream();
             }
             return Ok(0);
@@ -791,13 +781,13 @@ impl Connection {
             let n = (budget - sent).min(max_frame);
             let last_byte = sent + n == data.len();
             let fin = end_stream && last_byte;
-            Frame::Data {
+            // One copy, caller's slice straight into the output buffer.
+            frame::encode_data_raw(
+                &mut self.out,
                 stream_id,
-                data: Bytes::copy_from_slice(data.get(sent..sent + n).unwrap_or_default()),
-                end_stream: fin,
-                pad_len: 0,
-            }
-            .encode(&mut self.out);
+                data.get(sent..sent + n).unwrap_or_default(),
+                fin,
+            );
             s.send_window.consume(n as u32);
             self.conn_send.consume(n as u32);
             sent += n;

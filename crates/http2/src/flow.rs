@@ -50,6 +50,7 @@ impl FlowWindow {
     /// overran the window we advertised.
     pub fn try_consume(&mut self, n: u32) -> Result<(), ConnectionError> {
         if (n as i64) > self.available {
+            // vroom-lint: allow(hot-path-alloc) -- cold protocol-error path: renders the message for a rejected peer
             return Err(ConnectionError::flow_control(format!(
                 "peer sent {n} bytes with only {} window",
                 self.available
@@ -64,6 +65,7 @@ impl FlowWindow {
     pub fn expand(&mut self, n: u32) -> Result<(), ConnectionError> {
         let next = self.available + n as i64;
         if next > MAX_WINDOW_SIZE as i64 {
+            // vroom-lint: allow(hot-path-alloc) -- cold protocol-error path: renders the message for a rejected peer
             return Err(ConnectionError::flow_control(format!(
                 "window would reach {next}"
             )));

@@ -293,6 +293,66 @@ impl Frame {
     }
 }
 
+/// Emit a DATA frame for `data` directly into `out`: one copy into the
+/// send buffer, no intermediate `Bytes` allocation. The hot send paths use
+/// these raw emitters; [`Frame::encode`] remains for control frames and for
+/// re-encoding decoded frames.
+pub fn encode_data_raw(out: &mut BytesMut, stream_id: u32, data: &[u8], end_stream: bool) {
+    let f = if end_stream { flags::END_STREAM } else { 0 };
+    put_header(out, data.len(), FrameType::Data, f, stream_id);
+    out.extend_from_slice(data);
+}
+
+/// Emit a HEADERS frame carrying `fragment` directly into `out` (no
+/// priority fields — we never send prioritized HEADERS).
+pub fn encode_headers_raw(
+    out: &mut BytesMut,
+    stream_id: u32,
+    fragment: &[u8],
+    end_stream: bool,
+    end_headers: bool,
+) {
+    let mut f = 0;
+    if end_stream {
+        f |= flags::END_STREAM;
+    }
+    if end_headers {
+        f |= flags::END_HEADERS;
+    }
+    put_header(out, fragment.len(), FrameType::Headers, f, stream_id);
+    out.extend_from_slice(fragment);
+}
+
+/// Emit a CONTINUATION frame carrying `fragment` directly into `out`.
+pub fn encode_continuation_raw(
+    out: &mut BytesMut,
+    stream_id: u32,
+    fragment: &[u8],
+    end_headers: bool,
+) {
+    let f = if end_headers { flags::END_HEADERS } else { 0 };
+    put_header(out, fragment.len(), FrameType::Continuation, f, stream_id);
+    out.extend_from_slice(fragment);
+}
+
+/// Emit a complete (END_HEADERS) PUSH_PROMISE frame directly into `out`.
+pub fn encode_push_promise_raw(
+    out: &mut BytesMut,
+    stream_id: u32,
+    promised_stream_id: u32,
+    fragment: &[u8],
+) {
+    put_header(
+        out,
+        fragment.len() + 4,
+        FrameType::PushPromise,
+        flags::END_HEADERS,
+        stream_id,
+    );
+    out.put_u32(promised_stream_id & 0x7fff_ffff);
+    out.extend_from_slice(fragment);
+}
+
 fn put_header(out: &mut BytesMut, len: usize, ty: FrameType, flags: u8, stream_id: u32) {
     debug_assert!(len < 1 << 24, "frame too large: {len}");
     out.put_u8((len >> 16) as u8);
@@ -339,6 +399,7 @@ impl FrameCodec {
         };
         let len = ((l0 as usize) << 16) | ((l1 as usize) << 8) | l2 as usize;
         if len as u32 > self.max_frame_size {
+            // vroom-lint: allow(hot-path-alloc) -- cold protocol-error path: renders the message for a rejected peer
             return Err(ConnectionError::frame_size(format!(
                 "frame of {len} bytes exceeds max {}",
                 self.max_frame_size
@@ -550,6 +611,50 @@ mod tests {
         let got = codec.decode(&mut buf).unwrap().expect("complete frame");
         assert!(buf.is_empty(), "no leftover bytes");
         got
+    }
+
+    #[test]
+    fn raw_emitters_match_frame_encode() {
+        let mut via_frame = BytesMut::new();
+        let mut via_raw = BytesMut::new();
+
+        Frame::Data {
+            stream_id: 3,
+            data: Bytes::from_static(b"body"),
+            end_stream: true,
+            pad_len: 0,
+        }
+        .encode(&mut via_frame);
+        encode_data_raw(&mut via_raw, 3, b"body", true);
+
+        Frame::Headers {
+            stream_id: 5,
+            fragment: Bytes::from_static(&[0x82, 0x86]),
+            end_stream: false,
+            end_headers: true,
+            priority: None,
+        }
+        .encode(&mut via_frame);
+        encode_headers_raw(&mut via_raw, 5, &[0x82, 0x86], false, true);
+
+        Frame::Continuation {
+            stream_id: 5,
+            fragment: Bytes::from_static(&[0x84]),
+            end_headers: false,
+        }
+        .encode(&mut via_frame);
+        encode_continuation_raw(&mut via_raw, 5, &[0x84], false);
+
+        Frame::PushPromise {
+            stream_id: 1,
+            promised_stream_id: 2,
+            fragment: Bytes::from_static(&[0x82]),
+            end_headers: true,
+        }
+        .encode(&mut via_frame);
+        encode_push_promise_raw(&mut via_raw, 1, 2, &[0x82]);
+
+        assert_eq!(&via_raw[..], &via_frame[..]);
     }
 
     #[test]

@@ -103,10 +103,10 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, H1Error> {
         .map(|h| h.value.clone())
         .unwrap_or_default();
     let req = Request {
-        method: method.to_string(),
+        method: method.into(),
         scheme: "https".into(),
         authority,
-        path: path.to_string(),
+        path: path.into(),
         headers: headers.into_iter().filter(|h| h.name != "host").collect(),
     };
     // GET/HEAD carry no body in our usage.

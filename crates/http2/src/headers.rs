@@ -3,7 +3,9 @@
 //! paper adds (Table 1).
 
 use crate::error::ConnectionError;
+use std::sync::OnceLock;
 use vroom_hpack::HeaderField;
+use vroom_intern::SharedStr;
 
 /// Vroom's dependency-hint header names (paper Table 1), in decreasing
 /// priority order. `link` carries `rel=preload` entries for resources that
@@ -21,23 +23,26 @@ pub mod hint_headers {
 }
 
 /// An HTTP request as carried over HTTP/2.
+///
+/// Pseudo-header values are refcounted [`SharedStr`]s, so serializing to
+/// HPACK fields and parsing back shares bytes instead of copying them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// `:method`.
-    pub method: String,
+    pub method: SharedStr,
     /// `:scheme`.
-    pub scheme: String,
+    pub scheme: SharedStr,
     /// `:authority` (the domain).
-    pub authority: String,
+    pub authority: SharedStr,
     /// `:path`.
-    pub path: String,
+    pub path: SharedStr,
     /// Regular header fields, in order.
     pub headers: Vec<HeaderField>,
 }
 
 impl Request {
     /// A GET request for `https://{authority}{path}`.
-    pub fn get(authority: impl Into<String>, path: impl Into<String>) -> Self {
+    pub fn get(authority: impl Into<SharedStr>, path: impl Into<SharedStr>) -> Self {
         Request {
             method: "GET".into(),
             scheme: "https".into(),
@@ -49,7 +54,7 @@ impl Request {
 
     /// Attach a cookie header (Vroom: only ever for the request's own
     /// domain — the client never shares cross-domain cookies).
-    pub fn with_cookie(mut self, cookie: impl Into<String>) -> Self {
+    pub fn with_cookie(mut self, cookie: impl Into<SharedStr>) -> Self {
         self.headers
             .push(HeaderField::sensitive("cookie", cookie.into()));
         self
@@ -62,13 +67,15 @@ impl Request {
     }
 
     /// Serialize to an HPACK field list (pseudo-headers first, §8.1.2.1).
+    /// Every field shares this request's bytes.
     pub fn to_fields(&self) -> Vec<HeaderField> {
         let mut out = vec![
-            HeaderField::new(":method", &self.method),
-            HeaderField::new(":scheme", &self.scheme),
-            HeaderField::new(":authority", &self.authority),
-            HeaderField::new(":path", &self.path),
+            HeaderField::new(":method", self.method.share()),
+            HeaderField::new(":scheme", self.scheme.share()),
+            HeaderField::new(":authority", self.authority.share()),
+            HeaderField::new(":path", self.path.share()),
         ];
+        // vroom-lint: allow(hot-path-alloc) -- HeaderField::clone is two refcount bumps and a flag, never a byte copy
         out.extend(self.headers.iter().cloned());
         out
     }
@@ -87,12 +94,14 @@ impl Request {
                 ":authority" => &mut authority,
                 ":path" => &mut path,
                 other => {
+                    // vroom-lint: allow(hot-path-alloc) -- cold protocol-error path: renders the message for a rejected block
                     return Err(ConnectionError::protocol(format!(
                         "unknown request pseudo-header {other}"
-                    )))
+                    )));
                 }
             };
-            if slot.replace(f.value.clone()).is_some() {
+            if slot.replace(f.value.share()).is_some() {
+                // vroom-lint: allow(hot-path-alloc) -- cold protocol-error path: renders the message for a rejected block
                 return Err(ConnectionError::protocol(format!(
                     "duplicate pseudo-header {}",
                     f.name
@@ -151,7 +160,8 @@ impl Response {
 
     /// Serialize to an HPACK field list.
     pub fn to_fields(&self) -> Vec<HeaderField> {
-        let mut out = vec![HeaderField::new(":status", self.status.to_string())];
+        let mut out = vec![HeaderField::new(":status", status_text(self.status))];
+        // vroom-lint: allow(hot-path-alloc) -- HeaderField::clone is two refcount bumps and a flag, never a byte copy
         out.extend(self.headers.iter().cloned());
         out
     }
@@ -162,17 +172,17 @@ impl Response {
         let mut status = None;
         for f in pseudo {
             if f.name != ":status" {
+                // vroom-lint: allow(hot-path-alloc) -- cold protocol-error path: renders the message for a rejected block
                 return Err(ConnectionError::protocol(format!(
                     "unknown response pseudo-header {}",
                     f.name
                 )));
             }
             if status
-                .replace(
-                    f.value.parse::<u16>().map_err(|_| {
-                        ConnectionError::protocol(format!("bad :status {:?}", f.value))
-                    })?,
-                )
+                .replace(f.value.parse::<u16>().map_err(|_| {
+                    // vroom-lint: allow(hot-path-alloc) -- cold protocol-error path: renders the message for a rejected block
+                    ConnectionError::protocol(format!("bad :status {:?}", f.value))
+                })?)
                 .is_some()
             {
                 return Err(ConnectionError::protocol("duplicate :status"));
@@ -182,6 +192,28 @@ impl Response {
             status: status.ok_or_else(|| ConnectionError::protocol(":status missing"))?,
             headers: regular,
         })
+    }
+}
+
+/// `:status` rendering without a per-response allocation for the codes the
+/// HPACK static table also carries; anything rarer is rendered per call.
+fn status_text(status: u16) -> SharedStr {
+    static COMMON: OnceLock<[(u16, SharedStr); 7]> = OnceLock::new();
+    let common = COMMON.get_or_init(|| {
+        [
+            (200, "200".into()),
+            (204, "204".into()),
+            (206, "206".into()),
+            (304, "304".into()),
+            (400, "400".into()),
+            (404, "404".into()),
+            (500, "500".into()),
+        ]
+    });
+    match common.iter().find(|(c, _)| *c == status) {
+        Some((_, s)) => s.share(),
+        // vroom-lint: allow(hot-path-alloc) -- uncommon status code: rendered once per response, off the cached fast path
+        None => SharedStr::from(status.to_string()),
     }
 }
 
@@ -204,12 +236,14 @@ fn split_pseudo(
             pseudo.push(f);
         } else {
             if f.name.chars().any(|c| c.is_ascii_uppercase()) {
+                // vroom-lint: allow(hot-path-alloc) -- cold protocol-error path: renders the message for a rejected block
                 return Err(ConnectionError::protocol(format!(
                     "upper-case header name {:?}",
                     f.name
                 )));
             }
             seen_regular = true;
+            // vroom-lint: allow(hot-path-alloc) -- HeaderField::clone is two refcount bumps and a flag, never a byte copy
             regular.push(f.clone());
         }
     }

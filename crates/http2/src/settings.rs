@@ -28,7 +28,7 @@ pub mod ids {
 }
 
 /// A complete, validated settings state.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Settings {
     /// HPACK dynamic table ceiling we allow the peer's encoder.
     pub header_table_size: u32,
@@ -80,13 +80,17 @@ impl Settings {
                         0 => false,
                         1 => true,
                         _ => {
-                            return Err(ConnectionError::protocol(format!("ENABLE_PUSH = {value}")))
+                            // vroom-lint: allow(hot-path-alloc) -- cold protocol-error path: renders the message for a rejected peer
+                            return Err(ConnectionError::protocol(format!(
+                                "ENABLE_PUSH = {value}"
+                            )));
                         }
                     }
                 }
                 ids::MAX_CONCURRENT_STREAMS => self.max_concurrent_streams = Some(value),
                 ids::INITIAL_WINDOW_SIZE => {
                     if value > MAX_WINDOW_SIZE {
+                        // vroom-lint: allow(hot-path-alloc) -- cold protocol-error path: renders the message for a rejected peer
                         return Err(ConnectionError::flow_control(format!(
                             "INITIAL_WINDOW_SIZE = {value}"
                         )));
@@ -95,6 +99,7 @@ impl Settings {
                 }
                 ids::MAX_FRAME_SIZE => {
                     if !(DEFAULT_MAX_FRAME_SIZE..=MAX_MAX_FRAME_SIZE).contains(&value) {
+                        // vroom-lint: allow(hot-path-alloc) -- cold protocol-error path: renders the message for a rejected peer
                         return Err(ConnectionError::protocol(format!(
                             "MAX_FRAME_SIZE = {value}"
                         )));

@@ -89,14 +89,16 @@ impl Stream {
             StreamState::Closed | StreamState::HalfClosedRemote => {
                 return Err(ConnectionError::new(
                     ErrorCode::StreamClosed,
+                    // vroom-lint: allow(hot-path-alloc) -- cold protocol-error path: renders the message for a rejected peer
                     format!("HEADERS on closed stream {}", self.id),
-                ))
+                ));
             }
             StreamState::ReservedLocal => {
+                // vroom-lint: allow(hot-path-alloc) -- cold protocol-error path: renders the message for a rejected peer
                 return Err(ConnectionError::protocol(format!(
                     "peer sent HEADERS on stream {} we reserved",
                     self.id
-                )))
+                )));
             }
         };
         if end_stream {
@@ -134,8 +136,9 @@ impl Stream {
             | StreamState::Closed => {
                 return Err(ConnectionError::new(
                     ErrorCode::StreamClosed,
+                    // vroom-lint: allow(hot-path-alloc) -- cold protocol-error path: renders the message for a rejected peer
                     format!("END_STREAM in state {:?} on stream {}", self.state, self.id),
-                ))
+                ));
             }
         };
         Ok(())

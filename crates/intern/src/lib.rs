@@ -64,6 +64,13 @@ pub struct UrlTable {
     urls: Vec<Url>,
     /// Cached `scheme://host` per id, built once at intern time.
     origins: Vec<SharedStr>,
+    /// Cached full rendering per id, built once at intern time.
+    full: Vec<SharedStr>,
+    /// Cached host per id, deduplicated so every URL on a domain shares
+    /// one allocation.
+    hosts: Vec<SharedStr>,
+    /// Distinct hosts seen so far, for the dedup in `intern`.
+    host_index: BTreeMap<String, SharedStr>,
     index: BTreeMap<Url, UrlId>,
 }
 
@@ -81,6 +88,13 @@ impl UrlTable {
         }
         let id = UrlId::from_index(self.urls.len());
         self.origins.push(SharedStr::from(url.origin()));
+        self.full.push(SharedStr::from(url.to_string()));
+        let host = self
+            .host_index
+            .entry(url.host.clone())
+            .or_insert_with(|| SharedStr::from(url.host.as_str()))
+            .share();
+        self.hosts.push(host);
         self.index.insert(url.clone(), id);
         self.urls.push(url);
         id
@@ -108,6 +122,23 @@ impl UrlTable {
     /// equal to `self.get(id).origin()` without the per-call allocation.
     pub fn origin(&self, id: UrlId) -> &str {
         &self.origins[id.index()]
+    }
+
+    /// The cached full rendering of an interned URL — equal to
+    /// `self.get(id).to_string()` without the per-call allocation. Returns
+    /// the shared string so callers can [`SharedStr::share`] it into
+    /// headers without copying.
+    pub fn full_url(&self, id: UrlId) -> &SharedStr {
+        // vroom-lint: allow(panic-reachable) -- documented contract: panics only on a foreign id; wire paths use the total `url` API
+        &self.full[id.index()]
+    }
+
+    /// The cached host of an interned URL. Every URL on a domain shares one
+    /// allocation, so callers can [`SharedStr::share`] it into per-domain
+    /// maps and events without copying.
+    pub fn host(&self, id: UrlId) -> &SharedStr {
+        // vroom-lint: allow(panic-reachable) -- documented contract: panics only on a foreign id; wire paths use the total `url` API
+        &self.hosts[id.index()]
     }
 
     /// Number of interned URLs.
@@ -158,6 +189,13 @@ impl SharedBytes {
     /// The bytes.
     pub fn as_slice(&self) -> &[u8] {
         &self.0
+    }
+
+    /// Another handle to the same buffer — a reference-count bump, never a
+    /// byte copy. Spelled `share` (not `clone`) on hot paths so allocation
+    /// audits can tell the two apart syntactically.
+    pub fn share(&self) -> SharedBytes {
+        SharedBytes(Arc::clone(&self.0))
     }
 }
 
@@ -221,6 +259,13 @@ impl SharedStr {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// Another handle to the same string — a reference-count bump, never a
+    /// byte copy. Spelled `share` (not `clone`) on hot paths so allocation
+    /// audits can tell the two apart syntactically.
+    pub fn share(&self) -> SharedStr {
+        SharedStr(Arc::clone(&self.0))
+    }
 }
 
 impl Default for SharedStr {
@@ -238,6 +283,12 @@ impl Deref for SharedStr {
 
 impl AsRef<str> for SharedStr {
     fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<str> for SharedStr {
+    fn borrow(&self) -> &str {
         &self.0
     }
 }
@@ -260,6 +311,48 @@ impl PartialEq for SharedStr {
     }
 }
 impl Eq for SharedStr {}
+
+impl PartialEq<str> for SharedStr {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for SharedStr {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<String> for SharedStr {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<SharedStr> for String {
+    fn eq(&self, other: &SharedStr) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<SharedStr> for str {
+    fn eq(&self, other: &SharedStr) -> bool {
+        self == &*other.0
+    }
+}
+
+impl PartialEq<SharedStr> for &str {
+    fn eq(&self, other: &SharedStr) -> bool {
+        *self == &*other.0
+    }
+}
+
+impl std::hash::Hash for SharedStr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (*self.0).hash(state)
+    }
+}
 
 impl PartialOrd for SharedStr {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
@@ -343,5 +436,36 @@ mod tests {
         assert_eq!(s.as_str(), "hello");
         assert_eq!(s.as_str().as_ptr(), t.as_str().as_ptr());
         assert_eq!(s, t);
+    }
+
+    #[test]
+    fn share_is_a_refcount_bump() {
+        let s = SharedStr::from("hot");
+        let t = s.share();
+        assert_eq!(s.as_str().as_ptr(), t.as_str().as_ptr());
+        let b = SharedBytes::from(&s);
+        let c = b.share();
+        assert_eq!(b.as_slice().as_ptr(), c.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn shared_str_compares_and_hashes_like_str() {
+        let s = SharedStr::from("abc");
+        assert!(s == "abc");
+        assert!(s == *"abc");
+        assert!("abc" == s);
+        let mut set = std::collections::HashSet::new();
+        set.insert(SharedStr::from("x"));
+        assert!(set.contains(&SharedStr::from("x")));
+    }
+
+    #[test]
+    fn full_url_is_cached_and_matches_display() {
+        let mut t = UrlTable::new();
+        let id = t.intern(Url::https("a.com", "/x?q=1"));
+        assert_eq!(t.full_url(id).as_str(), t.get(id).to_string());
+        let p1 = t.full_url(id).as_str().as_ptr();
+        let p2 = t.full_url(id).as_str().as_ptr();
+        assert_eq!(p1, p2);
     }
 }

@@ -23,7 +23,8 @@ use std::path::Path;
 use vroom_net::json::Value;
 
 /// Bump when the summary encoding changes; mismatched caches are discarded.
-const CACHE_VERSION: u64 = 1;
+/// v2: effect sites gained `loop_depth` (hot-path-alloc ranking weight).
+const CACHE_VERSION: u64 = 2;
 
 /// FNV-1a 64-bit, rendered as fixed-width hex.
 pub fn content_hash(source: &str) -> String {
@@ -211,6 +212,7 @@ fn encode_fn(f: &FnItem) -> Value {
                             ("detail", Value::Str(e.detail.clone())),
                             ("snippet", Value::Str(e.snippet.clone())),
                             ("waived", Value::Bool(e.waived)),
+                            ("loop_depth", Value::Int(e.loop_depth as u64)),
                         ])
                     })
                     .collect(),
@@ -358,6 +360,7 @@ fn decode_fn(v: &Value) -> Option<FnItem> {
             detail: get_str(e, "detail")?,
             snippet: get_str(e, "snippet")?,
             waived: get_bool(e, "waived")?,
+            loop_depth: get_usize(e, "loop_depth")?,
         });
     }
     Some(FnItem {

@@ -34,6 +34,7 @@
 pub mod baseline;
 pub mod cache;
 pub mod callgraph;
+pub mod hotpaths;
 pub mod lexer;
 pub mod parse;
 pub mod reach;
@@ -81,12 +82,12 @@ pub struct Options {
 /// returns all violations sorted by (path, line, rule).
 pub fn analyze_sources(files: &[SourceFile]) -> Vec<Violation> {
     let summaries: Vec<FileSummary> = files.iter().map(parse::summarize).collect();
-    violations_of(&summaries)
+    violations_of(&summaries, &hotpaths::HotPathConfig::default())
 }
 
-fn violations_of(summaries: &[FileSummary]) -> Vec<Violation> {
+fn violations_of(summaries: &[FileSummary], hot: &hotpaths::HotPathConfig) -> Vec<Violation> {
     let mut out: Vec<Violation> = summaries.iter().flat_map(|s| s.local.clone()).collect();
-    out.extend(reach::semantic_violations(summaries));
+    out.extend(reach::semantic_violations_with(summaries, hot));
     out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     out
 }
@@ -128,8 +129,9 @@ pub fn analyze_with(start: &Path, opts: &Options) -> Result<Report, String> {
     let root = source::workspace_root(start)
         .ok_or_else(|| format!("no workspace Cargo.toml above {}", start.display()))?;
     let files = source::collect_sources(&root).map_err(|e| format!("walking workspace: {e}"))?;
+    let hot = hotpaths::load(&root)?;
     let summaries = summarize_workspace(&files, opts);
-    let violations = violations_of(&summaries);
+    let violations = violations_of(&summaries, &hot);
     let raw_count = violations.len();
     let baseline_path = root.join(baseline::BASELINE_FILE);
     let entries = if baseline_path.is_file() {
@@ -156,7 +158,9 @@ pub fn update_baseline(start: &Path) -> Result<String, String> {
     let root = source::workspace_root(start)
         .ok_or_else(|| format!("no workspace Cargo.toml above {}", start.display()))?;
     let files = source::collect_sources(&root).map_err(|e| format!("walking workspace: {e}"))?;
-    let violations = analyze_sources(&files);
+    let hot = hotpaths::load(&root)?;
+    let summaries: Vec<FileSummary> = files.iter().map(parse::summarize).collect();
+    let violations = violations_of(&summaries, &hot);
     let text = baseline::render(&violations);
     std::fs::write(root.join(baseline::BASELINE_FILE), &text)
         .map_err(|e| format!("writing baseline: {e}"))?;

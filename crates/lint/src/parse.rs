@@ -65,6 +65,55 @@ pub struct CallSite {
     pub line: usize,
 }
 
+/// What an allocation/copy effect site does — the sub-lattice of
+/// [`EffectKind::Alloc`] the `hot-path-alloc` rule reports on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// `.clone()` — may be a deep copy or an `Arc` refcount bump; the rule
+    /// over-approximates and waivers audit the cheap ones.
+    Clone,
+    /// `.to_vec()`.
+    ToVec,
+    /// `.to_owned()`.
+    ToOwned,
+    /// `.to_string()`.
+    ToString,
+    /// `String::from(..)`.
+    StringFrom,
+    /// `format!(..)`.
+    Format,
+    /// Slice `.concat()`.
+    Concat,
+    /// Slice/iterator `.join(..)`.
+    Join,
+    /// `copy_from_slice(..)` — the workspace's canonical byte-copy.
+    CopyFromSlice,
+    /// `Vec::new()` inside a loop body (loop-gated: a one-time `Vec::new`
+    /// is free).
+    VecNew,
+    /// `with_capacity(..)` inside a loop body (loop-gated).
+    WithCapacity,
+}
+
+impl AllocKind {
+    /// Short token used in diagnostics ("alloc (clone)", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            AllocKind::Clone => "clone",
+            AllocKind::ToVec => "to_vec",
+            AllocKind::ToOwned => "to_owned",
+            AllocKind::ToString => "to_string",
+            AllocKind::StringFrom => "String::from",
+            AllocKind::Format => "format!",
+            AllocKind::Concat => "concat",
+            AllocKind::Join => "join",
+            AllocKind::CopyFromSlice => "copy_from_slice",
+            AllocKind::VecNew => "Vec::new in loop",
+            AllocKind::WithCapacity => "with_capacity in loop",
+        }
+    }
+}
+
 /// Effect families tracked for the reachability rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EffectKind {
@@ -75,6 +124,8 @@ pub enum EffectKind {
     UnorderedIter,
     ThreadSpawn,
     Panic,
+    /// Heap allocation / byte copy (the `hot-path-alloc` rule).
+    Alloc(AllocKind),
 }
 
 impl EffectKind {
@@ -82,6 +133,7 @@ impl EffectKind {
     pub fn rule(self) -> &'static str {
         match self {
             EffectKind::Panic => "panic-reachable",
+            EffectKind::Alloc(_) => "hot-path-alloc",
             _ => "sim-purity",
         }
     }
@@ -96,6 +148,17 @@ impl EffectKind {
             EffectKind::UnorderedIter => "unordered iteration",
             EffectKind::ThreadSpawn => "thread spawn",
             EffectKind::Panic => "panic site",
+            EffectKind::Alloc(AllocKind::Clone) => "alloc clone",
+            EffectKind::Alloc(AllocKind::ToVec) => "alloc to_vec",
+            EffectKind::Alloc(AllocKind::ToOwned) => "alloc to_owned",
+            EffectKind::Alloc(AllocKind::ToString) => "alloc to_string",
+            EffectKind::Alloc(AllocKind::StringFrom) => "alloc string-from",
+            EffectKind::Alloc(AllocKind::Format) => "alloc format",
+            EffectKind::Alloc(AllocKind::Concat) => "alloc concat",
+            EffectKind::Alloc(AllocKind::Join) => "alloc join",
+            EffectKind::Alloc(AllocKind::CopyFromSlice) => "alloc copy-from-slice",
+            EffectKind::Alloc(AllocKind::VecNew) => "alloc vec-new",
+            EffectKind::Alloc(AllocKind::WithCapacity) => "alloc with-capacity",
         }
     }
 
@@ -108,6 +171,17 @@ impl EffectKind {
             "unordered iteration" => Some(EffectKind::UnorderedIter),
             "thread spawn" => Some(EffectKind::ThreadSpawn),
             "panic site" => Some(EffectKind::Panic),
+            "alloc clone" => Some(EffectKind::Alloc(AllocKind::Clone)),
+            "alloc to_vec" => Some(EffectKind::Alloc(AllocKind::ToVec)),
+            "alloc to_owned" => Some(EffectKind::Alloc(AllocKind::ToOwned)),
+            "alloc to_string" => Some(EffectKind::Alloc(AllocKind::ToString)),
+            "alloc string-from" => Some(EffectKind::Alloc(AllocKind::StringFrom)),
+            "alloc format" => Some(EffectKind::Alloc(AllocKind::Format)),
+            "alloc concat" => Some(EffectKind::Alloc(AllocKind::Concat)),
+            "alloc join" => Some(EffectKind::Alloc(AllocKind::Join)),
+            "alloc copy-from-slice" => Some(EffectKind::Alloc(AllocKind::CopyFromSlice)),
+            "alloc vec-new" => Some(EffectKind::Alloc(AllocKind::VecNew)),
+            "alloc with-capacity" => Some(EffectKind::Alloc(AllocKind::WithCapacity)),
             _ => None,
         }
     }
@@ -126,6 +200,10 @@ pub struct EffectSite {
     pub snippet: String,
     /// A per-call-site waiver covers this line for the effect's rule.
     pub waived: bool,
+    /// Number of syntactic `loop`/`while`/`for` bodies enclosing the site —
+    /// the `hot-path-alloc` ranking weight (an alloc at depth 1 runs per
+    /// iteration; depth 0 runs once per call).
+    pub loop_depth: usize,
 }
 
 /// One function (free fn, inherent/trait method, or nested fn).
@@ -225,6 +303,7 @@ pub fn summarize(file: &SourceFile) -> FileSummary {
                 detail: site.detail,
                 snippet: snippet_of(site.line),
                 waived,
+                loop_depth: site.loop_depth,
             });
         }
     }
@@ -665,6 +744,7 @@ struct RawEffect {
     pos: usize,
     line: usize,
     detail: String,
+    loop_depth: usize,
 }
 
 /// Substring needles per effect family. These are scanned over lexed code,
@@ -685,11 +765,30 @@ const PANIC_NEEDLES: [&str; 6] = [
     ".expect(",
 ];
 
+/// Allocation/copy needles for the `hot-path-alloc` rule. The last two are
+/// loop-gated: constructing a container once per call is free, doing it per
+/// iteration is the churn the rule exists to catch.
+const ALLOC_NEEDLES: [(&str, AllocKind); 11] = [
+    (".clone()", AllocKind::Clone),
+    (".to_vec()", AllocKind::ToVec),
+    (".to_owned()", AllocKind::ToOwned),
+    (".to_string()", AllocKind::ToString),
+    ("String::from", AllocKind::StringFrom),
+    ("format!", AllocKind::Format),
+    (".concat()", AllocKind::Concat),
+    (".join(", AllocKind::Join),
+    ("copy_from_slice(", AllocKind::CopyFromSlice),
+    ("Vec::new()", AllocKind::VecNew),
+    ("with_capacity(", AllocKind::WithCapacity),
+];
+
 /// Keywords that can directly precede a `[` that is *not* an index
 /// expression (`&mut [u8]`, `x as [u8; 2]`, ...).
 const NON_INDEX_WORDS: [&str; 8] = ["mut", "ref", "as", "dyn", "in", "return", "const", "static"];
 
 fn effect_sites(code: &str, lines: &LineMap) -> Vec<RawEffect> {
+    let loops = loop_spans(code);
+    let depth_at = |pos: usize| loops.iter().filter(|&&(o, c)| o < pos && pos < c).count();
     let mut out = Vec::new();
     let push_needles = |needles: &[&str], kind: EffectKind, out: &mut Vec<RawEffect>| {
         for needle in needles {
@@ -713,6 +812,7 @@ fn effect_sites(code: &str, lines: &LineMap) -> Vec<RawEffect> {
                         .trim_end_matches('(')
                         .trim_end_matches("::")
                         .to_string(),
+                    loop_depth: depth_at(at),
                 });
             }
         }
@@ -723,6 +823,33 @@ fn effect_sites(code: &str, lines: &LineMap) -> Vec<RawEffect> {
     push_needles(&NET_NEEDLES, EffectKind::Net, &mut out);
     push_needles(&THREAD_NEEDLES, EffectKind::ThreadSpawn, &mut out);
     push_needles(&PANIC_NEEDLES, EffectKind::Panic, &mut out);
+
+    // Allocation/copy sites (`hot-path-alloc`). Same boundary rules as
+    // above; the container constructors are only effects inside a loop.
+    for (needle, ak) in ALLOC_NEEDLES {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(needle) {
+            let at = from + pos;
+            from = at + needle.len();
+            if needle.starts_with(|c: char| c.is_alphanumeric()) {
+                let prev = code[..at].chars().next_back();
+                if prev.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    continue;
+                }
+            }
+            let depth = depth_at(at);
+            if depth == 0 && matches!(ak, AllocKind::VecNew | AllocKind::WithCapacity) {
+                continue;
+            }
+            out.push(RawEffect {
+                kind: EffectKind::Alloc(ak),
+                pos: at,
+                line: lines.line(at),
+                detail: ak.label().to_string(),
+                loop_depth: depth,
+            });
+        }
+    }
 
     // Indexing: `expr[` where expr ends in an identifier, `)` or `]`.
     let bytes = code.as_bytes();
@@ -749,22 +876,66 @@ fn effect_sites(code: &str, lines: &LineMap) -> Vec<RawEffect> {
             pos: i,
             line: lines.line(i),
             detail: index_detail(before, code, i),
+            loop_depth: depth_at(i),
         });
     }
 
     // Hash-container iteration (shared scanner with the legacy per-file
     // rule logic).
     for (line, name, how) in rules::unordered_iter_sites(code) {
+        let pos = lines.starts[line - 1];
         out.push(RawEffect {
             kind: EffectKind::UnorderedIter,
-            pos: lines.starts[line - 1],
+            pos,
             line,
             detail: format!("`{name}` {how}"),
+            loop_depth: depth_at(pos),
         });
     }
 
     out.sort_by(|a, b| (a.pos, a.kind.name()).cmp(&(b.pos, b.kind.name())));
     out.dedup_by(|a, b| a.pos == b.pos && a.kind == b.kind);
+    out
+}
+
+/// Byte spans (open brace .. one past close) of every syntactic loop body:
+/// `loop { .. }`, `while cond { .. }`, `for pat in expr { .. }`. Closures
+/// passed to iterator adapters are *not* counted — the loop-depth weight is
+/// deliberately a syntactic under-approximation (documented in DESIGN.md
+/// §2f); a depth-0 alloc is still reported, just ranked lower.
+fn loop_spans(code: &str) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for kw in ["loop", "while", "for"] {
+        for at in rules::find_word(code, kw) {
+            // Find the body's `{` at zero paren/bracket depth. A `;` first
+            // means no body here (`for` in a type position, etc.).
+            let mut depth = 0i32;
+            let mut open = None;
+            let head_start = at + kw.len();
+            for (i, &b) in bytes.iter().enumerate().skip(head_start) {
+                match b {
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    b'{' if depth == 0 => {
+                        open = Some(i);
+                        break;
+                    }
+                    b';' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            let Some(open) = open else { continue };
+            // `impl Trait for Type {` and `for<'a>` bounds also start with
+            // the word `for`; a loop header must contain ` in ` at depth 0.
+            if kw == "for" && rules::find_word(&code[head_start..open], "in").is_empty() {
+                continue;
+            }
+            out.push((open, brace_span(code, open)));
+        }
+    }
+    out.sort();
+    out.dedup();
     out
 }
 
@@ -1238,6 +1409,110 @@ mod tests {
         assert_eq!(inner.effects.len(), 1, "innermost fn owns the effect");
         let outer = s.fns.iter().find(|f| f.name == "outer").unwrap();
         assert!(outer.calls.iter().any(|c| c.name == "inner"));
+    }
+
+    #[test]
+    fn alloc_effects_detected_with_loop_depth() {
+        let src = "fn f(names: &[String]) -> Vec<String> {\n\
+                       let mut out = Vec::new();\n\
+                       for n in names {\n\
+                           out.push(n.clone());\n\
+                       }\n\
+                       let once = names.to_vec();\n\
+                       out.extend(once);\n\
+                       out\n\
+                   }\n";
+        let s = summ(src);
+        let allocs: Vec<_> = s.fns[0]
+            .effects
+            .iter()
+            .filter(|e| matches!(e.kind, EffectKind::Alloc(_)))
+            .collect();
+        assert_eq!(allocs.len(), 2, "{allocs:?}");
+        assert_eq!(allocs[0].kind, EffectKind::Alloc(AllocKind::Clone));
+        assert_eq!(allocs[0].loop_depth, 1, "clone is inside the for body");
+        assert_eq!(allocs[1].kind, EffectKind::Alloc(AllocKind::ToVec));
+        assert_eq!(allocs[1].loop_depth, 0, "to_vec runs once per call");
+    }
+
+    #[test]
+    fn container_constructors_only_flagged_inside_loops() {
+        let src = "fn f(n: usize) {\n\
+                       let _outer = Vec::<u8>::new();\n\
+                       let mut i = 0;\n\
+                       while i < n {\n\
+                           let _per_iter: Vec<u8> = Vec::new();\n\
+                           let _buf = String::with_capacity(64);\n\
+                           i += 1;\n\
+                       }\n\
+                   }\n";
+        let s = summ(src);
+        let allocs: Vec<_> = s.fns[0]
+            .effects
+            .iter()
+            .filter(|e| matches!(e.kind, EffectKind::Alloc(_)))
+            .collect();
+        assert_eq!(allocs.len(), 2, "{allocs:?}");
+        assert!(allocs.iter().all(|e| e.loop_depth == 1));
+        assert_eq!(allocs[0].kind, EffectKind::Alloc(AllocKind::VecNew));
+        assert_eq!(allocs[1].kind, EffectKind::Alloc(AllocKind::WithCapacity));
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let src = "struct T;\n\
+                   trait Go { fn go(&self) -> String; }\n\
+                   impl Go for T {\n\
+                       fn go(&self) -> String { \"x\".to_string() }\n\
+                   }\n";
+        let s = summ(src);
+        let f = s
+            .fns
+            .iter()
+            .find(|f| f.name == "go" && !f.effects.is_empty());
+        let f = f.expect("impl'd go has the effect");
+        assert_eq!(f.effects[0].kind, EffectKind::Alloc(AllocKind::ToString));
+        assert_eq!(f.effects[0].loop_depth, 0, "impl-for block is not a loop");
+    }
+
+    #[test]
+    fn nested_loops_stack_depth() {
+        let src = "fn f(rows: &[Vec<u8>]) {\n\
+                       for r in rows {\n\
+                           loop {\n\
+                               let _ = r.to_vec();\n\
+                               break;\n\
+                           }\n\
+                       }\n\
+                   }\n";
+        let s = summ(src);
+        let alloc = s.fns[0]
+            .effects
+            .iter()
+            .find(|e| e.kind == EffectKind::Alloc(AllocKind::ToVec))
+            .expect("to_vec found");
+        assert_eq!(alloc.loop_depth, 2);
+    }
+
+    #[test]
+    fn alloc_effect_names_roundtrip() {
+        for ak in [
+            AllocKind::Clone,
+            AllocKind::ToVec,
+            AllocKind::ToOwned,
+            AllocKind::ToString,
+            AllocKind::StringFrom,
+            AllocKind::Format,
+            AllocKind::Concat,
+            AllocKind::Join,
+            AllocKind::CopyFromSlice,
+            AllocKind::VecNew,
+            AllocKind::WithCapacity,
+        ] {
+            let kind = EffectKind::Alloc(ak);
+            assert_eq!(EffectKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.rule(), "hot-path-alloc");
+        }
     }
 
     #[test]

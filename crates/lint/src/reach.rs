@@ -1,7 +1,7 @@
-//! The three call-graph rule families: `sim-purity`, `panic-reachable`,
-//! and `protocol-exhaustive`.
+//! The four call-graph rule families: `sim-purity`, `panic-reachable`,
+//! `hot-path-alloc`, and `protocol-exhaustive`.
 //!
-//! All three are over-approximations in the safe direction: the call graph
+//! All four are over-approximations in the safe direction: the call graph
 //! adds edges when resolution is ambiguous, effect scanning is syntactic,
 //! and match coverage is judged by explicit variant references — so none of
 //! the families can miss a violation that its lexical definitions cover.
@@ -9,6 +9,7 @@
 //! waivers or the ratchet baseline.
 
 use crate::callgraph::Graph;
+use crate::hotpaths::HotPathConfig;
 use crate::parse::{EffectKind, FileSummary};
 use crate::rules::Violation;
 use std::collections::BTreeMap;
@@ -53,12 +54,18 @@ const PURITY_KINDS: [EffectKind; 6] = [
     EffectKind::ThreadSpawn,
 ];
 
-/// Run all interprocedural rules over the workspace summaries.
+/// Run all interprocedural rules with the compiled-in hot-path roots.
 pub fn semantic_violations(summaries: &[FileSummary]) -> Vec<Violation> {
+    semantic_violations_with(summaries, &HotPathConfig::default())
+}
+
+/// Run all interprocedural rules over the workspace summaries.
+pub fn semantic_violations_with(summaries: &[FileSummary], hot: &HotPathConfig) -> Vec<Violation> {
     let graph = Graph::build(summaries);
     let mut out = Vec::new();
     sim_purity(&graph, &mut out);
     panic_reachable(&graph, &mut out);
+    hot_path_alloc(&graph, hot, &mut out);
     protocol_exhaustive(summaries, &mut out);
     // Nested fns are scanned by both themselves and their parent, and a
     // node can be reached from several roots; keep one diagnostic per
@@ -143,6 +150,91 @@ fn panic_reachable(graph: &Graph, out: &mut Vec<Violation>) {
                 snippet: e.snippet.clone(),
             });
         }
+    }
+}
+
+fn hot_path_alloc(graph: &Graph, cfg: &HotPathConfig, out: &mut Vec<Violation>) {
+    let roots = graph.select(|path, f| {
+        cfg.roots
+            .iter()
+            .any(|(p, fns)| p == path && fns.iter().any(|n| n == &f.name))
+    });
+    if roots.is_empty() {
+        return;
+    }
+    let pred = graph.reachable(&roots);
+    struct Finding {
+        weight: usize,
+        path: String,
+        line: usize,
+        detail: String,
+        snippet: String,
+        root: String,
+        via: String,
+    }
+    let mut found: Vec<Finding> = Vec::new();
+    for id in 0..graph.nodes.len() {
+        if pred[id].is_none() {
+            continue;
+        }
+        let n = graph.nodes[id];
+        let file = &graph.summaries[n.file];
+        if cfg.exempt.iter().any(|p| file.path.starts_with(p)) {
+            continue;
+        }
+        let f = &file.fns[n.item];
+        for e in &f.effects {
+            if !matches!(e.kind, EffectKind::Alloc(_)) || e.waived {
+                continue;
+            }
+            let chain = graph.chain(&pred, id);
+            found.push(Finding {
+                weight: e.loop_depth,
+                path: file.path.clone(),
+                line: e.line,
+                detail: e.detail.clone(),
+                snippet: e.snippet.clone(),
+                root: graph.display(chain[0]),
+                via: via_text(graph, &chain),
+            });
+        }
+    }
+    // Nested fns are scanned by both themselves and their parent, and a
+    // site may be reached from several roots; keep one finding per site,
+    // preferring the shortest chain, so ranks count distinct sites.
+    found.sort_by(|a, b| {
+        (&a.path, a.line, &a.detail, a.via.len()).cmp(&(&b.path, b.line, &b.detail, b.via.len()))
+    });
+    found.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.detail == b.detail);
+    // Rank by loop depth: an alloc inside a per-frame loop outranks a
+    // once-per-load alloc. Ties break on (path, line, detail) so the
+    // ordering — and thus every message — is deterministic.
+    found.sort_by(|a, b| {
+        (std::cmp::Reverse(a.weight), &a.path, a.line, &a.detail).cmp(&(
+            std::cmp::Reverse(b.weight),
+            &b.path,
+            b.line,
+            &b.detail,
+        ))
+    });
+    let total = found.len();
+    for (i, fd) in found.iter().enumerate() {
+        out.push(Violation {
+            rule: "hot-path-alloc",
+            path: fd.path.clone(),
+            line: fd.line,
+            message: format!(
+                "hot-path alloc ({}) reachable from `{}`{}; loop depth {}, rank {} of {total} — \
+                 the wire path stays zero-copy: share via SharedBytes/SharedStr or reuse a \
+                 scratch buffer instead of allocating per item",
+                fd.detail,
+                fd.root,
+                fd.via,
+                fd.weight,
+                i + 1,
+            ),
+            snippet: fd.snippet.clone(),
+        });
     }
 }
 
@@ -416,6 +508,93 @@ mod tests {
                  // vroom-lint: allow(protocol-exhaustive) -- collapse is the point here\n\
                  match t { FrameType::Data => 0, _ => 1 }\n\
              }\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_ranks_loop_allocs_above_once_per_call() {
+        // Two allocs reachable from the hpack encode root: the one inside a
+        // loop must rank 1, the once-per-call one rank 2.
+        let v = analyze(&[(
+            "crates/hpack/src/encoder.rs",
+            "pub fn encode(fields: &[u8]) { once(); per_field(fields); }\n\
+             fn once() -> String { let s = name_of(); s.to_owned() }\n\
+             fn name_of() -> String { String::new() }\n\
+             fn per_field(fields: &[u8]) {\n\
+                 for f in fields { let _ = f.to_string(); }\n\
+             }\n",
+        )]);
+        let hot: Vec<&Violation> = v.iter().filter(|v| v.rule == "hot-path-alloc").collect();
+        assert_eq!(hot.len(), 2, "{v:?}");
+        let per_field = hot.iter().find(|v| v.line == 5).unwrap();
+        let once = hot.iter().find(|v| v.line == 2).unwrap();
+        assert!(
+            per_field.message.contains("loop depth 1, rank 1 of 2"),
+            "{}",
+            per_field.message
+        );
+        assert!(
+            once.message.contains("loop depth 0, rank 2 of 2"),
+            "{}",
+            once.message
+        );
+        assert!(once.message.contains("hpack::encode"), "{}", once.message);
+    }
+
+    #[test]
+    fn hot_path_alloc_sees_hidden_helper_two_hops_away() {
+        let v = analyze(&[
+            (
+                "crates/server/src/wire.rs",
+                "fn serve_connection() { assemble(); }\n",
+            ),
+            (
+                "crates/http2/src/util.rs",
+                "pub fn assemble() { deep_copy(); }\n\
+                 fn deep_copy() -> Vec<u8> { b\"x\".to_vec() }\n",
+            ),
+        ]);
+        let hot: Vec<&Violation> = v.iter().filter(|v| v.rule == "hot-path-alloc").collect();
+        assert_eq!(hot.len(), 1, "{v:?}");
+        assert_eq!(hot[0].path, "crates/http2/src/util.rs");
+        assert!(
+            hot[0].message.contains("server::serve_connection"),
+            "{}",
+            hot[0].message
+        );
+        assert!(
+            hot[0].message.contains("`http2::assemble`"),
+            "{}",
+            hot[0].message
+        );
+    }
+
+    #[test]
+    fn hot_path_alloc_honors_waivers_and_exempt_prefixes() {
+        let v = analyze(&[
+            (
+                "crates/hpack/src/decoder.rs",
+                "pub fn decode() { copy_field(); report(); }\n\
+                 fn copy_field() -> Vec<u8> {\n\
+                 \u{20}   // vroom-lint: allow(hot-path-alloc) -- contiguous reassembly buffer\n\
+                 \u{20}   b\"x\".to_vec()\n\
+                 }\n",
+            ),
+            (
+                "crates/bench/src/report.rs",
+                "pub fn report() -> String { b\"x\".to_vec(); String::from(\"y\") }\n",
+            ),
+        ]);
+        let hot: Vec<&Violation> = v.iter().filter(|v| v.rule == "hot-path-alloc").collect();
+        assert!(hot.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allocs_not_reachable_from_any_hot_root_are_clean() {
+        let v = analyze(&[(
+            "crates/pages/src/model.rs",
+            "pub fn build() -> String { format!(\"x\") }\n",
         )]);
         assert!(v.is_empty(), "{v:?}");
     }

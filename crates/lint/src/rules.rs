@@ -25,12 +25,13 @@ pub struct Violation {
     pub snippet: String,
 }
 
-/// All rule ids, in reporting order. The first three are interprocedural
+/// All rule ids, in reporting order. The first four are interprocedural
 /// (driven by the call graph in [`crate::reach`]); the rest are per-file.
-pub const RULE_IDS: [&str; 9] = [
+pub const RULE_IDS: [&str; 10] = [
     "sim-purity",
     "panic-reachable",
     "protocol-exhaustive",
+    "hot-path-alloc",
     "ambient-randomness",
     "forbid-unsafe",
     "unwrap",
@@ -53,6 +54,11 @@ pub fn rule_description(rule: &str) -> &'static str {
         "protocol-exhaustive" => {
             "matches on protocol enums in crates/http2 must enumerate every \
              variant explicitly; no catch-all arms"
+        }
+        "hot-path-alloc" => {
+            "allocation/copy sites reachable from a declared hot-path root \
+             (lint-hotpaths.toml), ranked by enclosing loop depth; the wire \
+             path must stay zero-copy"
         }
         "ambient-randomness" => "randomness must come from the seeded vroom_sim::Rng",
         "forbid-unsafe" => "unsafe code is banned workspace-wide",

@@ -81,6 +81,30 @@ fn fixture_golden() {
     }
 }
 
+/// The golden file pins *where* hot-path-alloc fires; this pins the ranking:
+/// the loop-gated alloc must outrank the once-per-call one, and the chain
+/// back to the configured root must be named in the message.
+#[test]
+fn hot_path_alloc_rank_orders_loop_over_once() {
+    let (files, _) = load_case(&fixtures_dir().join("hot_path_alloc_rank"));
+    let v = vroom_lint::analyze_sources(&files);
+    let hot: Vec<_> = v.iter().filter(|v| v.rule == "hot-path-alloc").collect();
+    assert_eq!(hot.len(), 2, "{v:?}");
+    let in_loop = hot.iter().find(|v| v.line == 14).expect("loop alloc");
+    let once = hot.iter().find(|v| v.line == 8).expect("once alloc");
+    assert!(
+        in_loop.message.contains("loop depth 1, rank 1 of 2"),
+        "{}",
+        in_loop.message
+    );
+    assert!(
+        once.message.contains("loop depth 0, rank 2 of 2"),
+        "{}",
+        once.message
+    );
+    assert!(once.message.contains("encode"), "{}", once.message);
+}
+
 /// The incremental cache must be behaviorally invisible: a cold run, the run
 /// that populates the cache, a fully warm replay, and a run over a corrupted
 /// cache file must all render byte-identical SARIF.

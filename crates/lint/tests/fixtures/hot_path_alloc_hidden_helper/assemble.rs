@@ -1,0 +1,8 @@
+// path: crates/server/src/assemble.rs
+pub fn stage_frames(frames: &[u8]) -> usize {
+    staged_payload(frames).len()
+}
+
+fn staged_payload(frames: &[u8]) -> Vec<u8> {
+    frames.to_vec()
+}

@@ -1,0 +1,4 @@
+// path: crates/server/src/wire.rs
+pub fn serve_connection(frames: &[u8]) -> usize {
+    stage_frames(frames)
+}

@@ -1,0 +1,17 @@
+// path: crates/hpack/src/encoder.rs
+pub fn encode(fields: &[u8]) -> usize {
+    banner_len() + body_len(fields)
+}
+
+fn banner_len() -> usize {
+    let s = "hpack";
+    s.to_owned().len()
+}
+
+fn body_len(fields: &[u8]) -> usize {
+    let mut n = 0;
+    for f in fields {
+        n += f.to_string().len();
+    }
+    n
+}

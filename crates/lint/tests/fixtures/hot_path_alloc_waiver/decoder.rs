@@ -1,0 +1,15 @@
+// path: crates/hpack/src/decoder.rs
+pub fn decode(wire: &[u8]) -> Vec<u8> {
+    let mut out = scratch_header();
+    out.extend_from_slice(&tail_copy(wire));
+    out
+}
+
+fn scratch_header() -> Vec<u8> {
+    // vroom-lint: allow(hot-path-alloc) -- header scratch is built once per connection
+    b"scratch".to_vec()
+}
+
+fn tail_copy(wire: &[u8]) -> Vec<u8> {
+    wire.to_vec()
+}

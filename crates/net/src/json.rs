@@ -187,6 +187,7 @@ struct Parser<'a> {
 impl Parser<'_> {
     fn err(&self, msg: &str) -> Error {
         Error {
+            // vroom-lint: allow(hot-path-alloc) -- cold parse-error path: renders the message once for malformed replay JSON
             msg: msg.to_string(),
             offset: self.pos,
         }
@@ -211,6 +212,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
+            // vroom-lint: allow(hot-path-alloc) -- cold parse-error path: renders the message once for malformed replay JSON
             Err(self.err(&format!("expected {:?}", b as char)))
         }
     }

@@ -19,11 +19,20 @@ pub struct Corpus {
 impl Corpus {
     /// Top 50 News + Top 50 Sports landing pages.
     pub fn news_and_sports(seed: u64) -> Corpus {
+        Self::news_and_sports_capped(seed, None)
+    }
+
+    /// [`news_and_sports`](Self::news_and_sports), building only the first
+    /// `cap` generators. Per-site seeds are independent, so a capped corpus
+    /// is exactly the prefix of the full one — experiment configurations
+    /// that only read `max_sites` sites skip constructing the other ~96.
+    pub fn news_and_sports_capped(seed: u64, cap: Option<usize>) -> Corpus {
+        let n = cap.unwrap_or(100).min(100) as u64;
         let mut sites = Vec::new();
-        for i in 0..50u64 {
+        for i in 0..n.min(50) {
             sites.push(PageGenerator::new(SiteProfile::news(), seed ^ (0x1000 + i)));
         }
-        for i in 0..50u64 {
+        for i in 0..n.saturating_sub(50) {
             sites.push(PageGenerator::new(
                 SiteProfile::sports(),
                 seed ^ (0x2000 + i),
@@ -37,7 +46,13 @@ impl Corpus {
 
     /// The Alexa US Top 100.
     pub fn top100(seed: u64) -> Corpus {
-        let sites = (0..100u64)
+        Self::top100_capped(seed, None)
+    }
+
+    /// Prefix-capped [`top100`](Self::top100).
+    pub fn top100_capped(seed: u64, cap: Option<usize>) -> Corpus {
+        let n = cap.unwrap_or(100).min(100) as u64;
+        let sites = (0..n)
             .map(|i| PageGenerator::new(SiteProfile::top100(), seed ^ (0x3000 + i)))
             .collect();
         Corpus {
@@ -48,7 +63,13 @@ impl Corpus {
 
     /// 100 random sites from the Alexa top 400.
     pub fn top400_sample(seed: u64) -> Corpus {
-        let sites = (0..100u64)
+        Self::top400_sample_capped(seed, None)
+    }
+
+    /// Prefix-capped [`top400_sample`](Self::top400_sample).
+    pub fn top400_sample_capped(seed: u64, cap: Option<usize>) -> Corpus {
+        let n = cap.unwrap_or(100).min(100) as u64;
+        let sites = (0..n)
             .map(|i| PageGenerator::new(SiteProfile::top400(), seed ^ (0x4000 + i)))
             .collect();
         Corpus {
@@ -60,8 +81,14 @@ impl Corpus {
     /// 265 pages drawn from News/Sports sites, a mix of page types
     /// (landing pages, articles, game results) — the §6.2 accuracy corpus.
     pub fn accuracy_pages(seed: u64) -> Corpus {
+        Self::accuracy_pages_capped(seed, None)
+    }
+
+    /// Prefix-capped [`accuracy_pages`](Self::accuracy_pages).
+    pub fn accuracy_pages_capped(seed: u64, cap: Option<usize>) -> Corpus {
+        let n = cap.unwrap_or(265).min(265) as u64;
         let mut sites = Vec::new();
-        for i in 0..265u64 {
+        for i in 0..n {
             let profile = if i % 2 == 0 {
                 SiteProfile::news()
             } else {

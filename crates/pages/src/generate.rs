@@ -10,6 +10,9 @@
 //! persistence over an hour/week, multi-domain structure with third-party
 //! iframes.
 
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
 use crate::dynamics::LoadContext;
 use crate::model::{Page, Resource, ResourceId, Stability};
 use vroom_html::{ExecMode, ResourceKind, Url};
@@ -169,6 +172,39 @@ struct NodeTemplate {
     device_exact: bool,
 }
 
+/// A snapshot is a pure function of the generator and these four context
+/// fields, so they key the memo cache. `hours` enters as raw bits: two
+/// contexts are the same load iff they are bit-identical.
+type SnapKey = (u64, u64, u8, u64);
+
+fn snap_key(ctx: &LoadContext) -> SnapKey {
+    (
+        ctx.hours.to_bits(),
+        ctx.user_id,
+        ctx.device as u8,
+        ctx.nonce,
+    )
+}
+
+/// Entries retained in the snapshot memo. Sweeps over hours/nonce mint
+/// unbounded distinct contexts; the bound keeps a long `run_all` from
+/// holding every page it ever materialized.
+const SNAP_CACHE_CAP: usize = 64;
+
+/// Memo of materialized snapshots. Purely an evaluation-order cache of
+/// a pure function: a hit returns a page identical to regeneration, so
+/// results never depend on cache state (or on which thread warmed it).
+#[derive(Debug, Default)]
+struct SnapCache(Mutex<BTreeMap<SnapKey, Arc<Page>>>);
+
+impl Clone for SnapCache {
+    /// Cloned generators start cold: an empty copy only shifts hit
+    /// rates, never page bytes.
+    fn clone(&self) -> Self {
+        SnapCache::default()
+    }
+}
+
 /// Deterministic per-site page generator.
 #[derive(Debug, Clone)]
 pub struct PageGenerator {
@@ -178,12 +214,28 @@ pub struct PageGenerator {
     site_seed: u64,
     domains: Vec<String>,
     nodes: Vec<NodeTemplate>,
+    snap_cache: SnapCache,
 }
 
 impl PageGenerator {
     /// Build the structure for the site identified by `seed`.
     pub fn new(profile: SiteProfile, seed: u64) -> Self {
         Builder::new(profile, seed).build()
+    }
+
+    /// A structural fingerprint: two generators with equal fingerprints
+    /// materialize identical snapshots for every context (the structure is
+    /// a pure function of the profile and seed, both folded in here).
+    /// Stable within a process, not across runs — intended as a memo key.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.site_seed.hash(&mut h);
+        // The profile holds floats, so it cannot derive Hash; its Debug
+        // rendering covers every field.
+        format!("{:?}", self.profile).hash(&mut h);
+        h.finish()
     }
 
     /// The site's first-party domain.
@@ -208,6 +260,30 @@ impl PageGenerator {
 
     /// Materialize the page as loaded in `ctx`.
     pub fn snapshot(&self, ctx: &LoadContext) -> Page {
+        (*self.snapshot_arc(ctx)).clone()
+    }
+
+    /// [`snapshot`](Self::snapshot), memoized and shared. Repeated loads of
+    /// the same context — the resolver's offline crawls, warm-cache priors,
+    /// every system compared against the same page — rematerialize nothing.
+    pub fn snapshot_arc(&self, ctx: &LoadContext) -> Arc<Page> {
+        let key = snap_key(ctx);
+        let mut cache = self.snap_cache.0.lock().expect("snapshot cache poisoned");
+        if let Some(hit) = cache.get(&key) {
+            return Arc::clone(hit);
+        }
+        let page = Arc::new(self.materialize(ctx));
+        if cache.len() >= SNAP_CACHE_CAP {
+            // Deterministic eviction; which entries survive a parallel sweep
+            // is timing-dependent, but that only shifts hit rates, never
+            // page bytes.
+            cache.pop_first();
+        }
+        cache.insert(key, Arc::clone(&page));
+        page
+    }
+
+    fn materialize(&self, ctx: &LoadContext) -> Page {
         let resources: Vec<Resource> = self
             .nodes
             .iter()
@@ -365,6 +441,7 @@ impl Builder {
             site_seed: self.site_seed,
             domains: self.domains,
             nodes: self.nodes,
+            snap_cache: SnapCache::default(),
         }
     }
 

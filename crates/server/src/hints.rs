@@ -28,25 +28,26 @@ fn as_token(kind: ResourceKind) -> &'static str {
 /// boundary: interned ids are materialized to URL strings here.
 pub fn attach_hints(mut response: Response, hints: &[Hint], urls: &UrlTable) -> Response {
     for h in hints {
-        let url = urls.get(h.url);
         match h.tier {
             0 => {
+                let url = urls.get(h.url);
                 let kind = ResourceKind::from_url(url);
                 response.headers.push(vroom_hpack::HeaderField::new(
                     names::LINK,
+                    // vroom-lint: allow(hot-path-alloc) -- the Link value composes URL, rel, and as-token into one string; no cached form exists
                     format!("<{url}>; rel=preload; as={}", as_token(kind)),
                 ));
             }
             1 => {
                 response.headers.push(vroom_hpack::HeaderField::new(
                     names::SEMI_IMPORTANT,
-                    url.to_string(),
+                    urls.full_url(h.url).share(),
                 ));
             }
             _ => {
                 response.headers.push(vroom_hpack::HeaderField::new(
                     names::UNIMPORTANT,
-                    url.to_string(),
+                    urls.full_url(h.url).share(),
                 ));
             }
         }

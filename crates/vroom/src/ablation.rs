@@ -41,7 +41,7 @@ fn median_plt(
 
 /// Sweep the downlink bandwidth: where does Vroom's edge over HTTP/2 peak?
 pub fn ablation_bandwidth(cfg: &ExperimentConfig) -> (Vec<(u64, f64, f64)>, String) {
-    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let ns = Corpus::news_and_sports_capped(cfg.corpus_seed, cfg.max_sites);
     let mut rows = Vec::new();
     let mut table =
         String::from("# Ablation: Vroom vs HTTP/2 across downlink bandwidths (News+Sports)\n");
@@ -64,7 +64,7 @@ pub fn ablation_bandwidth(cfg: &ExperimentConfig) -> (Vec<(u64, f64, f64)>, Stri
 
 /// Sweep the cellular RTT (2G/3G-like regimes).
 pub fn ablation_rtt(cfg: &ExperimentConfig) -> (Vec<(u64, f64, f64)>, String) {
-    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let ns = Corpus::news_and_sports_capped(cfg.corpus_seed, cfg.max_sites);
     let mut rows = Vec::new();
     let mut table =
         String::from("# Ablation: Vroom vs HTTP/2 across cellular RTTs (News+Sports)\n");
@@ -88,7 +88,7 @@ pub fn ablation_rtt(cfg: &ExperimentConfig) -> (Vec<(u64, f64, f64)>, String) {
 /// Sweep the device CPU speed: Vroom's edge shrinks as the CPU stops being
 /// the bottleneck.
 pub fn ablation_cpu(cfg: &ExperimentConfig) -> (Vec<(f64, f64, f64)>, String) {
-    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let ns = Corpus::news_and_sports_capped(cfg.corpus_seed, cfg.max_sites);
     let n = cfg.max_sites.unwrap_or(ns.len()).min(ns.len());
     let mut rows = Vec::new();
     let mut table = String::from(
@@ -131,7 +131,7 @@ pub fn ablation_cpu(cfg: &ExperimentConfig) -> (Vec<(f64, f64, f64)>, String) {
 /// Sweep the offline crawl window: deeper history trades false negatives
 /// for staleness.
 pub fn ablation_history_window(cfg: &ExperimentConfig) -> (Vec<(usize, f64, f64)>, String) {
-    let corpus = Corpus::accuracy_pages(cfg.corpus_seed);
+    let corpus = Corpus::accuracy_pages_capped(cfg.corpus_seed, cfg.max_sites);
     let n = cfg.max_sites.unwrap_or(40).min(corpus.len());
     let windows: [&[u64]; 4] = [
         &[1],
@@ -193,7 +193,7 @@ pub fn ablation_history_window(cfg: &ExperimentConfig) -> (Vec<(usize, f64, f64)
 /// The §6.1 future-work hybrid: Vroom + Polaris-style fine-grained client
 /// dependency tracking.
 pub fn ablation_hybrid(cfg: &ExperimentConfig) -> (f64, f64, f64, String) {
-    let ns = Corpus::news_and_sports(cfg.corpus_seed);
+    let ns = Corpus::news_and_sports_capped(cfg.corpus_seed, cfg.max_sites);
     let vroom = median_plt(cfg, &ns, &cfg.profile, System::Vroom);
     let polaris = median_plt(cfg, &ns, &cfg.profile, System::PolarisLike);
     let hybrid = median_plt(cfg, &ns, &cfg.profile, System::VroomPolarisHybrid);

@@ -14,7 +14,7 @@ pub fn run_load(
     system: System,
     server_seed: u64,
 ) -> LoadResult {
-    let page = generator.snapshot(ctx);
+    let page = generator.snapshot_arc(ctx);
     let mut cfg = build_config(system, generator, &page, ctx, server_seed);
     cfg.cpu_factor = ctx.device.cpu_factor();
     BrowserEngine::load(&page, profile, &cfg)
@@ -34,8 +34,8 @@ pub fn run_load_warm(
         nonce: ctx.nonce ^ 0xCAC4E,
         ..*ctx
     };
-    let prior = generator.snapshot(&prior_ctx);
-    let page = generator.snapshot(ctx);
+    let prior = generator.snapshot_arc(&prior_ctx);
+    let page = generator.snapshot_arc(ctx);
     let mut cfg = build_config(system, generator, &page, ctx, server_seed);
     cfg.cpu_factor = ctx.device.cpu_factor();
     cfg.warm_cache = cache_from_prior_load(&prior, age_hours);
@@ -55,7 +55,7 @@ pub fn run_load_faulted(
     server_seed: u64,
     plan: &FaultPlan,
 ) -> LoadResult {
-    let page = generator.snapshot(ctx);
+    let page = generator.snapshot_arc(ctx);
     let mut cfg = build_config(system, generator, &page, ctx, server_seed);
     cfg.cpu_factor = ctx.device.cpu_factor();
     apply_fault_plan(&mut cfg, plan);

@@ -63,7 +63,7 @@ fn main() {
     // 4. The client: request the root, read hints, fetch in tiers.
     let t0 = Instant::now(); // demo binary timing a real TCP exchange, not simulation
     let mut client = WireClient::connect(server.addr()).expect("connect");
-    client.get(&page.url).expect("GET root");
+    client.fetch(&page.url).expect("GET root");
     let first = client.run(Duration::from_secs(10)).expect("io");
 
     let root = first.iter().find(|r| r.url == page.url).expect("root");
@@ -103,7 +103,7 @@ fn main() {
             continue;
         }
         for h in &batch {
-            client.get(client_urls.get(h.url)).expect("hinted fetch");
+            client.fetch(client_urls.get(h.url)).expect("hinted fetch");
         }
         let got = client.run(Duration::from_secs(10)).expect("io");
         println!(

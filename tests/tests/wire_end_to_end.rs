@@ -77,7 +77,7 @@ fn vroom_server_pushes_and_hints_over_real_tcp() {
     let server = start_server(&page, PushPolicy::HighPriorityLocal);
 
     let mut client = WireClient::connect(server.addr()).expect("connect");
-    client.get(&page.url).expect("request root");
+    client.fetch(&page.url).expect("request root");
     let responses = client.run(Duration::from_secs(10)).expect("drive io");
 
     // The root HTML arrived with the right body.
@@ -124,7 +124,7 @@ fn client_can_fetch_hinted_resources_in_tiers() {
     let server = start_server(&page, PushPolicy::None);
 
     let mut client = WireClient::connect(server.addr()).expect("connect");
-    client.get(&page.url).expect("request root");
+    client.fetch(&page.url).expect("request root");
     let responses = client.run(Duration::from_secs(10)).expect("io");
     let root = responses.iter().find(|r| r.url == page.url).expect("root");
     let mut urls = UrlTable::new();
@@ -137,7 +137,7 @@ fn client_can_fetch_hinted_resources_in_tiers() {
         .collect();
     assert!(!tier0.is_empty());
     for h in &tier0 {
-        client.get(urls.get(h.url)).expect("hinted fetch");
+        client.fetch(urls.get(h.url)).expect("hinted fetch");
     }
     let fetched = client.run(Duration::from_secs(10)).expect("io");
     assert_eq!(fetched.len(), tier0.len(), "every hinted fetch completed");
@@ -155,7 +155,7 @@ fn unknown_urls_get_404_over_the_wire() {
     let server = start_server(&page, PushPolicy::None);
     let mut client = WireClient::connect(server.addr()).expect("connect");
     client
-        .get(&Url::https(
+        .fetch(&Url::https(
             page.url.host.clone(),
             "/definitely-not-there.js",
         ))
@@ -185,7 +185,7 @@ fn large_bodies_cross_flow_control_boundaries() {
     };
     let server = WireServer::start(site).expect("bind");
     let mut client = WireClient::connect(server.addr()).expect("connect");
-    client.get(&url).expect("request");
+    client.fetch(&url).expect("request");
     let responses = client.run(Duration::from_secs(20)).expect("io");
     assert_eq!(responses.len(), 1);
     assert_eq!(responses[0].body.len(), 700_000);
@@ -222,8 +222,8 @@ fn injected_truncation_recovers_via_client_retry_over_tcp() {
             backoff_base: vroom_sim::SimDuration::from_millis(10),
             ..RetryBudget::standard()
         });
-    client.get(&url).expect("request");
-    client.get(&other).expect("request");
+    client.fetch(&url).expect("request");
+    client.fetch(&other).expect("request");
     let responses = client.run(Duration::from_secs(15)).expect("io");
     assert_eq!(client.resets_seen(), 1, "one injected RST_STREAM");
     assert_eq!(responses.len(), 2, "both URLs complete after the retry");
@@ -250,7 +250,7 @@ fn concurrent_requests_multiplex_on_one_connection() {
         .map(|r| r.url.clone())
         .collect();
     for t in &targets {
-        client.get(t).expect("request");
+        client.fetch(t).expect("request");
     }
     let responses = client.run(Duration::from_secs(15)).expect("io");
     assert_eq!(responses.len(), targets.len());
