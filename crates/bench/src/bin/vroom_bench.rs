@@ -21,9 +21,27 @@
 //! non-zero if the fresh `full_single_site_load` median regressed more than
 //! 25% against it (the CI bench-smoke gate). `check-e2e FILE` gates the
 //! committed sites-4 `run_all` median against the ratcheted ceiling without
-//! re-measuring anything. Both exit 2 (after printing usage) when the file
-//! they need is missing or unreadable, so CI can tell a broken invocation
+//! re-measuring anything. Every gate pre-validates its baseline *before*
+//! any measuring starts, and exits 2 (after printing usage) when the file
+//! it needs is missing or unreadable, so CI can tell a broken invocation
 //! from a real regression.
+//!
+//! ```sh
+//! vroom-bench fleet [--clients N] [--sites N] [--shards N] [--seed N]
+//!                   [--window MS] [--span MS] [--workers N]
+//!                   [--check-against BENCH_fleet.json] [--tolerance PCT]
+//! ```
+//!
+//! `fleet` runs the fleet-scale serving simulation (`vroom-fleet`: N
+//! deterministic clients against one shared server with a sharded hint
+//! store), times it, and writes `BENCH_fleet.json` with three sections:
+//! `config` (the run parameters), `metrics` (the deterministic
+//! [`vroom_fleet::FleetReport`] — byte-identical at any worker count), and
+//! `timing` (wall-clock throughput, the only machine-dependent part).
+//! `--check-against` requires the baseline's `config` and `metrics` to match
+//! the fresh run *exactly* (any drift in deterministic output is a bug, not
+//! noise) and gates `timing.loads_per_sec` within `--tolerance` percent
+//! (default 25).
 //!
 //! This is wall-clock scaffolding and never runs inside the simulator;
 //! the simulation itself stays deterministic.
@@ -53,16 +71,31 @@ use vroom_sim::{EventQueue, SimTime};
 const PRE_OPT_FULL_W1_MS: u64 = 16_177;
 const PRE_OPT_SITES4_W1_MS: u64 = 798;
 
-const USAGE: &str = "usage: vroom-bench <micro [OPTIONS] | check-e2e FILE>
+const USAGE: &str = "usage: vroom-bench <micro [OPTIONS] | fleet [OPTIONS] | check-e2e FILE>
   micro                  run the microbenchmarks and write BENCH_micro.json
                          and BENCH_e2e.json into the current directory
   --iters N              samples per microbenchmark (default 10; e2e runs
                          take min(N, 5) samples since each is a full run_all)
-  --check-against FILE   after measuring, compare the fresh
-                         full_single_site_load median against the committed
-                         BENCH_micro.json at FILE and exit 1 if it regressed
-                         by more than 25% (exit 2 if FILE is missing or
-                         unreadable)
+  --check-against FILE   compare the fresh full_single_site_load median
+                         against the committed BENCH_micro.json at FILE and
+                         exit 1 if it regressed by more than 25% (exit 2 if
+                         FILE is missing or unreadable; the baseline is
+                         validated before anything is measured)
+  fleet                  run the fleet serving simulation and write
+                         BENCH_fleet.json into the current directory
+  --clients N            simulated clients (default 1000)
+  --sites N              distinct sites (default 8)
+  --shards N             hint-store shards (default 16)
+  --seed N               fleet seed (default 990951)
+  --window MS            batch window in virtual ms (default 100)
+  --span MS              arrival span in virtual ms (default 10000)
+  --workers N            worker threads (default 1; metrics are identical
+                         for every value, only timing moves)
+  --check-against FILE   require the committed BENCH_fleet.json at FILE to
+                         match the fresh config+metrics exactly and gate
+                         timing.loads_per_sec within --tolerance percent
+                         (exit 2 if FILE is missing or unreadable)
+  --tolerance PCT        allowed loads/sec slowdown in percent (default 25)
   check-e2e FILE         read a committed BENCH_e2e.json at FILE and exit 1
                          if runs.run_all_sites4_workers1.median_ms exceeds
                          the ratcheted gate (exit 2 if FILE is missing or
@@ -71,6 +104,7 @@ const USAGE: &str = "usage: vroom-bench <micro [OPTIONS] | check-e2e FILE>
 /// A CLI failure: the message to print and the exit code to die with.
 /// Code 1 is a measured or argument failure; code 2 is an unusable
 /// invocation (missing/unreadable baseline file), reported with usage.
+#[derive(Debug)]
 struct CliError {
     message: String,
     exit_code: i32,
@@ -123,6 +157,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
         }
         return check_e2e_gate(path);
     }
+    if command == "fleet" {
+        return fleet_cmd(&args[1..]);
+    }
     if command != "micro" {
         return Err(format!("unknown subcommand {command:?}").into());
     }
@@ -151,6 +188,14 @@ fn run(args: &[String]) -> Result<(), CliError> {
         }
     }
 
+    // Pre-validate the baseline before spending minutes measuring: a missing
+    // or malformed file should fail the invocation immediately, not after
+    // the full benchmark run.
+    let baseline = check_against
+        .as_deref()
+        .map(load_micro_baseline)
+        .transpose()?;
+
     let micro = run_micro(iters);
     write_json("BENCH_micro.json", micro_json(&micro))?;
     println!("wrote BENCH_micro.json");
@@ -159,9 +204,206 @@ fn run(args: &[String]) -> Result<(), CliError> {
     write_json("BENCH_e2e.json", e2e_json(&e2e))?;
     println!("wrote BENCH_e2e.json");
 
-    if let Some(path) = check_against {
-        check_regression(&path, &micro)?;
+    if let Some(baseline_us) = baseline {
+        check_regression(baseline_us, &micro)?;
     }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fleet serving benchmark
+// ---------------------------------------------------------------------------
+
+/// Parse `fleet` flags, run the simulation, write `BENCH_fleet.json`, and
+/// apply the `--check-against` gate. The baseline (when given) is loaded and
+/// validated *before* the run starts.
+fn fleet_cmd(args: &[String]) -> Result<(), CliError> {
+    let mut cfg = vroom_fleet::FleetConfig::default();
+    let mut check_against: Option<String> = None;
+    let mut tolerance_pct: f64 = 25.0;
+    let mut i = 0;
+    while i < args.len() {
+        let numeric = |name: &str| -> Result<u64, CliError> {
+            args.get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| CliError::from(format!("{name} takes a number")))
+        };
+        match args[i].as_str() {
+            "--clients" => cfg.clients = numeric("--clients")?.max(1) as usize,
+            "--sites" => cfg.sites = numeric("--sites")?.max(1) as usize,
+            "--shards" => cfg.shards = numeric("--shards")?.max(1) as usize,
+            "--seed" => cfg.seed = numeric("--seed")?,
+            "--window" => cfg.batch_window_ms = numeric("--window")?.max(1),
+            "--span" => cfg.arrival_span_ms = numeric("--span")?.max(1),
+            "--workers" => cfg.workers = numeric("--workers")?.max(1) as usize,
+            "--check-against" => {
+                check_against = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .ok_or("--check-against takes a file path")?,
+                );
+            }
+            "--tolerance" => {
+                tolerance_pct = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t: &f64| t.is_finite() && t >= 0.0)
+                    .ok_or("--tolerance takes a percentage >= 0")?;
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+        i += 2;
+    }
+
+    let baseline = check_against
+        .as_deref()
+        .map(load_fleet_baseline)
+        .transpose()?;
+
+    let start = Instant::now();
+    let run = vroom_fleet::run_fleet(&cfg);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let loads_per_sec = cfg.clients as f64 / (wall_ms / 1e3).max(1e-9);
+
+    print!("{}", run.report.render());
+    println!(
+        "timing: {wall_ms:.1} ms wall, {loads_per_sec:.1} loads/sec ({} workers)",
+        cfg.workers
+    );
+
+    let json = fleet_json(&cfg, &run.report, wall_ms, loads_per_sec);
+    write_json("BENCH_fleet.json", json.clone())?;
+    println!("wrote BENCH_fleet.json");
+
+    if let Some(baseline) = baseline {
+        check_fleet_gate(&baseline, &json, tolerance_pct)?;
+    }
+    Ok(())
+}
+
+/// The three-section `BENCH_fleet.json` tree: `config` and `metrics` are
+/// deterministic (byte-identical at any worker count); `timing` is the only
+/// machine-dependent section, so the gate treats them differently.
+fn fleet_json(
+    cfg: &vroom_fleet::FleetConfig,
+    report: &vroom_fleet::FleetReport,
+    wall_ms: f64,
+    loads_per_sec: f64,
+) -> Value {
+    let mut config = BTreeMap::new();
+    config.insert("clients".into(), Value::Int(cfg.clients as u64));
+    config.insert("sites".into(), Value::Int(cfg.sites as u64));
+    config.insert("shards".into(), Value::Int(cfg.shards as u64));
+    config.insert("seed".into(), Value::Int(cfg.seed));
+    config.insert("batch_window_ms".into(), Value::Int(cfg.batch_window_ms));
+    config.insert("arrival_span_ms".into(), Value::Int(cfg.arrival_span_ms));
+    let mut timing = BTreeMap::new();
+    timing.insert("wall_ms".into(), Value::Float(round3(wall_ms)));
+    timing.insert("loads_per_sec".into(), Value::Float(round3(loads_per_sec)));
+    timing.insert("workers".into(), Value::Int(cfg.workers as u64));
+    let mut root = BTreeMap::new();
+    root.insert("schema".into(), Value::Str("vroom-bench-fleet/1".into()));
+    root.insert("config".into(), Value::Object(config));
+    root.insert("metrics".into(), report.to_json_value());
+    root.insert("timing".into(), Value::Object(timing));
+    Value::Object(root)
+}
+
+/// A validated fleet baseline: the deterministic sections plus the one
+/// timing number the gate compares.
+#[derive(Debug)]
+struct FleetBaseline {
+    path: String,
+    config: Value,
+    metrics: Value,
+    loads_per_sec: f64,
+}
+
+/// Read and validate a committed `BENCH_fleet.json`. An unreadable file is
+/// an unusable invocation (exit 2); a readable file with the wrong shape is
+/// a failure (exit 1).
+fn load_fleet_baseline(path: &str) -> Result<FleetBaseline, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::unusable(format!("read {path}: {e}")))?;
+    let root = Value::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let Value::Object(map) = &root else {
+        return Err(format!("{path}: top level is not an object").into());
+    };
+    let section = |name: &str| -> Result<Value, CliError> {
+        map.get(name)
+            .cloned()
+            .ok_or_else(|| CliError::from(format!("{path}: missing {name:?} section")))
+    };
+    let config = section("config")?;
+    let metrics = section("metrics")?;
+    let Value::Object(timing) = section("timing")? else {
+        return Err(format!("{path}: timing is not an object").into());
+    };
+    let loads_per_sec = match timing.get("loads_per_sec") {
+        Some(Value::Float(f)) => *f,
+        Some(Value::Int(n)) => *n as f64,
+        _ => return Err(format!("{path}: no timing.loads_per_sec").into()),
+    };
+    Ok(FleetBaseline {
+        path: path.to_string(),
+        config,
+        metrics,
+        loads_per_sec,
+    })
+}
+
+/// The fleet CI gate. Deterministic sections must match exactly — the fleet
+/// is byte-identical by construction, so *any* drift in `config` or
+/// `metrics` is a correctness failure, not noise. Throughput may wobble
+/// with the machine: only a slowdown beyond `tolerance_pct` fails.
+fn check_fleet_gate(
+    baseline: &FleetBaseline,
+    fresh: &Value,
+    tolerance_pct: f64,
+) -> Result<(), CliError> {
+    let Value::Object(fresh) = fresh else {
+        return Err("fresh fleet output is not an object".into());
+    };
+    let path = &baseline.path;
+    for (name, want) in [("config", &baseline.config), ("metrics", &baseline.metrics)] {
+        let got = fresh
+            .get(name)
+            .ok_or_else(|| CliError::from(format!("fresh run is missing {name:?}")))?;
+        if got != want {
+            let mut want_s = String::new();
+            want.write_pretty_into(&mut want_s);
+            let mut got_s = String::new();
+            got.write_pretty_into(&mut got_s);
+            return Err(format!(
+                "fleet {name} drifted from the committed baseline at {path} — \
+                 deterministic output must match exactly (regenerate the baseline \
+                 if the change is intended)\n--- baseline\n{want_s}\n--- fresh\n{got_s}"
+            )
+            .into());
+        }
+    }
+    let fresh_lps = match fresh.get("timing") {
+        Some(Value::Object(t)) => match t.get("loads_per_sec") {
+            Some(Value::Float(f)) => *f,
+            Some(Value::Int(n)) => *n as f64,
+            _ => return Err("fresh run has no timing.loads_per_sec".into()),
+        },
+        _ => return Err("fresh run has no timing section".into()),
+    };
+    let floor = baseline.loads_per_sec * (1.0 - tolerance_pct / 100.0);
+    if fresh_lps < floor {
+        return Err(format!(
+            "fleet throughput regressed: {fresh_lps:.1} loads/sec vs baseline {:.1} \
+             (floor {floor:.1}, -{tolerance_pct:.0}%)",
+            baseline.loads_per_sec
+        )
+        .into());
+    }
+    println!(
+        "fleet gate ok: metrics match {path}; {fresh_lps:.1} loads/sec vs baseline {:.1} \
+         (floor {floor:.1})",
+        baseline.loads_per_sec
+    );
     Ok(())
 }
 
@@ -487,14 +729,22 @@ fn write_json(path: &str, v: Value) -> Result<(), String> {
     std::fs::write(path, out).map_err(|e| format!("write {path}: {e}"))
 }
 
+/// Read and validate a committed `BENCH_micro.json`, returning its
+/// `full_single_site_load` median. Called before any measuring so a broken
+/// baseline fails the invocation immediately. An unreadable file is an
+/// unusable invocation (exit 2); a readable file with the wrong shape is a
+/// failure (exit 1).
+fn load_micro_baseline(path: &str) -> Result<f64, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::unusable(format!("read {path}: {e}")))?;
+    let root = Value::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    lookup_median(&root, "full_single_site_load")
+        .ok_or_else(|| format!("{path}: no benches.full_single_site_load.median_us").into())
+}
+
 /// The CI bench-smoke gate: fail if the fresh `full_single_site_load`
 /// median exceeds the committed baseline's by more than 25%.
-fn check_regression(baseline_path: &str, fresh: &[BenchStats]) -> Result<(), CliError> {
-    let text = std::fs::read_to_string(baseline_path)
-        .map_err(|e| CliError::unusable(format!("read {baseline_path}: {e}")))?;
-    let root = Value::parse(&text).map_err(|e| format!("parse {baseline_path}: {e}"))?;
-    let baseline = lookup_median(&root, "full_single_site_load")
-        .ok_or_else(|| format!("{baseline_path}: no benches.full_single_site_load.median_us"))?;
+fn check_regression(baseline: f64, fresh: &[BenchStats]) -> Result<(), CliError> {
     let current = fresh
         .iter()
         .find(|b| b.name == "full_single_site_load")
@@ -535,6 +785,72 @@ fn lookup_median(root: &Value, bench: &str) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("vroom-bench-{tag}-{}.json", std::process::id()))
+    }
+
+    /// A synthetic BENCH_fleet.json tree — just enough shape for the gate.
+    fn fleet_fixture(loads_per_sec: f64, store_entries: u64) -> Value {
+        Value::parse(&format!(
+            r#"{{"schema": "vroom-bench-fleet/1",
+                 "config": {{"clients": 10, "seed": 7}},
+                 "metrics": {{"store_entries": {store_entries}, "hint_hits": 40}},
+                 "timing": {{"loads_per_sec": {loads_per_sec:.1}, "wall_ms": 12.5, "workers": 1}}}}"#
+        ))
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn fleet_gate_requires_exact_metrics_and_tolerates_bounded_slowdown() {
+        let path = temp_path("fleet-gate");
+        let mut text = String::new();
+        fleet_fixture(100.0, 5).write_pretty_into(&mut text);
+        std::fs::write(&path, text).expect("write fixture");
+        let baseline = load_fleet_baseline(path.to_str().unwrap()).expect("valid baseline");
+        assert!((baseline.loads_per_sec - 100.0).abs() < 1e-9);
+
+        // Same metrics, 20% slower: inside the 25% tolerance.
+        assert!(check_fleet_gate(&baseline, &fleet_fixture(80.0, 5), 25.0).is_ok());
+        // Same metrics, >25% slower: regression, exit 1.
+        let err = check_fleet_gate(&baseline, &fleet_fixture(74.0, 5), 25.0).unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(
+            err.message.contains("throughput regressed"),
+            "{}",
+            err.message
+        );
+        // Metric drift fails even with identical throughput: determinism
+        // drift is a bug, not noise.
+        let err = check_fleet_gate(&baseline, &fleet_fixture(100.0, 6), 25.0).unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(err.message.contains("metrics drifted"), "{}", err.message);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn fleet_baseline_with_wrong_shape_is_exit_1() {
+        let path = temp_path("fleet-shape");
+        std::fs::write(&path, "{\"schema\": \"vroom-bench-fleet/1\"}").expect("write fixture");
+        let err = load_fleet_baseline(path.to_str().unwrap()).unwrap_err();
+        assert_eq!(
+            err.exit_code, 1,
+            "readable-but-malformed is a failure, not unusable"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn fleet_cli_rejects_bad_arguments() {
+        let args = |l: &[&str]| l.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(run(&args(&["fleet", "--clients"])).is_err());
+        assert!(run(&args(&["fleet", "--clients", "many"])).is_err());
+        assert!(run(&args(&["fleet", "--tolerance", "-5"])).is_err());
+        assert!(run(&args(&["fleet", "--bogus"])).is_err());
+        // Missing baseline fails fast with exit 2, before the run starts.
+        let err = run(&args(&["fleet", "--check-against", "/nonexistent/f.json"])).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+    }
 
     #[test]
     fn json_shapes_parse_and_are_canonical_fixed_points() {
@@ -598,14 +914,63 @@ mod tests {
 
     #[test]
     fn missing_baseline_files_exit_2_not_1() {
-        let missing = "/nonexistent/BENCH_micro.json";
-        let err = check_regression(missing, &[]).unwrap_err();
+        let err = load_micro_baseline("/nonexistent/BENCH_micro.json").unwrap_err();
         assert_eq!(err.exit_code, 2, "unreadable --check-against baseline");
         let err = check_e2e_gate("/nonexistent/BENCH_e2e.json").unwrap_err();
         assert_eq!(err.exit_code, 2, "unreadable check-e2e baseline");
+        let err = load_fleet_baseline("/nonexistent/BENCH_fleet.json").unwrap_err();
+        assert_eq!(err.exit_code, 2, "unreadable fleet baseline");
         // Argument errors stay exit 1 — only unusable files are exit 2.
         let args: Vec<String> = vec!["frobnicate".to_string()];
         assert_eq!(run(&args).unwrap_err().exit_code, 1);
+    }
+
+    #[test]
+    fn micro_baseline_is_validated_before_measuring() {
+        // `run` with a missing baseline must fail fast with exit 2 — this
+        // test completes instantly only because the baseline check happens
+        // before `run_micro` (a full measuring pass takes minutes).
+        let args: Vec<String> = ["micro", "--check-against", "/nonexistent/b.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&args).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        // A readable but malformed baseline is a failure (1), not unusable (2).
+        let path = temp_path("micro-malformed");
+        std::fs::write(&path, "{\"benches\": {}}").expect("write fixture");
+        let err = load_micro_baseline(path.to_str().unwrap()).unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn micro_gate_trips_at_25_percent_regression() {
+        let baseline = micro_json(&[BenchStats {
+            name: "full_single_site_load",
+            median_us: 1000.0,
+            iqr_us: 1.0,
+            iters_per_sample: 3,
+            samples: 10,
+        }]);
+        let mut text = String::new();
+        baseline.write_pretty_into(&mut text);
+        let path = temp_path("micro-gate");
+        std::fs::write(&path, text).expect("write fixture");
+        let baseline_us = load_micro_baseline(path.to_str().unwrap()).expect("valid baseline");
+        let fresh = |median_us: f64| {
+            vec![BenchStats {
+                name: "full_single_site_load",
+                median_us,
+                iqr_us: 1.0,
+                iters_per_sample: 3,
+                samples: 10,
+            }]
+        };
+        assert!(check_regression(baseline_us, &fresh(1249.0)).is_ok());
+        let err = check_regression(baseline_us, &fresh(1251.0)).unwrap_err();
+        assert_eq!(err.exit_code, 1, ">25% slower is a regression, exit 1");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -1,0 +1,682 @@
+//! `vroom-fleet` — fleet-scale serving simulation: one shared Vroom server,
+//! thousands of concurrent clients.
+//!
+//! The paper's deployment story (§6) is a front-end resolution server
+//! answering many loads at once; the rest of this workspace models a
+//! *single* page load. This crate closes the gap with a throughput mode
+//! whose every moving part is deterministic:
+//!
+//! * **Clients** — `N` simulated clients, each fully derived from the fleet
+//!   seed (site, virtual arrival time, device, cookie identity, nonce are
+//!   pure hashes of `(seed, client id)`).
+//! * **Batched resolution** — clients arriving within one batch window
+//!   share a single resolver pass ([`vroom_server::batch`]): the expensive
+//!   offline-intersection + online-scan pipeline runs once per
+//!   (site, hour, device-bucket), not once per request.
+//! * **Sharded hint store** — resolver output is filed in a
+//!   [`ShardedStore`] routed by [`vroom_intern::UrlId::shard`]; every load
+//!   reads its page's hint lists back out of the store, bumping the
+//!   per-shard logical access counters the report exposes as contention
+//!   figures.
+//! * **Per-origin connection reuse** — the fleet tracks which origins
+//!   already hold a warm server connection; later loads touching the same
+//!   origin count as reuses (a counter model: reuse does not alter the
+//!   simulated load itself).
+//! * **Parallel execution** — batches fan resolver passes and client loads
+//!   over [`vroom_exec::par_map_indexed`], so the report is byte-identical
+//!   at any worker count.
+//!
+//! Determinism argument: batch membership and batch order are pure
+//! functions of the seed; resolver passes are pure and committed in a fixed
+//! order between batches (so shared-table ids are deterministic); client
+//! loads within a batch read a frozen store snapshot-equivalent (no writes
+//! happen during the load phase) and land in input-index slots; the shard
+//! counters are *logical* — one bump per operation — so their totals depend
+//! on the workload, never on scheduling. Everything in [`FleetReport`] is
+//! therefore identical for any `workers`, which `tests/tests/fleet.rs` pins
+//! byte-for-byte. Wall-clock throughput (loads/sec) is measured *outside*
+//! this crate by `vroom-bench fleet` and kept in a separate `timing`
+//! section of `BENCH_fleet.json`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vroom::policy::apply_fault_plan;
+use vroom_browser::config::{FetchPolicy, Hint, LoadConfig, ServerModel};
+use vroom_browser::metrics::percentile_sorted;
+use vroom_browser::{BrowserEngine, LoadResult};
+use vroom_intern::UrlTable;
+use vroom_net::json::Value;
+use vroom_net::{FaultPlan, NetworkProfile};
+use vroom_pages::{Corpus, DeviceClass, LoadContext, PageGenerator};
+use vroom_server::batch::{commit_pass, run_pass};
+use vroom_server::push_policy::{select_pushes, PushPolicy};
+use vroom_server::resolve::embedded_htmls;
+use vroom_server::store::{HintStore, ShardStats, ShardedStore};
+
+/// The simulated wall-clock hour the fleet runs in. Every client arrives
+/// within the same hour bucket, so a site needs exactly one resolver pass
+/// for the whole run.
+pub const FLEET_BASE_HOURS: f64 = 2000.0;
+
+/// Which clients an injected fault plan applies to, and how hard it hits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetFaults {
+    /// Seed for per-client plan derivation.
+    pub seed: u64,
+    /// Plan severity in `[0, 1]`; `<= 0` disables every plan (the inactive
+    /// configuration the chaos suite proves byte-identical to no faults).
+    pub severity: f64,
+    /// Apply the plan to every `one_in`-th client (`client_id % one_in ==
+    /// 0`); `1` = every client, `0` = nobody.
+    pub one_in: u64,
+}
+
+impl FleetFaults {
+    /// The fault plan for one client: inactive unless this client is
+    /// selected, otherwise seeded from `(seed, client id)` so faults are
+    /// independent across clients.
+    pub fn plan_for(&self, client: u64) -> FaultPlan {
+        if self.severity <= 0.0 || self.one_in == 0 || client % self.one_in != 0 {
+            FaultPlan::none()
+        } else {
+            FaultPlan::from_seed(mix(self.seed, client), self.severity)
+        }
+    }
+}
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of simulated clients.
+    pub clients: usize,
+    /// Fleet seed; every per-client parameter derives from it.
+    pub seed: u64,
+    /// Number of distinct sites the clients are spread over (a prefix of
+    /// the News+Sports corpus).
+    pub sites: usize,
+    /// Corpus seed (site structures).
+    pub corpus_seed: u64,
+    /// Seed for the server's crawls.
+    pub server_seed: u64,
+    /// Hint-store shard count.
+    pub shards: usize,
+    /// Virtual batch window: clients whose arrival falls in the same
+    /// window share one resolver admission round.
+    pub batch_window_ms: u64,
+    /// Client arrivals spread uniformly over this virtual span.
+    pub arrival_span_ms: u64,
+    /// Worker threads for resolver passes and client loads (`1` =
+    /// sequential). The report is byte-identical for every value.
+    pub workers: usize,
+    /// The access network every client loads over.
+    pub profile: NetworkProfile,
+    /// Optional fault injection.
+    pub faults: Option<FleetFaults>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            clients: 1000,
+            seed: 0xF1EE7,
+            sites: 8,
+            corpus_seed: 7,
+            server_seed: 77,
+            shards: 16,
+            batch_window_ms: 100,
+            arrival_span_ms: 10_000,
+            workers: 1,
+            profile: NetworkProfile::lte(),
+            faults: None,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A reduced configuration for quick tests.
+    pub fn quick(clients: usize, sites: usize) -> Self {
+        FleetConfig {
+            clients,
+            sites,
+            ..Default::default()
+        }
+    }
+}
+
+/// splitmix-style hash used for every per-client derivation.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One client's derived parameters — a pure function of (fleet seed, id).
+#[derive(Debug, Clone, Copy)]
+struct ClientSpec {
+    id: usize,
+    site: usize,
+    arrival_ms: u64,
+    device: DeviceClass,
+    user_id: u64,
+    nonce: u64,
+}
+
+impl ClientSpec {
+    fn derive(cfg: &FleetConfig, id: usize) -> ClientSpec {
+        let id64 = id as u64;
+        // The fleet is a mobile population: phone devices only, so the
+        // server's phone-bucket resolver pass serves every client. (Large
+        // vs small phones still differ in CPU speed and DPR-keyed URLs —
+        // slightly wrong hints for the minority device are part of the
+        // model, as in the paper's Fig 9.)
+        let device = if mix(cfg.seed, id64 * 4 + 1) % 2 == 0 {
+            DeviceClass::PhoneLarge
+        } else {
+            DeviceClass::PhoneSmall
+        };
+        ClientSpec {
+            id,
+            site: (mix(cfg.seed, id64 * 4) % cfg.sites.max(1) as u64) as usize,
+            arrival_ms: mix(cfg.seed, id64 * 4 + 2) % cfg.arrival_span_ms.max(1),
+            device,
+            user_id: mix(cfg.seed, id64 * 4 + 3),
+            nonce: mix(cfg.seed ^ 0x0C11E27, id64),
+        }
+    }
+
+    fn ctx(&self) -> LoadContext {
+        LoadContext {
+            // Sub-hour arrival offset: stays inside the fleet's hour bucket.
+            hours: FLEET_BASE_HOURS + self.arrival_ms as f64 / 3_600_000.0,
+            user_id: self.user_id,
+            device: self.device,
+            nonce: self.nonce,
+        }
+    }
+}
+
+/// What one client's load produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientOutcome {
+    /// Client id (index into the fleet).
+    pub id: usize,
+    /// Site index the client loaded.
+    pub site: usize,
+    /// Virtual arrival time within the run.
+    pub arrival_ms: u64,
+    /// Whether an active fault plan was applied to this client.
+    pub faulted: bool,
+    /// HTML documents whose hints were found in the shared store.
+    pub hint_hits: u64,
+    /// HTML documents with no store entry (churned iframe URLs, mostly).
+    pub hint_misses: u64,
+    /// Distinct origins the load touched, sorted.
+    pub origins: Vec<String>,
+    /// The full simulated load result.
+    pub result: LoadResult,
+}
+
+/// Aggregate report of one fleet run. Every field is deterministic: equal
+/// configs produce byte-identical reports at any worker count. Wall-clock
+/// throughput is intentionally absent — `vroom-bench fleet` measures it
+/// around this crate and files it in a separate `timing` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Simulated clients.
+    pub clients: u64,
+    /// Distinct sites.
+    pub sites: u64,
+    /// Hint-store shards.
+    pub shards: u64,
+    /// Batch window (virtual ms).
+    pub batch_window_ms: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Resolver passes run (≤ sites: passes are shared within and across
+    /// batches through the store).
+    pub resolver_passes: u64,
+    /// Live hint-store entries at end of run.
+    pub store_entries: u64,
+    /// Per-shard access counters, in shard order.
+    pub shard_stats: Vec<ShardStats>,
+    /// HTML documents served hints out of the store.
+    pub hint_hits: u64,
+    /// HTML documents that missed the store.
+    pub hint_misses: u64,
+    /// Origins that required a new server connection.
+    pub origins_opened: u64,
+    /// Loads that found their origin's connection already warm.
+    pub origin_reuses: u64,
+    /// Median onload across the fleet (simulated ms).
+    pub onload_p50_ms: f64,
+    /// 99th-percentile onload (simulated ms).
+    pub onload_p99_ms: f64,
+    /// Clients that ran under an active fault plan.
+    pub faulted_clients: u64,
+    /// Clients with at least one failed resource.
+    pub failed_loads: u64,
+    /// Failed resources across the fleet.
+    pub failed_resources: u64,
+    /// Retries across the fleet.
+    pub retries: u64,
+    /// RST_STREAM-equivalent events.
+    pub rst_streams: u64,
+    /// GOAWAY-equivalent events.
+    pub goaways: u64,
+    /// Timed-out attempts.
+    pub timeouts: u64,
+    /// Bytes fetched that belonged to the pages.
+    pub useful_bytes: u64,
+    /// Bytes wasted on inaccurate hints/pushes.
+    pub wasted_bytes: u64,
+}
+
+impl FleetReport {
+    /// Store hit rate in percent (0 when nothing was looked up).
+    pub fn hint_hit_rate(&self) -> f64 {
+        let total = self.hint_hits + self.hint_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hint_hits as f64 * 100.0 / total as f64
+    }
+
+    /// The deterministic text report.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("==== fleet ====\n");
+        out.push_str(&format!(
+            "clients {}  sites {}  shards {}  window {} ms  batches {}\n",
+            self.clients, self.sites, self.shards, self.batch_window_ms, self.batches
+        ));
+        out.push_str(&format!(
+            "resolver passes {}  store entries {}\n",
+            self.resolver_passes, self.store_entries
+        ));
+        out.push_str(&format!(
+            "hints: hits {}  misses {}  hit rate {:.1}%\n",
+            self.hint_hits,
+            self.hint_misses,
+            self.hint_hit_rate()
+        ));
+        out.push_str(&format!(
+            "origins: opened {}  reused {}\n",
+            self.origins_opened, self.origin_reuses
+        ));
+        out.push_str(&format!(
+            "onload: p50 {:.1} ms  p99 {:.1} ms\n",
+            self.onload_p50_ms, self.onload_p99_ms
+        ));
+        out.push_str(&format!(
+            "faults: faulted clients {}  failed loads {}  failed resources {}  \
+             retries {}  rst {}  goaway {}  timeouts {}\n",
+            self.faulted_clients,
+            self.failed_loads,
+            self.failed_resources,
+            self.retries,
+            self.rst_streams,
+            self.goaways,
+            self.timeouts
+        ));
+        out.push_str(&format!(
+            "bytes: useful {}  wasted {}\n",
+            self.useful_bytes, self.wasted_bytes
+        ));
+        out.push_str("shard   reads    hits  writes entries\n");
+        for (i, s) in self.shard_stats.iter().enumerate() {
+            out.push_str(&format!(
+                "  {:>3} {:>7} {:>7} {:>7} {:>7}\n",
+                i, s.reads, s.hits, s.writes, s.entries
+            ));
+        }
+        out
+    }
+
+    /// The deterministic metrics as a canonical-codec JSON tree — the
+    /// `metrics` object of `BENCH_fleet.json`.
+    pub fn to_json_value(&self) -> Value {
+        let round3 = |x: f64| (x * 1e3).round() / 1e3;
+        let mut m = BTreeMap::new();
+        m.insert("clients".into(), Value::Int(self.clients));
+        m.insert("sites".into(), Value::Int(self.sites));
+        m.insert("shards".into(), Value::Int(self.shards));
+        m.insert("batch_window_ms".into(), Value::Int(self.batch_window_ms));
+        m.insert("batches".into(), Value::Int(self.batches));
+        m.insert("resolver_passes".into(), Value::Int(self.resolver_passes));
+        m.insert("store_entries".into(), Value::Int(self.store_entries));
+        m.insert("hint_hits".into(), Value::Int(self.hint_hits));
+        m.insert("hint_misses".into(), Value::Int(self.hint_misses));
+        m.insert("origins_opened".into(), Value::Int(self.origins_opened));
+        m.insert("origin_reuses".into(), Value::Int(self.origin_reuses));
+        m.insert(
+            "onload_p50_ms".into(),
+            Value::Float(round3(self.onload_p50_ms)),
+        );
+        m.insert(
+            "onload_p99_ms".into(),
+            Value::Float(round3(self.onload_p99_ms)),
+        );
+        m.insert("faulted_clients".into(), Value::Int(self.faulted_clients));
+        m.insert("failed_loads".into(), Value::Int(self.failed_loads));
+        m.insert("failed_resources".into(), Value::Int(self.failed_resources));
+        m.insert("retries".into(), Value::Int(self.retries));
+        m.insert("rst_streams".into(), Value::Int(self.rst_streams));
+        m.insert("goaways".into(), Value::Int(self.goaways));
+        m.insert("timeouts".into(), Value::Int(self.timeouts));
+        m.insert("useful_bytes".into(), Value::Int(self.useful_bytes));
+        m.insert("wasted_bytes".into(), Value::Int(self.wasted_bytes));
+        let shards = self
+            .shard_stats
+            .iter()
+            .map(|s| {
+                let mut e = BTreeMap::new();
+                e.insert("reads".into(), Value::Int(s.reads));
+                e.insert("hits".into(), Value::Int(s.hits));
+                e.insert("writes".into(), Value::Int(s.writes));
+                e.insert("entries".into(), Value::Int(s.entries));
+                Value::Object(e)
+            })
+            .collect();
+        m.insert("shard_stats".into(), Value::Array(shards));
+        Value::Object(m)
+    }
+}
+
+/// A finished fleet run: the aggregate report plus every client's outcome
+/// (in client-id order, for per-client assertions in the test tier).
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// Aggregate, deterministic report.
+    pub report: FleetReport,
+    /// Per-client outcomes, sorted by client id.
+    pub outcomes: Vec<ClientOutcome>,
+}
+
+/// Run the fleet. Deterministic: the returned report and outcomes are
+/// byte-identical for any `cfg.workers` and across repeated runs with the
+/// same config.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
+    let corpus = Corpus::news_and_sports_capped(cfg.corpus_seed, Some(cfg.sites.max(1)));
+    let store = ShardedStore::new(cfg.shards);
+    let mut urls = UrlTable::new();
+
+    // Derive and order clients by virtual arrival (ties by id).
+    let mut specs: Vec<ClientSpec> = (0..cfg.clients)
+        .map(|id| ClientSpec::derive(cfg, id))
+        .collect();
+    specs.sort_by_key(|s| (s.arrival_ms, s.id));
+
+    // Partition into batch windows.
+    let window = cfg.batch_window_ms.max(1);
+    let mut batches: Vec<Vec<ClientSpec>> = Vec::new();
+    for spec in specs {
+        let bucket = spec.arrival_ms / window;
+        match batches.last_mut() {
+            Some(last) if last[0].arrival_ms / window == bucket => last.push(spec),
+            _ => batches.push(vec![spec]),
+        }
+    }
+
+    let mut resolved_sites: BTreeSet<usize> = BTreeSet::new();
+    let mut resolver_passes = 0u64;
+    let mut warm_origins: BTreeSet<String> = BTreeSet::new();
+    let mut origins_opened = 0u64;
+    let mut origin_reuses = 0u64;
+    let mut outcomes: Vec<ClientOutcome> = Vec::with_capacity(cfg.clients);
+
+    for batch in &batches {
+        // Admission: which sites still need a resolver pass. Deterministic
+        // order (by site index) so commit order — and therefore shared-table
+        // id assignment — is schedule-independent.
+        let needed: Vec<usize> = batch
+            .iter()
+            .map(|s| s.site)
+            .filter(|s| !resolved_sites.contains(s))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        // The expensive half fans out; the cheap commits stay sequential.
+        let passes = vroom_exec::par_map_indexed(&needed, cfg.workers, |_, &site| {
+            run_pass(
+                &corpus.sites[site],
+                FLEET_BASE_HOURS,
+                DeviceClass::PhoneLarge,
+                cfg.server_seed,
+            )
+        });
+        for (&site, pass) in needed.iter().zip(&passes) {
+            commit_pass(pass, &store, &mut urls);
+            resolved_sites.insert(site);
+            resolver_passes += 1;
+        }
+
+        // Load phase: the store is frozen (no writes until the next batch),
+        // so every client's load is a pure function of its spec and the
+        // shared state committed above.
+        let batch_outcomes = vroom_exec::par_map_indexed(batch, cfg.workers, |_, spec| {
+            load_client(cfg, spec, &corpus.sites[spec.site], &urls, &store)
+        });
+
+        // Sequential post-batch accounting, in arrival order: the origin
+        // pool models per-origin connection reuse across the fleet.
+        for outcome in batch_outcomes {
+            for origin in &outcome.origins {
+                if warm_origins.contains(origin) {
+                    origin_reuses += 1;
+                } else {
+                    warm_origins.insert(origin.clone());
+                    origins_opened += 1;
+                }
+            }
+            outcomes.push(outcome);
+        }
+    }
+
+    outcomes.sort_by_key(|o| o.id);
+
+    let mut onloads: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.result.plt.as_secs_f64() * 1e3)
+        .collect();
+    onloads.sort_by(f64::total_cmp);
+
+    let sum = |f: &dyn Fn(&ClientOutcome) -> u64| outcomes.iter().map(f).sum::<u64>();
+    let report = FleetReport {
+        clients: cfg.clients as u64,
+        sites: cfg.sites.max(1) as u64,
+        shards: store.shard_count() as u64,
+        batch_window_ms: window,
+        batches: batches.len() as u64,
+        resolver_passes,
+        store_entries: store.len() as u64,
+        shard_stats: store.shard_stats(),
+        hint_hits: sum(&|o| o.hint_hits),
+        hint_misses: sum(&|o| o.hint_misses),
+        origins_opened,
+        origin_reuses,
+        onload_p50_ms: percentile_sorted(&onloads, 0.50),
+        onload_p99_ms: percentile_sorted(&onloads, 0.99),
+        faulted_clients: sum(&|o| u64::from(o.faulted)),
+        failed_loads: sum(&|o| u64::from(o.result.failed_resources > 0)),
+        failed_resources: sum(&|o| o.result.failed_resources as u64),
+        retries: sum(&|o| o.result.retries as u64),
+        rst_streams: sum(&|o| o.result.rst_streams as u64),
+        goaways: sum(&|o| o.result.goaways as u64),
+        timeouts: sum(&|o| o.result.timeouts as u64),
+        useful_bytes: sum(&|o| o.result.useful_bytes),
+        wasted_bytes: sum(&|o| o.result.wasted_bytes),
+    };
+    FleetRun { report, outcomes }
+}
+
+/// One client's load against the shared server state. Pure in the shared
+/// state: only reads `urls` and `store` (read locks + logical counters).
+fn load_client(
+    cfg: &FleetConfig,
+    spec: &ClientSpec,
+    site: &PageGenerator,
+    urls: &UrlTable,
+    store: &dyn HintStore,
+) -> ClientOutcome {
+    let ctx = spec.ctx();
+    let page = site.snapshot_arc(&ctx);
+
+    let mut load_cfg = LoadConfig::http2_baseline();
+    load_cfg.cpu_factor = ctx.device.cpu_factor();
+    load_cfg.fetch_policy = FetchPolicy::VroomStaged;
+    load_cfg.ordered_responses = true;
+
+    // Gather the HTML documents this load will request (root + iframes)
+    // and pull each one's hints out of the shared store, translating
+    // shared-table ids into a per-load table — the per-client equivalent of
+    // parsing hint headers off the wire.
+    let mut local = UrlTable::new();
+    let mut server = ServerModel::default();
+    let mut hint_hits = 0u64;
+    let mut hint_misses = 0u64;
+    let mut htmls = vec![page.url.clone()];
+    htmls.extend(
+        embedded_htmls(&page)
+            .into_iter()
+            .map(|f| page.resources[f].url.clone()),
+    );
+    for html in &htmls {
+        let stored = urls.lookup(html).and_then(|id| store.get(id));
+        let Some(stored) = stored else {
+            hint_misses += 1;
+            continue;
+        };
+        hint_hits += 1;
+        let local_id = local.intern(html.clone());
+        let hints: Vec<Hint> = stored
+            .iter()
+            .filter_map(|h| {
+                let url = urls.url(h.url)?;
+                Some(Hint {
+                    url: local.intern(url.clone()),
+                    tier: h.tier,
+                    size_hint: h.size_hint,
+                })
+            })
+            .collect();
+        let pushes = select_pushes(PushPolicy::HighPriorityLocal, &html.host, &hints, &local);
+        if !pushes.is_empty() {
+            server.pushes.insert(local_id, pushes);
+        }
+        server.hints.insert(local_id, hints);
+    }
+    load_cfg.urls = local;
+    load_cfg.server = server;
+
+    let plan = match &cfg.faults {
+        Some(f) => f.plan_for(spec.id as u64),
+        None => FaultPlan::none(),
+    };
+    let faulted = plan.is_active();
+    if faulted {
+        apply_fault_plan(&mut load_cfg, &plan);
+    }
+
+    let result = BrowserEngine::load(&page, &cfg.profile, &load_cfg);
+    let origins: Vec<String> = page
+        .resources
+        .iter()
+        .map(|r| r.url.origin())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    ClientOutcome {
+        id: spec.id,
+        site: spec.site,
+        arrival_ms: spec.arrival_ms,
+        faulted,
+        hint_hits,
+        hint_misses,
+        origins,
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_derivation_is_deterministic_and_in_range() {
+        let cfg = FleetConfig::quick(64, 4);
+        for id in 0..64 {
+            let a = ClientSpec::derive(&cfg, id);
+            let b = ClientSpec::derive(&cfg, id);
+            assert_eq!(a.site, b.site);
+            assert_eq!(a.arrival_ms, b.arrival_ms);
+            assert_eq!(a.nonce, b.nonce);
+            assert!(a.site < 4);
+            assert!(a.arrival_ms < cfg.arrival_span_ms);
+            assert_eq!(a.device.bucket(), "phone");
+        }
+    }
+
+    #[test]
+    fn small_fleet_shares_resolver_passes() {
+        let cfg = FleetConfig::quick(40, 3);
+        let run = run_fleet(&cfg);
+        let r = &run.report;
+        assert_eq!(r.clients, 40);
+        assert_eq!(r.resolver_passes, 3, "one pass per site, shared by all");
+        assert!(r.hint_hits > 0, "root documents hit the store");
+        assert!(
+            r.hint_hits > r.hint_misses,
+            "hits {} should dominate misses {}",
+            r.hint_hits,
+            r.hint_misses
+        );
+        assert!(r.origin_reuses > r.origins_opened);
+        assert!(r.onload_p99_ms >= r.onload_p50_ms);
+        assert!(r.onload_p50_ms > 0.0);
+        assert_eq!(r.shard_stats.len(), r.shards as usize);
+        let reads: u64 = r.shard_stats.iter().map(|s| s.reads).sum();
+        assert_eq!(reads, r.hint_hits + r.hint_misses);
+        assert_eq!(r.faulted_clients, 0);
+    }
+
+    #[test]
+    fn fleet_outcomes_are_in_client_id_order() {
+        let run = run_fleet(&FleetConfig::quick(25, 2));
+        let ids: Vec<usize> = run.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn report_json_matches_render_fields() {
+        let run = run_fleet(&FleetConfig::quick(16, 2));
+        let Value::Object(m) = run.report.to_json_value() else {
+            panic!("metrics must be an object");
+        };
+        assert_eq!(m.get("clients"), Some(&Value::Int(16)));
+        assert!(m.contains_key("onload_p50_ms"));
+        assert!(m.contains_key("shard_stats"));
+        let rendered = run.report.render();
+        assert!(rendered.starts_with("==== fleet ===="));
+        assert!(rendered.contains("resolver passes"));
+    }
+
+    #[test]
+    fn fault_selector_respects_one_in() {
+        let f = FleetFaults {
+            seed: 5,
+            severity: 0.8,
+            one_in: 3,
+        };
+        assert!(f.plan_for(0).is_active());
+        assert!(!f.plan_for(1).is_active());
+        assert!(!f.plan_for(2).is_active());
+        assert!(f.plan_for(3).is_active());
+        let off = FleetFaults { severity: 0.0, ..f };
+        assert!(!off.plan_for(0).is_active());
+        let nobody = FleetFaults { one_in: 0, ..f };
+        assert!(!nobody.plan_for(0).is_active());
+    }
+}

@@ -46,6 +46,22 @@ impl UrlId {
         // vroom-lint: allow(panic-reachable) -- ids are minted from Vec lengths; overflow needs 2^32 interned URLs
         UrlId(u32::try_from(index).expect("more than u32::MAX interned urls"))
     }
+
+    /// Route this id to one of `shards` buckets — the shard-selection
+    /// function of the sharded hint store. Total (always `< shards` for
+    /// `shards >= 1`; `0` for `shards <= 1`) and a pure function of the id
+    /// *value* alone, never of table size: an id keeps its shard as the
+    /// table grows, so entries filed under it never migrate. Consecutive
+    /// ids are spread by Fibonacci multiplicative hashing rather than
+    /// `id % shards`, which would pile every early-interned root URL onto
+    /// the low shards.
+    pub fn shard(self, shards: usize) -> usize {
+        if shards <= 1 {
+            return 0;
+        }
+        let h = u64::from(self.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % shards
+    }
 }
 
 impl fmt::Display for UrlId {
@@ -457,6 +473,26 @@ mod tests {
         let mut set = std::collections::HashSet::new();
         set.insert(SharedStr::from("x"));
         assert!(set.contains(&SharedStr::from("x")));
+    }
+
+    #[test]
+    fn shard_routing_is_total_and_stable() {
+        for id in [0usize, 1, 2, 17, 4096, u32::MAX as usize] {
+            let id = UrlId::from_index(id.min(u32::MAX as usize));
+            assert_eq!(id.shard(0), 0);
+            assert_eq!(id.shard(1), 0);
+            for shards in [2usize, 3, 8, 16, 1024] {
+                assert!(id.shard(shards) < shards, "total for shards={shards}");
+            }
+        }
+        // Stability: a table growing around an id never changes its shard.
+        let mut t = UrlTable::new();
+        let first = t.intern(Url::https("a.com", "/x"));
+        let before = first.shard(16);
+        for i in 0..100 {
+            t.intern(Url::https(format!("host{i}.com"), "/y"));
+        }
+        assert_eq!(first.shard(16), before);
     }
 
     #[test]

@@ -13,23 +13,32 @@
 //!   `x-semi-important` / `x-unimportant`),
 //! * [`push_policy`] — which local dependencies to PUSH (§4.3),
 //! * [`device`] — device-type equivalence classes (§4.1.2, Fig 9),
+//! * [`store`] — the shared hint store behind the fleet serving path: a
+//!   [`store::HintStore`] trait with unsharded (reference) and sharded
+//!   (production) implementations plus logical contention counters,
+//! * [`batch`] — batched resolution: one pure resolver pass per
+//!   (page, hour, device) shared by every client in a batch window,
 //! * [`wire`] — a working Vroom server + client speaking real HTTP/2 over
 //!   TCP, serving a Mahimahi-style replay store.
 
 #![forbid(unsafe_code)]
 
 pub mod accuracy;
+pub mod batch;
 pub mod clusters;
 pub mod device;
 pub mod hints;
 pub mod online;
 pub mod push_policy;
 pub mod resolve;
+pub mod store;
 pub mod wire;
 
 pub use accuracy::{evaluate, Accuracy};
+pub use batch::{commit_pass, hour_bucket, run_pass, PassOutput};
 pub use clusters::{cluster_pages, PageTypeClusters};
 pub use hints::{attach_hints, parse_hints};
 pub use push_policy::{select_pushes, PushPolicy};
 pub use resolve::{resolve, ResolvedDeps, ResolverInput, Strategy, CRAWLER_USER};
+pub use store::{HintStore, ShardStats, ShardedStore, UnshardedStore};
 pub use wire::{MonotonicClock, WireClient, WireClock, WireFaults, WireServer, WireSite};

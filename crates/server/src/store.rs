@@ -1,0 +1,300 @@
+//! The shared hint store: the server-side state a fleet of concurrent
+//! clients reads and the resolver writes.
+//!
+//! A front-end Vroom deployment serves many loads at once, and every one of
+//! them consults the same dependency metadata. The store is therefore
+//! read-mostly: resolver passes write an HTML's hint list once per
+//! freshness window, then thousands of loads read it. [`HintStore`] is the
+//! trait boundary between the serving path and the storage layout, with two
+//! implementations:
+//!
+//! * [`UnshardedStore`] — one map behind one lock. The semantic reference:
+//!   simple, obviously correct, and the model the sharded store must match
+//!   (the fleet proptests pin sharded == unsharded for arbitrary op
+//!   interleavings).
+//! * [`ShardedStore`] — `N` independent shards, each a `RwLock` over its
+//!   own map, routed by [`UrlId::shard`] (a pure function of the id value,
+//!   so routing is stable as the intern table grows and entries never
+//!   migrate). Readers on different shards never contend; writers block
+//!   only their own shard.
+//!
+//! Both implementations keep per-shard access counters (reads, hits,
+//! writes, entries). The counters are *logical*: every operation bumps its
+//! shard's counter exactly once, so totals are a pure function of the
+//! workload — identical at any worker count or scheduling — even though the
+//! increments themselves race. That property is what lets the fleet report
+//! shard "contention" figures while staying byte-deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use vroom_browser::config::Hint;
+use vroom_intern::UrlId;
+
+/// Logical access counters for one shard (the whole store, when unsharded).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// `get` calls routed to this shard.
+    pub reads: u64,
+    /// `get` calls that found an entry.
+    pub hits: u64,
+    /// `put` calls routed to this shard.
+    pub writes: u64,
+    /// Live entries.
+    pub entries: u64,
+}
+
+/// Shared dependency-hint storage, keyed by the interned URL of the HTML
+/// response that carries the hints.
+///
+/// Values are `Arc`-shared: a `get` hands back a reference-counted handle,
+/// never a copy of the hint list, so concurrent readers share one
+/// allocation.
+pub trait HintStore: Send + Sync {
+    /// The hints stored for `key`, if any. Counts one read (plus one hit on
+    /// success) against the key's shard.
+    fn get(&self, key: UrlId) -> Option<Arc<Vec<Hint>>>;
+
+    /// Store (or replace) the hints for `key`. Counts one write against the
+    /// key's shard.
+    fn put(&self, key: UrlId, hints: Vec<Hint>);
+
+    /// Per-shard counters, in shard order (a single entry when unsharded).
+    fn shard_stats(&self) -> Vec<ShardStats>;
+
+    /// The full contents, merged across shards into one ordered map — the
+    /// canonical form the equivalence proptests compare.
+    fn snapshot(&self) -> BTreeMap<UrlId, Arc<Vec<Hint>>>;
+
+    /// Total live entries across every shard.
+    fn len(&self) -> usize {
+        self.shard_stats().iter().map(|s| s.entries as usize).sum()
+    }
+
+    /// Whether the store holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Recover a lock whether or not a holder panicked: the maps hold plain
+/// data whose invariants every critical section re-establishes before
+/// unlocking, so a poisoned lock is safe to keep using.
+fn unpoison<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+/// The single-lock reference implementation.
+#[derive(Debug, Default)]
+pub struct UnshardedStore {
+    map: Mutex<BTreeMap<UrlId, Arc<Vec<Hint>>>>,
+    reads: AtomicU64,
+    hits: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl UnshardedStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl HintStore for UnshardedStore {
+    fn get(&self, key: UrlId) -> Option<Arc<Vec<Hint>>> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let found = unpoison(self.map.lock()).get(&key).map(Arc::clone);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn put(&self, key: UrlId, hints: Vec<Hint>) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        unpoison(self.map.lock()).insert(key, Arc::new(hints));
+    }
+
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        vec![ShardStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            entries: unpoison(self.map.lock()).len() as u64,
+        }]
+    }
+
+    fn snapshot(&self) -> BTreeMap<UrlId, Arc<Vec<Hint>>> {
+        unpoison(self.map.lock()).clone()
+    }
+}
+
+/// One shard: an independent map plus its logical counters.
+#[derive(Debug, Default)]
+struct Shard {
+    map: RwLock<BTreeMap<UrlId, Arc<Vec<Hint>>>>,
+    reads: AtomicU64,
+    hits: AtomicU64,
+    writes: AtomicU64,
+}
+
+/// The production layout: reads take a shard-local read lock, writes a
+/// shard-local write lock, and operations on different shards proceed
+/// fully in parallel.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<Shard>,
+}
+
+impl ShardedStore {
+    /// A store with `shards` shards (`shards == 0` is clamped to 1).
+    pub fn new(shards: usize) -> Self {
+        ShardedStore {
+            shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `key` routes to. `UrlId::shard` returns a value < len by
+    /// construction (proven by the routing proptest); the checked lookup
+    /// keeps the serving path panic-free regardless.
+    fn shard_of(&self, key: UrlId) -> Option<&Shard> {
+        self.shards.get(key.shard(self.shards.len()))
+    }
+}
+
+impl HintStore for ShardedStore {
+    fn get(&self, key: UrlId) -> Option<Arc<Vec<Hint>>> {
+        let shard = self.shard_of(key)?;
+        shard.reads.fetch_add(1, Ordering::Relaxed);
+        let found = unpoison(shard.map.read()).get(&key).map(Arc::clone);
+        if found.is_some() {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn put(&self, key: UrlId, hints: Vec<Hint>) {
+        let Some(shard) = self.shard_of(key) else {
+            return;
+        };
+        shard.writes.fetch_add(1, Ordering::Relaxed);
+        unpoison(shard.map.write()).insert(key, Arc::new(hints));
+    }
+
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                reads: s.reads.load(Ordering::Relaxed),
+                hits: s.hits.load(Ordering::Relaxed),
+                writes: s.writes.load(Ordering::Relaxed),
+                entries: unpoison(s.map.read()).len() as u64,
+            })
+            .collect()
+    }
+
+    fn snapshot(&self) -> BTreeMap<UrlId, Arc<Vec<Hint>>> {
+        let mut merged = BTreeMap::new();
+        for shard in &self.shards {
+            for (k, v) in unpoison(shard.map.read()).iter() {
+                merged.insert(*k, Arc::clone(v));
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hint(id: u32, tier: u8) -> Hint {
+        Hint {
+            url: UrlId::from_index(id as usize),
+            tier,
+            size_hint: 100,
+        }
+    }
+
+    fn keys(n: u32) -> Vec<UrlId> {
+        (0..n).map(|i| UrlId::from_index(i as usize)).collect()
+    }
+
+    #[test]
+    fn put_get_roundtrip_both_layouts() {
+        let stores: [Box<dyn HintStore>; 2] = [
+            Box::new(UnshardedStore::new()),
+            Box::new(ShardedStore::new(4)),
+        ];
+        for store in stores {
+            let k = UrlId::from_index(3);
+            assert!(store.get(k).is_none());
+            store.put(k, vec![hint(7, 0), hint(8, 2)]);
+            let got = store.get(k).expect("stored entry");
+            assert_eq!(got.len(), 2);
+            assert_eq!(got[0], hint(7, 0));
+            assert_eq!(store.len(), 1);
+            // Replacement keeps one live entry.
+            store.put(k, vec![hint(9, 1)]);
+            assert_eq!(store.len(), 1);
+            assert_eq!(store.get(k).expect("replaced")[0], hint(9, 1));
+        }
+    }
+
+    #[test]
+    fn counters_are_logical_access_counts() {
+        let store = ShardedStore::new(8);
+        for &k in keys(16).iter() {
+            store.put(k, vec![hint(0, 0)]);
+        }
+        for &k in keys(32).iter() {
+            let _ = store.get(k); // 16 hits, 16 misses
+        }
+        let stats = store.shard_stats();
+        assert_eq!(stats.len(), 8);
+        let total = |f: fn(&ShardStats) -> u64| stats.iter().map(f).sum::<u64>();
+        assert_eq!(total(|s| s.writes), 16);
+        assert_eq!(total(|s| s.reads), 32);
+        assert_eq!(total(|s| s.hits), 16);
+        assert_eq!(total(|s| s.entries), 16);
+        // Fibonacci routing actually spreads the dense low ids.
+        let populated = stats.iter().filter(|s| s.entries > 0).count();
+        assert!(populated >= 4, "16 keys landed on only {populated} shards");
+    }
+
+    #[test]
+    fn snapshot_merges_shards_into_the_unsharded_view() {
+        let sharded = ShardedStore::new(5);
+        let reference = UnshardedStore::new();
+        for &k in keys(20).iter() {
+            let hints = vec![hint(k.index() as u32, (k.index() % 3) as u8)];
+            sharded.put(k, hints.clone());
+            reference.put(k, hints);
+        }
+        assert_eq!(sharded.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let store = ShardedStore::new(0);
+        assert_eq!(store.shard_count(), 1);
+        store.put(UrlId::from_index(0), vec![hint(1, 0)]);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn shared_value_is_refcounted_not_copied() {
+        let store = ShardedStore::new(2);
+        let k = UrlId::from_index(1);
+        store.put(k, vec![hint(2, 0)]);
+        let a = store.get(k).expect("entry");
+        let b = store.get(k).expect("entry");
+        assert!(Arc::ptr_eq(&a, &b), "readers share one allocation");
+    }
+}

@@ -10,9 +10,15 @@
 //!    identical plans, faulted Vroom's median PLT stays at or below the
 //!    faulted HTTP/2 baseline's.
 
+//!
+//! The fleet section extends both contracts to the serving path: a fleet
+//! under an active plan terminates, faults stay confined to the clients
+//! they were dealt to, and an inactive plan perturbs nothing.
+
 #![forbid(unsafe_code)]
 
 use vroom::{run_load, run_load_faulted, System};
+use vroom_fleet::{run_fleet, FleetConfig, FleetFaults};
 use vroom_net::{FaultPlan, NetworkProfile};
 use vroom_pages::{Corpus, LoadContext};
 use vroom_sim::SimDuration;
@@ -130,6 +136,72 @@ fn inactive_plan_is_byte_identical_to_fault_free_load() {
             assert_eq!(plain.failed_resources, 0);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet under chaos
+// ---------------------------------------------------------------------------
+
+fn fleet_cfg(faults: Option<FleetFaults>) -> FleetConfig {
+    FleetConfig {
+        faults,
+        ..FleetConfig::quick(48, 3)
+    }
+}
+
+/// A fleet under an active plan terminates, and degradation is strictly
+/// per-client: clients the plan was not dealt to are byte-identical to
+/// their outcomes in a fault-free run — faults never bleed through the
+/// shared store, table, or origin pool.
+#[test]
+fn faulted_fleet_terminates_and_faults_stay_per_client() {
+    let faults = FleetFaults {
+        seed: 0xC4A05,
+        severity: 0.9,
+        one_in: 2,
+    };
+    let faulted = run_fleet(&fleet_cfg(Some(faults)));
+    let clean = run_fleet(&fleet_cfg(None));
+
+    assert_eq!(faulted.report.faulted_clients, 24, "every even client");
+    let mut hit = 0usize;
+    for (f, c) in faulted.outcomes.iter().zip(&clean.outcomes) {
+        assert!(
+            f.result.plt < TERMINATION_BOUND,
+            "client {} did not terminate promptly: plt {}",
+            f.id,
+            f.result.plt
+        );
+        if f.id % 2 == 0 {
+            assert!(f.faulted, "client {} was dealt the plan", f.id);
+            hit += usize::from(f != c);
+        } else {
+            assert!(!f.faulted);
+            assert_eq!(f, c, "fault bled into untouched client {}", f.id);
+        }
+    }
+    assert!(hit > 0, "an active 0.9-severity plan must perturb someone");
+    // The shared server state is fault-independent: resolver passes and
+    // store contents are driven by arrivals, not by client-side faults.
+    assert_eq!(faulted.report.resolver_passes, clean.report.resolver_passes);
+    assert_eq!(faulted.report.store_entries, clean.report.store_entries);
+    assert_eq!(faulted.report.shard_stats, clean.report.shard_stats);
+}
+
+/// An inactive fleet fault configuration (severity 0) is byte-identical to
+/// no fault configuration at all — report and every outcome.
+#[test]
+fn inactive_fleet_fault_plan_is_byte_identical() {
+    let inactive = run_fleet(&fleet_cfg(Some(FleetFaults {
+        seed: 0xC4A05,
+        severity: 0.0,
+        one_in: 1,
+    })));
+    let clean = run_fleet(&fleet_cfg(None));
+    assert_eq!(inactive.report, clean.report);
+    assert_eq!(inactive.outcomes, clean.outcomes);
+    assert_eq!(inactive.report.faulted_clients, 0);
+    assert_eq!(inactive.report.render(), clean.report.render());
 }
 
 #[test]

@@ -1,0 +1,206 @@
+//! Fleet determinism tier: the fleet-scale serving simulation — shared
+//! sharded hint store, batched resolver passes, parallel client loads — is
+//! byte-identical at any worker count and across repeated runs, and the
+//! sharded store is observationally equal to the single-lock reference for
+//! arbitrary operation sequences.
+
+#![forbid(unsafe_code)]
+
+use proptest::prelude::*;
+use vroom_browser::config::Hint;
+use vroom_fleet::{run_fleet, FleetConfig, FleetRun};
+use vroom_html::Url;
+use vroom_intern::{UrlId, UrlTable};
+use vroom_net::json::Value;
+use vroom_server::store::{HintStore, ShardedStore, UnshardedStore};
+
+/// The two byte-comparable projections of a run: the text report and the
+/// deterministic metrics tree of `BENCH_fleet.json` (timings excluded by
+/// construction — they are added by `vroom-bench`, outside the simulation).
+fn fingerprints(run: &FleetRun) -> (String, String) {
+    let mut json = String::new();
+    run.report.to_json_value().write_pretty_into(&mut json);
+    (run.report.render(), json)
+}
+
+fn assert_identical_at_all_widths(mut cfg: FleetConfig) {
+    cfg.workers = 1;
+    let reference = run_fleet(&cfg);
+    let (ref_render, ref_json) = fingerprints(&reference);
+    assert!(ref_render.starts_with("==== fleet ===="));
+    for workers in [2, 8] {
+        cfg.workers = workers;
+        let got = run_fleet(&cfg);
+        let (render, json) = fingerprints(&got);
+        assert_eq!(ref_render, render, "report diverged at workers={workers}");
+        assert_eq!(ref_json, json, "metrics diverged at workers={workers}");
+        assert_eq!(
+            reference.outcomes, got.outcomes,
+            "per-client outcomes diverged at workers={workers}"
+        );
+    }
+    // Same seed, second run: nothing hidden (allocator state, map order,
+    // shard scheduling) may leak into the output.
+    cfg.workers = 1;
+    let again = run_fleet(&cfg);
+    assert_eq!(fingerprints(&again), (ref_render, ref_json));
+    assert_eq!(again.outcomes, reference.outcomes);
+}
+
+#[test]
+fn fleet_is_byte_identical_across_worker_counts_and_runs() {
+    assert_identical_at_all_widths(FleetConfig::quick(150, 4));
+}
+
+/// The acceptance-scale run: 1000 clients. Costs tens of seconds
+/// unoptimized, so the debug tier skips it; CI runs it in release mode
+/// alongside the chaos suite.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "1000-client fleet is release-only; CI runs it"
+)]
+fn thousand_client_fleet_is_byte_identical() {
+    let cfg = FleetConfig::default();
+    assert!(cfg.clients >= 1000);
+    assert_identical_at_all_widths(cfg);
+}
+
+#[test]
+fn different_seeds_produce_different_fleets() {
+    let a = run_fleet(&FleetConfig::quick(60, 3));
+    let b = run_fleet(&FleetConfig {
+        seed: 0xD1FF,
+        ..FleetConfig::quick(60, 3)
+    });
+    assert_ne!(
+        a.report.render(),
+        b.report.render(),
+        "the seed must actually steer arrivals and site choices"
+    );
+}
+
+#[test]
+fn shard_count_changes_layout_but_not_semantics() {
+    let base = FleetConfig::quick(60, 3);
+    let one = run_fleet(&FleetConfig {
+        shards: 1,
+        ..base.clone()
+    });
+    let many = run_fleet(&FleetConfig { shards: 32, ..base });
+    // Shard layout is invisible to clients: every load-derived number
+    // matches; only the per-shard breakdown differs.
+    assert_eq!(one.outcomes, many.outcomes);
+    assert_eq!(one.report.store_entries, many.report.store_entries);
+    assert_eq!(one.report.hint_hits, many.report.hint_hits);
+    assert_eq!(one.report.onload_p50_ms, many.report.onload_p50_ms);
+    assert_eq!(one.report.shard_stats.len(), 1);
+    assert_eq!(many.report.shard_stats.len(), 32);
+    let total = |r: &vroom_fleet::FleetReport| {
+        r.shard_stats.iter().fold((0, 0, 0, 0), |(a, b, c, d), s| {
+            (a + s.reads, b + s.hits, c + s.writes, d + s.entries)
+        })
+    };
+    assert_eq!(total(&one.report), total(&many.report));
+}
+
+#[test]
+fn metrics_json_is_a_canonical_fixed_point() {
+    let run = run_fleet(&FleetConfig::quick(30, 2));
+    let mut text = String::new();
+    run.report.to_json_value().write_pretty_into(&mut text);
+    let back = Value::parse(&text).expect("metrics parse");
+    let mut second = String::new();
+    back.write_pretty_into(&mut second);
+    assert_eq!(text, second, "canonical form is a fixed point");
+}
+
+// ---------------------------------------------------------------------------
+// Sharded hint store properties
+// ---------------------------------------------------------------------------
+
+/// One store operation: `put` with a derived hint list, or `get`.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Put { key: u32, tier: u8, hints: u8 },
+    Get { key: u32 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..64, 0u8..3, 0u8..6).prop_map(|(key, tier, hints)| Op::Put { key, tier, hints }),
+        (0u32..96).prop_map(|key| Op::Get { key }),
+    ]
+}
+
+fn apply(ops: &[Op], store: &dyn HintStore) {
+    for op in ops {
+        match *op {
+            Op::Put { key, tier, hints } => store.put(
+                UrlId::from_index(key as usize),
+                (0..hints)
+                    .map(|i| Hint {
+                        url: UrlId::from_index((key + u32::from(i) + 1) as usize),
+                        tier,
+                        size_hint: u64::from(key) * 100 + u64::from(i),
+                    })
+                    .collect(),
+            ),
+            Op::Get { key } => {
+                let _ = store.get(UrlId::from_index(key as usize));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shard routing is total (always a valid index) and a pure function
+    /// of the id value: growing the intern table never re-routes an
+    /// existing id.
+    #[test]
+    fn shard_routing_is_total_and_stable_under_growth(
+        hosts in proptest::collection::vec(0u32..500, 1..40),
+        shards in 1usize..64,
+    ) {
+        let mut table = UrlTable::new();
+        let mut routed: Vec<(UrlId, usize)> = Vec::new();
+        for (i, h) in hosts.iter().enumerate() {
+            let id = table.intern(Url::https(&format!("h{h}.example.com"), &format!("/r/{i}")));
+            let shard = id.shard(shards);
+            prop_assert!(shard < shards, "routing must be total");
+            // Every id routed earlier still routes identically now that
+            // the table has grown.
+            for &(prev, expect) in &routed {
+                prop_assert_eq!(prev.shard(shards), expect, "routing drifted under growth");
+            }
+            routed.push((id, shard));
+        }
+    }
+
+    /// For an arbitrary operation sequence, the sharded store's merged
+    /// contents equal the single-lock reference exactly, and the logical
+    /// counter totals match — sharding changes layout, never semantics.
+    #[test]
+    fn sharded_store_equals_unsharded_reference(
+        ops in proptest::collection::vec(arb_op(), 0..120),
+        shards in 1usize..24,
+    ) {
+        let sharded = ShardedStore::new(shards);
+        let reference = UnshardedStore::new();
+        apply(&ops, &sharded);
+        apply(&ops, &reference);
+        prop_assert_eq!(sharded.snapshot(), reference.snapshot());
+        prop_assert_eq!(sharded.len(), reference.len());
+        let totals = |stats: &[vroom_server::store::ShardStats]| {
+            stats.iter().fold((0u64, 0u64, 0u64), |(r, h, w), s| {
+                (r + s.reads, h + s.hits, w + s.writes)
+            })
+        };
+        prop_assert_eq!(
+            totals(&sharded.shard_stats()),
+            totals(&reference.shard_stats())
+        );
+    }
+}
