@@ -46,7 +46,7 @@ use vroom::policy::apply_fault_plan;
 use vroom_browser::config::{FetchPolicy, Hint, LoadConfig, ServerModel};
 use vroom_browser::metrics::percentile_sorted;
 use vroom_browser::{BrowserEngine, LoadResult};
-use vroom_intern::UrlTable;
+use vroom_intern::{UrlId, UrlTable};
 use vroom_net::json::Value;
 use vroom_net::{FaultPlan, NetworkProfile};
 use vroom_pages::{Corpus, DeviceClass, LoadContext, PageGenerator};
@@ -543,8 +543,18 @@ fn load_client(
             .into_iter()
             .map(|f| page.resources[f].url.clone()),
     );
-    for html in &htmls {
-        let stored = urls.lookup(html).and_then(|id| store.get(id));
+    // Resolve every document's shared id first, then fetch all hint lists
+    // in one batched store pass: one lock acquisition per touched shard
+    // instead of one per document. Only resolved ids reach the store, so
+    // the logical read/hit counters match the per-document form exactly.
+    let ids: Vec<Option<UrlId>> = htmls.iter().map(|h| urls.lookup(h)).collect();
+    let resolved: Vec<UrlId> = ids.iter().filter_map(|i| *i).collect();
+    let mut fetched = store.get_many(&resolved).into_iter();
+    for (html, id) in htmls.iter().zip(&ids) {
+        let stored = match id {
+            Some(_) => fetched.next().flatten(),
+            None => None,
+        };
         let Some(stored) = stored else {
             hint_misses += 1;
             continue;

@@ -15,7 +15,8 @@
 //! succeed.
 
 use crate::parse::{
-    CallKind, CallSite, EffectKind, EffectSite, EnumDef, FileSummary, FnItem, MatchSite,
+    CallKind, CallSite, EffectKind, EffectSite, EnumDef, FileSummary, FnItem, LockOp, LockSite,
+    MatchSite,
 };
 use crate::rules::{self, Violation};
 use std::collections::BTreeMap;
@@ -24,7 +25,9 @@ use vroom_net::json::Value;
 
 /// Bump when the summary encoding changes; mismatched caches are discarded.
 /// v2: effect sites gained `loop_depth` (hot-path-alloc ranking weight).
-const CACHE_VERSION: u64 = 2;
+/// v3: lock-safety — fns gained `end_line` + `locks`, calls gained `recv`,
+/// effects gained `waived_blocking` and the blocking kinds.
+const CACHE_VERSION: u64 = 3;
 
 /// FNV-1a 64-bit, rendered as fixed-width hex.
 pub fn content_hash(source: &str) -> String {
@@ -179,6 +182,7 @@ fn encode_fn(f: &FnItem) -> Value {
         ("has_self", Value::Bool(f.has_self)),
         ("arity", Value::Int(f.arity as u64)),
         ("line", Value::Int(f.line as u64)),
+        ("end_line", Value::Int(f.end_line as u64)),
         ("is_test", Value::Bool(f.is_test)),
         (
             "calls",
@@ -195,6 +199,10 @@ fn encode_fn(f: &FnItem) -> Value {
                             ("kind", Value::Str(c.kind.tag().to_string())),
                             ("args", Value::Int(c.args as u64)),
                             ("line", Value::Int(c.line as u64)),
+                            (
+                                "recv",
+                                c.recv.clone().map(Value::Str).unwrap_or(Value::Null),
+                            ),
                         ])
                     })
                     .collect(),
@@ -212,7 +220,36 @@ fn encode_fn(f: &FnItem) -> Value {
                             ("detail", Value::Str(e.detail.clone())),
                             ("snippet", Value::Str(e.snippet.clone())),
                             ("waived", Value::Bool(e.waived)),
+                            ("waived_blocking", Value::Bool(e.waived_blocking)),
                             ("loop_depth", Value::Int(e.loop_depth as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "locks",
+            Value::Array(
+                f.locks
+                    .iter()
+                    .map(|l| {
+                        obj(vec![
+                            ("op", Value::Str(l.op.label().to_string())),
+                            ("id", Value::Str(l.id.clone())),
+                            ("line", Value::Int(l.line as u64)),
+                            ("snippet", Value::Str(l.snippet.clone())),
+                            ("loop_depth", Value::Int(l.loop_depth as u64)),
+                            ("span_start", Value::Int(l.span.0 as u64)),
+                            ("span_end", Value::Int(l.span.1 as u64)),
+                            (
+                                "binding",
+                                l.binding.clone().map(Value::Str).unwrap_or(Value::Null),
+                            ),
+                            ("escapes", Value::Bool(l.escapes)),
+                            ("stmt_temp", Value::Bool(l.stmt_temp)),
+                            ("waived_order", Value::Bool(l.waived_order)),
+                            ("waived_blocking", Value::Bool(l.waived_blocking)),
+                            ("waived_hot", Value::Bool(l.waived_hot)),
                         ])
                     })
                     .collect(),
@@ -350,6 +387,11 @@ fn decode_fn(v: &Value) -> Option<FnItem> {
             kind: CallKind::from_tag(&get_str(c, "kind")?)?,
             args: get_usize(c, "args")?,
             line: get_usize(c, "line")?,
+            recv: match c.get("recv")? {
+                Value::Null => None,
+                Value::Str(s) => Some(s.clone()),
+                _ => return None,
+            },
         });
     }
     let mut effects = Vec::new();
@@ -360,7 +402,29 @@ fn decode_fn(v: &Value) -> Option<FnItem> {
             detail: get_str(e, "detail")?,
             snippet: get_str(e, "snippet")?,
             waived: get_bool(e, "waived")?,
+            waived_blocking: get_bool(e, "waived_blocking")?,
             loop_depth: get_usize(e, "loop_depth")?,
+        });
+    }
+    let mut locks = Vec::new();
+    for l in get_array(v, "locks")? {
+        locks.push(LockSite {
+            op: LockOp::from_label(&get_str(l, "op")?)?,
+            id: get_str(l, "id")?,
+            line: get_usize(l, "line")?,
+            snippet: get_str(l, "snippet")?,
+            loop_depth: get_usize(l, "loop_depth")?,
+            span: (get_usize(l, "span_start")?, get_usize(l, "span_end")?),
+            binding: match l.get("binding")? {
+                Value::Null => None,
+                Value::Str(s) => Some(s.clone()),
+                _ => return None,
+            },
+            escapes: get_bool(l, "escapes")?,
+            stmt_temp: get_bool(l, "stmt_temp")?,
+            waived_order: get_bool(l, "waived_order")?,
+            waived_blocking: get_bool(l, "waived_blocking")?,
+            waived_hot: get_bool(l, "waived_hot")?,
         });
     }
     Some(FnItem {
@@ -373,9 +437,11 @@ fn decode_fn(v: &Value) -> Option<FnItem> {
         has_self: get_bool(v, "has_self")?,
         arity: get_usize(v, "arity")?,
         line: get_usize(v, "line")?,
+        end_line: get_usize(v, "end_line")?,
         is_test: get_bool(v, "is_test")?,
         calls,
         effects,
+        locks,
     })
 }
 

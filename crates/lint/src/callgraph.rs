@@ -40,6 +40,11 @@ pub struct Graph<'a> {
     pub nodes: Vec<NodeRef>,
     /// Sorted adjacency lists, indexed by node id.
     pub edges: Vec<Vec<usize>>,
+    /// Per-call-site resolution: for node id, `(call_idx, callee)` pairs
+    /// where `call_idx` indexes the fn's `calls` vec. Unlike `edges`,
+    /// self-edges are kept — a recursive call still holds the caller's
+    /// guards across the call site.
+    pub site_edges: Vec<Vec<(usize, usize)>>,
 }
 
 impl<'a> Graph<'a> {
@@ -77,13 +82,15 @@ impl<'a> Graph<'a> {
         };
 
         let mut edges = vec![Vec::new(); nodes.len()];
+        let mut site_edges = vec![Vec::new(); nodes.len()];
         for (id, n) in nodes.iter().enumerate() {
             let file = &summaries[n.file];
             let caller = &file.fns[n.item];
             let caller_crate = crate_of(&file.path);
-            let mut out: Vec<usize> = Vec::new();
-            for call in &caller.calls {
+            let mut sites: Vec<(usize, usize)> = Vec::new();
+            for (call_idx, call) in caller.calls.iter().enumerate() {
                 let name = call.name.as_str();
+                let mut out: Vec<usize> = Vec::new();
                 match call.kind {
                     CallKind::Method => {
                         let all = methods.get(name).map(Vec::as_slice).unwrap_or(&[]);
@@ -143,28 +150,44 @@ impl<'a> Graph<'a> {
                         }
                     }
                     CallKind::Free => {
-                        resolve_free(
-                            name,
-                            &caller_crate,
-                            summaries,
-                            &nodes,
-                            &by_name,
-                            &mut out,
-                            &crate_of,
-                        );
+                        // `drop(x)` is std's consuming free fn — the
+                        // guard-release idiom. It cannot invoke a workspace
+                        // `Drop::drop` method by name (that requires
+                        // `Drop::drop(&mut x)`), so linking it would make
+                        // every explicit guard release look like a call
+                        // made while the lock is held.
+                        if name != "drop" {
+                            resolve_free(
+                                name,
+                                &caller_crate,
+                                summaries,
+                                &nodes,
+                                &by_name,
+                                &mut out,
+                                &crate_of,
+                            );
+                        }
                     }
                 }
+                out.sort_unstable();
+                out.dedup();
+                sites.extend(out.into_iter().map(|c| (call_idx, c)));
             }
+            // The legacy adjacency list is derived from the per-site
+            // resolution: flattened, deduped, self-edges removed.
+            let mut out: Vec<usize> = sites.iter().map(|&(_, c)| c).collect();
             out.sort_unstable();
             out.dedup();
             out.retain(|&c| c != id);
             edges[id] = out;
+            site_edges[id] = sites;
         }
 
         Graph {
             summaries,
             nodes,
             edges,
+            site_edges,
         }
     }
 
@@ -306,6 +329,22 @@ mod tests {
         let g = Graph::build(&s);
         let entry = find(&g, "entry");
         assert_eq!(g.edges[entry].len(), 1, "same-crate helper wins");
+    }
+
+    #[test]
+    fn free_drop_never_links_to_drop_impls() {
+        // `drop(guard)` is std's consuming release; a workspace `Drop::drop`
+        // method is not callable by that name, so no edge may appear.
+        let s = graph_of(&[(
+            "crates/sim/src/a.rs",
+            "struct S;\n\
+             impl Drop for S { fn drop(&mut self) { helper(); } }\n\
+             fn helper() {}\n\
+             pub fn entry(s: S) { drop(s); }\n",
+        )]);
+        let g = Graph::build(&s);
+        let entry = find(&g, "entry");
+        assert!(g.edges[entry].is_empty(), "drop(x) must stay unresolved");
     }
 
     #[test]

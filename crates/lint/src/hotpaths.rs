@@ -22,6 +22,11 @@ pub struct HotPathConfig {
     /// Path prefixes whose allocation sites are never reported even when
     /// name-based call resolution makes them look reachable.
     pub exempt: Vec<String>,
+    /// `(file path, fn names)` — reachability roots for `lock-in-hot-loop`.
+    /// A superset of `roots`: the serving hot paths plus the fleet/batch
+    /// drivers, whose loops multiply every lock acquisition per client or
+    /// per entry.
+    pub lock_roots: Vec<(String, Vec<String>)>,
 }
 
 impl Default for HotPathConfig {
@@ -55,6 +60,15 @@ impl Default for HotPathConfig {
                 "crates/lint/".to_string(),
                 "crates/vroom/".to_string(),
             ],
+            lock_roots: vec![
+                root("crates/browser/src/engine.rs", &["load"]),
+                root("crates/fleet/src/lib.rs", &["load_client", "run_fleet"]),
+                root("crates/server/src/batch.rs", &["commit_pass"]),
+                root(
+                    "crates/server/src/wire.rs",
+                    &["handle_request", "serve_connection"],
+                ),
+            ],
         }
     }
 }
@@ -81,11 +95,13 @@ pub fn parse(text: &str) -> Result<HotPathConfig, String> {
         None,
         Roots,
         Exempt,
+        LockRoots,
     }
     let mut section = Section::None;
     let mut cfg = HotPathConfig {
         roots: Vec::new(),
         exempt: Vec::new(),
+        lock_roots: Vec::new(),
     };
     for (i, raw) in text.lines().enumerate() {
         let no = i + 1;
@@ -102,6 +118,10 @@ pub fn parse(text: &str) -> Result<HotPathConfig, String> {
                 section = Section::Exempt;
                 continue;
             }
+            "[lock_roots]" => {
+                section = Section::LockRoots;
+                continue;
+            }
             _ if line.starts_with('[') => {
                 return Err(format!("line {no}: unknown section {line}"));
             }
@@ -116,6 +136,7 @@ pub fn parse(text: &str) -> Result<HotPathConfig, String> {
             .ok_or_else(|| format!("line {no}: value must be an array of quoted strings"))?;
         match section {
             Section::Roots => cfg.roots.push((key, items)),
+            Section::LockRoots => cfg.lock_roots.push((key, items)),
             Section::Exempt if key == "prefixes" => cfg.exempt.extend(items),
             Section::Exempt => {
                 return Err(format!("line {no}: unknown exempt key `{key}`"));
@@ -178,7 +199,10 @@ mod tests {
              \"crates/a/src/x.rs\" = [\"f\", \"g\"]\n\
              \n\
              [exempt]\n\
-             prefixes = [\"crates/bench/\"]\n",
+             prefixes = [\"crates/bench/\"]\n\
+             \n\
+             [lock_roots]\n\
+             \"crates/a/src/y.rs\" = [\"h\"]\n",
         )
         .unwrap();
         assert_eq!(
@@ -189,6 +213,10 @@ mod tests {
             )]
         );
         assert_eq!(cfg.exempt, vec!["crates/bench/".to_string()]);
+        assert_eq!(
+            cfg.lock_roots,
+            vec![("crates/a/src/y.rs".to_string(), vec!["h".to_string()])]
+        );
     }
 
     #[test]

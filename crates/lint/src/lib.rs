@@ -19,8 +19,10 @@
 //!    content hash; behaviorally invisible);
 //! 4. [`callgraph`] links the summaries into a conservative workspace call
 //!    graph (over-approximating on every ambiguity);
-//! 5. [`reach`] walks it for the three interprocedural rule families —
-//!    `sim-purity`, `panic-reachable`, `protocol-exhaustive`;
+//! 5. [`reach`] walks it for the interprocedural rule families —
+//!    `sim-purity`, `panic-reachable`, `hot-path-alloc`,
+//!    `protocol-exhaustive`, and the `lock-safety` triple (`lock-order`,
+//!    `blocking-under-lock`, `lock-in-hot-loop`);
 //! 6. [`baseline`] reconciles findings against the checked-in ratchet, and
 //!    [`sarif`] renders the report as canonical SARIF JSON.
 //!
@@ -75,6 +77,11 @@ impl Report {
 pub struct Options {
     /// Read/write an incremental summary cache at this path.
     pub cache: Option<PathBuf>,
+    /// Restrict reporting to these rule ids (expanded from `--rules`
+    /// families by [`rules::resolve_rule_filter`]). Applies to baseline
+    /// entries too — other families' debt must not read as stale when the
+    /// run never looked for it.
+    pub rules: Option<Vec<&'static str>>,
 }
 
 /// Lint in-memory sources — the pure entry point tests and fixtures use.
@@ -131,16 +138,22 @@ pub fn analyze_with(start: &Path, opts: &Options) -> Result<Report, String> {
     let files = source::collect_sources(&root).map_err(|e| format!("walking workspace: {e}"))?;
     let hot = hotpaths::load(&root)?;
     let summaries = summarize_workspace(&files, opts);
-    let violations = violations_of(&summaries, &hot);
+    let mut violations = violations_of(&summaries, &hot);
+    if let Some(keep) = &opts.rules {
+        violations.retain(|v| keep.contains(&v.rule));
+    }
     let raw_count = violations.len();
     let baseline_path = root.join(baseline::BASELINE_FILE);
-    let entries = if baseline_path.is_file() {
+    let mut entries = if baseline_path.is_file() {
         let text = std::fs::read_to_string(&baseline_path)
             .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
         baseline::parse(&text)?
     } else {
         Vec::new()
     };
+    if let Some(keep) = &opts.rules {
+        entries.retain(|e| keep.iter().any(|r| *r == e.rule));
+    }
     let Reconciled {
         new_violations,
         stale_entries,

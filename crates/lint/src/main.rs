@@ -5,6 +5,8 @@
 //!   (stable, sorted, byte-identical across cold and cached runs).
 //! * `vroom-lint --no-cache` — skip the incremental summary cache
 //!   (`target/vroom-lint-cache.json`); the default run uses it.
+//! * `vroom-lint --rules lock-safety` — restrict the run to one or more
+//!   comma-separated rule families (or bare rule ids); unknown names exit 2.
 //! * `vroom-lint --update-baseline` — regenerate `lint-baseline.txt` from
 //!   the current tree (use only to record that debt shrank).
 //! * `vroom-lint --check-baseline` — like the default, but also exit 1 on
@@ -21,12 +23,31 @@ fn main() -> ExitCode {
     let mut check_baseline = false;
     let mut no_cache = false;
     let mut json = false;
+    let mut rules: Option<Vec<&'static str>> = None;
+    let parse_rules = |spec: Option<&str>| -> Result<Vec<&'static str>, String> {
+        let spec = spec.ok_or("--rules expects a comma-separated list of families")?;
+        vroom_lint::rules::resolve_rule_filter(spec)
+    };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--update-baseline" => update = true,
             "--check-baseline" => check_baseline = true,
             "--no-cache" => no_cache = true,
+            "--rules" => match parse_rules(iter.next().map(String::as_str)) {
+                Ok(r) => rules = Some(r),
+                Err(e) => {
+                    eprintln!("vroom-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            s if s.starts_with("--rules=") => match parse_rules(Some(&s["--rules=".len()..])) {
+                Ok(r) => rules = Some(r),
+                Err(e) => {
+                    eprintln!("vroom-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            },
             "--format" => match iter.next().map(String::as_str) {
                 Some("json") => json = true,
                 Some("text") => json = false,
@@ -44,11 +65,13 @@ fn main() -> ExitCode {
                 println!(
                     "vroom-lint: call-graph determinism & protocol-invariant checks\n\
                      \n\
-                     USAGE: vroom-lint [--format json|text] [--no-cache]\n\
+                     USAGE: vroom-lint [--format json|text] [--no-cache] [--rules <list>]\n\
                      \u{20}                 [--update-baseline | --check-baseline]\n\
                      \n\
                      Default mode lints the workspace and fails on violations not covered by\n\
                      lint-baseline.txt. --format json writes a SARIF 2.1.0 report to stdout.\n\
+                     --rules restricts the run to a comma-separated list of rule families\n\
+                     (e.g. `lock-safety`) or bare rule ids; unknown names exit 2.\n\
                      --no-cache forces a cold run (the default keeps an incremental summary\n\
                      cache in target/vroom-lint-cache.json; cached runs are byte-identical).\n\
                      --check-baseline additionally fails when baseline entries are stale\n\
@@ -89,6 +112,7 @@ fn main() -> ExitCode {
             vroom_lint::source::workspace_root(&cwd)
                 .map(|root| root.join("target").join("vroom-lint-cache.json"))
         },
+        rules,
     };
 
     match vroom_lint::analyze_with(&cwd, &opts) {

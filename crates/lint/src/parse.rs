@@ -63,6 +63,12 @@ pub struct CallSite {
     pub args: usize,
     /// 1-based line of the call.
     pub line: usize,
+    /// For [`CallKind::Method`]: the trailing identifier of the receiver
+    /// expression (`map` in `self.map.get(..)`), or `None` when the
+    /// receiver is a compound expression (`f(x).get(..)`). The lock-safety
+    /// pass uses it to tell calls *on a guard* (which deref to the guarded
+    /// std container) from calls that could re-enter workspace code.
+    pub recv: Option<String>,
 }
 
 /// What an allocation/copy effect site does — the sub-lattice of
@@ -114,6 +120,36 @@ impl AllocKind {
     }
 }
 
+/// What a blocking primitive does — the sub-lattice of
+/// [`EffectKind::Blocking`] the `blocking-under-lock` rule reports on.
+/// I/O and thread-spawn effects double as blocking effects but keep their
+/// own kinds (their primary rule is `sim-purity`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// `thread::sleep(..)`.
+    Sleep,
+    /// Channel `.recv()` / `.recv_timeout(..)`.
+    ChannelRecv,
+    /// Channel `.send(..)` — blocks on bounded (sync) channels; the rule
+    /// over-approximates the unbounded case.
+    ChannelSend,
+    /// Zero-arg `.join()` — a thread-handle join. The arg-taking slice
+    /// `.join(sep)` stays an [`AllocKind::Join`].
+    ThreadJoin,
+}
+
+impl BlockKind {
+    /// Short token used in diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockKind::Sleep => "thread::sleep",
+            BlockKind::ChannelRecv => "channel recv",
+            BlockKind::ChannelSend => "channel send",
+            BlockKind::ThreadJoin => "thread join",
+        }
+    }
+}
+
 /// Effect families tracked for the reachability rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EffectKind {
@@ -126,6 +162,8 @@ pub enum EffectKind {
     Panic,
     /// Heap allocation / byte copy (the `hot-path-alloc` rule).
     Alloc(AllocKind),
+    /// Blocking primitive (the `blocking-under-lock` rule).
+    Blocking(BlockKind),
 }
 
 impl EffectKind {
@@ -134,6 +172,7 @@ impl EffectKind {
         match self {
             EffectKind::Panic => "panic-reachable",
             EffectKind::Alloc(_) => "hot-path-alloc",
+            EffectKind::Blocking(_) => "blocking-under-lock",
             _ => "sim-purity",
         }
     }
@@ -159,6 +198,10 @@ impl EffectKind {
             EffectKind::Alloc(AllocKind::CopyFromSlice) => "alloc copy-from-slice",
             EffectKind::Alloc(AllocKind::VecNew) => "alloc vec-new",
             EffectKind::Alloc(AllocKind::WithCapacity) => "alloc with-capacity",
+            EffectKind::Blocking(BlockKind::Sleep) => "blocking sleep",
+            EffectKind::Blocking(BlockKind::ChannelRecv) => "blocking channel-recv",
+            EffectKind::Blocking(BlockKind::ChannelSend) => "blocking channel-send",
+            EffectKind::Blocking(BlockKind::ThreadJoin) => "blocking thread-join",
         }
     }
 
@@ -182,8 +225,22 @@ impl EffectKind {
             "alloc copy-from-slice" => Some(EffectKind::Alloc(AllocKind::CopyFromSlice)),
             "alloc vec-new" => Some(EffectKind::Alloc(AllocKind::VecNew)),
             "alloc with-capacity" => Some(EffectKind::Alloc(AllocKind::WithCapacity)),
+            "blocking sleep" => Some(EffectKind::Blocking(BlockKind::Sleep)),
+            "blocking channel-recv" => Some(EffectKind::Blocking(BlockKind::ChannelRecv)),
+            "blocking channel-send" => Some(EffectKind::Blocking(BlockKind::ChannelSend)),
+            "blocking thread-join" => Some(EffectKind::Blocking(BlockKind::ThreadJoin)),
             _ => None,
         }
+    }
+
+    /// Whether this effect can block the calling thread — the effect set
+    /// `blocking-under-lock` reports when it is reachable with a guard live.
+    /// I/O and thread spawns block as well as violating sim-purity.
+    pub fn is_blocking(self) -> bool {
+        matches!(
+            self,
+            EffectKind::Fs | EffectKind::Net | EffectKind::ThreadSpawn | EffectKind::Blocking(_)
+        )
     }
 }
 
@@ -200,10 +257,87 @@ pub struct EffectSite {
     pub snippet: String,
     /// A per-call-site waiver covers this line for the effect's rule.
     pub waived: bool,
+    /// A waiver covers this line for `blocking-under-lock` specifically
+    /// (an I/O effect's primary rule is `sim-purity`, but the same site can
+    /// be reported by either family).
+    pub waived_blocking: bool,
     /// Number of syntactic `loop`/`while`/`for` bodies enclosing the site —
     /// the `hot-path-alloc` ranking weight (an alloc at depth 1 runs per
     /// iteration; depth 0 runs once per call).
     pub loop_depth: usize,
+}
+
+/// Which lock-acquisition method a site calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOp {
+    /// `Mutex::lock`.
+    Lock,
+    /// `RwLock::read`.
+    Read,
+    /// `RwLock::write`.
+    Write,
+}
+
+impl LockOp {
+    pub fn label(self) -> &'static str {
+        match self {
+            LockOp::Lock => "lock",
+            LockOp::Read => "read",
+            LockOp::Write => "write",
+        }
+    }
+
+    pub fn from_label(s: &str) -> Option<LockOp> {
+        match s {
+            "lock" => Some(LockOp::Lock),
+            "read" => Some(LockOp::Read),
+            "write" => Some(LockOp::Write),
+            _ => None,
+        }
+    }
+}
+
+/// One lock acquisition inside a function body, with the lexical extent of
+/// the guard it produces.
+///
+/// Spans are line-granular and deliberately **may-hold**: a guard bound
+/// with `let` extends to the end of its enclosing block (or to the first
+/// textual `drop(binding)`), a chained temporary dies at its statement end
+/// (extended through the construct body when the statement is a
+/// `for`/`while`/`if`/`match` header, matching Rust's scrutinee temporary
+/// lifetimes), and a guard that is returned (`escapes`) is treated as live
+/// to the end of every *caller* as well. Over-approximating the span adds
+/// findings, never hides them; waivers audit the survivors.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    pub op: LockOp,
+    /// The lock's symbol within its file — the receiver's meaningful
+    /// trailing identifier (`map` in `shard.map.read()`). The reach pass
+    /// qualifies it with the file path to form the workspace identity;
+    /// same-named locks in one file share an identity (over-approximation).
+    pub id: String,
+    /// 1-based line of the acquisition.
+    pub line: usize,
+    /// Original (unlexed) source line, trimmed — becomes the diagnostic
+    /// snippet, which the baseline keys on.
+    pub snippet: String,
+    /// Syntactic loop bodies enclosing the acquisition — the
+    /// `lock-in-hot-loop` ranking weight.
+    pub loop_depth: usize,
+    /// 1-based inclusive line range the guard is live, within this fn.
+    pub span: (usize, usize),
+    /// `Some(name)` when the guard is `let`-bound.
+    pub binding: Option<String>,
+    /// The guard is returned to the caller (tail expression or `return`).
+    pub escapes: bool,
+    /// The guard is an unnamed statement temporary (`m.lock().get(..)`):
+    /// method calls chained on it deref to the guarded data, so the reach
+    /// pass does not resolve them against workspace methods.
+    pub stmt_temp: bool,
+    /// Per-rule waivers covering the acquisition line.
+    pub waived_order: bool,
+    pub waived_blocking: bool,
+    pub waived_hot: bool,
 }
 
 /// One function (free fn, inherent/trait method, or nested fn).
@@ -222,8 +356,12 @@ pub struct FnItem {
     /// Inside a `#[cfg(test)]` region or a test file — excluded from the
     /// call graph entirely.
     pub is_test: bool,
+    /// 1-based line of the body's closing brace (== `line` for bodyless
+    /// trait-method declarations). Escaped guards are live to here.
+    pub end_line: usize,
     pub calls: Vec<CallSite>,
     pub effects: Vec<EffectSite>,
+    pub locks: Vec<LockSite>,
 }
 
 /// One enum declaration (workspace-wide variant table for
@@ -296,6 +434,7 @@ pub fn summarize(file: &SourceFile) -> FileSummary {
     // and are dropped.
     for site in effect_sites(code, &lines) {
         let waived = lexed.is_waived(site.kind.rule(), site.line);
+        let waived_blocking = lexed.is_waived("blocking-under-lock", site.line);
         if let Some(idx) = innermost_fn(&fns, site.pos) {
             fns[idx].item.effects.push(EffectSite {
                 kind: site.kind,
@@ -303,7 +442,29 @@ pub fn summarize(file: &SourceFile) -> FileSummary {
                 detail: site.detail,
                 snippet: snippet_of(site.line),
                 waived,
+                waived_blocking,
                 loop_depth: site.loop_depth,
+            });
+        }
+    }
+
+    // Lock acquisitions, attributed like effects. Sites outside any fn
+    // (statics) cannot produce a live guard at runtime and are dropped.
+    for site in lock_sites(code, &lines) {
+        if let Some(idx) = innermost_fn(&fns, site.pos) {
+            fns[idx].item.locks.push(LockSite {
+                op: site.op,
+                id: site.id,
+                line: site.line,
+                snippet: snippet_of(site.line),
+                loop_depth: site.loop_depth,
+                span: site.span,
+                binding: site.binding,
+                escapes: site.escapes,
+                stmt_temp: site.stmt_temp,
+                waived_order: lexed.is_waived("lock-order", site.line),
+                waived_blocking: lexed.is_waived("blocking-under-lock", site.line),
+                waived_hot: lexed.is_waived("lock-in-hot-loop", site.line),
             });
         }
     }
@@ -605,8 +766,10 @@ fn fn_items(
                 arity,
                 line,
                 is_test: in_test(line),
+                end_line: lines.line(body.1.saturating_sub(1).max(body.0)),
                 calls: Vec::new(),
                 effects: Vec::new(),
+                locks: Vec::new(),
             },
             body,
         });
@@ -756,6 +919,18 @@ const RANDOM_NEEDLES: [&str; 4] = ["thread_rng", "rand::random", "fastrand::", "
 const FS_NEEDLES: [&str; 3] = ["fs::", "File::", "OpenOptions"];
 const NET_NEEDLES: [&str; 3] = ["TcpStream", "TcpListener", "UdpSocket"];
 const THREAD_NEEDLES: [&str; 2] = ["thread::spawn", "thread::scope"];
+
+/// Blocking-primitive needles (the `blocking-under-lock` rule). The
+/// zero-arg forms are exact, so `stream.read(&mut buf)` or `parts.join(",")`
+/// never match; `.send(` requires the literal method name (`send_data(`
+/// does not match).
+const BLOCKING_NEEDLES: [(&str, BlockKind); 5] = [
+    ("thread::sleep", BlockKind::Sleep),
+    (".recv()", BlockKind::ChannelRecv),
+    (".recv_timeout(", BlockKind::ChannelRecv),
+    (".send(", BlockKind::ChannelSend),
+    (".join()", BlockKind::ThreadJoin),
+];
 const PANIC_NEEDLES: [&str; 6] = [
     "panic!",
     "unreachable!",
@@ -823,6 +998,9 @@ fn effect_sites(code: &str, lines: &LineMap) -> Vec<RawEffect> {
     push_needles(&NET_NEEDLES, EffectKind::Net, &mut out);
     push_needles(&THREAD_NEEDLES, EffectKind::ThreadSpawn, &mut out);
     push_needles(&PANIC_NEEDLES, EffectKind::Panic, &mut out);
+    for (needle, bk) in BLOCKING_NEEDLES {
+        push_needles(&[needle], EffectKind::Blocking(bk), &mut out);
+    }
 
     // Allocation/copy sites (`hot-path-alloc`). Same boundary rules as
     // above; the container constructors are only effects inside a loop.
@@ -939,6 +1117,313 @@ fn loop_spans(code: &str) -> Vec<(usize, usize)> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Locks
+// ---------------------------------------------------------------------------
+
+struct RawLock {
+    op: LockOp,
+    id: String,
+    pos: usize,
+    line: usize,
+    loop_depth: usize,
+    span: (usize, usize),
+    binding: Option<String>,
+    escapes: bool,
+    stmt_temp: bool,
+}
+
+/// Wrapper prefixes a lock declaration can hide behind
+/// (`a: Arc<Mutex<..>>`, `Arc::new(Mutex::new(..))`).
+const LOCK_WRAPPERS: [&str; 6] = ["Arc<", "Box<", "Rc<", "Arc::new(", "Box::new(", "Rc::new("];
+
+/// Identifiers in this file declared (or initialized) as `Mutex`/`RwLock`:
+/// field/param type ascriptions (`map: RwLock<..>`), `let` bindings, and
+/// type aliases. Used to gate `.read()`/`.write()` acquisition sites —
+/// `.lock()` is unambiguous, but `read`/`write` are common method names.
+fn lock_symbols(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for ty in ["Mutex", "RwLock"] {
+        for at in rules::find_word(code, ty) {
+            // Only type/constructor positions: `Mutex<` or `Mutex::new(`.
+            let after = &code[at + ty.len()..];
+            if !(after.starts_with('<') || after.starts_with("::new(")) {
+                continue;
+            }
+            let mut before = code[..at].trim_end();
+            loop {
+                let Some(stripped) = LOCK_WRAPPERS.iter().find_map(|w| before.strip_suffix(w))
+                else {
+                    break;
+                };
+                before = stripped.trim_end();
+            }
+            let ident = if before.ends_with(':') && !before.ends_with("::") {
+                rules_trailing_word(before[..before.len() - 1].trim_end())
+            } else if before.ends_with('=') {
+                rules_trailing_word(before[..before.len() - 1].trim_end())
+            } else {
+                None
+            };
+            if let Some(id) = ident {
+                if !id.starts_with(|c: char| c.is_numeric()) && id != "mut" {
+                    out.push(id);
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The receiver's meaningful trailing identifier for an acquisition at
+/// `dot` (the `.` of `.lock()`): the last dotted path segment that is not
+/// `self` and not a numeric tuple index (`self.snap_cache.0.lock()` →
+/// `snap_cache`). `None` when the receiver ends in `)`/`]` (compound
+/// expression — no stable symbol).
+fn receiver_symbol(code: &str, dot: usize) -> Option<String> {
+    let mut start = dot;
+    let bytes = code.as_bytes();
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if c.is_alphanumeric() || c == '_' || c == '.' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    code[start..dot]
+        .split('.')
+        .rev()
+        .find(|seg| !seg.is_empty() && *seg != "self" && !seg.starts_with(|c: char| c.is_numeric()))
+        .map(str::to_string)
+}
+
+/// Statement-start offset for a position: one past the nearest `;`, `{` or
+/// `}` before it (lexing already blanked string/char literals).
+fn stmt_start(code: &str, pos: usize) -> usize {
+    code[..pos]
+        .rfind(|c| c == ';' || c == '{' || c == '}')
+        .map(|i| i + 1)
+        .unwrap_or(0)
+}
+
+/// Whether the expression starting right after the acquisition call is
+/// *guard-valued*: nothing but poison-recovery adapters and closing parens
+/// up to the statement/block end. Returns the offset where the chain test
+/// stopped. A chain that keeps going (`.get(`, `.remove(`, ...) means the
+/// guard is an unnamed temporary.
+fn guard_chain_end(code: &str, mut k: usize) -> (bool, usize) {
+    loop {
+        let rest = code[k..].trim_start();
+        let off = k + (code[k..].len() - rest.len());
+        if rest.starts_with(')') || rest.starts_with('?') {
+            k = off + 1;
+        } else if rest.starts_with(".unwrap()") {
+            k = off + ".unwrap()".len();
+        } else if rest.starts_with(".expect(")
+            || rest.starts_with(".unwrap_or_else(")
+            || rest.starts_with(".expect_err(")
+        {
+            let popen = off + rest.find('(').unwrap_or(0);
+            match matching_paren(code, popen) {
+                Some(close) => k = close + 1,
+                None => return (false, off),
+            }
+        } else {
+            let guard_valued = rest.is_empty() || rest.starts_with(';') || rest.starts_with('}');
+            return (guard_valued, off);
+        }
+    }
+}
+
+/// First keyword of a statement (`let`, `return`, `for`, ...), if any.
+fn stmt_keyword(stmt: &str) -> Option<&str> {
+    let t = stmt.trim_start();
+    ["let", "return", "for", "while", "if", "match"]
+        .into_iter()
+        .find(|kw| {
+            t.starts_with(kw)
+                && !t[kw.len()..].starts_with(|c: char| c.is_alphanumeric() || c == '_')
+        })
+}
+
+/// End offset of the enclosing block: the `}` that closes the block the
+/// position sits in (first `}` that takes brace depth negative).
+fn enclosing_block_end(code: &str, pos: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, b) in code[pos..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return pos + i;
+                }
+            }
+            _ => {}
+        }
+    }
+    code.len()
+}
+
+/// Statement end for a chained temporary: the first `;` at zero depth, or
+/// the point where paren/bracket/brace depth goes negative (the temporary
+/// is embedded in a larger expression and dies with it).
+fn stmt_end(code: &str, pos: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, b) in code[pos..].bytes().enumerate() {
+        match b {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return pos + i;
+                }
+            }
+            b';' if depth == 0 => return pos + i,
+            _ => {}
+        }
+    }
+    code.len()
+}
+
+/// `drop(ident)` sites: `(pos, ident)` pairs for explicit guard releases.
+fn drop_sites(code: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for at in rules::find_word(code, "drop") {
+        let after = code[at + 4..].trim_start();
+        if !after.starts_with('(') {
+            continue;
+        }
+        if let Some(ident) = first_ident(&after[1..]) {
+            out.push((at, ident));
+        }
+    }
+    out
+}
+
+/// All lock acquisitions in the file, with guard spans. `.lock()` is taken
+/// on any identifier-rooted receiver; `.read()`/`.write()` additionally
+/// require the receiver symbol to be declared as a `Mutex`/`RwLock` in this
+/// file, since those names are common on non-lock types.
+fn lock_sites(code: &str, lines: &LineMap) -> Vec<RawLock> {
+    let symbols = lock_symbols(code);
+    let drops = drop_sites(code);
+    let loops = loop_spans(code);
+    let depth_at = |pos: usize| loops.iter().filter(|&&(o, c)| o < pos && pos < c).count();
+    let mut out = Vec::new();
+    for (needle, op) in [
+        (".lock()", LockOp::Lock),
+        (".read()", LockOp::Read),
+        (".write()", LockOp::Write),
+    ] {
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(needle) {
+            let at = from + rel;
+            from = at + needle.len();
+            let Some(sym) = receiver_symbol(code, at) else {
+                continue;
+            };
+            if op != LockOp::Lock && !symbols.iter().any(|s| *s == sym) {
+                continue;
+            }
+            let line = lines.line(at);
+            let ss = stmt_start(code, at);
+            let stmt = code[ss..at].trim_start();
+            let kw = stmt_keyword(stmt);
+            let (guard_valued, chain_end) = guard_chain_end(code, at + needle.len());
+            let (span_end_pos, binding, escapes, stmt_temp);
+            if guard_valued {
+                match kw {
+                    Some("let") => {
+                        let after_let = stmt.trim_start()[3..].trim_start();
+                        let after_mut = after_let.strip_prefix("mut ").unwrap_or(after_let);
+                        binding = first_ident(after_mut);
+                        escapes = false;
+                        stmt_temp = false;
+                        let block_end = enclosing_block_end(code, chain_end);
+                        // An explicit `drop(binding)` inside the block ends
+                        // the guard early.
+                        let dropped = binding.as_ref().and_then(|b| {
+                            drops
+                                .iter()
+                                .filter(|(p, id)| *p > at && *p < block_end && id == b)
+                                .map(|(p, _)| *p)
+                                .min()
+                        });
+                        span_end_pos = dropped.unwrap_or(block_end);
+                    }
+                    Some("return") | None => {
+                        // Returned (or tail-expression) guard: it leaves
+                        // this fn live; callers extend it via `escapes`.
+                        binding = None;
+                        escapes = true;
+                        stmt_temp = false;
+                        span_end_pos = chain_end;
+                    }
+                    _ => {
+                        // Guard-valued inside a `for`/`while`/`if`/`match`
+                        // header: scrutinee temporaries live through the
+                        // construct body.
+                        binding = None;
+                        escapes = false;
+                        stmt_temp = true;
+                        span_end_pos = construct_body_end(code, ss, at);
+                    }
+                }
+            } else {
+                binding = None;
+                escapes = false;
+                stmt_temp = true;
+                span_end_pos = match kw {
+                    Some("for") | Some("while") | Some("if") | Some("match") => {
+                        construct_body_end(code, ss, at)
+                    }
+                    _ => stmt_end(code, at + needle.len()),
+                };
+            }
+            out.push(RawLock {
+                op,
+                id: sym,
+                pos: at,
+                line,
+                loop_depth: depth_at(at),
+                span: (
+                    line,
+                    lines.line(span_end_pos.min(code.len().saturating_sub(1))),
+                ),
+                binding,
+                escapes,
+                stmt_temp,
+            });
+        }
+    }
+    out.sort_by_key(|l| l.pos);
+    out
+}
+
+/// End of the brace body following a `for`/`while`/`if`/`match` header
+/// whose statement starts at `ss` (falls back to the statement end when no
+/// body brace is found).
+fn construct_body_end(code: &str, ss: usize, at: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, b) in code[ss..].bytes().enumerate() {
+        match b {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'{' if depth == 0 => {
+                let open = ss + i;
+                return brace_span(code, open).saturating_sub(1);
+            }
+            b';' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    stmt_end(code, at)
+}
+
 fn rules_trailing_word(before: &str) -> Option<String> {
     let w: String = before
         .chars()
@@ -1016,16 +1501,17 @@ fn call_sites(code: &str, start: usize, end: usize, lines: &LineMap) -> Vec<Call
         let args = count_args(&body[popen + 1..pclose]);
         let abs = start + id_start;
         let before = code[..abs].trim_end();
-        let (kind, qualifier) = if before.ends_with('.') {
-            (CallKind::Method, None)
+        let (kind, qualifier, recv) = if before.ends_with('.') {
+            let recv = rules_trailing_word(before[..before.len() - 1].trim_end());
+            (CallKind::Method, None, recv)
         } else if before.ends_with("::") {
             let qual = rules_trailing_word(before[..before.len() - 2].trim_end());
             match qual {
-                Some(q) => (CallKind::Qualified, Some(q)),
-                None => (CallKind::Free, None),
+                Some(q) => (CallKind::Qualified, Some(q), None),
+                None => (CallKind::Free, None, None),
             }
         } else {
-            (CallKind::Free, None)
+            (CallKind::Free, None, None)
         };
         out.push(CallSite {
             name: name.to_string(),
@@ -1033,6 +1519,7 @@ fn call_sites(code: &str, start: usize, end: usize, lines: &LineMap) -> Vec<Call
             kind,
             args,
             line: lines.line(abs),
+            recv,
         });
     }
     out
@@ -1291,6 +1778,184 @@ mod tests {
             ],
             "grouped renames captured; `as _` and cast expressions ignored"
         );
+    }
+
+    /// Every lock site in the file, in source order, regardless of which
+    /// fn owns it.
+    fn all_locks(s: &FileSummary) -> Vec<&LockSite> {
+        s.fns.iter().flat_map(|f| f.locks.iter()).collect()
+    }
+
+    #[test]
+    fn lock_guard_binding_spans_to_block_end_and_drop_truncates() {
+        let src = "struct S {\n\
+                       m: Mutex<u64>,\n\
+                   }\n\
+                   impl S {\n\
+                       fn hold(&self) -> u64 {\n\
+                           let g = self.m.lock();\n\
+                           let v = *g;\n\
+                           v\n\
+                       }\n\
+                       fn release_early(&self, n: u64) -> u64 {\n\
+                           let g = self.m.lock();\n\
+                           drop(g);\n\
+                           n\n\
+                       }\n\
+                   }\n";
+        let s = summ(src);
+        let locks = all_locks(&s);
+        assert_eq!(locks.len(), 2);
+        assert_eq!(locks[0].op, LockOp::Lock);
+        assert_eq!(locks[0].id, "m");
+        assert_eq!(locks[0].binding.as_deref(), Some("g"));
+        assert!(!locks[0].stmt_temp && !locks[0].escapes);
+        assert_eq!(locks[0].span, (6, 9), "bound guard lives to block end");
+        assert_eq!(locks[1].span, (11, 12), "explicit drop ends the guard");
+    }
+
+    #[test]
+    fn lock_guard_rebinding_is_conservative() {
+        // `let g = g;` moves the guard into a new binding; the original
+        // site keeps its block-end span (may-hold: the data is still
+        // locked, whatever the binding is called).
+        let src = "struct S {\n\
+                       m: Mutex<u64>,\n\
+                   }\n\
+                   impl S {\n\
+                       fn go(&self) -> u64 {\n\
+                           let g = self.m.lock();\n\
+                           let g = g;\n\
+                           *g\n\
+                       }\n\
+                   }\n";
+        let s = summ(src);
+        let locks = all_locks(&s);
+        assert_eq!(locks.len(), 1);
+        assert_eq!(locks[0].binding.as_deref(), Some("g"));
+        assert!(
+            locks[0].span.1 >= 8,
+            "rebinding must not end the guard early: span {:?}",
+            locks[0].span
+        );
+    }
+
+    #[test]
+    fn lock_guard_returned_from_helper_escapes() {
+        let src = "struct S {\n\
+                       m: Mutex<u64>,\n\
+                   }\n\
+                   impl S {\n\
+                       fn grab(&self) {\n\
+                           self.m.lock()\n\
+                       }\n\
+                       fn grab2(&self) {\n\
+                           return self.m.lock();\n\
+                       }\n\
+                   }\n";
+        let s = summ(src);
+        let locks = all_locks(&s);
+        assert_eq!(locks.len(), 2);
+        for l in locks {
+            assert!(l.escapes, "guard leaves the fn at line {}", l.line);
+            assert_eq!(l.binding, None);
+            assert!(!l.stmt_temp);
+        }
+    }
+
+    #[test]
+    fn lock_chained_temporary_dies_at_statement_end() {
+        // `.unwrap()` is poison recovery, `.len()` ends the guard chain:
+        // an unnamed temporary that dies with its statement, even under a
+        // `let` (the binding holds the u64, not the guard).
+        let src = "struct S {\n\
+                       m: Mutex<Vec<u64>>,\n\
+                   }\n\
+                   impl S {\n\
+                       fn peek(&self) -> u64 {\n\
+                           let v = self.m.lock().unwrap().len();\n\
+                           helper();\n\
+                           v as u64\n\
+                       }\n\
+                   }\n\
+                   fn helper() {}\n";
+        let s = summ(src);
+        let locks = all_locks(&s);
+        assert_eq!(locks.len(), 1);
+        assert!(locks[0].stmt_temp);
+        assert_eq!(locks[0].binding, None);
+        assert_eq!(locks[0].span, (6, 6), "temporary dies at the `;`");
+    }
+
+    #[test]
+    fn lock_in_construct_header_lives_through_body() {
+        // A scrutinee temporary (`for .. in m.lock()..`) lives through the
+        // construct body, matching Rust's temporary lifetime rules.
+        let src = "struct S {\n\
+                       m: Mutex<Vec<u64>>,\n\
+                   }\n\
+                   impl S {\n\
+                       fn sum(&self) -> u64 {\n\
+                           let mut t = 0;\n\
+                           for v in self.m.lock().unwrap().iter() {\n\
+                               t += v;\n\
+                           }\n\
+                           t\n\
+                       }\n\
+                   }\n";
+        let s = summ(src);
+        let locks = all_locks(&s);
+        assert_eq!(locks.len(), 1);
+        assert!(locks[0].stmt_temp);
+        assert_eq!(locks[0].span, (7, 9), "guard covers the loop body");
+        assert_eq!(locks[0].loop_depth, 0, "the header is outside its own loop");
+    }
+
+    #[test]
+    fn lock_guard_live_across_early_return_paths() {
+        // An early `return` inside the guard's block does not shorten the
+        // span: may-hold keeps the guard live to the block end.
+        let src = "struct S {\n\
+                       m: Mutex<u64>,\n\
+                   }\n\
+                   impl S {\n\
+                       fn go(&self, quick: bool) -> u64 {\n\
+                           let g = self.m.lock();\n\
+                           if quick {\n\
+                               return 0;\n\
+                           }\n\
+                           *g\n\
+                       }\n\
+                   }\n";
+        let s = summ(src);
+        let locks = all_locks(&s);
+        assert_eq!(locks.len(), 1);
+        assert!(
+            locks[0].span.1 >= 10,
+            "early return must not end the guard: span {:?}",
+            locks[0].span
+        );
+    }
+
+    #[test]
+    fn read_write_sites_require_a_declared_lock_symbol() {
+        // `.read()`/`.write()` are common method names; only receivers
+        // declared as Mutex/RwLock in this file count as acquisitions.
+        let src = "struct S {\n\
+                       data: RwLock<u64>,\n\
+                   }\n\
+                   impl S {\n\
+                       fn go(&self, file: &F) -> u64 {\n\
+                           let g = self.data.read();\n\
+                           let n = file.read();\n\
+                           *g + n\n\
+                       }\n\
+                   }\n";
+        let s = summ(src);
+        let locks = all_locks(&s);
+        assert_eq!(locks.len(), 1, "`file.read()` is not a lock");
+        assert_eq!(locks[0].id, "data");
+        assert_eq!(locks[0].op, LockOp::Read);
     }
 
     #[test]

@@ -25,13 +25,18 @@ pub struct Violation {
     pub snippet: String,
 }
 
-/// All rule ids, in reporting order. The first four are interprocedural
+/// All rule ids, in reporting order. The first seven are interprocedural
 /// (driven by the call graph in [`crate::reach`]); the rest are per-file.
-pub const RULE_IDS: [&str; 10] = [
+/// `lock-order`, `blocking-under-lock` and `lock-in-hot-loop` together form
+/// the `lock-safety` family (`--rules lock-safety` selects all three).
+pub const RULE_IDS: [&str; 13] = [
     "sim-purity",
     "panic-reachable",
     "protocol-exhaustive",
     "hot-path-alloc",
+    "lock-order",
+    "blocking-under-lock",
+    "lock-in-hot-loop",
     "ambient-randomness",
     "forbid-unsafe",
     "unwrap",
@@ -39,6 +44,46 @@ pub const RULE_IDS: [&str; 10] = [
     "retry-budget",
     "waiver-syntax",
 ];
+
+/// Aggregate family names accepted by `--rules`, expanded to rule ids.
+pub const RULE_FAMILIES: [(&str, &[&str]); 1] = [(
+    "lock-safety",
+    &["lock-order", "blocking-under-lock", "lock-in-hot-loop"],
+)];
+
+/// Expand a `--rules` argument: comma-separated family names from
+/// [`RULE_FAMILIES`] or bare rule ids from [`RULE_IDS`]. Unknown tokens are
+/// an error (the CLI exits 2) — a typo must not silently lint nothing.
+pub fn resolve_rule_filter(spec: &str) -> Result<Vec<&'static str>, String> {
+    let mut out: Vec<&'static str> = Vec::new();
+    for tok in spec.split(',') {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            continue;
+        }
+        if let Some((_, members)) = RULE_FAMILIES.iter().find(|(f, _)| *f == tok) {
+            out.extend(members.iter().copied());
+        } else if let Some(id) = RULE_IDS.iter().find(|r| **r == tok) {
+            out.push(id);
+        } else {
+            return Err(format!(
+                "unknown rule family `{tok}` (families: {}; rules: {})",
+                RULE_FAMILIES
+                    .iter()
+                    .map(|(f, _)| *f)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                RULE_IDS.join(", "),
+            ));
+        }
+    }
+    if out.is_empty() {
+        return Err("--rules needs at least one family or rule id".to_string());
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
 
 /// One-line rule descriptions, keyed by id (used by the SARIF driver block).
 pub fn rule_description(rule: &str) -> &'static str {
@@ -59,6 +104,21 @@ pub fn rule_description(rule: &str) -> &'static str {
             "allocation/copy sites reachable from a declared hot-path root \
              (lint-hotpaths.toml), ranked by enclosing loop depth; the wire \
              path must stay zero-copy"
+        }
+        "lock-order" => {
+            "the workspace lock-acquisition graph must be acyclic: two locks \
+             acquired in opposite orders on any pair of call paths (shard \
+             locks counted per acquisition index) can deadlock"
+        }
+        "blocking-under-lock" => {
+            "I/O, channel operations, sleeps, joins, or a second lock \
+             acquisition must not be reachable while a guard is live; slow \
+             work under a lock convoys every contending thread"
+        }
+        "lock-in-hot-loop" => {
+            "lock acquisitions inside a loop reachable from a declared \
+             hot-path root (lint-hotpaths.toml [lock_roots]), ranked by \
+             enclosing loop depth; acquisitions amortize per batch or hoist"
         }
         "ambient-randomness" => "randomness must come from the seeded vroom_sim::Rng",
         "forbid-unsafe" => "unsafe code is banned workspace-wide",

@@ -105,6 +105,54 @@ fn hot_path_alloc_rank_orders_loop_over_once() {
     assert!(once.message.contains("encode"), "{}", once.message);
 }
 
+/// `--rules` is the CI contract for gating a single family: an unknown name
+/// must exit 2 (usage error, distinct from exit 1 = findings), and a valid
+/// family must run the full pipeline filtered to it.
+#[test]
+fn rules_flag_exit_codes() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf();
+    let run = |args: &[&str]| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_vroom-lint"))
+            .args(args)
+            .current_dir(&root)
+            .output()
+            .expect("spawn vroom-lint")
+    };
+
+    let bad = run(&["--rules", "no-such-family", "--no-cache"]);
+    assert_eq!(
+        bad.status.code(),
+        Some(2),
+        "unknown family is a usage error"
+    );
+    let err = String::from_utf8_lossy(&bad.stderr);
+    assert!(
+        err.contains("no-such-family") && err.contains("lock-safety"),
+        "usage error names the bad token and the real families: {err}"
+    );
+
+    let missing = run(&["--rules"]);
+    assert_eq!(
+        missing.status.code(),
+        Some(2),
+        "missing list is a usage error"
+    );
+
+    let ok = run(&["--rules", "lock-safety", "--no-cache"]);
+    assert_eq!(
+        ok.status.code(),
+        Some(0),
+        "lock-safety must be clean on the workspace itself: {}{}",
+        String::from_utf8_lossy(&ok.stdout),
+        String::from_utf8_lossy(&ok.stderr)
+    );
+}
+
 /// The incremental cache must be behaviorally invisible: a cold run, the run
 /// that populates the cache, a fully warm replay, and a run over a corrupted
 /// cache file must all render byte-identical SARIF.
@@ -121,6 +169,7 @@ fn cached_run_is_byte_identical_to_cold() {
     let cache_path = tmp.join("cache.json");
     let cached = Options {
         cache: Some(cache_path.clone()),
+        rules: None,
     };
 
     let render = |opts: &Options| {

@@ -1,0 +1,19 @@
+// path: crates/server/src/held.rs
+//! A guard held across a call into a helper that blocks on a channel:
+//! the diagnosis lands at the blocking site, naming the binding.
+use std::sync::{mpsc::Receiver, Mutex};
+
+pub struct Inbox {
+    pub queue: Mutex<Vec<u64>>,
+}
+
+pub fn drain(inbox: &Inbox, rx: &Receiver<u64>) -> u64 {
+    let q = inbox.queue.lock();
+    let next = pull(rx);
+    drop(q);
+    next
+}
+
+fn pull(rx: &Receiver<u64>) -> u64 {
+    rx.recv()
+}

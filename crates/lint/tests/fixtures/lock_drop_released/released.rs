@@ -1,0 +1,28 @@
+// path: crates/server/src/released.rs
+//! Negative check: `drop(guard)` before the blocking call releases the
+//! lock, and guards in disjoint functions never interact.
+use std::sync::{mpsc::Receiver, Mutex};
+
+pub struct Inbox {
+    pub queue: Mutex<Vec<u64>>,
+}
+
+pub fn drain(inbox: &Inbox, rx: &Receiver<u64>) -> u64 {
+    let q = inbox.queue.lock();
+    let backlog = q.len();
+    drop(q);
+    wait(rx, backlog)
+}
+
+fn wait(rx: &Receiver<u64>, n: u64) -> u64 {
+    let mut got = 0;
+    for _ in 0..n {
+        got += rx.recv();
+    }
+    got
+}
+
+pub fn first(inbox: &Inbox) -> u64 {
+    let q = inbox.queue.lock();
+    q.len()
+}

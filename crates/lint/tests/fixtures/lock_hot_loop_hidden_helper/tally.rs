@@ -1,0 +1,17 @@
+// path: crates/fleet/src/tally.rs
+//! Hidden helper in another crate: a per-iteration lock acquisition the
+//! root-side reviewer never sees in the serving diff.
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub counts: Mutex<Vec<u64>>,
+}
+
+pub fn tally(st: &Shared) -> u64 {
+    let mut total = 0;
+    for _ in 0..4 {
+        let c = st.counts.lock();
+        total += c.len();
+    }
+    total
+}

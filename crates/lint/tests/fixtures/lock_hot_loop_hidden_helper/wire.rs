@@ -1,0 +1,7 @@
+// path: crates/server/src/wire.rs
+//! Serving root: `lock-in-hot-loop` reachability starts at
+//! `handle_request` per the checked-in `[lock_roots]` config.
+
+pub fn handle_request(st: &Shared) -> u64 {
+    tally(st)
+}

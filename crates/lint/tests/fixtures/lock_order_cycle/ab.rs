@@ -1,0 +1,21 @@
+// path: crates/server/src/ab.rs
+//! Seeded AB/BA acquisition cycle: two paths take the same pair of locks
+//! in opposite orders.
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+pub fn forward(p: &Pair) -> u64 {
+    let ga = p.a.lock();
+    let gb = p.b.lock();
+    *ga + *gb
+}
+
+pub fn backward(p: &Pair) -> u64 {
+    let gb = p.b.lock();
+    let ga = p.a.lock();
+    *ga + *gb
+}

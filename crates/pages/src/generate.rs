@@ -268,11 +268,19 @@ impl PageGenerator {
     /// every system compared against the same page — rematerialize nothing.
     pub fn snapshot_arc(&self, ctx: &LoadContext) -> Arc<Page> {
         let key = snap_key(ctx);
-        let mut cache = self.snap_cache.0.lock().expect("snapshot cache poisoned");
-        if let Some(hit) = cache.get(&key) {
-            return Arc::clone(hit);
+        {
+            let cache = self.snap_cache.0.lock().expect("snapshot cache poisoned");
+            if let Some(hit) = cache.get(&key) {
+                return Arc::clone(hit);
+            }
         }
+        // Materialize outside the lock: the page build is the expensive
+        // step, and holding the memo guard across it would serialize every
+        // concurrent load of this generator. Racing builders may both
+        // materialize, but the function is pure — whichever insert lands
+        // last stores an identical page.
         let page = Arc::new(self.materialize(ctx));
+        let mut cache = self.snap_cache.0.lock().expect("snapshot cache poisoned");
         if cache.len() >= SNAP_CACHE_CAP {
             // Deterministic eviction; which entries survive a parallel sweep
             // is timing-dependent, but that only shifts hit rates, never

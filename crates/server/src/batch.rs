@@ -120,7 +120,12 @@ pub fn run_pass(
 /// in entry order. Call sequentially (the shared table needs `&mut`); the
 /// commit is cheap — interning and refcounted inserts only.
 pub fn commit_pass(output: &PassOutput, store: &dyn HintStore, urls: &mut UrlTable) -> Vec<UrlId> {
+    // Intern in entry order (each HTML, then its targets) so id assignment
+    // is byte-identical to a per-entry commit, then file every hint list in
+    // one batched store pass — one write-lock acquisition per touched shard
+    // instead of one per HTML.
     let mut written = Vec::with_capacity(output.entries.len());
+    let mut batch = Vec::with_capacity(output.entries.len());
     for (html, targets) in &output.entries {
         let key = urls.intern(html.clone());
         let hints = targets
@@ -131,9 +136,10 @@ pub fn commit_pass(output: &PassOutput, store: &dyn HintStore, urls: &mut UrlTab
                 size_hint: *size_hint,
             })
             .collect();
-        store.put(key, hints);
+        batch.push((key, hints));
         written.push(key);
     }
+    store.put_many(batch);
     written
 }
 

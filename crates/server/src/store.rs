@@ -60,6 +60,24 @@ pub trait HintStore: Send + Sync {
     /// key's shard.
     fn put(&self, key: UrlId, hints: Vec<Hint>);
 
+    /// The hints for each of `keys`, in input order. Logically identical to
+    /// one [`get`](Self::get) per key — same counter bumps, same results —
+    /// but a batching implementation takes each touched shard's lock once
+    /// for the whole slice instead of once per key.
+    fn get_many(&self, keys: &[UrlId]) -> Vec<Option<Arc<Vec<Hint>>>> {
+        keys.iter().map(|&k| self.get(k)).collect()
+    }
+
+    /// Store every `(key, hints)` pair. Logically identical to one
+    /// [`put`](Self::put) per pair in order — same counters, and duplicate
+    /// keys resolve last-write-wins — with the same batched-locking
+    /// opportunity as [`get_many`](Self::get_many).
+    fn put_many(&self, entries: Vec<(UrlId, Vec<Hint>)>) {
+        for (k, h) in entries {
+            self.put(k, h);
+        }
+    }
+
     /// Per-shard counters, in shard order (a single entry when unsharded).
     fn shard_stats(&self) -> Vec<ShardStats>;
 
@@ -114,6 +132,30 @@ impl HintStore for UnshardedStore {
     fn put(&self, key: UrlId, hints: Vec<Hint>) {
         self.writes.fetch_add(1, Ordering::Relaxed);
         unpoison(self.map.lock()).insert(key, Arc::new(hints));
+    }
+
+    fn get_many(&self, keys: &[UrlId]) -> Vec<Option<Arc<Vec<Hint>>>> {
+        self.reads.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        let mut out = Vec::with_capacity(keys.len());
+        let mut hits = 0u64;
+        let map = unpoison(self.map.lock());
+        for k in keys {
+            let found = map.get(k).map(Arc::clone);
+            hits += u64::from(found.is_some());
+            out.push(found);
+        }
+        drop(map);
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        out
+    }
+
+    fn put_many(&self, entries: Vec<(UrlId, Vec<Hint>)>) {
+        self.writes
+            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+        let mut map = unpoison(self.map.lock());
+        for (k, h) in entries {
+            map.insert(k, Arc::new(h));
+        }
     }
 
     fn shard_stats(&self) -> Vec<ShardStats> {
@@ -187,6 +229,62 @@ impl HintStore for ShardedStore {
         unpoison(shard.map.write()).insert(key, Arc::new(hints));
     }
 
+    fn get_many(&self, keys: &[UrlId]) -> Vec<Option<Arc<Vec<Hint>>>> {
+        let mut out = vec![None; keys.len()];
+        // Group input indices by shard so each touched shard's read lock is
+        // taken exactly once for the batch.
+        let mut by_shard: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            by_shard
+                .entry(k.shard(self.shards.len()))
+                .or_default()
+                .push(i);
+        }
+        for (s, idxs) in by_shard {
+            let Some(shard) = self.shards.get(s) else {
+                continue;
+            };
+            shard.reads.fetch_add(idxs.len() as u64, Ordering::Relaxed);
+            let mut hits = 0u64;
+            // vroom-lint: allow(lock-in-hot-loop) -- one acquisition per touched shard per batch IS the hoisted form this rule asks for
+            let map = unpoison(shard.map.read());
+            for i in idxs {
+                let found = map.get(&keys[i]).map(Arc::clone);
+                hits += u64::from(found.is_some());
+                out[i] = found;
+            }
+            drop(map);
+            shard.hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        out
+    }
+
+    fn put_many(&self, entries: Vec<(UrlId, Vec<Hint>)>) {
+        // Group by shard, preserving entry order within each shard: a
+        // duplicate key routes to one shard, so last-write-wins matches the
+        // sequential per-key commit.
+        let mut by_shard: BTreeMap<usize, Vec<(UrlId, Vec<Hint>)>> = BTreeMap::new();
+        for (k, h) in entries {
+            by_shard
+                .entry(k.shard(self.shards.len()))
+                .or_default()
+                .push((k, h));
+        }
+        for (s, batch) in by_shard {
+            let Some(shard) = self.shards.get(s) else {
+                continue;
+            };
+            shard
+                .writes
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            // vroom-lint: allow(lock-in-hot-loop) -- one acquisition per touched shard per batch IS the hoisted form this rule asks for
+            let mut map = unpoison(shard.map.write());
+            for (k, h) in batch {
+                map.insert(k, Arc::new(h));
+            }
+        }
+    }
+
     fn shard_stats(&self) -> Vec<ShardStats> {
         self.shards
             .iter()
@@ -202,9 +300,11 @@ impl HintStore for ShardedStore {
     fn snapshot(&self) -> BTreeMap<UrlId, Arc<Vec<Hint>>> {
         let mut merged = BTreeMap::new();
         for shard in &self.shards {
-            for (k, v) in unpoison(shard.map.read()).iter() {
-                merged.insert(*k, Arc::clone(v));
-            }
+            // Copy the shard (Arc bumps, not hint copies) under its read
+            // guard and merge after the guard drops: the merge work never
+            // runs inside the critical section.
+            let part = unpoison(shard.map.read()).clone();
+            merged.extend(part);
         }
         merged
     }

@@ -68,10 +68,13 @@ impl WireFaults {
         // A poisoned lock means another serve thread panicked; the set of
         // pending faults is still coherent (it holds no invariants beyond
         // membership), so keep serving rather than poisoning this thread.
-        self.truncate_once
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .remove(url)
+        // The guard's critical section is exactly the `remove` — it drops
+        // before the serve decision that consumes the answer, so a fault
+        // check never stalls another connection's serve.
+        let mut pending = self.truncate_once.lock().unwrap_or_else(|e| e.into_inner());
+        let hit = pending.remove(url);
+        drop(pending);
+        hit
     }
 }
 
