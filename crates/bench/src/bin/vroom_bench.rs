@@ -71,7 +71,8 @@ use vroom_sim::{EventQueue, SimTime};
 const PRE_OPT_FULL_W1_MS: u64 = 16_177;
 const PRE_OPT_SITES4_W1_MS: u64 = 798;
 
-const USAGE: &str = "usage: vroom-bench <micro [OPTIONS] | fleet [OPTIONS] | check-e2e FILE>
+const USAGE: &str =
+    "usage: vroom-bench <micro [OPTIONS] | fleet [OPTIONS] | freshness [OPTIONS] | check-e2e FILE>
   micro                  run the microbenchmarks and write BENCH_micro.json
                          and BENCH_e2e.json into the current directory
   --iters N              samples per microbenchmark (default 10; e2e runs
@@ -89,12 +90,34 @@ const USAGE: &str = "usage: vroom-bench <micro [OPTIONS] | fleet [OPTIONS] | che
   --seed N               fleet seed (default 990951)
   --window MS            batch window in virtual ms (default 100)
   --span MS              arrival span in virtual ms (default 10000)
+  --span-hours N         hour buckets arrivals spread over (default 0)
+  --policy P             store eviction policy: never | ttl:N |
+                         refresh:N (default never)
+  --learn                feed observed client loads back into the store
   --workers N            worker threads (default 1; metrics are identical
                          for every value, only timing moves)
   --check-against FILE   require the committed BENCH_fleet.json at FILE to
                          match the fresh config+metrics exactly and gate
                          timing.loads_per_sec within --tolerance percent
                          (exit 2 if FILE is missing or unreadable)
+  --tolerance PCT        allowed loads/sec slowdown in percent (default 25)
+  freshness              sweep hint age x eviction policy and write
+                         BENCH_freshness.json into the current directory
+  --clients N            clients loaded per cell (default 120)
+  --sites N              distinct sites (default 6)
+  --shards N             hint-store shards (default 8)
+  --seed N               sweep seed (default 63717)
+  --ages N               sweep hint ages 0..=N hour buckets (default 6)
+  --ttl N                TTL for the ttl/refresh columns (default 1, the
+                         Fig 7 calibration)
+  --corruption F         fraction of served hints the fault layer corrupts
+                         (default 0.40; must stay below 0.5, the client's
+                         discard threshold)
+  --workers N            worker threads (default 1; metrics are identical
+                         for every value, only timing moves)
+  --check-against FILE   require the committed BENCH_freshness.json at FILE
+                         to match the fresh config+metrics exactly and gate
+                         timing.loads_per_sec within --tolerance percent
   --tolerance PCT        allowed loads/sec slowdown in percent (default 25)
   check-e2e FILE         read a committed BENCH_e2e.json at FILE and exit 1
                          if runs.run_all_sites4_workers1.median_ms exceeds
@@ -159,6 +182,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
     }
     if command == "fleet" {
         return fleet_cmd(&args[1..]);
+    }
+    if command == "freshness" {
+        return freshness_cmd(&args[1..]);
     }
     if command != "micro" {
         return Err(format!("unknown subcommand {command:?}").into());
@@ -235,6 +261,18 @@ fn fleet_cmd(args: &[String]) -> Result<(), CliError> {
             "--seed" => cfg.seed = numeric("--seed")?,
             "--window" => cfg.batch_window_ms = numeric("--window")?.max(1),
             "--span" => cfg.arrival_span_ms = numeric("--span")?.max(1),
+            "--span-hours" => cfg.span_hours = numeric("--span-hours")?,
+            "--policy" => {
+                cfg.policy = parse_policy(
+                    args.get(i + 1)
+                        .ok_or("--policy takes never | ttl:N | refresh:N")?,
+                )?;
+            }
+            "--learn" => {
+                cfg.learn_from_loads = true;
+                i += 1;
+                continue;
+            }
             "--workers" => cfg.workers = numeric("--workers")?.max(1) as usize,
             "--check-against" => {
                 check_against = Some(
@@ -297,12 +335,159 @@ fn fleet_json(
     config.insert("seed".into(), Value::Int(cfg.seed));
     config.insert("batch_window_ms".into(), Value::Int(cfg.batch_window_ms));
     config.insert("arrival_span_ms".into(), Value::Int(cfg.arrival_span_ms));
+    // Freshness keys appear only when the freshness machinery is in play,
+    // so a legacy run's file stays byte-identical to the pre-freshness one.
+    if cfg.policy != vroom_server::EvictionPolicy::Never
+        || cfg.span_hours > 0
+        || cfg.learn_from_loads
+    {
+        config.insert("span_hours".into(), Value::Int(cfg.span_hours));
+        config.insert("policy".into(), Value::Str(cfg.policy.label()));
+        config.insert("learn_from_loads".into(), Value::Bool(cfg.learn_from_loads));
+    }
     let mut timing = BTreeMap::new();
     timing.insert("wall_ms".into(), Value::Float(round3(wall_ms)));
     timing.insert("loads_per_sec".into(), Value::Float(round3(loads_per_sec)));
     timing.insert("workers".into(), Value::Int(cfg.workers as u64));
     let mut root = BTreeMap::new();
     root.insert("schema".into(), Value::Str("vroom-bench-fleet/1".into()));
+    root.insert("config".into(), Value::Object(config));
+    root.insert("metrics".into(), report.to_json_value());
+    root.insert("timing".into(), Value::Object(timing));
+    Value::Object(root)
+}
+
+/// Parse a `--policy` argument: `never`, `ttl:N`, or `refresh:N`.
+fn parse_policy(s: &str) -> Result<vroom_server::EvictionPolicy, CliError> {
+    use vroom_server::EvictionPolicy;
+    if s == "never" {
+        return Ok(EvictionPolicy::Never);
+    }
+    let parsed = s
+        .split_once(':')
+        .and_then(|(name, n)| Some((name, n.parse::<u64>().ok()?)));
+    match parsed {
+        Some(("ttl", n)) => Ok(EvictionPolicy::Ttl(n)),
+        Some(("refresh", n)) => Ok(EvictionPolicy::RefreshOnMiss(n)),
+        _ => Err(format!("bad --policy {s:?}: expected never | ttl:N | refresh:N").into()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Freshness sweep benchmark
+// ---------------------------------------------------------------------------
+
+/// Parse `freshness` flags, run the age x policy sweep, write
+/// `BENCH_freshness.json`, and apply the `--check-against` gate (same shape
+/// as the fleet gate: exact config+metrics, tolerant timing).
+fn freshness_cmd(args: &[String]) -> Result<(), CliError> {
+    let mut cfg = vroom_fleet::FreshnessConfig::default();
+    let mut check_against: Option<String> = None;
+    let mut tolerance_pct: f64 = 25.0;
+    let mut i = 0;
+    while i < args.len() {
+        let numeric = |name: &str| -> Result<u64, CliError> {
+            args.get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| CliError::from(format!("{name} takes a number")))
+        };
+        match args[i].as_str() {
+            "--clients" => cfg.clients = numeric("--clients")?.max(1) as usize,
+            "--sites" => cfg.sites = numeric("--sites")?.max(1) as usize,
+            "--shards" => cfg.shards = numeric("--shards")?.max(1) as usize,
+            "--seed" => cfg.seed = numeric("--seed")?,
+            "--ages" => cfg.max_age_hours = numeric("--ages")?,
+            "--ttl" => cfg.ttl_hours = numeric("--ttl")?.max(1),
+            "--corruption" => {
+                cfg.hint_corruption = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&c: &f64| (0.0..0.5).contains(&c))
+                    .ok_or("--corruption takes a fraction in [0, 0.5)")?;
+            }
+            "--workers" => cfg.workers = numeric("--workers")?.max(1) as usize,
+            "--check-against" => {
+                check_against = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .ok_or("--check-against takes a file path")?,
+                );
+            }
+            "--tolerance" => {
+                tolerance_pct = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t: &f64| t.is_finite() && t >= 0.0)
+                    .ok_or("--tolerance takes a percentage >= 0")?;
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+        i += 2;
+    }
+
+    let baseline = check_against
+        .as_deref()
+        .map(load_fleet_baseline)
+        .transpose()?;
+
+    let start = Instant::now();
+    let report = vroom_fleet::run_freshness(&cfg);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    // One baseline population plus one per cell.
+    let total_loads = cfg.clients as u64 * (report.cells.len() as u64 + 1);
+    let loads_per_sec = total_loads as f64 / (wall_ms / 1e3).max(1e-9);
+
+    print!("{}", report.render());
+    println!(
+        "timing: {wall_ms:.1} ms wall, {loads_per_sec:.1} loads/sec ({} workers)",
+        cfg.workers
+    );
+
+    let json = freshness_json(&cfg, &report, wall_ms, loads_per_sec);
+    write_json("BENCH_freshness.json", json.clone())?;
+    println!("wrote BENCH_freshness.json");
+
+    if let Some(baseline) = baseline {
+        check_fleet_gate(&baseline, &json, tolerance_pct)?;
+    }
+    Ok(())
+}
+
+/// The three-section `BENCH_freshness.json` tree, mirroring the fleet file:
+/// deterministic `config` + `metrics`, machine-dependent `timing`.
+fn freshness_json(
+    cfg: &vroom_fleet::FreshnessConfig,
+    report: &vroom_fleet::FreshnessReport,
+    wall_ms: f64,
+    loads_per_sec: f64,
+) -> Value {
+    let mut config = BTreeMap::new();
+    config.insert("clients".into(), Value::Int(cfg.clients as u64));
+    config.insert("sites".into(), Value::Int(cfg.sites as u64));
+    config.insert("shards".into(), Value::Int(cfg.shards as u64));
+    config.insert("seed".into(), Value::Int(cfg.seed));
+    config.insert("max_age_hours".into(), Value::Int(cfg.max_age_hours));
+    config.insert("ttl_hours".into(), Value::Int(cfg.ttl_hours));
+    // Integral corruption (0.0) must land as an Int so the parsed baseline
+    // compares equal to the in-memory value in the gate.
+    let corruption = round3(cfg.hint_corruption);
+    config.insert(
+        "hint_corruption".into(),
+        if corruption.fract() == 0.0 {
+            Value::Int(corruption as u64)
+        } else {
+            Value::Float(corruption)
+        },
+    );
+    let mut timing = BTreeMap::new();
+    timing.insert("wall_ms".into(), Value::Float(round3(wall_ms)));
+    timing.insert("loads_per_sec".into(), Value::Float(round3(loads_per_sec)));
+    timing.insert("workers".into(), Value::Int(cfg.workers as u64));
+    let mut root = BTreeMap::new();
+    root.insert(
+        "schema".into(),
+        Value::Str("vroom-bench-freshness/1".into()),
+    );
     root.insert("config".into(), Value::Object(config));
     root.insert("metrics".into(), report.to_json_value());
     root.insert("timing".into(), Value::Object(timing));
@@ -847,9 +1032,65 @@ mod tests {
         assert!(run(&args(&["fleet", "--clients", "many"])).is_err());
         assert!(run(&args(&["fleet", "--tolerance", "-5"])).is_err());
         assert!(run(&args(&["fleet", "--bogus"])).is_err());
+        assert!(run(&args(&["fleet", "--policy", "hourly"])).is_err());
         // Missing baseline fails fast with exit 2, before the run starts.
         let err = run(&args(&["fleet", "--check-against", "/nonexistent/f.json"])).unwrap_err();
         assert_eq!(err.exit_code, 2);
+    }
+
+    #[test]
+    fn policy_argument_parses_all_three_shapes() {
+        use vroom_server::EvictionPolicy;
+        assert_eq!(parse_policy("never").unwrap(), EvictionPolicy::Never);
+        assert_eq!(parse_policy("ttl:4").unwrap(), EvictionPolicy::Ttl(4));
+        assert_eq!(
+            parse_policy("refresh:2").unwrap(),
+            EvictionPolicy::RefreshOnMiss(2)
+        );
+        for bad in ["", "ttl", "ttl:", "ttl:x", "refresh:-1", "hourly"] {
+            assert!(parse_policy(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn freshness_cli_rejects_bad_arguments() {
+        let args = |l: &[&str]| l.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(run(&args(&["freshness", "--clients"])).is_err());
+        assert!(run(&args(&["freshness", "--corruption", "0.6"])).is_err());
+        assert!(run(&args(&["freshness", "--corruption", "-0.1"])).is_err());
+        assert!(run(&args(&["freshness", "--bogus"])).is_err());
+        let err = run(&args(&[
+            "freshness",
+            "--check-against",
+            "/nonexistent/f.json",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code, 2);
+    }
+
+    #[test]
+    fn fleet_config_json_omits_freshness_keys_in_legacy_mode() {
+        let report = vroom_fleet::run_fleet(&vroom_fleet::FleetConfig::quick(4, 1)).report;
+        let legacy = vroom_fleet::FleetConfig::quick(4, 1);
+        let Value::Object(root) = fleet_json(&legacy, &report, 1.0, 1.0) else {
+            panic!("fleet json is an object");
+        };
+        let Some(Value::Object(config)) = root.get("config") else {
+            panic!("config section");
+        };
+        assert!(!config.contains_key("policy"), "legacy config unchanged");
+        assert!(!config.contains_key("span_hours"));
+
+        let mut fresh = vroom_fleet::FleetConfig::quick(4, 1);
+        fresh.policy = vroom_server::EvictionPolicy::Ttl(1);
+        let Value::Object(root) = fleet_json(&fresh, &report, 1.0, 1.0) else {
+            panic!("fleet json is an object");
+        };
+        let Some(Value::Object(config)) = root.get("config") else {
+            panic!("config section");
+        };
+        assert_eq!(config.get("policy"), Some(&Value::Str("ttl(1)".into())));
+        assert_eq!(config.get("span_hours"), Some(&Value::Int(0)));
     }
 
     #[test]

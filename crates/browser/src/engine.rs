@@ -868,8 +868,7 @@ impl<'a> Sim<'a> {
         let mut children: Vec<&vroom_pages::Resource> = self.page.children(html_id).collect();
         children.sort_by(|a, b| {
             a.discovery_frac
-                .partial_cmp(&b.discovery_frac)
-                .unwrap()
+                .total_cmp(&b.discovery_frac)
                 .then(a.id.cmp(&b.id))
         });
         let total = r.cpu_cost.mul_f64(self.cfg.cpu_factor);

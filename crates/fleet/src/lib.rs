@@ -50,15 +50,32 @@ use vroom_intern::{UrlId, UrlTable};
 use vroom_net::json::Value;
 use vroom_net::{FaultPlan, NetworkProfile};
 use vroom_pages::{Corpus, DeviceClass, LoadContext, PageGenerator};
-use vroom_server::batch::{commit_pass, run_pass};
+use vroom_server::batch::{commit_pass_at, run_pass};
+use vroom_server::freshness::observed_pass;
 use vroom_server::push_policy::{select_pushes, PushPolicy};
 use vroom_server::resolve::embedded_htmls;
-use vroom_server::store::{HintStore, ShardStats, ShardedStore};
+use vroom_server::store::{EvictionPolicy, HintStore, ShardStats, ShardedStore};
 
-/// The simulated wall-clock hour the fleet runs in. Every client arrives
-/// within the same hour bucket, so a site needs exactly one resolver pass
-/// for the whole run.
+pub mod freshness;
+
+pub use freshness::{run_freshness, AgeAccuracy, FreshnessCell, FreshnessConfig, FreshnessReport};
+
+/// The simulated wall-clock hour the fleet starts in. With
+/// [`FleetConfig::span_hours`]` == 0` every client arrives within this one
+/// hour bucket, so a site needs exactly one resolver pass for the whole
+/// run; larger spans spread arrivals over `span_hours + 1` buckets.
 pub const FLEET_BASE_HOURS: f64 = 2000.0;
+
+/// Milliseconds per hour bucket.
+const MS_PER_HOUR: u64 = 3_600_000;
+
+/// Upper bound on [`FleetConfig::arrival_span_ms`]: the sub-hour arrival
+/// offset must stay inside one hour bucket, or per-bucket resolver-pass
+/// batching silently breaks (clients would claim an hour their context
+/// does not live in). Larger requested spans are clamped here and surfaced
+/// through the report's freshness section; spread arrivals across hours
+/// with [`FleetConfig::span_hours`] instead.
+pub const MAX_ARRIVAL_SPAN_MS: u64 = MS_PER_HOUR;
 
 /// Which clients an injected fault plan applies to, and how hard it hits.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,8 +122,20 @@ pub struct FleetConfig {
     /// Virtual batch window: clients whose arrival falls in the same
     /// window share one resolver admission round.
     pub batch_window_ms: u64,
-    /// Client arrivals spread uniformly over this virtual span.
+    /// Client arrivals spread uniformly over this virtual span *within
+    /// their hour bucket* (clamped to [`MAX_ARRIVAL_SPAN_MS`]).
     pub arrival_span_ms: u64,
+    /// Hour buckets beyond the base hour that arrivals spread over: each
+    /// client derives an hour offset in `0..=span_hours`, so `0` (the
+    /// default) keeps the whole fleet inside [`FLEET_BASE_HOURS`].
+    pub span_hours: u64,
+    /// How stored hint entries age out ([`EvictionPolicy::Never`] is the
+    /// pre-freshness behavior, byte-identical to it).
+    pub policy: EvictionPolicy,
+    /// Feed each batch's *observed* client loads back into the store (one
+    /// commit per site per batch, from the site's first arrival). Off by
+    /// default: the store then only ever holds crawler-pass output.
+    pub learn_from_loads: bool,
     /// Worker threads for resolver passes and client loads (`1` =
     /// sequential). The report is byte-identical for every value.
     pub workers: usize,
@@ -127,6 +156,9 @@ impl Default for FleetConfig {
             shards: 16,
             batch_window_ms: 100,
             arrival_span_ms: 10_000,
+            span_hours: 0,
+            policy: EvictionPolicy::Never,
+            learn_from_loads: false,
             workers: 1,
             profile: NetworkProfile::lte(),
             faults: None,
@@ -141,6 +173,20 @@ impl FleetConfig {
             clients,
             sites,
             ..Default::default()
+        }
+    }
+
+    /// The configuration with `arrival_span_ms` clamped to
+    /// [`MAX_ARRIVAL_SPAN_MS`], plus the original (over-limit) value when a
+    /// clamp happened (`0` otherwise) — rendered as a warning counter in
+    /// the report's freshness section rather than silently ignored.
+    pub fn validated(&self) -> (FleetConfig, u64) {
+        if self.arrival_span_ms > MAX_ARRIVAL_SPAN_MS {
+            let mut cfg = self.clone();
+            cfg.arrival_span_ms = MAX_ARRIVAL_SPAN_MS;
+            (cfg, self.arrival_span_ms)
+        } else {
+            (self.clone(), 0)
         }
     }
 }
@@ -158,7 +204,15 @@ fn mix(a: u64, b: u64) -> u64 {
 struct ClientSpec {
     id: usize,
     site: usize,
+    /// Sub-hour arrival offset within the client's hour bucket; kept below
+    /// [`MAX_ARRIVAL_SPAN_MS`] by [`FleetConfig::validated`] so it can
+    /// never push the context into a different bucket than [`bucket`].
+    ///
+    /// [`bucket`]: ClientSpec::bucket
     arrival_ms: u64,
+    /// Hour buckets past [`FLEET_BASE_HOURS`] this client arrives in
+    /// (always `0` when the fleet's `span_hours` is `0`).
+    hour_offset: u64,
     device: DeviceClass,
     user_id: u64,
     nonce: u64,
@@ -181,16 +235,31 @@ impl ClientSpec {
             id,
             site: (mix(cfg.seed, id64 * 4) % cfg.sites.max(1) as u64) as usize,
             arrival_ms: mix(cfg.seed, id64 * 4 + 2) % cfg.arrival_span_ms.max(1),
+            // A fresh hash stream: span-0 fleets keep every other derived
+            // parameter byte-identical to the pre-freshness fleet.
+            hour_offset: mix(cfg.seed ^ 0x5A9B_00C3, id64) % (cfg.span_hours + 1),
             device,
             user_id: mix(cfg.seed, id64 * 4 + 3),
             nonce: mix(cfg.seed ^ 0x0C11E27, id64),
         }
     }
 
+    /// Total virtual arrival time: the hour offset plus the sub-hour
+    /// offset — what arrivals sort and batch by.
+    fn arrival_total_ms(&self) -> u64 {
+        self.hour_offset * MS_PER_HOUR + self.arrival_ms
+    }
+
+    /// The hour bucket this client arrives (and reads the store) in.
+    fn bucket(&self) -> i64 {
+        FLEET_BASE_HOURS as i64 + self.hour_offset as i64
+    }
+
     fn ctx(&self) -> LoadContext {
         LoadContext {
-            // Sub-hour arrival offset: stays inside the fleet's hour bucket.
-            hours: FLEET_BASE_HOURS + self.arrival_ms as f64 / 3_600_000.0,
+            // Sub-hour arrival offset: stays inside the client's hour
+            // bucket (arrival_ms < MAX_ARRIVAL_SPAN_MS by validation).
+            hours: self.bucket() as f64 + self.arrival_ms as f64 / MS_PER_HOUR as f64,
             user_id: self.user_id,
             device: self.device,
             nonce: self.nonce,
@@ -211,8 +280,13 @@ pub struct ClientOutcome {
     pub faulted: bool,
     /// HTML documents whose hints were found in the shared store.
     pub hint_hits: u64,
-    /// HTML documents with no store entry (churned iframe URLs, mostly).
+    /// HTML documents with no store entry (churned iframe URLs, mostly),
+    /// including entries the eviction policy logically evicted.
     pub hint_misses: u64,
+    /// HTML documents served *stale* hints (counted in `hint_hits` too):
+    /// nonzero only under [`EvictionPolicy::RefreshOnMiss`], where it
+    /// triggers a re-resolution admission in the next batch.
+    pub hint_stale: u64,
     /// Distinct origins the load touched, sorted.
     pub origins: Vec<String>,
     /// The full simulated load result.
@@ -272,6 +346,35 @@ pub struct FleetReport {
     pub useful_bytes: u64,
     /// Bytes wasted on inaccurate hints/pushes.
     pub wasted_bytes: u64,
+    /// Freshness-loop accounting. `None` for a legacy run (policy `Never`,
+    /// zero span, no learning, nothing clamped), in which case the render
+    /// and JSON are byte-identical to the pre-freshness report.
+    pub freshness: Option<FleetFreshness>,
+}
+
+/// The freshness section of a [`FleetReport`]: everything the hint-aging
+/// loop did during the run. All counters are logical and therefore
+/// byte-identical at any worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFreshness {
+    /// The eviction policy label (`never`, `ttl(1)`, `refresh-on-miss(1)`).
+    pub policy: String,
+    /// Hour buckets past the base hour arrivals spread over.
+    pub span_hours: u64,
+    /// Store reads classified stale (logically evicted or served stale).
+    pub stale_reads: u64,
+    /// HTML documents served stale hints (RefreshOnMiss only).
+    pub stale_served: u64,
+    /// Entries physically removed by TTL sweeps.
+    pub evictions: u64,
+    /// Resolver passes re-run for a site that already had one (TTL expiry
+    /// or stale-read admissions).
+    pub refresh_passes: u64,
+    /// Observed-load commits fed back into the store.
+    pub observed_commits: u64,
+    /// The requested `arrival_span_ms` when it exceeded
+    /// [`MAX_ARRIVAL_SPAN_MS`] and was clamped; `0` when no clamp happened.
+    pub arrival_span_clamped_from_ms: u64,
 }
 
 impl FleetReport {
@@ -325,6 +428,25 @@ impl FleetReport {
             "bytes: useful {}  wasted {}\n",
             self.useful_bytes, self.wasted_bytes
         ));
+        if let Some(f) = &self.freshness {
+            if f.arrival_span_clamped_from_ms > 0 {
+                out.push_str(&format!(
+                    "warning: arrival span clamped {} -> {} ms (use span_hours to cross buckets)\n",
+                    f.arrival_span_clamped_from_ms, MAX_ARRIVAL_SPAN_MS
+                ));
+            }
+            out.push_str(&format!(
+                "freshness: policy {}  span {} h  stale reads {}  stale served {}  \
+                 evictions {}  refresh passes {}  observed commits {}\n",
+                f.policy,
+                f.span_hours,
+                f.stale_reads,
+                f.stale_served,
+                f.evictions,
+                f.refresh_passes,
+                f.observed_commits
+            ));
+        }
         out.push_str("shard   reads    hits  writes entries\n");
         for (i, s) in self.shard_stats.iter().enumerate() {
             out.push_str(&format!(
@@ -381,6 +503,21 @@ impl FleetReport {
             })
             .collect();
         m.insert("shard_stats".into(), Value::Array(shards));
+        if let Some(f) = &self.freshness {
+            let mut fo = BTreeMap::new();
+            fo.insert("policy".into(), Value::Str(f.policy.clone()));
+            fo.insert("span_hours".into(), Value::Int(f.span_hours));
+            fo.insert("stale_reads".into(), Value::Int(f.stale_reads));
+            fo.insert("stale_served".into(), Value::Int(f.stale_served));
+            fo.insert("evictions".into(), Value::Int(f.evictions));
+            fo.insert("refresh_passes".into(), Value::Int(f.refresh_passes));
+            fo.insert("observed_commits".into(), Value::Int(f.observed_commits));
+            fo.insert(
+                "arrival_span_clamped_from_ms".into(),
+                Value::Int(f.arrival_span_clamped_from_ms),
+            );
+            m.insert("freshness".into(), Value::Object(fo));
+        }
         Value::Object(m)
     }
 }
@@ -399,6 +536,8 @@ pub struct FleetRun {
 /// byte-identical for any `cfg.workers` and across repeated runs with the
 /// same config.
 pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
+    let (cfg, clamped_from) = cfg.validated();
+    let cfg = &cfg;
     let corpus = Corpus::news_and_sports_capped(cfg.corpus_seed, Some(cfg.sites.max(1)));
     let store = ShardedStore::new(cfg.shards);
     let mut urls = UrlTable::new();
@@ -407,62 +546,123 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
     let mut specs: Vec<ClientSpec> = (0..cfg.clients)
         .map(|id| ClientSpec::derive(cfg, id))
         .collect();
-    specs.sort_by_key(|s| (s.arrival_ms, s.id));
+    specs.sort_by_key(|s| (s.arrival_total_ms(), s.id));
 
-    // Partition into batch windows.
+    // Partition into batch windows (over total arrival time, so a span
+    // across hour buckets yields per-bucket arrival clusters).
     let window = cfg.batch_window_ms.max(1);
     let mut batches: Vec<Vec<ClientSpec>> = Vec::new();
     for spec in specs {
-        let bucket = spec.arrival_ms / window;
+        let bucket = spec.arrival_total_ms() / window;
         match batches.last_mut() {
-            Some(last) if last[0].arrival_ms / window == bucket => last.push(spec),
+            Some(last) if last[0].arrival_total_ms() / window == bucket => last.push(spec),
             _ => batches.push(vec![spec]),
         }
     }
 
-    let mut resolved_sites: BTreeSet<usize> = BTreeSet::new();
+    // The hour bucket each site's store entries were last resolved at.
+    let mut last_pass: BTreeMap<usize, i64> = BTreeMap::new();
+    // Sites whose stale reads admitted a re-resolution (RefreshOnMiss).
+    let mut pending_refresh: BTreeSet<usize> = BTreeSet::new();
     let mut resolver_passes = 0u64;
+    let mut refresh_passes = 0u64;
+    let mut observed_commits = 0u64;
     let mut warm_origins: BTreeSet<String> = BTreeSet::new();
     let mut origins_opened = 0u64;
     let mut origin_reuses = 0u64;
     let mut outcomes: Vec<ClientOutcome> = Vec::with_capacity(cfg.clients);
 
     for batch in &batches {
-        // Admission: which sites still need a resolver pass. Deterministic
-        // order (by site index) so commit order — and therefore shared-table
-        // id assignment — is schedule-independent.
-        let needed: Vec<usize> = batch
+        let batch_bucket = batch
             .iter()
-            .map(|s| s.site)
-            .filter(|s| !resolved_sites.contains(s))
-            .collect::<BTreeSet<_>>()
-            .into_iter()
-            .collect();
+            .map(|s| s.bucket())
+            .min()
+            .unwrap_or(FLEET_BASE_HOURS as i64);
+
+        // TTL policy: a sequential eviction sweep between batches — reads
+        // never mutate the maps, so the parallel load phase stays pure.
+        if let EvictionPolicy::Ttl(h) = cfg.policy {
+            store.evict_resolved_before(batch_bucket - h as i64);
+        }
+
+        // Admission: which (site, bucket) pairs need a resolver pass —
+        // sites never passed, sites whose pass expired under the TTL, and
+        // sites a previous batch's stale reads flagged. Deterministic
+        // order (BTreeSet) so commit order — and therefore shared-table id
+        // assignment — is schedule-independent; ascending buckets make the
+        // newest pass win for a site admitted at two buckets.
+        let mut needed: BTreeSet<(usize, i64)> = BTreeSet::new();
+        for spec in batch {
+            let due = match (last_pass.get(&spec.site), cfg.policy) {
+                (None, _) => true,
+                (Some(_), EvictionPolicy::Never) => false,
+                (Some(&at), EvictionPolicy::Ttl(h)) => spec.bucket() - at > h as i64,
+                // Stale reads, not arrivals, admit refresh passes.
+                (Some(_), EvictionPolicy::RefreshOnMiss(_)) => false,
+            };
+            if due {
+                needed.insert((spec.site, spec.bucket()));
+            }
+        }
+        for &site in &pending_refresh {
+            needed.insert((site, batch_bucket));
+        }
+        pending_refresh.clear();
+        let needed: Vec<(usize, i64)> = needed.into_iter().collect();
         // The expensive half fans out; the cheap commits stay sequential.
-        let passes = vroom_exec::par_map_indexed(&needed, cfg.workers, |_, &site| {
+        let passes = vroom_exec::par_map_indexed(&needed, cfg.workers, |_, &(site, bucket)| {
             run_pass(
                 &corpus.sites[site],
-                FLEET_BASE_HOURS,
+                bucket as f64,
                 DeviceClass::PhoneLarge,
                 cfg.server_seed,
             )
         });
-        for (&site, pass) in needed.iter().zip(&passes) {
-            commit_pass(pass, &store, &mut urls);
-            resolved_sites.insert(site);
+        for (&(site, bucket), pass) in needed.iter().zip(&passes) {
+            commit_pass_at(pass, &store, &mut urls, bucket);
+            let prior = last_pass.insert(site, bucket);
             resolver_passes += 1;
+            refresh_passes += u64::from(prior.is_some());
         }
 
         // Load phase: the store is frozen (no writes until the next batch),
         // so every client's load is a pure function of its spec and the
         // shared state committed above.
         let batch_outcomes = vroom_exec::par_map_indexed(batch, cfg.workers, |_, spec| {
-            load_client(cfg, spec, &corpus.sites[spec.site], &urls, &store)
+            let plan = match &cfg.faults {
+                Some(f) => f.plan_for(spec.id as u64),
+                None => FaultPlan::none(),
+            };
+            load_client(
+                &cfg.profile,
+                cfg.policy,
+                spec,
+                &corpus.sites[spec.site],
+                &urls,
+                &store,
+                &plan,
+            )
         });
 
         // Sequential post-batch accounting, in arrival order: the origin
-        // pool models per-origin connection reuse across the fleet.
-        for outcome in batch_outcomes {
+        // pool models per-origin connection reuse across the fleet, stale
+        // serves admit refresh passes, and (when enabled) each site's
+        // first observed load of the batch is committed back to the store.
+        let mut learned: BTreeSet<usize> = BTreeSet::new();
+        for (spec, outcome) in batch.iter().zip(batch_outcomes) {
+            if outcome.hint_stale > 0 {
+                pending_refresh.insert(outcome.site);
+            }
+            if cfg.learn_from_loads && learned.insert(spec.site) {
+                // The page is memoized per (site, context): this re-borrow
+                // is the same snapshot the load itself used.
+                let page = corpus.sites[spec.site].snapshot_arc(&spec.ctx());
+                let observed = observed_pass(&page, &outcome.result);
+                if !observed.entries.is_empty() {
+                    commit_pass_at(&observed, &store, &mut urls, spec.bucket());
+                    observed_commits += 1;
+                }
+            }
             for origin in &outcome.origins {
                 if warm_origins.contains(origin) {
                     origin_reuses += 1;
@@ -484,6 +684,25 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
     onloads.sort_by(f64::total_cmp);
 
     let sum = |f: &dyn Fn(&ClientOutcome) -> u64| outcomes.iter().map(f).sum::<u64>();
+    // The freshness section only exists when the freshness machinery was
+    // in play: a legacy run's report stays byte-identical.
+    let freshness = (cfg.policy != EvictionPolicy::Never
+        || cfg.span_hours > 0
+        || cfg.learn_from_loads
+        || clamped_from > 0)
+        .then(|| {
+            let fresh = store.freshness_stats();
+            FleetFreshness {
+                policy: cfg.policy.label(),
+                span_hours: cfg.span_hours,
+                stale_reads: fresh.iter().map(|f| f.stale).sum(),
+                stale_served: sum(&|o| o.hint_stale),
+                evictions: fresh.iter().map(|f| f.evictions).sum(),
+                refresh_passes,
+                observed_commits,
+                arrival_span_clamped_from_ms: clamped_from,
+            }
+        });
     let report = FleetReport {
         clients: cfg.clients as u64,
         sites: cfg.sites.max(1) as u64,
@@ -508,18 +727,24 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
         timeouts: sum(&|o| o.result.timeouts as u64),
         useful_bytes: sum(&|o| o.result.useful_bytes),
         wasted_bytes: sum(&|o| o.result.wasted_bytes),
+        freshness,
     };
     FleetRun { report, outcomes }
 }
 
 /// One client's load against the shared server state. Pure in the shared
 /// state: only reads `urls` and `store` (read locks + logical counters).
+/// Store reads are classified by `policy` at the client's own hour bucket;
+/// a stale serve still feeds the load (old hints beat none) but is counted
+/// so the caller can admit a refresh.
 fn load_client(
-    cfg: &FleetConfig,
+    profile: &NetworkProfile,
+    policy: EvictionPolicy,
     spec: &ClientSpec,
     site: &PageGenerator,
     urls: &UrlTable,
     store: &dyn HintStore,
+    plan: &FaultPlan,
 ) -> ClientOutcome {
     let ctx = spec.ctx();
     let page = site.snapshot_arc(&ctx);
@@ -537,6 +762,7 @@ fn load_client(
     let mut server = ServerModel::default();
     let mut hint_hits = 0u64;
     let mut hint_misses = 0u64;
+    let mut hint_stale = 0u64;
     let mut htmls = vec![page.url.clone()];
     htmls.extend(
         embedded_htmls(&page)
@@ -549,10 +775,19 @@ fn load_client(
     // the logical read/hit counters match the per-document form exactly.
     let ids: Vec<Option<UrlId>> = htmls.iter().map(|h| urls.lookup(h)).collect();
     let resolved: Vec<UrlId> = ids.iter().filter_map(|i| *i).collect();
-    let mut fetched = store.get_many(&resolved).into_iter();
+    let mut fetched = store
+        .get_fresh_many(&resolved, spec.bucket(), policy)
+        .into_iter();
     for (html, id) in htmls.iter().zip(&ids) {
-        let stored = match id {
-            Some(_) => fetched.next().flatten(),
+        let read = match id {
+            Some(_) => fetched.next(),
+            None => None,
+        };
+        let stored = match read {
+            Some(read) => {
+                hint_stale += u64::from(read.is_stale());
+                read.into_hints()
+            }
             None => None,
         };
         let Some(stored) = stored else {
@@ -581,16 +816,12 @@ fn load_client(
     load_cfg.urls = local;
     load_cfg.server = server;
 
-    let plan = match &cfg.faults {
-        Some(f) => f.plan_for(spec.id as u64),
-        None => FaultPlan::none(),
-    };
     let faulted = plan.is_active();
     if faulted {
-        apply_fault_plan(&mut load_cfg, &plan);
+        apply_fault_plan(&mut load_cfg, plan);
     }
 
-    let result = BrowserEngine::load(&page, &cfg.profile, &load_cfg);
+    let result = BrowserEngine::load(&page, profile, &load_cfg);
     let origins: Vec<String> = page
         .resources
         .iter()
@@ -605,6 +836,7 @@ fn load_client(
         faulted,
         hint_hits,
         hint_misses,
+        hint_stale,
         origins,
         result,
     }

@@ -27,7 +27,9 @@ use vroom_net::json::Value;
 /// v2: effect sites gained `loop_depth` (hot-path-alloc ranking weight).
 /// v3: lock-safety — fns gained `end_line` + `locks`, calls gained `recv`,
 /// effects gained `waived_blocking` and the blocking kinds.
-const CACHE_VERSION: u64 = 3;
+/// v4: the `sort-partial-cmp` rule joined the per-file pass; stale caches
+/// would report a file clean without ever running it.
+const CACHE_VERSION: u64 = 4;
 
 /// FNV-1a 64-bit, rendered as fixed-width hex.
 pub fn content_hash(source: &str) -> String {

@@ -29,7 +29,7 @@ pub struct Violation {
 /// (driven by the call graph in [`crate::reach`]); the rest are per-file.
 /// `lock-order`, `blocking-under-lock` and `lock-in-hot-loop` together form
 /// the `lock-safety` family (`--rules lock-safety` selects all three).
-pub const RULE_IDS: [&str; 13] = [
+pub const RULE_IDS: [&str; 14] = [
     "sim-purity",
     "panic-reachable",
     "protocol-exhaustive",
@@ -41,6 +41,7 @@ pub const RULE_IDS: [&str; 13] = [
     "forbid-unsafe",
     "unwrap",
     "float-eq",
+    "sort-partial-cmp",
     "retry-budget",
     "waiver-syntax",
 ];
@@ -124,6 +125,10 @@ pub fn rule_description(rule: &str) -> &'static str {
         "forbid-unsafe" => "unsafe code is banned workspace-wide",
         "unwrap" => "unwrap/expect ratchet in protocol crates",
         "float-eq" => "exact float comparison in metrics code",
+        "sort-partial-cmp" => {
+            "sort/min/max comparators built on partial_cmp panic (or lie) on \
+             NaN; use total_cmp or a total-ordered key"
+        }
         "retry-budget" => "request/data-frame loops must carry a RetryBudget or backoff",
         "waiver-syntax" => "malformed or unknown-rule waiver comments",
         _ => "unknown rule",
@@ -200,6 +205,63 @@ pub fn check_file(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Violation>) {
     }
     if file.is_metrics_code() && !file.is_test_file() {
         float_eq(lexed, &test_lines, &mut report);
+    }
+    // Applies everywhere, tests included: a NaN-panicking comparator in a
+    // test is a flake waiting for one bad sample.
+    sort_partial_cmp(lexed, &mut report);
+}
+
+/// Rule `sort-partial-cmp`: `partial_cmp` inside the comparator argument of
+/// a sort/min/max/binary-search call. `partial_cmp(..).unwrap()` panics the
+/// first time a NaN shows up, and `unwrap_or(Ordering::Equal)` silently
+/// breaks total-order invariants; `f64::total_cmp` is both total and cheap.
+/// The comparator span is paren-matched, so multi-line closures are caught.
+fn sort_partial_cmp(lexed: &Lexed, report: &mut impl FnMut(&'static str, usize, String)) {
+    const METHODS: [&str; 6] = [
+        ".sort_by(",
+        ".sort_unstable_by(",
+        ".max_by(",
+        ".min_by(",
+        ".binary_search_by(",
+        ".partition_point(",
+    ];
+    let code = &lexed.code;
+    for m in METHODS {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(m) {
+            let at = from + pos;
+            from = at + m.len();
+            // Paren-match the argument list from the method's `(`.
+            let open = at + m.len() - 1;
+            let mut depth = 0usize;
+            let mut end = code.len();
+            for (i, b) in code[open..].bytes().enumerate() {
+                match b {
+                    b'(' => depth += 1,
+                    b')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = open + i;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(rel) = code[open..end].find("partial_cmp") {
+                let line = code[..open + rel].bytes().filter(|&b| b == b'\n').count() + 1;
+                let method = m.trim_start_matches('.').trim_end_matches('(');
+                report(
+                    "sort-partial-cmp",
+                    line,
+                    format!(
+                        "`partial_cmp` in a `{method}` comparator is not a total order \
+                         (NaN panics the unwrap or corrupts the sort); use \
+                         `f64::total_cmp` or compare a total-ordered key"
+                    ),
+                );
+            }
+        }
     }
 }
 
@@ -770,6 +832,55 @@ mod tests {
         let v = check("crates/net/src/x.rs", nested_bare);
         assert_eq!(rules_of(&v), vec!["retry-budget"]);
         assert_eq!(v[0].line, 4, "inner loop is the violation site");
+    }
+
+    #[test]
+    fn sort_partial_cmp_flags_comparators_even_multiline_and_in_tests() {
+        let one_line = "#![forbid(unsafe_code)]\n\
+                        fn f(xs: &mut Vec<f64>) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        let v = check("crates/browser/src/engine.rs", one_line);
+        assert_eq!(rules_of(&v), vec!["sort-partial-cmp"]);
+        assert_eq!(v[0].line, 2);
+
+        // Multi-line closure: the span is paren-matched, not line-scanned.
+        let multi = "#![forbid(unsafe_code)]\n\
+                     fn f(xs: &mut Vec<R>) {\n\
+                     \u{20}   xs.sort_by(|a, b| {\n\
+                     \u{20}       a.frac\n\
+                     \u{20}           .partial_cmp(&b.frac)\n\
+                     \u{20}           .unwrap()\n\
+                     \u{20}   });\n\
+                     }\n";
+        let v = check("crates/browser/src/engine.rs", multi);
+        assert_eq!(rules_of(&v), vec!["sort-partial-cmp"]);
+        assert_eq!(v[0].line, 5, "blamed on the partial_cmp line");
+
+        // Test code is NOT exempt: a NaN flake in a test is still a flake.
+        let in_test = "#![forbid(unsafe_code)]\n\
+                       #[cfg(test)]\nmod tests {\n\
+                       \u{20}   fn f(xs: &mut Vec<f64>) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n\
+                       }\n";
+        assert_eq!(
+            rules_of(&check("crates/browser/src/engine.rs", in_test)),
+            vec!["sort-partial-cmp"]
+        );
+    }
+
+    #[test]
+    fn sort_partial_cmp_ignores_total_orders_and_unrelated_calls() {
+        let total = "#![forbid(unsafe_code)]\n\
+                     fn f(xs: &mut Vec<f64>) { xs.sort_by(f64::total_cmp); }\n";
+        assert!(check("crates/browser/src/engine.rs", total).is_empty());
+        let keyed = "#![forbid(unsafe_code)]\n\
+                     fn f(xs: &mut Vec<(u64, f64)>) { xs.sort_by_key(|x| x.0); }\n";
+        assert!(check("crates/browser/src/engine.rs", keyed).is_empty());
+        // partial_cmp outside a comparator argument (e.g. a PartialOrd
+        // impl) is not this rule's business.
+        let imp = "#![forbid(unsafe_code)]\n\
+                   impl PartialOrd for T {\n\
+                   \u{20}   fn partial_cmp(&self, o: &T) -> Option<Ordering> { self.k.partial_cmp(&o.k) }\n\
+                   }\n";
+        assert!(check("crates/sim/src/queue.rs", imp).is_empty());
     }
 
     #[test]

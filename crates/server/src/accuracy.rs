@@ -6,7 +6,7 @@
 //! from the root HTML excluding those derived from embedded HTMLs (the
 //! scope a root-HTML response can legitimately cover).
 
-use crate::resolve::{resolve, ResolverInput, Strategy};
+use crate::resolve::{resolve, ResolverInput, Strategy, CRAWLER_USER};
 use std::collections::BTreeSet;
 use vroom_html::Url;
 use vroom_intern::UrlTable;
@@ -33,6 +33,35 @@ fn scope(page: &Page) -> Vec<&vroom_pages::Resource> {
         .collect()
 }
 
+/// Score a server-side URL set against the predictable subset of one load.
+fn score(
+    scope_a: &[&vroom_pages::Resource],
+    predictable: &BTreeSet<&Url>,
+    server_set: &BTreeSet<&Url>,
+) -> Accuracy {
+    let total_bytes: u64 = scope_a.iter().map(|r| r.size).sum();
+    let predictable_bytes: u64 = scope_a
+        .iter()
+        .filter(|r| predictable.contains(&r.url))
+        .map(|r| r.size)
+        .sum();
+    let fn_count = predictable
+        .iter()
+        .filter(|u| !server_set.contains(*u))
+        .count();
+    let fp_count = server_set
+        .iter()
+        .filter(|u| !predictable.contains(*u))
+        .count();
+    let denom = predictable.len().max(1) as f64;
+    Accuracy {
+        false_negative: fn_count as f64 / denom,
+        false_positive: fp_count as f64 / denom,
+        predictable_count_frac: predictable.len() as f64 / scope_a.len().max(1) as f64,
+        predictable_bytes_frac: predictable_bytes as f64 / total_bytes.max(1) as f64,
+    }
+}
+
 /// Evaluate one strategy against one client load (plus its back-to-back
 /// repeat, which defines predictability).
 pub fn evaluate(
@@ -52,13 +81,6 @@ pub fn evaluate(
         .map(|r| &r.url)
         .collect();
 
-    let total_bytes: u64 = scope_a.iter().map(|r| r.size).sum();
-    let predictable_bytes: u64 = scope_a
-        .iter()
-        .filter(|r| predictable.contains(&r.url))
-        .map(|r| r.size)
-        .sum();
-
     let input = ResolverInput::new(generator, ctx.hours, ctx.device, server_seed);
     let mut urls = UrlTable::new();
     let deps = resolve(&input, &load_a, strategy, &mut urls);
@@ -68,22 +90,53 @@ pub fn evaluate(
         .map(|hs| hs.iter().map(|h| urls.get(h.url)).collect())
         .unwrap_or_default();
 
-    let fn_count = predictable
-        .iter()
-        .filter(|u| !server_set.contains(*u))
-        .count();
-    let fp_count = server_set
-        .iter()
-        .filter(|u| !predictable.contains(*u))
-        .count();
-    let denom = predictable.len().max(1) as f64;
+    score(&scope_a, &predictable, &server_set)
+}
 
-    Accuracy {
-        false_negative: fn_count as f64 / denom,
-        false_positive: fp_count as f64 / denom,
-        predictable_count_frac: predictable.len() as f64 / scope_a.len().max(1) as f64,
-        predictable_bytes_frac: predictable_bytes as f64 / total_bytes.max(1) as f64,
-    }
+/// Evaluate hints that were resolved `age_hours` before the client's load:
+/// the resolver runs against the *server's own* render at the older hour
+/// (crawler identity, the copy a shared store is keyed on — exactly what
+/// [`crate::batch::run_pass`] serves), while the predictable subset is
+/// still defined by the client's load at `ctx.hours`. `age_hours == 0` is
+/// the freshest a shared store can be; growing ages trace the
+/// accuracy-vs-staleness frontier.
+pub fn evaluate_aged(
+    generator: &PageGenerator,
+    ctx: &LoadContext,
+    strategy: Strategy,
+    server_seed: u64,
+    age_hours: u64,
+) -> Accuracy {
+    let load_a = generator.snapshot(ctx);
+    let load_b = generator.snapshot(&ctx.back_to_back(ctx.nonce ^ 0xB2B));
+
+    let scope_a = scope(&load_a);
+    let urls_b: BTreeSet<&Url> = scope(&load_b).iter().map(|r| &r.url).collect();
+    let predictable: BTreeSet<&Url> = scope_a
+        .iter()
+        .filter(|r| urls_b.contains(&r.url))
+        .map(|r| &r.url)
+        .collect();
+
+    // The server's copy at resolution time, quantized the way the batch
+    // path quantizes passes (same bucket, same crawler nonce derivation).
+    let bucket = crate::batch::hour_bucket(ctx.hours - age_hours as f64) as f64;
+    let server_page = generator.snapshot(&LoadContext {
+        hours: bucket,
+        user_id: CRAWLER_USER,
+        device: ctx.device,
+        nonce: crate::batch::mix(server_seed, 0xBA7C4 ^ bucket as u64),
+    });
+    let input = ResolverInput::new(generator, bucket, ctx.device, server_seed);
+    let mut urls = UrlTable::new();
+    let deps = resolve(&input, &server_page, strategy, &mut urls);
+    let server_set: BTreeSet<&Url> = urls
+        .lookup(&server_page.url)
+        .and_then(|id| deps.hints.get(&id))
+        .map(|hs| hs.iter().map(|h| urls.get(h.url)).collect())
+        .unwrap_or_default();
+
+    score(&scope_a, &predictable, &server_set)
 }
 
 #[cfg(test)]
@@ -101,7 +154,7 @@ mod tests {
     }
 
     fn median(mut v: Vec<f64>) -> f64 {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         v[v.len() / 2]
     }
 

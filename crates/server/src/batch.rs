@@ -50,7 +50,7 @@ impl PassOutput {
     }
 }
 
-fn mix(a: u64, b: u64) -> u64 {
+pub(crate) fn mix(a: u64, b: u64) -> u64 {
     let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -119,7 +119,24 @@ pub fn run_pass(
 /// file each HTML's hint list under its id. Returns the store keys written,
 /// in entry order. Call sequentially (the shared table needs `&mut`); the
 /// commit is cheap — interning and refcounted inserts only.
+///
+/// Entries are versioned at bucket 0 — the pre-freshness behavior, correct
+/// whenever the caller runs under [`EvictionPolicy::Never`]. Freshness-aware
+/// callers use [`commit_pass_at`].
+///
+/// [`EvictionPolicy::Never`]: crate::store::EvictionPolicy::Never
 pub fn commit_pass(output: &PassOutput, store: &dyn HintStore, urls: &mut UrlTable) -> Vec<UrlId> {
+    commit_pass_at(output, store, urls, 0)
+}
+
+/// [`commit_pass`], versioning every written entry with the hour bucket the
+/// pass was resolved at — the input to the store's eviction policies.
+pub fn commit_pass_at(
+    output: &PassOutput,
+    store: &dyn HintStore,
+    urls: &mut UrlTable,
+    bucket: i64,
+) -> Vec<UrlId> {
     // Intern in entry order (each HTML, then its targets) so id assignment
     // is byte-identical to a per-entry commit, then file every hint list in
     // one batched store pass — one write-lock acquisition per touched shard
@@ -139,7 +156,7 @@ pub fn commit_pass(output: &PassOutput, store: &dyn HintStore, urls: &mut UrlTab
         batch.push((key, hints));
         written.push(key);
     }
-    store.put_many(batch);
+    store.put_many_at(batch, bucket);
     written
 }
 
@@ -193,6 +210,29 @@ mod tests {
         let root = keys_a[0];
         let got = sharded.get(root).expect("root entry");
         assert_eq!(got.len(), pass.entries[0].1.len());
+    }
+
+    #[test]
+    fn commit_at_versions_entries_with_the_pass_bucket() {
+        use crate::store::EvictionPolicy;
+        let g = site();
+        let pass = run_pass(&g, 2003.0, DeviceClass::PhoneLarge, 9);
+        let store = ShardedStore::new(4);
+        let mut urls = UrlTable::new();
+        let keys = commit_pass_at(&pass, &store, &mut urls, 2003);
+        for (_, (_, bucket)) in store.snapshot_versioned() {
+            assert_eq!(bucket, 2003);
+        }
+        // Fresh within a 1-bucket TTL at the next hour, evicted after.
+        let root = keys[0];
+        assert!(store
+            .get_fresh(root, 2004, EvictionPolicy::Ttl(1))
+            .hints()
+            .is_some());
+        assert!(store
+            .get_fresh(root, 2005, EvictionPolicy::Ttl(1))
+            .hints()
+            .is_none());
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   (production) implementations plus logical contention counters,
 //! * [`batch`] — batched resolution: one pure resolver pass per
 //!   (page, hour, device) shared by every client in a batch window,
+//! * [`freshness`] — the hint-freshness loop: observed-load feedback into
+//!   the store and the Fig 7 calibration for the TTL eviction policy,
 //! * [`wire`] — a working Vroom server + client speaking real HTTP/2 over
 //!   TCP, serving a Mahimahi-style replay store.
 
@@ -27,6 +29,7 @@ pub mod accuracy;
 pub mod batch;
 pub mod clusters;
 pub mod device;
+pub mod freshness;
 pub mod hints;
 pub mod online;
 pub mod push_policy;
@@ -34,11 +37,16 @@ pub mod resolve;
 pub mod store;
 pub mod wire;
 
-pub use accuracy::{evaluate, Accuracy};
-pub use batch::{commit_pass, hour_bucket, run_pass, PassOutput};
+pub use accuracy::{evaluate, evaluate_aged, Accuracy};
+pub use batch::{commit_pass, commit_pass_at, hour_bucket, run_pass, PassOutput};
 pub use clusters::{cluster_pages, PageTypeClusters};
+pub use freshness::{
+    hint_quality_by_age, observed_pass, CALIBRATED_TTL_HOURS, PERSISTENCE_1H, PERSISTENCE_1WEEK,
+};
 pub use hints::{attach_hints, parse_hints};
 pub use push_policy::{select_pushes, PushPolicy};
 pub use resolve::{resolve, ResolvedDeps, ResolverInput, Strategy, CRAWLER_USER};
-pub use store::{HintStore, ShardStats, ShardedStore, UnshardedStore};
+pub use store::{
+    EvictionPolicy, FreshRead, FreshnessStats, HintStore, ShardStats, ShardedStore, UnshardedStore,
+};
 pub use wire::{MonotonicClock, WireClient, WireClock, WireFaults, WireServer, WireSite};

@@ -6,10 +6,17 @@
 //! the findings into hints — demonstrating that the markup, the scanner, and
 //! the model agree.
 
+use std::collections::BTreeMap;
+
 use vroom_browser::config::Hint;
-use vroom_html::{scan_html, ExecMode, ResourceKind};
+use vroom_html::{scan_html, ExecMode, ResourceKind, Url};
 use vroom_intern::UrlTable;
 use vroom_pages::{render_html, Page, ResourceId};
+
+/// Size hint for a scanned URL the server has no stored copy of (a
+/// churned or externally-referenced resource): a mid-range guess keeps the
+/// scheduler from treating the unknown as either trivial or dominant.
+pub const UNKNOWN_SIZE_HINT: u64 = 10_000;
 
 /// Tier assignment from scanner output alone (the server has no model
 /// labels on the wire): processed kinds are preload unless async/defer;
@@ -24,23 +31,27 @@ fn tier_of(kind: ResourceKind, exec: ExecMode) -> u8 {
     }
 }
 
+/// The stored size for a scanned URL, or [`UNKNOWN_SIZE_HINT`] when the
+/// server holds no copy of it (the URL churned out from under the markup,
+/// or points somewhere the server never crawled).
+fn size_for(sizes: &BTreeMap<&Url, u64>, url: &Url) -> u64 {
+    sizes.get(url).copied().unwrap_or(UNKNOWN_SIZE_HINT)
+}
+
 /// Scan the rendered markup of `html_id` and produce hints for everything
 /// the document statically references. Scanned URLs are interned into
 /// `urls`.
 pub fn scan_served_html(page: &Page, html_id: ResourceId, urls: &mut UrlTable) -> Vec<Hint> {
     let base = &page.resources[html_id].url;
     let markup = render_html(page, html_id);
+    // Size from the page when the URL matches a real resource (the server
+    // knows sizes of content it stores). One URL→size map for the whole
+    // scan, not a linear rescan of `page.resources` per hint.
+    let sizes: BTreeMap<&Url, u64> = page.resources.iter().map(|r| (&r.url, r.size)).collect();
     let mut hints: Vec<Hint> = scan_html(base, &markup)
         .into_iter()
         .map(|d| {
-            // Size from the page when the URL matches a real resource (the
-            // server knows sizes of content it stores).
-            let size = page
-                .resources
-                .iter()
-                .find(|r| r.url == d.url)
-                .map(|r| r.size)
-                .unwrap_or(10_000);
+            let size = size_for(&sizes, &d.url);
             Hint {
                 url: urls.intern(d.url),
                 tier: tier_of(d.kind, d.exec),
@@ -102,5 +113,19 @@ mod tests {
             let model = page.resources.iter().find(|r| &r.url == url).unwrap();
             assert_eq!(h.size_hint, model.size);
         }
+    }
+
+    #[test]
+    fn unmatched_url_falls_back_to_the_named_constant() {
+        let page = PageGenerator::new(SiteProfile::news(), 324).snapshot(&LoadContext::reference());
+        let sizes: BTreeMap<&Url, u64> = page.resources.iter().map(|r| (&r.url, r.size)).collect();
+        // A known URL resolves to its stored size...
+        let known = &page.resources[1];
+        assert_eq!(size_for(&sizes, &known.url), known.size);
+        // ...while a URL the server holds no copy of (churned out from
+        // under the markup) gets the explicit unknown-size fallback.
+        let churned = Url::https("cdn.example", "/rotated-away.js");
+        assert!(page.resources.iter().all(|r| r.url != churned));
+        assert_eq!(size_for(&sizes, &churned), UNKNOWN_SIZE_HINT);
     }
 }

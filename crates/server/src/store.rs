@@ -18,8 +18,25 @@
 //!   migrate). Readers on different shards never contend; writers block
 //!   only their own shard.
 //!
+//! Every entry is versioned with the hour bucket it was resolved at, and
+//! reads classify entries through an [`EvictionPolicy`]:
+//!
+//! * [`EvictionPolicy::Never`] — age is ignored; byte-identical to the
+//!   pre-freshness store (the legacy `get`/`put` API is defined as the
+//!   versioned API at bucket 0 under `Never`).
+//! * [`EvictionPolicy::Ttl`] — an entry older than the TTL is logically
+//!   evicted at read time: the read counts as stale and returns a miss.
+//!   Physical removal is a separate, sequential [`evict_resolved_before`]
+//!   sweep so the parallel load phase never mutates the maps.
+//! * [`EvictionPolicy::RefreshOnMiss`] — a stale entry is still served
+//!   (counted as a hit *and* as stale) so the caller can schedule a
+//!   re-resolution admission while this load proceeds on old hints.
+//!
+//! [`evict_resolved_before`]: HintStore::evict_resolved_before
+//!
 //! Both implementations keep per-shard access counters (reads, hits,
-//! writes, entries). The counters are *logical*: every operation bumps its
+//! writes, entries) plus freshness counters (stale classifications,
+//! evictions). The counters are *logical*: every operation bumps its
 //! shard's counter exactly once, so totals are a pure function of the
 //! workload — identical at any worker count or scheduling — even though the
 //! increments themselves race. That property is what lets the fleet report
@@ -45,27 +62,169 @@ pub struct ShardStats {
     pub entries: u64,
 }
 
+/// Logical freshness counters for one shard, kept separate from
+/// [`ShardStats`] so the pre-freshness report formats stay byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FreshnessStats {
+    /// Reads that classified their entry as stale under the caller's
+    /// policy (whether it was then served or logically evicted).
+    pub stale: u64,
+    /// Entries physically removed by eviction sweeps.
+    pub evictions: u64,
+}
+
+/// When a stored hint list stops being served as fresh. Ages are measured
+/// in whole hour buckets: an entry resolved at bucket `b` read at bucket
+/// `now` has age `now - b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Entries never age out — the pre-freshness behavior.
+    Never,
+    /// Entries older than this many buckets are logically evicted at read
+    /// time (the read misses) and removed by the next eviction sweep.
+    Ttl(u64),
+    /// Entries older than this many buckets are still served, but the read
+    /// reports them stale so the caller can admit a re-resolution.
+    RefreshOnMiss(u64),
+}
+
+impl EvictionPolicy {
+    /// Age (in buckets) beyond which an entry is stale; `None` = never.
+    fn stale_after(&self) -> Option<u64> {
+        match self {
+            EvictionPolicy::Never => None,
+            EvictionPolicy::Ttl(h) | EvictionPolicy::RefreshOnMiss(h) => Some(*h),
+        }
+    }
+
+    /// Stable label for reports: `never`, `ttl(4)`, `refresh-on-miss(1)`.
+    pub fn label(&self) -> String {
+        match self {
+            EvictionPolicy::Never => "never".into(),
+            EvictionPolicy::Ttl(h) => format!("ttl({h})"),
+            EvictionPolicy::RefreshOnMiss(h) => format!("refresh-on-miss({h})"),
+        }
+    }
+}
+
+/// The outcome of one policy-aware read.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FreshRead {
+    /// No live entry (or the policy logically evicted it).
+    Miss,
+    /// A live entry within its freshness window.
+    Fresh {
+        /// The stored hint list (Arc-shared, never copied).
+        hints: Arc<Vec<Hint>>,
+        /// Buckets since the entry was resolved.
+        age_hours: u64,
+    },
+    /// A stale entry served anyway ([`EvictionPolicy::RefreshOnMiss`]):
+    /// the caller should schedule a re-resolution.
+    Stale {
+        /// The stored hint list.
+        hints: Arc<Vec<Hint>>,
+        /// Buckets since the entry was resolved.
+        age_hours: u64,
+    },
+}
+
+impl FreshRead {
+    /// The served hints, if any (fresh or stale).
+    pub fn hints(&self) -> Option<&Arc<Vec<Hint>>> {
+        match self {
+            FreshRead::Miss => None,
+            FreshRead::Fresh { hints, .. } | FreshRead::Stale { hints, .. } => Some(hints),
+        }
+    }
+
+    /// Consume into the served hints, if any.
+    pub fn into_hints(self) -> Option<Arc<Vec<Hint>>> {
+        match self {
+            FreshRead::Miss => None,
+            FreshRead::Fresh { hints, .. } | FreshRead::Stale { hints, .. } => Some(hints),
+        }
+    }
+
+    /// Whether this read served a stale entry.
+    pub fn is_stale(&self) -> bool {
+        matches!(self, FreshRead::Stale { .. })
+    }
+}
+
+/// One stored entry: the hint list plus the hour bucket it was resolved at.
+type Entry = (Arc<Vec<Hint>>, i64);
+
+/// Classify one looked-up entry under `policy` at `now_bucket`. Returns the
+/// read plus whether it counts as a hit and whether it counts as stale —
+/// the single definition both layouts share, so sharded == unsharded is an
+/// identity rather than a re-derivation.
+fn classify(
+    found: Option<&Entry>,
+    now_bucket: i64,
+    policy: EvictionPolicy,
+) -> (FreshRead, bool, bool) {
+    let Some((hints, bucket)) = found else {
+        return (FreshRead::Miss, false, false);
+    };
+    let age_hours = now_bucket.saturating_sub(*bucket).max(0) as u64;
+    match policy.stale_after() {
+        Some(limit) if age_hours > limit => match policy {
+            // Logical eviction: the read misses; the entry stays until the
+            // next sequential sweep so reads never mutate the map.
+            EvictionPolicy::Ttl(_) => (FreshRead::Miss, false, true),
+            _ => (
+                FreshRead::Stale {
+                    hints: Arc::clone(hints),
+                    age_hours,
+                },
+                true,
+                true,
+            ),
+        },
+        _ => (
+            FreshRead::Fresh {
+                hints: Arc::clone(hints),
+                age_hours,
+            },
+            true,
+            false,
+        ),
+    }
+}
+
 /// Shared dependency-hint storage, keyed by the interned URL of the HTML
 /// response that carries the hints.
 ///
 /// Values are `Arc`-shared: a `get` hands back a reference-counted handle,
 /// never a copy of the hint list, so concurrent readers share one
 /// allocation.
+///
+/// The legacy unversioned API (`get`/`put`/`get_many`/`put_many`) is
+/// defined in terms of the versioned one at bucket 0 under
+/// [`EvictionPolicy::Never`] — same counter bumps, same results.
 pub trait HintStore: Send + Sync {
     /// The hints stored for `key`, if any. Counts one read (plus one hit on
     /// success) against the key's shard.
-    fn get(&self, key: UrlId) -> Option<Arc<Vec<Hint>>>;
+    fn get(&self, key: UrlId) -> Option<Arc<Vec<Hint>>> {
+        self.get_fresh(key, 0, EvictionPolicy::Never).into_hints()
+    }
 
     /// Store (or replace) the hints for `key`. Counts one write against the
     /// key's shard.
-    fn put(&self, key: UrlId, hints: Vec<Hint>);
+    fn put(&self, key: UrlId, hints: Vec<Hint>) {
+        self.put_at(key, hints, 0);
+    }
 
     /// The hints for each of `keys`, in input order. Logically identical to
     /// one [`get`](Self::get) per key — same counter bumps, same results —
     /// but a batching implementation takes each touched shard's lock once
     /// for the whole slice instead of once per key.
     fn get_many(&self, keys: &[UrlId]) -> Vec<Option<Arc<Vec<Hint>>>> {
-        keys.iter().map(|&k| self.get(k)).collect()
+        self.get_fresh_many(keys, 0, EvictionPolicy::Never)
+            .into_iter()
+            .map(FreshRead::into_hints)
+            .collect()
     }
 
     /// Store every `(key, hints)` pair. Logically identical to one
@@ -73,17 +232,63 @@ pub trait HintStore: Send + Sync {
     /// keys resolve last-write-wins — with the same batched-locking
     /// opportunity as [`get_many`](Self::get_many).
     fn put_many(&self, entries: Vec<(UrlId, Vec<Hint>)>) {
+        self.put_many_at(entries, 0);
+    }
+
+    /// Policy-aware read: the hints for `key` classified by age relative to
+    /// `now_bucket`. Counts one read; a hit only when the policy serves the
+    /// entry; one stale count when the entry is past its window.
+    fn get_fresh(&self, key: UrlId, now_bucket: i64, policy: EvictionPolicy) -> FreshRead;
+
+    /// Store (or replace) the hints for `key`, versioned with the hour
+    /// bucket they were resolved at. Counts one write.
+    fn put_at(&self, key: UrlId, hints: Vec<Hint>, bucket: i64);
+
+    /// Policy-aware batched read, in input order. Logically identical to
+    /// one [`get_fresh`](Self::get_fresh) per key.
+    fn get_fresh_many(
+        &self,
+        keys: &[UrlId],
+        now_bucket: i64,
+        policy: EvictionPolicy,
+    ) -> Vec<FreshRead> {
+        keys.iter()
+            .map(|&k| self.get_fresh(k, now_bucket, policy))
+            .collect()
+    }
+
+    /// Versioned batched write. Logically identical to one
+    /// [`put_at`](Self::put_at) per pair in order.
+    fn put_many_at(&self, entries: Vec<(UrlId, Vec<Hint>)>, bucket: i64) {
         for (k, h) in entries {
-            self.put(k, h);
+            self.put_at(k, h, bucket);
         }
     }
+
+    /// Physically remove every entry resolved before `min_bucket`,
+    /// returning how many were removed. Call sequentially between batches
+    /// (the Ttl sweep); reads never mutate, so this is the only path that
+    /// shrinks the maps.
+    fn evict_resolved_before(&self, min_bucket: i64) -> u64;
 
     /// Per-shard counters, in shard order (a single entry when unsharded).
     fn shard_stats(&self) -> Vec<ShardStats>;
 
+    /// Per-shard freshness counters, parallel to
+    /// [`shard_stats`](Self::shard_stats).
+    fn freshness_stats(&self) -> Vec<FreshnessStats>;
+
     /// The full contents, merged across shards into one ordered map — the
     /// canonical form the equivalence proptests compare.
-    fn snapshot(&self) -> BTreeMap<UrlId, Arc<Vec<Hint>>>;
+    fn snapshot(&self) -> BTreeMap<UrlId, Arc<Vec<Hint>>> {
+        self.snapshot_versioned()
+            .into_iter()
+            .map(|(k, (h, _))| (k, h))
+            .collect()
+    }
+
+    /// The full contents with each entry's resolution bucket.
+    fn snapshot_versioned(&self) -> BTreeMap<UrlId, (Arc<Vec<Hint>>, i64)>;
 
     /// Total live entries across every shard.
     fn len(&self) -> usize {
@@ -106,10 +311,12 @@ fn unpoison<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
 /// The single-lock reference implementation.
 #[derive(Debug, Default)]
 pub struct UnshardedStore {
-    map: Mutex<BTreeMap<UrlId, Arc<Vec<Hint>>>>,
+    map: Mutex<BTreeMap<UrlId, Entry>>,
     reads: AtomicU64,
     hits: AtomicU64,
     writes: AtomicU64,
+    stale: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl UnshardedStore {
@@ -120,42 +327,67 @@ impl UnshardedStore {
 }
 
 impl HintStore for UnshardedStore {
-    fn get(&self, key: UrlId) -> Option<Arc<Vec<Hint>>> {
+    fn get_fresh(&self, key: UrlId, now_bucket: i64, policy: EvictionPolicy) -> FreshRead {
         self.reads.fetch_add(1, Ordering::Relaxed);
-        let found = unpoison(self.map.lock()).get(&key).map(Arc::clone);
-        if found.is_some() {
+        let (read, hit, stale) = {
+            let map = unpoison(self.map.lock());
+            classify(map.get(&key), now_bucket, policy)
+        };
+        if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        found
+        if stale {
+            self.stale.fetch_add(1, Ordering::Relaxed);
+        }
+        read
     }
 
-    fn put(&self, key: UrlId, hints: Vec<Hint>) {
+    fn put_at(&self, key: UrlId, hints: Vec<Hint>, bucket: i64) {
         self.writes.fetch_add(1, Ordering::Relaxed);
-        unpoison(self.map.lock()).insert(key, Arc::new(hints));
+        unpoison(self.map.lock()).insert(key, (Arc::new(hints), bucket));
     }
 
-    fn get_many(&self, keys: &[UrlId]) -> Vec<Option<Arc<Vec<Hint>>>> {
+    fn get_fresh_many(
+        &self,
+        keys: &[UrlId],
+        now_bucket: i64,
+        policy: EvictionPolicy,
+    ) -> Vec<FreshRead> {
         self.reads.fetch_add(keys.len() as u64, Ordering::Relaxed);
         let mut out = Vec::with_capacity(keys.len());
         let mut hits = 0u64;
+        let mut stale = 0u64;
         let map = unpoison(self.map.lock());
         for k in keys {
-            let found = map.get(k).map(Arc::clone);
-            hits += u64::from(found.is_some());
-            out.push(found);
+            let (read, hit, is_stale) = classify(map.get(k), now_bucket, policy);
+            hits += u64::from(hit);
+            stale += u64::from(is_stale);
+            out.push(read);
         }
         drop(map);
         self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.stale.fetch_add(stale, Ordering::Relaxed);
         out
     }
 
-    fn put_many(&self, entries: Vec<(UrlId, Vec<Hint>)>) {
+    fn put_many_at(&self, entries: Vec<(UrlId, Vec<Hint>)>, bucket: i64) {
         self.writes
             .fetch_add(entries.len() as u64, Ordering::Relaxed);
         let mut map = unpoison(self.map.lock());
         for (k, h) in entries {
-            map.insert(k, Arc::new(h));
+            map.insert(k, (Arc::new(h), bucket));
         }
+    }
+
+    fn evict_resolved_before(&self, min_bucket: i64) -> u64 {
+        let removed = {
+            let mut map = unpoison(self.map.lock());
+            let before = map.len();
+            map.retain(|_, (_, b)| *b >= min_bucket);
+            (before - map.len()) as u64
+        };
+        self.evictions.fetch_add(removed, Ordering::Relaxed);
+        removed
     }
 
     fn shard_stats(&self) -> Vec<ShardStats> {
@@ -167,7 +399,14 @@ impl HintStore for UnshardedStore {
         }]
     }
 
-    fn snapshot(&self) -> BTreeMap<UrlId, Arc<Vec<Hint>>> {
+    fn freshness_stats(&self) -> Vec<FreshnessStats> {
+        vec![FreshnessStats {
+            stale: self.stale.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }]
+    }
+
+    fn snapshot_versioned(&self) -> BTreeMap<UrlId, Entry> {
         unpoison(self.map.lock()).clone()
     }
 }
@@ -175,10 +414,12 @@ impl HintStore for UnshardedStore {
 /// One shard: an independent map plus its logical counters.
 #[derive(Debug, Default)]
 struct Shard {
-    map: RwLock<BTreeMap<UrlId, Arc<Vec<Hint>>>>,
+    map: RwLock<BTreeMap<UrlId, Entry>>,
     reads: AtomicU64,
     hits: AtomicU64,
     writes: AtomicU64,
+    stale: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// The production layout: reads take a shard-local read lock, writes a
@@ -211,26 +452,39 @@ impl ShardedStore {
 }
 
 impl HintStore for ShardedStore {
-    fn get(&self, key: UrlId) -> Option<Arc<Vec<Hint>>> {
-        let shard = self.shard_of(key)?;
+    fn get_fresh(&self, key: UrlId, now_bucket: i64, policy: EvictionPolicy) -> FreshRead {
+        let Some(shard) = self.shard_of(key) else {
+            return FreshRead::Miss;
+        };
         shard.reads.fetch_add(1, Ordering::Relaxed);
-        let found = unpoison(shard.map.read()).get(&key).map(Arc::clone);
-        if found.is_some() {
+        let (read, hit, stale) = {
+            let map = unpoison(shard.map.read());
+            classify(map.get(&key), now_bucket, policy)
+        };
+        if hit {
             shard.hits.fetch_add(1, Ordering::Relaxed);
         }
-        found
+        if stale {
+            shard.stale.fetch_add(1, Ordering::Relaxed);
+        }
+        read
     }
 
-    fn put(&self, key: UrlId, hints: Vec<Hint>) {
+    fn put_at(&self, key: UrlId, hints: Vec<Hint>, bucket: i64) {
         let Some(shard) = self.shard_of(key) else {
             return;
         };
         shard.writes.fetch_add(1, Ordering::Relaxed);
-        unpoison(shard.map.write()).insert(key, Arc::new(hints));
+        unpoison(shard.map.write()).insert(key, (Arc::new(hints), bucket));
     }
 
-    fn get_many(&self, keys: &[UrlId]) -> Vec<Option<Arc<Vec<Hint>>>> {
-        let mut out = vec![None; keys.len()];
+    fn get_fresh_many(
+        &self,
+        keys: &[UrlId],
+        now_bucket: i64,
+        policy: EvictionPolicy,
+    ) -> Vec<FreshRead> {
+        let mut out = vec![FreshRead::Miss; keys.len()];
         // Group input indices by shard so each touched shard's read lock is
         // taken exactly once for the batch.
         let mut by_shard: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
@@ -246,20 +500,23 @@ impl HintStore for ShardedStore {
             };
             shard.reads.fetch_add(idxs.len() as u64, Ordering::Relaxed);
             let mut hits = 0u64;
+            let mut stale = 0u64;
             // vroom-lint: allow(lock-in-hot-loop) -- one acquisition per touched shard per batch IS the hoisted form this rule asks for
             let map = unpoison(shard.map.read());
             for i in idxs {
-                let found = map.get(&keys[i]).map(Arc::clone);
-                hits += u64::from(found.is_some());
-                out[i] = found;
+                let (read, hit, is_stale) = classify(map.get(&keys[i]), now_bucket, policy);
+                hits += u64::from(hit);
+                stale += u64::from(is_stale);
+                out[i] = read;
             }
             drop(map);
             shard.hits.fetch_add(hits, Ordering::Relaxed);
+            shard.stale.fetch_add(stale, Ordering::Relaxed);
         }
         out
     }
 
-    fn put_many(&self, entries: Vec<(UrlId, Vec<Hint>)>) {
+    fn put_many_at(&self, entries: Vec<(UrlId, Vec<Hint>)>, bucket: i64) {
         // Group by shard, preserving entry order within each shard: a
         // duplicate key routes to one shard, so last-write-wins matches the
         // sequential per-key commit.
@@ -280,9 +537,25 @@ impl HintStore for ShardedStore {
             // vroom-lint: allow(lock-in-hot-loop) -- one acquisition per touched shard per batch IS the hoisted form this rule asks for
             let mut map = unpoison(shard.map.write());
             for (k, h) in batch {
-                map.insert(k, Arc::new(h));
+                map.insert(k, (Arc::new(h), bucket));
             }
         }
+    }
+
+    fn evict_resolved_before(&self, min_bucket: i64) -> u64 {
+        let mut total = 0u64;
+        for shard in &self.shards {
+            let removed = {
+                // vroom-lint: allow(lock-in-hot-loop) -- sequential sweep: one write acquisition per shard, between batches
+                let mut map = unpoison(shard.map.write());
+                let before = map.len();
+                map.retain(|_, (_, b)| *b >= min_bucket);
+                (before - map.len()) as u64
+            };
+            shard.evictions.fetch_add(removed, Ordering::Relaxed);
+            total += removed;
+        }
+        total
     }
 
     fn shard_stats(&self) -> Vec<ShardStats> {
@@ -297,7 +570,17 @@ impl HintStore for ShardedStore {
             .collect()
     }
 
-    fn snapshot(&self) -> BTreeMap<UrlId, Arc<Vec<Hint>>> {
+    fn freshness_stats(&self) -> Vec<FreshnessStats> {
+        self.shards
+            .iter()
+            .map(|s| FreshnessStats {
+                stale: s.stale.load(Ordering::Relaxed),
+                evictions: s.evictions.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    fn snapshot_versioned(&self) -> BTreeMap<UrlId, Entry> {
         let mut merged = BTreeMap::new();
         for shard in &self.shards {
             // Copy the shard (Arc bumps, not hint copies) under its read
@@ -363,6 +646,11 @@ mod tests {
         assert_eq!(total(|s| s.reads), 32);
         assert_eq!(total(|s| s.hits), 16);
         assert_eq!(total(|s| s.entries), 16);
+        // The legacy API never classifies anything stale or evicts.
+        let fresh = store.freshness_stats();
+        assert_eq!(fresh.len(), 8);
+        assert_eq!(fresh.iter().map(|f| f.stale).sum::<u64>(), 0);
+        assert_eq!(fresh.iter().map(|f| f.evictions).sum::<u64>(), 0);
         // Fibonacci routing actually spreads the dense low ids.
         let populated = stats.iter().filter(|s| s.entries > 0).count();
         assert!(populated >= 4, "16 keys landed on only {populated} shards");
@@ -378,6 +666,7 @@ mod tests {
             reference.put(k, hints);
         }
         assert_eq!(sharded.snapshot(), reference.snapshot());
+        assert_eq!(sharded.snapshot_versioned(), reference.snapshot_versioned());
     }
 
     #[test]
@@ -396,5 +685,126 @@ mod tests {
         let a = store.get(k).expect("entry");
         let b = store.get(k).expect("entry");
         assert!(Arc::ptr_eq(&a, &b), "readers share one allocation");
+    }
+
+    #[test]
+    fn ttl_classifies_by_age_and_never_ignores_it() {
+        for store in [
+            Box::new(UnshardedStore::new()) as Box<dyn HintStore>,
+            Box::new(ShardedStore::new(4)),
+        ] {
+            let k = UrlId::from_index(5);
+            store.put_at(k, vec![hint(1, 0)], 2000);
+            // Within the window: fresh, with the age reported.
+            match store.get_fresh(k, 2001, EvictionPolicy::Ttl(1)) {
+                FreshRead::Fresh { age_hours, .. } => assert_eq!(age_hours, 1),
+                other => panic!("expected fresh, got {other:?}"),
+            }
+            // Past the window: logical eviction — a miss, counted stale.
+            assert_eq!(
+                store.get_fresh(k, 2002, EvictionPolicy::Ttl(1)),
+                FreshRead::Miss
+            );
+            // Never ignores age entirely.
+            match store.get_fresh(k, 9000, EvictionPolicy::Never) {
+                FreshRead::Fresh { age_hours, .. } => assert_eq!(age_hours, 7000),
+                other => panic!("expected fresh, got {other:?}"),
+            }
+            let stats = store.shard_stats();
+            let fresh = store.freshness_stats();
+            assert_eq!(stats.iter().map(|s| s.reads).sum::<u64>(), 3);
+            assert_eq!(stats.iter().map(|s| s.hits).sum::<u64>(), 2);
+            assert_eq!(fresh.iter().map(|f| f.stale).sum::<u64>(), 1);
+            // Logical eviction does not shrink the map; the sweep does.
+            assert_eq!(store.len(), 1);
+            assert_eq!(store.evict_resolved_before(2001), 1);
+            assert_eq!(store.len(), 0);
+            assert_eq!(fresh_total(&*store).evictions, 1);
+        }
+    }
+
+    #[test]
+    fn refresh_on_miss_serves_stale_and_flags_it() {
+        for store in [
+            Box::new(UnshardedStore::new()) as Box<dyn HintStore>,
+            Box::new(ShardedStore::new(4)),
+        ] {
+            let k = UrlId::from_index(9);
+            store.put_at(k, vec![hint(3, 1)], 100);
+            let read = store.get_fresh(k, 105, EvictionPolicy::RefreshOnMiss(2));
+            match &read {
+                FreshRead::Stale { hints, age_hours } => {
+                    assert_eq!(*age_hours, 5);
+                    assert_eq!(hints[0], hint(3, 1));
+                }
+                other => panic!("expected stale, got {other:?}"),
+            }
+            assert!(read.is_stale());
+            // Stale serves still count as hits — the load got its hints.
+            let stats = store.shard_stats();
+            assert_eq!(stats.iter().map(|s| s.hits).sum::<u64>(), 1);
+            assert_eq!(fresh_total(&*store).stale, 1);
+            // Re-resolving at the current bucket makes it fresh again.
+            store.put_at(k, vec![hint(4, 0)], 105);
+            assert!(!store
+                .get_fresh(k, 105, EvictionPolicy::RefreshOnMiss(2))
+                .is_stale());
+        }
+    }
+
+    #[test]
+    fn eviction_sweep_only_removes_older_entries() {
+        let store = ShardedStore::new(3);
+        store.put_at(UrlId::from_index(0), vec![hint(1, 0)], 10);
+        store.put_at(UrlId::from_index(1), vec![hint(2, 0)], 12);
+        store.put_at(UrlId::from_index(2), vec![hint(3, 0)], 14);
+        assert_eq!(store.evict_resolved_before(12), 1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evict_resolved_before(12), 0, "sweep is idempotent");
+        let buckets: Vec<i64> = store
+            .snapshot_versioned()
+            .values()
+            .map(|(_, b)| *b)
+            .collect();
+        assert_eq!(buckets, vec![12, 14]);
+    }
+
+    #[test]
+    fn batched_fresh_reads_match_per_key_reads() {
+        let sharded = ShardedStore::new(4);
+        let reference = UnshardedStore::new();
+        for (i, &k) in keys(12).iter().enumerate() {
+            sharded.put_at(k, vec![hint(i as u32, 0)], 2000 + i as i64 % 3);
+            reference.put_at(k, vec![hint(i as u32, 0)], 2000 + i as i64 % 3);
+        }
+        let probe = keys(16);
+        for policy in [
+            EvictionPolicy::Never,
+            EvictionPolicy::Ttl(1),
+            EvictionPolicy::RefreshOnMiss(1),
+        ] {
+            let a = sharded.get_fresh_many(&probe, 2002, policy);
+            let b = reference.get_fresh_many(&probe, 2002, policy);
+            let c: Vec<FreshRead> = probe
+                .iter()
+                .map(|&k| reference.get_fresh(k, 2002, policy))
+                .collect();
+            assert_eq!(a, b);
+            assert_eq!(b, c);
+        }
+        assert_eq!(
+            fresh_total(&sharded).stale,
+            fresh_total(&reference).stale / 2
+        );
+    }
+
+    fn fresh_total(store: &dyn HintStore) -> FreshnessStats {
+        store
+            .freshness_stats()
+            .iter()
+            .fold(FreshnessStats::default(), |acc, f| FreshnessStats {
+                stale: acc.stale + f.stale,
+                evictions: acc.evictions + f.evictions,
+            })
     }
 }

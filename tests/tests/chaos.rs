@@ -111,7 +111,7 @@ fn faulted_vroom_median_at_most_faulted_http2() {
             }
         }
     }
-    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ratios.sort_by(f64::total_cmp);
     let median = ratios[ratios.len() / 2];
     assert!(
         median <= 1.0,

@@ -93,7 +93,7 @@ fn vroom_discovery_benefit_is_corpus_wide() {
         improvements
             .push(1.0 - vroom.discovery_all.as_secs_f64() / base.discovery_all.as_secs_f64());
     }
-    improvements.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    improvements.sort_by(f64::total_cmp);
     let median = improvements[improvements.len() / 2];
     // The paper reports a 22% median improvement in discovering all
     // dependencies (§6.1); ours should be at least in that regime.
