@@ -299,7 +299,8 @@ fn fleet_cmd(args: &[String]) -> Result<(), CliError> {
         .transpose()?;
 
     let start = Instant::now();
-    let run = vroom_fleet::run_fleet(&cfg);
+    let clock = || start.elapsed().as_secs_f64();
+    let (run, stages) = vroom_fleet::run_fleet_instrumented(&cfg, Some(&clock));
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let loads_per_sec = cfg.clients as f64 / (wall_ms / 1e3).max(1e-9);
 
@@ -308,8 +309,15 @@ fn fleet_cmd(args: &[String]) -> Result<(), CliError> {
         "timing: {wall_ms:.1} ms wall, {loads_per_sec:.1} loads/sec ({} workers)",
         cfg.workers
     );
+    println!(
+        "stages: pass {:.1} ms, commit {:.1} ms, load {:.1} ms, account {:.1} ms",
+        stages.pass_s * 1e3,
+        stages.commit_s * 1e3,
+        stages.load_s * 1e3,
+        stages.account_s * 1e3
+    );
 
-    let json = fleet_json(&cfg, &run.report, wall_ms, loads_per_sec);
+    let json = fleet_json(&cfg, &run.report, wall_ms, loads_per_sec, &stages);
     write_json("BENCH_fleet.json", json.clone())?;
     println!("wrote BENCH_fleet.json");
 
@@ -327,6 +335,7 @@ fn fleet_json(
     report: &vroom_fleet::FleetReport,
     wall_ms: f64,
     loads_per_sec: f64,
+    stages: &vroom_fleet::FleetStageTiming,
 ) -> Value {
     let mut config = BTreeMap::new();
     config.insert("clients".into(), Value::Int(cfg.clients as u64));
@@ -349,6 +358,18 @@ fn fleet_json(
     timing.insert("wall_ms".into(), Value::Float(round3(wall_ms)));
     timing.insert("loads_per_sec".into(), Value::Float(round3(loads_per_sec)));
     timing.insert("workers".into(), Value::Int(cfg.workers as u64));
+    // Per-stage breakdown of the pipelined run. Diagnostic and
+    // machine-dependent like the rest of `timing`; the gate ignores it.
+    timing.insert("pass_ms".into(), Value::Float(round3(stages.pass_s * 1e3)));
+    timing.insert(
+        "commit_ms".into(),
+        Value::Float(round3(stages.commit_s * 1e3)),
+    );
+    timing.insert("load_ms".into(), Value::Float(round3(stages.load_s * 1e3)));
+    timing.insert(
+        "account_ms".into(),
+        Value::Float(round3(stages.account_s * 1e3)),
+    );
     let mut root = BTreeMap::new();
     root.insert("schema".into(), Value::Str("vroom-bench-fleet/1".into()));
     root.insert("config".into(), Value::Object(config));
@@ -773,6 +794,29 @@ fn run_micro(samples: u64) -> Vec<BenchStats> {
     out.push(stats("event_queue_churn", &m));
     report(out.last().expect("just pushed"));
 
+    // Executor dispatch overhead: a 64-item fan-out of trivial work at
+    // width 4, once through `par_map_indexed` (spawns and joins threads
+    // every call — the fixed cost each fleet batch used to pay twice) and
+    // once through a persistent `Pool` (threads live across calls). The
+    // spread between these two is the pool's reason to exist.
+    let items: Vec<u64> = (0..64).collect();
+    let m = sample(samples, 100, || {
+        let v = vroom_exec::par_map_indexed(&items, 4, |i, &x| x.wrapping_mul(i as u64 + 1));
+        black_box(v.len())
+    });
+    out.push(stats("par_map_overhead", &m));
+    report(out.last().expect("just pushed"));
+    let pool: vroom_exec::Pool<()> = vroom_exec::Pool::new(4);
+    let m = sample(samples, 100, || {
+        let v = pool.dispatch(items.clone(), |_scratch, i, &x| {
+            x.wrapping_mul(i as u64 + 1)
+        });
+        black_box(v.len())
+    });
+    out.push(stats("pool_dispatch_overhead", &m));
+    report(out.last().expect("just pushed"));
+    drop(pool);
+
     // Full single-site load: one complete deterministic browser run under
     // the Vroom system — the unit the experiment suite repeats thousands
     // of times, so this is the number that moves when hot paths improve.
@@ -1071,8 +1115,9 @@ mod tests {
     #[test]
     fn fleet_config_json_omits_freshness_keys_in_legacy_mode() {
         let report = vroom_fleet::run_fleet(&vroom_fleet::FleetConfig::quick(4, 1)).report;
+        let stages = vroom_fleet::FleetStageTiming::default();
         let legacy = vroom_fleet::FleetConfig::quick(4, 1);
-        let Value::Object(root) = fleet_json(&legacy, &report, 1.0, 1.0) else {
+        let Value::Object(root) = fleet_json(&legacy, &report, 1.0, 1.0, &stages) else {
             panic!("fleet json is an object");
         };
         let Some(Value::Object(config)) = root.get("config") else {
@@ -1083,7 +1128,7 @@ mod tests {
 
         let mut fresh = vroom_fleet::FleetConfig::quick(4, 1);
         fresh.policy = vroom_server::EvictionPolicy::Ttl(1);
-        let Value::Object(root) = fleet_json(&fresh, &report, 1.0, 1.0) else {
+        let Value::Object(root) = fleet_json(&fresh, &report, 1.0, 1.0, &stages) else {
             panic!("fleet json is an object");
         };
         let Some(Value::Object(config)) = root.get("config") else {

@@ -7,6 +7,7 @@
 //! and the lower bounds).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use vroom_html::Url;
 use vroom_intern::{UrlId, UrlTable};
 use vroom_net::fault::{FaultPlan, RetryBudget};
@@ -60,8 +61,11 @@ pub struct Hint {
 pub struct ServerModel {
     /// Hints keyed by the HTML resource's interned URL (root or iframe
     /// HTML). Values are in the order the client will need to process them
-    /// (the order Vroom-compliant servers emit, §5.1).
-    pub hints: BTreeMap<UrlId, Vec<Hint>>,
+    /// (the order Vroom-compliant servers emit, §5.1). Refcounted so a
+    /// fleet's hint store can hand the same resolved list to every
+    /// concurrent load without copying; mutating builders (fault-plan
+    /// corruption, test fixtures) go through `Arc::make_mut`.
+    pub hints: BTreeMap<UrlId, Arc<Vec<Hint>>>,
     /// Pushed objects keyed by the HTML resource's interned URL. Every
     /// pushed URL must be served by the same domain as the HTML (integrity
     /// rule). Unknown (stale) URLs are allowed and waste `size` bytes.
@@ -106,8 +110,12 @@ pub struct LoadConfig {
     /// HTTP version used with every domain.
     pub http: HttpVersion,
     /// Intern table resolving every [`UrlId`] in [`LoadConfig::server`].
-    /// Baselines with no hints or pushes leave it empty.
-    pub urls: UrlTable,
+    /// Baselines with no hints or pushes leave it empty. Shared by `Arc`
+    /// so a fleet of concurrent loads can resolve against the server's one
+    /// table without per-load re-interning; the engine only reads it, and
+    /// single-load builders that need to extend it (fault-plan corruption)
+    /// go through `Arc::make_mut` copy-on-write.
+    pub urls: Arc<UrlTable>,
     /// Server push + hint behaviour.
     pub server: ServerModel,
     /// Client scheduling policy.
@@ -150,7 +158,7 @@ impl Default for LoadConfig {
     fn default() -> Self {
         LoadConfig {
             http: HttpVersion::H2,
-            urls: UrlTable::new(),
+            urls: Arc::new(UrlTable::new()),
             server: ServerModel::default(),
             fetch_policy: FetchPolicy::OnDiscovery,
             cpu_factor: 1.0,

@@ -52,17 +52,18 @@ impl Target {
 /// an injected drop resets the socket) so events addressed to a dead
 /// incarnation are discarded instead of corrupting its replacement. On
 /// fault-free loads every epoch is zero and the guards are no-ops.
+///
+/// Domains are referenced by their dense index into `Sim::domains` (`dom`),
+/// never by name: events stay `Copy`-sized, move through the heap without
+/// refcount traffic, and handlers index a vector instead of searching an
+/// ordered map by string.
 #[derive(Debug)]
 enum Ev {
     /// A connection to a domain finished its handshake.
-    ConnReady {
-        domain: SharedStr,
-        conn: usize,
-        epoch: u32,
-    },
+    ConnReady { dom: usize, conn: usize, epoch: u32 },
     /// A request reached the server.
     ServerArrival {
-        domain: SharedStr,
+        dom: usize,
         conn: usize,
         epoch: u32,
         target: Target,
@@ -78,11 +79,7 @@ enum Ev {
     ResponseFailed { target: Target },
     /// An injected fault kills a connection (GOAWAY semantics): every
     /// stream it carried is lost; the client reconnects and retries.
-    ConnDropped {
-        domain: SharedStr,
-        conn: usize,
-        epoch: u32,
-    },
+    ConnDropped { dom: usize, conn: usize, epoch: u32 },
     /// Per-request timeout: attempt `attempt` at fetching `id` has run out
     /// of patience; the client resets the stream and backs off.
     FetchTimeout { id: ResourceId, attempt: u32 },
@@ -96,11 +93,7 @@ enum Ev {
     StageOpen { tier: u8 },
     /// A connection finished its slow-start tail and can carry the next
     /// response.
-    ConnFree {
-        domain: SharedStr,
-        conn: usize,
-        epoch: u32,
-    },
+    ConnFree { dom: usize, conn: usize, epoch: u32 },
     /// An image/font/media resource finished decoding (off the main
     /// thread — raster/compositor work does not contend with JS).
     DecodeDone { id: ResourceId },
@@ -175,6 +168,10 @@ struct RState {
     first_requested: Option<SimTime>,
     /// Retry budget exhausted; onload degrades around this resource.
     failed: bool,
+    /// Bookkeeping for the fault-free onload fast path: this resource has
+    /// been counted settled (fetched + processed as far as onload cares).
+    /// Never read on faulted loads, which keep the authoritative scan.
+    settled: bool,
 }
 
 /// TCP initial congestion window (10 MSS, RFC 6928).
@@ -228,6 +225,10 @@ impl Conn {
 }
 
 struct DomainState {
+    /// The domain's host name — kept here so events and flights can carry
+    /// the dense index and resolve the name only when latency/fault models
+    /// need it.
+    name: SharedStr,
     conns: Vec<Conn>,
     /// Requests waiting for a connection (H1) or for handshake (H2).
     pending: VecDeque<Target>,
@@ -256,7 +257,7 @@ impl Cpu {
 /// One response currently occupying the shared link.
 #[derive(Debug)]
 struct Flight {
-    domain: SharedStr,
+    dom: usize,
     conn: usize,
     /// Unordered (multiplexed) path: the target delivered on completion.
     /// `None` on the ordered path, where the connection queue's head is
@@ -274,8 +275,54 @@ pub struct BrowserEngine;
 impl BrowserEngine {
     /// Simulate the load and return its metrics.
     pub fn load(page: &Page, profile: &NetworkProfile, cfg: &LoadConfig) -> LoadResult {
-        Sim::new(page, profile, cfg).run()
+        let mut scratch = EngineScratch::default();
+        Self::load_with_scratch(page, profile, cfg, &mut scratch)
     }
+
+    /// Simulate the load reusing the buffers in `scratch`.
+    ///
+    /// Behaviourally identical to [`BrowserEngine::load`]: every buffer is
+    /// cleared and rebuilt from the `(page, profile, cfg)` inputs before
+    /// use, so a recycled scratch cannot leak state between loads. What it
+    /// saves is the allocator traffic — a load makes tens of thousands of
+    /// container operations, and callers that load many pages back-to-back
+    /// (one scratch per fleet worker) skip the grow-from-zero cost every
+    /// time.
+    pub fn load_with_scratch(
+        page: &Page,
+        profile: &NetworkProfile,
+        cfg: &LoadConfig,
+        scratch: &mut EngineScratch,
+    ) -> LoadResult {
+        let sim = Sim::new_in(page, profile, cfg, scratch);
+        sim.run_load(scratch)
+    }
+}
+
+/// Reusable per-worker buffers for back-to-back loads — the event queue,
+/// the shared-link transfer vector, and every per-resource side table the
+/// simulation rebuilds at construction. See
+/// [`BrowserEngine::load_with_scratch`] for the safety argument.
+impl EngineScratch {
+    /// Events the most recent load scheduled — diagnostic only.
+    pub fn last_event_count(&self) -> u64 {
+        self.queue.total_scheduled()
+    }
+}
+
+#[derive(Default)]
+pub struct EngineScratch {
+    res_uid: Vec<Option<UrlId>>,
+    uid_to_res: Vec<Option<ResourceId>>,
+    warm: Vec<Option<crate::config::CacheEntry>>,
+    res_domains: Vec<SharedStr>,
+    rstate: Vec<RState>,
+    staged: [VecDeque<Target>; 3],
+    stage_outstanding: Vec<Target>,
+    cpu_ready: VecDeque<(u8, u64, Task)>,
+    paints: Vec<(SimTime, f64)>,
+    queue: EventQueue<Ev>,
+    link: Option<SharedLink>,
 }
 
 struct Sim<'a> {
@@ -299,8 +346,15 @@ struct Sim<'a> {
     /// and connection events are refcount bumps, never string copies.
     res_domains: Vec<SharedStr>,
     rstate: Vec<RState>,
-    domains: BTreeMap<SharedStr, DomainState>,
-    transfers: BTreeMap<TransferId, Flight>,
+    /// Domains in first-contact order; events address them by index.
+    domains: Vec<DomainState>,
+    /// Host name → index into `domains`. Touched once per *request*; the
+    /// per-*event* paths go straight through the index.
+    domain_index: BTreeMap<SharedStr, usize>,
+    /// In-flight link transfers, sorted by id. `TransferId`s are handed out
+    /// monotonically by the link, so insertion is a push and lookup a
+    /// binary search; iteration order matches the old `BTreeMap`'s.
+    transfers: Vec<(TransferId, Flight)>,
     cpu: Cpu,
     html: BTreeMap<ResourceId, HtmlParse>,
     /// Hinted URLs by tier, in arrival order, not yet requested.
@@ -313,6 +367,14 @@ struct Sim<'a> {
     /// Whether the configured fault plan can inject anything; caches
     /// `cfg.fault.is_active()` so the fault-free fast path stays cheap.
     fault_active: bool,
+    /// Discovered resources so far — with `settled_cnt`, the O(1) onload
+    /// gate for fault-free loads (see [`Sim::check_done`]).
+    discovered_cnt: usize,
+    /// Discovered resources already fetched and processed as far as onload
+    /// cares. `settled_cnt == discovered_cnt` iff every discovered resource
+    /// has settled, which on a fault-free load is exactly the old full-scan
+    /// onload condition (no resource can fail without a fault plan).
+    settled_cnt: usize,
     /// Accounting.
     last_event: SimTime,
     network_pending: usize,
@@ -335,65 +397,98 @@ struct Sim<'a> {
 }
 
 impl<'a> Sim<'a> {
-    fn new(page: &'a Page, profile: &'a NetworkProfile, cfg: &'a LoadConfig) -> Self {
-        let res_uid: Vec<Option<UrlId>> = page
-            .resources
-            .iter()
-            .map(|r| cfg.urls.lookup(&r.url))
-            .collect();
-        let mut uid_to_res = vec![None; cfg.urls.len()];
+    /// Build a simulation whose working buffers come from `scratch`. Every
+    /// buffer is cleared and repopulated before use; the resulting `Sim`
+    /// owns them (no borrow of the scratch is retained), and
+    /// [`Sim::stash`] returns them after the run.
+    fn new_in(
+        page: &'a Page,
+        profile: &'a NetworkProfile,
+        cfg: &'a LoadConfig,
+        scratch: &mut EngineScratch,
+    ) -> Self {
+        let mut res_uid = std::mem::take(&mut scratch.res_uid);
+        res_uid.clear();
+        res_uid.extend(page.resources.iter().map(|r| cfg.urls.lookup(&r.url)));
+        let mut uid_to_res = std::mem::take(&mut scratch.uid_to_res);
+        uid_to_res.clear();
+        uid_to_res.resize(cfg.urls.len(), None);
         for r in &page.resources {
             if let Some(uid) = res_uid[r.id] {
                 uid_to_res[uid.index()] = Some(r.id);
             }
         }
-        let warm = page
-            .resources
-            .iter()
-            .map(|r| cfg.warm_cache.get(&r.url).copied())
-            .collect();
+        let mut warm = std::mem::take(&mut scratch.warm);
+        warm.clear();
+        warm.extend(
+            page.resources
+                .iter()
+                .map(|r| cfg.warm_cache.get(&r.url).copied()),
+        );
         let mut host_index: BTreeMap<&str, SharedStr> = BTreeMap::new();
-        let res_domains: Vec<SharedStr> = page
-            .resources
-            .iter()
-            .map(|r| {
-                host_index
-                    .entry(r.url.host.as_str())
-                    .or_insert_with(|| SharedStr::from(r.url.host.as_str()))
-                    .share()
-            })
-            .collect();
+        let mut res_domains = std::mem::take(&mut scratch.res_domains);
+        res_domains.clear();
+        res_domains.extend(page.resources.iter().map(|r| {
+            host_index
+                .entry(r.url.host.as_str())
+                .or_insert_with(|| SharedStr::from(r.url.host.as_str()))
+                .share()
+        }));
+        let mut rstate = std::mem::take(&mut scratch.rstate);
+        rstate.clear();
+        rstate.resize(page.len(), RState::default());
+        let mut queue = std::mem::take(&mut scratch.queue);
+        queue.recycle();
         let fault_active = cfg.fault.is_active();
-        let mut link = SharedLink::new(profile.downlink_bps);
+        let mut link = match scratch.link.take() {
+            Some(mut l) => {
+                l.reset(profile.downlink_bps);
+                l
+            }
+            None => SharedLink::new(profile.downlink_bps),
+        };
         if fault_active {
             link.set_capacity_schedule(cfg.fault.capacity_windows());
         }
+        let mut staged = std::mem::take(&mut scratch.staged);
+        for tier in &mut staged {
+            tier.clear();
+        }
+        let mut stage_outstanding = std::mem::take(&mut scratch.stage_outstanding);
+        stage_outstanding.clear();
+        let mut cpu_ready = std::mem::take(&mut scratch.cpu_ready);
+        cpu_ready.clear();
+        let mut paints = std::mem::take(&mut scratch.paints);
+        paints.clear();
         Sim {
             page,
             cfg,
             profile,
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue,
             link,
             link_tick_at: None,
             res_uid,
             uid_to_res,
             warm,
             res_domains,
-            rstate: vec![RState::default(); page.len()],
-            domains: BTreeMap::new(),
-            transfers: BTreeMap::new(),
+            rstate,
+            domains: Vec::new(),
+            domain_index: BTreeMap::new(),
+            transfers: Vec::new(),
             cpu: Cpu {
                 running: None,
-                ready: VecDeque::new(),
+                ready: cpu_ready,
                 seq: 0,
             },
             html: BTreeMap::new(),
-            staged: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
-            stage_outstanding: Vec::new(),
+            staged,
+            stage_outstanding,
             current_stage: 0,
             stage_kick_queued: false,
             fault_active,
+            discovered_cnt: 0,
+            settled_cnt: 0,
             last_event: SimTime::ZERO,
             network_pending: 0,
             cpu_busy: SimDuration::ZERO,
@@ -405,7 +500,7 @@ impl<'a> Sim<'a> {
             goaways: 0,
             retries: 0,
             timeouts: 0,
-            paints: Vec::new(),
+            paints,
             finished: false,
             plt: SimTime::ZERO,
             discovery_all: SimTime::ZERO,
@@ -415,7 +510,7 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn run(mut self) -> LoadResult {
+    fn run_load(mut self, scratch: &mut EngineScratch) -> LoadResult {
         // Kick off: root (and, for the network-bound bound, everything).
         if self.cfg.upfront_all {
             for id in 0..self.page.len() {
@@ -469,7 +564,26 @@ impl<'a> Sim<'a> {
                 })
                 .collect::<Vec<_>>(),
         );
-        self.result()
+        let result = self.result();
+        self.stash(scratch);
+        result
+    }
+
+    /// Return the working buffers to `scratch` for the next load. Runs
+    /// after [`Sim::result`] so nothing the metrics read is disturbed; the
+    /// buffers are cleared on the way back in at the next `new_in`.
+    fn stash(&mut self, scratch: &mut EngineScratch) {
+        scratch.res_uid = std::mem::take(&mut self.res_uid);
+        scratch.uid_to_res = std::mem::take(&mut self.uid_to_res);
+        scratch.warm = std::mem::take(&mut self.warm);
+        scratch.res_domains = std::mem::take(&mut self.res_domains);
+        scratch.rstate = std::mem::take(&mut self.rstate);
+        scratch.staged = std::mem::take(&mut self.staged);
+        scratch.stage_outstanding = std::mem::take(&mut self.stage_outstanding);
+        scratch.cpu_ready = std::mem::take(&mut self.cpu.ready);
+        scratch.paints = std::mem::take(&mut self.paints);
+        scratch.queue = std::mem::take(&mut self.queue);
+        scratch.link = Some(std::mem::replace(&mut self.link, SharedLink::new(1)));
     }
 
     // ------------------------------------------------------------ accounting
@@ -502,6 +616,7 @@ impl<'a> Sim<'a> {
             return;
         }
         self.rstate[id].discovered = Some(self.now);
+        self.discovered_cnt += 1;
         self.discovery_all = self.discovery_all.max(self.now);
         if self.page.resources[id].needs_processing() {
             self.discovery_high = self.discovery_high.max(self.now);
@@ -530,6 +645,7 @@ impl<'a> Sim<'a> {
                 Some(id) => {
                     if self.rstate[id].discovered.is_none() {
                         self.rstate[id].discovered = Some(self.now);
+                        self.discovered_cnt += 1;
                         self.discovery_all = self.discovery_all.max(self.now);
                         if self.page.resources[id].needs_processing() {
                             self.discovery_high = self.discovery_high.max(self.now);
@@ -611,7 +727,7 @@ impl<'a> Sim<'a> {
     }
 
     fn waste_in_flight(&self, url: UrlId) -> bool {
-        let queued = self.domains.values().any(|d| {
+        let queued = self.domains.iter().any(|d| {
             d.pending
                 .iter()
                 .chain(d.conns.iter().flat_map(|c| c.response_queue.iter()))
@@ -620,8 +736,31 @@ impl<'a> Sim<'a> {
         queued
             || self
                 .transfers
-                .values()
-                .any(|f| matches!(&f.direct, Some(Target::Waste { url: u, .. }) if *u == url))
+                .iter()
+                .any(|(_, f)| matches!(&f.direct, Some(Target::Waste { url: u, .. }) if *u == url))
+    }
+
+    /// Whether delivering `HeadersArrive { target }` would do anything:
+    /// only real resources with a server hint list react to their headers.
+    /// Pure no-op arrivals are never scheduled at all — removing an event
+    /// shifts later sequence numbers uniformly, which preserves the
+    /// same-instant FIFO order among the events that remain.
+    fn headers_carry_hints(&self, target: &Target) -> bool {
+        match target {
+            Target::Real(id) => {
+                self.res_uid[*id].is_some_and(|uid| self.cfg.server.hints.contains_key(&uid))
+            }
+            Target::Waste { .. } => false,
+        }
+    }
+
+    /// Remove a transfer's flight record by id (binary search on the
+    /// monotonically-assigned ids).
+    fn remove_transfer(&mut self, tid: TransferId) -> Option<Flight> {
+        match self.transfers.binary_search_by_key(&tid, |(t, _)| *t) {
+            Ok(pos) => Some(self.transfers.remove(pos).1),
+            Err(_) => None,
+        }
     }
 
     // -------------------------------------------------------------- fetching
@@ -663,21 +802,25 @@ impl<'a> Sim<'a> {
             HttpVersion::H1 { conns_per_domain } => Some(conns_per_domain),
             HttpVersion::H2 => None,
         };
-        let setup = self.profile.latency.connection_setup(
-            &domain,
-            self.domains
-                .get(&domain)
-                .map(|d| d.dns_started)
-                .unwrap_or(false),
-        );
-        let ds = self
-            .domains
-            .entry(domain.share())
-            .or_insert_with(|| DomainState {
-                conns: Vec::new(),
-                pending: VecDeque::new(),
-                dns_started: false,
-            });
+        let dom = match self.domain_index.get(&domain) {
+            Some(&i) => i,
+            None => {
+                let i = self.domains.len();
+                self.domains.push(DomainState {
+                    name: domain.share(),
+                    conns: Vec::new(),
+                    pending: VecDeque::new(),
+                    dns_started: false,
+                });
+                self.domain_index.insert(domain.share(), i);
+                i
+            }
+        };
+        let setup = self
+            .profile
+            .latency
+            .connection_setup(&domain, self.domains[dom].dns_started);
+        let ds = &mut self.domains[dom];
         ds.dns_started = true;
         self.network_pending += 1;
 
@@ -690,7 +833,7 @@ impl<'a> Sim<'a> {
                     self.queue.schedule(
                         self.now + setup,
                         Ev::ConnReady {
-                            domain,
+                            dom,
                             conn: 0,
                             epoch: 0,
                         },
@@ -703,7 +846,7 @@ impl<'a> Sim<'a> {
                     self.queue.schedule(
                         self.now + ow,
                         Ev::ServerArrival {
-                            domain,
+                            dom,
                             conn: 0,
                             epoch,
                             target,
@@ -722,24 +865,23 @@ impl<'a> Sim<'a> {
                     self.queue.schedule(
                         self.now + setup,
                         Ev::ConnReady {
-                            domain,
+                            dom,
                             conn,
                             epoch: 0,
                         },
                     );
                 } else if free {
-                    self.h1_dispatch(&domain);
+                    self.h1_dispatch(dom);
                 }
             }
         }
     }
 
     /// H1: move pending requests onto free connections, best-first.
-    fn h1_dispatch(&mut self, domain: &SharedStr) {
+    fn h1_dispatch(&mut self, dom: usize) {
+        let name = self.domains[dom].name.share();
         loop {
-            let Some(ds) = self.domains.get_mut(domain) else {
-                return;
-            };
+            let ds = &mut self.domains[dom];
             let Some(conn_idx) = ds.conns.iter().position(|c| c.ready && !c.busy) else {
                 return;
             };
@@ -761,11 +903,11 @@ impl<'a> Sim<'a> {
             let target = ds.pending.remove(pick).expect("non-empty");
             ds.conns[conn_idx].busy = true;
             let epoch = ds.conns[conn_idx].epoch;
-            let ow = self.profile.latency.one_way(domain);
+            let ow = self.profile.latency.one_way(&name);
             self.queue.schedule(
                 self.now + ow,
                 Ev::ServerArrival {
-                    domain: domain.share(),
+                    dom,
                     conn: conn_idx,
                     epoch,
                     target,
@@ -789,9 +931,11 @@ impl<'a> Sim<'a> {
         if !st.from_cache {
             self.useful_bytes += r.size;
         }
+        self.note_settled(id);
 
         if self.cfg.disable_processing {
             self.rstate[id].processed = Some(self.now);
+            self.note_settled(id);
             if !self.cfg.upfront_all {
                 // Children become discoverable without CPU work.
                 let children: Vec<ResourceId> = self.page.children(id).map(|c| c.id).collect();
@@ -1044,6 +1188,7 @@ impl<'a> Sim<'a> {
         if parse.next >= parse.plan.len() {
             parse.done = true;
             self.rstate[html_id].processed = Some(self.now);
+            self.note_settled(html_id);
             self.paint(html_id);
             if html_id == 0 {
                 // Iframes and deferred work may start now.
@@ -1141,6 +1286,7 @@ impl<'a> Sim<'a> {
             }
             Task::ExecJs { id, resumes } => {
                 self.rstate[id].processed = Some(self.now);
+                self.note_settled(id);
                 // Children of scripts are discovered when execution finishes.
                 let children: Vec<ResourceId> = self.page.children(id).map(|c| c.id).collect();
                 for c in children {
@@ -1153,6 +1299,7 @@ impl<'a> Sim<'a> {
             }
             Task::ParseCss { id } => {
                 self.rstate[id].processed = Some(self.now);
+                self.note_settled(id);
                 let children: Vec<ResourceId> = self.page.children(id).map(|c| c.id).collect();
                 for c in children {
                     self.discover(c);
@@ -1163,6 +1310,7 @@ impl<'a> Sim<'a> {
             }
             Task::Decode { id } => {
                 self.rstate[id].processed = Some(self.now);
+                self.note_settled(id);
                 let children: Vec<ResourceId> = self.page.children(id).map(|c| c.id).collect();
                 for c in children {
                     self.discover(c);
@@ -1222,8 +1370,36 @@ impl<'a> Sim<'a> {
         false
     }
 
+    /// Mark `id` settled (counted toward the O(1) onload gate) once it is
+    /// fetched and either processed or exempt from processing. Idempotent:
+    /// call it after every `fetched`/`processed` transition; the `settled`
+    /// flag guarantees each resource is counted exactly once.
+    fn note_settled(&mut self, id: ResourceId) {
+        let st = &mut self.rstate[id];
+        if st.settled {
+            return;
+        }
+        let processed_ok = st.processed.is_some()
+            || self.cfg.disable_processing
+            || !self.page.resources[id].needs_processing_for_onload();
+        if st.fetched.is_some() && processed_ok {
+            st.settled = true;
+            self.settled_cnt += 1;
+        }
+    }
+
     fn check_done(&mut self) {
         if self.finished {
+            return;
+        }
+        // Fault-free loads can never mark a resource `failed` (failures are
+        // only reachable through fault-plan events), so the full scan below
+        // collapses to "every discovered resource settled" — two counters.
+        if !self.fault_active {
+            if self.settled_cnt == self.discovered_cnt {
+                self.finished = true;
+                self.plt = self.now;
+            }
             return;
         }
         let all_done = self.rstate.iter().enumerate().all(|(id, st)| {
@@ -1288,11 +1464,8 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn start_next_response(&mut self, domain: &SharedStr, conn: usize) {
-        let Some(ds) = self.domains.get_mut(domain) else {
-            return;
-        };
-        let c = &mut ds.conns[conn];
+    fn start_next_response(&mut self, dom: usize, conn: usize) {
+        let c = &mut self.domains[dom].conns[conn];
         if c.sending {
             return;
         }
@@ -1301,28 +1474,31 @@ impl<'a> Sim<'a> {
         };
         let head = *head;
         let (size, truncated) = self.faulted_size(&head);
-        let rtt = self.profile.latency.rtt(domain);
+        let name = self.domains[dom].name.share();
+        let rtt = self.profile.latency.rtt(&name);
         let penalty = {
-            let c = &mut self.domains.get_mut(domain).expect("exists").conns[conn];
+            let c = &mut self.domains[dom].conns[conn];
             c.sending = true;
             c.slow_start_penalty(size, rtt)
         };
         let (tid, completed) = self.link.start(self.now, size);
-        self.transfers.insert(
+        self.transfers.push((
             tid,
             Flight {
-                domain: domain.share(),
+                dom,
                 conn,
                 direct: None,
                 penalty,
                 truncated,
             },
-        );
+        ));
         // Headers (and their hints) reach the client one propagation delay
         // after the response starts.
-        let ow = self.profile.latency.one_way(domain);
-        self.queue
-            .schedule(self.now + ow, Ev::HeadersArrive { target: head });
+        if self.headers_carry_hints(&head) {
+            let ow = self.profile.latency.one_way(&name);
+            self.queue
+                .schedule(self.now + ow, Ev::HeadersArrive { target: head });
+        }
         self.on_link_completions(completed);
         self.reschedule_link_tick();
     }
@@ -1330,44 +1506,47 @@ impl<'a> Sim<'a> {
     /// Multiplexed (unordered) HTTP/2: each response is its own transfer,
     /// all sharing the link concurrently — stock server behaviour, as
     /// opposed to the ordered serving Vroom's modified replay server uses.
-    fn start_response_unordered(&mut self, domain: &SharedStr, conn: usize, target: Target) {
+    fn start_response_unordered(&mut self, dom: usize, conn: usize, target: Target) {
         let (size, truncated) = self.faulted_size(&target);
-        let rtt = self.profile.latency.rtt(domain);
+        let name = self.domains[dom].name.share();
+        let rtt = self.profile.latency.rtt(&name);
         let penalty = {
-            let c = &mut self.domains.get_mut(domain).expect("exists").conns[conn];
+            let c = &mut self.domains[dom].conns[conn];
             c.slow_start_penalty(size, rtt)
         };
         let (tid, completed) = self.link.start(self.now, size);
-        let ow = self.profile.latency.one_way(domain);
-        self.queue
-            .schedule(self.now + ow, Ev::HeadersArrive { target });
-        self.transfers.insert(
+        if self.headers_carry_hints(&target) {
+            let ow = self.profile.latency.one_way(&name);
+            self.queue
+                .schedule(self.now + ow, Ev::HeadersArrive { target });
+        }
+        self.transfers.push((
             tid,
             Flight {
-                domain: domain.share(),
+                dom,
                 conn,
                 direct: Some(target),
                 penalty,
                 truncated,
             },
-        );
+        ));
         self.on_link_completions(completed);
         self.reschedule_link_tick();
     }
 
     fn on_link_completions(&mut self, completed: Vec<TransferId>) {
         for tid in completed {
-            let Some(flight) = self.transfers.remove(&tid) else {
+            let Some(flight) = self.remove_transfer(tid) else {
                 continue;
             };
             let Flight {
-                domain,
+                dom,
                 conn,
                 direct,
                 penalty,
                 truncated,
             } = flight;
-            let ow = self.profile.latency.one_way(&domain) + penalty;
+            let ow = self.profile.latency.one_way(&self.domains[dom].name) + penalty;
             let deliver = |target: Target| {
                 if truncated {
                     // The body stopped early; the server's RST_STREAM
@@ -1382,39 +1561,29 @@ impl<'a> Sim<'a> {
                 self.queue.schedule(self.now + ow, deliver(target));
                 continue;
             }
-            let ds = self.domains.get_mut(&domain).expect("domain exists");
-            let c = &mut ds.conns[conn];
+            let c = &mut self.domains[dom].conns[conn];
             let epoch = c.epoch;
             let target = c.response_queue.pop_front().expect("head existed");
             self.queue.schedule(self.now + ow, deliver(target));
             // The connection stays occupied through its slow-start tail:
             // a cold connection genuinely cannot carry the next response
             // until the extra round trips have elapsed.
-            self.queue.schedule(
-                self.now + penalty,
-                Ev::ConnFree {
-                    domain: domain.share(),
-                    conn,
-                    epoch,
-                },
-            );
+            self.queue
+                .schedule(self.now + penalty, Ev::ConnFree { dom, conn, epoch });
         }
     }
 
-    fn on_conn_free(&mut self, domain: SharedStr, conn: usize, epoch: u32) {
-        let Some(ds) = self.domains.get_mut(&domain) else {
-            return;
-        };
-        let c = &mut ds.conns[conn];
+    fn on_conn_free(&mut self, dom: usize, conn: usize, epoch: u32) {
+        let c = &mut self.domains[dom].conns[conn];
         if c.epoch != epoch {
             return; // addressed to a dead incarnation
         }
         c.sending = false;
         c.busy = false;
         if matches!(self.cfg.http, HttpVersion::H1 { .. }) {
-            self.h1_dispatch(&domain);
+            self.h1_dispatch(dom);
         } else {
-            self.start_next_response(&domain, conn);
+            self.start_next_response(dom, conn);
         }
     }
 
@@ -1492,12 +1661,9 @@ impl<'a> Sim<'a> {
     /// connection carried is lost; the socket re-handshakes with a bumped
     /// epoch (replacement connections are never re-dropped, so every load
     /// terminates).
-    fn on_conn_dropped(&mut self, domain: SharedStr, conn: usize, epoch: u32) {
+    fn on_conn_dropped(&mut self, dom: usize, conn: usize, epoch: u32) {
         {
-            let Some(ds) = self.domains.get_mut(&domain) else {
-                return;
-            };
-            let c = &mut ds.conns[conn];
+            let c = &mut self.domains[dom].conns[conn];
             if c.epoch != epoch || !c.ready {
                 return;
             }
@@ -1508,20 +1674,19 @@ impl<'a> Sim<'a> {
         let tids: Vec<TransferId> = self
             .transfers
             .iter()
-            .filter(|(_, f)| f.domain == domain && f.conn == conn)
-            .map(|(&tid, _)| tid)
+            .filter(|(_, f)| f.dom == dom && f.conn == conn)
+            .map(|(tid, _)| *tid)
             .collect();
         let mut lost: Vec<Target> = Vec::new();
         for tid in tids {
-            let flight = self.transfers.remove(&tid).expect("collected above");
+            let flight = self.remove_transfer(tid).expect("collected above");
             self.link.cancel(tid);
             if let Some(target) = flight.direct {
                 lost.push(target);
             }
             // direct == None: the ordered head — drained with the queue below.
         }
-        let ds = self.domains.get_mut(&domain).expect("checked above");
-        let c = &mut ds.conns[conn];
+        let c = &mut self.domains[dom].conns[conn];
         lost.extend(c.response_queue.drain(..));
         c.epoch += 1;
         c.ready = false;
@@ -1533,11 +1698,12 @@ impl<'a> Sim<'a> {
             self.fail_inflight_target(target);
         }
         // Reconnect: DNS is warm, only transport setup is paid again.
-        let setup = self.profile.latency.connection_setup(&domain, true);
+        let name = self.domains[dom].name.share();
+        let setup = self.profile.latency.connection_setup(&name, true);
         self.queue.schedule(
             self.now + setup,
             Ev::ConnReady {
-                domain,
+                dom,
                 conn,
                 epoch: new_epoch,
             },
@@ -1576,46 +1742,44 @@ impl<'a> Sim<'a> {
     fn abort_real_target(&mut self, id: ResourceId) -> bool {
         let is_me = |t: &Target| matches!(t, Target::Real(i) if *i == id);
         // 1. Waiting for a connection (H1 pool / H2 handshake).
-        for ds in self.domains.values_mut() {
+        for ds in &mut self.domains {
             if let Some(pos) = ds.pending.iter().position(is_me) {
                 ds.pending.remove(pos);
                 return true;
             }
         }
         // 2. Queued or sending on a connection (ordered path).
-        let mut found: Option<(SharedStr, usize, usize, bool)> = None;
-        'outer: for (domain, ds) in self.domains.iter() {
+        let mut found: Option<(usize, usize, usize, bool)> = None;
+        'outer: for (di, ds) in self.domains.iter().enumerate() {
             for (ci, c) in ds.conns.iter().enumerate() {
                 if let Some(pos) = c.response_queue.iter().position(is_me) {
-                    found = Some((domain.share(), ci, pos, pos == 0 && c.sending));
+                    found = Some((di, ci, pos, pos == 0 && c.sending));
                     break 'outer;
                 }
             }
         }
-        if let Some((domain, ci, pos, on_link)) = found {
+        if let Some((di, ci, pos, on_link)) = found {
             if on_link {
                 // The head is mid-transfer: cancel its stream on the link.
                 let tid = self
                     .transfers
                     .iter()
-                    .find(|(_, f)| f.domain == domain && f.conn == ci && f.direct.is_none())
-                    .map(|(&tid, _)| tid);
+                    .find(|(_, f)| f.dom == di && f.conn == ci && f.direct.is_none())
+                    .map(|(tid, _)| *tid);
                 if let Some(tid) = tid {
-                    self.transfers.remove(&tid);
+                    self.remove_transfer(tid);
                     self.link.cancel(tid);
                 }
-                let ds = self.domains.get_mut(&domain).expect("exists");
-                let c = &mut ds.conns[ci];
+                let c = &mut self.domains[di].conns[ci];
                 c.response_queue.pop_front();
                 c.sending = false;
                 let epoch = c.epoch;
                 // The connection is free for the next response immediately:
                 // the client's RST releases the stream.
-                self.on_conn_free(domain, ci, epoch);
+                self.on_conn_free(di, ci, epoch);
                 self.reschedule_link_tick();
             } else {
-                let ds = self.domains.get_mut(&domain).expect("exists");
-                ds.conns[ci].response_queue.remove(pos);
+                self.domains[di].conns[ci].response_queue.remove(pos);
             }
             return true;
         }
@@ -1624,9 +1788,9 @@ impl<'a> Sim<'a> {
             .transfers
             .iter()
             .find(|(_, f)| f.direct.as_ref().is_some_and(is_me))
-            .map(|(&tid, _)| tid);
+            .map(|(tid, _)| *tid);
         if let Some(tid) = tid {
-            self.transfers.remove(&tid);
+            self.remove_transfer(tid);
             self.link.cancel(tid);
             self.reschedule_link_tick();
             return true;
@@ -1638,42 +1802,30 @@ impl<'a> Sim<'a> {
 
     fn handle(&mut self, ev: Ev) {
         match ev {
-            Ev::ConnReady {
-                domain,
-                conn,
-                epoch,
-            } => {
-                let Some(ds) = self.domains.get_mut(&domain) else {
-                    return;
-                };
-                if ds.conns[conn].epoch != epoch {
+            Ev::ConnReady { dom, conn, epoch } => {
+                if self.domains[dom].conns[conn].epoch != epoch {
                     return; // superseded incarnation
                 }
-                ds.conns[conn].ready = true;
+                self.domains[dom].conns[conn].ready = true;
                 // Fate the connection at handshake time: only first
                 // incarnations may drop, so reconnects always survive.
                 if self.fault_active && epoch == 0 {
-                    if let Some(delay) = self.cfg.fault.conn_drop(&domain, conn) {
-                        self.queue.schedule(
-                            self.now + delay,
-                            Ev::ConnDropped {
-                                domain: domain.share(),
-                                conn,
-                                epoch,
-                            },
-                        );
+                    let name = self.domains[dom].name.share();
+                    if let Some(delay) = self.cfg.fault.conn_drop(&name, conn) {
+                        self.queue
+                            .schedule(self.now + delay, Ev::ConnDropped { dom, conn, epoch });
                     }
                 }
-                let ds = self.domains.get_mut(&domain).expect("checked above");
                 match self.cfg.http {
                     HttpVersion::H2 => {
-                        let pending: Vec<Target> = ds.pending.drain(..).collect();
-                        let ow = self.profile.latency.one_way(&domain);
+                        let name = self.domains[dom].name.share();
+                        let pending: Vec<Target> = self.domains[dom].pending.drain(..).collect();
+                        let ow = self.profile.latency.one_way(&name);
                         for target in pending {
                             self.queue.schedule(
                                 self.now + ow,
                                 Ev::ServerArrival {
-                                    domain: domain.share(),
+                                    dom,
                                     conn,
                                     epoch,
                                     target,
@@ -1682,23 +1834,22 @@ impl<'a> Sim<'a> {
                         }
                     }
                     HttpVersion::H1 { .. } => {
-                        self.h1_dispatch(&domain);
+                        self.h1_dispatch(dom);
                     }
                 }
             }
             Ev::ServerArrival {
-                domain,
+                dom,
                 conn,
                 epoch,
                 target,
             } => {
                 // The request rode a connection that has since been torn
                 // down: it died with the socket.
-                let alive = self
-                    .domains
-                    .get(&domain)
-                    .map(|ds| ds.conns[conn].epoch == epoch && ds.conns[conn].ready)
-                    .unwrap_or(false);
+                let alive = {
+                    let c = &self.domains[dom].conns[conn];
+                    c.epoch == epoch && c.ready
+                };
                 if !alive {
                     self.fail_inflight_target(target);
                     return;
@@ -1719,15 +1870,16 @@ impl<'a> Sim<'a> {
                 let ordered =
                     self.cfg.ordered_responses || matches!(self.cfg.http, HttpVersion::H1 { .. });
                 if ordered {
-                    let ds = self.domains.get_mut(&domain).expect("domain exists");
-                    ds.conns[conn].response_queue.push_back(target);
+                    self.domains[dom].conns[conn]
+                        .response_queue
+                        .push_back(target);
                 } else {
-                    self.start_response_unordered(&domain, conn, target);
+                    self.start_response_unordered(dom, conn, target);
                 }
                 for p in to_push {
                     debug_assert_eq!(
                         self.cfg.urls.get(p.url).host,
-                        domain,
+                        self.domains[dom].name,
                         "push must be same-domain"
                     );
                     let push_target = match self.uid_to_res.get(p.url.index()).copied().flatten() {
@@ -1747,6 +1899,7 @@ impl<'a> Sim<'a> {
                             st.pushed = true;
                             if st.discovered.is_none() {
                                 st.discovered = Some(self.now);
+                                self.discovered_cnt += 1;
                             }
                             st.requested = Some(self.now);
                             Target::Real(id)
@@ -1771,16 +1924,25 @@ impl<'a> Sim<'a> {
                     let ordered = self.cfg.ordered_responses
                         || matches!(self.cfg.http, HttpVersion::H1 { .. });
                     if ordered {
-                        let ds = self.domains.get_mut(&domain).expect("domain exists");
-                        ds.conns[conn].response_queue.push_back(push_target);
+                        self.domains[dom].conns[conn]
+                            .response_queue
+                            .push_back(push_target);
                     } else {
-                        self.start_response_unordered(&domain, conn, push_target);
+                        self.start_response_unordered(dom, conn, push_target);
                     }
                 }
-                self.start_next_response(&domain, conn);
+                self.start_next_response(dom, conn);
             }
             Ev::LinkTick => {
-                self.link_tick_at = None;
+                // Only the tracked tick is consumed; a stale tick (an old
+                // prediction) must leave `link_tick_at` alone, or its
+                // reschedule re-creates the still-live tracked tick as a
+                // same-instant duplicate — and every duplicate propagates
+                // another one forward, an event storm of arithmetic no-ops
+                // (an `advance` at an already-advanced instant is zero-dt).
+                if self.link_tick_at == Some(self.now) {
+                    self.link_tick_at = None;
+                }
                 let completed = self.link.advance(self.now);
                 self.on_link_completions(completed);
                 self.reschedule_link_tick();
@@ -1821,22 +1983,14 @@ impl<'a> Sim<'a> {
                 }
             }
             Ev::StageOpen { tier } => self.on_stage_open(tier),
-            Ev::ConnFree {
-                domain,
-                conn,
-                epoch,
-            } => self.on_conn_free(domain, conn, epoch),
+            Ev::ConnFree { dom, conn, epoch } => self.on_conn_free(dom, conn, epoch),
             Ev::ResponseFailed { target } => {
                 // The stream died mid-body: RST_STREAM semantics. The
                 // partial bytes were delivered by the link but are useless.
                 self.rst_streams += 1;
                 self.fail_inflight_target(target);
             }
-            Ev::ConnDropped {
-                domain,
-                conn,
-                epoch,
-            } => self.on_conn_dropped(domain, conn, epoch),
+            Ev::ConnDropped { dom, conn, epoch } => self.on_conn_dropped(dom, conn, epoch),
             Ev::FetchTimeout { id, attempt } => self.on_fetch_timeout(id, attempt),
             Ev::Retry { id } => {
                 let st = &mut self.rstate[id];
@@ -1848,6 +2002,7 @@ impl<'a> Sim<'a> {
             }
             Ev::DecodeDone { id } => {
                 self.rstate[id].processed = Some(self.now);
+                self.note_settled(id);
                 let children: Vec<ResourceId> = self.page.children(id).map(|c| c.id).collect();
                 for c in children {
                     self.discover(c);
@@ -1860,7 +2015,7 @@ impl<'a> Sim<'a> {
 
     // ----------------------------------------------------------------- result
 
-    fn result(self) -> LoadResult {
+    fn result(&self) -> LoadResult {
         let t0 = SimTime::ZERO;
         let plt = self.plt - t0;
         // Visual metrics from paint events.

@@ -5,6 +5,7 @@ use crate::config::*;
 use crate::engine::BrowserEngine;
 use crate::metrics::LoadResult;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use vroom_html::{ExecMode, ResourceKind, Url};
 use vroom_intern::UrlTable;
 use vroom_net::NetworkProfile;
@@ -131,7 +132,8 @@ fn oracle_hints(page: &Page) -> (UrlTable, ServerModel) {
         .collect();
     hints.sort_by_key(|h| h.tier);
     let mut m = ServerModel::default();
-    m.hints.insert(urls.intern(page.url.clone()), hints);
+    m.hints
+        .insert(urls.intern(page.url.clone()), Arc::new(hints));
     (urls, m)
 }
 
@@ -215,7 +217,7 @@ fn hints_accelerate_discovery_and_load() {
     let base = load(&page, &LoadConfig::http2_baseline());
     let (urls, server) = oracle_hints(&page);
     let cfg = LoadConfig {
-        urls,
+        urls: Arc::new(urls),
         server,
         fetch_policy: FetchPolicy::VroomStaged,
         ..LoadConfig::default()
@@ -251,7 +253,7 @@ fn push_delivers_without_request() {
         }],
     );
     let cfg = LoadConfig {
-        urls,
+        urls: Arc::new(urls),
         server,
         // Vroom serves responses in order, so the push rides right behind
         // the HTML instead of contending with it.
@@ -278,7 +280,7 @@ fn false_positive_hints_waste_bytes_and_slow_the_load() {
     let html_id = urls.lookup(&page.url).unwrap();
     for i in 0..12 {
         let stale = urls.intern(Url::https("a.com", format!("/stale-{i}.jpg")));
-        server.hints.get_mut(&html_id).unwrap().push(Hint {
+        Arc::make_mut(server.hints.get_mut(&html_id).unwrap()).push(Hint {
             url: stale,
             tier: 0,
             size_hint: 150_000,
@@ -288,7 +290,7 @@ fn false_positive_hints_waste_bytes_and_slow_the_load() {
     let clean = load(
         &page,
         &LoadConfig {
-            urls: clean_urls,
+            urls: Arc::new(clean_urls),
             server: clean_server,
             fetch_policy: FetchPolicy::VroomStaged,
             ..LoadConfig::default()
@@ -297,7 +299,7 @@ fn false_positive_hints_waste_bytes_and_slow_the_load() {
     let dirty = load(
         &page,
         &LoadConfig {
-            urls,
+            urls: Arc::new(urls),
             server,
             fetch_policy: FetchPolicy::VroomStaged,
             ..LoadConfig::default()

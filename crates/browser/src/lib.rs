@@ -14,7 +14,7 @@ pub mod engine;
 pub mod metrics;
 
 pub use config::{CacheEntry, FetchPolicy, Hint, HttpVersion, LoadConfig, ServerModel};
-pub use engine::BrowserEngine;
+pub use engine::{BrowserEngine, EngineScratch};
 pub use metrics::{quartiles, LoadResult, Quartiles, ResourceTiming};
 
 #[cfg(test)]

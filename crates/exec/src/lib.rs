@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// The worker count to use when the user asked for "as fast as the
 /// hardware allows": the machine's available parallelism, `1` when that
@@ -52,6 +53,7 @@ where
             .collect();
     }
     let workers = workers.min(items.len());
+    let chunk = claim_chunk(items.len(), workers);
     let next = AtomicUsize::new(0);
     let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
     // vroom-lint: allow(sim-purity) -- the workspace's single sanctioned thread pool: workers race only for *indices*; results land in input-index slots, so output is schedule-invariant
@@ -65,12 +67,14 @@ where
                 let tx = tx.clone();
                 let (next, f) = (&next, &f);
                 scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
                         break;
                     }
-                    if tx.send((i, f(i, &items[i]))).is_err() {
-                        break; // receiver gone: a sibling panicked mid-collect
+                    for i in start..(start + chunk).min(items.len()) {
+                        if tx.send((i, f(i, &items[i]))).is_err() {
+                            return; // receiver gone: a sibling panicked mid-collect
+                        }
                     }
                 });
             }
@@ -84,6 +88,158 @@ where
             .map(|s| s.expect("every index produced exactly once"))
             .collect()
     })
+}
+
+/// Indices-per-claim for the work-stealing counter: large enough to
+/// amortize the atomic (and the cache-line ping-pong it causes) over many
+/// items, small enough that the tail still load-balances — 8 claims per
+/// worker leaves plenty of stealing opportunity for uneven item costs.
+fn claim_chunk(items: usize, workers: usize) -> usize {
+    (items / (workers.max(1) * 8)).max(1)
+}
+
+/// A job shipped to a pool worker: runs once against the worker's
+/// long-lived scratch state.
+type Job<S> = Box<dyn FnOnce(&mut S) + Send>;
+
+/// A persistent worker pool with per-worker scratch state `S`.
+///
+/// [`par_map_indexed`] spawns and joins OS threads on every call — fine for
+/// one fan-out per process, but a fleet run fans out *twice per batch*
+/// (resolver passes, then client loads), hundreds of times per run, and the
+/// spawn/join tax plus the cold per-load allocations start to dominate once
+/// the per-item work is sub-millisecond. `Pool` keeps the threads (and each
+/// thread's `S`, built once via `Default`) alive across calls.
+///
+/// [`Pool::run`] has the same output contract as [`par_map_indexed`]:
+/// results land in input-index slots, so the returned `Vec` is
+/// byte-identical for any worker count and any completion order. The
+/// scratch state is *per worker*, never shared and never migrated between
+/// threads, so a job's result may depend on `S` only in ways that are
+/// observationally pure (buffer reuse), which `vroom-lint`'s `sim-purity`
+/// rule and the pool-vs-sequential proptests both police.
+///
+/// `run` returns only after every worker has acknowledged completing its
+/// jobs, and workers acknowledge *after* dropping the job closure — so any
+/// `Arc` the caller moved into `f` is guaranteed to have its borrowed
+/// worker clones released by the time `run` returns. Callers exploit this
+/// as a barrier: `Arc::get_mut` on shared state succeeds between calls.
+pub struct Pool<S> {
+    senders: Vec<crossbeam::channel::Sender<Job<S>>>,
+    ack_rx: crossbeam::channel::Receiver<()>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<S: Default + 'static> Pool<S> {
+    /// Spawn a pool of `workers.max(1)` long-lived threads, each owning a
+    /// fresh `S::default()` scratch.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (ack_tx, ack_rx) = crossbeam::channel::unbounded::<()>();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = crossbeam::channel::unbounded::<Job<S>>();
+            // vroom-lint: allow(hot-path-alloc) -- one channel handle per worker, once at pool construction
+            let ack_tx = ack_tx.clone();
+            // vroom-lint: allow(sim-purity) -- the pool's worker threads: jobs race only for indices; results land in input-index slots (see Pool docs)
+            handles.push(std::thread::spawn(move || {
+                let mut state = S::default();
+                while let Ok(job) = rx.recv() {
+                    job(&mut state);
+                    // The job closure (and every Arc it captured) is dropped
+                    // by the call above; only then acknowledge, so the
+                    // caller's post-`run` `Arc::get_mut` barrier holds.
+                    let _ = ack_tx.send(());
+                }
+            }));
+            senders.push(tx);
+        }
+        Pool {
+            senders,
+            ack_rx,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Map `f` over `items` on the pool, returning results in input order.
+    /// `f` receives `(&mut scratch, index, &item)` exactly once per item;
+    /// which worker's scratch an item sees is schedule-dependent, so `f`
+    /// must be pure modulo scratch reuse (see the type-level docs).
+    pub fn dispatch<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send + Sync + 'static,
+        T: Send + 'static,
+        F: Fn(&mut S, usize, &I) -> T + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunk = claim_chunk(n, self.senders.len());
+        let shared = Arc::new((items, AtomicUsize::new(0), f));
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, T)>();
+        let mut dispatched = 0usize;
+        for sender in &self.senders {
+            // vroom-lint: allow(hot-path-alloc) -- one refcount bump per worker per fan-out; the items are shared, never copied
+            let shared = Arc::clone(&shared);
+            // vroom-lint: allow(hot-path-alloc) -- one result-channel handle per worker per fan-out
+            let res_tx = res_tx.clone();
+            let job: Job<S> = Box::new(move |state| {
+                let (items, next, f) = &*shared;
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(items.len()) {
+                        if res_tx.send((i, f(state, i, &items[i]))).is_err() {
+                            return; // receiver gone: a sibling job panicked
+                        }
+                    }
+                }
+            });
+            sender.send(job).expect("pool worker thread alive");
+            dispatched += 1;
+        }
+        drop(res_tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, value) in res_rx {
+            slots[i] = Some(value);
+        }
+        // A panicked job never acks, so fail on missing results *before*
+        // blocking on the barrier.
+        assert!(
+            slots.iter().all(Option::is_some),
+            "every index produced exactly once"
+        );
+        // Ack barrier: one acknowledgement per dispatched job, sent after
+        // the job (and its Arc clones) dropped.
+        for _ in 0..dispatched {
+            self.ack_rx
+                .recv()
+                .expect("pool worker acknowledged its job");
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index produced exactly once"))
+            .collect()
+    }
+}
+
+impl<S> Drop for Pool<S> {
+    fn drop(&mut self) {
+        // Hang up the job channels; workers exit their recv loops.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +292,80 @@ mod tests {
     #[test]
     fn available_workers_is_at_least_one() {
         assert!(available_workers() >= 1);
+    }
+
+    #[test]
+    fn claim_chunk_amortizes_but_never_starves() {
+        assert_eq!(claim_chunk(0, 4), 1);
+        assert_eq!(claim_chunk(3, 8), 1);
+        assert_eq!(claim_chunk(1000, 4), 31);
+        assert!(claim_chunk(1000, 4) * 4 * 8 <= 1024);
+    }
+
+    #[test]
+    fn pool_matches_sequential_map_for_every_worker_count() {
+        let items: Vec<u64> = (0..53).collect();
+        let reference: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| i as u64 * 1000 + x * 3)
+            .collect();
+        for workers in [0, 1, 2, 3, 8] {
+            let pool: Pool<()> = Pool::new(workers);
+            assert_eq!(pool.workers(), workers.max(1));
+            let got = pool.dispatch(items.clone(), |_, i, x| i as u64 * 1000 + x * 3);
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_runs_and_empty_inputs() {
+        let pool: Pool<()> = Pool::new(4);
+        assert!(pool.dispatch(Vec::<u8>::new(), |_, _, x| *x).is_empty());
+        for round in 0..50u64 {
+            let got = pool.dispatch(vec![round, round + 1], |_, _, x| x * 2);
+            assert_eq!(got, vec![round * 2, round * 2 + 2]);
+        }
+    }
+
+    #[test]
+    fn pool_scratch_is_reused_but_output_is_schedule_invariant() {
+        // Scratch counts how many jobs each worker ran; the *output* must
+        // not depend on it (purity modulo reuse).
+        #[derive(Default)]
+        struct Counter(u64);
+        let pool: Pool<Counter> = Pool::new(2);
+        for _ in 0..20 {
+            let got = pool.dispatch((0..10u64).collect::<Vec<_>>(), |s, i, x| {
+                s.0 += 1;
+                (i as u64) + x
+            });
+            assert_eq!(got, (0..10u64).map(|x| x * 2).collect::<Vec<_>>());
+        }
+        // Reuse check on a single-worker pool, where the claim race can't
+        // route jobs away from a scratch: 20 runs x 10 items leave the one
+        // counter at exactly 200, proving state persists across dispatches.
+        let pool: Pool<Counter> = Pool::new(1);
+        for _ in 0..20 {
+            pool.dispatch((0..10u64).collect::<Vec<_>>(), |s, _, x| {
+                s.0 += 1;
+                *x
+            });
+        }
+        let counts = pool.dispatch(vec![()], |s, _, _| s.0);
+        assert_eq!(counts, vec![200]);
+    }
+
+    #[test]
+    fn pool_ack_barrier_releases_shared_arcs() {
+        let data = Arc::new(vec![1u64, 2, 3]);
+        let pool: Pool<()> = Pool::new(3);
+        let captured = Arc::clone(&data);
+        let got = pool.dispatch(vec![0usize, 1, 2], move |_, _, &i| captured[i]);
+        assert_eq!(got, vec![1, 2, 3]);
+        // The barrier guarantees every worker's clone of `captured` is
+        // dropped before `run` returns: ours is the only reference left.
+        let mut data = data;
+        assert!(Arc::get_mut(&mut data).is_some());
     }
 }

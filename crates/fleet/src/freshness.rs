@@ -37,7 +37,7 @@ use vroom_server::batch::{commit_pass_at, run_pass};
 use vroom_server::freshness::{hint_quality_by_age, CALIBRATED_TTL_HOURS};
 use vroom_server::store::{EvictionPolicy, HintStore, ShardedStore};
 
-use crate::{load_client, mix, ClientSpec, FleetConfig, FLEET_BASE_HOURS};
+use crate::{load_client, mix, ClientSpec, FleetConfig, FleetScratch, FLEET_BASE_HOURS};
 
 /// Configuration of one freshness sweep.
 #[derive(Debug, Clone)]
@@ -431,6 +431,7 @@ fn run_cell(
     // Load phase: store frozen, loads pure — fan out freely. The baseline
     // skips the corruption plan (it has no hints to corrupt, and a clean
     // denominator keeps speedups interpretable).
+    let urls = std::sync::Arc::new(urls);
     let outcomes = vroom_exec::par_map_indexed(specs, cfg.workers, |_, spec| {
         let plan = if setup.is_some() && cfg.hint_corruption > 0.0 {
             FaultPlan::hint_corruption_only(
@@ -440,6 +441,7 @@ fn run_cell(
         } else {
             FaultPlan::none()
         };
+        let mut scratch = FleetScratch::default();
         load_client(
             &cfg.profile,
             policy,
@@ -448,6 +450,7 @@ fn run_cell(
             &urls,
             &store,
             &plan,
+            &mut scratch,
         )
     });
 

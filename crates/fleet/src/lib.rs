@@ -41,16 +41,18 @@
 #![forbid(unsafe_code)]
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use vroom::policy::apply_fault_plan;
-use vroom_browser::config::{FetchPolicy, Hint, LoadConfig, ServerModel};
+use vroom_browser::config::{FetchPolicy, LoadConfig, ServerModel};
 use vroom_browser::metrics::percentile_sorted;
-use vroom_browser::{BrowserEngine, LoadResult};
+use vroom_browser::{BrowserEngine, EngineScratch, LoadResult};
+use vroom_exec::Pool;
 use vroom_intern::{UrlId, UrlTable};
 use vroom_net::json::Value;
 use vroom_net::{FaultPlan, NetworkProfile};
 use vroom_pages::{Corpus, DeviceClass, LoadContext, PageGenerator};
-use vroom_server::batch::{commit_pass_at, run_pass};
+use vroom_server::batch::{commit_pass_at, run_pass, PassOutput};
 use vroom_server::freshness::observed_pass;
 use vroom_server::push_policy::{select_pushes, PushPolicy};
 use vroom_server::resolve::embedded_htmls;
@@ -182,10 +184,12 @@ impl FleetConfig {
     /// the report's freshness section rather than silently ignored.
     pub fn validated(&self) -> (FleetConfig, u64) {
         if self.arrival_span_ms > MAX_ARRIVAL_SPAN_MS {
+            // vroom-lint: allow(hot-path-alloc) -- one config clone per run, before any client is served
             let mut cfg = self.clone();
             cfg.arrival_span_ms = MAX_ARRIVAL_SPAN_MS;
             (cfg, self.arrival_span_ms)
         } else {
+            // vroom-lint: allow(hot-path-alloc) -- one config clone per run, before any client is served
             (self.clone(), 0)
         }
     }
@@ -532,16 +536,214 @@ pub struct FleetRun {
     pub outcomes: Vec<ClientOutcome>,
 }
 
-/// Run the fleet. Deterministic: the returned report and outcomes are
-/// byte-identical for any `cfg.workers` and across repeated runs with the
-/// same config.
-pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
-    let (cfg, clamped_from) = cfg.validated();
-    let cfg = &cfg;
-    let corpus = Corpus::news_and_sports_capped(cfg.corpus_seed, Some(cfg.sites.max(1)));
-    let store = ShardedStore::new(cfg.shards);
-    let mut urls = UrlTable::new();
+/// Per-worker scratch state a [`Pool`] worker keeps alive across the many
+/// client loads it runs: the browser engine's internal buffers. Reuse is
+/// observationally pure — a recycled scratch produces byte-identical
+/// results to a fresh one (pinned by the pipelined-vs-reference proptest).
+#[derive(Default)]
+pub struct FleetScratch {
+    engine: EngineScratch,
+}
 
+/// Wall-clock time spent in each stage of a fleet run, in seconds.
+/// Populated only when [`run_fleet_instrumented`] is given a clock; all
+/// zeros otherwise. Purely diagnostic: none of it feeds the report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FleetStageTiming {
+    /// Dedicated resolver-pass fan-outs: cold-start passes (first batch)
+    /// and refresh admissions that could not be overlapped.
+    pub pass_s: f64,
+    /// Sequential store commits between fan-outs.
+    pub commit_s: f64,
+    /// The combined fan-outs: client loads overlapped with the *next*
+    /// batch's arrival-driven resolver passes.
+    pub load_s: f64,
+    /// Sequential post-batch accounting (origin pool, learning commits).
+    pub account_s: f64,
+}
+
+/// One unit of work in the combined per-batch fan-out: a client load of
+/// the current batch, or a prefetched resolver pass for the next batch.
+enum FleetWork {
+    Load(ClientSpec),
+    Pass { site: usize, bucket: i64 },
+}
+
+enum FleetDone {
+    Load(Box<ClientOutcome>),
+    Pass(PassOutput),
+}
+
+/// Mutable cross-batch accounting state, shared by the pipelined
+/// implementation and the unpipelined reference.
+#[derive(Default)]
+struct FleetAccum {
+    /// The hour bucket each site's store entries were last resolved at.
+    last_pass: BTreeMap<usize, i64>,
+    /// Sites whose stale reads admitted a re-resolution (RefreshOnMiss).
+    pending_refresh: BTreeSet<usize>,
+    resolver_passes: u64,
+    refresh_passes: u64,
+    observed_commits: u64,
+    warm_origins: BTreeSet<String>,
+    origins_opened: u64,
+    origin_reuses: u64,
+    outcomes: Vec<ClientOutcome>,
+}
+
+impl FleetAccum {
+    /// Admission: which (site, bucket) pairs need a resolver pass for this
+    /// batch's *arrivals* — sites never passed and sites whose pass expired
+    /// under the TTL. (Stale-read refresh admissions are a separate input:
+    /// they depend on the previous batch's outcomes.) Deterministic order
+    /// (BTreeSet) so commit order — and therefore shared-table id
+    /// assignment — is schedule-independent; ascending buckets make the
+    /// newest pass win for a site admitted at two buckets.
+    ///
+    /// Depends only on `last_pass`, which commits alone update — that is
+    /// what lets the pipelined path compute batch k+1's arrival admissions
+    /// during batch k's load phase.
+    fn arrivals_needed(
+        &self,
+        batch: &[ClientSpec],
+        policy: EvictionPolicy,
+    ) -> BTreeSet<(usize, i64)> {
+        let mut needed = BTreeSet::new();
+        for spec in batch {
+            let due = match (self.last_pass.get(&spec.site), policy) {
+                (None, _) => true,
+                (Some(_), EvictionPolicy::Never) => false,
+                (Some(&at), EvictionPolicy::Ttl(h)) => spec.bucket() - at > h as i64,
+                // Stale reads, not arrivals, admit refresh passes.
+                (Some(_), EvictionPolicy::RefreshOnMiss(_)) => false,
+            };
+            if due {
+                needed.insert((spec.site, spec.bucket()));
+            }
+        }
+        needed
+    }
+
+    /// Record one committed pass.
+    fn committed(&mut self, site: usize, bucket: i64) {
+        let prior = self.last_pass.insert(site, bucket);
+        self.resolver_passes += 1;
+        self.refresh_passes += prior.is_some() as u64;
+    }
+
+    /// Sequential post-batch accounting, in arrival order: the origin
+    /// pool models per-origin connection reuse across the fleet, stale
+    /// serves admit refresh passes, and (when enabled) each site's
+    /// first observed load of the batch is committed back to the store.
+    fn account_batch(
+        &mut self,
+        cfg: &FleetConfig,
+        corpus: &Corpus,
+        store: &ShardedStore,
+        urls: &mut Arc<UrlTable>,
+        batch: &[ClientSpec],
+        batch_outcomes: Vec<ClientOutcome>,
+    ) {
+        let mut learned: BTreeSet<usize> = BTreeSet::new();
+        for (spec, outcome) in batch.iter().zip(batch_outcomes) {
+            if outcome.hint_stale > 0 {
+                self.pending_refresh.insert(outcome.site);
+            }
+            if cfg.learn_from_loads && learned.insert(spec.site) {
+                // The page is memoized per (site, context): this re-borrow
+                // is the same snapshot the load itself used.
+                let page = corpus.sites[spec.site].snapshot_arc(&spec.ctx());
+                let observed = observed_pass(&page, &outcome.result);
+                if !observed.entries.is_empty() {
+                    let table =
+                        Arc::get_mut(urls).expect("no table refs outstanding between fan-outs");
+                    commit_pass_at(&observed, store, table, spec.bucket());
+                    self.observed_commits += 1;
+                }
+            }
+            for origin in &outcome.origins {
+                if self.warm_origins.contains(origin) {
+                    self.origin_reuses += 1;
+                } else {
+                    // vroom-lint: allow(hot-path-alloc) -- one clone per first-seen origin; bounded by distinct origins, not loads
+                    self.warm_origins.insert(origin.clone());
+                    self.origins_opened += 1;
+                }
+            }
+            self.outcomes.push(outcome);
+        }
+    }
+
+    /// Assemble the final report from the accumulated state.
+    fn finish(
+        mut self,
+        cfg: &FleetConfig,
+        clamped_from: u64,
+        store: &ShardedStore,
+        window: u64,
+        batches: u64,
+    ) -> FleetRun {
+        self.outcomes.sort_by_key(|o| o.id);
+        let outcomes = self.outcomes;
+
+        let mut onloads: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.result.plt.as_secs_f64() * 1e3)
+            .collect();
+        onloads.sort_by(f64::total_cmp);
+
+        let sum = |f: &dyn Fn(&ClientOutcome) -> u64| outcomes.iter().map(f).sum::<u64>();
+        // The freshness section only exists when the freshness machinery
+        // was in play: a legacy run's report stays byte-identical.
+        let freshness = (cfg.policy != EvictionPolicy::Never
+            || cfg.span_hours > 0
+            || cfg.learn_from_loads
+            || clamped_from > 0)
+            .then(|| {
+                let fresh = store.freshness_stats();
+                FleetFreshness {
+                    policy: cfg.policy.label(),
+                    span_hours: cfg.span_hours,
+                    stale_reads: fresh.iter().map(|f| f.stale).sum(),
+                    stale_served: sum(&|o| o.hint_stale),
+                    evictions: fresh.iter().map(|f| f.evictions).sum(),
+                    refresh_passes: self.refresh_passes,
+                    observed_commits: self.observed_commits,
+                    arrival_span_clamped_from_ms: clamped_from,
+                }
+            });
+        let report = FleetReport {
+            clients: cfg.clients as u64,
+            sites: cfg.sites.max(1) as u64,
+            shards: store.shard_count() as u64,
+            batch_window_ms: window,
+            batches,
+            resolver_passes: self.resolver_passes,
+            store_entries: store.len() as u64,
+            shard_stats: store.shard_stats(),
+            hint_hits: sum(&|o| o.hint_hits),
+            hint_misses: sum(&|o| o.hint_misses),
+            origins_opened: self.origins_opened,
+            origin_reuses: self.origin_reuses,
+            onload_p50_ms: percentile_sorted(&onloads, 0.50),
+            onload_p99_ms: percentile_sorted(&onloads, 0.99),
+            faulted_clients: sum(&|o| o.faulted as u64),
+            failed_loads: sum(&|o| (o.result.failed_resources > 0) as u64),
+            failed_resources: sum(&|o| o.result.failed_resources as u64),
+            retries: sum(&|o| o.result.retries as u64),
+            rst_streams: sum(&|o| o.result.rst_streams as u64),
+            goaways: sum(&|o| o.result.goaways as u64),
+            timeouts: sum(&|o| o.result.timeouts as u64),
+            useful_bytes: sum(&|o| o.result.useful_bytes),
+            wasted_bytes: sum(&|o| o.result.wasted_bytes),
+            freshness,
+        };
+        FleetRun { report, outcomes }
+    }
+}
+
+/// Derive, sort, and window the fleet's clients.
+fn plan_batches(cfg: &FleetConfig) -> (Vec<Vec<ClientSpec>>, u64) {
     // Derive and order clients by virtual arrival (ties by id).
     let mut specs: Vec<ClientSpec> = (0..cfg.clients)
         .map(|id| ClientSpec::derive(cfg, id))
@@ -559,20 +761,52 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
             _ => batches.push(vec![spec]),
         }
     }
+    (batches, window)
+}
 
-    // The hour bucket each site's store entries were last resolved at.
-    let mut last_pass: BTreeMap<usize, i64> = BTreeMap::new();
-    // Sites whose stale reads admitted a re-resolution (RefreshOnMiss).
-    let mut pending_refresh: BTreeSet<usize> = BTreeSet::new();
-    let mut resolver_passes = 0u64;
-    let mut refresh_passes = 0u64;
-    let mut observed_commits = 0u64;
-    let mut warm_origins: BTreeSet<String> = BTreeSet::new();
-    let mut origins_opened = 0u64;
-    let mut origin_reuses = 0u64;
-    let mut outcomes: Vec<ClientOutcome> = Vec::with_capacity(cfg.clients);
+/// Run the fleet. Deterministic: the returned report and outcomes are
+/// byte-identical for any `cfg.workers` and across repeated runs with the
+/// same config.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
+    run_fleet_instrumented(cfg, None).0
+}
 
-    for batch in &batches {
+/// [`run_fleet`] with an injected wall clock (seconds; any epoch) for the
+/// per-stage breakdown `vroom-bench fleet` files under `timing`. The clock
+/// stays injected so this crate never touches `std::time` — simulated
+/// results must be a pure function of the config, and the caller's clock
+/// reads only bracket stages, never feed them.
+///
+/// Execution is *pipelined*: each batch's fan-out combines the batch's
+/// client loads with the **next** batch's arrival-driven resolver passes
+/// (both pure in the frozen shared state), so resolver work hides behind
+/// load work instead of serializing with it. Commits stay sequential, in
+/// batch order, between fan-outs; refresh admissions (which depend on the
+/// previous batch's outcomes) are never prefetched. The report is
+/// byte-identical to [`run_fleet_unpipelined`], which the fleet proptests
+/// pin.
+pub fn run_fleet_instrumented(
+    cfg: &FleetConfig,
+    clock: Option<&dyn Fn() -> f64>,
+) -> (FleetRun, FleetStageTiming) {
+    let (cfg, clamped_from) = cfg.validated();
+    let cfg = &cfg;
+    let now = || clock.map_or(0.0, |c| c());
+    let corpus = Arc::new(Corpus::news_and_sports_capped(
+        cfg.corpus_seed,
+        Some(cfg.sites.max(1)),
+    ));
+    let store = Arc::new(ShardedStore::new(cfg.shards));
+    let mut urls = Arc::new(UrlTable::new());
+    let (batches, window) = plan_batches(cfg);
+    let pool: Pool<FleetScratch> = Pool::new(cfg.workers);
+
+    let mut accum = FleetAccum::default();
+    let mut timing = FleetStageTiming::default();
+    // Passes computed ahead of their batch by a previous combined fan-out.
+    let mut prefetched: BTreeMap<(usize, i64), PassOutput> = BTreeMap::new();
+
+    for (bi, batch) in batches.iter().enumerate() {
         let batch_bucket = batch
             .iter()
             .map(|s| s.bucket())
@@ -585,30 +819,180 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
             store.evict_resolved_before(batch_bucket - h as i64);
         }
 
-        // Admission: which (site, bucket) pairs need a resolver pass —
-        // sites never passed, sites whose pass expired under the TTL, and
-        // sites a previous batch's stale reads flagged. Deterministic
-        // order (BTreeSet) so commit order — and therefore shared-table id
-        // assignment — is schedule-independent; ascending buckets make the
-        // newest pass win for a site admitted at two buckets.
-        let mut needed: BTreeSet<(usize, i64)> = BTreeSet::new();
-        for spec in batch {
-            let due = match (last_pass.get(&spec.site), cfg.policy) {
-                (None, _) => true,
-                (Some(_), EvictionPolicy::Never) => false,
-                (Some(&at), EvictionPolicy::Ttl(h)) => spec.bucket() - at > h as i64,
-                // Stale reads, not arrivals, admit refresh passes.
-                (Some(_), EvictionPolicy::RefreshOnMiss(_)) => false,
-            };
-            if due {
-                needed.insert((spec.site, spec.bucket()));
-            }
-        }
-        for &site in &pending_refresh {
+        let mut needed = accum.arrivals_needed(batch, cfg.policy);
+        for &site in &accum.pending_refresh {
             needed.insert((site, batch_bucket));
         }
-        pending_refresh.clear();
+        accum.pending_refresh.clear();
+
+        // Run whatever this batch needs that no previous fan-out prefetched:
+        // the cold start (first batch) and refresh admissions.
+        let t0 = now();
+        let missing: Vec<(usize, i64)> = needed
+            .iter()
+            .filter(|key| !prefetched.contains_key(key))
+            .copied()
+            .collect();
+        if !missing.is_empty() {
+            for (key, out) in run_passes_on_pool(&pool, cfg, &corpus, missing) {
+                prefetched.insert(key, out);
+            }
+        }
+        let t1 = now();
+        timing.pass_s += t1 - t0;
+
+        // Sequential commits, in deterministic (site, bucket) order. The
+        // pool's ack barrier guarantees every worker dropped its table Arc,
+        // so `get_mut` is exclusive access, not a copy.
+        for &(site, bucket) in &needed {
+            let pass = prefetched
+                .remove(&(site, bucket))
+                .expect("admitted pass was just run or prefetched");
+            let table =
+                Arc::get_mut(&mut urls).expect("no table refs outstanding between fan-outs");
+            commit_pass_at(&pass, store.as_ref(), table, bucket);
+            accum.committed(site, bucket);
+        }
+        let t2 = now();
+        timing.commit_s += t2 - t1;
+
+        // The combined fan-out: this batch's loads (against the store
+        // frozen above) plus the next batch's arrival-driven passes (pure —
+        // they read neither store nor table). Passes lead so the expensive
+        // items never straggle behind the claim counter.
+        let next_arrivals: Vec<(usize, i64)> = match batches.get(bi + 1) {
+            Some(next) => accum
+                .arrivals_needed(next, cfg.policy)
+                .into_iter()
+                .collect(),
+            // vroom-lint: allow(hot-path-alloc) -- Vec::new is allocation-free
+            None => Vec::new(),
+        };
+        // vroom-lint: allow(hot-path-alloc) -- one work list per batch, amortized across its items
+        let mut work: Vec<FleetWork> = Vec::with_capacity(next_arrivals.len() + batch.len());
+        work.extend(
+            next_arrivals
+                .iter()
+                .map(|&(site, bucket)| FleetWork::Pass { site, bucket }),
+        );
+        work.extend(batch.iter().map(|&spec| FleetWork::Load(spec)));
+
+        let shared_corpus = Arc::clone(&corpus);
+        let shared_urls = Arc::clone(&urls);
+        let shared_store = Arc::clone(&store);
+        // vroom-lint: allow(hot-path-alloc) -- one profile clone per batch for the 'static closure
+        let profile = cfg.profile.clone();
+        let (policy, faults, server_seed) = (cfg.policy, cfg.faults, cfg.server_seed);
+        let done = pool.dispatch(work, move |scratch, _, item| match *item {
+            FleetWork::Pass { site, bucket } => FleetDone::Pass(run_pass(
+                &shared_corpus.sites[site],
+                bucket as f64,
+                DeviceClass::PhoneLarge,
+                server_seed,
+            )),
+            FleetWork::Load(ref spec) => {
+                let plan = match &faults {
+                    Some(f) => f.plan_for(spec.id as u64),
+                    None => FaultPlan::none(),
+                };
+                FleetDone::Load(Box::new(load_client(
+                    &profile,
+                    policy,
+                    spec,
+                    &shared_corpus.sites[spec.site],
+                    &shared_urls,
+                    shared_store.as_ref(),
+                    &plan,
+                    scratch,
+                )))
+            }
+        });
+        let t3 = now();
+        timing.load_s += t3 - t2;
+
+        let mut done = done.into_iter();
+        for &key in &next_arrivals {
+            match done.next() {
+                Some(FleetDone::Pass(out)) => {
+                    prefetched.insert(key, out);
+                }
+                _ => unreachable!("pass results lead the fan-out, in input order"),
+            }
+        }
+        let batch_outcomes: Vec<ClientOutcome> = done
+            .map(|d| match d {
+                FleetDone::Load(outcome) => *outcome,
+                FleetDone::Pass(_) => {
+                    unreachable!("load results trail the fan-out, in input order")
+                }
+            })
+            .collect();
+
+        accum.account_batch(cfg, &corpus, &store, &mut urls, batch, batch_outcomes);
+        timing.account_s += now() - t3;
+    }
+    debug_assert!(prefetched.is_empty(), "every prefetched pass is consumed");
+
+    let run = accum.finish(cfg, clamped_from, &store, window, batches.len() as u64);
+    (run, timing)
+}
+
+/// Fan a set of resolver passes over the pool. Pure per item; each key is
+/// returned alongside its output, in input order.
+fn run_passes_on_pool(
+    pool: &Pool<FleetScratch>,
+    cfg: &FleetConfig,
+    corpus: &Arc<Corpus>,
+    keys: Vec<(usize, i64)>,
+) -> Vec<((usize, i64), PassOutput)> {
+    let shared_corpus = Arc::clone(corpus);
+    let server_seed = cfg.server_seed;
+    pool.dispatch(keys, move |_, _, &(site, bucket)| {
+        (
+            (site, bucket),
+            run_pass(
+                &shared_corpus.sites[site],
+                bucket as f64,
+                DeviceClass::PhoneLarge,
+                server_seed,
+            ),
+        )
+    })
+}
+
+/// The unpipelined reference implementation: two spawn/join fan-outs per
+/// batch on [`vroom_exec::par_map_indexed`], a fresh engine scratch per
+/// load, no cross-batch overlap — the executable specification the
+/// pipelined [`run_fleet`] must (and, per the fleet proptests, does)
+/// reproduce byte-for-byte at every worker count.
+pub fn run_fleet_unpipelined(cfg: &FleetConfig) -> FleetRun {
+    let (cfg, clamped_from) = cfg.validated();
+    let cfg = &cfg;
+    let corpus = Corpus::news_and_sports_capped(cfg.corpus_seed, Some(cfg.sites.max(1)));
+    let store = ShardedStore::new(cfg.shards);
+    let mut urls = Arc::new(UrlTable::new());
+    let (batches, window) = plan_batches(cfg);
+
+    let mut accum = FleetAccum::default();
+
+    for batch in &batches {
+        let batch_bucket = batch
+            .iter()
+            .map(|s| s.bucket())
+            .min()
+            .unwrap_or(FLEET_BASE_HOURS as i64);
+
+        if let EvictionPolicy::Ttl(h) = cfg.policy {
+            store.evict_resolved_before(batch_bucket - h as i64);
+        }
+
+        let mut needed = accum.arrivals_needed(batch, cfg.policy);
+        for &site in &accum.pending_refresh {
+            needed.insert((site, batch_bucket));
+        }
+        accum.pending_refresh.clear();
         let needed: Vec<(usize, i64)> = needed.into_iter().collect();
+
         // The expensive half fans out; the cheap commits stay sequential.
         let passes = vroom_exec::par_map_indexed(&needed, cfg.workers, |_, &(site, bucket)| {
             run_pass(
@@ -619,10 +1003,10 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
             )
         });
         for (&(site, bucket), pass) in needed.iter().zip(&passes) {
-            commit_pass_at(pass, &store, &mut urls, bucket);
-            let prior = last_pass.insert(site, bucket);
-            resolver_passes += 1;
-            refresh_passes += u64::from(prior.is_some());
+            let table =
+                Arc::get_mut(&mut urls).expect("no table refs outstanding between fan-outs");
+            commit_pass_at(pass, &store, table, bucket);
+            accum.committed(site, bucket);
         }
 
         // Load phase: the store is frozen (no writes until the next batch),
@@ -633,6 +1017,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
                 Some(f) => f.plan_for(spec.id as u64),
                 None => FaultPlan::none(),
             };
+            let mut scratch = FleetScratch::default();
             load_client(
                 &cfg.profile,
                 cfg.policy,
@@ -641,95 +1026,14 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
                 &urls,
                 &store,
                 &plan,
+                &mut scratch,
             )
         });
 
-        // Sequential post-batch accounting, in arrival order: the origin
-        // pool models per-origin connection reuse across the fleet, stale
-        // serves admit refresh passes, and (when enabled) each site's
-        // first observed load of the batch is committed back to the store.
-        let mut learned: BTreeSet<usize> = BTreeSet::new();
-        for (spec, outcome) in batch.iter().zip(batch_outcomes) {
-            if outcome.hint_stale > 0 {
-                pending_refresh.insert(outcome.site);
-            }
-            if cfg.learn_from_loads && learned.insert(spec.site) {
-                // The page is memoized per (site, context): this re-borrow
-                // is the same snapshot the load itself used.
-                let page = corpus.sites[spec.site].snapshot_arc(&spec.ctx());
-                let observed = observed_pass(&page, &outcome.result);
-                if !observed.entries.is_empty() {
-                    commit_pass_at(&observed, &store, &mut urls, spec.bucket());
-                    observed_commits += 1;
-                }
-            }
-            for origin in &outcome.origins {
-                if warm_origins.contains(origin) {
-                    origin_reuses += 1;
-                } else {
-                    warm_origins.insert(origin.clone());
-                    origins_opened += 1;
-                }
-            }
-            outcomes.push(outcome);
-        }
+        accum.account_batch(cfg, &corpus, &store, &mut urls, batch, batch_outcomes);
     }
 
-    outcomes.sort_by_key(|o| o.id);
-
-    let mut onloads: Vec<f64> = outcomes
-        .iter()
-        .map(|o| o.result.plt.as_secs_f64() * 1e3)
-        .collect();
-    onloads.sort_by(f64::total_cmp);
-
-    let sum = |f: &dyn Fn(&ClientOutcome) -> u64| outcomes.iter().map(f).sum::<u64>();
-    // The freshness section only exists when the freshness machinery was
-    // in play: a legacy run's report stays byte-identical.
-    let freshness = (cfg.policy != EvictionPolicy::Never
-        || cfg.span_hours > 0
-        || cfg.learn_from_loads
-        || clamped_from > 0)
-        .then(|| {
-            let fresh = store.freshness_stats();
-            FleetFreshness {
-                policy: cfg.policy.label(),
-                span_hours: cfg.span_hours,
-                stale_reads: fresh.iter().map(|f| f.stale).sum(),
-                stale_served: sum(&|o| o.hint_stale),
-                evictions: fresh.iter().map(|f| f.evictions).sum(),
-                refresh_passes,
-                observed_commits,
-                arrival_span_clamped_from_ms: clamped_from,
-            }
-        });
-    let report = FleetReport {
-        clients: cfg.clients as u64,
-        sites: cfg.sites.max(1) as u64,
-        shards: store.shard_count() as u64,
-        batch_window_ms: window,
-        batches: batches.len() as u64,
-        resolver_passes,
-        store_entries: store.len() as u64,
-        shard_stats: store.shard_stats(),
-        hint_hits: sum(&|o| o.hint_hits),
-        hint_misses: sum(&|o| o.hint_misses),
-        origins_opened,
-        origin_reuses,
-        onload_p50_ms: percentile_sorted(&onloads, 0.50),
-        onload_p99_ms: percentile_sorted(&onloads, 0.99),
-        faulted_clients: sum(&|o| u64::from(o.faulted)),
-        failed_loads: sum(&|o| u64::from(o.result.failed_resources > 0)),
-        failed_resources: sum(&|o| o.result.failed_resources as u64),
-        retries: sum(&|o| o.result.retries as u64),
-        rst_streams: sum(&|o| o.result.rst_streams as u64),
-        goaways: sum(&|o| o.result.goaways as u64),
-        timeouts: sum(&|o| o.result.timeouts as u64),
-        useful_bytes: sum(&|o| o.result.useful_bytes),
-        wasted_bytes: sum(&|o| o.result.wasted_bytes),
-        freshness,
-    };
-    FleetRun { report, outcomes }
+    accum.finish(cfg, clamped_from, &store, window, batches.len() as u64)
 }
 
 /// One client's load against the shared server state. Pure in the shared
@@ -737,14 +1041,23 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
 /// Store reads are classified by `policy` at the client's own hour bucket;
 /// a stale serve still feeds the load (old hints beat none) but is counted
 /// so the caller can admit a refresh.
+///
+/// The load resolves hints against the *shared* intern table directly: the
+/// store files hint lists under shared-table ids, and the engine only ever
+/// looks ids up by equality (never iterates in id order), so handing every
+/// client the server's one `Arc`'d table is behaviorally identical to the
+/// old per-load re-interning — minus one table build and one hint-list
+/// copy per document per load.
+#[allow(clippy::too_many_arguments)]
 fn load_client(
     profile: &NetworkProfile,
     policy: EvictionPolicy,
     spec: &ClientSpec,
     site: &PageGenerator,
-    urls: &UrlTable,
+    urls: &Arc<UrlTable>,
     store: &dyn HintStore,
     plan: &FaultPlan,
+    scratch: &mut FleetScratch,
 ) -> ClientOutcome {
     let ctx = spec.ctx();
     let page = site.snapshot_arc(&ctx);
@@ -755,25 +1068,24 @@ fn load_client(
     load_cfg.ordered_responses = true;
 
     // Gather the HTML documents this load will request (root + iframes)
-    // and pull each one's hints out of the shared store, translating
-    // shared-table ids into a per-load table — the per-client equivalent of
-    // parsing hint headers off the wire.
-    let mut local = UrlTable::new();
+    // and pull each one's hints out of the shared store. The stored lists
+    // already carry shared-table ids and are refcounted, so serving a
+    // client is a map insert per document — no translation, no copy.
     let mut server = ServerModel::default();
     let mut hint_hits = 0u64;
     let mut hint_misses = 0u64;
     let mut hint_stale = 0u64;
-    let mut htmls = vec![page.url.clone()];
+    let mut htmls = vec![&page.url];
     htmls.extend(
         embedded_htmls(&page)
             .into_iter()
-            .map(|f| page.resources[f].url.clone()),
+            .map(|f| &page.resources[f].url),
     );
     // Resolve every document's shared id first, then fetch all hint lists
     // in one batched store pass: one lock acquisition per touched shard
     // instead of one per document. Only resolved ids reach the store, so
     // the logical read/hit counters match the per-document form exactly.
-    let ids: Vec<Option<UrlId>> = htmls.iter().map(|h| urls.lookup(h)).collect();
+    let ids: Vec<Option<UrlId>> = htmls.iter().map(|&h| urls.lookup(h)).collect();
     let resolved: Vec<UrlId> = ids.iter().filter_map(|i| *i).collect();
     let mut fetched = store
         .get_fresh_many(&resolved, spec.bucket(), policy)
@@ -785,35 +1097,23 @@ fn load_client(
         };
         let stored = match read {
             Some(read) => {
-                hint_stale += u64::from(read.is_stale());
+                hint_stale += read.is_stale() as u64;
                 read.into_hints()
             }
             None => None,
         };
-        let Some(stored) = stored else {
+        let (Some(stored), &Some(html_id)) = (stored, id) else {
             hint_misses += 1;
             continue;
         };
         hint_hits += 1;
-        let local_id = local.intern(html.clone());
-        let hints: Vec<Hint> = stored
-            .iter()
-            .filter_map(|h| {
-                let url = urls.url(h.url)?;
-                Some(Hint {
-                    url: local.intern(url.clone()),
-                    tier: h.tier,
-                    size_hint: h.size_hint,
-                })
-            })
-            .collect();
-        let pushes = select_pushes(PushPolicy::HighPriorityLocal, &html.host, &hints, &local);
+        let pushes = select_pushes(PushPolicy::HighPriorityLocal, &html.host, &stored, urls);
         if !pushes.is_empty() {
-            server.pushes.insert(local_id, pushes);
+            server.pushes.insert(html_id, pushes);
         }
-        server.hints.insert(local_id, hints);
+        server.hints.insert(html_id, stored);
     }
-    load_cfg.urls = local;
+    load_cfg.urls = Arc::clone(urls);
     load_cfg.server = server;
 
     let faulted = plan.is_active();
@@ -821,7 +1121,7 @@ fn load_client(
         apply_fault_plan(&mut load_cfg, plan);
     }
 
-    let result = BrowserEngine::load(&page, profile, &load_cfg);
+    let result = BrowserEngine::load_with_scratch(&page, profile, &load_cfg, &mut scratch.engine);
     let origins: Vec<String> = page
         .resources
         .iter()

@@ -40,6 +40,10 @@ impl Default for HotPathConfig {
         HotPathConfig {
             roots: vec![
                 root("crates/browser/src/engine.rs", &["load"]),
+                root(
+                    "crates/fleet/src/lib.rs",
+                    &["load_client", "run_fleet_instrumented"],
+                ),
                 root("crates/hpack/src/decoder.rs", &["decode"]),
                 root("crates/hpack/src/encoder.rs", &["encode", "encode_into"]),
                 root(
@@ -58,11 +62,16 @@ impl Default for HotPathConfig {
                 "crates/html/".to_string(),
                 "crates/intern/".to_string(),
                 "crates/lint/".to_string(),
+                "crates/pages/".to_string(),
+                "crates/server/src/resolve.rs".to_string(),
                 "crates/vroom/".to_string(),
             ],
             lock_roots: vec![
                 root("crates/browser/src/engine.rs", &["load"]),
-                root("crates/fleet/src/lib.rs", &["load_client", "run_fleet"]),
+                root(
+                    "crates/fleet/src/lib.rs",
+                    &["load_client", "run_fleet", "run_fleet_instrumented"],
+                ),
                 root("crates/server/src/batch.rs", &["commit_pass"]),
                 root(
                     "crates/server/src/wire.rs",

@@ -14,7 +14,6 @@
 //! [`next_completion`](SharedLink::next_completion) whenever membership
 //! changes.
 
-use std::collections::BTreeMap;
 use vroom_sim::{SimDuration, SimTime};
 
 /// Identifier of an in-flight transfer.
@@ -37,19 +36,36 @@ pub struct CapacityWindow {
 
 #[derive(Debug)]
 struct Transfer {
+    id: TransferId,
     remaining_bits: f64,
     weight: f64,
 }
 
 /// A shared bottleneck link.
+///
+/// Active transfers live in a flat vector kept sorted by id — ids are
+/// handed out monotonically, so pushing on start preserves the order and
+/// every per-event scan (share computation, completion sweep) is a linear
+/// walk over contiguous memory instead of ordered-map node traffic. The
+/// iteration order, and therefore every floating-point reduction over the
+/// transfer set, is identical to the previous ordered-map representation.
 #[derive(Debug)]
 pub struct SharedLink {
     bits_per_sec: f64,
-    transfers: BTreeMap<TransferId, Transfer>,
+    transfers: Vec<Transfer>,
     last_advance: SimTime,
     next_id: u64,
     /// Sorted, disjoint capacity-degradation windows (fault injection).
     schedule: Vec<CapacityWindow>,
+    /// How many active transfers have a weight other than 1.0. When zero —
+    /// the overwhelmingly common case; the browser engine never weights —
+    /// every transfer's share divisor is the same value, so the per-transfer
+    /// divisions in `advance`/`next_completion` collapse to one. The fast
+    /// path is bitwise-identical to the general one: multiplying by a unit
+    /// weight is exact, and dividing by a shared positive divisor is
+    /// monotone, so the minimum over quotients is the quotient of the
+    /// minimum.
+    nonunit_weights: usize,
 }
 
 impl SharedLink {
@@ -58,11 +74,26 @@ impl SharedLink {
         assert!(bits_per_sec > 0, "zero-capacity link");
         SharedLink {
             bits_per_sec: bits_per_sec as f64,
-            transfers: BTreeMap::new(),
+            transfers: Vec::new(),
             last_advance: SimTime::ZERO,
             next_id: 0,
             schedule: Vec::new(),
+            nonunit_weights: 0,
         }
+    }
+
+    /// Reset to a freshly-constructed link of the given capacity while
+    /// keeping the transfer vector's allocation — the scratch-reuse hook for
+    /// callers that run many simulations back-to-back. Observationally
+    /// identical to `SharedLink::new(bits_per_sec)`.
+    pub fn reset(&mut self, bits_per_sec: u64) {
+        assert!(bits_per_sec > 0, "zero-capacity link");
+        self.bits_per_sec = bits_per_sec as f64;
+        self.transfers.clear();
+        self.last_advance = SimTime::ZERO;
+        self.next_id = 0;
+        self.schedule.clear();
+        self.nonunit_weights = 0;
     }
 
     /// Install a capacity-degradation schedule (fault injection). Windows
@@ -111,19 +142,21 @@ impl SharedLink {
         // Within an interval the share is constant, so we walk from
         // completion to completion (each completion raises the share of the
         // survivors). Effectively-finished transfers (including ties) are
-        // swept at the top of each round, in id order, for determinism.
+        // swept at the top of each round, in id order (the vector's order),
+        // for determinism.
         loop {
-            let mut done: Vec<TransferId> = self
-                .transfers
-                .iter()
-                .filter(|(_, tr)| tr.remaining_bits <= 1e-3)
-                .map(|(&id, _)| id)
-                .collect();
-            done.sort();
-            for id in done {
-                self.transfers.remove(&id);
-                completed.push(id);
-            }
+            let nonunit = &mut self.nonunit_weights;
+            self.transfers.retain(|tr| {
+                if tr.remaining_bits <= 1e-3 {
+                    if tr.weight != 1.0 {
+                        *nonunit -= 1;
+                    }
+                    completed.push(tr.id);
+                    false
+                } else {
+                    true
+                }
+            });
             if t >= now || self.transfers.is_empty() {
                 break;
             }
@@ -138,20 +171,40 @@ impl SharedLink {
                 continue;
             }
             let capacity = self.bits_per_sec * factor;
-            let total_weight: f64 = self.transfers.values().map(|x| x.weight).sum();
-            // Earliest finisher at current shares.
-            let first_dt = self
-                .transfers
-                .values()
-                .map(|tr| tr.remaining_bits / (capacity * tr.weight / total_weight))
-                .fold(f64::INFINITY, f64::min);
             let interval = (seg_end - t).as_secs_f64();
-            let dt = first_dt.min(interval).max(0.0);
-            for tr in self.transfers.values_mut() {
-                let rate = capacity * tr.weight / total_weight;
-                tr.remaining_bits = (tr.remaining_bits - rate * dt).max(0.0);
-                if tr.remaining_bits < 1e-3 {
-                    tr.remaining_bits = 0.0;
+            let (first_dt, dt);
+            if self.nonunit_weights == 0 {
+                // Unit-weight fast path: one shared rate, one division.
+                let total_weight = self.transfers.len() as f64;
+                let rate = capacity / total_weight;
+                let min_rem = self
+                    .transfers
+                    .iter()
+                    .map(|tr| tr.remaining_bits)
+                    .fold(f64::INFINITY, f64::min);
+                first_dt = min_rem / rate;
+                dt = first_dt.min(interval).max(0.0);
+                for tr in &mut self.transfers {
+                    tr.remaining_bits = (tr.remaining_bits - rate * dt).max(0.0);
+                    if tr.remaining_bits < 1e-3 {
+                        tr.remaining_bits = 0.0;
+                    }
+                }
+            } else {
+                let total_weight: f64 = self.transfers.iter().map(|x| x.weight).sum();
+                // Earliest finisher at current shares.
+                first_dt = self
+                    .transfers
+                    .iter()
+                    .map(|tr| tr.remaining_bits / (capacity * tr.weight / total_weight))
+                    .fold(f64::INFINITY, f64::min);
+                dt = first_dt.min(interval).max(0.0);
+                for tr in &mut self.transfers {
+                    let rate = capacity * tr.weight / total_weight;
+                    tr.remaining_bits = (tr.remaining_bits - rate * dt).max(0.0);
+                    if tr.remaining_bits < 1e-3 {
+                        tr.remaining_bits = 0.0;
+                    }
                 }
             }
             if first_dt >= interval {
@@ -181,20 +234,31 @@ impl SharedLink {
         let completed = self.advance(now);
         let id = TransferId(self.next_id);
         self.next_id += 1;
-        self.transfers.insert(
+        // Ids are monotonic, so pushing keeps the vector id-sorted.
+        self.transfers.push(Transfer {
             id,
-            Transfer {
-                // A zero-byte transfer still takes one "tick"; give it a bit.
-                remaining_bits: ((bytes * 8).max(1)) as f64,
-                weight,
-            },
-        );
+            // A zero-byte transfer still takes one "tick"; give it a bit.
+            remaining_bits: ((bytes * 8).max(1)) as f64,
+            weight,
+        });
+        if weight != 1.0 {
+            self.nonunit_weights += 1;
+        }
         (id, completed)
     }
 
     /// Abort a transfer (e.g. stream reset). Returns whether it was active.
     pub fn cancel(&mut self, id: TransferId) -> bool {
-        self.transfers.remove(&id).is_some()
+        match self.transfers.binary_search_by_key(&id, |t| t.id) {
+            Ok(i) => {
+                if self.transfers[i].weight != 1.0 {
+                    self.nonunit_weights -= 1;
+                }
+                self.transfers.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// When the next active transfer will complete, given current membership
@@ -209,12 +273,23 @@ impl SharedLink {
         // shifts. `need` is its remaining time at full capacity — walk the
         // schedule until that much effective (factor-weighted) time has
         // accumulated.
-        let total_weight: f64 = self.transfers.values().map(|x| x.weight).sum();
-        let mut need = self
-            .transfers
-            .values()
-            .map(|tr| tr.remaining_bits / (self.bits_per_sec * tr.weight / total_weight))
-            .fold(f64::INFINITY, f64::min);
+        let mut need = if self.nonunit_weights == 0 {
+            // Unit-weight fast path (see `nonunit_weights`): shared divisor,
+            // single division — bitwise-identical to the general reduction.
+            let total_weight = self.transfers.len() as f64;
+            let min_rem = self
+                .transfers
+                .iter()
+                .map(|tr| tr.remaining_bits)
+                .fold(f64::INFINITY, f64::min);
+            min_rem / (self.bits_per_sec / total_weight)
+        } else {
+            let total_weight: f64 = self.transfers.iter().map(|x| x.weight).sum();
+            self.transfers
+                .iter()
+                .map(|tr| tr.remaining_bits / (self.bits_per_sec * tr.weight / total_weight))
+                .fold(f64::INFINITY, f64::min)
+        };
         let mut t = now;
         let mut elapsed = 0.0f64;
         let dt = loop {
@@ -241,8 +316,9 @@ impl SharedLink {
     /// Remaining bytes of a transfer (diagnostics).
     pub fn remaining_bytes(&self, id: TransferId) -> Option<u64> {
         self.transfers
-            .get(&id)
-            .map(|t| (t.remaining_bits / 8.0).ceil() as u64)
+            .binary_search_by_key(&id, |t| t.id)
+            .ok()
+            .map(|i| (self.transfers[i].remaining_bits / 8.0).ceil() as u64)
     }
 }
 

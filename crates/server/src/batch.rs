@@ -104,9 +104,11 @@ pub fn run_pass(
         .into_iter()
         .filter_map(|id| {
             let hints = resolved.hints.get(&id)?;
+            // vroom-lint: allow(hot-path-alloc) -- the pass output owns its URLs: once per (site, hour) pass, amortized across every client it serves
             let html = scratch.url(id)?.clone();
             let targets = hints
                 .iter()
+                // vroom-lint: allow(hot-path-alloc) -- the pass output owns its URLs: once per (site, hour) pass, amortized across every client it serves
                 .filter_map(|h| Some((scratch.url(h.url)?.clone(), h.tier, h.size_hint)))
                 .collect();
             Some((html, targets))
@@ -144,10 +146,12 @@ pub fn commit_pass_at(
     let mut written = Vec::with_capacity(output.entries.len());
     let mut batch = Vec::with_capacity(output.entries.len());
     for (html, targets) in &output.entries {
+        // vroom-lint: allow(hot-path-alloc) -- interning takes ownership; one clone per entry, once per pass commit
         let key = urls.intern(html.clone());
         let hints = targets
             .iter()
             .map(|(url, tier, size_hint)| vroom_browser::config::Hint {
+                // vroom-lint: allow(hot-path-alloc) -- interning takes ownership; one clone per entry, once per pass commit
                 url: urls.intern(url.clone()),
                 tier: *tier,
                 size_hint: *size_hint,

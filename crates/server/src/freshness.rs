@@ -65,6 +65,7 @@ pub fn observed_pass(page: &Page, result: &LoadResult) -> PassOutput {
             let mut targets: Vec<PassHint> = page
                 .children(doc)
                 .filter(|r| r.via_markup && fetched_ok(result, r.id))
+                // vroom-lint: allow(hot-path-alloc) -- the observed pass owns its URLs; once per learning commit, off the serving path
                 .map(|r| (r.url.clone(), r.hint_tier(), r.size))
                 .collect();
             if targets.is_empty() {
@@ -73,6 +74,7 @@ pub fn observed_pass(page: &Page, result: &LoadResult) -> PassOutput {
             // Tier order, as the wire scanner emits (stable sort keeps
             // document order within a tier).
             targets.sort_by_key(|(_, tier, _)| *tier);
+            // vroom-lint: allow(hot-path-alloc) -- the observed pass owns its URLs; once per learning commit, off the serving path
             Some((page.resources[doc].url.clone(), targets))
         })
         .collect();

@@ -101,7 +101,9 @@ impl EvictionPolicy {
     pub fn label(&self) -> String {
         match self {
             EvictionPolicy::Never => "never".into(),
+            // vroom-lint: allow(hot-path-alloc) -- report label, built once per report render
             EvictionPolicy::Ttl(h) => format!("ttl({h})"),
+            // vroom-lint: allow(hot-path-alloc) -- report label, built once per report render
             EvictionPolicy::RefreshOnMiss(h) => format!("refresh-on-miss({h})"),
         }
     }
@@ -360,8 +362,8 @@ impl HintStore for UnshardedStore {
         let map = unpoison(self.map.lock());
         for k in keys {
             let (read, hit, is_stale) = classify(map.get(k), now_bucket, policy);
-            hits += u64::from(hit);
-            stale += u64::from(is_stale);
+            hits += hit as u64;
+            stale += is_stale as u64;
             out.push(read);
         }
         drop(map);
@@ -505,8 +507,8 @@ impl HintStore for ShardedStore {
             let map = unpoison(shard.map.read());
             for i in idxs {
                 let (read, hit, is_stale) = classify(map.get(&keys[i]), now_bucket, policy);
-                hits += u64::from(hit);
-                stale += u64::from(is_stale);
+                hits += hit as u64;
+                stale += is_stale as u64;
                 out[i] = read;
             }
             drop(map);

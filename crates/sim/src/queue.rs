@@ -11,7 +11,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 
 /// Handle to a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -19,8 +19,9 @@ pub struct EventId(u64);
 
 struct Entry<E> {
     at: SimTime,
+    // Doubles as the event's id: `EventId`s are exactly the sequence
+    // numbers, so storing both would waste 8 bytes per heap slot.
     seq: u64,
-    id: EventId,
     event: E,
 }
 
@@ -46,6 +47,58 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Liveness bitmap over the queue's sequential event ids: bit `i` is set
+/// iff event id `i` was scheduled and neither popped nor cancelled. Ids are
+/// dense (one per `schedule` call), so a flat word vector beats an ordered
+/// set: every membership operation is one index plus one mask, no node
+/// traffic.
+#[derive(Default)]
+struct IdBitSet {
+    words: Vec<u64>,
+    live: usize,
+}
+
+impl IdBitSet {
+    fn insert(&mut self, id: u64) {
+        let (word, bit) = ((id / 64) as usize, id % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let Some(w) = self.words.get_mut(word) else {
+            return; // unreachable: resized above
+        };
+        if *w & mask == 0 {
+            *w |= mask;
+            self.live += 1;
+        }
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        let (word, bit) = ((id / 64) as usize, id % 64);
+        let Some(w) = self.words.get_mut(word) else {
+            return false;
+        };
+        let mask = 1u64 << bit;
+        let was = *w & mask != 0;
+        if was {
+            *w &= !mask;
+            self.live -= 1;
+        }
+        was
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        let (word, bit) = ((id / 64) as usize, id % 64);
+        self.words.get(word).is_some_and(|w| w & (1u64 << bit) != 0)
+    }
+
+    fn clear(&mut self) {
+        self.words.clear();
+        self.live = 0;
+    }
+}
+
 /// A time-ordered queue of events of type `E`.
 ///
 /// The `pending` set is the single source of truth for liveness: an id is
@@ -55,7 +108,7 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    pending: BTreeSet<EventId>,
+    pending: IdBitSet,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -70,8 +123,18 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            pending: BTreeSet::new(),
+            pending: IdBitSet::default(),
         }
+    }
+
+    /// Reset to empty while keeping the heap's and bitmap's allocations —
+    /// the scratch-reuse hook for callers that run many simulations
+    /// back-to-back. A recycled queue is observationally identical to a
+    /// fresh one: ids restart at zero and nothing is pending.
+    pub fn recycle(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.pending.clear();
     }
 
     /// Schedule `event` for delivery at `at`. Returns a handle that can
@@ -82,19 +145,18 @@ impl<E> EventQueue<E> {
         self.heap.push(Entry {
             at,
             seq: self.next_seq,
-            id,
             event,
         });
         self.next_seq += 1;
-        self.pending.insert(id);
+        self.pending.insert(id.0);
         id
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event was
-    /// still pending. O(log n): one liveness-set removal, no heap scan; the
+    /// still pending. O(1): one liveness-bitmap clear, no heap scan; the
     /// heap entry is lazily dropped when it reaches the head.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id)
+        self.pending.remove(id.0)
     }
 
     /// Timestamp of the next pending event, if any.
@@ -107,28 +169,34 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.skip_cancelled();
         self.heap.pop().map(|e| {
-            self.pending.remove(&e.id);
+            self.pending.remove(e.seq);
             (e.at, e.event)
         })
     }
 
     fn skip_cancelled(&mut self) {
         while let Some(head) = self.heap.peek() {
-            if self.pending.contains(&head.id) {
+            if self.pending.contains(head.seq) {
                 break;
             }
             self.heap.pop();
         }
     }
 
+    /// Total events scheduled since construction or the last `recycle` —
+    /// a diagnostic for event-volume accounting in engine benchmarks.
+    pub fn total_scheduled(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.pending.live
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.pending.live == 0
     }
 }
 

@@ -162,10 +162,12 @@ pub fn build_config(
             System::PushAllStatic | System::PushHighPriorityNoHints | System::PushAllNoHints
         );
         if hints_enabled {
-            server.hints.insert(html_id, hints.clone());
+            server
+                .hints
+                .insert(html_id, std::sync::Arc::new(hints.clone()));
         }
     }
-    cfg.urls = urls;
+    cfg.urls = std::sync::Arc::new(urls);
     cfg.server = server;
     cfg.fetch_policy = match system {
         System::Vroom
@@ -203,7 +205,7 @@ pub fn cache_from_prior_load(prior: &Page, age_hours: f64) -> BTreeMap<Url, Cach
 
 /// Hints present in a config, flattened (diagnostics/tests).
 pub fn all_hints(cfg: &LoadConfig) -> Vec<&Hint> {
-    cfg.server.hints.values().flatten().collect()
+    cfg.server.hints.values().flat_map(|v| v.iter()).collect()
 }
 
 /// Hint-corruption rate at or above which the client stops trusting the
@@ -233,8 +235,14 @@ pub fn apply_fault_plan(cfg: &mut LoadConfig, plan: &FaultPlan) {
         // Split borrows: the hint/push maps and the intern table are
         // disjoint fields, and corrupted entries must intern their stale
         // replacement URLs into the same table the config resolves against.
-        let urls = &mut cfg.urls;
+        // The table may be shared (fleet loads resolve against the
+        // server's one table), so corruption pays a copy-on-write clone —
+        // only faulted loads take this branch.
+        let urls = std::sync::Arc::make_mut(&mut cfg.urls);
         for (&html_id, hints) in cfg.server.hints.iter_mut() {
+            // Hint lists may be shared with a fleet's store: corrupt a
+            // private copy.
+            let hints = std::sync::Arc::make_mut(hints);
             let html = urls.get(html_id).to_string();
             for (i, h) in hints.iter_mut().enumerate() {
                 if plan.corrupt_hint(&html, i) {

@@ -8,7 +8,10 @@
 
 use proptest::prelude::*;
 use vroom_browser::config::Hint;
-use vroom_fleet::{run_fleet, run_freshness, FleetConfig, FleetRun, FreshnessConfig};
+use vroom_fleet::{
+    run_fleet, run_fleet_unpipelined, run_freshness, FleetConfig, FleetFaults, FleetRun,
+    FreshnessConfig,
+};
 use vroom_html::Url;
 use vroom_intern::{UrlId, UrlTable};
 use vroom_net::json::Value;
@@ -237,6 +240,60 @@ fn legacy_fleet_metrics_match_the_committed_bench_baseline() {
         fresh, committed,
         "policy Never + span 0 must reproduce the committed metrics exactly"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined execution == unpipelined reference
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The pipelined fleet — persistent pool, per-worker scratch reuse,
+    /// batch k+1's resolver passes overlapped with batch k's loads — is
+    /// byte-identical to the two-fan-outs-per-batch reference at every
+    /// worker count, with and without fault injection, under every
+    /// eviction policy.
+    #[test]
+    fn pipelined_fleet_equals_unpipelined_reference(
+        clients in 1usize..=50,
+        sites in 1usize..=4,
+        seed in any::<u64>(),
+        policy_sel in 0u8..3,
+        faulted in any::<bool>(),
+        fault_seed in any::<u64>(),
+        fault_one_in in 1u64..4,
+    ) {
+        let mut cfg = FleetConfig::quick(clients, sites);
+        cfg.seed = seed;
+        cfg.policy = policy_of(policy_sel);
+        if cfg.policy != EvictionPolicy::Never {
+            cfg.span_hours = 3;
+            cfg.learn_from_loads = true;
+        }
+        cfg.faults = faulted.then_some(FleetFaults {
+            seed: fault_seed,
+            severity: 0.7,
+            one_in: fault_one_in,
+        });
+        for workers in [1usize, 2, 8] {
+            cfg.workers = workers;
+            let pipelined = run_fleet(&cfg);
+            let reference = run_fleet_unpipelined(&cfg);
+            prop_assert_eq!(
+                fingerprints(&pipelined),
+                fingerprints(&reference),
+                "report diverged at workers={}",
+                workers
+            );
+            prop_assert_eq!(
+                &pipelined.outcomes,
+                &reference.outcomes,
+                "outcomes diverged at workers={}",
+                workers
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

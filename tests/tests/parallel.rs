@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use vroom::experiment::{run_all_report, ExperimentConfig};
-use vroom_exec::par_map_indexed;
+use vroom_exec::{par_map_indexed, Pool};
 
 fn cfg(workers: usize) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::quick(5);
@@ -64,5 +64,32 @@ proptest! {
             .collect();
         let got = par_map_indexed(&items, workers, |i, &x| (i as u64) << 32 | u64::from(x));
         prop_assert_eq!(got, reference);
+    }
+
+    /// The persistent pool equals the same sequential reference for
+    /// arbitrary item/worker counts — and a single pool reused across many
+    /// differently-sized runs must not leak state between them (each
+    /// worker's scratch persists, results must not).
+    #[test]
+    fn pool_equals_sequential_map_across_reuse(
+        runs in proptest::collection::vec(
+            proptest::collection::vec(any::<u32>(), 0..80), 1..6),
+        workers in 0usize..16,
+    ) {
+        #[derive(Default)]
+        struct Scratch(u64);
+        let pool: Pool<Scratch> = Pool::new(workers);
+        for items in runs {
+            let reference: Vec<u64> = items
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (i as u64) << 32 | u64::from(x))
+                .collect();
+            let got = pool.dispatch(items, |s, i, &x| {
+                s.0 = s.0.wrapping_add(1); // dirty the scratch: must not leak
+                (i as u64) << 32 | u64::from(x)
+            });
+            prop_assert_eq!(got, reference);
+        }
     }
 }
